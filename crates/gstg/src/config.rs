@@ -1,0 +1,278 @@
+//! Configuration of the GS-TG pipeline.
+
+use serde::{Deserialize, Serialize};
+use splat_render::BoundaryMethod;
+use splat_types::Precision;
+use std::fmt;
+
+/// Errors raised when building an invalid [`GstgConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The tile size is not a power of two of at least 4 pixels.
+    InvalidTileSize {
+        /// The offending tile size.
+        tile_size: u32,
+    },
+    /// The group size is not a multiple of the tile size.
+    GroupNotMultipleOfTile {
+        /// Tile edge length.
+        tile_size: u32,
+        /// Group edge length.
+        group_size: u32,
+    },
+    /// The group would contain more small tiles than the bitmask can
+    /// represent (64 for the software pipeline, 16 for the accelerator's
+    /// 16-bit masks).
+    GroupTooLarge {
+        /// Number of tiles per group implied by the configuration.
+        tiles_per_group: u32,
+        /// Maximum supported tiles per group.
+        max: u32,
+    },
+    /// The group size equals the tile size, so grouping would be a no-op.
+    DegenerateGroup {
+        /// The common tile/group size.
+        size: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidTileSize { tile_size } => {
+                write!(f, "tile size {tile_size} must be a power of two >= 4")
+            }
+            ConfigError::GroupNotMultipleOfTile { tile_size, group_size } => write!(
+                f,
+                "group size {group_size} must be a positive multiple of tile size {tile_size}"
+            ),
+            ConfigError::GroupTooLarge { tiles_per_group, max } => write!(
+                f,
+                "group holds {tiles_per_group} tiles which exceeds the bitmask capacity of {max}"
+            ),
+            ConfigError::DegenerateGroup { size } => write!(
+                f,
+                "group size equals tile size ({size}); grouping would not share any sorting"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// How bitmask generation is scheduled relative to group-wise sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ExecutionModel {
+    /// GPU (SIMT) execution: group identification, bitmask generation,
+    /// group-wise sorting and rasterization run sequentially, so bitmask
+    /// generation time shows up in the preprocessing stage (Fig. 13).
+    #[default]
+    GpuSequential,
+    /// Dedicated accelerator: bitmask generation overlaps with group-wise
+    /// sorting, hiding its latency (Section V).
+    AcceleratorOverlapped,
+}
+
+/// Configuration of the GS-TG rendering pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GstgConfig {
+    /// Small tile edge length in pixels (rasterization granularity).
+    pub tile_size: u32,
+    /// Group edge length in pixels (sorting granularity); must be a
+    /// multiple of `tile_size`.
+    pub group_size: u32,
+    /// Boundary method used for group identification.
+    pub group_boundary: BoundaryMethod,
+    /// Boundary method used when generating the per-tile bitmasks.
+    pub bitmask_boundary: BoundaryMethod,
+    /// Storage precision applied to splat parameters.
+    pub precision: Precision,
+    /// Worker threads for rasterization (1 = sequential).
+    pub threads: usize,
+    /// Scheduling model for bitmask generation.
+    pub execution: ExecutionModel,
+}
+
+impl GstgConfig {
+    /// Maximum number of small tiles per group supported by the software
+    /// pipeline's 64-bit bitmask (an 8×8 tile grouping, e.g. "8+64").
+    pub const MAX_TILES_PER_GROUP: u32 = 64;
+
+    /// The configuration the paper selects after the Fig. 11 sweep:
+    /// 16×16 tiles grouped into 64×64 groups with the ellipse boundary for
+    /// both group identification and bitmask generation.
+    pub fn paper_default() -> Self {
+        Self::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse)
+            .expect("paper configuration is valid")
+    }
+
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the tile size is invalid, the group
+    /// size is not a larger multiple of the tile size, or the group would
+    /// contain more tiles than the bitmask can encode.
+    pub fn new(
+        tile_size: u32,
+        group_size: u32,
+        group_boundary: BoundaryMethod,
+        bitmask_boundary: BoundaryMethod,
+    ) -> Result<Self, ConfigError> {
+        if tile_size < 4 || !tile_size.is_power_of_two() {
+            return Err(ConfigError::InvalidTileSize { tile_size });
+        }
+        if group_size == 0 || group_size % tile_size != 0 {
+            return Err(ConfigError::GroupNotMultipleOfTile {
+                tile_size,
+                group_size,
+            });
+        }
+        if group_size == tile_size {
+            return Err(ConfigError::DegenerateGroup { size: tile_size });
+        }
+        let per_side = group_size / tile_size;
+        let tiles_per_group = per_side * per_side;
+        if tiles_per_group > Self::MAX_TILES_PER_GROUP {
+            return Err(ConfigError::GroupTooLarge {
+                tiles_per_group,
+                max: Self::MAX_TILES_PER_GROUP,
+            });
+        }
+        Ok(Self {
+            tile_size,
+            group_size,
+            group_boundary,
+            bitmask_boundary,
+            precision: Precision::Full,
+            threads: 1,
+            execution: ExecutionModel::GpuSequential,
+        })
+    }
+
+    /// Number of small tiles along one edge of a group.
+    #[inline]
+    pub fn tiles_per_group_side(&self) -> u32 {
+        self.group_size / self.tile_size
+    }
+
+    /// Number of small tiles in a group.
+    #[inline]
+    pub fn tiles_per_group(&self) -> u32 {
+        let side = self.tiles_per_group_side();
+        side * side
+    }
+
+    /// Returns a copy with the worker thread count replaced.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the execution model replaced.
+    pub fn with_execution(mut self, execution: ExecutionModel) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Returns a copy with the storage precision replaced.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The baseline configuration this GS-TG configuration is compared
+    /// against (same tile size, the bitmask boundary used for tile
+    /// identification).
+    pub fn equivalent_baseline(&self) -> splat_render::RenderConfig {
+        let mut config = splat_render::RenderConfig::new(self.tile_size, self.bitmask_boundary);
+        config.precision = self.precision;
+        config.threads = self.threads;
+        config
+    }
+}
+
+impl Default for GstgConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_16_plus_64_ellipse() {
+        let c = GstgConfig::paper_default();
+        assert_eq!(c.tile_size, 16);
+        assert_eq!(c.group_size, 64);
+        assert_eq!(c.group_boundary, BoundaryMethod::Ellipse);
+        assert_eq!(c.bitmask_boundary, BoundaryMethod::Ellipse);
+        assert_eq!(c.tiles_per_group(), 16);
+    }
+
+    #[test]
+    fn rejects_group_not_multiple_of_tile() {
+        assert!(matches!(
+            GstgConfig::new(16, 40, BoundaryMethod::Aabb, BoundaryMethod::Aabb),
+            Err(ConfigError::GroupNotMultipleOfTile { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_group() {
+        assert!(matches!(
+            GstgConfig::new(16, 16, BoundaryMethod::Aabb, BoundaryMethod::Aabb),
+            Err(ConfigError::DegenerateGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_group() {
+        // 8-pixel tiles in a 128-pixel group → 256 tiles, beyond 64.
+        assert!(matches!(
+            GstgConfig::new(8, 128, BoundaryMethod::Aabb, BoundaryMethod::Aabb),
+            Err(ConfigError::GroupTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tile_size() {
+        assert!(matches!(
+            GstgConfig::new(6, 24, BoundaryMethod::Aabb, BoundaryMethod::Aabb),
+            Err(ConfigError::InvalidTileSize { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_all_paper_sweep_combinations() {
+        // Fig. 11: 8+16, 8+32, 8+64, 16+32, 16+64.
+        for (tile, group) in [(8, 16), (8, 32), (8, 64), (16, 32), (16, 64)] {
+            let c = GstgConfig::new(tile, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse);
+            assert!(c.is_ok(), "{tile}+{group} should be valid");
+        }
+    }
+
+    #[test]
+    fn tiles_per_group_math() {
+        let c = GstgConfig::new(8, 64, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap();
+        assert_eq!(c.tiles_per_group_side(), 8);
+        assert_eq!(c.tiles_per_group(), 64);
+    }
+
+    #[test]
+    fn equivalent_baseline_matches_tile_size_and_boundary() {
+        let c = GstgConfig::new(16, 64, BoundaryMethod::Aabb, BoundaryMethod::Obb).unwrap();
+        let baseline = c.equivalent_baseline();
+        assert_eq!(baseline.tile_size, 16);
+        assert_eq!(baseline.boundary, BoundaryMethod::Obb);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = GstgConfig::new(16, 40, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap_err();
+        assert!(err.to_string().contains("40"));
+        assert!(err.to_string().contains("16"));
+    }
+}

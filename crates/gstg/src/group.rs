@@ -1,0 +1,348 @@
+//! Group identification and bitmask generation.
+//!
+//! Tiles are grouped into aligned squares; for every splat the groups it
+//! influences are identified (exactly like tile identification with a
+//! larger tile size), and for every (group, splat) pair a bitmask of the
+//! small tiles the splat touches inside that group is generated. Because
+//! the small tiles are fully contained in their group, a splat touching a
+//! small tile always touches the group, so the bitmasks losslessly encode
+//! the baseline's per-tile assignment.
+
+use crate::bitmask::{GroupLayout, TileBitmask};
+use crate::config::GstgConfig;
+use serde::{Deserialize, Serialize};
+use splat_render::bounds::GaussianFootprint;
+use splat_render::preprocess::ProjectedGaussian;
+use splat_render::stats::StageCounts;
+use splat_render::tiling::TileGrid;
+
+/// One splat's membership in one group: which projected splat it is and
+/// which small tiles of the group it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupEntry {
+    /// Index into the `ProjectedGaussian` slice.
+    pub slot: u32,
+    /// Small-tile membership bitmask within the group.
+    pub bitmask: TileBitmask,
+}
+
+/// The result of group identification: per-group splat lists with their
+/// tile bitmasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupAssignments {
+    group_grid: TileGrid,
+    tile_grid: TileGrid,
+    layout: GroupLayout,
+    per_group: Vec<Vec<GroupEntry>>,
+    groups_per_gaussian: Vec<u32>,
+}
+
+impl GroupAssignments {
+    /// Grid of groups (one cell per group).
+    #[inline]
+    pub fn group_grid(&self) -> &TileGrid {
+        &self.group_grid
+    }
+
+    /// Grid of small tiles.
+    #[inline]
+    pub fn tile_grid(&self) -> &TileGrid {
+        &self.tile_grid
+    }
+
+    /// Group layout (tiles per side, bit indexing).
+    #[inline]
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Entries of the group with flattened index `group`.
+    #[inline]
+    pub fn group(&self, group: usize) -> &[GroupEntry] {
+        &self.per_group[group]
+    }
+
+    /// Mutable access used by the group-wise sorting stage.
+    #[inline]
+    pub(crate) fn group_mut(&mut self, group: usize) -> &mut Vec<GroupEntry> {
+        &mut self.per_group[group]
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.per_group.len()
+    }
+
+    /// Iterates over `(group_index, entries)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[GroupEntry])> {
+        self.per_group.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+    }
+
+    /// Total number of (group, splat) pairs — the number of sort keys the
+    /// group-wise sorting stage handles. Compare with the baseline's
+    /// per-tile total to quantify the sorting reduction.
+    pub fn total_entries(&self) -> u64 {
+        self.per_group.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of groups each projected splat intersects.
+    pub fn groups_per_gaussian(&self) -> &[u32] {
+        &self.groups_per_gaussian
+    }
+
+    /// Mean number of groups intersected per splat that touches at least
+    /// one group.
+    pub fn mean_groups_per_gaussian(&self) -> f64 {
+        let touched: Vec<u32> = self
+            .groups_per_gaussian
+            .iter()
+            .copied()
+            .filter(|&n| n >= 1)
+            .collect();
+        if touched.is_empty() {
+            return 0.0;
+        }
+        touched.iter().map(|&n| f64::from(n)).sum::<f64>() / touched.len() as f64
+    }
+
+    /// Global small-tile coordinates of bit `bit` in group `(gx, gy)`, or
+    /// `None` when the tile would fall outside the image (border groups are
+    /// partially empty).
+    pub fn global_tile_of_bit(&self, gx: u32, gy: u32, bit: u32) -> Option<(u32, u32)> {
+        let (tx_in, ty_in) = self.layout.tile_of_bit(bit);
+        let tx = gx * self.layout.tiles_per_side() + tx_in;
+        let ty = gy * self.layout.tiles_per_side() + ty_in;
+        if tx < self.tile_grid.tiles_x() && ty < self.tile_grid.tiles_y() {
+            Some((tx, ty))
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs group identification and bitmask generation.
+///
+/// `counts.tile_tests` / `counts.tile_intersections` are charged for the
+/// group-level tests (they play the role the tile tests play in the
+/// baseline), and `counts.bitmask_tests` for the per-small-tile tests that
+/// build the bitmasks.
+pub fn identify_groups(
+    projected: &[ProjectedGaussian],
+    image_width: u32,
+    image_height: u32,
+    config: &GstgConfig,
+    counts: &mut StageCounts,
+) -> GroupAssignments {
+    let group_grid = TileGrid::new(image_width, image_height, config.group_size);
+    let tile_grid = TileGrid::new(image_width, image_height, config.tile_size);
+    let layout = GroupLayout::new(config.tile_size, config.tiles_per_group_side());
+
+    let mut per_group: Vec<Vec<GroupEntry>> = vec![Vec::new(); group_grid.tile_count()];
+    let mut groups_per_gaussian = vec![0u32; projected.len()];
+
+    for (slot, splat) in projected.iter().enumerate() {
+        let Some(footprint) = GaussianFootprint::from_covariance(splat.mean, splat.cov) else {
+            continue;
+        };
+        let group_half_extent = footprint.candidate_half_extent(config.group_boundary);
+        let (gx0, gx1, gy0, gy1) = group_grid.tile_range(splat.mean, group_half_extent);
+        // Candidate range of small tiles under the bitmask boundary: tiles
+        // outside it can never be marked, so their tests are skipped (the
+        // same pre-filter the baseline's tile identification applies).
+        let tile_half_extent = footprint.candidate_half_extent(config.bitmask_boundary);
+        let (ctx0, ctx1, cty0, cty1) = tile_grid.tile_range(splat.mean, tile_half_extent);
+        for gy in gy0..gy1 {
+            for gx in gx0..gx1 {
+                counts.tile_tests += 1;
+                let group_rect = group_grid.tile_rect_unclipped(gx, gy);
+                if !footprint.intersects(&group_rect, config.group_boundary) {
+                    continue;
+                }
+                counts.tile_intersections += 1;
+                groups_per_gaussian[slot] += 1;
+
+                // Bitmask generation: test the splat against the candidate
+                // small tiles of this group that lie inside the image.
+                let side = layout.tiles_per_side();
+                let tx_lo = (gx * side).max(ctx0);
+                let tx_hi = ((gx + 1) * side).min(ctx1).min(tile_grid.tiles_x());
+                let ty_lo = (gy * side).max(cty0);
+                let ty_hi = ((gy + 1) * side).min(cty1).min(tile_grid.tiles_y());
+                let mut bitmask = TileBitmask::EMPTY;
+                for ty in ty_lo..ty_hi {
+                    for tx in tx_lo..tx_hi {
+                        counts.bitmask_tests += 1;
+                        let tile_rect = tile_grid.tile_rect_unclipped(tx, ty);
+                        if footprint.intersects(&tile_rect, config.bitmask_boundary) {
+                            bitmask.set(layout.bit_index(tx - gx * side, ty - gy * side));
+                        }
+                    }
+                }
+
+                per_group[group_grid.tile_index(gx, gy)].push(GroupEntry {
+                    slot: slot as u32,
+                    bitmask,
+                });
+            }
+        }
+    }
+
+    GroupAssignments {
+        group_grid,
+        tile_grid,
+        layout,
+        per_group,
+        groups_per_gaussian,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_render::BoundaryMethod;
+    use splat_types::{Mat2, Rgb, Vec2};
+
+    fn projected(mean: Vec2, sigma: f32, index: u32, depth: f32) -> ProjectedGaussian {
+        let cov = Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma);
+        ProjectedGaussian {
+            index,
+            depth,
+            mean,
+            cov,
+            inv_cov: cov.inverse().unwrap(),
+            opacity: 0.9,
+            color: Rgb::WHITE,
+        }
+    }
+
+    fn config(tile: u32, group: u32) -> GstgConfig {
+        GstgConfig::new(tile, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap()
+    }
+
+    #[test]
+    fn small_splat_lands_in_one_group_with_one_tile_bit() {
+        let cfg = config(16, 64);
+        let splats = vec![projected(Vec2::new(24.0, 24.0), 1.0, 0, 1.0)];
+        let mut counts = StageCounts::new();
+        let groups = identify_groups(&splats, 128, 128, &cfg, &mut counts);
+        assert_eq!(counts.tile_intersections, 1);
+        let entries = groups.group(0);
+        assert_eq!(entries.len(), 1);
+        // Tile (1,1) of the group → bit index 1*4+1 = 5.
+        assert_eq!(entries[0].bitmask.count(), 1);
+        assert!(entries[0].bitmask.contains(5));
+    }
+
+    #[test]
+    fn group_count_is_fewer_than_tile_count() {
+        let cfg = config(16, 64);
+        let splats = vec![projected(Vec2::new(64.0, 64.0), 12.0, 0, 1.0)];
+        let mut group_counts = StageCounts::new();
+        let groups = identify_groups(&splats, 256, 256, &cfg, &mut group_counts);
+
+        let mut tile_counts = StageCounts::new();
+        let tile_grid = TileGrid::new(256, 256, 16);
+        let tiles = splat_render::tiling::identify_tiles(
+            &splats,
+            tile_grid,
+            BoundaryMethod::Ellipse,
+            &mut tile_counts,
+        );
+        // The same splat produces fewer group entries (sort keys) than tile
+        // entries — the paper's sorting reduction.
+        assert!(groups.total_entries() < tiles.total_entries());
+        assert!(groups.total_entries() >= 1);
+    }
+
+    #[test]
+    fn bitmask_union_matches_baseline_tile_assignment() {
+        // The set of (global tile, splat) pairs recovered from the bitmasks
+        // must equal the baseline identification at the same tile size and
+        // boundary method.
+        let cfg = config(16, 64);
+        let splats = vec![
+            projected(Vec2::new(60.0, 60.0), 9.0, 0, 1.0),
+            projected(Vec2::new(130.0, 70.0), 4.0, 1, 2.0),
+            projected(Vec2::new(10.0, 200.0), 15.0, 2, 3.0),
+        ];
+        let mut counts = StageCounts::new();
+        let groups = identify_groups(&splats, 256, 256, &cfg, &mut counts);
+
+        let mut baseline_counts = StageCounts::new();
+        let tile_grid = TileGrid::new(256, 256, 16);
+        let baseline = splat_render::tiling::identify_tiles(
+            &splats,
+            tile_grid,
+            BoundaryMethod::Ellipse,
+            &mut baseline_counts,
+        );
+
+        // Collect (tile, slot) pairs from the bitmasks.
+        let mut from_groups: Vec<(usize, u32)> = Vec::new();
+        for (group_idx, entries) in groups.iter() {
+            let (gx, gy) = groups.group_grid().tile_coords(group_idx);
+            for entry in entries {
+                for bit in entry.bitmask.iter_set() {
+                    if let Some((tx, ty)) = groups.global_tile_of_bit(gx, gy, bit) {
+                        from_groups.push((tile_grid.tile_index(tx, ty), entry.slot));
+                    }
+                }
+            }
+        }
+        let mut from_baseline: Vec<(usize, u32)> = Vec::new();
+        for (tile_idx, list) in baseline.iter() {
+            for &slot in list {
+                from_baseline.push((tile_idx, slot));
+            }
+        }
+        from_groups.sort_unstable();
+        from_baseline.sort_unstable();
+        assert_eq!(from_groups, from_baseline);
+    }
+
+    #[test]
+    fn border_groups_skip_out_of_image_tiles() {
+        // 100x100 image with 64-pixel groups: the second group column/row is
+        // mostly outside; bitmask tests must only cover in-image tiles.
+        let cfg = config(16, 64);
+        let splats = vec![projected(Vec2::new(90.0, 90.0), 10.0, 0, 1.0)];
+        let mut counts = StageCounts::new();
+        let groups = identify_groups(&splats, 100, 100, &cfg, &mut counts);
+        assert!(groups.total_entries() >= 1);
+        // global_tile_of_bit returns None for out-of-image tiles.
+        let last_group = groups.group_count() - 1;
+        let (gx, gy) = groups.group_grid().tile_coords(last_group);
+        let mut any_none = false;
+        for bit in 0..16 {
+            if groups.global_tile_of_bit(gx, gy, bit).is_none() {
+                any_none = true;
+            }
+        }
+        assert!(any_none, "border group should have out-of-image tiles");
+    }
+
+    #[test]
+    fn bitmask_tests_are_limited_to_the_candidate_range() {
+        let cfg = config(16, 64);
+        let splats = vec![projected(Vec2::new(32.0, 32.0), 2.0, 0, 1.0)];
+        let mut counts = StageCounts::new();
+        let _ = identify_groups(&splats, 256, 256, &cfg, &mut counts);
+        // One group hit; the small splat's candidate range covers at most a
+        // 2x2 block of the group's 16 tiles, so far fewer than 16 tests run.
+        assert_eq!(counts.tile_intersections, 1);
+        assert!(counts.bitmask_tests >= 1 && counts.bitmask_tests <= 4,
+            "expected a pre-filtered test count, got {}", counts.bitmask_tests);
+    }
+
+    #[test]
+    fn groups_per_gaussian_tracks_multi_group_splats() {
+        let cfg = config(16, 64);
+        // Large splat at a group corner touches four groups.
+        let splats = vec![projected(Vec2::new(64.0, 64.0), 10.0, 0, 1.0)];
+        let mut counts = StageCounts::new();
+        let groups = identify_groups(&splats, 256, 256, &cfg, &mut counts);
+        assert_eq!(groups.groups_per_gaussian()[0], 4);
+        assert!((groups.mean_groups_per_gaussian() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! GS-TG: tile-grouping-based 3D Gaussian Splatting rendering.
+//!
+//! This crate implements the paper's contribution. The baseline pipeline
+//! (in [`splat_render`]) sorts the splat list of every tile independently,
+//! so a splat covering `k` tiles is sorted `k` times; shrinking the tile
+//! size improves rasterization efficiency but makes that redundancy
+//! explode. GS-TG decouples the two concerns:
+//!
+//! * **Group identification** — tiles are grouped into aligned squares
+//!   (e.g. 16 × 16-pixel tiles grouped into a 64 × 64-pixel group) and the
+//!   splats influencing each *group* are identified, exactly like tile
+//!   identification with a larger tile size.
+//! * **Bitmask generation** — for every (group, splat) pair a per-splat
+//!   bitmask records which small tiles inside the group the splat actually
+//!   touches (16 bits for the 4×4 grouping used by the accelerator).
+//! * **Group-wise sorting** — each group's splat list is depth-sorted
+//!   *once*, as if a large tile size were in use.
+//! * **Tile-wise rasterization** — each small tile filters the group-sorted
+//!   list with its bit of the bitmask and rasterizes only the splats that
+//!   touch it, preserving the efficiency of the small tile size.
+//!
+//! Because the small tiles are perfectly aligned inside the groups, every
+//! splat that touches a tile also touches its group, so the filtered list
+//! is exactly the baseline's per-tile sorted list and the rendered image is
+//! identical — GS-TG is lossless ([`lossless`] verifies this).
+//!
+//! # Quick example
+//!
+//! ```
+//! use gstg::{GstgConfig, GstgRenderer};
+//! use splat_render::BoundaryMethod;
+//! use splat_scene::{PaperScene, SceneScale};
+//!
+//! let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+//! let camera = PaperScene::Playroom.default_camera();
+//! let config = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse)?;
+//! let output = GstgRenderer::new(config).render(&scene, &camera);
+//! assert_eq!(output.image.width(), scene.width());
+//! # Ok::<(), gstg::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmask;
+pub mod config;
+pub mod group;
+pub mod lossless;
+pub mod pipeline;
+pub mod raster;
+pub mod sort;
+
+pub use bitmask::{GroupLayout, TileBitmask};
+pub use config::{ConfigError, ExecutionModel, GstgConfig};
+pub use group::{identify_groups, GroupAssignments, GroupEntry};
+pub use lossless::{verify_lossless, LosslessReport};
+pub use pipeline::{GstgOutput, GstgRenderer};

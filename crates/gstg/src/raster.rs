@@ -1,0 +1,231 @@
+//! Bitmask-filtered tile-wise rasterization.
+//!
+//! Rasterization runs at the small tile size: for every tile of a group the
+//! group-sorted splat list is filtered with the tile's bit of each entry's
+//! bitmask (the AND/OR "valid" computation of the hardware rasterization
+//! module) and the surviving splats — already in depth order — are blended
+//! exactly as in the baseline rasterizer.
+
+use crate::bitmask::TileBitmask;
+use crate::group::{GroupAssignments, GroupEntry};
+use splat_render::image::Framebuffer;
+use splat_render::preprocess::ProjectedGaussian;
+use splat_render::raster::rasterize_tile;
+use splat_render::stats::StageCounts;
+use splat_types::Rgb;
+
+/// Filters a group-sorted entry list down to the splats that touch the tile
+/// at bitmask position `bit`, preserving order. Each entry costs one
+/// bitmask filter operation (the hardware performs them 8 per cycle).
+pub fn filter_tile_list(entries: &[GroupEntry], bit: u32, counts: &mut StageCounts) -> Vec<u32> {
+    let location = TileBitmask::one_hot(bit);
+    counts.bitmask_filter_ops += entries.len() as u64;
+    entries
+        .iter()
+        .filter(|e| e.bitmask.filter(location))
+        .map(|e| e.slot)
+        .collect()
+}
+
+/// Rasterizes every tile of every group into a framebuffer.
+///
+/// `threads` > 1 distributes groups across worker threads; each group's
+/// tiles write disjoint framebuffer regions so the merge is race-free.
+pub fn rasterize_groups(
+    projected: &[ProjectedGaussian],
+    assignments: &GroupAssignments,
+    image_width: u32,
+    image_height: u32,
+    background: Rgb,
+    threads: usize,
+) -> (Framebuffer, StageCounts) {
+    let mut image = Framebuffer::new(image_width, image_height, background);
+    let mut counts = StageCounts::new();
+
+    let group_indices: Vec<usize> = (0..assignments.group_count()).collect();
+    if threads <= 1 {
+        for &group in &group_indices {
+            rasterize_one_group(
+                projected,
+                assignments,
+                group,
+                background,
+                &mut image,
+                &mut counts,
+            );
+        }
+        return (image, counts);
+    }
+
+    let worker_count = threads.min(group_indices.len().max(1));
+    let chunk_size = group_indices.len().div_ceil(worker_count);
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in group_indices.chunks(chunk_size) {
+            let chunk: Vec<usize> = chunk.to_vec();
+            handles.push(scope.spawn(move |_| {
+                let mut local_counts = StageCounts::new();
+                let mut local_regions = Vec::new();
+                for group in chunk {
+                    collect_group_regions(
+                        projected,
+                        assignments,
+                        group,
+                        background,
+                        &mut local_regions,
+                        &mut local_counts,
+                    );
+                }
+                (local_regions, local_counts)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rasterization worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("rasterization scope panicked");
+
+    for (regions, local_counts) in results {
+        counts += local_counts;
+        for (x0, y0, width, pixels) in regions {
+            image.write_region(x0, y0, width, &pixels);
+        }
+    }
+    (image, counts)
+}
+
+fn rasterize_one_group(
+    projected: &[ProjectedGaussian],
+    assignments: &GroupAssignments,
+    group: usize,
+    background: Rgb,
+    image: &mut Framebuffer,
+    counts: &mut StageCounts,
+) {
+    let mut regions = Vec::new();
+    collect_group_regions(projected, assignments, group, background, &mut regions, counts);
+    for (x0, y0, width, pixels) in regions {
+        image.write_region(x0, y0, width, &pixels);
+    }
+}
+
+type Region = (u32, u32, u32, Vec<Rgb>);
+
+fn collect_group_regions(
+    projected: &[ProjectedGaussian],
+    assignments: &GroupAssignments,
+    group: usize,
+    background: Rgb,
+    regions: &mut Vec<Region>,
+    counts: &mut StageCounts,
+) {
+    let entries = assignments.group(group);
+    let (gx, gy) = assignments.group_grid().tile_coords(group);
+    let layout = assignments.layout();
+    let tile_grid = assignments.tile_grid();
+
+    for bit in 0..layout.tiles_per_group() {
+        let Some((tx, ty)) = assignments.global_tile_of_bit(gx, gy, bit) else {
+            continue;
+        };
+        let rect = tile_grid.tile_rect(tx, ty);
+        let tile_list = filter_tile_list(entries, bit, counts);
+        let out = rasterize_tile(&tile_list, projected, &rect, background);
+        *counts += out.counts;
+        regions.push((rect.x0 as u32, rect.y0 as u32, out.width, out.pixels));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GstgConfig;
+    use crate::group::identify_groups;
+    use crate::sort::sort_groups;
+    use splat_render::BoundaryMethod;
+    use splat_types::{Mat2, Vec2};
+
+    fn projected(mean: Vec2, sigma: f32, index: u32, depth: f32, color: Rgb) -> ProjectedGaussian {
+        let cov = Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma);
+        ProjectedGaussian {
+            index,
+            depth,
+            mean,
+            cov,
+            inv_cov: cov.inverse().unwrap(),
+            opacity: 0.9,
+            color,
+        }
+    }
+
+    fn entry(slot: u32, bits: u64) -> GroupEntry {
+        GroupEntry {
+            slot,
+            bitmask: TileBitmask::from_bits(bits),
+        }
+    }
+
+    #[test]
+    fn filter_preserves_order_and_counts_ops() {
+        let entries = vec![entry(3, 0b0010), entry(1, 0b0001), entry(7, 0b0011)];
+        let mut counts = StageCounts::new();
+        let bit0 = filter_tile_list(&entries, 0, &mut counts);
+        let bit1 = filter_tile_list(&entries, 1, &mut counts);
+        assert_eq!(bit0, vec![1, 7]);
+        assert_eq!(bit1, vec![3, 7]);
+        assert_eq!(counts.bitmask_filter_ops, 6);
+    }
+
+    #[test]
+    fn rasterized_groups_match_dimensions() {
+        let splats = vec![projected(Vec2::new(40.0, 40.0), 5.0, 0, 1.0, Rgb::WHITE)];
+        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let mut counts = StageCounts::new();
+        let mut groups = identify_groups(&splats, 100, 80, &cfg, &mut counts);
+        sort_groups(&mut groups, &splats, &mut counts);
+        let (image, raster_counts) =
+            rasterize_groups(&splats, &groups, 100, 80, Rgb::BLACK, 1);
+        assert_eq!((image.width(), image.height()), (100, 80));
+        assert_eq!(raster_counts.pixels, 100 * 80);
+        assert!(image.mean_luminance() > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_group_rasterization_agree() {
+        let splats: Vec<ProjectedGaussian> = (0..12)
+            .map(|i| {
+                projected(
+                    Vec2::new(20.0 + 18.0 * (i % 4) as f32, 20.0 + 18.0 * (i / 4) as f32),
+                    6.0,
+                    i,
+                    1.0 + i as f32,
+                    Rgb::new(0.1 * i as f32, 0.5, 1.0 - 0.05 * i as f32),
+                )
+            })
+            .collect();
+        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let mut counts = StageCounts::new();
+        let mut groups = identify_groups(&splats, 128, 128, &cfg, &mut counts);
+        sort_groups(&mut groups, &splats, &mut counts);
+        let (seq, seq_counts) = rasterize_groups(&splats, &groups, 128, 128, Rgb::BLACK, 1);
+        let (par, par_counts) = rasterize_groups(&splats, &groups, 128, 128, Rgb::BLACK, 4);
+        assert_eq!(seq.max_abs_diff(&par), 0.0);
+        assert_eq!(seq_counts.alpha_computations, par_counts.alpha_computations);
+        assert_eq!(seq_counts.bitmask_filter_ops, par_counts.bitmask_filter_ops);
+    }
+
+    #[test]
+    fn bitmask_filtering_skips_unrelated_tiles() {
+        // A splat confined to one tile must not cost α-computations in the
+        // other 15 tiles of its group.
+        let splats = vec![projected(Vec2::new(8.0, 8.0), 1.5, 0, 1.0, Rgb::WHITE)];
+        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let mut counts = StageCounts::new();
+        let mut groups = identify_groups(&splats, 64, 64, &cfg, &mut counts);
+        sort_groups(&mut groups, &splats, &mut counts);
+        let (_, raster_counts) = rasterize_groups(&splats, &groups, 64, 64, Rgb::BLACK, 1);
+        // α-computations only in the single 16×16 tile the splat touches.
+        assert_eq!(raster_counts.alpha_computations, 256);
+    }
+}

@@ -1,0 +1,145 @@
+//! Group-wise depth sorting.
+//!
+//! Each group's splat list is sorted exactly once, front-to-back, using the
+//! same comparator as the baseline's tile-wise sort (depth, ties broken by
+//! original scene index). Because the comparator is identical, filtering a
+//! group-sorted list down to one tile yields the same order the baseline
+//! would have produced for that tile — the key to GS-TG's losslessness.
+
+use crate::group::{GroupAssignments, GroupEntry};
+use splat_render::preprocess::ProjectedGaussian;
+use splat_render::stats::StageCounts;
+
+/// Sorts a single group's entries front-to-back, returning the number of
+/// comparisons performed.
+pub fn sort_group(entries: &mut [GroupEntry], projected: &[ProjectedGaussian]) -> u64 {
+    let mut comparisons = 0u64;
+    entries.sort_by(|a, b| {
+        comparisons += 1;
+        let ga = &projected[a.slot as usize];
+        let gb = &projected[b.slot as usize];
+        ga.depth
+            .partial_cmp(&gb.depth)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ga.index.cmp(&gb.index))
+    });
+    comparisons
+}
+
+/// Sorts every group's list in place, accumulating the comparison count
+/// into `counts.sort_comparisons`.
+pub fn sort_groups(
+    assignments: &mut GroupAssignments,
+    projected: &[ProjectedGaussian],
+    counts: &mut StageCounts,
+) {
+    for group in 0..assignments.group_count() {
+        let entries = assignments.group_mut(group);
+        if entries.len() > 1 {
+            counts.sort_comparisons += sort_group(entries, projected);
+        }
+    }
+}
+
+/// Returns `true` when a group's entries are sorted front-to-back.
+pub fn is_group_sorted(entries: &[GroupEntry], projected: &[ProjectedGaussian]) -> bool {
+    entries.windows(2).all(|w| {
+        let a = &projected[w[0].slot as usize];
+        let b = &projected[w[1].slot as usize];
+        a.depth < b.depth || (a.depth == b.depth && a.index <= b.index)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmask::TileBitmask;
+    use crate::config::GstgConfig;
+    use crate::group::identify_groups;
+    use splat_render::BoundaryMethod;
+    use splat_types::{Mat2, Rgb, Vec2};
+
+    fn projected(index: u32, depth: f32) -> ProjectedGaussian {
+        let cov = Mat2::from_symmetric(9.0, 0.0, 9.0);
+        ProjectedGaussian {
+            index,
+            depth,
+            mean: Vec2::new(32.0, 32.0),
+            cov,
+            inv_cov: cov.inverse().unwrap(),
+            opacity: 0.9,
+            color: Rgb::WHITE,
+        }
+    }
+
+    fn entry(slot: u32) -> GroupEntry {
+        GroupEntry {
+            slot,
+            bitmask: TileBitmask::EMPTY,
+        }
+    }
+
+    #[test]
+    fn sorts_by_depth_then_index() {
+        let projected = vec![projected(9, 3.0), projected(1, 1.0), projected(4, 1.0)];
+        let mut entries = vec![entry(0), entry(1), entry(2)];
+        sort_group(&mut entries, &projected);
+        // depth 1.0 (index 1), depth 1.0 (index 4), depth 3.0 (index 9)
+        assert_eq!(entries.iter().map(|e| e.slot).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert!(is_group_sorted(&entries, &projected));
+    }
+
+    #[test]
+    fn sorting_counts_comparisons_only_for_multi_entry_groups() {
+        let splats = vec![projected(0, 2.0), projected(1, 1.0)];
+        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap();
+        let mut counts = StageCounts::new();
+        let mut groups = identify_groups(&splats, 64, 64, &cfg, &mut counts);
+        sort_groups(&mut groups, &splats, &mut counts);
+        assert!(counts.sort_comparisons >= 1);
+        for (_, entries) in groups.iter() {
+            assert!(is_group_sorted(entries, &splats));
+        }
+    }
+
+    #[test]
+    fn group_sorting_uses_fewer_comparisons_than_tile_sorting() {
+        // A cloud of overlapping splats: sorting once per group must cost
+        // less than sorting once per 16×16 tile.
+        let splats: Vec<ProjectedGaussian> = (0..40)
+            .map(|i| {
+                let cov = Mat2::from_symmetric(64.0, 0.0, 64.0);
+                ProjectedGaussian {
+                    index: i,
+                    depth: (40 - i) as f32,
+                    mean: Vec2::new(96.0 + (i % 5) as f32 * 8.0, 96.0 + (i / 5) as f32 * 4.0),
+                    cov,
+                    inv_cov: cov.inverse().unwrap(),
+                    opacity: 0.9,
+                    color: Rgb::WHITE,
+                }
+            })
+            .collect();
+        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let mut group_counts = StageCounts::new();
+        let mut groups = identify_groups(&splats, 256, 256, &cfg, &mut group_counts);
+        sort_groups(&mut groups, &splats, &mut group_counts);
+
+        let mut tile_counts = StageCounts::new();
+        let grid = splat_render::tiling::TileGrid::new(256, 256, 16);
+        let mut tiles = splat_render::tiling::identify_tiles(
+            &splats,
+            grid,
+            BoundaryMethod::Ellipse,
+            &mut tile_counts,
+        );
+        splat_render::sort::sort_tiles(&mut tiles, &splats, &mut tile_counts);
+
+        assert!(
+            group_counts.sort_comparisons < tile_counts.sort_comparisons,
+            "group sort {} should be cheaper than tile sort {}",
+            group_counts.sort_comparisons,
+            tile_counts.sort_comparisons
+        );
+    }
+}

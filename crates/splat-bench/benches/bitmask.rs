@@ -1,0 +1,59 @@
+//! Criterion benchmark of bitmask generation and bitmask filtering, the two
+//! GS-TG-specific operations added on top of the conventional pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstg::{GstgConfig, TileBitmask};
+use splat_render::stats::StageCounts;
+use splat_render::{preprocess, BoundaryMethod, RenderConfig};
+use splat_scene::{PaperScene, SceneScale};
+use splat_types::{Camera, CameraIntrinsics, Vec3};
+
+fn bench_camera() -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 512, 384),
+    )
+}
+
+fn bitmask_generation(c: &mut Criterion) {
+    let scene = PaperScene::Drjohnson.build(SceneScale::Tiny, 0);
+    let camera = bench_camera();
+    let config = RenderConfig::new(16, BoundaryMethod::Ellipse);
+    let mut counts = StageCounts::new();
+    let projected = preprocess(&scene, &camera, &config, &mut counts);
+
+    c.bench_function("group_identification_with_bitmasks", |b| {
+        let cfg = GstgConfig::paper_default();
+        b.iter(|| {
+            let mut id_counts = StageCounts::new();
+            gstg::identify_groups(&projected, camera.width(), camera.height(), &cfg, &mut id_counts)
+        });
+    });
+}
+
+fn bitmask_filtering(c: &mut Criterion) {
+    // The RM front-end operation: AND the 16-bit mask with a one-hot tile
+    // location and OR-reduce, over a long entry list.
+    let masks: Vec<TileBitmask> = (0..4096u64)
+        .map(|i| TileBitmask::from_bits((i.wrapping_mul(0x9E37_79B9)) & 0xFFFF))
+        .collect();
+    c.bench_function("bitmask_filter_4096_entries", |b| {
+        b.iter(|| {
+            let mut survivors = 0u32;
+            for bit in 0..16 {
+                let location = TileBitmask::one_hot(bit);
+                for mask in &masks {
+                    if mask.filter(location) {
+                        survivors += 1;
+                    }
+                }
+            }
+            survivors
+        });
+    });
+}
+
+criterion_group!(benches, bitmask_generation, bitmask_filtering);
+criterion_main!(benches);

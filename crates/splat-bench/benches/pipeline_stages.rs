@@ -1,0 +1,52 @@
+//! Criterion benchmark of the end-to-end pipelines (baseline vs GS-TG) on
+//! a small synthetic scene, plus the individual preprocessing stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gstg::{GstgConfig, GstgRenderer};
+use splat_render::stats::StageCounts;
+use splat_render::{preprocess, BoundaryMethod, RenderConfig, Renderer};
+use splat_scene::{PaperScene, SceneScale};
+use splat_types::{Camera, CameraIntrinsics, Vec3};
+
+fn bench_camera() -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 320, 240),
+    )
+}
+
+fn full_pipelines(c: &mut Criterion) {
+    let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+    let camera = bench_camera();
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(20);
+
+    for tile in [16u32, 32] {
+        group.bench_with_input(BenchmarkId::new("baseline_ellipse", tile), &tile, |b, &tile| {
+            let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Ellipse));
+            b.iter(|| renderer.render(&scene, &camera));
+        });
+    }
+    group.bench_function("gstg_16_plus_64", |b| {
+        let renderer = GstgRenderer::new(GstgConfig::paper_default());
+        b.iter(|| renderer.render(&scene, &camera));
+    });
+    group.finish();
+}
+
+fn preprocessing_stage(c: &mut Criterion) {
+    let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
+    let camera = bench_camera();
+    let config = RenderConfig::new(16, BoundaryMethod::Ellipse);
+    c.bench_function("preprocess_only", |b| {
+        b.iter(|| {
+            let mut counts = StageCounts::new();
+            preprocess(&scene, &camera, &config, &mut counts)
+        })
+    });
+}
+
+criterion_group!(benches, full_pipelines, preprocessing_stage);
+criterion_main!(benches);

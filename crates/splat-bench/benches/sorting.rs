@@ -1,0 +1,61 @@
+//! Criterion benchmark of tile-wise vs group-wise sorting — the operation
+//! GS-TG de-duplicates. Measures the wall-clock of sorting the same scene's
+//! splat lists per 16×16 tile versus once per 64×64 group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gstg::GstgConfig;
+use splat_render::stats::StageCounts;
+use splat_render::tiling::{identify_tiles, TileGrid};
+use splat_render::{preprocess, BoundaryMethod, RenderConfig};
+use splat_scene::{PaperScene, SceneScale};
+use splat_types::{Camera, CameraIntrinsics, Vec3};
+
+fn bench_camera() -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 512, 384),
+    )
+}
+
+fn sorting(c: &mut Criterion) {
+    let scene = PaperScene::Truck.build(SceneScale::Tiny, 0);
+    let camera = bench_camera();
+    let config = RenderConfig::new(16, BoundaryMethod::Ellipse);
+    let mut counts = StageCounts::new();
+    let projected = preprocess(&scene, &camera, &config, &mut counts);
+
+    let mut group = c.benchmark_group("sorting");
+    group.sample_size(30);
+
+    group.bench_function("tile_wise_16", |b| {
+        let grid = TileGrid::new(camera.width(), camera.height(), 16);
+        let mut id_counts = StageCounts::new();
+        let assignments = identify_tiles(&projected, grid, BoundaryMethod::Ellipse, &mut id_counts);
+        b.iter(|| {
+            let mut local = assignments.clone();
+            let mut sort_counts = StageCounts::new();
+            splat_render::sort::sort_tiles(&mut local, &projected, &mut sort_counts);
+            sort_counts.sort_comparisons
+        });
+    });
+
+    group.bench_function("group_wise_64", |b| {
+        let cfg = GstgConfig::paper_default();
+        let mut id_counts = StageCounts::new();
+        let groups =
+            gstg::identify_groups(&projected, camera.width(), camera.height(), &cfg, &mut id_counts);
+        b.iter(|| {
+            let mut local = groups.clone();
+            let mut sort_counts = StageCounts::new();
+            gstg::sort::sort_groups(&mut local, &projected, &mut sort_counts);
+            sort_counts.sort_comparisons
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, sorting);
+criterion_main!(benches);

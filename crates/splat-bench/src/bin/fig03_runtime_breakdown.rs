@@ -1,0 +1,64 @@
+//! Fig. 3 — Runtime breakdown across tile sizes.
+//!
+//! Reproduces the per-stage runtime breakdown (preprocessing, sorting,
+//! rasterization) of the conventional pipeline across tile sizes
+//! {8, 16, 32, 64} for the four algorithm-evaluation scenes, under the
+//! AABB boundary (Fig. 3a) and the ellipse boundary (Fig. 3b). Times are
+//! normalized cost-model units; the paper's observation to reproduce is
+//! the *shape*: preprocessing and sorting shrink with larger tiles while
+//! rasterization grows, with the sweet spot around 16×16 or 32×32.
+
+use splat_bench::{run_baseline, HarnessOptions, TILE_SIZE_SWEEP};
+use splat_metrics::Table;
+use splat_render::BoundaryMethod;
+use splat_scene::PaperScene;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("# Fig. 3 — runtime breakdown across tile sizes");
+    println!("# workload: {}", options.describe());
+    println!();
+
+    for boundary in [BoundaryMethod::Aabb, BoundaryMethod::Ellipse] {
+        println!("## boundary: {boundary}");
+        let mut table = Table::new([
+            "scene",
+            "tile",
+            "preprocess",
+            "sort",
+            "raster",
+            "total",
+            "fastest",
+        ]);
+        for scene_id in PaperScene::ALGORITHM_SET {
+            let scene = options.scene(scene_id);
+            let camera = options.camera(scene_id);
+            let mut totals = Vec::new();
+            let mut rows = Vec::new();
+            for tile in TILE_SIZE_SWEEP {
+                let run = run_baseline(&scene, &camera, tile, boundary);
+                totals.push(run.times.total());
+                rows.push((tile, run.times));
+            }
+            let best = totals
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| TILE_SIZE_SWEEP[i])
+                .expect("non-empty sweep");
+            for (tile, times) in rows {
+                table.add_row([
+                    scene_id.name().to_string(),
+                    format!("{tile}x{tile}"),
+                    format!("{:.3e}", times.preprocess),
+                    format!("{:.3e}", times.sort),
+                    format!("{:.3e}", times.raster),
+                    format!("{:.3e}", times.total()),
+                    if tile == best { "*".to_string() } else { String::new() },
+                ]);
+            }
+        }
+        println!("{}", table.to_markdown());
+    }
+    println!("(\"*\" marks the fastest tile size per scene; the paper reports 16x16, occasionally 32x32)");
+}

@@ -1,0 +1,56 @@
+//! Fig. 7 — Average number of Gaussians processed per pixel.
+//!
+//! For every tile size and the AABB / ellipse boundaries, reports the mean
+//! number of α-computations per pixel (the Gaussians each pixel has to
+//! consider). The paper's observation: the count grows with tile size —
+//! larger tiles force pixels to examine splats that do not cover them
+//! (up to 10.6× from 8×8 to 64×64 for truck with the ellipse boundary).
+
+use splat_bench::{run_baseline, HarnessOptions, TILE_SIZE_SWEEP};
+use splat_metrics::{mean, Table};
+use splat_render::BoundaryMethod;
+use splat_scene::PaperScene;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("# Fig. 7 — average Gaussians processed per pixel");
+    println!("# workload: {}", options.describe());
+    println!();
+
+    for boundary in [BoundaryMethod::Aabb, BoundaryMethod::Ellipse] {
+        println!("## boundary: {boundary}");
+        let mut table = Table::new(["scene", "8x8", "16x16", "32x32", "64x64", "64x64 / 8x8"]);
+        let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); TILE_SIZE_SWEEP.len()];
+
+        for scene_id in PaperScene::ALGORITHM_SET {
+            let scene = options.scene(scene_id);
+            let camera = options.camera(scene_id);
+            let mut values = Vec::new();
+            for (i, &tile) in TILE_SIZE_SWEEP.iter().enumerate() {
+                let run = run_baseline(&scene, &camera, tile, boundary);
+                let v = run.counts.gaussians_per_pixel();
+                per_size[i].push(v);
+                values.push(v);
+            }
+            table.add_row([
+                scene_id.name().to_string(),
+                format!("{:.1}", values[0]),
+                format!("{:.1}", values[1]),
+                format!("{:.1}", values[2]),
+                format!("{:.1}", values[3]),
+                format!("{:.2}x", values[3] / values[0].max(1e-9)),
+            ]);
+        }
+
+        let averages: Vec<f64> = per_size.iter().map(|v| mean(v).unwrap_or(0.0)).collect();
+        table.add_row([
+            "average".to_string(),
+            format!("{:.1}", averages[0]),
+            format!("{:.1}", averages[1]),
+            format!("{:.1}", averages[2]),
+            format!("{:.1}", averages[3]),
+            format!("{:.2}x", averages[3] / averages[0].max(1e-9)),
+        ]);
+        println!("{}", table.to_markdown());
+    }
+}

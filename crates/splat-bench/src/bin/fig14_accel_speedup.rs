@@ -1,0 +1,58 @@
+//! Fig. 14 — Normalized accelerator speedup across six scenes.
+//!
+//! Simulates one frame of each of the six evaluation scenes on the
+//! cycle-level accelerator model for three pipelines: the conventional
+//! baseline (ellipse boundary), the GSCore behavioural model (OBB
+//! boundary) and GS-TG (16+64, Ellipse+Ellipse, bitmask generation
+//! overlapped with sorting). Results are normalized to the baseline;
+//! the paper reports a 1.33× geometric-mean speedup for GS-TG with a
+//! 1.58× maximum on the high-resolution residence scene, and up to
+//! 1.54× over GSCore.
+
+use splat_accel::{AccelConfig, ComparisonReport, PipelineVariant, Simulator};
+use splat_bench::HarnessOptions;
+use splat_scene::PaperScene;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("# Fig. 14 — normalized speedup on the accelerator (six scenes)");
+    println!("# workload: {}", options.describe());
+    println!();
+
+    let sim = Simulator::new(AccelConfig::paper());
+    let variants = [
+        PipelineVariant::baseline_paper(),
+        PipelineVariant::gscore_paper(),
+        PipelineVariant::gstg_paper(),
+    ];
+    let mut comparison =
+        ComparisonReport::new(["Ours (Baseline)", "GSCore", "Ours (GS-TG)"]);
+
+    for scene_id in PaperScene::HARDWARE_SET {
+        let scene = options.scene(scene_id);
+        let camera = options.camera(scene_id);
+        let reports: Vec<_> = variants
+            .iter()
+            .map(|v| sim.simulate(&scene, &camera, v))
+            .collect();
+        let baseline = &reports[0];
+        let speedups: Vec<f64> = reports.iter().map(|r| r.speedup_over(baseline)).collect();
+        eprintln!(
+            "{:10} baseline={} cycles, gscore={} cycles, gstg={} cycles",
+            scene_id.name(),
+            reports[0].total_cycles,
+            reports[1].total_cycles,
+            reports[2].total_cycles
+        );
+        comparison.add_scene(scene_id.name(), speedups);
+    }
+
+    println!("{}", comparison.to_table("speedup").to_markdown());
+    if let Some(geo) = comparison.geomean() {
+        println!(
+            "GS-TG geomean speedup over the baseline: {:.3}x (paper: 1.33x); over GSCore: {:.3}x (paper: up to 1.54x)",
+            geo[2],
+            geo[2] / geo[1]
+        );
+    }
+}

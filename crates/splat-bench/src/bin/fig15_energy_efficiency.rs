@@ -1,0 +1,58 @@
+//! Fig. 15 — Normalized energy efficiency across six scenes.
+//!
+//! Same setup as Fig. 14, but comparing frame energy (module activity from
+//! Table III power figures plus DRAM traffic energy). Energy efficiency is
+//! the baseline's energy divided by the variant's energy, so higher is
+//! better. The paper reports a 2.12× geometric-mean improvement for GS-TG
+//! over the baseline with a 2.97× maximum on residence.
+
+use splat_accel::{AccelConfig, ComparisonReport, PipelineVariant, Simulator};
+use splat_bench::HarnessOptions;
+use splat_scene::PaperScene;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("# Fig. 15 — normalized energy efficiency on the accelerator (six scenes)");
+    println!("# workload: {}", options.describe());
+    println!();
+
+    let sim = Simulator::new(AccelConfig::paper());
+    let variants = [
+        PipelineVariant::baseline_paper(),
+        PipelineVariant::gscore_paper(),
+        PipelineVariant::gstg_paper(),
+    ];
+    let mut comparison =
+        ComparisonReport::new(["Ours (Baseline)", "GSCore", "Ours (GS-TG)"]);
+
+    for scene_id in PaperScene::HARDWARE_SET {
+        let scene = options.scene(scene_id);
+        let camera = options.camera(scene_id);
+        let reports: Vec<_> = variants
+            .iter()
+            .map(|v| sim.simulate(&scene, &camera, v))
+            .collect();
+        let baseline = &reports[0];
+        let efficiency: Vec<f64> = reports
+            .iter()
+            .map(|r| r.energy_efficiency_over(baseline))
+            .collect();
+        eprintln!(
+            "{:10} baseline={:.3e} J, gscore={:.3e} J, gstg={:.3e} J (dram share gstg: {:.0}%)",
+            scene_id.name(),
+            reports[0].energy.total_j(),
+            reports[1].energy.total_j(),
+            reports[2].energy.total_j(),
+            100.0 * reports[2].energy.dram_j / reports[2].energy.total_j()
+        );
+        comparison.add_scene(scene_id.name(), efficiency);
+    }
+
+    println!("{}", comparison.to_table("energy efficiency").to_markdown());
+    if let Some(geo) = comparison.geomean() {
+        println!(
+            "GS-TG geomean energy efficiency over the baseline: {:.3}x (paper: 2.12x)",
+            geo[2]
+        );
+    }
+}

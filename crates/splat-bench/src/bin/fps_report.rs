@@ -1,0 +1,68 @@
+//! FPS report — the motivation behind the paper's introduction.
+//!
+//! The paper motivates GS-TG with the FPS gap between 3D-GS rendering and
+//! the 90–120 FPS required by AR/VR devices. This binary simulates several
+//! views along a camera trajectory for each scene on the accelerator model
+//! and reports the average frames per second achieved by the baseline,
+//! GSCore and GS-TG pipelines at the 1 GHz clock.
+
+use splat_accel::{AccelConfig, PipelineVariant, Simulator};
+use splat_bench::HarnessOptions;
+use splat_metrics::{mean, Table};
+use splat_scene::{CameraTrajectory, PaperScene};
+use splat_types::CameraIntrinsics;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("# FPS report — simulated accelerator frame rates over a camera trajectory");
+    println!("# workload: {}", options.describe());
+    println!();
+
+    let sim = Simulator::new(AccelConfig::paper());
+    let variants = [
+        PipelineVariant::baseline_paper(),
+        PipelineVariant::gscore_paper(),
+        PipelineVariant::gstg_paper(),
+    ];
+    let view_count = 3usize;
+
+    let mut table = Table::new(["scene", "views", "Baseline FPS", "GSCore FPS", "GS-TG FPS", "GS-TG gain"]);
+    for scene_id in PaperScene::ALGORITHM_SET {
+        let scene = options.scene(scene_id);
+        let reference = options.camera(scene_id);
+        let intrinsics = CameraIntrinsics::from_fov_y(
+            reference.intrinsics().fov_y(),
+            reference.width(),
+            reference.height(),
+        );
+        let profile = scene_id.profile(options.scale);
+        let trajectory = CameraTrajectory::lateral_sweep(
+            intrinsics,
+            profile.lateral_extent * 0.25,
+            (profile.depth_range.0 + profile.depth_range.1) * 0.4,
+            view_count,
+        );
+
+        let mut fps_per_variant = vec![Vec::new(); variants.len()];
+        for camera in trajectory.cameras() {
+            for (i, variant) in variants.iter().enumerate() {
+                let report = sim.simulate(&scene, &camera, variant);
+                fps_per_variant[i].push(report.fps);
+            }
+        }
+        let fps: Vec<f64> = fps_per_variant
+            .iter()
+            .map(|v| mean(v).unwrap_or(0.0))
+            .collect();
+        table.add_row([
+            scene_id.name().to_string(),
+            view_count.to_string(),
+            format!("{:.1}", fps[0]),
+            format!("{:.1}", fps[1]),
+            format!("{:.1}", fps[2]),
+            format!("{:.2}x", fps[2] / fps[0].max(1e-9)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("(FPS values are for the reduced synthetic workload; the paper's point is the relative gain)");
+}

@@ -1,0 +1,41 @@
+//! Table II — Resolution and types of the evaluation datasets.
+//!
+//! Prints the dataset/scene/resolution/type table the paper evaluates on,
+//! together with the synthetic-profile parameters this reproduction uses
+//! in place of the (non-redistributable) pre-trained checkpoints.
+
+use splat_bench::HarnessOptions;
+use splat_metrics::Table;
+use splat_scene::PaperScene;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("# Table II — datasets used for evaluation");
+    println!();
+
+    let mut table = Table::new(["Dataset", "Scene", "Resolution", "Type"]);
+    for scene in PaperScene::HARDWARE_SET {
+        let (w, h) = scene.resolution();
+        table.add_row([
+            scene.dataset().to_string(),
+            scene.name().to_string(),
+            format!("{w}x{h}"),
+            scene.scene_type().label().to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    println!("## synthetic substitution profile at {}", options.describe());
+    let mut synth = Table::new(["Scene", "Gaussians", "Clusters", "Depth range", "Opaque fraction"]);
+    for scene in PaperScene::HARDWARE_SET {
+        let profile = scene.profile(options.scale);
+        synth.add_row([
+            scene.name().to_string(),
+            profile.gaussian_count.to_string(),
+            profile.cluster_count.to_string(),
+            format!("{:.1}..{:.1}", profile.depth_range.0, profile.depth_range.1),
+            format!("{:.2}", profile.opaque_fraction),
+        ]);
+    }
+    println!("{}", synth.to_markdown());
+}

@@ -1,0 +1,27 @@
+//! Summary statistics and report formatting for GS-TG experiments.
+//!
+//! Every figure-regeneration binary in `splat-bench` uses this crate to
+//! normalize results against a baseline, compute geometric means (as the
+//! paper does for its speedup/energy summaries) and emit aligned markdown
+//! tables or CSV files.
+//!
+//! ```
+//! use splat_metrics::{geometric_mean, Table};
+//!
+//! let speedups = [1.2, 1.4, 1.3];
+//! let geomean = geometric_mean(&speedups).unwrap();
+//! assert!(geomean > 1.2 && geomean < 1.4);
+//!
+//! let mut table = Table::new(["scene", "speedup"]);
+//! table.add_row(["train".to_string(), format!("{geomean:.2}")]);
+//! assert!(table.to_markdown().contains("train"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod summary;
+pub mod table;
+
+pub use summary::{geometric_mean, mean, normalize_to, normalize_to_first, Summary};
+pub use table::Table;

@@ -1,0 +1,142 @@
+//! Aggregate statistics over experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a slice, or `None` when empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice of strictly positive values, or `None` when
+/// the slice is empty or contains a non-positive value. The paper reports
+/// its cross-scene speedups and energy-efficiency gains as geometric means.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Normalizes every value to a reference: `values[i] / reference`.
+///
+/// # Panics
+///
+/// Panics when `reference` is zero.
+pub fn normalize_to(values: &[f64], reference: f64) -> Vec<f64> {
+    assert!(reference != 0.0, "normalization reference must be non-zero");
+    values.iter().map(|v| v / reference).collect()
+}
+
+/// Normalizes every value to the first element of the slice; an empty slice
+/// returns an empty vector.
+pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    match values.first() {
+        None => Vec::new(),
+        Some(&first) => normalize_to(values, first),
+    }
+}
+
+/// Five-number-style summary of a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Geometric mean (`NaN` if any sample is non-positive).
+    pub geomean: f64,
+}
+
+impl Summary {
+    /// Builds a summary from samples, or `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: values.len(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: mean(values).expect("non-empty"),
+            geomean: geometric_mean(values).unwrap_or(f64::NAN),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(Summary::from_values(&[]), None);
+    }
+
+    #[test]
+    fn geometric_mean_of_constants_is_the_constant() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_non_positive() {
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn geometric_mean_known_value() {
+        // geomean(1, 4) = 2
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_to_first_starts_at_one() {
+        let norm = normalize_to_first(&[4.0, 8.0, 2.0]);
+        assert_eq!(norm, vec![1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn normalizing_to_zero_panics() {
+        let _ = normalize_to(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let s = Summary::from_values(&[1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.geomean - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn geomean_is_between_min_and_max(values in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+            let g = geometric_mean(&values).unwrap();
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        }
+
+        #[test]
+        fn geomean_never_exceeds_arithmetic_mean(values in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+            let g = geometric_mean(&values).unwrap();
+            let a = mean(&values).unwrap();
+            prop_assert!(g <= a + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Screen-space splat footprints and tile intersection tests.
+//!
+//! Tile identification asks, for every projected splat, which tiles its
+//! 3σ extent touches. The paper compares three boundary methods (Fig. 2):
+//!
+//! * **AABB** — the original 3D-GS conservatively uses a square box whose
+//!   half-extent is `3·√λ_max` (the largest eigenvalue of the 2D
+//!   covariance). Cheapest test, most false positives.
+//! * **OBB** — GSCore uses the oriented rectangle spanned by the ellipse's
+//!   principal axes with half-extents `3·√λ_max` × `3·√λ_min`; tested
+//!   against a tile with a separating-axis test.
+//! * **Ellipse** — FlashGS tests the exact 3σ ellipse against the tile
+//!   rectangle (a box-constrained minimization of the Mahalanobis form).
+
+use crate::config::BoundaryMethod;
+use serde::{Deserialize, Serialize};
+use splat_types::{Mat2, Vec2};
+
+/// Number of standard deviations covered by a splat footprint (the 3-sigma
+/// rule used throughout 3D-GS).
+pub const SIGMA_EXTENT: f32 = 3.0;
+
+/// Squared Mahalanobis distance corresponding to the 3σ boundary.
+pub const MAHALANOBIS_CUTOFF: f32 = SIGMA_EXTENT * SIGMA_EXTENT;
+
+/// Axis-aligned pixel-space rectangle (used for tiles and tile groups).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileRect {
+    /// Minimum x (inclusive), in pixels.
+    pub x0: f32,
+    /// Minimum y (inclusive), in pixels.
+    pub y0: f32,
+    /// Maximum x (exclusive), in pixels.
+    pub x1: f32,
+    /// Maximum y (exclusive), in pixels.
+    pub y1: f32,
+}
+
+impl TileRect {
+    /// Creates a rectangle from its corners.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Rectangle center.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        Vec2::new(0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+    }
+
+    /// Half extents along x and y.
+    #[inline]
+    pub fn half_extent(&self) -> Vec2 {
+        Vec2::new(0.5 * (self.x1 - self.x0), 0.5 * (self.y1 - self.y0))
+    }
+
+    /// Returns `true` when the point lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+}
+
+/// The screen-space footprint of one projected splat: everything the
+/// boundary tests need, precomputed once per splat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianFootprint {
+    /// Projected center in pixels.
+    pub mean: Vec2,
+    /// Inverse of the 2D covariance (the conic used by α-computation).
+    pub inv_cov: Mat2,
+    /// Unit vector of the major principal axis.
+    pub axis_major: Vec2,
+    /// Unit vector of the minor principal axis.
+    pub axis_minor: Vec2,
+    /// 3σ extent along the major axis, in pixels.
+    pub radius_major: f32,
+    /// 3σ extent along the minor axis, in pixels.
+    pub radius_minor: f32,
+}
+
+impl GaussianFootprint {
+    /// Builds a footprint from the projected mean and 2D covariance.
+    ///
+    /// Returns `None` when the covariance is degenerate (non-invertible),
+    /// which mirrors the reference implementation culling such splats.
+    pub fn from_covariance(mean: Vec2, cov: Mat2) -> Option<Self> {
+        let inv_cov = cov.inverse().ok()?;
+        let (l_max, l_min) = cov.symmetric_eigenvalues();
+        if l_max <= 0.0 || l_min <= 0.0 {
+            return None;
+        }
+        let (axis_major, axis_minor) = cov.symmetric_eigenvectors();
+        Some(Self {
+            mean,
+            inv_cov,
+            axis_major,
+            axis_minor,
+            radius_major: SIGMA_EXTENT * l_max.sqrt(),
+            radius_minor: SIGMA_EXTENT * l_min.sqrt(),
+        })
+    }
+
+    /// Half-extent of the conservative square AABB used by the original
+    /// 3D-GS (3σ of the largest eigenvalue in both axes).
+    #[inline]
+    pub fn aabb_half_extent(&self) -> f32 {
+        self.radius_major
+    }
+
+    /// Tight axis-aligned half extents of the 3σ ellipse, used to bound the
+    /// candidate tile range for the OBB and ellipse tests.
+    pub fn tight_half_extent(&self) -> Vec2 {
+        // Extent of an ellipse along a coordinate axis e is
+        // sqrt(Σ r_i² (a_i · e)²) over the principal axes a_i.
+        let ex = ((self.radius_major * self.axis_major.x).powi(2)
+            + (self.radius_minor * self.axis_minor.x).powi(2))
+        .sqrt();
+        let ey = ((self.radius_major * self.axis_major.y).powi(2)
+            + (self.radius_minor * self.axis_minor.y).powi(2))
+        .sqrt();
+        Vec2::new(ex, ey)
+    }
+
+    /// The half-extent used to collect candidate tiles for a given boundary
+    /// method (square for AABB, tight ellipse bounds otherwise).
+    pub fn candidate_half_extent(&self, method: BoundaryMethod) -> Vec2 {
+        match method {
+            BoundaryMethod::Aabb => Vec2::splat(self.aabb_half_extent()),
+            BoundaryMethod::Obb | BoundaryMethod::Ellipse => self.tight_half_extent(),
+        }
+    }
+
+    /// Squared Mahalanobis distance of a pixel-space point from the splat
+    /// center: `(p-μ)ᵀ Σ⁻¹ (p-μ)`.
+    #[inline]
+    pub fn mahalanobis_sq(&self, p: Vec2) -> f32 {
+        let d = p - self.mean;
+        d.dot(self.inv_cov.mul_vec(d))
+    }
+
+    /// Tests whether the footprint intersects a rectangle under the given
+    /// boundary method.
+    pub fn intersects(&self, rect: &TileRect, method: BoundaryMethod) -> bool {
+        match method {
+            BoundaryMethod::Aabb => self.intersects_aabb(rect),
+            BoundaryMethod::Obb => self.intersects_obb(rect),
+            BoundaryMethod::Ellipse => self.intersects_ellipse(rect),
+        }
+    }
+
+    /// AABB test: overlap between the square box and the tile rectangle.
+    fn intersects_aabb(&self, rect: &TileRect) -> bool {
+        let half = self.aabb_half_extent();
+        self.mean.x + half >= rect.x0
+            && self.mean.x - half <= rect.x1
+            && self.mean.y + half >= rect.y0
+            && self.mean.y - half <= rect.y1
+    }
+
+    /// OBB test: separating-axis test between the oriented 3σ rectangle and
+    /// the axis-aligned tile rectangle.
+    fn intersects_obb(&self, rect: &TileRect) -> bool {
+        let rect_center = rect.center();
+        let rect_half = rect.half_extent();
+        let delta = self.mean - rect_center;
+
+        // Axes to test: tile axes (x, y) and OBB axes (major, minor).
+        let obb_axes = [self.axis_major, self.axis_minor];
+        let obb_radii = [self.radius_major, self.radius_minor];
+
+        // Tile axes.
+        for (axis, tile_half) in [(Vec2::new(1.0, 0.0), rect_half.x), (Vec2::new(0.0, 1.0), rect_half.y)] {
+            let obb_proj = obb_radii[0] * obb_axes[0].dot(axis).abs()
+                + obb_radii[1] * obb_axes[1].dot(axis).abs();
+            if delta.dot(axis).abs() > tile_half + obb_proj {
+                return false;
+            }
+        }
+        // OBB axes.
+        for i in 0..2 {
+            let axis = obb_axes[i];
+            let tile_proj = rect_half.x * axis.x.abs() + rect_half.y * axis.y.abs();
+            if delta.dot(axis).abs() > obb_radii[i] + tile_proj {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exact ellipse test: does any point of the rectangle lie within the
+    /// 3σ Mahalanobis boundary?
+    ///
+    /// If the center is inside the rectangle the answer is trivially yes;
+    /// otherwise the constrained minimum of the (convex) Mahalanobis form
+    /// over the rectangle lies on its boundary, so the four edges are
+    /// minimized in closed form.
+    fn intersects_ellipse(&self, rect: &TileRect) -> bool {
+        if rect.contains(self.mean) {
+            return true;
+        }
+        let corners = [
+            Vec2::new(rect.x0, rect.y0),
+            Vec2::new(rect.x1, rect.y0),
+            Vec2::new(rect.x1, rect.y1),
+            Vec2::new(rect.x0, rect.y1),
+        ];
+        let edges = [
+            (corners[0], corners[1]),
+            (corners[1], corners[2]),
+            (corners[2], corners[3]),
+            (corners[3], corners[0]),
+        ];
+        let mut min_d2 = f32::INFINITY;
+        for (a, b) in edges {
+            min_d2 = min_d2.min(self.min_mahalanobis_on_segment(a, b));
+            if min_d2 <= MAHALANOBIS_CUTOFF {
+                return true;
+            }
+        }
+        min_d2 <= MAHALANOBIS_CUTOFF
+    }
+
+    /// Minimum of the squared Mahalanobis distance over the segment
+    /// `a + t (b - a)`, `t ∈ [0, 1]` (closed-form for a 1D quadratic).
+    fn min_mahalanobis_on_segment(&self, a: Vec2, b: Vec2) -> f32 {
+        let d = b - a;
+        let m = a - self.mean;
+        let ad = self.inv_cov.mul_vec(d);
+        let quad = d.dot(ad);
+        let lin = m.dot(ad);
+        let t = if quad.abs() < 1e-12 {
+            0.0
+        } else {
+            (-lin / quad).clamp(0.0, 1.0)
+        };
+        let p = a + d * t;
+        self.mahalanobis_sq(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Circular footprint of radius 3σ·σ = 3·σ pixels.
+    fn circular(mean: Vec2, sigma: f32) -> GaussianFootprint {
+        GaussianFootprint::from_covariance(mean, Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma))
+            .expect("non-degenerate")
+    }
+
+    /// Elongated footprint rotated by `angle`.
+    fn elongated(mean: Vec2, sigma_major: f32, sigma_minor: f32, angle: f32) -> GaussianFootprint {
+        let (s, c) = angle.sin_cos();
+        // R diag(a², b²) Rᵀ
+        let a2 = sigma_major * sigma_major;
+        let b2 = sigma_minor * sigma_minor;
+        let cov = Mat2::from_symmetric(
+            c * c * a2 + s * s * b2,
+            c * s * (a2 - b2),
+            s * s * a2 + c * c * b2,
+        );
+        GaussianFootprint::from_covariance(mean, cov).expect("non-degenerate")
+    }
+
+    #[test]
+    fn degenerate_covariance_is_rejected() {
+        assert!(GaussianFootprint::from_covariance(Vec2::ZERO, Mat2::ZERO).is_none());
+    }
+
+    #[test]
+    fn isotropic_footprint_has_equal_radii() {
+        let f = circular(Vec2::ZERO, 2.0);
+        assert!((f.radius_major - 6.0).abs() < 1e-4);
+        assert!((f.radius_minor - 6.0).abs() < 1e-4);
+        assert!((f.aabb_half_extent() - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tight_extent_of_axis_aligned_ellipse() {
+        let f = elongated(Vec2::ZERO, 4.0, 1.0, 0.0);
+        let ext = f.tight_half_extent();
+        assert!((ext.x - 12.0).abs() < 1e-3);
+        assert!((ext.y - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn all_methods_agree_for_center_inside_tile() {
+        let f = circular(Vec2::new(8.0, 8.0), 1.0);
+        let tile = TileRect::new(0.0, 0.0, 16.0, 16.0);
+        for m in BoundaryMethod::ALL {
+            assert!(f.intersects(&tile, m), "method {m}");
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_for_far_away_tile() {
+        let f = circular(Vec2::new(8.0, 8.0), 1.0);
+        let tile = TileRect::new(200.0, 200.0, 216.0, 216.0);
+        for m in BoundaryMethod::ALL {
+            assert!(!f.intersects(&tile, m), "method {m}");
+        }
+    }
+
+    #[test]
+    fn aabb_is_more_conservative_than_obb_for_diagonal_splats() {
+        // A long thin splat at 45° near a tile corner: the square AABB
+        // reaches the tile, the oriented box does not.
+        let f = elongated(Vec2::new(40.0, 0.0), 10.0, 1.0, std::f32::consts::FRAC_PI_4);
+        let tile = TileRect::new(0.0, 0.0, 16.0, 16.0);
+        // AABB half-extent is 30 px in both axes → reaches x≤16.
+        assert!(f.intersects(&tile, BoundaryMethod::Aabb));
+        // The oriented box points away from the tile corner.
+        assert!(!f.intersects(&tile, BoundaryMethod::Ellipse));
+    }
+
+    #[test]
+    fn obb_is_at_least_as_tight_as_aabb_never_misses_ellipse_hits() {
+        // Sanity on a grid of tiles around an anisotropic splat.
+        let f = elongated(Vec2::new(50.0, 50.0), 6.0, 1.5, 0.7);
+        for ty in 0..7 {
+            for tx in 0..7 {
+                let tile = TileRect::new(
+                    tx as f32 * 16.0,
+                    ty as f32 * 16.0,
+                    (tx + 1) as f32 * 16.0,
+                    (ty + 1) as f32 * 16.0,
+                );
+                let aabb = f.intersects(&tile, BoundaryMethod::Aabb);
+                let obb = f.intersects(&tile, BoundaryMethod::Obb);
+                let ellipse = f.intersects(&tile, BoundaryMethod::Ellipse);
+                // Hierarchy: ellipse ⊆ obb ⊆ aabb.
+                assert!(!ellipse || obb, "ellipse hit must be an OBB hit ({tx},{ty})");
+                assert!(!obb || aabb, "OBB hit must be an AABB hit ({tx},{ty})");
+            }
+        }
+    }
+
+    #[test]
+    fn ellipse_test_counts_fewer_tiles_for_elongated_splats() {
+        // Mirrors Fig. 2: the same splat intersects fewer tiles under
+        // tighter boundary methods.
+        let f = elongated(Vec2::new(64.0, 64.0), 8.0, 2.0, 0.5);
+        let count = |m: BoundaryMethod| {
+            let mut n = 0;
+            for ty in 0..8 {
+                for tx in 0..8 {
+                    let tile = TileRect::new(
+                        tx as f32 * 16.0,
+                        ty as f32 * 16.0,
+                        (tx + 1) as f32 * 16.0,
+                        (ty + 1) as f32 * 16.0,
+                    );
+                    if f.intersects(&tile, m) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let aabb = count(BoundaryMethod::Aabb);
+        let obb = count(BoundaryMethod::Obb);
+        let ellipse = count(BoundaryMethod::Ellipse);
+        assert!(aabb >= obb, "aabb {aabb} >= obb {obb}");
+        assert!(obb >= ellipse, "obb {obb} >= ellipse {ellipse}");
+        assert!(aabb > ellipse, "expected strict reduction, aabb {aabb} ellipse {ellipse}");
+    }
+
+    #[test]
+    fn mahalanobis_is_zero_at_center() {
+        let f = elongated(Vec2::new(3.0, 4.0), 2.0, 1.0, 0.3);
+        assert!(f.mahalanobis_sq(Vec2::new(3.0, 4.0)) < 1e-6);
+    }
+
+    #[test]
+    fn mahalanobis_matches_sigma_along_axes() {
+        let f = elongated(Vec2::ZERO, 2.0, 1.0, 0.0);
+        // One sigma along the major axis (x): distance² = 1.
+        assert!((f.mahalanobis_sq(Vec2::new(2.0, 0.0)) - 1.0).abs() < 1e-3);
+        // Three sigma along the minor axis (y): distance² = 9.
+        assert!((f.mahalanobis_sq(Vec2::new(0.0, 3.0)) - 9.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ellipse_boundary_is_respected() {
+        let f = circular(Vec2::new(100.0, 100.0), 2.0); // 3σ radius = 6 px
+        // Tile whose nearest corner is 5 px away → intersects.
+        let near = TileRect::new(103.5, 103.5, 119.5, 119.5);
+        assert!(f.intersects(&near, BoundaryMethod::Ellipse));
+        // Tile whose nearest corner is ~8.5 px away → no intersection.
+        let far = TileRect::new(106.0, 106.0, 122.0, 122.0);
+        assert!(!f.intersects(&far, BoundaryMethod::Ellipse));
+    }
+
+    #[test]
+    fn rect_helpers() {
+        let r = TileRect::new(16.0, 32.0, 32.0, 64.0);
+        assert_eq!(r.center(), Vec2::new(24.0, 48.0));
+        assert_eq!(r.half_extent(), Vec2::new(8.0, 16.0));
+        assert!(r.contains(Vec2::new(16.0, 32.0)));
+        assert!(!r.contains(Vec2::new(32.0, 32.0)));
+    }
+
+    proptest! {
+        /// The tightness hierarchy ellipse ⊆ OBB ⊆ AABB must hold for any
+        /// splat and tile: a tighter method never reports an intersection
+        /// that a looser method misses.
+        #[test]
+        fn boundary_method_hierarchy(
+            mx in 0.0f32..256.0, my in 0.0f32..256.0,
+            s_major in 0.5f32..20.0, ratio in 0.05f32..1.0,
+            angle in 0.0f32..std::f32::consts::PI,
+            tx in 0u32..16, ty in 0u32..16,
+        ) {
+            let f = elongated(Vec2::new(mx, my), s_major, (s_major * ratio).max(0.1), angle);
+            let tile = TileRect::new(
+                tx as f32 * 16.0,
+                ty as f32 * 16.0,
+                (tx + 1) as f32 * 16.0,
+                (ty + 1) as f32 * 16.0,
+            );
+            let aabb = f.intersects(&tile, BoundaryMethod::Aabb);
+            let obb = f.intersects(&tile, BoundaryMethod::Obb);
+            let ellipse = f.intersects(&tile, BoundaryMethod::Ellipse);
+            // The 3σ ellipse is inscribed in both the oriented box and the
+            // square AABB, so an ellipse hit implies a hit for the other two
+            // methods. (OBB and AABB are not ordered against each other: a
+            // rotated OBB corner can poke outside the square.)
+            prop_assert!(!ellipse || obb);
+            prop_assert!(!ellipse || aabb);
+        }
+
+        /// Any pixel inside the tile that is within the 3σ Mahalanobis
+        /// boundary implies the ellipse test reports an intersection.
+        #[test]
+        fn ellipse_test_is_complete(
+            mx in 0.0f32..128.0, my in 0.0f32..128.0,
+            s_major in 0.5f32..10.0, ratio in 0.1f32..1.0,
+            angle in 0.0f32..std::f32::consts::PI,
+            px_frac in 0.0f32..1.0, py_frac in 0.0f32..1.0,
+        ) {
+            let f = elongated(Vec2::new(mx, my), s_major, (s_major * ratio).max(0.1), angle);
+            let tile = TileRect::new(48.0, 48.0, 64.0, 64.0);
+            let p = Vec2::new(
+                tile.x0 + px_frac * (tile.x1 - tile.x0),
+                tile.y0 + py_frac * (tile.y1 - tile.y0),
+            );
+            if f.mahalanobis_sq(p) <= MAHALANOBIS_CUTOFF {
+                prop_assert!(f.intersects(&tile, BoundaryMethod::Ellipse));
+            }
+        }
+    }
+}

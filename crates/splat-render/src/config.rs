@@ -1,0 +1,199 @@
+//! Rendering configuration: tile size, boundary method and thresholds.
+
+use serde::{Deserialize, Serialize};
+use splat_types::Precision;
+
+/// α values below this threshold (1/255) are treated as having no influence
+/// on the pixel and are skipped before blending, as in the reference 3D-GS
+/// rasterizer.
+pub const ALPHA_CULL_THRESHOLD: f32 = 1.0 / 255.0;
+
+/// The front-to-back blending loop terminates once the accumulated
+/// transmittance drops below this threshold (10⁻⁴ in the reference
+/// implementation).
+pub const TRANSMITTANCE_EPSILON: f32 = 1e-4;
+
+/// Upper bound on α (the reference implementation clamps at 0.99 to keep
+/// the transmittance strictly positive).
+pub const ALPHA_MAX: f32 = 0.99;
+
+/// How the screen-space footprint of a splat is tested against tiles during
+/// tile/group identification (Fig. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BoundaryMethod {
+    /// Axis-aligned bounding box of the 3σ ellipse — cheapest test, most
+    /// false positives (original 3D-GS).
+    #[default]
+    Aabb,
+    /// Oriented bounding box aligned with the ellipse axes — moderate cost,
+    /// fewer false positives (GSCore).
+    Obb,
+    /// Exact ellipse/rectangle intersection — most expensive test, minimal
+    /// false positives (FlashGS).
+    Ellipse,
+}
+
+impl BoundaryMethod {
+    /// All boundary methods in the order the paper presents them.
+    pub const ALL: [BoundaryMethod; 3] = [
+        BoundaryMethod::Aabb,
+        BoundaryMethod::Obb,
+        BoundaryMethod::Ellipse,
+    ];
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundaryMethod::Aabb => "AABB",
+            BoundaryMethod::Obb => "OBB",
+            BoundaryMethod::Ellipse => "Ellipse",
+        }
+    }
+
+    /// Relative cost of one tile-intersection test with this method, in
+    /// arbitrary "operation" units used by the cost model. AABB needs only
+    /// range comparisons, OBB runs a separating-axis test, the ellipse test
+    /// evaluates the quadratic form against the rectangle.
+    pub fn test_cost(self) -> f64 {
+        match self {
+            BoundaryMethod::Aabb => 1.0,
+            BoundaryMethod::Obb => 2.5,
+            BoundaryMethod::Ellipse => 4.0,
+        }
+    }
+}
+
+impl std::fmt::Display for BoundaryMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full configuration of the baseline rendering pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderConfig {
+    /// Square tile edge length in pixels (8, 16, 32 or 64 in the paper's
+    /// sweeps; any power of two ≥ 4 is accepted).
+    pub tile_size: u32,
+    /// Boundary method used in tile identification.
+    pub boundary: BoundaryMethod,
+    /// Storage precision applied to the splat parameters before rendering.
+    pub precision: Precision,
+    /// Number of worker threads for tile-parallel rasterization
+    /// (1 = sequential; experiments that count operations are unaffected).
+    pub threads: usize,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        Self {
+            tile_size: 16,
+            boundary: BoundaryMethod::Aabb,
+            precision: Precision::Full,
+            threads: 1,
+        }
+    }
+}
+
+impl RenderConfig {
+    /// Creates a configuration with the given tile size and boundary
+    /// method and default thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size` is not a power of two or is below 4; use
+    /// [`RenderConfig::try_new`] for a fallible variant.
+    pub fn new(tile_size: u32, boundary: BoundaryMethod) -> Self {
+        Self::try_new(tile_size, boundary).expect("invalid tile size")
+    }
+
+    /// Fallible variant of [`RenderConfig::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when `tile_size` is not a power of two or
+    /// is smaller than 4 pixels.
+    pub fn try_new(tile_size: u32, boundary: BoundaryMethod) -> Result<Self, String> {
+        if tile_size < 4 || !tile_size.is_power_of_two() {
+            return Err(format!(
+                "tile size must be a power of two >= 4, got {tile_size}"
+            ));
+        }
+        Ok(Self {
+            tile_size,
+            boundary,
+            ..Self::default()
+        })
+    }
+
+    /// Returns a copy with the worker thread count replaced.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the storage precision replaced.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_reference_settings() {
+        let c = RenderConfig::default();
+        assert_eq!(c.tile_size, 16);
+        assert_eq!(c.boundary, BoundaryMethod::Aabb);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn thresholds_match_reference_implementation() {
+        assert!((ALPHA_CULL_THRESHOLD - 1.0 / 255.0).abs() < 1e-9);
+        assert!((TRANSMITTANCE_EPSILON - 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_tile_sizes() {
+        assert!(RenderConfig::try_new(0, BoundaryMethod::Aabb).is_err());
+        assert!(RenderConfig::try_new(3, BoundaryMethod::Aabb).is_err());
+        assert!(RenderConfig::try_new(20, BoundaryMethod::Aabb).is_err());
+        assert!(RenderConfig::try_new(2, BoundaryMethod::Aabb).is_err());
+    }
+
+    #[test]
+    fn try_new_accepts_paper_tile_sizes() {
+        for size in [8, 16, 32, 64] {
+            assert!(RenderConfig::try_new(size, BoundaryMethod::Ellipse).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tile size")]
+    fn new_panics_on_bad_tile_size() {
+        let _ = RenderConfig::new(7, BoundaryMethod::Aabb);
+    }
+
+    #[test]
+    fn boundary_cost_ordering_matches_paper() {
+        // AABB cheapest, ellipse most expensive (Section II-C).
+        assert!(BoundaryMethod::Aabb.test_cost() < BoundaryMethod::Obb.test_cost());
+        assert!(BoundaryMethod::Obb.test_cost() < BoundaryMethod::Ellipse.test_cost());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(BoundaryMethod::Aabb.to_string(), "AABB");
+        assert_eq!(BoundaryMethod::Obb.to_string(), "OBB");
+        assert_eq!(BoundaryMethod::Ellipse.to_string(), "Ellipse");
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(RenderConfig::default().with_threads(0).threads, 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Preprocessing stage: feature computation and culling.
+//!
+//! For every splat the stage computes the quantities the rest of the
+//! pipeline consumes (the paper's `D`, `2D_XY`, `2D_Cov` and `G_RGB`):
+//!
+//! * view-space depth,
+//! * projected 2D mean in pixel coordinates,
+//! * projected 2D covariance via the EWA splatting approximation
+//!   `Σ' = J W Σ Wᵀ Jᵀ` plus a 0.3-pixel low-pass term,
+//! * view-dependent RGB color evaluated from the spherical harmonics,
+//!
+//! and removes splats that are outside the view frustum, behind the near
+//! plane, fully transparent, or project to a degenerate covariance.
+
+use crate::config::{RenderConfig, ALPHA_CULL_THRESHOLD};
+use crate::stats::StageCounts;
+use serde::{Deserialize, Serialize};
+use splat_types::{Camera, Mat2, Rgb, Vec2};
+use splat_scene::Scene;
+
+/// A splat after preprocessing: everything sorting and rasterization need.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedGaussian {
+    /// Index of the splat in the source scene.
+    pub index: u32,
+    /// Depth along the viewing direction (`D`), used as the sort key.
+    pub depth: f32,
+    /// Projected center in pixel coordinates (`2D_XY`).
+    pub mean: Vec2,
+    /// Projected 2D covariance (`2D_Cov`).
+    pub cov: Mat2,
+    /// Inverse of the 2D covariance (the conic used by α-computation).
+    pub inv_cov: Mat2,
+    /// Opacity `σ`.
+    pub opacity: f32,
+    /// View-dependent color (`G_RGB`).
+    pub color: Rgb,
+}
+
+/// Limit applied to the view-space lateral offsets before computing the
+/// projection Jacobian, mirroring the reference CUDA implementation's
+/// clamping of `t.x/t.z` and `t.y/t.z` to 1.3× the frustum tangent.
+const JACOBIAN_TANGENT_GUARD: f32 = 1.3;
+
+/// Runs preprocessing over a scene for a camera.
+///
+/// The returned vector preserves scene order (ascending `index`), which the
+/// sorting stages rely on for deterministic tie-breaking. Counters for the
+/// stage are accumulated into `counts`.
+pub fn preprocess(
+    scene: &Scene,
+    camera: &Camera,
+    config: &RenderConfig,
+    counts: &mut StageCounts,
+) -> Vec<ProjectedGaussian> {
+    let mut projected = Vec::with_capacity(scene.len());
+    let precision = config.precision;
+    for (index, gaussian_ref) in scene.iter().enumerate() {
+        counts.input_gaussians += 1;
+        let storage = gaussian_ref.to_precision(precision);
+        let gaussian = &storage;
+
+        // Opacity culling: fully transparent splats can never contribute.
+        if gaussian.opacity() < ALPHA_CULL_THRESHOLD {
+            counts.culled_gaussians += 1;
+            continue;
+        }
+        // Frustum culling with the splat's 3σ bounding sphere.
+        if !camera.is_in_frustum(gaussian.position(), gaussian.bounding_radius()) {
+            counts.culled_gaussians += 1;
+            continue;
+        }
+
+        let view = camera.to_view(gaussian.position());
+        let depth = -view.z;
+        if depth <= camera.near() {
+            counts.culled_gaussians += 1;
+            continue;
+        }
+
+        let Some(mean) = camera.view_to_pixel(view) else {
+            counts.culled_gaussians += 1;
+            continue;
+        };
+
+        // EWA covariance projection with the reference implementation's
+        // tangent clamp on the Jacobian evaluation point.
+        let intr = camera.intrinsics();
+        let limit_x = JACOBIAN_TANGENT_GUARD * (0.5 * intr.fov_x()).tan();
+        let limit_y = JACOBIAN_TANGENT_GUARD * (0.5 * intr.fov_y()).tan();
+        let clamped_view = splat_types::Vec3::new(
+            (view.x / depth).clamp(-limit_x, limit_x) * depth,
+            (view.y / depth).clamp(-limit_y, limit_y) * depth,
+            view.z,
+        );
+        let jacobian = camera.projection_jacobian(clamped_view);
+        let view_rot = camera.view_rotation();
+        let t = jacobian * view_rot;
+        let cov3d = gaussian.covariance();
+        let cov2d_full = t * cov3d * t.transpose();
+        // Low-pass filter: guarantee a minimum footprint of ~0.3 px so
+        // sub-pixel splats still contribute (as in the reference code).
+        let cov = cov2d_full.upper_left_2x2() + Mat2::from_symmetric(0.3, 0.0, 0.3);
+
+        let Ok(inv_cov) = cov.inverse() else {
+            counts.culled_gaussians += 1;
+            continue;
+        };
+        if cov.determinant() <= 0.0 {
+            counts.culled_gaussians += 1;
+            continue;
+        }
+
+        let color = gaussian.color_toward(camera.position());
+
+        counts.visible_gaussians += 1;
+        projected.push(ProjectedGaussian {
+            index: index as u32,
+            depth,
+            mean,
+            cov,
+            inv_cov,
+            opacity: gaussian.opacity(),
+            color,
+        });
+    }
+    projected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BoundaryMethod;
+    use splat_types::{CameraIntrinsics, Gaussian3d, Quat, Vec3};
+
+    fn camera() -> Camera {
+        Camera::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 640, 480),
+        )
+    }
+
+    fn splat(pos: Vec3, opacity: f32, scale: f32) -> Gaussian3d {
+        Gaussian3d::builder()
+            .position(pos)
+            .scale(Vec3::splat(scale))
+            .rotation(Quat::IDENTITY)
+            .opacity(opacity)
+            .base_color([0.5, 0.6, 0.7])
+            .build()
+    }
+
+    fn run(gaussians: Vec<Gaussian3d>) -> (Vec<ProjectedGaussian>, StageCounts) {
+        let scene = Scene::new("t", 640, 480, gaussians);
+        let mut counts = StageCounts::new();
+        let projected = preprocess(
+            &scene,
+            &camera(),
+            &RenderConfig::new(16, BoundaryMethod::Aabb),
+            &mut counts,
+        );
+        (projected, counts)
+    }
+
+    #[test]
+    fn visible_splat_is_projected_to_image_center() {
+        let (projected, counts) = run(vec![splat(Vec3::new(0.0, 0.0, 5.0), 0.9, 0.1)]);
+        assert_eq!(projected.len(), 1);
+        assert_eq!(counts.visible_gaussians, 1);
+        assert_eq!(counts.culled_gaussians, 0);
+        let p = &projected[0];
+        assert!((p.mean.x - 320.0).abs() < 1e-3);
+        assert!((p.mean.y - 240.0).abs() < 1e-3);
+        assert!((p.depth - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn behind_camera_splat_is_culled() {
+        let (projected, counts) = run(vec![splat(Vec3::new(0.0, 0.0, -5.0), 0.9, 0.1)]);
+        assert!(projected.is_empty());
+        assert_eq!(counts.culled_gaussians, 1);
+    }
+
+    #[test]
+    fn transparent_splat_is_culled() {
+        let (projected, counts) = run(vec![splat(Vec3::new(0.0, 0.0, 5.0), 0.001, 0.1)]);
+        assert!(projected.is_empty());
+        assert_eq!(counts.culled_gaussians, 1);
+    }
+
+    #[test]
+    fn far_outside_frustum_is_culled() {
+        let (projected, _) = run(vec![splat(Vec3::new(500.0, 0.0, 5.0), 0.9, 0.1)]);
+        assert!(projected.is_empty());
+    }
+
+    #[test]
+    fn covariance_shrinks_with_distance() {
+        let (projected, _) = run(vec![
+            splat(Vec3::new(0.0, 0.0, 3.0), 0.9, 0.2),
+            splat(Vec3::new(0.0, 0.0, 12.0), 0.9, 0.2),
+        ]);
+        assert_eq!(projected.len(), 2);
+        let near_extent = projected[0].cov.at(0, 0);
+        let far_extent = projected[1].cov.at(0, 0);
+        assert!(near_extent > far_extent, "near {near_extent} far {far_extent}");
+    }
+
+    #[test]
+    fn low_pass_guarantees_minimum_footprint() {
+        // A microscopically small splat still gets a ≥0.3 px² covariance.
+        let (projected, _) = run(vec![splat(Vec3::new(0.0, 0.0, 20.0), 0.9, 1e-4)]);
+        assert_eq!(projected.len(), 1);
+        assert!(projected[0].cov.at(0, 0) >= 0.3);
+        assert!(projected[0].cov.at(1, 1) >= 0.3);
+    }
+
+    #[test]
+    fn indices_are_preserved_and_ascending() {
+        let (projected, _) = run(vec![
+            splat(Vec3::new(0.0, 0.0, -5.0), 0.9, 0.1), // culled
+            splat(Vec3::new(0.0, 0.0, 5.0), 0.9, 0.1),
+            splat(Vec3::new(0.5, 0.0, 6.0), 0.9, 0.1),
+        ]);
+        let indices: Vec<u32> = projected.iter().map(|p| p.index).collect();
+        assert_eq!(indices, vec![1, 2]);
+    }
+
+    #[test]
+    fn inverse_covariance_matches_covariance() {
+        let (projected, _) = run(vec![splat(Vec3::new(0.3, -0.2, 4.0), 0.8, 0.15)]);
+        let p = &projected[0];
+        let product = p.cov * p.inv_cov;
+        assert!((product.at(0, 0) - 1.0).abs() < 1e-3);
+        assert!((product.at(1, 1) - 1.0).abs() < 1e-3);
+        assert!(product.at(0, 1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn counts_accumulate_inputs() {
+        let (_, counts) = run(vec![
+            splat(Vec3::new(0.0, 0.0, 5.0), 0.9, 0.1),
+            splat(Vec3::new(0.0, 0.0, -5.0), 0.9, 0.1),
+        ]);
+        assert_eq!(counts.input_gaussians, 2);
+        assert_eq!(counts.visible_gaussians + counts.culled_gaussians, 2);
+    }
+}

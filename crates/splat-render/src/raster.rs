@@ -1,0 +1,225 @@
+//! Tile-wise rasterization: α-computation and α-blending.
+//!
+//! For every pixel of a tile the sorted splat list is walked front-to-back.
+//! Each splat costs one α-computation (Eq. 1 of the paper); splats whose α
+//! falls below 1/255 are skipped, the rest are blended (Eq. 2) until the
+//! accumulated transmittance drops below 10⁻⁴.
+
+use crate::bounds::TileRect;
+use crate::config::{ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON};
+use crate::preprocess::ProjectedGaussian;
+use crate::stats::StageCounts;
+use splat_types::{Rgb, Vec2};
+
+/// Result of rasterizing a single tile: the pixel colors of the clipped
+/// tile region in row-major order plus the operation counts incurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileRaster {
+    /// Width of the rasterized region in pixels.
+    pub width: u32,
+    /// Height of the rasterized region in pixels.
+    pub height: u32,
+    /// Pixel colors, row-major, `width * height` entries.
+    pub pixels: Vec<Rgb>,
+    /// Operation counters for this tile only.
+    pub counts: StageCounts,
+}
+
+/// Rasterizes one tile.
+///
+/// * `sorted` — splat slots (indices into `projected`) already sorted
+///   front-to-back.
+/// * `rect` — the clipped pixel rectangle of the tile (integer bounds).
+/// * `background` — color of pixels with full remaining transmittance.
+pub fn rasterize_tile(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    rect: &TileRect,
+    background: Rgb,
+) -> TileRaster {
+    let x0 = rect.x0 as u32;
+    let y0 = rect.y0 as u32;
+    let x1 = rect.x1 as u32;
+    let y1 = rect.y1 as u32;
+    let width = x1.saturating_sub(x0);
+    let height = y1.saturating_sub(y0);
+    let mut pixels = Vec::with_capacity((width * height) as usize);
+    let mut counts = StageCounts::new();
+
+    for py in y0..y1 {
+        for px in x0..x1 {
+            counts.pixels += 1;
+            let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+            let mut transmittance = 1.0f32;
+            let mut color = Rgb::BLACK;
+            for &slot in sorted {
+                let splat = &projected[slot as usize];
+                counts.alpha_computations += 1;
+                let alpha = alpha_at(splat, pixel_center);
+                if alpha < ALPHA_CULL_THRESHOLD {
+                    continue;
+                }
+                color += splat.color * (alpha * transmittance);
+                transmittance *= 1.0 - alpha;
+                counts.blend_operations += 1;
+                if transmittance < TRANSMITTANCE_EPSILON {
+                    counts.early_exits += 1;
+                    break;
+                }
+            }
+            color += background * transmittance;
+            pixels.push(color);
+        }
+    }
+
+    TileRaster {
+        width,
+        height,
+        pixels,
+        counts,
+    }
+}
+
+/// Evaluates Eq. 1: the contribution of a splat at a pixel center,
+/// `α = min(α_max, σ · exp(-½ (p-μ)ᵀ Σ⁻¹ (p-μ)))`.
+///
+/// Contributions outside the 3σ footprint are defined to be exactly zero.
+/// The paper (and the original 3D-GS) use the 3-sigma rule to bound a
+/// splat's influence during tile identification; clamping the α evaluation
+/// to the same boundary makes tile identification *exact* instead of merely
+/// conservative, so the rendered image is bit-identical across tile sizes,
+/// boundary methods and the GS-TG grouping pipeline — which is the
+/// losslessness property the experiments verify.
+#[inline]
+pub fn alpha_at(splat: &ProjectedGaussian, pixel: Vec2) -> f32 {
+    let d = pixel - splat.mean;
+    let mahalanobis_sq = d.dot(splat.inv_cov.mul_vec(d));
+    if !(0.0..=crate::bounds::MAHALANOBIS_CUTOFF).contains(&mahalanobis_sq) {
+        return 0.0;
+    }
+    (splat.opacity * (-0.5 * mahalanobis_sq).exp()).min(ALPHA_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_types::Mat2;
+
+    fn splat(mean: Vec2, sigma: f32, opacity: f32, color: Rgb, depth: f32, index: u32) -> ProjectedGaussian {
+        let cov = Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma);
+        ProjectedGaussian {
+            index,
+            depth,
+            mean,
+            cov,
+            inv_cov: cov.inverse().unwrap(),
+            opacity,
+            color,
+        }
+    }
+
+    fn tile() -> TileRect {
+        TileRect::new(0.0, 0.0, 16.0, 16.0)
+    }
+
+    #[test]
+    fn empty_tile_renders_background() {
+        let out = rasterize_tile(&[], &[], &tile(), Rgb::splat(0.25));
+        assert_eq!(out.pixels.len(), 256);
+        assert!(out.pixels.iter().all(|p| p.max_abs_diff(Rgb::splat(0.25)) < 1e-6));
+        assert_eq!(out.counts.alpha_computations, 0);
+        assert_eq!(out.counts.pixels, 256);
+    }
+
+    #[test]
+    fn alpha_peaks_at_center_and_decays() {
+        let s = splat(Vec2::new(8.0, 8.0), 2.0, 0.8, Rgb::WHITE, 1.0, 0);
+        let center = alpha_at(&s, Vec2::new(8.0, 8.0));
+        let off = alpha_at(&s, Vec2::new(12.0, 8.0));
+        assert!((center - 0.8).abs() < 1e-5);
+        assert!(off < center && off > 0.0);
+    }
+
+    #[test]
+    fn alpha_is_clamped_to_max() {
+        let s = splat(Vec2::new(8.0, 8.0), 2.0, 1.0, Rgb::WHITE, 1.0, 0);
+        assert!(alpha_at(&s, Vec2::new(8.0, 8.0)) <= ALPHA_MAX);
+    }
+
+    #[test]
+    fn opaque_near_splat_occludes_far_splat() {
+        let near = splat(Vec2::new(8.0, 8.0), 6.0, 0.99, Rgb::new(1.0, 0.0, 0.0), 1.0, 0);
+        let far = splat(Vec2::new(8.0, 8.0), 6.0, 0.99, Rgb::new(0.0, 1.0, 0.0), 2.0, 1);
+        let projected = vec![near, far];
+        let out = rasterize_tile(&[0, 1], &projected, &tile(), Rgb::BLACK);
+        // Center pixel is dominated by the near (red) splat.
+        let center = out.pixels[8 * 16 + 8];
+        assert!(center.r > 0.9);
+        assert!(center.g < 0.1);
+    }
+
+    #[test]
+    fn blend_order_matters() {
+        let red = splat(Vec2::new(8.0, 8.0), 6.0, 0.6, Rgb::new(1.0, 0.0, 0.0), 1.0, 0);
+        let green = splat(Vec2::new(8.0, 8.0), 6.0, 0.6, Rgb::new(0.0, 1.0, 0.0), 2.0, 1);
+        let projected = vec![red, green];
+        let front_red = rasterize_tile(&[0, 1], &projected, &tile(), Rgb::BLACK);
+        let front_green = rasterize_tile(&[1, 0], &projected, &tile(), Rgb::BLACK);
+        let a = front_red.pixels[8 * 16 + 8];
+        let b = front_green.pixels[8 * 16 + 8];
+        assert!(a.r > a.g);
+        assert!(b.g > b.r);
+    }
+
+    #[test]
+    fn low_alpha_splats_cost_computation_but_not_blending() {
+        // A splat whose contribution is everywhere below 1/255.
+        let faint = splat(Vec2::new(8.0, 8.0), 4.0, 0.002, Rgb::WHITE, 1.0, 0);
+        let out = rasterize_tile(&[0], &[faint], &tile(), Rgb::BLACK);
+        assert_eq!(out.counts.alpha_computations, 256);
+        assert_eq!(out.counts.blend_operations, 0);
+    }
+
+    #[test]
+    fn early_exit_triggers_behind_opaque_stack() {
+        // Many fully opaque splats stacked: after a few, transmittance hits
+        // the epsilon and the remaining splats are skipped.
+        let projected: Vec<ProjectedGaussian> = (0..50)
+            .map(|i| splat(Vec2::new(8.0, 8.0), 20.0, 0.99, Rgb::WHITE, i as f32, i))
+            .collect();
+        let order: Vec<u32> = (0..50).collect();
+        let out = rasterize_tile(&order, &projected, &tile(), Rgb::BLACK);
+        assert!(out.counts.early_exits > 0);
+        // Far fewer than 50 α-computations per pixel on average.
+        assert!(out.counts.alpha_computations < 50 * 256 / 2);
+    }
+
+    #[test]
+    fn distant_splat_contributes_nothing_outside_footprint() {
+        let far_away = splat(Vec2::new(200.0, 200.0), 1.0, 0.9, Rgb::WHITE, 1.0, 0);
+        let out = rasterize_tile(&[0], &[far_away], &tile(), Rgb::BLACK);
+        assert_eq!(out.counts.blend_operations, 0);
+        assert!(out.pixels.iter().all(|p| p.max_abs_diff(Rgb::BLACK) < 1e-6));
+    }
+
+    #[test]
+    fn clipped_tile_dimensions_are_respected() {
+        let rect = TileRect::new(0.0, 0.0, 10.0, 7.0);
+        let out = rasterize_tile(&[], &[], &rect, Rgb::BLACK);
+        assert_eq!(out.width, 10);
+        assert_eq!(out.height, 7);
+        assert_eq!(out.pixels.len(), 70);
+    }
+
+    #[test]
+    fn transmittance_conservation() {
+        // With a semi-transparent splat over a white background, the pixel
+        // is a convex combination of splat color and background.
+        let s = splat(Vec2::new(8.0, 8.0), 10.0, 0.5, Rgb::new(1.0, 0.0, 0.0), 1.0, 0);
+        let out = rasterize_tile(&[0], &[s], &tile(), Rgb::WHITE);
+        let c = out.pixels[8 * 16 + 8];
+        assert!((c.r - 1.0).abs() < 1e-3); // red from both
+        assert!((c.g - 0.5).abs() < 0.02); // half the white background
+        assert!(c.g > 0.0 && c.g < 1.0);
+    }
+}

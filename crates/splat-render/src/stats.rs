@@ -1,0 +1,208 @@
+//! Per-stage operation counters and run statistics.
+//!
+//! The GS-TG paper's analysis is about *work*: how many tile-identification
+//! tests, sorting operations, α-computations and α-blends each pipeline
+//! variant performs. Every stage of the pipelines in this repository
+//! increments the counters defined here, and the cost model converts them
+//! into normalized stage times.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+/// Raw operation counts accumulated while rendering one view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageCounts {
+    /// Splats submitted to preprocessing.
+    pub input_gaussians: u64,
+    /// Splats removed by frustum or opacity culling.
+    pub culled_gaussians: u64,
+    /// Splats that survived culling (features computed for these).
+    pub visible_gaussians: u64,
+    /// Tile- (or group-) boundary intersection tests performed during
+    /// identification.
+    pub tile_tests: u64,
+    /// Positive tile/group intersections, i.e. entries appended to per-tile
+    /// (or per-group) lists. Each of these implies one sorting key later.
+    pub tile_intersections: u64,
+    /// Bitmask tile tests performed (GS-TG only: per-Gaussian small-tile
+    /// tests inside its groups).
+    pub bitmask_tests: u64,
+    /// Pairwise comparison operations spent in depth sorting.
+    pub sort_comparisons: u64,
+    /// Per-(tile,Gaussian) bitmask filter operations (GS-TG rasterization
+    /// front-end: AND/OR of the 16-bit masks).
+    pub bitmask_filter_ops: u64,
+    /// α-computations performed (Eq. 1 evaluations).
+    pub alpha_computations: u64,
+    /// α-blending operations performed (Eq. 2 accumulations, i.e. α ≥ 1/255
+    /// and the pixel was still accumulating).
+    pub blend_operations: u64,
+    /// Pixels whose blending loop terminated through the transmittance
+    /// early-exit.
+    pub early_exits: u64,
+    /// Number of pixels rasterized.
+    pub pixels: u64,
+}
+
+impl StageCounts {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average number of positive tile intersections per visible splat —
+    /// the quantity plotted in Fig. 5.
+    pub fn tiles_per_gaussian(&self) -> f64 {
+        if self.visible_gaussians == 0 {
+            0.0
+        } else {
+            self.tile_intersections as f64 / self.visible_gaussians as f64
+        }
+    }
+
+    /// Average number of Gaussians processed per pixel (α-computations per
+    /// pixel) — the quantity plotted in Fig. 7.
+    pub fn gaussians_per_pixel(&self) -> f64 {
+        if self.pixels == 0 {
+            0.0
+        } else {
+            self.alpha_computations as f64 / self.pixels as f64
+        }
+    }
+
+    /// Fraction of α-computations that were wasted, i.e. did not lead to a
+    /// blend (either α < 1/255 or the splat did not cover the pixel).
+    pub fn wasted_alpha_fraction(&self) -> f64 {
+        if self.alpha_computations == 0 {
+            0.0
+        } else {
+            1.0 - self.blend_operations as f64 / self.alpha_computations as f64
+        }
+    }
+}
+
+impl Add for StageCounts {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            input_gaussians: self.input_gaussians + rhs.input_gaussians,
+            culled_gaussians: self.culled_gaussians + rhs.culled_gaussians,
+            visible_gaussians: self.visible_gaussians + rhs.visible_gaussians,
+            tile_tests: self.tile_tests + rhs.tile_tests,
+            tile_intersections: self.tile_intersections + rhs.tile_intersections,
+            bitmask_tests: self.bitmask_tests + rhs.bitmask_tests,
+            sort_comparisons: self.sort_comparisons + rhs.sort_comparisons,
+            bitmask_filter_ops: self.bitmask_filter_ops + rhs.bitmask_filter_ops,
+            alpha_computations: self.alpha_computations + rhs.alpha_computations,
+            blend_operations: self.blend_operations + rhs.blend_operations,
+            early_exits: self.early_exits + rhs.early_exits,
+            pixels: self.pixels + rhs.pixels,
+        }
+    }
+}
+
+impl AddAssign for StageCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+/// Statistics of one rendered view: operation counts plus measured
+/// wall-clock per stage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RenderStats {
+    /// Operation counts.
+    pub counts: StageCounts,
+    /// Wall-clock time of the preprocessing stage (feature computation,
+    /// culling and tile/group identification).
+    pub preprocess_time: Duration,
+    /// Wall-clock time of the sorting stage.
+    pub sort_time: Duration,
+    /// Wall-clock time of the rasterization stage.
+    pub raster_time: Duration,
+}
+
+impl RenderStats {
+    /// Total measured wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.preprocess_time + self.sort_time + self.raster_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios_handle_zero_denominators() {
+        let c = StageCounts::new();
+        assert_eq!(c.tiles_per_gaussian(), 0.0);
+        assert_eq!(c.gaussians_per_pixel(), 0.0);
+        assert_eq!(c.wasted_alpha_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tiles_per_gaussian_divides_correctly() {
+        let c = StageCounts {
+            visible_gaussians: 10,
+            tile_intersections: 73,
+            ..StageCounts::default()
+        };
+        assert!((c.tiles_per_gaussian() - 7.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussians_per_pixel_divides_correctly() {
+        let c = StageCounts {
+            pixels: 100,
+            alpha_computations: 2_500,
+            ..StageCounts::default()
+        };
+        assert!((c.gaussians_per_pixel() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasted_fraction_counts_non_blended_alphas() {
+        let c = StageCounts {
+            alpha_computations: 100,
+            blend_operations: 60,
+            ..StageCounts::default()
+        };
+        assert!((c.wasted_alpha_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_accumulates_every_field() {
+        let a = StageCounts {
+            input_gaussians: 1,
+            culled_gaussians: 2,
+            visible_gaussians: 3,
+            tile_tests: 4,
+            tile_intersections: 5,
+            bitmask_tests: 6,
+            sort_comparisons: 7,
+            bitmask_filter_ops: 8,
+            alpha_computations: 9,
+            blend_operations: 10,
+            early_exits: 11,
+            pixels: 12,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.input_gaussians, 2);
+        assert_eq!(b.pixels, 24);
+        assert_eq!(b.sort_comparisons, 14);
+    }
+
+    #[test]
+    fn total_time_sums_stages() {
+        let stats = RenderStats {
+            preprocess_time: Duration::from_millis(2),
+            sort_time: Duration::from_millis(3),
+            raster_time: Duration::from_millis(5),
+            ..RenderStats::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(10));
+    }
+}

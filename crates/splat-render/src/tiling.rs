@@ -1,0 +1,410 @@
+//! Tile grid and tile identification.
+//!
+//! The output image is divided into square tiles; tile identification
+//! determines, per projected splat, which tiles it influences. The same
+//! machinery serves group identification in the GS-TG pipeline (a tile
+//! group is simply a grid with a larger tile size).
+
+use crate::bounds::{GaussianFootprint, TileRect};
+use crate::config::BoundaryMethod;
+use crate::preprocess::ProjectedGaussian;
+use crate::stats::StageCounts;
+use serde::{Deserialize, Serialize};
+use splat_types::Vec2;
+
+/// A regular grid of square tiles covering the output image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGrid {
+    tile_size: u32,
+    width: u32,
+    height: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+}
+
+impl TileGrid {
+    /// Creates a grid of `tile_size`-pixel tiles covering a
+    /// `width`×`height` image. Border tiles may be partially outside the
+    /// image, exactly as in the reference implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tile_size` is zero or the image is empty.
+    pub fn new(width: u32, height: u32, tile_size: u32) -> Self {
+        assert!(tile_size > 0, "tile size must be non-zero");
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Self {
+            tile_size,
+            width,
+            height,
+            tiles_x: width.div_ceil(tile_size),
+            tiles_y: height.div_ceil(tile_size),
+        }
+    }
+
+    /// Edge length of a tile in pixels.
+    #[inline]
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn tiles_x(&self) -> u32 {
+        self.tiles_x
+    }
+
+    /// Number of tile rows.
+    #[inline]
+    pub fn tiles_y(&self) -> u32 {
+        self.tiles_y
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        (self.tiles_x as usize) * (self.tiles_y as usize)
+    }
+
+    /// Flattened tile index for tile coordinates `(tx, ty)`.
+    #[inline]
+    pub fn tile_index(&self, tx: u32, ty: u32) -> usize {
+        (ty as usize) * (self.tiles_x as usize) + (tx as usize)
+    }
+
+    /// Tile coordinates for a flattened tile index.
+    #[inline]
+    pub fn tile_coords(&self, index: usize) -> (u32, u32) {
+        (
+            (index % self.tiles_x as usize) as u32,
+            (index / self.tiles_x as usize) as u32,
+        )
+    }
+
+    /// Pixel-space rectangle of tile `(tx, ty)`, clipped to the image.
+    pub fn tile_rect(&self, tx: u32, ty: u32) -> TileRect {
+        let x0 = (tx * self.tile_size) as f32;
+        let y0 = (ty * self.tile_size) as f32;
+        let x1 = (((tx + 1) * self.tile_size).min(self.width)) as f32;
+        let y1 = (((ty + 1) * self.tile_size).min(self.height)) as f32;
+        TileRect::new(x0, y0, x1, y1)
+    }
+
+    /// Pixel-space rectangle of tile `(tx, ty)` *without* clipping to the
+    /// image border. Identification uses the unclipped rectangle so that a
+    /// splat overlapping the padding region of a border tile is still
+    /// assigned to it (matching the reference implementation's grid math).
+    pub fn tile_rect_unclipped(&self, tx: u32, ty: u32) -> TileRect {
+        let x0 = (tx * self.tile_size) as f32;
+        let y0 = (ty * self.tile_size) as f32;
+        TileRect::new(
+            x0,
+            y0,
+            x0 + self.tile_size as f32,
+            y0 + self.tile_size as f32,
+        )
+    }
+
+    /// Range of tile coordinates `(tx0..tx1, ty0..ty1)` whose tiles overlap
+    /// an axis-aligned box of `half_extent` around `center` (both in
+    /// pixels). The range is clamped to the grid.
+    pub fn tile_range(&self, center: Vec2, half_extent: Vec2) -> (u32, u32, u32, u32) {
+        let clamp_x = |v: f32| v.clamp(0.0, self.tiles_x as f32) as u32;
+        let clamp_y = |v: f32| v.clamp(0.0, self.tiles_y as f32) as u32;
+        let tx0 = clamp_x(((center.x - half_extent.x) / self.tile_size as f32).floor());
+        let ty0 = clamp_y(((center.y - half_extent.y) / self.tile_size as f32).floor());
+        let tx1 = clamp_x(((center.x + half_extent.x) / self.tile_size as f32).floor() + 1.0);
+        let ty1 = clamp_y(((center.y + half_extent.y) / self.tile_size as f32).floor() + 1.0);
+        (tx0, tx1, ty0, ty1)
+    }
+}
+
+/// The result of tile identification: for every tile, the list of projected
+/// splat positions (indices into the `ProjectedGaussian` slice) that
+/// influence it, in scene order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileAssignments {
+    grid: TileGrid,
+    per_tile: Vec<Vec<u32>>,
+    /// Number of tiles intersected by each projected splat (same indexing
+    /// as the `ProjectedGaussian` slice).
+    tiles_per_gaussian: Vec<u32>,
+}
+
+impl TileAssignments {
+    /// The grid the assignments refer to.
+    #[inline]
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Splat list of the tile with flattened index `tile`.
+    #[inline]
+    pub fn tile(&self, tile: usize) -> &[u32] {
+        &self.per_tile[tile]
+    }
+
+    /// Mutable access used by the sorting stage.
+    #[inline]
+    pub(crate) fn tile_mut(&mut self, tile: usize) -> &mut Vec<u32> {
+        &mut self.per_tile[tile]
+    }
+
+    /// Iterates over `(tile_index, splat_list)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.per_tile.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+    }
+
+    /// Total number of (tile, splat) pairs — the number of sort keys the
+    /// tile-wise sorting stage has to handle.
+    pub fn total_entries(&self) -> u64 {
+        self.per_tile.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of tiles each projected splat intersects.
+    pub fn tiles_per_gaussian(&self) -> &[u32] {
+        &self.tiles_per_gaussian
+    }
+
+    /// Fraction of projected splats that are shared between two or more
+    /// tiles (Table I of the paper). Splats intersecting zero tiles are
+    /// excluded from the denominator.
+    pub fn shared_fraction(&self) -> f64 {
+        let intersecting = self
+            .tiles_per_gaussian
+            .iter()
+            .filter(|&&n| n >= 1)
+            .count();
+        if intersecting == 0 {
+            return 0.0;
+        }
+        let shared = self.tiles_per_gaussian.iter().filter(|&&n| n >= 2).count();
+        shared as f64 / intersecting as f64
+    }
+
+    /// Mean number of intersected tiles per splat (Fig. 5), over splats
+    /// that intersect at least one tile.
+    pub fn mean_tiles_per_gaussian(&self) -> f64 {
+        let intersecting: Vec<u32> = self
+            .tiles_per_gaussian
+            .iter()
+            .copied()
+            .filter(|&n| n >= 1)
+            .collect();
+        if intersecting.is_empty() {
+            return 0.0;
+        }
+        intersecting.iter().map(|&n| f64::from(n)).sum::<f64>() / intersecting.len() as f64
+    }
+}
+
+/// Runs tile identification for all projected splats against a grid using
+/// the given boundary method. Counters are accumulated into `counts`.
+pub fn identify_tiles(
+    projected: &[ProjectedGaussian],
+    grid: TileGrid,
+    boundary: BoundaryMethod,
+    counts: &mut StageCounts,
+) -> TileAssignments {
+    let mut per_tile: Vec<Vec<u32>> = vec![Vec::new(); grid.tile_count()];
+    let mut tiles_per_gaussian = vec![0u32; projected.len()];
+
+    for (slot, splat) in projected.iter().enumerate() {
+        let Some(footprint) = GaussianFootprint::from_covariance(splat.mean, splat.cov) else {
+            continue;
+        };
+        let half_extent = footprint.candidate_half_extent(boundary);
+        let (tx0, tx1, ty0, ty1) = grid.tile_range(splat.mean, half_extent);
+        for ty in ty0..ty1 {
+            for tx in tx0..tx1 {
+                counts.tile_tests += 1;
+                let rect = grid.tile_rect_unclipped(tx, ty);
+                if footprint.intersects(&rect, boundary) {
+                    counts.tile_intersections += 1;
+                    per_tile[grid.tile_index(tx, ty)].push(slot as u32);
+                    tiles_per_gaussian[slot] += 1;
+                }
+            }
+        }
+    }
+
+    TileAssignments {
+        grid,
+        per_tile,
+        tiles_per_gaussian,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_types::{Mat2, Rgb};
+
+    fn projected(mean: Vec2, sigma: f32) -> ProjectedGaussian {
+        let cov = Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma);
+        ProjectedGaussian {
+            index: 0,
+            depth: 1.0,
+            mean,
+            cov,
+            inv_cov: cov.inverse().unwrap(),
+            opacity: 0.9,
+            color: Rgb::WHITE,
+        }
+    }
+
+    #[test]
+    fn grid_dimensions_round_up() {
+        let grid = TileGrid::new(100, 50, 16);
+        assert_eq!(grid.tiles_x(), 7);
+        assert_eq!(grid.tiles_y(), 4);
+        assert_eq!(grid.tile_count(), 28);
+    }
+
+    #[test]
+    fn tile_rect_is_clipped_at_border() {
+        let grid = TileGrid::new(100, 50, 16);
+        let rect = grid.tile_rect(6, 3);
+        assert_eq!(rect.x1, 100.0);
+        assert_eq!(rect.y1, 50.0);
+        let unclipped = grid.tile_rect_unclipped(6, 3);
+        assert_eq!(unclipped.x1, 112.0);
+        assert_eq!(unclipped.y1, 64.0);
+    }
+
+    #[test]
+    fn tile_index_round_trips() {
+        let grid = TileGrid::new(256, 128, 16);
+        for ty in 0..grid.tiles_y() {
+            for tx in 0..grid.tiles_x() {
+                let idx = grid.tile_index(tx, ty);
+                assert_eq!(grid.tile_coords(idx), (tx, ty));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_range_clamps_to_grid() {
+        let grid = TileGrid::new(128, 128, 16);
+        let (tx0, tx1, ty0, ty1) = grid.tile_range(Vec2::new(-50.0, 300.0), Vec2::splat(10.0));
+        assert!(tx0 <= tx1 && tx1 <= grid.tiles_x());
+        assert!(ty0 <= ty1 && ty1 <= grid.tiles_y());
+    }
+
+    #[test]
+    fn small_central_splat_lands_in_one_tile() {
+        let grid = TileGrid::new(128, 128, 16);
+        let mut counts = StageCounts::new();
+        let splats = vec![projected(Vec2::new(24.0, 24.0), 1.0)];
+        let assignments = identify_tiles(&splats, grid, BoundaryMethod::Ellipse, &mut counts);
+        assert_eq!(assignments.tiles_per_gaussian()[0], 1);
+        assert_eq!(assignments.tile(grid.tile_index(1, 1)), &[0]);
+        assert_eq!(counts.tile_intersections, 1);
+    }
+
+    #[test]
+    fn large_splat_covers_multiple_tiles() {
+        let grid = TileGrid::new(128, 128, 16);
+        let mut counts = StageCounts::new();
+        let splats = vec![projected(Vec2::new(64.0, 64.0), 10.0)]; // 3σ = 30 px
+        let assignments = identify_tiles(&splats, grid, BoundaryMethod::Aabb, &mut counts);
+        assert!(assignments.tiles_per_gaussian()[0] >= 9);
+        assert!(counts.tile_tests >= counts.tile_intersections);
+    }
+
+    #[test]
+    fn smaller_tiles_mean_more_intersections_per_gaussian() {
+        // The Fig. 5 effect: the same splats intersect more tiles when the
+        // tile size shrinks.
+        let splats: Vec<ProjectedGaussian> = (0..20)
+            .map(|i| projected(Vec2::new(20.0 + 8.0 * i as f32, 100.0), 6.0))
+            .collect();
+        let mut tiles_small = StageCounts::new();
+        let mut tiles_large = StageCounts::new();
+        let small = identify_tiles(
+            &splats,
+            TileGrid::new(256, 256, 8),
+            BoundaryMethod::Aabb,
+            &mut tiles_small,
+        );
+        let large = identify_tiles(
+            &splats,
+            TileGrid::new(256, 256, 64),
+            BoundaryMethod::Aabb,
+            &mut tiles_large,
+        );
+        assert!(small.mean_tiles_per_gaussian() > large.mean_tiles_per_gaussian());
+    }
+
+    #[test]
+    fn shared_fraction_counts_multi_tile_splats() {
+        let grid = TileGrid::new(64, 64, 16);
+        let mut counts = StageCounts::new();
+        // One splat inside a single tile, one spanning several.
+        let splats = vec![
+            projected(Vec2::new(8.0, 8.0), 0.5),
+            projected(Vec2::new(32.0, 32.0), 8.0),
+        ];
+        let assignments = identify_tiles(&splats, grid, BoundaryMethod::Ellipse, &mut counts);
+        assert!((assignments.shared_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_entries_counts_tile_gaussian_pairs() {
+        let grid = TileGrid::new(64, 64, 16);
+        let mut counts = StageCounts::new();
+        let splats = vec![projected(Vec2::new(32.0, 32.0), 8.0)];
+        let assignments = identify_tiles(&splats, grid, BoundaryMethod::Aabb, &mut counts);
+        assert_eq!(assignments.total_entries(), counts.tile_intersections);
+        assert_eq!(
+            assignments.total_entries(),
+            u64::from(assignments.tiles_per_gaussian()[0])
+        );
+    }
+
+    #[test]
+    fn tighter_boundary_methods_assign_fewer_tiles() {
+        let grid = TileGrid::new(256, 256, 16);
+        // Anisotropic splat: build covariance rotated 45°.
+        let a2 = 100.0f32;
+        let b2 = 4.0f32;
+        let cov = Mat2::from_symmetric(0.5 * (a2 + b2), 0.5 * (a2 - b2), 0.5 * (a2 + b2));
+        let splat = ProjectedGaussian {
+            index: 0,
+            depth: 1.0,
+            mean: Vec2::new(128.0, 128.0),
+            cov,
+            inv_cov: cov.inverse().unwrap(),
+            opacity: 0.9,
+            color: Rgb::WHITE,
+        };
+        let count_for = |method| {
+            let mut counts = StageCounts::new();
+            identify_tiles(std::slice::from_ref(&splat), grid, method, &mut counts)
+                .tiles_per_gaussian()[0]
+        };
+        let aabb = count_for(BoundaryMethod::Aabb);
+        let obb = count_for(BoundaryMethod::Obb);
+        let ellipse = count_for(BoundaryMethod::Ellipse);
+        assert!(aabb >= obb && obb >= ellipse);
+        assert!(aabb > ellipse, "aabb {aabb} vs ellipse {ellipse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size must be non-zero")]
+    fn zero_tile_size_panics() {
+        let _ = TileGrid::new(64, 64, 0);
+    }
+}

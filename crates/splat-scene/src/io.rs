@@ -1,0 +1,231 @@
+//! Compact binary serialization of scenes.
+//!
+//! Scenes are large (hundreds of thousands of splats at the bigger scales),
+//! so a simple length-prefixed binary layout is provided in addition to the
+//! `serde` derives. The format stores every splat as fixed-width
+//! little-endian floats, mirroring the flat parameter buffers the
+//! accelerator's DRAM model reasons about.
+
+use crate::scene::Scene;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use splat_types::{Gaussian3d, Quat, Rgb, ShCoefficients, Vec3};
+use std::fmt;
+
+/// Magic bytes identifying the scene format.
+const MAGIC: &[u8; 4] = b"GSTG";
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Errors raised when decoding a binary scene.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the declared content was read.
+    UnexpectedEof,
+    /// A decoded field failed validation (e.g. opacity out of range).
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "buffer is not a GSTG scene"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported scene format version {v}"),
+            DecodeError::UnexpectedEof => write!(f, "scene buffer ended unexpectedly"),
+            DecodeError::InvalidField(name) => write!(f, "invalid field `{name}` in scene buffer"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a scene into the compact binary format.
+pub fn encode_scene(scene: &Scene) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + scene.len() * 64);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let name = scene.name().as_bytes();
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name);
+    buf.put_u32_le(scene.width());
+    buf.put_u32_le(scene.height());
+    buf.put_u32_le(scene.len() as u32);
+    for g in scene.iter() {
+        put_vec3(&mut buf, g.position());
+        put_vec3(&mut buf, g.scale());
+        buf.put_f32_le(g.rotation().w);
+        buf.put_f32_le(g.rotation().x);
+        buf.put_f32_le(g.rotation().y);
+        buf.put_f32_le(g.rotation().z);
+        buf.put_f32_le(g.opacity());
+        let coeffs = g.sh().coefficients();
+        buf.put_u8(coeffs.len() as u8);
+        for c in coeffs {
+            buf.put_f32_le(c.r);
+            buf.put_f32_le(c.g);
+            buf.put_f32_le(c.b);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a scene previously produced by [`encode_scene`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the buffer is truncated, has the wrong
+/// magic/version, or contains out-of-domain parameter values.
+pub fn decode_scene(mut buf: &[u8]) -> Result<Scene, DecodeError> {
+    if buf.remaining() < 6 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    if buf.remaining() < 2 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let name_len = buf.get_u16_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let name = String::from_utf8(name_bytes.to_vec())
+        .map_err(|_| DecodeError::InvalidField("name"))?;
+    if buf.remaining() < 12 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let width = buf.get_u32_le();
+    let height = buf.get_u32_le();
+    let count = buf.get_u32_le() as usize;
+
+    let mut gaussians = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < (3 + 3 + 4 + 1) * 4 + 1 {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let position = get_vec3(&mut buf);
+        let scale = get_vec3(&mut buf);
+        let rotation = Quat::new(
+            buf.get_f32_le(),
+            buf.get_f32_le(),
+            buf.get_f32_le(),
+            buf.get_f32_le(),
+        );
+        let opacity = buf.get_f32_le();
+        let coeff_count = buf.get_u8() as usize;
+        if buf.remaining() < coeff_count * 12 {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let mut coeffs = Vec::with_capacity(coeff_count);
+        for _ in 0..coeff_count {
+            coeffs.push(Rgb::new(
+                buf.get_f32_le(),
+                buf.get_f32_le(),
+                buf.get_f32_le(),
+            ));
+        }
+        let sh = ShCoefficients::from_coefficients(coeffs)
+            .map_err(|_| DecodeError::InvalidField("sh"))?;
+        let gaussian = Gaussian3d::builder()
+            .position(position)
+            .scale(scale)
+            .rotation(rotation)
+            .opacity(opacity)
+            .sh(sh)
+            .try_build()
+            .map_err(|_| DecodeError::InvalidField("gaussian"))?;
+        gaussians.push(gaussian);
+    }
+    Ok(Scene::new(name, width, height, gaussians))
+}
+
+fn put_vec3(buf: &mut BytesMut, v: Vec3) {
+    buf.put_f32_le(v.x);
+    buf.put_f32_le(v.y);
+    buf.put_f32_le(v.z);
+}
+
+fn get_vec3(buf: &mut &[u8]) -> Vec3 {
+    Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SceneGenerator, SynthProfile};
+
+    fn sample_scene() -> Scene {
+        SceneGenerator::new(SynthProfile::default().with_count(64), 5).generate("sample", 320, 240)
+    }
+
+    #[test]
+    fn round_trip_preserves_scene() {
+        let scene = sample_scene();
+        let encoded = encode_scene(&scene);
+        let decoded = decode_scene(&encoded).expect("decodes");
+        assert_eq!(decoded.name(), scene.name());
+        assert_eq!(decoded.len(), scene.len());
+        assert_eq!((decoded.width(), decoded.height()), (scene.width(), scene.height()));
+        for (a, b) in decoded.iter().zip(scene.iter()) {
+            // The builder re-normalizes the rotation on decode, which can
+            // perturb the last mantissa bit, so compare with a tolerance.
+            assert!((a.position() - b.position()).length() < 1e-6);
+            assert!((a.scale() - b.scale()).length() < 1e-6);
+            assert!((a.opacity() - b.opacity()).abs() < 1e-6);
+            assert!((a.rotation().w - b.rotation().w).abs() < 1e-5);
+            assert_eq!(a.sh().coefficients().len(), b.sh().coefficients().len());
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_scene(&sample_scene()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode_scene(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encode_scene(&sample_scene()).to_vec();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            decode_scene(&bytes),
+            Err(DecodeError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let bytes = encode_scene(&sample_scene());
+        let truncated = &bytes[..bytes.len() / 2];
+        assert_eq!(decode_scene(truncated), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn empty_buffer_is_rejected() {
+        assert_eq!(decode_scene(&[]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn empty_scene_round_trips() {
+        let scene = Scene::new("empty", 16, 16, vec![]);
+        let decoded = decode_scene(&encode_scene(&scene)).unwrap();
+        assert_eq!(decoded, scene);
+    }
+
+    #[test]
+    fn decode_error_display_is_informative() {
+        assert!(DecodeError::BadMagic.to_string().contains("GSTG"));
+        assert!(DecodeError::InvalidField("sh").to_string().contains("sh"));
+    }
+}

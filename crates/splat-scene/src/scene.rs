@@ -1,0 +1,229 @@
+//! The [`Scene`] container holding a cloud of 3D Gaussian splats.
+
+use crate::stats::SceneStats;
+use serde::{Deserialize, Serialize};
+use splat_types::{Gaussian3d, Precision, Vec3};
+
+/// A named collection of 3D Gaussians plus the output resolution the scene
+/// is rendered at.
+///
+/// A `Scene` is the unit of input to both the software rendering pipelines
+/// and the accelerator simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    name: String,
+    width: u32,
+    height: u32,
+    gaussians: Vec<Gaussian3d>,
+}
+
+impl Scene {
+    /// Creates a scene from its parts.
+    pub fn new(name: impl Into<String>, width: u32, height: u32, gaussians: Vec<Gaussian3d>) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            gaussians,
+        }
+    }
+
+    /// Scene name (e.g. `"train"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Output image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The splats of the scene.
+    #[inline]
+    pub fn gaussians(&self) -> &[Gaussian3d] {
+        &self.gaussians
+    }
+
+    /// Number of splats.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// Returns `true` when the scene holds no splats.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// Iterates over the splats.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gaussian3d> {
+        self.gaussians.iter()
+    }
+
+    /// Returns a copy of the scene with every splat converted to the given
+    /// storage precision (the paper converts models to fp16 for the
+    /// accelerator).
+    pub fn to_precision(&self, precision: Precision) -> Self {
+        Self {
+            name: self.name.clone(),
+            width: self.width,
+            height: self.height,
+            gaussians: self
+                .gaussians
+                .iter()
+                .map(|g| g.to_precision(precision))
+                .collect(),
+        }
+    }
+
+    /// Axis-aligned bounds of all splat centers, or `None` for an empty
+    /// scene.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let mut iter = self.gaussians.iter();
+        let first = iter.next()?.position();
+        let mut lo = first;
+        let mut hi = first;
+        for g in iter {
+            lo = lo.min(g.position());
+            hi = hi.max(g.position());
+        }
+        Some((lo, hi))
+    }
+
+    /// Centroid of all splat centers, or the origin for an empty scene.
+    pub fn centroid(&self) -> Vec3 {
+        if self.gaussians.is_empty() {
+            return Vec3::ZERO;
+        }
+        let sum = self
+            .gaussians
+            .iter()
+            .fold(Vec3::ZERO, |acc, g| acc + g.position());
+        sum / self.gaussians.len() as f32
+    }
+
+    /// Summary statistics of the splat population.
+    pub fn stats(&self) -> SceneStats {
+        SceneStats::from_scene(self)
+    }
+
+    /// Returns a scene containing only the first `n` splats, preserving
+    /// name and resolution. Useful for scaled-down smoke tests.
+    pub fn truncated(&self, n: usize) -> Self {
+        Self {
+            name: self.name.clone(),
+            width: self.width,
+            height: self.height,
+            gaussians: self.gaussians.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Scene {
+    type Item = &'a Gaussian3d;
+    type IntoIter = std::slice::Iter<'a, Gaussian3d>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gaussians.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_types::Quat;
+
+    fn splat_at(p: Vec3) -> Gaussian3d {
+        Gaussian3d::builder()
+            .position(p)
+            .scale(Vec3::splat(0.1))
+            .rotation(Quat::IDENTITY)
+            .opacity(0.5)
+            .base_color([0.5, 0.5, 0.5])
+            .build()
+    }
+
+    #[test]
+    fn bounds_cover_all_centers() {
+        let scene = Scene::new(
+            "test",
+            64,
+            64,
+            vec![
+                splat_at(Vec3::new(-1.0, 0.0, 2.0)),
+                splat_at(Vec3::new(3.0, -2.0, 5.0)),
+                splat_at(Vec3::new(0.0, 4.0, 1.0)),
+            ],
+        );
+        let (lo, hi) = scene.bounds().unwrap();
+        assert_eq!(lo, Vec3::new(-1.0, -2.0, 1.0));
+        assert_eq!(hi, Vec3::new(3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn empty_scene_has_no_bounds() {
+        let scene = Scene::new("empty", 8, 8, vec![]);
+        assert!(scene.bounds().is_none());
+        assert!(scene.is_empty());
+        assert_eq!(scene.centroid(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn centroid_is_mean_of_centers() {
+        let scene = Scene::new(
+            "test",
+            64,
+            64,
+            vec![splat_at(Vec3::new(0.0, 0.0, 0.0)), splat_at(Vec3::new(2.0, 4.0, 6.0))],
+        );
+        assert_eq!(scene.centroid(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn truncated_keeps_resolution() {
+        let scene = Scene::new(
+            "test",
+            640,
+            480,
+            (0..10).map(|i| splat_at(Vec3::splat(i as f32))).collect(),
+        );
+        let t = scene.truncated(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.width(), 640);
+        assert_eq!(t.height(), 480);
+    }
+
+    #[test]
+    fn precision_conversion_preserves_count() {
+        let scene = Scene::new(
+            "test",
+            64,
+            64,
+            (0..5).map(|i| splat_at(Vec3::splat(i as f32 * 0.1))).collect(),
+        );
+        let half = scene.to_precision(Precision::Half);
+        assert_eq!(half.len(), scene.len());
+        assert_eq!(half.name(), "test");
+    }
+
+    #[test]
+    fn iteration_visits_every_splat() {
+        let scene = Scene::new(
+            "test",
+            64,
+            64,
+            (0..7).map(|i| splat_at(Vec3::splat(i as f32))).collect(),
+        );
+        assert_eq!(scene.iter().count(), 7);
+        assert_eq!((&scene).into_iter().count(), 7);
+    }
+}

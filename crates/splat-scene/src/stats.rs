@@ -1,0 +1,139 @@
+//! Summary statistics of a splat population.
+
+use crate::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a [`Scene`]'s splat population, used to sanity
+/// check the synthetic generators against the regimes the paper's scenes
+/// operate in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneStats {
+    /// Number of splats.
+    pub count: usize,
+    /// Mean of the per-splat maximum scale axis.
+    pub mean_max_scale: f32,
+    /// Median of the per-splat maximum scale axis.
+    pub median_max_scale: f32,
+    /// 95th percentile of the per-splat maximum scale axis.
+    pub p95_max_scale: f32,
+    /// Mean opacity.
+    pub mean_opacity: f32,
+    /// Fraction of splats with opacity at least 0.9.
+    pub opaque_fraction: f32,
+    /// Mean depth (Z coordinate) of splat centers.
+    pub mean_depth: f32,
+    /// Extent of the bounding box diagonal.
+    pub bounds_diagonal: f32,
+}
+
+impl SceneStats {
+    /// Computes statistics for a scene. All fields are zero for an empty
+    /// scene.
+    pub fn from_scene(scene: &Scene) -> Self {
+        if scene.is_empty() {
+            return Self {
+                count: 0,
+                mean_max_scale: 0.0,
+                median_max_scale: 0.0,
+                p95_max_scale: 0.0,
+                mean_opacity: 0.0,
+                opaque_fraction: 0.0,
+                mean_depth: 0.0,
+                bounds_diagonal: 0.0,
+            };
+        }
+        let n = scene.len() as f32;
+        let mut max_scales: Vec<f32> = scene
+            .iter()
+            .map(|g| g.scale().max_component())
+            .collect();
+        max_scales.sort_by(|a, b| a.partial_cmp(b).expect("finite scales"));
+        let mean_max_scale = max_scales.iter().sum::<f32>() / n;
+        let median_max_scale = percentile(&max_scales, 0.5);
+        let p95_max_scale = percentile(&max_scales, 0.95);
+        let mean_opacity = scene.iter().map(|g| g.opacity()).sum::<f32>() / n;
+        let opaque_fraction = scene.iter().filter(|g| g.opacity() >= 0.9).count() as f32 / n;
+        let mean_depth = scene.iter().map(|g| g.position().z).sum::<f32>() / n;
+        let bounds_diagonal = scene
+            .bounds()
+            .map(|(lo, hi)| (hi - lo).length())
+            .unwrap_or(0.0);
+        Self {
+            count: scene.len(),
+            mean_max_scale,
+            median_max_scale,
+            p95_max_scale,
+            mean_opacity,
+            opaque_fraction,
+            mean_depth,
+            bounds_diagonal,
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice. `q` in `[0, 1]`.
+fn percentile(sorted: &[f32], q: f32) -> f32 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = pos - lo as f32;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_types::{Gaussian3d, Vec3};
+
+    fn splat(scale: f32, opacity: f32, z: f32) -> Gaussian3d {
+        Gaussian3d::builder()
+            .position(Vec3::new(0.0, 0.0, z))
+            .scale(Vec3::splat(scale))
+            .opacity(opacity)
+            .build()
+    }
+
+    #[test]
+    fn empty_scene_stats_are_zero() {
+        let stats = SceneStats::from_scene(&Scene::new("e", 8, 8, vec![]));
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_opacity, 0.0);
+    }
+
+    #[test]
+    fn stats_match_hand_computed_values() {
+        let scene = Scene::new(
+            "s",
+            8,
+            8,
+            vec![splat(0.1, 1.0, 1.0), splat(0.3, 0.5, 3.0), splat(0.2, 0.95, 2.0)],
+        );
+        let stats = scene.stats();
+        assert_eq!(stats.count, 3);
+        assert!((stats.mean_max_scale - 0.2).abs() < 1e-6);
+        assert!((stats.median_max_scale - 0.2).abs() < 1e-6);
+        assert!((stats.mean_opacity - (1.0 + 0.5 + 0.95) / 3.0).abs() < 1e-6);
+        assert!((stats.opaque_fraction - 2.0 / 3.0).abs() < 1e-6);
+        assert!((stats.mean_depth - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

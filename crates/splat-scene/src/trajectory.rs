@@ -1,0 +1,175 @@
+//! Camera trajectory generation for multi-view experiments.
+//!
+//! The paper's evaluation renders held-out test views of each scene (every
+//! 8th/64th/128th image depending on the dataset). The synthetic analogue is
+//! a deterministic camera path through the populated volume; experiments
+//! sample a handful of views from it.
+
+use serde::{Deserialize, Serialize};
+use splat_types::{Camera, CameraIntrinsics, Vec3};
+
+/// A deterministic sequence of camera poses sharing one set of intrinsics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraTrajectory {
+    intrinsics: CameraIntrinsics,
+    keyframes: Vec<Pose>,
+}
+
+/// A single camera pose (eye position plus look-at target).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Camera position.
+    pub eye: Vec3,
+    /// Point the camera looks at.
+    pub target: Vec3,
+}
+
+impl CameraTrajectory {
+    /// A lateral sweep in front of the scene: the camera slides along X at
+    /// the origin plane while looking into the populated slab, which mimics
+    /// the capture paths of Tanks&Temples-style scenes.
+    ///
+    /// `lateral_extent` is the half-width of the sweep, `focus_depth` the
+    /// depth of the look-at point and `view_count` the number of poses.
+    pub fn lateral_sweep(
+        intrinsics: CameraIntrinsics,
+        lateral_extent: f32,
+        focus_depth: f32,
+        view_count: usize,
+    ) -> Self {
+        let count = view_count.max(1);
+        let keyframes = (0..count)
+            .map(|i| {
+                let t = if count == 1 {
+                    0.5
+                } else {
+                    i as f32 / (count - 1) as f32
+                };
+                let x = (t * 2.0 - 1.0) * lateral_extent;
+                Pose {
+                    eye: Vec3::new(x, 0.0, 0.0),
+                    target: Vec3::new(x * 0.3, 0.0, focus_depth),
+                }
+            })
+            .collect();
+        Self {
+            intrinsics,
+            keyframes,
+        }
+    }
+
+    /// An orbit around a center point at fixed height and radius, looking
+    /// inward — the typical object-centric capture (e.g. *truck*).
+    pub fn orbit(
+        intrinsics: CameraIntrinsics,
+        center: Vec3,
+        radius: f32,
+        height: f32,
+        view_count: usize,
+    ) -> Self {
+        let count = view_count.max(1);
+        let keyframes = (0..count)
+            .map(|i| {
+                let angle = std::f32::consts::TAU * i as f32 / count as f32;
+                Pose {
+                    eye: center + Vec3::new(radius * angle.cos(), height, radius * angle.sin()),
+                    target: center,
+                }
+            })
+            .collect();
+        Self {
+            intrinsics,
+            keyframes,
+        }
+    }
+
+    /// Number of poses.
+    pub fn len(&self) -> usize {
+        self.keyframes.len()
+    }
+
+    /// Returns `true` when the trajectory holds no poses.
+    pub fn is_empty(&self) -> bool {
+        self.keyframes.is_empty()
+    }
+
+    /// The camera for pose `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn camera(&self, index: usize) -> Camera {
+        let pose = self.keyframes[index];
+        Camera::look_at(pose.eye, pose.target, Vec3::Y, self.intrinsics)
+    }
+
+    /// Iterates over all cameras of the trajectory.
+    pub fn cameras(&self) -> impl Iterator<Item = Camera> + '_ {
+        (0..self.len()).map(|i| self.camera(i))
+    }
+
+    /// Selects every `stride`-th pose, mirroring the paper's
+    /// train/test-split convention (every 8th image for T&T and DB, every
+    /// 64th for Mill-19, every 128th for UrbanScene3D).
+    pub fn test_split(&self, stride: usize) -> Vec<Camera> {
+        let stride = stride.max(1);
+        (0..self.len())
+            .step_by(stride)
+            .map(|i| self.camera(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intr() -> CameraIntrinsics {
+        CameraIntrinsics::from_fov_y(1.0, 640, 480)
+    }
+
+    #[test]
+    fn lateral_sweep_spans_extent() {
+        let traj = CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 11);
+        assert_eq!(traj.len(), 11);
+        let first = traj.camera(0);
+        let last = traj.camera(10);
+        assert!((first.position().x + 5.0).abs() < 1e-5);
+        assert!((last.position().x - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn single_view_sweep_is_centered() {
+        let traj = CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 1);
+        assert_eq!(traj.len(), 1);
+        assert!(traj.camera(0).position().x.abs() < 1e-5);
+    }
+
+    #[test]
+    fn orbit_keeps_constant_distance() {
+        let center = Vec3::new(1.0, 0.0, 5.0);
+        let traj = CameraTrajectory::orbit(intr(), center, 4.0, 2.0, 8);
+        for cam in traj.cameras() {
+            let lateral = (cam.position() - center - Vec3::new(0.0, 2.0, 0.0)).length();
+            assert!((lateral - 4.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn test_split_strides_through_views() {
+        let traj = CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 16);
+        assert_eq!(traj.test_split(8).len(), 2);
+        assert_eq!(traj.test_split(1).len(), 16);
+        // Stride zero is clamped to one rather than panicking.
+        assert_eq!(traj.test_split(0).len(), 16);
+    }
+
+    #[test]
+    fn cameras_look_toward_target() {
+        let traj = CameraTrajectory::lateral_sweep(intr(), 3.0, 12.0, 5);
+        for (i, cam) in traj.cameras().enumerate() {
+            let target = traj.keyframes[i].target;
+            assert!(cam.depth_of(target) > 0.0, "target behind camera for pose {i}");
+        }
+    }
+}

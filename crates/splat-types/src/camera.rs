@@ -1,0 +1,356 @@
+//! Pinhole camera model used by the preprocessing stage.
+//!
+//! The camera carries the intrinsics (focal lengths in pixels, principal
+//! point, resolution) and the extrinsic pose. Preprocessing uses it to
+//! transform splat centers into view space, project them to pixel
+//! coordinates and compute the local affine (Jacobian) approximation for
+//! EWA covariance projection.
+
+use crate::error::{Error, Result};
+use crate::mat::{Mat3, Mat4};
+use crate::vec::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Pinhole intrinsics in pixel units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraIntrinsics {
+    /// Focal length along X, in pixels.
+    pub focal_x: f32,
+    /// Focal length along Y, in pixels.
+    pub focal_y: f32,
+    /// Principal point X, in pixels.
+    pub center_x: f32,
+    /// Principal point Y, in pixels.
+    pub center_y: f32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl CameraIntrinsics {
+    /// Builds intrinsics from a vertical field of view (radians) and an
+    /// output resolution, placing the principal point at the image center.
+    pub fn from_fov_y(fov_y: f32, width: u32, height: u32) -> Self {
+        let focal_y = 0.5 * height as f32 / (0.5 * fov_y).tan();
+        Self {
+            focal_x: focal_y,
+            focal_y,
+            center_x: 0.5 * width as f32,
+            center_y: 0.5 * height as f32,
+            width,
+            height,
+        }
+    }
+
+    /// Horizontal field of view in radians.
+    pub fn fov_x(&self) -> f32 {
+        2.0 * (0.5 * self.width as f32 / self.focal_x).atan()
+    }
+
+    /// Vertical field of view in radians.
+    pub fn fov_y(&self) -> f32 {
+        2.0 * (0.5 * self.height as f32 / self.focal_y).atan()
+    }
+
+    /// Total number of pixels.
+    pub fn pixel_count(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Validates that the intrinsics describe a usable camera.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the resolution is zero or a
+    /// focal length is not strictly positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.width == 0 || self.height == 0 {
+            return Err(Error::InvalidParameter {
+                name: "resolution",
+                reason: format!("{}x{} must be non-zero", self.width, self.height),
+            });
+        }
+        if self.focal_x <= 0.0 || self.focal_y <= 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "focal",
+                reason: "focal lengths must be strictly positive".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A posed pinhole camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    intrinsics: CameraIntrinsics,
+    /// World-to-view transform.
+    view: Mat4,
+    /// Camera position in world space (cached inverse translation).
+    position: Vec3,
+    near: f32,
+    far: f32,
+}
+
+impl Camera {
+    /// Default near plane used when not otherwise specified (matches the
+    /// 3D-GS reference renderer's 0.2 near clip).
+    pub const DEFAULT_NEAR: f32 = 0.2;
+    /// Default far plane.
+    pub const DEFAULT_FAR: f32 = 1000.0;
+
+    /// Creates a camera looking from `eye` toward `target` with the given
+    /// `up` vector and intrinsics.
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, intrinsics: CameraIntrinsics) -> Self {
+        Self {
+            intrinsics,
+            view: Mat4::look_at_rh(eye, target, up),
+            position: eye,
+            near: Self::DEFAULT_NEAR,
+            far: Self::DEFAULT_FAR,
+        }
+    }
+
+    /// Overrides the near/far clipping range.
+    pub fn with_clip_range(mut self, near: f32, far: f32) -> Self {
+        self.near = near;
+        self.far = far;
+        self
+    }
+
+    /// The camera intrinsics.
+    #[inline]
+    pub fn intrinsics(&self) -> &CameraIntrinsics {
+        &self.intrinsics
+    }
+
+    /// World-space camera position.
+    #[inline]
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// World-to-view transform.
+    #[inline]
+    pub fn view_matrix(&self) -> &Mat4 {
+        &self.view
+    }
+
+    /// Near clipping distance.
+    #[inline]
+    pub fn near(&self) -> f32 {
+        self.near
+    }
+
+    /// Far clipping distance.
+    #[inline]
+    pub fn far(&self) -> f32 {
+        self.far
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.intrinsics.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.intrinsics.height
+    }
+
+    /// Transforms a world-space point into view space (camera looks along
+    /// -Z; visible points have negative `z`).
+    #[inline]
+    pub fn to_view(&self, world: Vec3) -> Vec3 {
+        self.view.transform_point(world).truncate()
+    }
+
+    /// Depth of a world-space point along the viewing direction
+    /// (positive in front of the camera). This is the `D` value used for
+    /// tile-wise sorting.
+    #[inline]
+    pub fn depth_of(&self, world: Vec3) -> f32 {
+        -self.to_view(world).z
+    }
+
+    /// Projects a view-space point to pixel coordinates.
+    ///
+    /// Returns `None` for points at or behind the camera plane.
+    pub fn view_to_pixel(&self, view: Vec3) -> Option<Vec2> {
+        let depth = -view.z;
+        if depth <= 1e-6 {
+            return None;
+        }
+        Some(Vec2::new(
+            self.intrinsics.focal_x * view.x / depth + self.intrinsics.center_x,
+            self.intrinsics.focal_y * view.y / depth + self.intrinsics.center_y,
+        ))
+    }
+
+    /// Projects a world-space point to pixel coordinates (`2D_XY`).
+    pub fn project(&self, world: Vec3) -> Option<Vec2> {
+        self.view_to_pixel(self.to_view(world))
+    }
+
+    /// Conservative frustum test for a sphere of `radius` around `world`.
+    ///
+    /// Matches the culling performed in 3D-GS preprocessing: points behind
+    /// the near plane or far outside the lateral frustum (with a 30% guard
+    /// band, mirroring the reference implementation's 1.3× tangent bound)
+    /// are culled.
+    pub fn is_in_frustum(&self, world: Vec3, radius: f32) -> bool {
+        let view = self.to_view(world);
+        let depth = -view.z;
+        if depth + radius < self.near || depth - radius > self.far {
+            return false;
+        }
+        let limit_x = 1.3 * (0.5 * self.intrinsics.fov_x()).tan();
+        let limit_y = 1.3 * (0.5 * self.intrinsics.fov_y()).tan();
+        let safe_depth = depth.max(self.near);
+        view.x.abs() - radius <= limit_x * safe_depth
+            && view.y.abs() - radius <= limit_y * safe_depth
+    }
+
+    /// The Jacobian of the projection at a view-space point, used by EWA
+    /// splatting to project the 3D covariance to the screen:
+    ///
+    /// `J = [[fx/z, 0, -fx·x/z²], [0, fy/z, -fy·y/z²]]` (rows packed into a
+    /// 3×3 matrix with a zero last row).
+    pub fn projection_jacobian(&self, view: Vec3) -> Mat3 {
+        let depth = (-view.z).max(1e-6);
+        let inv_z = 1.0 / depth;
+        let inv_z2 = inv_z * inv_z;
+        // Note view.z is negative; the reference implementation clamps
+        // lateral extent before computing the Jacobian, which we mirror in
+        // the preprocessing stage rather than here.
+        Mat3::from_rows(
+            self.intrinsics.focal_x * inv_z,
+            0.0,
+            self.intrinsics.focal_x * view.x * inv_z2,
+            0.0,
+            self.intrinsics.focal_y * inv_z,
+            self.intrinsics.focal_y * view.y * inv_z2,
+            0.0,
+            0.0,
+            0.0,
+        )
+    }
+
+    /// The world-to-view rotation block (no translation), used to rotate
+    /// covariances into view space.
+    pub fn view_rotation(&self) -> Mat3 {
+        self.view.upper_left_3x3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_camera() -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(std::f32::consts::FRAC_PI_2, 800, 600),
+        )
+    }
+
+    #[test]
+    fn center_point_projects_to_principal_point() {
+        let cam = test_camera();
+        let px = cam.project(Vec3::new(0.0, 0.0, 5.0)).expect("in front");
+        assert!((px.x - 400.0).abs() < 1e-3);
+        assert!((px.y - 300.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn depth_increases_along_view_direction() {
+        let cam = test_camera();
+        assert!(cam.depth_of(Vec3::new(0.0, 0.0, 2.0)) < cam.depth_of(Vec3::new(0.0, 0.0, 5.0)));
+        assert!((cam.depth_of(Vec3::new(0.0, 0.0, 2.0)) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn points_behind_camera_do_not_project() {
+        let cam = test_camera();
+        assert!(cam.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+    }
+
+    #[test]
+    fn frustum_culls_behind_and_far_points() {
+        let cam = test_camera();
+        assert!(!cam.is_in_frustum(Vec3::new(0.0, 0.0, -5.0), 0.1));
+        assert!(!cam.is_in_frustum(Vec3::new(0.0, 0.0, 5000.0), 0.1));
+        assert!(cam.is_in_frustum(Vec3::new(0.0, 0.0, 10.0), 0.1));
+    }
+
+    #[test]
+    fn frustum_keeps_points_near_the_border_with_guard_band() {
+        let cam = test_camera();
+        // 90° vertical FOV at depth 10 → half-extent 10; the 1.3 guard band
+        // keeps points slightly outside.
+        assert!(cam.is_in_frustum(Vec3::new(0.0, 11.0, 10.0), 0.0));
+        assert!(!cam.is_in_frustum(Vec3::new(0.0, 20.0, 10.0), 0.0));
+    }
+
+    #[test]
+    fn lateral_offset_moves_projection() {
+        let cam = test_camera();
+        let left = cam.project(Vec3::new(-1.0, 0.0, 5.0)).unwrap();
+        let right = cam.project(Vec3::new(1.0, 0.0, 5.0)).unwrap();
+        // Symmetric offsets land symmetrically around the principal point
+        // and on opposite sides of it.
+        assert!((left.x - 400.0).abs() > 1.0);
+        assert!(((left.x - 400.0) + (right.x - 400.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn intrinsics_validate_rejects_zero_resolution() {
+        let mut intr = CameraIntrinsics::from_fov_y(1.0, 640, 480);
+        intr.width = 0;
+        assert!(intr.validate().is_err());
+    }
+
+    #[test]
+    fn intrinsics_fov_round_trip() {
+        let fov = std::f32::consts::FRAC_PI_3;
+        let intr = CameraIntrinsics::from_fov_y(fov, 1920, 1080);
+        assert!((intr.fov_y() - fov).abs() < 1e-4);
+    }
+
+    #[test]
+    fn jacobian_scales_with_inverse_depth() {
+        let cam = test_camera();
+        let near = cam.projection_jacobian(Vec3::new(0.0, 0.0, -2.0));
+        let far = cam.projection_jacobian(Vec3::new(0.0, 0.0, -4.0));
+        assert!((near.at(0, 0) / far.at(0, 0) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn view_rotation_is_orthonormal() {
+        let cam = Camera::look_at(
+            Vec3::new(3.0, 2.0, -4.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 640, 480),
+        );
+        let r = cam.view_rotation();
+        let rt_r = r.transpose() * r;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((rt_r.at(i, j) - expected).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_count_matches_resolution() {
+        let intr = CameraIntrinsics::from_fov_y(1.0, 1959, 1090);
+        assert_eq!(intr.pixel_count(), 1959 * 1090);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the math and data-model layer.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while constructing or manipulating the Gaussian data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A matrix inversion was requested for a singular (non-invertible)
+    /// matrix. Carries the determinant that was computed.
+    SingularMatrix {
+        /// Determinant of the offending matrix.
+        determinant: f32,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A spherical-harmonics degree outside the supported range was used.
+    UnsupportedShDegree {
+        /// The requested degree.
+        degree: usize,
+    },
+    /// A value could not be represented in the requested reduced precision.
+    PrecisionOverflow {
+        /// The value that overflowed.
+        value: f32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SingularMatrix { determinant } => {
+                write!(f, "matrix is singular (determinant {determinant:e})")
+            }
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::UnsupportedShDegree { degree } => {
+                write!(f, "unsupported spherical harmonics degree {degree} (max 3)")
+            }
+            Error::PrecisionOverflow { value } => {
+                write!(f, "value {value} cannot be represented in reduced precision")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = Error::SingularMatrix { determinant: 0.0 };
+        let s = e.to_string();
+        assert!(s.starts_with("matrix is singular"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn invalid_parameter_mentions_name() {
+        let e = Error::InvalidParameter {
+            name: "opacity",
+            reason: "must be in [0, 1]".to_owned(),
+        };
+        assert!(e.to_string().contains("opacity"));
+    }
+}

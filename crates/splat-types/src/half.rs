@@ -1,0 +1,258 @@
+//! Software IEEE-754 binary16 ("half precision") conversion.
+//!
+//! The GS-TG evaluation converts models trained in 32-bit floating point to
+//! 16-bit floating point to improve throughput and area efficiency of the
+//! accelerator (Section VI-A of the paper). This module provides the exact
+//! round-to-nearest-even conversion so that the simulator can quantify the
+//! effect of the reduced precision and so that scene serialization can match
+//! the accelerator's on-chip number format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IEEE-754 binary16 value stored as its bit pattern.
+///
+/// `F16` is a storage/transport format: arithmetic is performed by
+/// converting to `f32`, operating, and converting back, which mirrors how
+/// the modelled hardware datapath treats half-precision operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: Self = Self(0);
+    /// One.
+    pub const ONE: Self = Self(0x3C00);
+    /// Largest finite value (65504.0).
+    pub const MAX: Self = Self(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: Self = Self(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: Self = Self(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Self = Self(0xFC00);
+
+    /// Creates a half from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Self(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to the nearest representable half
+    /// (round-to-nearest-even, the IEEE default used by hardware FP units).
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mantissa = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN.
+            let payload = if mantissa != 0 { 0x0200 } else { 0 };
+            return Self(sign | 0x7C00 | payload);
+        }
+
+        // Re-bias exponent from f32 (127) to f16 (15).
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return Self(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normalized result: keep top 10 mantissa bits with rounding.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_man = (mantissa >> 13) as u16;
+            let round_bit = (mantissa >> 12) & 1;
+            let sticky = mantissa & 0x0FFF;
+            let mut result = sign | half_exp | half_man;
+            if round_bit == 1 && (sticky != 0 || (half_man & 1) == 1) {
+                result = result.wrapping_add(1);
+            }
+            return Self(result);
+        }
+        if unbiased >= -24 {
+            // Subnormal result.
+            let full_man = mantissa | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_man = (full_man >> shift) as u16;
+            let round_mask = 1u32 << (shift - 1);
+            let round_bit = (full_man & round_mask) != 0;
+            let sticky = (full_man & (round_mask - 1)) != 0;
+            let mut result = sign | half_man;
+            if round_bit && (sticky || (half_man & 1) == 1) {
+                result = result.wrapping_add(1);
+            }
+            return Self(result);
+        }
+        // Underflow to signed zero.
+        Self(sign)
+    }
+
+    /// Converts the half back to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = u32::from(self.0 >> 10) & 0x1F;
+        let mantissa = u32::from(self.0) & 0x03FF;
+
+        let bits = if exp == 0 {
+            if mantissa == 0 {
+                sign
+            } else {
+                // Subnormal: normalize it into an f32.
+                let mut m = mantissa;
+                let mut e: i32 = 0;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                let exp32 = (127 - 15 + e + 1) as u32;
+                sign | (exp32 << 23) | ((m & 0x03FF) << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mantissa << 13)
+        } else {
+            let exp32 = exp + 127 - 15;
+            sign | (exp32 << 23) | (mantissa << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Returns `true` for NaN values.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Returns `true` for positive/negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+impl From<f32> for F16 {
+    #[inline]
+    fn from(v: f32) -> Self {
+        Self::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    #[inline]
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds an `f32` through half precision and back, emulating a datapath
+/// that stores the value in 16 bits.
+///
+/// ```
+/// let x = splat_types::half::round_trip_f16(std::f32::consts::PI);
+/// assert!((x - std::f32::consts::PI).abs() < 1e-3);
+/// ```
+#[inline]
+pub fn round_trip_f16(value: f32) -> f32 {
+    F16::from_f32(value).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(round_trip_f16(v), v, "integer {i} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn one_has_expected_bits() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn max_value_round_trips() {
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(1.0e6).is_infinite());
+        assert!(F16::from_f32(-1.0e6).is_infinite());
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive subnormal half is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(round_trip_f16(tiny), tiny);
+        // Below half of it, we underflow to zero.
+        assert_eq!(round_trip_f16(2.0f32.powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn signed_zero_is_preserved() {
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0009765625 = 1 + 2^-10 is exactly representable; halfway cases
+        // between it and 1.0 round to the even mantissa (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(round_trip_f16(halfway), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(round_trip_f16(above), 1.0 + 2.0f32.powi(-10));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_error_is_bounded(v in -60000.0f32..60000.0) {
+            let r = round_trip_f16(v);
+            // Relative error of binary16 is at most 2^-11 for normal values.
+            let tol = (v.abs() * 2.0f32.powi(-10)).max(2.0f32.powi(-14));
+            prop_assert!((r - v).abs() <= tol, "value {v} -> {r}");
+        }
+
+        #[test]
+        fn conversion_is_monotonic(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(round_trip_f16(lo) <= round_trip_f16(hi));
+        }
+
+        #[test]
+        fn all_finite_halves_round_trip_exactly(bits in 0u16..0x7C00u16) {
+            // Positive finite halves: f16 -> f32 -> f16 must be the identity.
+            let h = F16::from_bits(bits);
+            prop_assert_eq!(F16::from_f32(h.to_f32()), h);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Math primitives and the 3D Gaussian data model used throughout the GS-TG
+//! reproduction.
+//!
+//! The crate is intentionally free of external math dependencies: every type
+//! (vectors, matrices, quaternions, IEEE-754 binary16 conversion, spherical
+//! harmonics) is implemented here so that the rendering pipeline and the
+//! cycle-level accelerator simulator are fully self-contained and
+//! deterministic across platforms.
+//!
+//! # Quick example
+//!
+//! ```
+//! use splat_types::{Gaussian3d, Vec3, Quat, Camera, CameraIntrinsics};
+//!
+//! // A single isotropic splat one unit in front of the camera.
+//! let g = Gaussian3d::builder()
+//!     .position(Vec3::new(0.0, 0.0, 1.0))
+//!     .scale(Vec3::splat(0.05))
+//!     .rotation(Quat::IDENTITY)
+//!     .opacity(0.9)
+//!     .base_color([0.8, 0.2, 0.2])
+//!     .build();
+//!
+//! let cam = Camera::look_at(
+//!     Vec3::new(0.0, 0.0, 0.0),
+//!     Vec3::new(0.0, 0.0, 1.0),
+//!     Vec3::new(0.0, 1.0, 0.0),
+//!     CameraIntrinsics::from_fov_y(std::f32::consts::FRAC_PI_3, 640, 480),
+//! );
+//!
+//! // The splat is inside the view frustum.
+//! assert!(cam.is_in_frustum(g.position(), 0.2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod color;
+pub mod error;
+pub mod gaussian;
+pub mod half;
+pub mod mat;
+pub mod quat;
+pub mod sh;
+pub mod vec;
+
+pub use camera::{Camera, CameraIntrinsics};
+pub use color::Rgb;
+pub use error::{Error, Result};
+pub use gaussian::{Gaussian3d, Gaussian3dBuilder, Precision};
+pub use half::F16;
+pub use mat::{Mat2, Mat3, Mat4};
+pub use quat::Quat;
+pub use sh::{ShCoefficients, SH_DEGREE_MAX};
+pub use vec::{Vec2, Vec3, Vec4};

@@ -1,0 +1,629 @@
+//! Small square matrices (`Mat2`, `Mat3`, `Mat4`) over `f32`.
+//!
+//! Matrices are stored column-major (matching the usual graphics convention)
+//! and provide exactly the operations required by the splatting pipeline:
+//! multiplication, transpose, inversion, determinants and the symmetric
+//! 2×2 eigendecomposition used to derive screen-space splat extents.
+
+use crate::error::{Error, Result};
+use crate::vec::{Vec2, Vec3, Vec4};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A 2×2 single-precision matrix (projected 2D covariance).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat2 {
+    /// Columns of the matrix.
+    pub cols: [Vec2; 2],
+}
+
+/// A 3×3 single-precision matrix (3D covariance, rotations, Jacobians).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Columns of the matrix.
+    pub cols: [Vec3; 3],
+}
+
+/// A 4×4 single-precision matrix (view and projection transforms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat4 {
+    /// Columns of the matrix.
+    pub cols: [Vec4; 4],
+}
+
+impl Default for Mat2 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mat2 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Self = Self {
+        cols: [Vec2::ZERO, Vec2::ZERO],
+    };
+
+    /// Builds a matrix from two columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec2, c1: Vec2) -> Self {
+        Self { cols: [c0, c1] }
+    }
+
+    /// Builds a matrix from row-major scalar entries.
+    #[inline]
+    pub const fn from_rows(m00: f32, m01: f32, m10: f32, m11: f32) -> Self {
+        Self::from_cols(Vec2::new(m00, m10), Vec2::new(m01, m11))
+    }
+
+    /// Builds a symmetric matrix from the upper-triangular entries
+    /// `[a, b; b, c]`, the storage format used for 2D covariances.
+    #[inline]
+    pub const fn from_symmetric(a: f32, b: f32, c: f32) -> Self {
+        Self::from_rows(a, b, b, c)
+    }
+
+    /// Entry accessor: `row`, `col`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.cols[col][row]
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn determinant(&self) -> f32 {
+        self.at(0, 0) * self.at(1, 1) - self.at(0, 1) * self.at(1, 0)
+    }
+
+    /// Trace (sum of the diagonal).
+    #[inline]
+    pub fn trace(&self) -> f32 {
+        self.at(0, 0) + self.at(1, 1)
+    }
+
+    /// Matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] when the determinant magnitude is
+    /// below `1e-12`, which for a covariance matrix corresponds to a fully
+    /// degenerate splat.
+    pub fn inverse(&self) -> Result<Self> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return Err(Error::SingularMatrix { determinant: det });
+        }
+        let inv_det = 1.0 / det;
+        Ok(Self::from_rows(
+            self.at(1, 1) * inv_det,
+            -self.at(0, 1) * inv_det,
+            -self.at(1, 0) * inv_det,
+            self.at(0, 0) * inv_det,
+        ))
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        Self::from_rows(self.at(0, 0), self.at(1, 0), self.at(0, 1), self.at(1, 1))
+    }
+
+    /// Eigenvalues of a *symmetric* 2×2 matrix, returned as
+    /// `(lambda_max, lambda_min)`.
+    ///
+    /// The caller is responsible for only passing symmetric matrices (2D
+    /// covariances); the off-diagonal entries are averaged defensively.
+    #[inline]
+    pub fn symmetric_eigenvalues(&self) -> (f32, f32) {
+        let a = self.at(0, 0);
+        let b = 0.5 * (self.at(0, 1) + self.at(1, 0));
+        let c = self.at(1, 1);
+        let mid = 0.5 * (a + c);
+        let disc = (0.25 * (a - c) * (a - c) + b * b).max(0.0).sqrt();
+        (mid + disc, mid - disc)
+    }
+
+    /// Eigenvectors of a *symmetric* 2×2 matrix, returned as unit vectors
+    /// `(v_max, v_min)` matching [`Mat2::symmetric_eigenvalues`].
+    pub fn symmetric_eigenvectors(&self) -> (Vec2, Vec2) {
+        let a = self.at(0, 0);
+        let b = 0.5 * (self.at(0, 1) + self.at(1, 0));
+        let c = self.at(1, 1);
+        let (l_max, _) = self.symmetric_eigenvalues();
+        let v_max = if b.abs() > 1e-12 {
+            Vec2::new(l_max - c, b).normalized()
+        } else if a >= c {
+            Vec2::new(1.0, 0.0)
+        } else {
+            Vec2::new(0.0, 1.0)
+        };
+        let v_min = Vec2::new(-v_max.y, v_max.x);
+        (v_max, v_min)
+    }
+
+    /// Multiplies the matrix by a column vector.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec2) -> Vec2 {
+        self.cols[0] * v.x + self.cols[1] * v.y
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(self.mul_vec(rhs.cols[0]), self.mul_vec(rhs.cols[1]))
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::from_cols(self.cols[0] + rhs.cols[0], self.cols[1] + rhs.cols[1])
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_cols(self.cols[0] - rhs.cols[0], self.cols[1] - rhs.cols[1])
+    }
+}
+
+impl Mul<f32> for Mat2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        Self::from_cols(self.cols[0] * rhs, self.cols[1] * rhs)
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Self = Self {
+        cols: [Vec3::ZERO, Vec3::ZERO, Vec3::ZERO],
+    };
+
+    /// Builds a matrix from three columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Self { cols: [c0, c1, c2] }
+    }
+
+    /// Builds a matrix from row-major scalar entries.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub const fn from_rows(
+        m00: f32,
+        m01: f32,
+        m02: f32,
+        m10: f32,
+        m11: f32,
+        m12: f32,
+        m20: f32,
+        m21: f32,
+        m22: f32,
+    ) -> Self {
+        Self::from_cols(
+            Vec3::new(m00, m10, m20),
+            Vec3::new(m01, m11, m21),
+            Vec3::new(m02, m12, m22),
+        )
+    }
+
+    /// Builds a diagonal matrix.
+    #[inline]
+    pub const fn from_diagonal(d: Vec3) -> Self {
+        Self::from_rows(d.x, 0.0, 0.0, 0.0, d.y, 0.0, 0.0, 0.0, d.z)
+    }
+
+    /// Entry accessor: `row`, `col`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.cols[col][row]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_rows(
+            self.at(0, 0),
+            self.at(1, 0),
+            self.at(2, 0),
+            self.at(0, 1),
+            self.at(1, 1),
+            self.at(2, 1),
+            self.at(0, 2),
+            self.at(1, 2),
+            self.at(2, 2),
+        )
+    }
+
+    /// Determinant.
+    pub fn determinant(&self) -> f32 {
+        let c = &self.cols;
+        c[0].dot(c[1].cross(c[2]))
+    }
+
+    /// Matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] for (near-)singular input.
+    pub fn inverse(&self) -> Result<Self> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return Err(Error::SingularMatrix { determinant: det });
+        }
+        let c = &self.cols;
+        let inv_det = 1.0 / det;
+        let r0 = c[1].cross(c[2]) * inv_det;
+        let r1 = c[2].cross(c[0]) * inv_det;
+        let r2 = c[0].cross(c[1]) * inv_det;
+        // Rows of the inverse are the scaled cross products; build from rows.
+        Ok(Self::from_rows(
+            r0.x, r0.y, r0.z, r1.x, r1.y, r1.z, r2.x, r2.y, r2.z,
+        ))
+    }
+
+    /// Multiplies the matrix by a column vector.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z
+    }
+
+    /// Extracts the upper-left 2×2 block (used when projecting a 3D
+    /// covariance to the screen).
+    #[inline]
+    pub fn upper_left_2x2(&self) -> Mat2 {
+        Mat2::from_rows(self.at(0, 0), self.at(0, 1), self.at(1, 0), self.at(1, 1))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.mul_vec(rhs.cols[0]),
+            self.mul_vec(rhs.cols[1]),
+            self.mul_vec(rhs.cols[2]),
+        )
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.cols[0] + rhs.cols[0],
+            self.cols[1] + rhs.cols[1],
+            self.cols[2] + rhs.cols[2],
+        )
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.cols[0] - rhs.cols[0],
+            self.cols[1] - rhs.cols[1],
+            self.cols[2] - rhs.cols[2],
+        )
+    }
+}
+
+impl Mul<f32> for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        Self::from_cols(self.cols[0] * rhs, self.cols[1] * rhs, self.cols[2] * rhs)
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds a matrix from four columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
+        Self {
+            cols: [c0, c1, c2, c3],
+        }
+    }
+
+    /// Entry accessor: `row`, `col`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.cols[col][row]
+    }
+
+    /// Multiplies the matrix by a column vector.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+
+    /// Transforms a 3D point (implicit `w = 1`).
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec4 {
+        self.mul_vec(p.extend(1.0))
+    }
+
+    /// Transforms a 3D direction (implicit `w = 0`).
+    #[inline]
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.mul_vec(d.extend(0.0)).truncate()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_cols(
+            Vec4::new(self.at(0, 0), self.at(0, 1), self.at(0, 2), self.at(0, 3)),
+            Vec4::new(self.at(1, 0), self.at(1, 1), self.at(1, 2), self.at(1, 3)),
+            Vec4::new(self.at(2, 0), self.at(2, 1), self.at(2, 2), self.at(2, 3)),
+            Vec4::new(self.at(3, 0), self.at(3, 1), self.at(3, 2), self.at(3, 3)),
+        )
+    }
+
+    /// Extracts the upper-left 3×3 rotation/scale block.
+    pub fn upper_left_3x3(&self) -> Mat3 {
+        Mat3::from_cols(
+            self.cols[0].truncate(),
+            self.cols[1].truncate(),
+            self.cols[2].truncate(),
+        )
+    }
+
+    /// Builds a rigid transform from a rotation matrix and translation.
+    pub fn from_rotation_translation(rot: Mat3, t: Vec3) -> Self {
+        Self::from_cols(
+            rot.cols[0].extend(0.0),
+            rot.cols[1].extend(0.0),
+            rot.cols[2].extend(0.0),
+            t.extend(1.0),
+        )
+    }
+
+    /// Right-handed look-at view matrix (camera looks along -Z in view
+    /// space, matching the OpenGL convention used by the 3D-GS reference
+    /// renderer).
+    pub fn look_at_rh(eye: Vec3, target: Vec3, up: Vec3) -> Self {
+        let f = (target - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        Self::from_cols(
+            Vec4::new(s.x, u.x, -f.x, 0.0),
+            Vec4::new(s.y, u.y, -f.y, 0.0),
+            Vec4::new(s.z, u.z, -f.z, 0.0),
+            Vec4::new(-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0),
+        )
+    }
+
+    /// Right-handed perspective projection with a `[0, 1]`-style depth range
+    /// mapped to normalized device coordinates `[-1, 1]`.
+    pub fn perspective_rh(fov_y: f32, aspect: f32, z_near: f32, z_far: f32) -> Self {
+        let f = 1.0 / (0.5 * fov_y).tan();
+        let range = z_far - z_near;
+        Self::from_cols(
+            Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, f, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, -(z_far + z_near) / range, -1.0),
+            Vec4::new(0.0, 0.0, -2.0 * z_far * z_near / range, 0.0),
+        )
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.mul_vec(rhs.cols[0]),
+            self.mul_vec(rhs.cols[1]),
+            self.mul_vec(rhs.cols[2]),
+            self.mul_vec(rhs.cols[3]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-4 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn mat2_approx(a: &Mat2, b: &Mat2) -> bool {
+        (0..2).all(|r| (0..2).all(|c| approx(a.at(r, c), b.at(r, c))))
+    }
+
+    fn mat3_approx(a: &Mat3, b: &Mat3) -> bool {
+        (0..3).all(|r| (0..3).all(|c| approx(a.at(r, c), b.at(r, c))))
+    }
+
+    #[test]
+    fn mat2_inverse_round_trip() {
+        let m = Mat2::from_rows(2.0, 1.0, 1.0, 3.0);
+        let inv = m.inverse().expect("invertible");
+        assert!(mat2_approx(&(m * inv), &Mat2::IDENTITY));
+    }
+
+    #[test]
+    fn mat2_singular_inverse_fails() {
+        let m = Mat2::from_rows(1.0, 2.0, 2.0, 4.0);
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn mat2_symmetric_eigenvalues_of_diagonal() {
+        let m = Mat2::from_symmetric(4.0, 0.0, 1.0);
+        let (l1, l2) = m.symmetric_eigenvalues();
+        assert!(approx(l1, 4.0));
+        assert!(approx(l2, 1.0));
+    }
+
+    #[test]
+    fn mat2_eigenvectors_are_orthonormal() {
+        let m = Mat2::from_symmetric(3.0, 1.2, 2.0);
+        let (v1, v2) = m.symmetric_eigenvectors();
+        assert!(approx(v1.length(), 1.0));
+        assert!(approx(v2.length(), 1.0));
+        assert!(approx(v1.dot(v2), 0.0));
+    }
+
+    #[test]
+    fn mat2_eigen_reconstruction() {
+        // A = V diag(l) V^T for symmetric A.
+        let m = Mat2::from_symmetric(5.0, -1.5, 2.0);
+        let (l1, l2) = m.symmetric_eigenvalues();
+        let (v1, v2) = m.symmetric_eigenvectors();
+        let recon = |r: usize, c: usize| -> f32 {
+            l1 * v1[r] * v1[c] + l2 * v2[r] * v2[c]
+        };
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx(recon(r, c), m.at(r, c)), "entry ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn mat3_inverse_round_trip() {
+        let m = Mat3::from_rows(2.0, 0.5, 0.0, -1.0, 3.0, 0.2, 0.0, 0.1, 1.5);
+        let inv = m.inverse().expect("invertible");
+        assert!(mat3_approx(&(m * inv), &Mat3::IDENTITY));
+    }
+
+    #[test]
+    fn mat3_singular_inverse_fails() {
+        let m = Mat3::from_rows(1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 0.0, 1.0, 1.0);
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn mat3_determinant_of_diagonal() {
+        let m = Mat3::from_diagonal(Vec3::new(2.0, 3.0, 4.0));
+        assert!(approx(m.determinant(), 24.0));
+    }
+
+    #[test]
+    fn mat4_look_at_places_eye_at_origin() {
+        let eye = Vec3::new(1.0, 2.0, 3.0);
+        let view = Mat4::look_at_rh(eye, Vec3::ZERO, Vec3::Y);
+        let p = view.transform_point(eye).project().expect("finite w");
+        assert!(approx(p.x, 0.0) && approx(p.y, 0.0) && approx(p.z, 0.0));
+    }
+
+    #[test]
+    fn mat4_look_at_target_is_in_front() {
+        // Looking down -Z in view space: the target must have negative z.
+        let view = Mat4::look_at_rh(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, Vec3::Y);
+        let p = view.transform_point(Vec3::ZERO).project().expect("finite w");
+        assert!(p.z < 0.0);
+    }
+
+    #[test]
+    fn mat4_perspective_maps_near_and_far() {
+        let proj = Mat4::perspective_rh(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 100.0);
+        let near = proj
+            .transform_point(Vec3::new(0.0, 0.0, -0.1))
+            .project()
+            .expect("finite");
+        let far = proj
+            .transform_point(Vec3::new(0.0, 0.0, -100.0))
+            .project()
+            .expect("finite");
+        assert!(approx(near.z, -1.0));
+        assert!(approx(far.z, 1.0));
+    }
+
+    #[test]
+    fn mat4_transform_dir_ignores_translation() {
+        let m = Mat4::from_rotation_translation(Mat3::IDENTITY, Vec3::new(5.0, 6.0, 7.0));
+        assert_eq!(m.transform_dir(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn upper_left_blocks_match() {
+        let m3 = Mat3::from_rows(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        let m2 = m3.upper_left_2x2();
+        assert_eq!(m2.at(0, 0), 1.0);
+        assert_eq!(m2.at(0, 1), 2.0);
+        assert_eq!(m2.at(1, 0), 4.0);
+        assert_eq!(m2.at(1, 1), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn mat2_symmetric_eigenvalues_are_ordered(
+            a in -10.0f32..10.0, b in -10.0f32..10.0, c in -10.0f32..10.0,
+        ) {
+            let m = Mat2::from_symmetric(a, b, c);
+            let (l1, l2) = m.symmetric_eigenvalues();
+            prop_assert!(l1 >= l2);
+            // Trace and determinant are preserved by the eigendecomposition.
+            prop_assert!(approx(l1 + l2, m.trace()));
+            prop_assert!((l1 * l2 - m.determinant()).abs() <= 1e-2 * (1.0 + m.determinant().abs()));
+        }
+
+        #[test]
+        fn mat3_transpose_is_involutive(
+            v in proptest::collection::vec(-10.0f32..10.0, 9),
+        ) {
+            let m = Mat3::from_rows(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8]);
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn mat3_inverse_when_it_exists_round_trips(
+            v in proptest::collection::vec(-5.0f32..5.0, 9),
+        ) {
+            let m = Mat3::from_rows(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8]);
+            // Only well-conditioned matrices: skip nearly singular draws.
+            prop_assume!(m.determinant().abs() > 0.5);
+            let inv = m.inverse().unwrap();
+            let id = m * inv;
+            prop_assert!(mat3_approx(&id, &Mat3::IDENTITY));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Unit quaternions representing splat orientations.
+//!
+//! 3D-GS parameterizes each Gaussian's covariance as `R S S^T R^T` where `R`
+//! comes from a learned quaternion and `S` is a diagonal scale matrix. The
+//! quaternion type here provides exactly that conversion plus the usual
+//! composition and axis-angle constructors needed by the synthetic scene
+//! generators.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk` used to represent rotations.
+///
+/// Construction helpers always return normalized quaternions; deserialized
+/// or manually constructed values can be re-normalized with
+/// [`Quat::normalized`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar (real) part.
+    pub w: f32,
+    /// `i` coefficient.
+    pub x: f32,
+    /// `j` coefficient.
+    pub y: f32,
+    /// `k` coefficient.
+    pub z: f32,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Self = Self {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a quaternion from raw coefficients (`w`, `x`, `y`, `z`).
+    ///
+    /// The result is *not* normalized; call [`Quat::normalized`] when the
+    /// coefficients do not already lie on the unit sphere.
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Self { w, x, y, z }
+    }
+
+    /// Creates a rotation of `angle` radians around `axis`.
+    ///
+    /// A zero-length axis yields the identity rotation.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        let axis = axis.normalized();
+        if axis == Vec3::ZERO {
+            return Self::IDENTITY;
+        }
+        let (s, c) = (0.5 * angle).sin_cos();
+        Self::new(c, axis.x * s, axis.y * s, axis.z * s)
+    }
+
+    /// Creates a rotation from intrinsic Euler angles (yaw around Y, pitch
+    /// around X, roll around Z), applied in that order.
+    pub fn from_euler(yaw: f32, pitch: f32, roll: f32) -> Self {
+        Self::from_axis_angle(Vec3::Y, yaw)
+            * Self::from_axis_angle(Vec3::X, pitch)
+            * Self::from_axis_angle(Vec3::Z, roll)
+    }
+
+    /// Squared norm of the coefficients.
+    #[inline]
+    pub fn norm_squared(self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Norm of the coefficients.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Returns a unit quaternion in the same direction, or the identity if
+    /// the norm is (near) zero.
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if n <= f32::EPSILON {
+            Self::IDENTITY
+        } else {
+            Self::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// The conjugate (inverse for unit quaternions).
+    #[inline]
+    pub fn conjugate(self) -> Self {
+        Self::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Converts the (assumed unit) quaternion to a 3×3 rotation matrix.
+    pub fn to_rotation_matrix(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows(
+            1.0 - 2.0 * (y * y + z * z),
+            2.0 * (x * y - w * z),
+            2.0 * (x * z + w * y),
+            2.0 * (x * y + w * z),
+            1.0 - 2.0 * (x * x + z * z),
+            2.0 * (y * z - w * x),
+            2.0 * (x * z - w * y),
+            2.0 * (y * z + w * x),
+            1.0 - 2.0 * (x * x + y * y),
+        )
+    }
+
+    /// Rotates a vector by the quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        self.to_rotation_matrix().mul_vec(v)
+    }
+}
+
+impl Mul for Quat {
+    type Output = Self;
+
+    /// Hamilton product; composes rotations (`a * b` applies `b` first).
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-4
+    }
+
+    fn vec_approx(a: Vec3, b: Vec3) -> bool {
+        approx(a.x, b.x) && approx(a.y, b.y) && approx(a.z, b.z)
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Quat::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::Z, std::f32::consts::FRAC_PI_2);
+        assert!(vec_approx(q.rotate(Vec3::X), Vec3::Y));
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let q = Quat::from_euler(0.3, -0.7, 1.1);
+        let r = q.to_rotation_matrix();
+        let rt_r = r.transpose() * r;
+        for row in 0..3 {
+            for col in 0..3 {
+                let expected = if row == col { 1.0 } else { 0.0 };
+                assert!(approx(rt_r.at(row, col), expected), "entry ({row},{col})");
+            }
+        }
+        assert!(approx(r.determinant(), 1.0));
+    }
+
+    #[test]
+    fn conjugate_inverts_unit_rotation() {
+        let q = Quat::from_euler(0.5, 0.2, -0.9);
+        let v = Vec3::new(0.3, 0.8, -1.2);
+        assert!(vec_approx(q.conjugate().rotate(q.rotate(v)), v));
+    }
+
+    #[test]
+    fn zero_axis_yields_identity() {
+        assert_eq!(Quat::from_axis_angle(Vec3::ZERO, 1.0), Quat::IDENTITY);
+    }
+
+    #[test]
+    fn normalizing_zero_quaternion_yields_identity() {
+        assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized(), Quat::IDENTITY);
+    }
+
+    proptest! {
+        #[test]
+        fn rotation_preserves_length(
+            yaw in -3.0f32..3.0, pitch in -1.5f32..1.5, roll in -3.0f32..3.0,
+            x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0,
+        ) {
+            let q = Quat::from_euler(yaw, pitch, roll);
+            let v = Vec3::new(x, y, z);
+            prop_assert!((q.rotate(v).length() - v.length()).abs() < 1e-3 * (1.0 + v.length()));
+        }
+
+        #[test]
+        fn composition_matches_matrix_product(
+            a in -3.0f32..3.0, b in -1.5f32..1.5, c in -3.0f32..3.0,
+            d in -3.0f32..3.0, e in -1.5f32..1.5, f in -3.0f32..3.0,
+            x in -5.0f32..5.0, y in -5.0f32..5.0, z in -5.0f32..5.0,
+        ) {
+            let q1 = Quat::from_euler(a, b, c);
+            let q2 = Quat::from_euler(d, e, f);
+            let v = Vec3::new(x, y, z);
+            let via_quat = (q1 * q2).rotate(v);
+            let via_mat = q1.to_rotation_matrix().mul_vec(q2.to_rotation_matrix().mul_vec(v));
+            prop_assert!((via_quat - via_mat).length() < 1e-2 * (1.0 + v.length()));
+        }
+
+        #[test]
+        fn product_of_unit_quats_is_unit(
+            a in -3.0f32..3.0, b in -1.5f32..1.5, c in -3.0f32..3.0,
+            d in -3.0f32..3.0, e in -1.5f32..1.5, f in -3.0f32..3.0,
+        ) {
+            let q = Quat::from_euler(a, b, c) * Quat::from_euler(d, e, f);
+            prop_assert!((q.norm() - 1.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Real spherical harmonics used for view-dependent splat color.
+//!
+//! 3D-GS stores per-Gaussian RGB spherical-harmonics coefficients up to
+//! degree 3 (16 coefficients per channel) and evaluates them against the
+//! normalized camera→splat direction during preprocessing to obtain the
+//! view-dependent color `G_RGB` consumed by rasterization.
+
+use crate::color::Rgb;
+use crate::error::{Error, Result};
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Highest supported spherical-harmonics degree (matching 3D-GS).
+pub const SH_DEGREE_MAX: usize = 3;
+
+/// Number of SH basis functions for a given degree.
+///
+/// ```
+/// assert_eq!(splat_types::sh::coefficient_count(0), 1);
+/// assert_eq!(splat_types::sh::coefficient_count(3), 16);
+/// ```
+#[inline]
+pub const fn coefficient_count(degree: usize) -> usize {
+    (degree + 1) * (degree + 1)
+}
+
+// Real SH basis constants as used by the 3D-GS reference implementation.
+const SH_C0: f32 = 0.282_094_79;
+const SH_C1: f32 = 0.488_602_51;
+const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C3: [f32; 7] = [
+    -0.590_043_6,
+    2.890_611_4,
+    -0.457_045_8,
+    0.373_176_33,
+    -0.457_045_8,
+    1.445_305_7,
+    -0.590_043_6,
+];
+
+/// Evaluates the real SH basis functions of `degree` in direction `dir`
+/// (which must be normalized), writing `coefficient_count(degree)` values.
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedShDegree`] for degrees above
+/// [`SH_DEGREE_MAX`].
+pub fn eval_basis(degree: usize, dir: Vec3) -> Result<Vec<f32>> {
+    if degree > SH_DEGREE_MAX {
+        return Err(Error::UnsupportedShDegree { degree });
+    }
+    let (x, y, z) = (dir.x, dir.y, dir.z);
+    let mut basis = Vec::with_capacity(coefficient_count(degree));
+    basis.push(SH_C0);
+    if degree >= 1 {
+        basis.push(-SH_C1 * y);
+        basis.push(SH_C1 * z);
+        basis.push(-SH_C1 * x);
+    }
+    if degree >= 2 {
+        let (xx, yy, zz) = (x * x, y * y, z * z);
+        let (xy, yz, xz) = (x * y, y * z, x * z);
+        basis.push(SH_C2[0] * xy);
+        basis.push(SH_C2[1] * yz);
+        basis.push(SH_C2[2] * (2.0 * zz - xx - yy));
+        basis.push(SH_C2[3] * xz);
+        basis.push(SH_C2[4] * (xx - yy));
+    }
+    if degree >= 3 {
+        let (xx, yy, zz) = (x * x, y * y, z * z);
+        basis.push(SH_C3[0] * y * (3.0 * xx - yy));
+        basis.push(SH_C3[1] * x * y * z);
+        basis.push(SH_C3[2] * y * (4.0 * zz - xx - yy));
+        basis.push(SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy));
+        basis.push(SH_C3[4] * x * (4.0 * zz - xx - yy));
+        basis.push(SH_C3[5] * z * (xx - yy));
+        basis.push(SH_C3[6] * x * (xx - 3.0 * yy));
+    }
+    Ok(basis)
+}
+
+/// Per-Gaussian RGB spherical-harmonics coefficients.
+///
+/// Coefficients are stored interleaved per basis function:
+/// `coeffs[i]` is the RGB weight of basis function `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShCoefficients {
+    degree: usize,
+    coeffs: Vec<Rgb>,
+}
+
+impl ShCoefficients {
+    /// Creates degree-0 coefficients that reproduce `base_color` exactly
+    /// for every viewing direction.
+    pub fn constant(base_color: Rgb) -> Self {
+        Self {
+            degree: 0,
+            coeffs: vec![Rgb::new(
+                (base_color.r - 0.5) / SH_C0,
+                (base_color.g - 0.5) / SH_C0,
+                (base_color.b - 0.5) / SH_C0,
+            )],
+        }
+    }
+
+    /// Creates coefficients from raw per-basis RGB weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the coefficient count does
+    /// not correspond to a complete degree (1, 4, 9 or 16 entries), and
+    /// [`Error::UnsupportedShDegree`] above degree 3.
+    pub fn from_coefficients(coeffs: Vec<Rgb>) -> Result<Self> {
+        let degree = match coeffs.len() {
+            1 => 0,
+            4 => 1,
+            9 => 2,
+            16 => 3,
+            n => {
+                return Err(Error::InvalidParameter {
+                    name: "coeffs",
+                    reason: format!("{n} is not a complete SH coefficient count (1, 4, 9, 16)"),
+                })
+            }
+        };
+        if degree > SH_DEGREE_MAX {
+            return Err(Error::UnsupportedShDegree { degree });
+        }
+        Ok(Self { degree, coeffs })
+    }
+
+    /// The SH degree stored.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Raw coefficient access (basis-major).
+    #[inline]
+    pub fn coefficients(&self) -> &[Rgb] {
+        &self.coeffs
+    }
+
+    /// Evaluates the view-dependent color in direction `dir` (normalized
+    /// camera→splat direction), clamped to non-negative values as in the
+    /// 3D-GS reference renderer.
+    pub fn eval(&self, dir: Vec3) -> Rgb {
+        let basis = eval_basis(self.degree, dir).expect("degree validated at construction");
+        let mut color = Rgb::new(0.5, 0.5, 0.5);
+        for (w, c) in basis.iter().zip(&self.coeffs) {
+            color += *c * *w;
+        }
+        Rgb::new(color.r.max(0.0), color.g.max(0.0), color.b.max(0.0))
+    }
+
+    /// Number of floating-point values stored (3 per basis function), used
+    /// by the DRAM traffic model.
+    #[inline]
+    pub fn value_count(&self) -> usize {
+        self.coeffs.len() * 3
+    }
+}
+
+impl Default for ShCoefficients {
+    fn default() -> Self {
+        Self::constant(Rgb::splat(0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coefficient_counts() {
+        assert_eq!(coefficient_count(0), 1);
+        assert_eq!(coefficient_count(1), 4);
+        assert_eq!(coefficient_count(2), 9);
+        assert_eq!(coefficient_count(3), 16);
+    }
+
+    #[test]
+    fn basis_rejects_unsupported_degree() {
+        assert!(eval_basis(4, Vec3::Z).is_err());
+    }
+
+    #[test]
+    fn basis_lengths_match_degree() {
+        for degree in 0..=SH_DEGREE_MAX {
+            let b = eval_basis(degree, Vec3::new(0.3, 0.5, 0.8).normalized()).unwrap();
+            assert_eq!(b.len(), coefficient_count(degree));
+        }
+    }
+
+    #[test]
+    fn constant_coefficients_reproduce_base_color() {
+        let base = Rgb::new(0.2, 0.6, 0.9);
+        let sh = ShCoefficients::constant(base);
+        for dir in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(-0.5, 0.3, 0.8).normalized()] {
+            let c = sh.eval(dir);
+            assert!(c.max_abs_diff(base) < 1e-5, "direction {dir:?}");
+        }
+    }
+
+    #[test]
+    fn from_coefficients_validates_count() {
+        assert!(ShCoefficients::from_coefficients(vec![Rgb::BLACK; 5]).is_err());
+        assert!(ShCoefficients::from_coefficients(vec![Rgb::BLACK; 9]).is_ok());
+    }
+
+    #[test]
+    fn eval_clamps_to_non_negative() {
+        // Strongly negative DC coefficient would drive the color negative.
+        let sh = ShCoefficients::from_coefficients(vec![Rgb::splat(-10.0)]).unwrap();
+        let c = sh.eval(Vec3::Z);
+        assert_eq!(c, Rgb::BLACK);
+    }
+
+    #[test]
+    fn higher_degree_adds_view_dependence() {
+        let mut coeffs = vec![Rgb::splat(0.0); 4];
+        coeffs[0] = Rgb::splat(0.3);
+        coeffs[2] = Rgb::new(0.5, 0.0, 0.0); // z-linear band
+        let sh = ShCoefficients::from_coefficients(coeffs).unwrap();
+        let from_front = sh.eval(Vec3::Z);
+        let from_back = sh.eval(-Vec3::Z);
+        assert!(from_front.r > from_back.r);
+    }
+
+    #[test]
+    fn value_count_counts_rgb_floats() {
+        let sh = ShCoefficients::from_coefficients(vec![Rgb::BLACK; 16]).unwrap();
+        assert_eq!(sh.value_count(), 48);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_finite_for_unit_directions(
+            x in -1.0f32..1.0, y in -1.0f32..1.0, z in -1.0f32..1.0,
+            seed in 0u8..255,
+        ) {
+            prop_assume!(Vec3::new(x, y, z).length() > 1e-3);
+            let dir = Vec3::new(x, y, z).normalized();
+            let coeffs: Vec<Rgb> = (0..16)
+                .map(|i| Rgb::splat(((i as f32) + f32::from(seed)) * 0.01 - 0.5))
+                .collect();
+            let sh = ShCoefficients::from_coefficients(coeffs).unwrap();
+            let c = sh.eval(dir);
+            prop_assert!(c.is_finite());
+            prop_assert!(c.r >= 0.0 && c.g >= 0.0 && c.b >= 0.0);
+        }
+    }
+}

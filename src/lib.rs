@@ -1,0 +1,73 @@
+//! GS-TG reproduction — umbrella crate.
+//!
+//! This crate re-exports the workspace's building blocks so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`types`] — math primitives and the 3D Gaussian data model,
+//! * [`scene`] — synthetic scenes matching the paper's evaluation set,
+//! * [`render`] — the conventional tile-based 3D-GS pipeline (the
+//!   baseline),
+//! * [`tile_grouping`] — the GS-TG pipeline: group-wise sorting with
+//!   per-Gaussian tile bitmasks,
+//! * [`accel`] — the cycle-level accelerator simulator,
+//! * [`metrics`] — summary statistics and table output.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gs_tg::prelude::*;
+//!
+//! // Build a small synthetic version of the paper's playroom scene.
+//! let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+//! let camera = Camera::look_at(
+//!     Vec3::ZERO,
+//!     Vec3::new(0.0, 0.0, 1.0),
+//!     Vec3::Y,
+//!     CameraIntrinsics::from_fov_y(1.0, 160, 120),
+//! );
+//!
+//! // Render it with the conventional pipeline and with GS-TG.
+//! let baseline = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse))
+//!     .render(&scene, &camera);
+//! let grouped = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+//!
+//! // GS-TG is lossless: the images match bit-exactly, but it sorted far
+//! // fewer (group, splat) keys than the baseline's (tile, splat) keys.
+//! assert_eq!(grouped.image.max_abs_diff(&baseline.image), 0.0);
+//! assert!(grouped.stats.counts.tile_intersections < baseline.stats.counts.tile_intersections);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use splat_accel as accel;
+pub use splat_metrics as metrics;
+pub use splat_render as render;
+pub use splat_scene as scene;
+pub use splat_types as types;
+/// The paper's contribution: the tile-grouping pipeline.
+pub use gstg as tile_grouping;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use gstg::{verify_lossless, GstgConfig, GstgRenderer};
+    pub use splat_accel::{AccelConfig, PipelineVariant, Simulator};
+    pub use splat_metrics::{geometric_mean, Table};
+    pub use splat_render::{BoundaryMethod, RenderConfig, Renderer};
+    pub use splat_scene::{PaperScene, Scene, SceneScale};
+    pub use splat_types::{Camera, CameraIntrinsics, Gaussian3d, Quat, Rgb, Vec3};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        let config = GstgConfig::paper_default();
+        assert_eq!(config.tile_size, 16);
+        let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
+        assert!(!scene.is_empty());
+        let _ = RenderConfig::new(16, BoundaryMethod::Aabb);
+    }
+}
