@@ -1,0 +1,235 @@
+//! A minimal, offline drop-in for the subset of the [criterion]
+//! benchmarking API this workspace uses.
+//!
+//! The build container has no access to crates.io, so the real `criterion`
+//! crate cannot be vendored. This shim keeps the `benches/` sources
+//! unchanged (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `criterion_group!`/`criterion_main!`) and implements just enough
+//! measurement to be useful: every benchmark is warmed up, then timed over
+//! a fixed number of batches, and the per-iteration mean and minimum are
+//! printed. Swap the manifest entry back to the real crate to get
+//! statistical rigor, HTML reports and regression detection.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark.
+const BATCHES: u32 = 20;
+/// Target wall-clock spent per benchmark (split across batches).
+const TARGET_TIME: Duration = Duration::from_millis(400);
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver. One instance is passed to every function
+/// registered through [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's batch count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        run_one(&format!("{}/{}", self.name, id.label), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            label: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the measured
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this batch's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: find an iteration count that gives each batch a
+    // measurable duration.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget = TARGET_TIME / BATCHES;
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..BATCHES {
+        let mut batch = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut batch);
+        let per = batch.elapsed / (iters as u32).max(1);
+        total += per;
+        best = best.min(per);
+    }
+    let mean = total / BATCHES;
+    println!("bench {name:<48} mean {mean:>12.3?}  min {best:>12.3?}  ({iters} iters/batch)");
+}
+
+/// Registers benchmark functions under a group name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("t", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("sort", 64);
+        assert_eq!(id.label, "sort/64");
+    }
+
+    #[test]
+    fn group_runs_parameterized_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("p", 3), &3u64, |b, &v| {
+            b.iter(|| {
+                seen = v;
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+}

@@ -1,6 +1,8 @@
 //! Configuration of the GS-TG pipeline.
 
-use serde::{Deserialize, Serialize};
+pub use splat_core::ExecutionModel;
+
+use splat_core::{ExecutionConfig, HasExecution};
 use splat_render::BoundaryMethod;
 use splat_types::Precision;
 use std::fmt;
@@ -42,11 +44,17 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidTileSize { tile_size } => {
                 write!(f, "tile size {tile_size} must be a power of two >= 4")
             }
-            ConfigError::GroupNotMultipleOfTile { tile_size, group_size } => write!(
+            ConfigError::GroupNotMultipleOfTile {
+                tile_size,
+                group_size,
+            } => write!(
                 f,
                 "group size {group_size} must be a positive multiple of tile size {tile_size}"
             ),
-            ConfigError::GroupTooLarge { tiles_per_group, max } => write!(
+            ConfigError::GroupTooLarge {
+                tiles_per_group,
+                max,
+            } => write!(
                 f,
                 "group holds {tiles_per_group} tiles which exceeds the bitmask capacity of {max}"
             ),
@@ -60,21 +68,8 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// How bitmask generation is scheduled relative to group-wise sorting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub enum ExecutionModel {
-    /// GPU (SIMT) execution: group identification, bitmask generation,
-    /// group-wise sorting and rasterization run sequentially, so bitmask
-    /// generation time shows up in the preprocessing stage (Fig. 13).
-    #[default]
-    GpuSequential,
-    /// Dedicated accelerator: bitmask generation overlaps with group-wise
-    /// sorting, hiding its latency (Section V).
-    AcceleratorOverlapped,
-}
-
 /// Configuration of the GS-TG rendering pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GstgConfig {
     /// Small tile edge length in pixels (rasterization granularity).
     pub tile_size: u32,
@@ -87,10 +82,10 @@ pub struct GstgConfig {
     pub bitmask_boundary: BoundaryMethod,
     /// Storage precision applied to splat parameters.
     pub precision: Precision,
-    /// Worker threads for rasterization (1 = sequential).
-    pub threads: usize,
-    /// Scheduling model for bitmask generation.
-    pub execution: ExecutionModel,
+    /// Shared execution parameters (worker threads, scheduling model for
+    /// bitmask generation). Use [`HasExecution::with_threads`] /
+    /// [`HasExecution::with_execution`] to change them.
+    pub exec: ExecutionConfig,
 }
 
 impl GstgConfig {
@@ -145,8 +140,7 @@ impl GstgConfig {
             group_boundary,
             bitmask_boundary,
             precision: Precision::Full,
-            threads: 1,
-            execution: ExecutionModel::GpuSequential,
+            exec: ExecutionConfig::sequential(),
         })
     }
 
@@ -163,18 +157,6 @@ impl GstgConfig {
         side * side
     }
 
-    /// Returns a copy with the worker thread count replaced.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Returns a copy with the execution model replaced.
-    pub fn with_execution(mut self, execution: ExecutionModel) -> Self {
-        self.execution = execution;
-        self
-    }
-
     /// Returns a copy with the storage precision replaced.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
@@ -187,8 +169,18 @@ impl GstgConfig {
     pub fn equivalent_baseline(&self) -> splat_render::RenderConfig {
         let mut config = splat_render::RenderConfig::new(self.tile_size, self.bitmask_boundary);
         config.precision = self.precision;
-        config.threads = self.threads;
+        config.exec = self.exec;
         config
+    }
+}
+
+impl HasExecution for GstgConfig {
+    fn execution(&self) -> &ExecutionConfig {
+        &self.exec
+    }
+
+    fn execution_mut(&mut self) -> &mut ExecutionConfig {
+        &mut self.exec
     }
 }
 
@@ -249,7 +241,12 @@ mod tests {
     fn accepts_all_paper_sweep_combinations() {
         // Fig. 11: 8+16, 8+32, 8+64, 16+32, 16+64.
         for (tile, group) in [(8, 16), (8, 32), (8, 64), (16, 32), (16, 64)] {
-            let c = GstgConfig::new(tile, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse);
+            let c = GstgConfig::new(
+                tile,
+                group,
+                BoundaryMethod::Ellipse,
+                BoundaryMethod::Ellipse,
+            );
             assert!(c.is_ok(), "{tile}+{group} should be valid");
         }
     }
@@ -262,11 +259,23 @@ mod tests {
     }
 
     #[test]
-    fn equivalent_baseline_matches_tile_size_and_boundary() {
-        let c = GstgConfig::new(16, 64, BoundaryMethod::Aabb, BoundaryMethod::Obb).unwrap();
+    fn equivalent_baseline_matches_tile_size_boundary_and_execution() {
+        let c = GstgConfig::new(16, 64, BoundaryMethod::Aabb, BoundaryMethod::Obb)
+            .unwrap()
+            .with_threads(3);
         let baseline = c.equivalent_baseline();
         assert_eq!(baseline.tile_size, 16);
         assert_eq!(baseline.boundary, BoundaryMethod::Obb);
+        assert_eq!(baseline.exec, c.exec);
+    }
+
+    #[test]
+    fn shared_execution_knobs_apply() {
+        let c = GstgConfig::paper_default()
+            .with_threads(4)
+            .with_execution(ExecutionModel::AcceleratorOverlapped);
+        assert_eq!(c.exec.threads, 4);
+        assert_eq!(c.exec.model, ExecutionModel::AcceleratorOverlapped);
     }
 
     #[test]

@@ -10,7 +10,6 @@
 
 use crate::bitmask::{GroupLayout, TileBitmask};
 use crate::config::GstgConfig;
-use serde::{Deserialize, Serialize};
 use splat_render::bounds::GaussianFootprint;
 use splat_render::preprocess::ProjectedGaussian;
 use splat_render::stats::StageCounts;
@@ -18,7 +17,7 @@ use splat_render::tiling::TileGrid;
 
 /// One splat's membership in one group: which projected splat it is and
 /// which small tiles of the group it touches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupEntry {
     /// Index into the `ProjectedGaussian` slice.
     pub slot: u32,
@@ -28,7 +27,7 @@ pub struct GroupEntry {
 
 /// The result of group identification: per-group splat lists with their
 /// tile bitmasks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupAssignments {
     group_grid: TileGrid,
     tile_grid: TileGrid,
@@ -76,7 +75,10 @@ impl GroupAssignments {
 
     /// Iterates over `(group_index, entries)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[GroupEntry])> {
-        self.per_group.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+        self.per_group
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.as_slice()))
     }
 
     /// Total number of (group, splat) pairs — the number of sort keys the
@@ -217,7 +219,13 @@ mod tests {
     }
 
     fn config(tile: u32, group: u32) -> GstgConfig {
-        GstgConfig::new(tile, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap()
+        GstgConfig::new(
+            tile,
+            group,
+            BoundaryMethod::Ellipse,
+            BoundaryMethod::Ellipse,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -331,8 +339,11 @@ mod tests {
         // One group hit; the small splat's candidate range covers at most a
         // 2x2 block of the group's 16 tiles, so far fewer than 16 tests run.
         assert_eq!(counts.tile_intersections, 1);
-        assert!(counts.bitmask_tests >= 1 && counts.bitmask_tests <= 4,
-            "expected a pre-filtered test count, got {}", counts.bitmask_tests);
+        assert!(
+            counts.bitmask_tests >= 1 && counts.bitmask_tests <= 4,
+            "expected a pre-filtered test count, got {}",
+            counts.bitmask_tests
+        );
     }
 
     #[test]

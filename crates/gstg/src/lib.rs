@@ -55,3 +55,4 @@ pub use config::{ConfigError, ExecutionModel, GstgConfig};
 pub use group::{identify_groups, GroupAssignments, GroupEntry};
 pub use lossless::{verify_lossless, LosslessReport};
 pub use pipeline::{GstgOutput, GstgRenderer};
+pub use splat_core::HasExecution;

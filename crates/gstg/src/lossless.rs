@@ -8,13 +8,12 @@
 
 use crate::config::GstgConfig;
 use crate::pipeline::GstgRenderer;
-use serde::{Deserialize, Serialize};
 use splat_render::Renderer;
 use splat_scene::Scene;
 use splat_types::Camera;
 
 /// Result of comparing a GS-TG render against its equivalent baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LosslessReport {
     /// Maximum absolute per-channel pixel difference.
     pub max_abs_diff: f32,
@@ -39,7 +38,11 @@ impl LosslessReport {
     /// sorting the grouping removed).
     pub fn sort_reduction(&self) -> f64 {
         if self.gstg_sort_comparisons == 0 {
-            return if self.baseline_sort_comparisons == 0 { 1.0 } else { f64::INFINITY };
+            return if self.baseline_sort_comparisons == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.baseline_sort_comparisons as f64 / self.gstg_sort_comparisons as f64
     }
@@ -95,11 +98,19 @@ mod tests {
         let scene = PaperScene::Train.build(SceneScale::Tiny, 2);
         let camera = small_camera();
         for (tile, group) in [(8, 16), (8, 32), (8, 64), (16, 32), (16, 64)] {
-            let config =
-                GstgConfig::new(tile, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse)
-                    .unwrap();
+            let config = GstgConfig::new(
+                tile,
+                group,
+                BoundaryMethod::Ellipse,
+                BoundaryMethod::Ellipse,
+            )
+            .unwrap();
             let report = verify_lossless(&scene, &camera, config);
-            assert!(report.identical, "{tile}+{group} diff {}", report.max_abs_diff);
+            assert!(
+                report.identical,
+                "{tile}+{group} diff {}",
+                report.max_abs_diff
+            );
         }
     }
 
@@ -107,7 +118,11 @@ mod tests {
     fn grouping_reduces_sorting() {
         let scene = PaperScene::Truck.build(SceneScale::Tiny, 0);
         let report = verify_lossless(&scene, &small_camera(), GstgConfig::paper_default());
-        assert!(report.sort_reduction() > 1.0, "reduction {}", report.sort_reduction());
+        assert!(
+            report.sort_reduction() > 1.0,
+            "reduction {}",
+            report.sort_reduction()
+        );
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! The end-to-end GS-TG rendering pipeline.
+//!
+//! [`GstgRenderer`] composes the same shared stage engine the baseline
+//! renderer uses ([`splat_core::PipelineStage`] + [`run_timed`]), swapping
+//! the per-tile stages for group-wise ones: preprocessing feeds group
+//! identification with bitmask generation, sorting runs once per group,
+//! and rasterization filters each group's sorted list per tile before
+//! blending through the shared kernel.
 
 use crate::config::GstgConfig;
 use crate::group::{identify_groups, GroupAssignments};
 use crate::raster::rasterize_groups;
 use crate::sort::sort_groups;
-use splat_render::image::Framebuffer;
-use splat_render::preprocess::{preprocess, ProjectedGaussian};
-use splat_render::stats::{RenderStats, StageCounts};
-use splat_render::RenderConfig;
+use splat_core::{
+    run_timed, Framebuffer, HasExecution, PipelineStage, ProjectedGaussian, RenderStats,
+    StageCounts,
+};
+use splat_render::preprocess::preprocess;
 use splat_scene::Scene;
 use splat_types::{Camera, Rgb};
-use std::time::Instant;
 
 /// Everything produced by a GS-TG render of one view.
 #[derive(Debug, Clone)]
@@ -35,6 +42,86 @@ pub struct PreparedGroups {
     /// Counters accumulated so far (preprocessing, identification,
     /// bitmask generation and sorting).
     pub counts: StageCounts,
+}
+
+/// Stage 1: preprocessing, group identification and bitmask generation.
+struct PrepareStage<'a> {
+    scene: &'a Scene,
+    camera: &'a Camera,
+    config: &'a GstgConfig,
+}
+
+impl PipelineStage for PrepareStage<'_> {
+    type Output = (Vec<ProjectedGaussian>, GroupAssignments);
+
+    fn name(&self) -> &'static str {
+        "preprocess"
+    }
+
+    fn run(self, counts: &mut StageCounts) -> Self::Output {
+        // The preprocessing stage is shared verbatim with the baseline the
+        // losslessness checks compare against, so the config mapping must
+        // be the same single function.
+        let render_config = self.config.equivalent_baseline();
+        let projected = preprocess(self.scene, self.camera, &render_config, counts);
+        let assignments = identify_groups(
+            &projected,
+            self.camera.width(),
+            self.camera.height(),
+            self.config,
+            counts,
+        );
+        (projected, assignments)
+    }
+}
+
+/// Stage 2: group-wise depth sorting.
+struct SortStage<'a> {
+    projected: &'a [ProjectedGaussian],
+    assignments: GroupAssignments,
+}
+
+impl PipelineStage for SortStage<'_> {
+    type Output = GroupAssignments;
+
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn run(mut self, counts: &mut StageCounts) -> GroupAssignments {
+        sort_groups(&mut self.assignments, self.projected, counts);
+        self.assignments
+    }
+}
+
+/// Stage 3: bitmask-filtered tile-wise rasterization.
+struct RasterStage<'a> {
+    projected: &'a [ProjectedGaussian],
+    assignments: &'a GroupAssignments,
+    camera: &'a Camera,
+    background: Rgb,
+    threads: usize,
+}
+
+impl PipelineStage for RasterStage<'_> {
+    type Output = Framebuffer;
+
+    fn name(&self) -> &'static str {
+        "raster"
+    }
+
+    fn run(self, counts: &mut StageCounts) -> Framebuffer {
+        let (image, raster_counts) = rasterize_groups(
+            self.projected,
+            self.assignments,
+            self.camera.width(),
+            self.camera.height(),
+            self.background,
+            self.threads,
+        );
+        *counts += raster_counts;
+        image
+    }
 }
 
 /// The GS-TG renderer.
@@ -70,16 +157,17 @@ impl GstgRenderer {
     /// rasterizing.
     pub fn prepare(&self, scene: &Scene, camera: &Camera) -> PreparedGroups {
         let mut counts = StageCounts::new();
-        let render_config = self.render_config();
-        let projected = preprocess(scene, camera, &render_config, &mut counts);
-        let mut assignments = identify_groups(
-            &projected,
-            camera.width(),
-            camera.height(),
-            &self.config,
-            &mut counts,
-        );
-        sort_groups(&mut assignments, &projected, &mut counts);
+        let (projected, assignments) = PrepareStage {
+            scene,
+            camera,
+            config: &self.config,
+        }
+        .run(&mut counts);
+        let assignments = SortStage {
+            projected: &projected,
+            assignments,
+        }
+        .run(&mut counts);
         PreparedGroups {
             projected,
             assignments,
@@ -90,38 +178,32 @@ impl GstgRenderer {
     /// Renders one view of the scene through the GS-TG pipeline.
     pub fn render(&self, scene: &Scene, camera: &Camera) -> GstgOutput {
         let mut counts = StageCounts::new();
-        let render_config = self.render_config();
 
-        // Preprocessing: feature computation + culling + group
-        // identification + bitmask generation (sequential GPU model).
-        let t0 = Instant::now();
-        let projected = preprocess(scene, camera, &render_config, &mut counts);
-        let mut assignments = identify_groups(
-            &projected,
-            camera.width(),
-            camera.height(),
-            &self.config,
+        let ((projected, assignments), preprocess_time) = run_timed(
+            PrepareStage {
+                scene,
+                camera,
+                config: &self.config,
+            },
             &mut counts,
         );
-        let preprocess_time = t0.elapsed();
-
-        // Group-wise sorting.
-        let t1 = Instant::now();
-        sort_groups(&mut assignments, &projected, &mut counts);
-        let sort_time = t1.elapsed();
-
-        // Tile-wise rasterization with bitmask filtering.
-        let t2 = Instant::now();
-        let (image, raster_counts) = rasterize_groups(
-            &projected,
-            &assignments,
-            camera.width(),
-            camera.height(),
-            self.background,
-            self.config.threads,
+        let (assignments, sort_time) = run_timed(
+            SortStage {
+                projected: &projected,
+                assignments,
+            },
+            &mut counts,
         );
-        let raster_time = t2.elapsed();
-        counts += raster_counts;
+        let (image, raster_time) = run_timed(
+            RasterStage {
+                projected: &projected,
+                assignments: &assignments,
+                camera,
+                background: self.background,
+                threads: self.config.threads(),
+            },
+            &mut counts,
+        );
 
         GstgOutput {
             image,
@@ -132,16 +214,6 @@ impl GstgRenderer {
                 raster_time,
             },
         }
-    }
-
-    /// The `splat_render` configuration used for the shared preprocessing
-    /// stage (tile size is irrelevant there; precision and threads carry
-    /// over).
-    fn render_config(&self) -> RenderConfig {
-        let mut config = RenderConfig::new(self.config.tile_size, self.config.bitmask_boundary);
-        config.precision = self.config.precision;
-        config.threads = self.config.threads;
-        config
     }
 }
 
@@ -256,5 +328,6 @@ mod tests {
         let sequential = GstgRenderer::new(config).render(&scene, &camera);
         let parallel = GstgRenderer::new(config.with_threads(4)).render(&scene, &camera);
         assert_eq!(sequential.image.max_abs_diff(&parallel.image), 0.0);
+        assert_eq!(sequential.stats.counts, parallel.stats.counts);
     }
 }

@@ -4,14 +4,14 @@
 //! group-sorted splat list is filtered with the tile's bit of each entry's
 //! bitmask (the AND/OR "valid" computation of the hardware rasterization
 //! module) and the surviving splats — already in depth order — are blended
-//! exactly as in the baseline rasterizer.
+//! by the same shared kernel the baseline uses
+//! ([`splat_core::rasterize_tile`]). The fan-out across groups goes through
+//! the shared [`TileScheduler`], so parallel results merge in group order
+//! and are bit-exact with the sequential walk.
 
 use crate::bitmask::TileBitmask;
 use crate::group::{GroupAssignments, GroupEntry};
-use splat_render::image::Framebuffer;
-use splat_render::preprocess::ProjectedGaussian;
-use splat_render::raster::rasterize_tile;
-use splat_render::stats::StageCounts;
+use splat_core::{rasterize_tile, Framebuffer, ProjectedGaussian, StageCounts, TileScheduler};
 use splat_types::Rgb;
 
 /// Filters a group-sorted entry list down to the splats that touch the tile
@@ -30,7 +30,8 @@ pub fn filter_tile_list(entries: &[GroupEntry], bit: u32, counts: &mut StageCoun
 /// Rasterizes every tile of every group into a framebuffer.
 ///
 /// `threads` > 1 distributes groups across worker threads; each group's
-/// tiles write disjoint framebuffer regions so the merge is race-free.
+/// tiles write disjoint framebuffer regions and outputs merge in group
+/// order, so the result is bit-exact for any thread count.
 pub fn rasterize_groups(
     projected: &[ProjectedGaussian],
     assignments: &GroupAssignments,
@@ -42,72 +43,28 @@ pub fn rasterize_groups(
     let mut image = Framebuffer::new(image_width, image_height, background);
     let mut counts = StageCounts::new();
 
-    let group_indices: Vec<usize> = (0..assignments.group_count()).collect();
-    if threads <= 1 {
-        for &group in &group_indices {
-            rasterize_one_group(
-                projected,
-                assignments,
-                group,
-                background,
-                &mut image,
-                &mut counts,
-            );
-        }
-        return (image, counts);
-    }
+    let scheduler = TileScheduler::new(threads);
+    let groups = scheduler.run(assignments.group_count(), |group| {
+        let mut local_counts = StageCounts::new();
+        let mut regions = Vec::new();
+        collect_group_regions(
+            projected,
+            assignments,
+            group,
+            background,
+            &mut regions,
+            &mut local_counts,
+        );
+        (regions, local_counts)
+    });
 
-    let worker_count = threads.min(group_indices.len().max(1));
-    let chunk_size = group_indices.len().div_ceil(worker_count);
-    let results = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in group_indices.chunks(chunk_size) {
-            let chunk: Vec<usize> = chunk.to_vec();
-            handles.push(scope.spawn(move |_| {
-                let mut local_counts = StageCounts::new();
-                let mut local_regions = Vec::new();
-                for group in chunk {
-                    collect_group_regions(
-                        projected,
-                        assignments,
-                        group,
-                        background,
-                        &mut local_regions,
-                        &mut local_counts,
-                    );
-                }
-                (local_regions, local_counts)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rasterization worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("rasterization scope panicked");
-
-    for (regions, local_counts) in results {
+    for (regions, local_counts) in groups {
         counts += local_counts;
         for (x0, y0, width, pixels) in regions {
             image.write_region(x0, y0, width, &pixels);
         }
     }
     (image, counts)
-}
-
-fn rasterize_one_group(
-    projected: &[ProjectedGaussian],
-    assignments: &GroupAssignments,
-    group: usize,
-    background: Rgb,
-    image: &mut Framebuffer,
-    counts: &mut StageCounts,
-) {
-    let mut regions = Vec::new();
-    collect_group_regions(projected, assignments, group, background, &mut regions, counts);
-    for (x0, y0, width, pixels) in regions {
-        image.write_region(x0, y0, width, &pixels);
-    }
 }
 
 type Region = (u32, u32, u32, Vec<Rgb>);
@@ -180,12 +137,12 @@ mod tests {
     #[test]
     fn rasterized_groups_match_dimensions() {
         let splats = vec![projected(Vec2::new(40.0, 40.0), 5.0, 0, 1.0, Rgb::WHITE)];
-        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let cfg =
+            GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
         let mut counts = StageCounts::new();
         let mut groups = identify_groups(&splats, 100, 80, &cfg, &mut counts);
         sort_groups(&mut groups, &splats, &mut counts);
-        let (image, raster_counts) =
-            rasterize_groups(&splats, &groups, 100, 80, Rgb::BLACK, 1);
+        let (image, raster_counts) = rasterize_groups(&splats, &groups, 100, 80, Rgb::BLACK, 1);
         assert_eq!((image.width(), image.height()), (100, 80));
         assert_eq!(raster_counts.pixels, 100 * 80);
         assert!(image.mean_luminance() > 0.0);
@@ -204,15 +161,15 @@ mod tests {
                 )
             })
             .collect();
-        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let cfg =
+            GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
         let mut counts = StageCounts::new();
         let mut groups = identify_groups(&splats, 128, 128, &cfg, &mut counts);
         sort_groups(&mut groups, &splats, &mut counts);
         let (seq, seq_counts) = rasterize_groups(&splats, &groups, 128, 128, Rgb::BLACK, 1);
         let (par, par_counts) = rasterize_groups(&splats, &groups, 128, 128, Rgb::BLACK, 4);
         assert_eq!(seq.max_abs_diff(&par), 0.0);
-        assert_eq!(seq_counts.alpha_computations, par_counts.alpha_computations);
-        assert_eq!(seq_counts.bitmask_filter_ops, par_counts.bitmask_filter_ops);
+        assert_eq!(seq_counts, par_counts);
     }
 
     #[test]
@@ -220,7 +177,8 @@ mod tests {
         // A splat confined to one tile must not cost α-computations in the
         // other 15 tiles of its group.
         let splats = vec![projected(Vec2::new(8.0, 8.0), 1.5, 0, 1.0, Rgb::WHITE)];
-        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let cfg =
+            GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
         let mut counts = StageCounts::new();
         let mut groups = identify_groups(&splats, 64, 64, &cfg, &mut counts);
         sort_groups(&mut groups, &splats, &mut counts);

@@ -85,7 +85,10 @@ mod tests {
         let mut entries = vec![entry(0), entry(1), entry(2)];
         sort_group(&mut entries, &projected);
         // depth 1.0 (index 1), depth 1.0 (index 4), depth 3.0 (index 9)
-        assert_eq!(entries.iter().map(|e| e.slot).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert_eq!(
+            entries.iter().map(|e| e.slot).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
         assert!(is_group_sorted(&entries, &projected));
     }
 
@@ -120,7 +123,8 @@ mod tests {
                 }
             })
             .collect();
-        let cfg = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let cfg =
+            GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
         let mut group_counts = StageCounts::new();
         let mut groups = identify_groups(&splats, 256, 256, &cfg, &mut group_counts);
         sort_groups(&mut groups, &splats, &mut group_counts);

@@ -8,14 +8,13 @@
 //! would cause.
 
 use crate::dram::GAUSSIAN_FEATURE_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Bytes of on-chip state per group entry: the preprocessed features plus
 /// the 16-bit tile bitmask and the sorted index.
 pub const GROUP_ENTRY_BYTES: u64 = GAUSSIAN_FEATURE_BYTES + 2 + 4;
 
 /// Occupancy analysis of the per-core group buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BufferReport {
     /// Capacity of one buffer in bytes.
     pub capacity_bytes: u64,

@@ -1,7 +1,5 @@
 //! Accelerator hardware configuration (unit counts, clock, memory system).
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware parameters of the simulated accelerator.
 ///
 /// The defaults ([`AccelConfig::paper`]) follow Section V and Table III of
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// group-sorting module and a rasterization module that filters eight
 /// Gaussians per cycle into sixteen rasterization units, all backed by
 /// double-buffered 42 KB SRAM per core and a 51.2 GB/s DRAM channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelConfig {
     /// Clock frequency in Hz.
     pub clock_hz: f64,

@@ -12,7 +12,6 @@
 //! shared memory — a large traffic (and energy) reduction.
 
 use crate::config::AccelConfig;
-use serde::{Deserialize, Serialize};
 
 /// Bytes of one Gaussian's full parameter set (position, scale, rotation,
 /// opacity and degree-1 SH color) stored in fp16 as the paper converts the
@@ -36,7 +35,7 @@ pub const SORT_KEY_PASSES: u64 = 3;
 pub const PIXEL_BYTES: u64 = 4;
 
 /// Per-stage DRAM traffic of one frame, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DramTraffic {
     /// Gaussian parameters streamed in during preprocessing.
     pub preprocess_bytes: u64,
@@ -60,11 +59,7 @@ impl DramTraffic {
     ///   write-back);
     /// * every per-tile list entry causes one feature fetch during
     ///   rasterization, and the framebuffer is written once.
-    pub fn baseline(
-        input_gaussians: u64,
-        tile_entries: u64,
-        pixels: u64,
-    ) -> Self {
+    pub fn baseline(input_gaussians: u64, tile_entries: u64, pixels: u64) -> Self {
         Self {
             preprocess_bytes: input_gaussians * GAUSSIAN_PARAMETER_BYTES,
             sort_bytes: tile_entries * SORT_KEY_BYTES * SORT_KEY_PASSES,
@@ -76,11 +71,7 @@ impl DramTraffic {
     /// *group* entry; the 16 tiles of a group share the fetched features
     /// through the core's shared memory. The 16-bit bitmask per group entry
     /// is the only additional data.
-    pub fn gstg(
-        input_gaussians: u64,
-        group_entries: u64,
-        pixels: u64,
-    ) -> Self {
+    pub fn gstg(input_gaussians: u64, group_entries: u64, pixels: u64) -> Self {
         let bitmask_bytes = group_entries * 2;
         Self {
             preprocess_bytes: input_gaussians * GAUSSIAN_PARAMETER_BYTES + bitmask_bytes,

@@ -7,11 +7,10 @@
 
 use crate::config::AccelConfig;
 use crate::dram::DramModel;
-use serde::{Deserialize, Serialize};
 
 /// Area and power of one module group as reported in Table III
 /// (totals across the four instances).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleBudget {
     /// Silicon area in mm².
     pub area_mm2: f64,
@@ -20,7 +19,7 @@ pub struct ModuleBudget {
 }
 
 /// The accelerator's area/power budget per module group (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerTable {
     /// Preprocessing modules (×4).
     pub pm: ModuleBudget,
@@ -38,11 +37,26 @@ impl PowerTable {
     /// The figures reported in Table III of the paper.
     pub fn paper() -> Self {
         Self {
-            pm: ModuleBudget { area_mm2: 0.648, power_w: 0.429 },
-            bgm: ModuleBudget { area_mm2: 0.051, power_w: 0.055 },
-            gsm: ModuleBudget { area_mm2: 0.012, power_w: 0.001 },
-            rm: ModuleBudget { area_mm2: 1.891, power_w: 0.338 },
-            buffer: ModuleBudget { area_mm2: 1.382, power_w: 0.240 },
+            pm: ModuleBudget {
+                area_mm2: 0.648,
+                power_w: 0.429,
+            },
+            bgm: ModuleBudget {
+                area_mm2: 0.051,
+                power_w: 0.055,
+            },
+            gsm: ModuleBudget {
+                area_mm2: 0.012,
+                power_w: 0.001,
+            },
+            rm: ModuleBudget {
+                area_mm2: 1.891,
+                power_w: 0.338,
+            },
+            buffer: ModuleBudget {
+                area_mm2: 1.382,
+                power_w: 0.240,
+            },
         }
     }
 
@@ -72,7 +86,7 @@ impl Default for PowerTable {
 }
 
 /// Per-frame energy broken down by consumer.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Preprocessing-module energy in joules.
     pub pm_j: f64,
@@ -154,7 +168,8 @@ mod tests {
         let table = PowerTable::paper();
         let config = AccelConfig::paper();
         let without = EnergyBreakdown::from_activity(&table, &config, 1000, 0, 0, 1000, 2000, 0);
-        let with = EnergyBreakdown::from_activity(&table, &config, 1000, 0, 0, 1000, 2000, 10_000_000);
+        let with =
+            EnergyBreakdown::from_activity(&table, &config, 1000, 0, 0, 1000, 2000, 10_000_000);
         assert!(with.total_j() > without.total_j());
         assert!(with.dram_j > 0.0);
     }

@@ -15,11 +15,10 @@
 //! but does not change the orderings the paper reports, which come from the
 //! sorting/traffic duplication that GSCore retains).
 
-use serde::{Deserialize, Serialize};
 use splat_render::BoundaryMethod;
 
 /// Configuration of the GSCore behavioural model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GscoreConfig {
     /// Rendering tile size in pixels (GSCore uses 16×16 tiles).
     pub tile_size: u32,

@@ -8,7 +8,6 @@
 //! the paper uses for its speed evaluation.
 
 use crate::config::AccelConfig;
-use serde::{Deserialize, Serialize};
 
 /// Rounds a fractional cycle count up to whole cycles.
 fn cycles(work: f64, per_cycle: f64) -> u64 {
@@ -20,7 +19,7 @@ fn cycles(work: f64, per_cycle: f64) -> u64 {
 }
 
 /// Work submitted to the preprocessing modules for one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PreprocessingWork {
     /// Splats read and culled.
     pub input_gaussians: u64,
@@ -67,7 +66,7 @@ impl PreprocessingModel {
 }
 
 /// Work submitted to the bitmask generation modules for one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BitmaskWork {
     /// Small-tile boundary tests performed to build the bitmasks (16 per
     /// (group, splat) pair for the 4×4 grouping); each pipelined tile-check
@@ -98,7 +97,7 @@ impl BitmaskModel {
 }
 
 /// Work submitted to the sorting modules for one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SortingWork {
     /// Number of (tile, splat) or (group, splat) keys to sort. Every key
     /// must be ingested, permuted and written back.
@@ -134,7 +133,7 @@ impl SortingModel {
 }
 
 /// Work submitted to the rasterization modules for one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RasterWork {
     /// Bitmask AND/OR filter operations (GS-TG only; zero for the
     /// baseline).
@@ -165,7 +164,10 @@ impl RasterModel {
     /// is the maximum of the two; blending is fused into the RU pipeline
     /// (one α-computation and its blend retire together).
     pub fn occupancy_cycles(&self, work: &RasterWork) -> u64 {
-        let filter = cycles(work.filter_ops as f64, self.config.total_filter_throughput());
+        let filter = cycles(
+            work.filter_ops as f64,
+            self.config.total_filter_throughput(),
+        );
         let alpha = cycles(
             work.alpha_computations as f64,
             self.config.total_raster_throughput(),

@@ -3,7 +3,6 @@
 use crate::buffer::BufferReport;
 use crate::dram::DramTraffic;
 use crate::energy::EnergyBreakdown;
-use serde::{Deserialize, Serialize};
 use splat_metrics::{geometric_mean, Table};
 use splat_render::stats::StageCounts;
 
@@ -12,7 +11,7 @@ use splat_render::stats::StageCounts;
 /// The sorting stage of a GS-TG frame already reflects the overlap of
 /// bitmask generation with group-wise sorting (the stage occupies the
 /// slower of the two modules).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageCycles {
     /// Preprocessing (PM array plus parameter streaming).
     pub preprocess: u64,
@@ -30,7 +29,7 @@ impl StageCycles {
 }
 
 /// The full result of simulating one frame on the accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Human-readable variant label (e.g. `"GS-TG (16+64, Ellipse+Ellipse)"`).
     pub label: String,
@@ -78,7 +77,7 @@ impl SimReport {
 /// A cross-scene, cross-variant comparison in the style of Figs. 14/15:
 /// one row per scene, one column per variant, normalized to the first
 /// variant, with a geometric-mean row.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ComparisonReport {
     variant_labels: Vec<String>,
     rows: Vec<(String, Vec<f64>)>,

@@ -16,14 +16,13 @@ use crate::modules::{
 };
 use crate::report::{SimReport, StageCycles};
 use gstg::{GstgConfig, GstgRenderer};
-use serde::{Deserialize, Serialize};
 use splat_render::stats::StageCounts;
 use splat_render::{BoundaryMethod, RenderConfig, Renderer};
 use splat_scene::Scene;
 use splat_types::Camera;
 
 /// Which rendering pipeline a simulated frame runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PipelineVariant {
     /// The conventional per-tile pipeline on the proposed accelerator —
     /// the paper's baseline (ellipse boundary, 16×16 tiles).
@@ -64,7 +63,10 @@ impl PipelineVariant {
     /// Human-readable label used in reports.
     pub fn label(&self) -> String {
         match self {
-            PipelineVariant::Baseline { tile_size, boundary } => {
+            PipelineVariant::Baseline {
+                tile_size,
+                boundary,
+            } => {
                 format!("Baseline ({tile_size}x{tile_size}, {boundary})")
             }
             PipelineVariant::GsCore(c) => {
@@ -110,9 +112,10 @@ impl Simulator {
     /// given pipeline variant.
     pub fn simulate(&self, scene: &Scene, camera: &Camera, variant: &PipelineVariant) -> SimReport {
         match variant {
-            PipelineVariant::Baseline { tile_size, boundary } => {
-                self.simulate_conventional(scene, camera, *tile_size, *boundary, variant.label())
-            }
+            PipelineVariant::Baseline {
+                tile_size,
+                boundary,
+            } => self.simulate_conventional(scene, camera, *tile_size, *boundary, variant.label()),
             PipelineVariant::GsCore(c) => {
                 self.simulate_conventional(scene, camera, c.tile_size, c.boundary, variant.label())
             }
@@ -226,9 +229,7 @@ impl Simulator {
         // The dedicated hardware runs bitmask generation in parallel with
         // group-wise sorting (Section V); the sorting phase occupies the
         // slower of the two, further bounded by its key traffic.
-        let sort = gsm
-            .max(bgm)
-            .max(dram.transfer_cycles(traffic.sort_bytes));
+        let sort = gsm.max(bgm).max(dram.transfer_cycles(traffic.sort_bytes));
 
         let rm = RasterModel::new(self.config).occupancy_cycles(&RasterWork {
             filter_ops: counts.bitmask_filter_ops,
@@ -274,7 +275,11 @@ impl Simulator {
             stages,
             total_cycles,
             frame_time_s,
-            fps: if total_cycles == 0 { 0.0 } else { 1.0 / frame_time_s },
+            fps: if total_cycles == 0 {
+                0.0
+            } else {
+                1.0 / frame_time_s
+            },
             traffic,
             energy,
             buffer,
@@ -303,7 +308,9 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        assert!(PipelineVariant::baseline_paper().label().contains("Ellipse"));
+        assert!(PipelineVariant::baseline_paper()
+            .label()
+            .contains("Ellipse"));
         assert!(PipelineVariant::gscore_paper().label().contains("GSCore"));
         assert!(PipelineVariant::gstg_paper().label().contains("16+64"));
     }
@@ -311,7 +318,11 @@ mod tests {
     #[test]
     fn simulation_produces_consistent_report() {
         let sim = Simulator::new(AccelConfig::paper());
-        let report = sim.simulate(&scene(), &small_camera(), &PipelineVariant::baseline_paper());
+        let report = sim.simulate(
+            &scene(),
+            &small_camera(),
+            &PipelineVariant::baseline_paper(),
+        );
         assert!(report.total_cycles > 0);
         assert_eq!(report.total_cycles, report.stages.total());
         assert!(report.fps > 0.0);

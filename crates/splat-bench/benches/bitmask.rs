@@ -28,7 +28,13 @@ fn bitmask_generation(c: &mut Criterion) {
         let cfg = GstgConfig::paper_default();
         b.iter(|| {
             let mut id_counts = StageCounts::new();
-            gstg::identify_groups(&projected, camera.width(), camera.height(), &cfg, &mut id_counts)
+            gstg::identify_groups(
+                &projected,
+                camera.width(),
+                camera.height(),
+                &cfg,
+                &mut id_counts,
+            )
         });
     });
 }

@@ -24,10 +24,14 @@ fn full_pipelines(c: &mut Criterion) {
     group.sample_size(20);
 
     for tile in [16u32, 32] {
-        group.bench_with_input(BenchmarkId::new("baseline_ellipse", tile), &tile, |b, &tile| {
-            let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Ellipse));
-            b.iter(|| renderer.render(&scene, &camera));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline_ellipse", tile),
+            &tile,
+            |b, &tile| {
+                let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Ellipse));
+                b.iter(|| renderer.render(&scene, &camera));
+            },
+        );
     }
     group.bench_function("gstg_16_plus_64", |b| {
         let renderer = GstgRenderer::new(GstgConfig::paper_default());

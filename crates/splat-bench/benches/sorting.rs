@@ -44,8 +44,13 @@ fn sorting(c: &mut Criterion) {
     group.bench_function("group_wise_64", |b| {
         let cfg = GstgConfig::paper_default();
         let mut id_counts = StageCounts::new();
-        let groups =
-            gstg::identify_groups(&projected, camera.width(), camera.height(), &cfg, &mut id_counts);
+        let groups = gstg::identify_groups(
+            &projected,
+            camera.width(),
+            camera.height(),
+            &cfg,
+            &mut id_counts,
+        );
         b.iter(|| {
             let mut local = groups.clone();
             let mut sort_counts = StageCounts::new();

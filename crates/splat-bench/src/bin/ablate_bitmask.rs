@@ -7,7 +7,7 @@
 //! against the conventional pipeline at a 64×64 tile size (equivalent to
 //! grouping without bitmasks) and against the 16×16 baseline.
 
-use gstg::GstgConfig;
+use gstg::{GstgConfig, HasExecution};
 use splat_bench::{run_baseline, run_gstg, HarnessOptions};
 use splat_metrics::Table;
 use splat_render::BoundaryMethod;
@@ -33,7 +33,7 @@ fn main() {
         let camera = options.camera(scene_id);
         let base16 = run_baseline(&scene, &camera, 16, BoundaryMethod::Ellipse);
         let base64 = run_baseline(&scene, &camera, 64, BoundaryMethod::Ellipse);
-        let grouped = run_gstg(&scene, &camera, GstgConfig::paper_default(), true);
+        let grouped = run_gstg(&scene, &camera, GstgConfig::paper_default().overlapped());
         table.add_row([
             scene_id.name().to_string(),
             format!("{:.1}", base16.counts.gaussians_per_pixel()),

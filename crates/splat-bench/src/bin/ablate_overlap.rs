@@ -6,7 +6,7 @@
 //! lands in the preprocessing stage; the accelerator hides it behind the
 //! sorting phase (Sections V-A and VI-B).
 
-use gstg::GstgConfig;
+use gstg::{GstgConfig, HasExecution};
 use splat_bench::{run_baseline, run_gstg, HarnessOptions};
 use splat_metrics::{geometric_mean, Table};
 use splat_render::BoundaryMethod;
@@ -15,18 +15,25 @@ use splat_scene::PaperScene;
 fn main() {
     let options = HarnessOptions::from_args();
     println!("# Ablation — GS-TG with sequential vs overlapped bitmask generation");
-    println!("# workload: {} (speedups vs the 16x16 ellipse baseline)", options.describe());
+    println!(
+        "# workload: {} (speedups vs the 16x16 ellipse baseline)",
+        options.describe()
+    );
     println!();
 
-    let mut table = Table::new(["scene", "GS-TG sequential (GPU)", "GS-TG overlapped (accelerator)"]);
+    let mut table = Table::new([
+        "scene",
+        "GS-TG sequential (GPU)",
+        "GS-TG overlapped (accelerator)",
+    ]);
     let mut seq_all = Vec::new();
     let mut ovl_all = Vec::new();
     for scene_id in PaperScene::ALGORITHM_SET {
         let scene = options.scene(scene_id);
         let camera = options.camera(scene_id);
         let baseline = run_baseline(&scene, &camera, 16, BoundaryMethod::Ellipse);
-        let sequential = run_gstg(&scene, &camera, GstgConfig::paper_default(), false);
-        let overlapped = run_gstg(&scene, &camera, GstgConfig::paper_default(), true);
+        let sequential = run_gstg(&scene, &camera, GstgConfig::paper_default());
+        let overlapped = run_gstg(&scene, &camera, GstgConfig::paper_default().overlapped());
         let s = sequential.times.speedup_over(&baseline.times);
         let o = overlapped.times.speedup_over(&baseline.times);
         seq_all.push(s);
@@ -43,6 +50,10 @@ fn main() {
         format!("{:.3}", geometric_mean(&ovl_all).unwrap_or(0.0)),
     ]);
     println!("{}", table.to_markdown());
-    println!("Reading: overlapping bitmask generation with group sorting recovers the time the GPU");
-    println!("loses in preprocessing, which is the architectural justification for the GS-TG core.");
+    println!(
+        "Reading: overlapping bitmask generation with group sorting recovers the time the GPU"
+    );
+    println!(
+        "loses in preprocessing, which is the architectural justification for the GS-TG core."
+    );
 }

@@ -54,7 +54,11 @@ fn main() {
                     format!("{:.3e}", times.sort),
                     format!("{:.3e}", times.raster),
                     format!("{:.3e}", times.total()),
-                    if tile == best { "*".to_string() } else { String::new() },
+                    if tile == best {
+                        "*".to_string()
+                    } else {
+                        String::new()
+                    },
                 ]);
             }
         }

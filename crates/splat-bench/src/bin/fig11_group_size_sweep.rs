@@ -7,7 +7,7 @@
 //! baseline at the same tile size. The paper finds 16+64 fastest in most
 //! cases, which is why the remaining experiments use it.
 
-use gstg::GstgConfig;
+use gstg::{GstgConfig, HasExecution};
 use splat_bench::{run_baseline, run_gstg, HarnessOptions, GROUPING_SWEEP};
 use splat_metrics::{geometric_mean, Table};
 use splat_render::BoundaryMethod;
@@ -16,7 +16,10 @@ use splat_scene::PaperScene;
 fn main() {
     let options = HarnessOptions::from_args();
     println!("# Fig. 11 — speedup of GS-TG for tile+group combinations");
-    println!("# workload: {} (ellipse boundary, overlapped bitmask generation)", options.describe());
+    println!(
+        "# workload: {} (ellipse boundary, overlapped bitmask generation)",
+        options.describe()
+    );
     println!();
 
     let labels: Vec<String> = GROUPING_SWEEP
@@ -34,10 +37,14 @@ fn main() {
         let mut row = vec![scene_id.name().to_string()];
         for (i, &(tile, group)) in GROUPING_SWEEP.iter().enumerate() {
             let baseline = run_baseline(&scene, &camera, tile, BoundaryMethod::Ellipse);
-            let config =
-                GstgConfig::new(tile, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse)
-                    .expect("sweep combination is valid");
-            let grouped = run_gstg(&scene, &camera, config, true);
+            let config = GstgConfig::new(
+                tile,
+                group,
+                BoundaryMethod::Ellipse,
+                BoundaryMethod::Ellipse,
+            )
+            .expect("sweep combination is valid");
+            let grouped = run_gstg(&scene, &camera, config.overlapped());
             let speedup = grouped.times.speedup_over(&baseline.times);
             per_combo[i].push(speedup);
             row.push(format!("{speedup:.3}"));

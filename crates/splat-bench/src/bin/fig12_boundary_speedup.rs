@@ -19,7 +19,10 @@ use splat_scene::PaperScene;
 fn main() {
     let options = HarnessOptions::from_args();
     println!("# Fig. 12 — GS-TG speedup vs boundary combinations (GPU execution model)");
-    println!("# workload: {} (normalized to the AABB baseline, 16x16 tiles)", options.describe());
+    println!(
+        "# workload: {} (normalized to the AABB baseline, 16x16 tiles)",
+        options.describe()
+    );
     println!();
 
     let mut table = Table::new([
@@ -47,7 +50,7 @@ fn main() {
 
         let gstg = |group: BoundaryMethod, bitmask: BoundaryMethod| {
             let config = GstgConfig::new(16, 64, group, bitmask).expect("valid configuration");
-            run_gstg(&scene, &camera, config, false)
+            run_gstg(&scene, &camera, config)
         };
         let aa = gstg(BoundaryMethod::Aabb, BoundaryMethod::Aabb);
         let ao = gstg(BoundaryMethod::Aabb, BoundaryMethod::Obb);
@@ -81,7 +84,9 @@ fn main() {
     }
 
     println!("{}", table.to_markdown());
-    println!("(columns: baseline boundary at 16x16, then GS-TG 16+64 with group+bitmask boundaries)");
+    println!(
+        "(columns: baseline boundary at 16x16, then GS-TG 16+64 with group+bitmask boundaries)"
+    );
     println!(
         "finding 2 check (GS-TG X+X >= baseline X): {} violations across scenes",
         finding2_violations

@@ -8,7 +8,7 @@
 //! preprocessing is *slower* than the baseline because the GPU cannot hide
 //! bitmask generation — the motivation for the dedicated accelerator.
 
-use gstg::GstgConfig;
+use gstg::{GstgConfig, HasExecution};
 use splat_bench::{run_baseline, run_gstg, HarnessOptions};
 use splat_metrics::Table;
 use splat_render::BoundaryMethod;
@@ -29,10 +29,13 @@ fn main() {
         let run = run_baseline(&scene, &camera, tile, BoundaryMethod::Ellipse);
         rows.push((format!("baseline {tile}x{tile}"), run.times));
     }
-    let gstg_run = run_gstg(&scene, &camera, GstgConfig::paper_default(), false);
+    let gstg_run = run_gstg(&scene, &camera, GstgConfig::paper_default());
     rows.push(("GS-TG 16+64 (GPU, sequential)".to_string(), gstg_run.times));
-    let gstg_hw = run_gstg(&scene, &camera, GstgConfig::paper_default(), true);
-    rows.push(("GS-TG 16+64 (accelerator, overlapped)".to_string(), gstg_hw.times));
+    let gstg_hw = run_gstg(&scene, &camera, GstgConfig::paper_default().overlapped());
+    rows.push((
+        "GS-TG 16+64 (accelerator, overlapped)".to_string(),
+        gstg_hw.times,
+    ));
 
     for (label, times) in &rows {
         table.add_row([

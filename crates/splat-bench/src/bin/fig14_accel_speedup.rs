@@ -25,8 +25,7 @@ fn main() {
         PipelineVariant::gscore_paper(),
         PipelineVariant::gstg_paper(),
     ];
-    let mut comparison =
-        ComparisonReport::new(["Ours (Baseline)", "GSCore", "Ours (GS-TG)"]);
+    let mut comparison = ComparisonReport::new(["Ours (Baseline)", "GSCore", "Ours (GS-TG)"]);
 
     for scene_id in PaperScene::HARDWARE_SET {
         let scene = options.scene(scene_id);

@@ -26,7 +26,14 @@ fn main() {
     ];
     let view_count = 3usize;
 
-    let mut table = Table::new(["scene", "views", "Baseline FPS", "GSCore FPS", "GS-TG FPS", "GS-TG gain"]);
+    let mut table = Table::new([
+        "scene",
+        "views",
+        "Baseline FPS",
+        "GSCore FPS",
+        "GS-TG FPS",
+        "GS-TG gain",
+    ]);
     for scene_id in PaperScene::ALGORITHM_SET {
         let scene = options.scene(scene_id);
         let reference = options.camera(scene_id);

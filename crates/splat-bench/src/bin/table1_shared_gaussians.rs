@@ -15,7 +15,10 @@ use splat_scene::PaperScene;
 fn main() {
     let options = HarnessOptions::from_args();
     println!("# Table I — % of Gaussians shared with adjacent tiles");
-    println!("# workload: {} (AABB boundary, as in the original 3D-GS)", options.describe());
+    println!(
+        "# workload: {} (AABB boundary, as in the original 3D-GS)",
+        options.describe()
+    );
     println!();
 
     let boundary = BoundaryMethod::Aabb;

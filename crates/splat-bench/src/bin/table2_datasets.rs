@@ -25,8 +25,17 @@ fn main() {
     }
     println!("{}", table.to_markdown());
 
-    println!("## synthetic substitution profile at {}", options.describe());
-    let mut synth = Table::new(["Scene", "Gaussians", "Clusters", "Depth range", "Opaque fraction"]);
+    println!(
+        "## synthetic substitution profile at {}",
+        options.describe()
+    );
+    let mut synth = Table::new([
+        "Scene",
+        "Gaussians",
+        "Clusters",
+        "Depth range",
+        "Opaque fraction",
+    ]);
     for scene in PaperScene::HARDWARE_SET {
         let profile = scene.profile(options.scale);
         synth.add_row([

@@ -13,11 +13,36 @@ fn main() {
 
     let power = PowerTable::paper();
     let mut table = Table::new(["Module", "Configuration", "Area [mm^2]", "Power [W]"]);
-    table.add_row(["PM", "4", &format!("{:.3}", power.pm.area_mm2), &format!("{:.3}", power.pm.power_w)]);
-    table.add_row(["BGM", "4", &format!("{:.3}", power.bgm.area_mm2), &format!("{:.3}", power.bgm.power_w)]);
-    table.add_row(["GSM", "4", &format!("{:.3}", power.gsm.area_mm2), &format!("{:.3}", power.gsm.power_w)]);
-    table.add_row(["RM", "4", &format!("{:.3}", power.rm.area_mm2), &format!("{:.3}", power.rm.power_w)]);
-    table.add_row(["Buffer", "4x2x42KB", &format!("{:.3}", power.buffer.area_mm2), &format!("{:.3}", power.buffer.power_w)]);
+    table.add_row([
+        "PM",
+        "4",
+        &format!("{:.3}", power.pm.area_mm2),
+        &format!("{:.3}", power.pm.power_w),
+    ]);
+    table.add_row([
+        "BGM",
+        "4",
+        &format!("{:.3}", power.bgm.area_mm2),
+        &format!("{:.3}", power.bgm.power_w),
+    ]);
+    table.add_row([
+        "GSM",
+        "4",
+        &format!("{:.3}", power.gsm.area_mm2),
+        &format!("{:.3}", power.gsm.power_w),
+    ]);
+    table.add_row([
+        "RM",
+        "4",
+        &format!("{:.3}", power.rm.area_mm2),
+        &format!("{:.3}", power.rm.power_w),
+    ]);
+    table.add_row([
+        "Buffer",
+        "4x2x42KB",
+        &format!("{:.3}", power.buffer.area_mm2),
+        &format!("{:.3}", power.buffer.power_w),
+    ]);
     table.add_row([
         "Total",
         "",
@@ -28,14 +53,38 @@ fn main() {
 
     let config = AccelConfig::paper();
     let mut params = Table::new(["Parameter", "Value"]);
-    params.add_row(["Operating frequency", &format!("{:.1} GHz", config.clock_hz / 1e9)]);
-    params.add_row(["Preprocessing modules", &config.preprocessing_modules.to_string()]);
+    params.add_row([
+        "Operating frequency",
+        &format!("{:.1} GHz", config.clock_hz / 1e9),
+    ]);
+    params.add_row([
+        "Preprocessing modules",
+        &config.preprocessing_modules.to_string(),
+    ]);
     params.add_row(["GS-TG cores", &config.cores.to_string()]);
-    params.add_row(["Tile-check units per BGM", &config.bgm_tile_check_units.to_string()]);
-    params.add_row(["Rasterization units per RM", &config.rm_rasterization_units.to_string()]);
-    params.add_row(["Buffer per core", &format!("{} KB (double-buffered)", config.buffer_bytes_per_core / 1024)]);
-    params.add_row(["DRAM bandwidth", &format!("{:.1} GB/s", config.dram_bandwidth_bytes_per_s / 1e9)]);
-    params.add_row(["DRAM energy", &format!("{:.0} pJ/byte", config.dram_pj_per_byte)]);
+    params.add_row([
+        "Tile-check units per BGM",
+        &config.bgm_tile_check_units.to_string(),
+    ]);
+    params.add_row([
+        "Rasterization units per RM",
+        &config.rm_rasterization_units.to_string(),
+    ]);
+    params.add_row([
+        "Buffer per core",
+        &format!(
+            "{} KB (double-buffered)",
+            config.buffer_bytes_per_core / 1024
+        ),
+    ]);
+    params.add_row([
+        "DRAM bandwidth",
+        &format!("{:.1} GB/s", config.dram_bandwidth_bytes_per_s / 1e9),
+    ]);
+    params.add_row([
+        "DRAM energy",
+        &format!("{:.0} pJ/byte", config.dram_pj_per_byte),
+    ]);
     println!("{}", params.to_markdown());
     println!("(paper totals: 3.984 mm^2, 1.063 W at 1 GHz)");
 }

@@ -21,7 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gstg::GstgConfig;
+use gstg::{ExecutionModel, GstgConfig};
 use splat_render::{BoundaryMethod, CostModel, RenderConfig, Renderer, StageCounts, StageTimes};
 use splat_scene::{PaperScene, Scene, SceneScale};
 use splat_types::{Camera, CameraIntrinsics, Vec3};
@@ -154,14 +154,24 @@ pub fn run_baseline(
 }
 
 /// Runs the GS-TG pipeline and converts its counts into normalized stage
-/// times for the requested execution model.
-pub fn run_gstg(scene: &Scene, camera: &Camera, config: GstgConfig, overlapped: bool) -> PipelineRun {
+/// times for the execution model selected by `config.exec.model`
+/// ([`ExecutionModel::AcceleratorOverlapped`] hides bitmask generation
+/// behind group-wise sorting; the default GPU model pays for it in
+/// preprocessing).
+pub fn run_gstg(scene: &Scene, camera: &Camera, config: GstgConfig) -> PipelineRun {
     let output = gstg::GstgRenderer::new(config).render(scene, camera);
     let model = CostModel::new();
-    let times = if overlapped {
-        model.gstg_overlapped_times(&output.stats.counts, config.group_boundary, config.bitmask_boundary)
-    } else {
-        model.gstg_sequential_times(&output.stats.counts, config.group_boundary, config.bitmask_boundary)
+    let times = match config.exec.model {
+        ExecutionModel::AcceleratorOverlapped => model.gstg_overlapped_times(
+            &output.stats.counts,
+            config.group_boundary,
+            config.bitmask_boundary,
+        ),
+        ExecutionModel::GpuSequential => model.gstg_sequential_times(
+            &output.stats.counts,
+            config.group_boundary,
+            config.bitmask_boundary,
+        ),
     };
     PipelineRun {
         counts: output.stats.counts,
@@ -231,7 +241,7 @@ mod tests {
         let scene = o.scene(PaperScene::Playroom);
         let camera = o.camera(PaperScene::Playroom);
         let baseline = run_baseline(&scene, &camera, 16, BoundaryMethod::Ellipse);
-        let grouped = run_gstg(&scene, &camera, GstgConfig::paper_default(), false);
+        let grouped = run_gstg(&scene, &camera, GstgConfig::paper_default());
         assert!(baseline.times.total() > 0.0);
         assert!(grouped.times.total() > 0.0);
         assert_eq!(

@@ -1,15 +1,30 @@
-//! Tile-wise rasterization: α-computation and α-blending.
+//! The shared front-to-back blending kernel.
 //!
 //! For every pixel of a tile the sorted splat list is walked front-to-back.
 //! Each splat costs one α-computation (Eq. 1 of the paper); splats whose α
 //! falls below 1/255 are skipped, the rest are blended (Eq. 2) until the
-//! accumulated transmittance drops below 10⁻⁴.
+//! accumulated transmittance drops below 10⁻⁴. Both the baseline renderer
+//! and the GS-TG renderer rasterize through [`rasterize_tile`] — GS-TG
+//! merely filters the splat list with its bitmasks first.
 
-use crate::bounds::TileRect;
-use crate::config::{ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON};
-use crate::preprocess::ProjectedGaussian;
+use crate::rect::{TileRect, MAHALANOBIS_CUTOFF};
+use crate::splat::ProjectedGaussian;
 use crate::stats::StageCounts;
 use splat_types::{Rgb, Vec2};
+
+/// α values below this threshold (1/255) are treated as having no influence
+/// on the pixel and are skipped before blending, as in the reference 3D-GS
+/// rasterizer.
+pub const ALPHA_CULL_THRESHOLD: f32 = 1.0 / 255.0;
+
+/// The front-to-back blending loop terminates once the accumulated
+/// transmittance drops below this threshold (10⁻⁴ in the reference
+/// implementation).
+pub const TRANSMITTANCE_EPSILON: f32 = 1e-4;
+
+/// Upper bound on α (the reference implementation clamps at 0.99 to keep
+/// the transmittance strictly positive).
+pub const ALPHA_MAX: f32 = 0.99;
 
 /// Result of rasterizing a single tile: the pixel colors of the clipped
 /// tile region in row-major order plus the operation counts incurred.
@@ -94,7 +109,7 @@ pub fn rasterize_tile(
 pub fn alpha_at(splat: &ProjectedGaussian, pixel: Vec2) -> f32 {
     let d = pixel - splat.mean;
     let mahalanobis_sq = d.dot(splat.inv_cov.mul_vec(d));
-    if !(0.0..=crate::bounds::MAHALANOBIS_CUTOFF).contains(&mahalanobis_sq) {
+    if !(0.0..=MAHALANOBIS_CUTOFF).contains(&mahalanobis_sq) {
         return 0.0;
     }
     (splat.opacity * (-0.5 * mahalanobis_sq).exp()).min(ALPHA_MAX)
@@ -105,7 +120,14 @@ mod tests {
     use super::*;
     use splat_types::Mat2;
 
-    fn splat(mean: Vec2, sigma: f32, opacity: f32, color: Rgb, depth: f32, index: u32) -> ProjectedGaussian {
+    fn splat(
+        mean: Vec2,
+        sigma: f32,
+        opacity: f32,
+        color: Rgb,
+        depth: f32,
+        index: u32,
+    ) -> ProjectedGaussian {
         let cov = Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma);
         ProjectedGaussian {
             index,
@@ -126,7 +148,10 @@ mod tests {
     fn empty_tile_renders_background() {
         let out = rasterize_tile(&[], &[], &tile(), Rgb::splat(0.25));
         assert_eq!(out.pixels.len(), 256);
-        assert!(out.pixels.iter().all(|p| p.max_abs_diff(Rgb::splat(0.25)) < 1e-6));
+        assert!(out
+            .pixels
+            .iter()
+            .all(|p| p.max_abs_diff(Rgb::splat(0.25)) < 1e-6));
         assert_eq!(out.counts.alpha_computations, 0);
         assert_eq!(out.counts.pixels, 256);
     }
@@ -148,8 +173,22 @@ mod tests {
 
     #[test]
     fn opaque_near_splat_occludes_far_splat() {
-        let near = splat(Vec2::new(8.0, 8.0), 6.0, 0.99, Rgb::new(1.0, 0.0, 0.0), 1.0, 0);
-        let far = splat(Vec2::new(8.0, 8.0), 6.0, 0.99, Rgb::new(0.0, 1.0, 0.0), 2.0, 1);
+        let near = splat(
+            Vec2::new(8.0, 8.0),
+            6.0,
+            0.99,
+            Rgb::new(1.0, 0.0, 0.0),
+            1.0,
+            0,
+        );
+        let far = splat(
+            Vec2::new(8.0, 8.0),
+            6.0,
+            0.99,
+            Rgb::new(0.0, 1.0, 0.0),
+            2.0,
+            1,
+        );
         let projected = vec![near, far];
         let out = rasterize_tile(&[0, 1], &projected, &tile(), Rgb::BLACK);
         // Center pixel is dominated by the near (red) splat.
@@ -160,8 +199,22 @@ mod tests {
 
     #[test]
     fn blend_order_matters() {
-        let red = splat(Vec2::new(8.0, 8.0), 6.0, 0.6, Rgb::new(1.0, 0.0, 0.0), 1.0, 0);
-        let green = splat(Vec2::new(8.0, 8.0), 6.0, 0.6, Rgb::new(0.0, 1.0, 0.0), 2.0, 1);
+        let red = splat(
+            Vec2::new(8.0, 8.0),
+            6.0,
+            0.6,
+            Rgb::new(1.0, 0.0, 0.0),
+            1.0,
+            0,
+        );
+        let green = splat(
+            Vec2::new(8.0, 8.0),
+            6.0,
+            0.6,
+            Rgb::new(0.0, 1.0, 0.0),
+            2.0,
+            1,
+        );
         let projected = vec![red, green];
         let front_red = rasterize_tile(&[0, 1], &projected, &tile(), Rgb::BLACK);
         let front_green = rasterize_tile(&[1, 0], &projected, &tile(), Rgb::BLACK);
@@ -215,11 +268,24 @@ mod tests {
     fn transmittance_conservation() {
         // With a semi-transparent splat over a white background, the pixel
         // is a convex combination of splat color and background.
-        let s = splat(Vec2::new(8.0, 8.0), 10.0, 0.5, Rgb::new(1.0, 0.0, 0.0), 1.0, 0);
+        let s = splat(
+            Vec2::new(8.0, 8.0),
+            10.0,
+            0.5,
+            Rgb::new(1.0, 0.0, 0.0),
+            1.0,
+            0,
+        );
         let out = rasterize_tile(&[0], &[s], &tile(), Rgb::WHITE);
         let c = out.pixels[8 * 16 + 8];
         assert!((c.r - 1.0).abs() < 1e-3); // red from both
         assert!((c.g - 0.5).abs() < 0.02); // half the white background
         assert!(c.g > 0.0 && c.g < 1.0);
+    }
+
+    #[test]
+    fn thresholds_match_reference_implementation() {
+        assert!((ALPHA_CULL_THRESHOLD - 1.0 / 255.0).abs() < 1e-9);
+        assert!((TRANSMITTANCE_EPSILON - 1e-4).abs() < 1e-9);
     }
 }

@@ -1,0 +1,133 @@
+//! Shared execution configuration for every pipeline.
+//!
+//! Before this crate existed the baseline and GS-TG configurations each
+//! carried their own `threads` field and `with_threads` builder; this
+//! module replaces both with one [`ExecutionConfig`] and the
+//! [`HasExecution`] trait, so every pipeline configuration exposes the same
+//! single thread-count knob.
+
+/// How bitmask generation (and, more generally, hideable side work) is
+/// scheduled relative to the sorting phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionModel {
+    /// GPU (SIMT) execution: stages run strictly in sequence, so side work
+    /// such as GS-TG's bitmask generation shows up in the preprocessing
+    /// stage (Fig. 13 of the paper).
+    #[default]
+    GpuSequential,
+    /// Dedicated accelerator: side work overlaps with sorting, hiding its
+    /// latency (Section V of the paper).
+    AcceleratorOverlapped,
+}
+
+/// Execution parameters shared by every pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecutionConfig {
+    /// Number of worker threads for the rasterization fan-out
+    /// (1 = sequential; operation counts are unaffected either way).
+    pub threads: usize,
+    /// Scheduling model for hideable side work.
+    pub model: ExecutionModel,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl ExecutionConfig {
+    /// Single-threaded execution with the default (GPU-sequential) model.
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            model: ExecutionModel::default(),
+        }
+    }
+
+    /// Parallel execution over the given number of worker threads
+    /// (clamped to at least one).
+    pub fn parallel(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            model: ExecutionModel::default(),
+        }
+    }
+}
+
+/// Implemented by every pipeline configuration that embeds an
+/// [`ExecutionConfig`]. The provided builders are the single
+/// implementation of the `with_threads` / `with_execution` knobs that the
+/// per-pipeline configurations used to duplicate.
+pub trait HasExecution: Sized {
+    /// The embedded execution configuration.
+    fn execution(&self) -> &ExecutionConfig;
+
+    /// Mutable access for the provided builders.
+    fn execution_mut(&mut self) -> &mut ExecutionConfig;
+
+    /// Returns a copy with the worker thread count replaced (clamped to at
+    /// least one).
+    fn with_threads(mut self, threads: usize) -> Self {
+        self.execution_mut().threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the execution model replaced.
+    fn with_execution(mut self, model: ExecutionModel) -> Self {
+        self.execution_mut().model = model;
+        self
+    }
+
+    /// Shorthand for selecting the accelerator's overlapped schedule.
+    fn overlapped(self) -> Self {
+        self.with_execution(ExecutionModel::AcceleratorOverlapped)
+    }
+
+    /// Shorthand for the configured worker thread count.
+    fn threads(&self) -> usize {
+        self.execution().threads
+    }
+}
+
+impl HasExecution for ExecutionConfig {
+    fn execution(&self) -> &ExecutionConfig {
+        self
+    }
+
+    fn execution_mut(&mut self) -> &mut ExecutionConfig {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_gpu() {
+        let exec = ExecutionConfig::default();
+        assert_eq!(exec.threads, 1);
+        assert_eq!(exec.model, ExecutionModel::GpuSequential);
+    }
+
+    #[test]
+    fn parallel_clamps_to_one_thread() {
+        assert_eq!(ExecutionConfig::parallel(0).threads, 1);
+        assert_eq!(ExecutionConfig::parallel(8).threads, 8);
+    }
+
+    #[test]
+    fn with_threads_is_the_single_knob() {
+        let exec = ExecutionConfig::sequential().with_threads(4);
+        assert_eq!(exec.threads, 4);
+        assert_eq!(ExecutionConfig::sequential().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn with_execution_replaces_the_model() {
+        let exec =
+            ExecutionConfig::sequential().with_execution(ExecutionModel::AcceleratorOverlapped);
+        assert_eq!(exec.model, ExecutionModel::AcceleratorOverlapped);
+    }
+}

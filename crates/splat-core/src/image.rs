@@ -1,10 +1,9 @@
 //! Framebuffer and image comparison utilities.
 
-use serde::{Deserialize, Serialize};
 use splat_types::Rgb;
 
 /// A simple RGB framebuffer in row-major order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Framebuffer {
     width: u32,
     height: u32,
@@ -52,7 +51,10 @@ impl Framebuffer {
     /// Panics when the coordinates are out of bounds.
     #[inline]
     pub fn pixel(&self, x: u32, y: u32) -> Rgb {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y as usize) * (self.width as usize) + x as usize]
     }
 
@@ -63,7 +65,10 @@ impl Framebuffer {
     /// Panics when the coordinates are out of bounds.
     #[inline]
     pub fn set_pixel(&mut self, x: u32, y: u32, color: Rgb) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y as usize) * (self.width as usize) + x as usize] = color;
     }
 
@@ -77,7 +82,11 @@ impl Framebuffer {
     /// tile-parallel rasterizer to write back without aliasing.
     pub fn write_region(&mut self, x0: u32, y0: u32, width: u32, rows: &[Rgb]) {
         let width = width as usize;
-        assert_eq!(rows.len() % width, 0, "region rows must be a multiple of width");
+        assert_eq!(
+            rows.len() % width,
+            0,
+            "region rows must be a multiple of width"
+        );
         let height = rows.len() / width;
         for row in 0..height {
             let y = y0 as usize + row;

@@ -1,0 +1,44 @@
+//! Shared stage engine for the GS-TG rendering pipelines.
+//!
+//! Both the conventional tile-based pipeline (`splat-render`) and the
+//! tile-grouping pipeline (`gstg`) are compositions of the same three
+//! phases — preprocessing, depth sorting, rasterization — differing only
+//! in *how* work is keyed (per tile vs per group). This crate owns the
+//! machinery that is identical between them so that a new backend is a new
+//! stage set, not a third copy:
+//!
+//! * [`exec`] — the shared execution configuration: worker thread count and
+//!   scheduling model, with the single `with_threads` knob every pipeline
+//!   configuration re-uses through [`HasExecution`].
+//! * [`stage`] — the [`PipelineStage`] trait plus the timed runner that
+//!   gives every stage uniform [`StageCounts`] instrumentation.
+//! * [`schedule`] — [`TileScheduler`], the deterministic scoped-thread
+//!   work-partition scheduler both rasterizers fan out on.
+//! * [`blend`] — the front-to-back α-blending kernel ([`rasterize_tile`])
+//!   and the reference thresholds, consumed by both rasterizers.
+//! * [`splat`], [`rect`], [`image`], [`stats`] — the data types the stages
+//!   exchange: projected splats, pixel rectangles, framebuffers and
+//!   operation counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blend;
+pub mod exec;
+pub mod image;
+pub mod rect;
+pub mod schedule;
+pub mod splat;
+pub mod stage;
+pub mod stats;
+
+pub use blend::{
+    alpha_at, rasterize_tile, TileRaster, ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON,
+};
+pub use exec::{ExecutionConfig, ExecutionModel, HasExecution};
+pub use image::Framebuffer;
+pub use rect::{TileRect, MAHALANOBIS_CUTOFF, SIGMA_EXTENT};
+pub use schedule::TileScheduler;
+pub use splat::ProjectedGaussian;
+pub use stage::{run_timed, PipelineStage};
+pub use stats::{RenderStats, StageCounts};

@@ -1,0 +1,67 @@
+//! Pixel-space rectangles and the 3σ footprint constants.
+
+use splat_types::Vec2;
+
+/// Number of standard deviations covered by a splat footprint (the 3-sigma
+/// rule used throughout 3D-GS).
+pub const SIGMA_EXTENT: f32 = 3.0;
+
+/// Squared Mahalanobis distance corresponding to the 3σ boundary.
+pub const MAHALANOBIS_CUTOFF: f32 = SIGMA_EXTENT * SIGMA_EXTENT;
+
+/// Axis-aligned pixel-space rectangle (used for tiles and tile groups).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileRect {
+    /// Minimum x (inclusive), in pixels.
+    pub x0: f32,
+    /// Minimum y (inclusive), in pixels.
+    pub y0: f32,
+    /// Maximum x (exclusive), in pixels.
+    pub x1: f32,
+    /// Maximum y (exclusive), in pixels.
+    pub y1: f32,
+}
+
+impl TileRect {
+    /// Creates a rectangle from its corners.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Rectangle center.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        Vec2::new(0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+    }
+
+    /// Half extents along x and y.
+    #[inline]
+    pub fn half_extent(&self) -> Vec2 {
+        Vec2::new(0.5 * (self.x1 - self.x0), 0.5 * (self.y1 - self.y0))
+    }
+
+    /// Returns `true` when the point lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_helpers() {
+        let r = TileRect::new(16.0, 32.0, 32.0, 64.0);
+        assert_eq!(r.center(), Vec2::new(24.0, 48.0));
+        assert_eq!(r.half_extent(), Vec2::new(8.0, 16.0));
+        assert!(r.contains(Vec2::new(16.0, 32.0)));
+        assert!(!r.contains(Vec2::new(32.0, 32.0)));
+    }
+
+    #[test]
+    fn cutoff_is_three_sigma_squared() {
+        assert_eq!(MAHALANOBIS_CUTOFF, 9.0);
+    }
+}

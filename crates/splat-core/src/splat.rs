@@ -1,0 +1,22 @@
+//! The projected-splat representation exchanged between pipeline stages.
+
+use splat_types::{Mat2, Rgb, Vec2};
+
+/// A splat after preprocessing: everything sorting and rasterization need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectedGaussian {
+    /// Index of the splat in the source scene.
+    pub index: u32,
+    /// Depth along the viewing direction (`D`), used as the sort key.
+    pub depth: f32,
+    /// Projected center in pixel coordinates (`2D_XY`).
+    pub mean: Vec2,
+    /// Projected 2D covariance (`2D_Cov`).
+    pub cov: Mat2,
+    /// Inverse of the 2D covariance (the conic used by α-computation).
+    pub inv_cov: Mat2,
+    /// Opacity `σ`.
+    pub opacity: f32,
+    /// View-dependent color (`G_RGB`).
+    pub color: Rgb,
+}

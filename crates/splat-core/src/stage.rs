@@ -1,0 +1,78 @@
+//! The pipeline-stage abstraction.
+//!
+//! A renderer is a composition of [`PipelineStage`]s run through
+//! [`run_timed`], which gives every stage the same instrumentation: the
+//! stage's operation counters accumulate into one shared [`StageCounts`]
+//! and its wall-clock time is measured around the whole stage. The
+//! baseline and GS-TG renderers differ only in which stage structs they
+//! compose.
+
+use crate::stats::StageCounts;
+use std::time::{Duration, Instant};
+
+/// One phase of a rendering pipeline.
+///
+/// Stages are one-shot: they own (or borrow) their inputs and are consumed
+/// by [`PipelineStage::run`]. All work performed must be charged to the
+/// `counts` the runner passes in, so different pipeline compositions report
+/// comparable operation counts.
+pub trait PipelineStage {
+    /// The value the stage produces for the next stage.
+    type Output;
+
+    /// Stable, human-readable stage name (used in logs and reports).
+    fn name(&self) -> &'static str;
+
+    /// Executes the stage, charging all performed work to `counts`.
+    fn run(self, counts: &mut StageCounts) -> Self::Output;
+}
+
+/// Runs a stage, returning its output together with its wall-clock time.
+/// Operation counters accumulate into `counts`.
+pub fn run_timed<S: PipelineStage>(stage: S, counts: &mut StageCounts) -> (S::Output, Duration) {
+    let start = Instant::now();
+    let output = stage.run(counts);
+    (output, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountPixels(u64);
+
+    impl PipelineStage for CountPixels {
+        type Output = u64;
+
+        fn name(&self) -> &'static str {
+            "count-pixels"
+        }
+
+        fn run(self, counts: &mut StageCounts) -> u64 {
+            counts.pixels += self.0;
+            self.0
+        }
+    }
+
+    #[test]
+    fn run_timed_returns_output_and_accumulates_counts() {
+        let mut counts = StageCounts::new();
+        let (out, elapsed) = run_timed(CountPixels(7), &mut counts);
+        assert_eq!(out, 7);
+        assert_eq!(counts.pixels, 7);
+        assert!(elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn stages_share_one_counter_set() {
+        let mut counts = StageCounts::new();
+        let _ = run_timed(CountPixels(3), &mut counts);
+        let _ = run_timed(CountPixels(4), &mut counts);
+        assert_eq!(counts.pixels, 7);
+    }
+
+    #[test]
+    fn stage_names_are_exposed() {
+        assert_eq!(CountPixels(0).name(), "count-pixels");
+    }
+}

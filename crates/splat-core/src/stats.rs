@@ -6,12 +6,11 @@
 //! increments the counters defined here, and the cost model converts them
 //! into normalized stage times.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
 /// Raw operation counts accumulated while rendering one view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageCounts {
     /// Splats submitted to preprocessing.
     pub input_gaussians: u64,
@@ -110,7 +109,7 @@ impl AddAssign for StageCounts {
 
 /// Statistics of one rendered view: operation counts plus measured
 /// wall-clock per stage.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RenderStats {
     /// Operation counts.
     pub counts: StageCounts,

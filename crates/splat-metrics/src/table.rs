@@ -1,13 +1,11 @@
 //! Aligned markdown / CSV table emission for experiment binaries.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple column-oriented results table.
 ///
 /// Every figure-regeneration binary prints one or more of these so the
 /// output can be compared directly against the paper's tables and figure
 /// series.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,

@@ -11,59 +11,18 @@
 //!   against a tile with a separating-axis test.
 //! * **Ellipse** — FlashGS tests the exact 3σ ellipse against the tile
 //!   rectangle (a box-constrained minimization of the Mahalanobis form).
+//!
+//! The rectangle type and the 3σ constants live in [`splat_core::rect`]
+//! (they are shared with the blending kernel) and are re-exported here.
+
+pub use splat_core::{TileRect, MAHALANOBIS_CUTOFF, SIGMA_EXTENT};
 
 use crate::config::BoundaryMethod;
-use serde::{Deserialize, Serialize};
 use splat_types::{Mat2, Vec2};
-
-/// Number of standard deviations covered by a splat footprint (the 3-sigma
-/// rule used throughout 3D-GS).
-pub const SIGMA_EXTENT: f32 = 3.0;
-
-/// Squared Mahalanobis distance corresponding to the 3σ boundary.
-pub const MAHALANOBIS_CUTOFF: f32 = SIGMA_EXTENT * SIGMA_EXTENT;
-
-/// Axis-aligned pixel-space rectangle (used for tiles and tile groups).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TileRect {
-    /// Minimum x (inclusive), in pixels.
-    pub x0: f32,
-    /// Minimum y (inclusive), in pixels.
-    pub y0: f32,
-    /// Maximum x (exclusive), in pixels.
-    pub x1: f32,
-    /// Maximum y (exclusive), in pixels.
-    pub y1: f32,
-}
-
-impl TileRect {
-    /// Creates a rectangle from its corners.
-    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
-        Self { x0, y0, x1, y1 }
-    }
-
-    /// Rectangle center.
-    #[inline]
-    pub fn center(&self) -> Vec2 {
-        Vec2::new(0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
-    }
-
-    /// Half extents along x and y.
-    #[inline]
-    pub fn half_extent(&self) -> Vec2 {
-        Vec2::new(0.5 * (self.x1 - self.x0), 0.5 * (self.y1 - self.y0))
-    }
-
-    /// Returns `true` when the point lies inside the rectangle.
-    #[inline]
-    pub fn contains(&self, p: Vec2) -> bool {
-        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
-    }
-}
 
 /// The screen-space footprint of one projected splat: everything the
 /// boundary tests need, precomputed once per splat.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaussianFootprint {
     /// Projected center in pixels.
     pub mean: Vec2,
@@ -170,7 +129,10 @@ impl GaussianFootprint {
         let obb_radii = [self.radius_major, self.radius_minor];
 
         // Tile axes.
-        for (axis, tile_half) in [(Vec2::new(1.0, 0.0), rect_half.x), (Vec2::new(0.0, 1.0), rect_half.y)] {
+        for (axis, tile_half) in [
+            (Vec2::new(1.0, 0.0), rect_half.x),
+            (Vec2::new(0.0, 1.0), rect_half.y),
+        ] {
             let obb_proj = obb_radii[0] * obb_axes[0].dot(axis).abs()
                 + obb_radii[1] * obb_axes[1].dot(axis).abs();
             if delta.dot(axis).abs() > tile_half + obb_proj {
@@ -242,12 +204,15 @@ impl GaussianFootprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use splat_types::rng::Rng;
 
     /// Circular footprint of radius 3σ·σ = 3·σ pixels.
     fn circular(mean: Vec2, sigma: f32) -> GaussianFootprint {
-        GaussianFootprint::from_covariance(mean, Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma))
-            .expect("non-degenerate")
+        GaussianFootprint::from_covariance(
+            mean,
+            Mat2::from_symmetric(sigma * sigma, 0.0, sigma * sigma),
+        )
+        .expect("non-degenerate")
     }
 
     /// Elongated footprint rotated by `angle`.
@@ -331,7 +296,10 @@ mod tests {
                 let obb = f.intersects(&tile, BoundaryMethod::Obb);
                 let ellipse = f.intersects(&tile, BoundaryMethod::Ellipse);
                 // Hierarchy: ellipse ⊆ obb ⊆ aabb.
-                assert!(!ellipse || obb, "ellipse hit must be an OBB hit ({tx},{ty})");
+                assert!(
+                    !ellipse || obb,
+                    "ellipse hit must be an OBB hit ({tx},{ty})"
+                );
                 assert!(!obb || aabb, "OBB hit must be an AABB hit ({tx},{ty})");
             }
         }
@@ -364,7 +332,10 @@ mod tests {
         let ellipse = count(BoundaryMethod::Ellipse);
         assert!(aabb >= obb, "aabb {aabb} >= obb {obb}");
         assert!(obb >= ellipse, "obb {obb} >= ellipse {ellipse}");
-        assert!(aabb > ellipse, "expected strict reduction, aabb {aabb} ellipse {ellipse}");
+        assert!(
+            aabb > ellipse,
+            "expected strict reduction, aabb {aabb} ellipse {ellipse}"
+        );
     }
 
     #[test]
@@ -385,7 +356,7 @@ mod tests {
     #[test]
     fn ellipse_boundary_is_respected() {
         let f = circular(Vec2::new(100.0, 100.0), 2.0); // 3σ radius = 6 px
-        // Tile whose nearest corner is 5 px away → intersects.
+                                                        // Tile whose nearest corner is 5 px away → intersects.
         let near = TileRect::new(103.5, 103.5, 119.5, 119.5);
         assert!(f.intersects(&near, BoundaryMethod::Ellipse));
         // Tile whose nearest corner is ~8.5 px away → no intersection.
@@ -393,61 +364,70 @@ mod tests {
         assert!(!f.intersects(&far, BoundaryMethod::Ellipse));
     }
 
+    /// The tightness hierarchy ellipse ⊆ OBB ⊆ AABB must hold for any
+    /// splat and tile: a tighter method never reports an intersection that
+    /// a looser method misses. Swept over a deterministic random sample of
+    /// splats and tiles.
     #[test]
-    fn rect_helpers() {
-        let r = TileRect::new(16.0, 32.0, 32.0, 64.0);
-        assert_eq!(r.center(), Vec2::new(24.0, 48.0));
-        assert_eq!(r.half_extent(), Vec2::new(8.0, 16.0));
-        assert!(r.contains(Vec2::new(16.0, 32.0)));
-        assert!(!r.contains(Vec2::new(32.0, 32.0)));
-    }
-
-    proptest! {
-        /// The tightness hierarchy ellipse ⊆ OBB ⊆ AABB must hold for any
-        /// splat and tile: a tighter method never reports an intersection
-        /// that a looser method misses.
-        #[test]
-        fn boundary_method_hierarchy(
-            mx in 0.0f32..256.0, my in 0.0f32..256.0,
-            s_major in 0.5f32..20.0, ratio in 0.05f32..1.0,
-            angle in 0.0f32..std::f32::consts::PI,
-            tx in 0u32..16, ty in 0u32..16,
-        ) {
-            let f = elongated(Vec2::new(mx, my), s_major, (s_major * ratio).max(0.1), angle);
-            let tile = TileRect::new(
-                tx as f32 * 16.0,
-                ty as f32 * 16.0,
-                (tx + 1) as f32 * 16.0,
-                (ty + 1) as f32 * 16.0,
+    fn boundary_method_hierarchy_holds_for_sampled_splats() {
+        let mut rng = Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15);
+        for case in 0..500 {
+            let mx = rng.range_f32(0.0, 256.0);
+            let my = rng.range_f32(0.0, 256.0);
+            let s_major = rng.range_f32(0.5, 20.0);
+            let ratio = rng.range_f32(0.05, 1.0);
+            let angle = rng.range_f32(0.0, std::f32::consts::PI);
+            let tx = rng.range_f32(0.0, 16.0).floor();
+            let ty = rng.range_f32(0.0, 16.0).floor();
+            let f = elongated(
+                Vec2::new(mx, my),
+                s_major,
+                (s_major * ratio).max(0.1),
+                angle,
             );
+            let tile = TileRect::new(tx * 16.0, ty * 16.0, (tx + 1.0) * 16.0, (ty + 1.0) * 16.0);
             let aabb = f.intersects(&tile, BoundaryMethod::Aabb);
             let obb = f.intersects(&tile, BoundaryMethod::Obb);
             let ellipse = f.intersects(&tile, BoundaryMethod::Ellipse);
             // The 3σ ellipse is inscribed in both the oriented box and the
-            // square AABB, so an ellipse hit implies a hit for the other two
-            // methods. (OBB and AABB are not ordered against each other: a
-            // rotated OBB corner can poke outside the square.)
-            prop_assert!(!ellipse || obb);
-            prop_assert!(!ellipse || aabb);
+            // square AABB, so an ellipse hit implies a hit for the other
+            // two methods. (OBB and AABB are not ordered against each
+            // other: a rotated OBB corner can poke outside the square.)
+            assert!(!ellipse || obb, "case {case}: ellipse hit missed by OBB");
+            assert!(!ellipse || aabb, "case {case}: ellipse hit missed by AABB");
         }
+    }
 
-        /// Any pixel inside the tile that is within the 3σ Mahalanobis
-        /// boundary implies the ellipse test reports an intersection.
-        #[test]
-        fn ellipse_test_is_complete(
-            mx in 0.0f32..128.0, my in 0.0f32..128.0,
-            s_major in 0.5f32..10.0, ratio in 0.1f32..1.0,
-            angle in 0.0f32..std::f32::consts::PI,
-            px_frac in 0.0f32..1.0, py_frac in 0.0f32..1.0,
-        ) {
-            let f = elongated(Vec2::new(mx, my), s_major, (s_major * ratio).max(0.1), angle);
-            let tile = TileRect::new(48.0, 48.0, 64.0, 64.0);
+    /// Any pixel inside the tile that is within the 3σ Mahalanobis
+    /// boundary implies the ellipse test reports an intersection. Swept
+    /// over a deterministic random sample.
+    #[test]
+    fn ellipse_test_is_complete_for_sampled_pixels() {
+        let mut rng = Rng::seed_from_u64(0x1234_5678_9ABC_DEF1);
+        let tile = TileRect::new(48.0, 48.0, 64.0, 64.0);
+        for case in 0..500 {
+            let mx = rng.range_f32(0.0, 128.0);
+            let my = rng.range_f32(0.0, 128.0);
+            let s_major = rng.range_f32(0.5, 10.0);
+            let ratio = rng.range_f32(0.1, 1.0);
+            let angle = rng.range_f32(0.0, std::f32::consts::PI);
+            let px_frac = rng.range_f32(0.0, 1.0);
+            let py_frac = rng.range_f32(0.0, 1.0);
+            let f = elongated(
+                Vec2::new(mx, my),
+                s_major,
+                (s_major * ratio).max(0.1),
+                angle,
+            );
             let p = Vec2::new(
                 tile.x0 + px_frac * (tile.x1 - tile.x0),
                 tile.y0 + py_frac * (tile.y1 - tile.y0),
             );
             if f.mahalanobis_sq(p) <= MAHALANOBIS_CUTOFF {
-                prop_assert!(f.intersects(&tile, BoundaryMethod::Ellipse));
+                assert!(
+                    f.intersects(&tile, BoundaryMethod::Ellipse),
+                    "case {case}: in-boundary pixel not reported"
+                );
             }
         }
     }

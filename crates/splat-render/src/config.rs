@@ -1,25 +1,13 @@
 //! Rendering configuration: tile size, boundary method and thresholds.
 
-use serde::{Deserialize, Serialize};
+pub use splat_core::{ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON};
+
+use splat_core::{ExecutionConfig, HasExecution};
 use splat_types::Precision;
-
-/// α values below this threshold (1/255) are treated as having no influence
-/// on the pixel and are skipped before blending, as in the reference 3D-GS
-/// rasterizer.
-pub const ALPHA_CULL_THRESHOLD: f32 = 1.0 / 255.0;
-
-/// The front-to-back blending loop terminates once the accumulated
-/// transmittance drops below this threshold (10⁻⁴ in the reference
-/// implementation).
-pub const TRANSMITTANCE_EPSILON: f32 = 1e-4;
-
-/// Upper bound on α (the reference implementation clamps at 0.99 to keep
-/// the transmittance strictly positive).
-pub const ALPHA_MAX: f32 = 0.99;
 
 /// How the screen-space footprint of a splat is tested against tiles during
 /// tile/group identification (Fig. 2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BoundaryMethod {
     /// Axis-aligned bounding box of the 3σ ellipse — cheapest test, most
     /// false positives (original 3D-GS).
@@ -70,7 +58,7 @@ impl std::fmt::Display for BoundaryMethod {
 }
 
 /// Full configuration of the baseline rendering pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RenderConfig {
     /// Square tile edge length in pixels (8, 16, 32 or 64 in the paper's
     /// sweeps; any power of two ≥ 4 is accepted).
@@ -79,9 +67,9 @@ pub struct RenderConfig {
     pub boundary: BoundaryMethod,
     /// Storage precision applied to the splat parameters before rendering.
     pub precision: Precision,
-    /// Number of worker threads for tile-parallel rasterization
-    /// (1 = sequential; experiments that count operations are unaffected).
-    pub threads: usize,
+    /// Shared execution parameters (worker threads, scheduling model).
+    /// Use [`HasExecution::with_threads`] to change the thread count.
+    pub exec: ExecutionConfig,
 }
 
 impl Default for RenderConfig {
@@ -90,7 +78,7 @@ impl Default for RenderConfig {
             tile_size: 16,
             boundary: BoundaryMethod::Aabb,
             precision: Precision::Full,
-            threads: 1,
+            exec: ExecutionConfig::sequential(),
         }
     }
 }
@@ -126,16 +114,20 @@ impl RenderConfig {
         })
     }
 
-    /// Returns a copy with the worker thread count replaced.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
     /// Returns a copy with the storage precision replaced.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
         self
+    }
+}
+
+impl HasExecution for RenderConfig {
+    fn execution(&self) -> &ExecutionConfig {
+        &self.exec
+    }
+
+    fn execution_mut(&mut self) -> &mut ExecutionConfig {
+        &mut self.exec
     }
 }
 
@@ -148,7 +140,7 @@ mod tests {
         let c = RenderConfig::default();
         assert_eq!(c.tile_size, 16);
         assert_eq!(c.boundary, BoundaryMethod::Aabb);
-        assert_eq!(c.threads, 1);
+        assert_eq!(c.exec.threads, 1);
     }
 
     #[test]
@@ -193,7 +185,8 @@ mod tests {
     }
 
     #[test]
-    fn with_threads_clamps_to_one() {
-        assert_eq!(RenderConfig::default().with_threads(0).threads, 1);
+    fn shared_thread_knob_clamps_to_one() {
+        assert_eq!(RenderConfig::default().with_threads(0).exec.threads, 1);
+        assert_eq!(RenderConfig::default().with_threads(4).exec.threads, 4);
     }
 }

@@ -11,10 +11,9 @@
 
 use crate::config::BoundaryMethod;
 use crate::stats::StageCounts;
-use serde::{Deserialize, Serialize};
 
 /// Normalized per-stage times produced by the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageTimes {
     /// Preprocessing: feature computation, culling and tile/group
     /// identification (plus bitmask generation when it cannot be hidden).
@@ -64,7 +63,7 @@ impl StageTimes {
 /// the paper reports for a 16×16 AABB baseline on the A6000 (Fig. 3): the
 /// exact values only set the relative weight of the three stages, every
 /// experiment reports ratios.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of computing features (projection, EWA covariance, SH color)
     /// for one visible splat.
@@ -166,12 +165,7 @@ impl CostModel {
         }
     }
 
-    fn preprocess_cost(
-        &self,
-        counts: &StageCounts,
-        boundary: BoundaryMethod,
-        extra: f64,
-    ) -> f64 {
+    fn preprocess_cost(&self, counts: &StageCounts, boundary: BoundaryMethod, extra: f64) -> f64 {
         counts.input_gaussians as f64 * self.cull_per_input
             + counts.visible_gaussians as f64 * self.feature_per_visible
             + counts.tile_tests as f64 * self.tile_test_base * boundary.test_cost()
@@ -224,8 +218,16 @@ mod tests {
 
     #[test]
     fn speedup_is_ratio_of_totals() {
-        let fast = StageTimes { preprocess: 1.0, sort: 1.0, raster: 1.0 };
-        let slow = StageTimes { preprocess: 2.0, sort: 2.0, raster: 2.0 };
+        let fast = StageTimes {
+            preprocess: 1.0,
+            sort: 1.0,
+            raster: 1.0,
+        };
+        let slow = StageTimes {
+            preprocess: 2.0,
+            sort: 2.0,
+            raster: 2.0,
+        };
         assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
         assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
     }
@@ -258,7 +260,8 @@ mod tests {
     fn sequential_gstg_pays_for_bitmasks_in_preprocessing() {
         let model = CostModel::new();
         let counts = sample_counts();
-        let seq = model.gstg_sequential_times(&counts, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse);
+        let seq =
+            model.gstg_sequential_times(&counts, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse);
         let overlapped =
             model.gstg_overlapped_times(&counts, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse);
         assert!(seq.preprocess > overlapped.preprocess);
@@ -280,7 +283,11 @@ mod tests {
 
     #[test]
     fn scale_and_add_compose() {
-        let t = StageTimes { preprocess: 2.0, sort: 4.0, raster: 6.0 };
+        let t = StageTimes {
+            preprocess: 2.0,
+            sort: 4.0,
+            raster: 6.0,
+        };
         let avg = t.add(&t).scale(0.5);
         assert_eq!(avg, t);
     }

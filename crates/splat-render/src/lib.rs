@@ -13,11 +13,12 @@
 //!    α-blending per pixel with the 1/255 and 10⁻⁴ early-exit thresholds of
 //!    the reference implementation.
 //!
-//! Every stage counts the work it performs ([`stats::StageCounts`]) so that
-//! experiments can reason about *operation counts* — the quantity the
-//! paper's tile-size trade-off is really about — independently of wall-clock
-//! noise. An analytic [`cost::CostModel`] converts those counts into
-//! normalized stage times for the figure-regeneration binaries.
+//! The pipeline is a composition of [`splat_core::PipelineStage`]s: the
+//! execution configuration, stage instrumentation ([`stats::StageCounts`]),
+//! tile scheduler and the blending kernel itself all live in `splat-core`
+//! and are shared with the GS-TG pipeline. An analytic [`cost::CostModel`]
+//! converts operation counts into normalized stage times for the
+//! figure-regeneration binaries.
 //!
 //! # Quick example
 //!
@@ -39,19 +40,23 @@
 pub mod bounds;
 pub mod config;
 pub mod cost;
-pub mod image;
 pub mod pipeline;
 pub mod preprocess;
-pub mod raster;
 pub mod sort;
-pub mod stats;
 pub mod tiling;
+
+// Shared machinery re-exported from `splat-core` under the paths this
+// crate's API exposed before the extraction.
+pub use splat_core::blend as raster;
+pub use splat_core::image;
+pub use splat_core::stats;
 
 pub use bounds::{GaussianFootprint, TileRect};
 pub use config::{BoundaryMethod, RenderConfig, ALPHA_CULL_THRESHOLD, TRANSMITTANCE_EPSILON};
 pub use cost::{CostModel, StageTimes};
-pub use image::Framebuffer;
 pub use pipeline::{RenderOutput, Renderer};
 pub use preprocess::{preprocess, ProjectedGaussian};
-pub use stats::{RenderStats, StageCounts};
+pub use splat_core::{
+    ExecutionConfig, Framebuffer, HasExecution, RenderStats, StageCounts, TileScheduler,
+};
 pub use tiling::{TileAssignments, TileGrid};

@@ -1,20 +1,23 @@
 //! The end-to-end baseline rendering pipeline.
 //!
-//! [`Renderer::render`] runs preprocessing (feature computation, culling,
-//! tile identification), tile-wise sorting and tile-wise rasterization and
-//! returns the image together with operation counts and per-stage
-//! wall-clock timings.
+//! [`Renderer`] is a thin composition of three [`PipelineStage`]s over the
+//! shared `splat-core` engine: preprocessing (feature computation, culling,
+//! tile identification), tile-wise sorting and tile-wise rasterization.
+//! Every stage accumulates into one [`StageCounts`] and is timed by
+//! [`run_timed`]; rasterization fans out across tiles through the shared
+//! [`TileScheduler`] and blends through the shared
+//! [`splat_core::rasterize_tile`] kernel.
 
 use crate::config::RenderConfig;
-use crate::image::Framebuffer;
 use crate::preprocess::{preprocess, ProjectedGaussian};
-use crate::raster::rasterize_tile;
 use crate::sort::sort_tiles;
-use crate::stats::{RenderStats, StageCounts};
 use crate::tiling::{identify_tiles, TileAssignments, TileGrid};
+use splat_core::{
+    rasterize_tile, run_timed, Framebuffer, HasExecution, PipelineStage, RenderStats, StageCounts,
+    TileScheduler,
+};
 use splat_scene::Scene;
 use splat_types::{Camera, Rgb};
-use std::time::Instant;
 
 /// Everything produced by rendering one view.
 #[derive(Debug, Clone)]
@@ -36,6 +39,75 @@ pub struct PreparedFrame {
     pub assignments: TileAssignments,
     /// Counters accumulated so far.
     pub counts: StageCounts,
+}
+
+/// Stage 1: preprocessing plus tile identification (Fig. 1 of the paper).
+struct PrepareStage<'a> {
+    scene: &'a Scene,
+    camera: &'a Camera,
+    config: &'a RenderConfig,
+}
+
+impl PipelineStage for PrepareStage<'_> {
+    type Output = (Vec<ProjectedGaussian>, TileAssignments);
+
+    fn name(&self) -> &'static str {
+        "preprocess"
+    }
+
+    fn run(self, counts: &mut StageCounts) -> Self::Output {
+        let projected = preprocess(self.scene, self.camera, self.config, counts);
+        let grid = TileGrid::new(
+            self.camera.width(),
+            self.camera.height(),
+            self.config.tile_size,
+        );
+        let assignments = identify_tiles(&projected, grid, self.config.boundary, counts);
+        (projected, assignments)
+    }
+}
+
+/// Stage 2: tile-wise depth sorting.
+struct SortStage<'a> {
+    projected: &'a [ProjectedGaussian],
+    assignments: TileAssignments,
+}
+
+impl PipelineStage for SortStage<'_> {
+    type Output = TileAssignments;
+
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn run(mut self, counts: &mut StageCounts) -> TileAssignments {
+        sort_tiles(&mut self.assignments, self.projected, counts);
+        self.assignments
+    }
+}
+
+/// Stage 3: tile-wise rasterization through the shared kernel.
+struct RasterStage<'a> {
+    renderer: &'a Renderer,
+    projected: &'a [ProjectedGaussian],
+    assignments: &'a TileAssignments,
+    camera: &'a Camera,
+}
+
+impl PipelineStage for RasterStage<'_> {
+    type Output = Framebuffer;
+
+    fn name(&self) -> &'static str {
+        "raster"
+    }
+
+    fn run(self, counts: &mut StageCounts) -> Framebuffer {
+        let (image, raster_counts) =
+            self.renderer
+                .rasterize(self.projected, self.assignments, self.camera);
+        *counts += raster_counts;
+        image
+    }
 }
 
 /// The baseline tile-based renderer.
@@ -71,10 +143,17 @@ impl Renderer {
     /// only need counts and for the GS-TG equivalence checks.
     pub fn prepare(&self, scene: &Scene, camera: &Camera) -> PreparedFrame {
         let mut counts = StageCounts::new();
-        let projected = preprocess(scene, camera, &self.config, &mut counts);
-        let grid = TileGrid::new(camera.width(), camera.height(), self.config.tile_size);
-        let mut assignments = identify_tiles(&projected, grid, self.config.boundary, &mut counts);
-        sort_tiles(&mut assignments, &projected, &mut counts);
+        let (projected, assignments) = PrepareStage {
+            scene,
+            camera,
+            config: &self.config,
+        }
+        .run(&mut counts);
+        let assignments = SortStage {
+            projected: &projected,
+            assignments,
+        }
+        .run(&mut counts);
         PreparedFrame {
             projected,
             assignments,
@@ -90,24 +169,30 @@ impl Renderer {
     pub fn render(&self, scene: &Scene, camera: &Camera) -> RenderOutput {
         let mut counts = StageCounts::new();
 
-        // Stage 1: preprocessing (feature computation + culling + tile
-        // identification), as in Fig. 1 of the paper.
-        let t0 = Instant::now();
-        let projected = preprocess(scene, camera, &self.config, &mut counts);
-        let grid = TileGrid::new(camera.width(), camera.height(), self.config.tile_size);
-        let mut assignments = identify_tiles(&projected, grid, self.config.boundary, &mut counts);
-        let preprocess_time = t0.elapsed();
-
-        // Stage 2: tile-wise sorting.
-        let t1 = Instant::now();
-        sort_tiles(&mut assignments, &projected, &mut counts);
-        let sort_time = t1.elapsed();
-
-        // Stage 3: tile-wise rasterization.
-        let t2 = Instant::now();
-        let (image, raster_counts) = self.rasterize(&projected, &assignments, camera);
-        let raster_time = t2.elapsed();
-        counts += raster_counts;
+        let ((projected, assignments), preprocess_time) = run_timed(
+            PrepareStage {
+                scene,
+                camera,
+                config: &self.config,
+            },
+            &mut counts,
+        );
+        let (assignments, sort_time) = run_timed(
+            SortStage {
+                projected: &projected,
+                assignments,
+            },
+            &mut counts,
+        );
+        let (image, raster_time) = run_timed(
+            RasterStage {
+                renderer: self,
+                projected: &projected,
+                assignments: &assignments,
+                camera,
+            },
+            &mut counts,
+        );
 
         RenderOutput {
             image,
@@ -121,6 +206,11 @@ impl Renderer {
     }
 
     /// Rasterizes all tiles of a prepared frame into a framebuffer.
+    ///
+    /// Tiles fan out across the configured worker threads through the
+    /// shared [`TileScheduler`]; every tile writes a disjoint framebuffer
+    /// region and outputs merge in tile order, so the result is bit-exact
+    /// for any thread count.
     pub fn rasterize(
         &self,
         projected: &[ProjectedGaussian],
@@ -130,47 +220,16 @@ impl Renderer {
         let grid = *assignments.grid();
         let mut image = Framebuffer::new(camera.width(), camera.height(), self.background);
         let mut counts = StageCounts::new();
-        let tile_indices: Vec<usize> = (0..grid.tile_count()).collect();
 
-        if self.config.threads <= 1 {
-            for &tile in &tile_indices {
-                let (tx, ty) = grid.tile_coords(tile);
-                let rect = grid.tile_rect(tx, ty);
-                let out = rasterize_tile(assignments.tile(tile), projected, &rect, self.background);
-                counts += out.counts;
-                image.write_region(rect.x0 as u32, rect.y0 as u32, out.width, &out.pixels);
-            }
-            return (image, counts);
-        }
+        let scheduler = TileScheduler::from_exec(self.config.execution());
+        let tiles = scheduler.run(grid.tile_count(), |tile| {
+            let (tx, ty) = grid.tile_coords(tile);
+            let rect = grid.tile_rect(tx, ty);
+            let out = rasterize_tile(assignments.tile(tile), projected, &rect, self.background);
+            (rect, out)
+        });
 
-        // Tile-parallel rasterization: chunk the tile list across worker
-        // threads; every tile writes a disjoint framebuffer region.
-        let threads = self.config.threads.min(tile_indices.len().max(1));
-        let chunk_size = tile_indices.len().div_ceil(threads);
-        let results = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in tile_indices.chunks(chunk_size) {
-                let chunk: Vec<usize> = chunk.to_vec();
-                handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(chunk.len());
-                    for tile in chunk {
-                        let (tx, ty) = grid.tile_coords(tile);
-                        let rect = grid.tile_rect(tx, ty);
-                        let out =
-                            rasterize_tile(assignments.tile(tile), projected, &rect, self.background);
-                        local.push((rect, out));
-                    }
-                    local
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("rasterization worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("rasterization scope panicked");
-
-        for (rect, out) in results {
+        for (rect, out) in tiles {
             counts += out.counts;
             image.write_region(rect.x0 as u32, rect.y0 as u32, out.width, &out.pixels);
         }
@@ -248,8 +307,8 @@ mod tests {
         // false positives cost work but never change pixel values, so the
         // three boundary methods must agree exactly.
         let (scene, camera) = small_scene();
-        let reference = Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb))
-            .render(&scene, &camera);
+        let reference =
+            Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb)).render(&scene, &camera);
         for method in [BoundaryMethod::Obb, BoundaryMethod::Ellipse] {
             let out = Renderer::new(RenderConfig::new(16, method)).render(&scene, &camera);
             assert_eq!(
@@ -263,8 +322,8 @@ mod tests {
     #[test]
     fn all_tile_sizes_render_identical_images() {
         let (scene, camera) = small_scene();
-        let reference = Renderer::new(RenderConfig::new(8, BoundaryMethod::Ellipse))
-            .render(&scene, &camera);
+        let reference =
+            Renderer::new(RenderConfig::new(8, BoundaryMethod::Ellipse)).render(&scene, &camera);
         for tile_size in [16, 32, 64] {
             let out = Renderer::new(RenderConfig::new(tile_size, BoundaryMethod::Ellipse))
                 .render(&scene, &camera);
@@ -279,15 +338,12 @@ mod tests {
     #[test]
     fn parallel_rendering_matches_sequential() {
         let (scene, camera) = small_scene();
-        let sequential = Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb))
-            .render(&scene, &camera);
+        let sequential =
+            Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb)).render(&scene, &camera);
         let parallel = Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb).with_threads(4))
             .render(&scene, &camera);
         assert_eq!(parallel.image.max_abs_diff(&sequential.image), 0.0);
-        assert_eq!(
-            parallel.stats.counts.alpha_computations,
-            sequential.stats.counts.alpha_computations
-        );
+        assert_eq!(parallel.stats.counts, sequential.stats.counts);
     }
 
     #[test]
@@ -302,10 +358,34 @@ mod tests {
     }
 
     #[test]
+    fn prepare_and_render_agree_on_counts() {
+        // The stage composition must charge identical pre-raster work
+        // whether or not rasterization follows.
+        let (scene, camera) = small_scene();
+        let renderer = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+        let frame = renderer.prepare(&scene, &camera);
+        let out = renderer.render(&scene, &camera);
+        assert_eq!(
+            frame.counts.tile_intersections,
+            out.stats.counts.tile_intersections
+        );
+        assert_eq!(
+            frame.counts.sort_comparisons,
+            out.stats.counts.sort_comparisons
+        );
+        assert_eq!(
+            frame.counts.visible_gaussians,
+            out.stats.counts.visible_gaussians
+        );
+    }
+
+    #[test]
     fn larger_tiles_do_more_raster_work_and_less_sort_work() {
         let (scene, camera) = small_scene();
-        let small = Renderer::new(RenderConfig::new(8, BoundaryMethod::Aabb)).render(&scene, &camera);
-        let large = Renderer::new(RenderConfig::new(64, BoundaryMethod::Aabb)).render(&scene, &camera);
+        let small =
+            Renderer::new(RenderConfig::new(8, BoundaryMethod::Aabb)).render(&scene, &camera);
+        let large =
+            Renderer::new(RenderConfig::new(64, BoundaryMethod::Aabb)).render(&scene, &camera);
         assert!(
             large.stats.counts.alpha_computations >= small.stats.counts.alpha_computations,
             "raster work should grow with tile size"

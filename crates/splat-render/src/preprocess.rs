@@ -14,28 +14,10 @@
 
 use crate::config::{RenderConfig, ALPHA_CULL_THRESHOLD};
 use crate::stats::StageCounts;
-use serde::{Deserialize, Serialize};
-use splat_types::{Camera, Mat2, Rgb, Vec2};
 use splat_scene::Scene;
+use splat_types::{Camera, Mat2};
 
-/// A splat after preprocessing: everything sorting and rasterization need.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ProjectedGaussian {
-    /// Index of the splat in the source scene.
-    pub index: u32,
-    /// Depth along the viewing direction (`D`), used as the sort key.
-    pub depth: f32,
-    /// Projected center in pixel coordinates (`2D_XY`).
-    pub mean: Vec2,
-    /// Projected 2D covariance (`2D_Cov`).
-    pub cov: Mat2,
-    /// Inverse of the 2D covariance (the conic used by α-computation).
-    pub inv_cov: Mat2,
-    /// Opacity `σ`.
-    pub opacity: f32,
-    /// View-dependent color (`G_RGB`).
-    pub color: Rgb,
-}
+pub use splat_core::ProjectedGaussian;
 
 /// Limit applied to the view-space lateral offsets before computing the
 /// projection Jacobian, mirroring the reference CUDA implementation's
@@ -205,7 +187,10 @@ mod tests {
         assert_eq!(projected.len(), 2);
         let near_extent = projected[0].cov.at(0, 0);
         let far_extent = projected[1].cov.at(0, 0);
-        assert!(near_extent > far_extent, "near {near_extent} far {far_extent}");
+        assert!(
+            near_extent > far_extent,
+            "near {near_extent} far {far_extent}"
+        );
     }
 
     #[test]

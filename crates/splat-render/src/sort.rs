@@ -116,9 +116,8 @@ mod tests {
 
     #[test]
     fn sort_tiles_accumulates_comparisons() {
-        let projected: Vec<ProjectedGaussian> = (0..8)
-            .map(|i| projected_at(i, (8 - i) as f32))
-            .collect();
+        let projected: Vec<ProjectedGaussian> =
+            (0..8).map(|i| projected_at(i, (8 - i) as f32)).collect();
         let grid = TileGrid::new(64, 64, 16);
         let mut counts = StageCounts::new();
         let mut assignments = identify_tiles(&projected, grid, BoundaryMethod::Aabb, &mut counts);
@@ -133,15 +132,22 @@ mod tests {
     fn redundant_sorting_grows_with_tile_coverage() {
         // The same splats identified on a finer grid generate strictly more
         // sorting work (the paper's core observation).
-        let projected: Vec<ProjectedGaussian> = (0..16)
-            .map(|i| projected_at(i, 1.0 + i as f32))
-            .collect();
+        let projected: Vec<ProjectedGaussian> =
+            (0..16).map(|i| projected_at(i, 1.0 + i as f32)).collect();
         let mut small_counts = StageCounts::new();
         let mut large_counts = StageCounts::new();
-        let mut small =
-            identify_tiles(&projected, TileGrid::new(128, 128, 8), BoundaryMethod::Aabb, &mut small_counts);
-        let mut large =
-            identify_tiles(&projected, TileGrid::new(128, 128, 64), BoundaryMethod::Aabb, &mut large_counts);
+        let mut small = identify_tiles(
+            &projected,
+            TileGrid::new(128, 128, 8),
+            BoundaryMethod::Aabb,
+            &mut small_counts,
+        );
+        let mut large = identify_tiles(
+            &projected,
+            TileGrid::new(128, 128, 64),
+            BoundaryMethod::Aabb,
+            &mut large_counts,
+        );
         sort_tiles(&mut small, &projected, &mut small_counts);
         sort_tiles(&mut large, &projected, &mut large_counts);
         assert!(small_counts.sort_comparisons > large_counts.sort_comparisons);

@@ -9,11 +9,10 @@ use crate::bounds::{GaussianFootprint, TileRect};
 use crate::config::BoundaryMethod;
 use crate::preprocess::ProjectedGaussian;
 use crate::stats::StageCounts;
-use serde::{Deserialize, Serialize};
 use splat_types::Vec2;
 
 /// A regular grid of square tiles covering the output image.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileGrid {
     tile_size: u32,
     width: u32,
@@ -134,7 +133,7 @@ impl TileGrid {
 /// The result of tile identification: for every tile, the list of projected
 /// splat positions (indices into the `ProjectedGaussian` slice) that
 /// influence it, in scene order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileAssignments {
     grid: TileGrid,
     per_tile: Vec<Vec<u32>>,
@@ -164,7 +163,10 @@ impl TileAssignments {
 
     /// Iterates over `(tile_index, splat_list)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
-        self.per_tile.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+        self.per_tile
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.as_slice()))
     }
 
     /// Total number of (tile, splat) pairs — the number of sort keys the
@@ -182,11 +184,7 @@ impl TileAssignments {
     /// tiles (Table I of the paper). Splats intersecting zero tiles are
     /// excluded from the denominator.
     pub fn shared_fraction(&self) -> f64 {
-        let intersecting = self
-            .tiles_per_gaussian
-            .iter()
-            .filter(|&&n| n >= 1)
-            .count();
+        let intersecting = self.tiles_per_gaussian.iter().filter(|&&n| n >= 1).count();
         if intersecting == 0 {
             return 0.0;
         }

@@ -19,11 +19,10 @@
 
 use crate::scene::Scene;
 use crate::synth::{SceneGenerator, SynthProfile};
-use serde::{Deserialize, Serialize};
 use splat_types::{Camera, CameraIntrinsics, Vec3};
 
 /// The kind of environment a scene captures; drives the synthetic profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SceneType {
     /// Ground-level outdoor capture (Tanks&Temples).
     Outdoor,
@@ -50,7 +49,7 @@ impl SceneType {
 /// `Paper` approaches the order of magnitude of the real checkpoints and is
 /// only intended for long benchmark runs; `Small` is the default for the
 /// figure-regeneration binaries and `Tiny` for unit tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SceneScale {
     /// ~2k splats; unit tests and doctests.
     Tiny,
@@ -76,7 +75,7 @@ impl SceneScale {
 }
 
 /// One of the six evaluation scenes used throughout the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PaperScene {
     /// Tanks&Temples *train* (1959×1090, outdoor).
     Train,
@@ -185,7 +184,8 @@ impl PaperScene {
     /// The synthetic profile for this scene at the given scale.
     pub fn profile(self, scale: SceneScale) -> SynthProfile {
         let count = ((self.base_count() as f32) * scale.count_factor()).round() as usize;
-        let base = match self.scene_type() {
+
+        match self.scene_type() {
             SceneType::Outdoor => SynthProfile {
                 cluster_count: 96,
                 cluster_spread: 0.030,
@@ -225,8 +225,7 @@ impl PaperScene {
                 sh_degree: 1,
                 gaussian_count: count,
             },
-        };
-        base
+        }
     }
 
     /// Generates the synthetic scene at the paper's resolution.

@@ -1,13 +1,11 @@
 //! Compact binary serialization of scenes.
 //!
 //! Scenes are large (hundreds of thousands of splats at the bigger scales),
-//! so a simple length-prefixed binary layout is provided in addition to the
-//! `serde` derives. The format stores every splat as fixed-width
-//! little-endian floats, mirroring the flat parameter buffers the
-//! accelerator's DRAM model reasons about.
+//! so a simple length-prefixed binary layout is used. The format stores
+//! every splat as fixed-width little-endian floats, mirroring the flat
+//! parameter buffers the accelerator's DRAM model reasons about.
 
 use crate::scene::Scene;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use splat_types::{Gaussian3d, Quat, Rgb, ShCoefficients, Vec3};
 use std::fmt;
 
@@ -43,33 +41,33 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Encodes a scene into the compact binary format.
-pub fn encode_scene(scene: &Scene) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + scene.len() * 64);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+pub fn encode_scene(scene: &Scene) -> Vec<u8> {
+    let mut buf: Vec<u8> = Vec::with_capacity(64 + scene.len() * 64);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
     let name = scene.name().as_bytes();
-    buf.put_u16_le(name.len() as u16);
-    buf.put_slice(name);
-    buf.put_u32_le(scene.width());
-    buf.put_u32_le(scene.height());
-    buf.put_u32_le(scene.len() as u32);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&scene.width().to_le_bytes());
+    buf.extend_from_slice(&scene.height().to_le_bytes());
+    buf.extend_from_slice(&(scene.len() as u32).to_le_bytes());
     for g in scene.iter() {
         put_vec3(&mut buf, g.position());
         put_vec3(&mut buf, g.scale());
-        buf.put_f32_le(g.rotation().w);
-        buf.put_f32_le(g.rotation().x);
-        buf.put_f32_le(g.rotation().y);
-        buf.put_f32_le(g.rotation().z);
-        buf.put_f32_le(g.opacity());
+        put_f32(&mut buf, g.rotation().w);
+        put_f32(&mut buf, g.rotation().x);
+        put_f32(&mut buf, g.rotation().y);
+        put_f32(&mut buf, g.rotation().z);
+        put_f32(&mut buf, g.opacity());
         let coeffs = g.sh().coefficients();
-        buf.put_u8(coeffs.len() as u8);
+        buf.push(coeffs.len() as u8);
         for c in coeffs {
-            buf.put_f32_le(c.r);
-            buf.put_f32_le(c.g);
-            buf.put_f32_le(c.b);
+            put_f32(&mut buf, c.r);
+            put_f32(&mut buf, c.g);
+            put_f32(&mut buf, c.b);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a scene previously produced by [`encode_scene`].
@@ -78,60 +76,41 @@ pub fn encode_scene(scene: &Scene) -> Bytes {
 ///
 /// Returns a [`DecodeError`] when the buffer is truncated, has the wrong
 /// magic/version, or contains out-of-domain parameter values.
-pub fn decode_scene(mut buf: &[u8]) -> Result<Scene, DecodeError> {
-    if buf.remaining() < 6 {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn decode_scene(buf: &[u8]) -> Result<Scene, DecodeError> {
+    let mut reader = Reader { buf };
+    let magic = reader.take(4)?;
+    if magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = reader.get_u16_le()?;
     if version != VERSION {
         return Err(DecodeError::UnsupportedVersion(version));
     }
-    if buf.remaining() < 2 {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let name_len = buf.get_u16_le() as usize;
-    if buf.remaining() < name_len {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let name_bytes = buf.copy_to_bytes(name_len);
-    let name = String::from_utf8(name_bytes.to_vec())
+    let name_len = reader.get_u16_le()? as usize;
+    let name = String::from_utf8(reader.take(name_len)?.to_vec())
         .map_err(|_| DecodeError::InvalidField("name"))?;
-    if buf.remaining() < 12 {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let width = buf.get_u32_le();
-    let height = buf.get_u32_le();
-    let count = buf.get_u32_le() as usize;
+    let width = reader.get_u32_le()?;
+    let height = reader.get_u32_le()?;
+    let count = reader.get_u32_le()? as usize;
 
-    let mut gaussians = Vec::with_capacity(count);
+    let mut gaussians = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        if buf.remaining() < (3 + 3 + 4 + 1) * 4 + 1 {
-            return Err(DecodeError::UnexpectedEof);
-        }
-        let position = get_vec3(&mut buf);
-        let scale = get_vec3(&mut buf);
+        let position = get_vec3(&mut reader)?;
+        let scale = get_vec3(&mut reader)?;
         let rotation = Quat::new(
-            buf.get_f32_le(),
-            buf.get_f32_le(),
-            buf.get_f32_le(),
-            buf.get_f32_le(),
+            reader.get_f32_le()?,
+            reader.get_f32_le()?,
+            reader.get_f32_le()?,
+            reader.get_f32_le()?,
         );
-        let opacity = buf.get_f32_le();
-        let coeff_count = buf.get_u8() as usize;
-        if buf.remaining() < coeff_count * 12 {
-            return Err(DecodeError::UnexpectedEof);
-        }
+        let opacity = reader.get_f32_le()?;
+        let coeff_count = reader.get_u8()? as usize;
         let mut coeffs = Vec::with_capacity(coeff_count);
         for _ in 0..coeff_count {
             coeffs.push(Rgb::new(
-                buf.get_f32_le(),
-                buf.get_f32_le(),
-                buf.get_f32_le(),
+                reader.get_f32_le()?,
+                reader.get_f32_le()?,
+                reader.get_f32_le()?,
             ));
         }
         let sh = ShCoefficients::from_coefficients(coeffs)
@@ -149,14 +128,56 @@ pub fn decode_scene(mut buf: &[u8]) -> Result<Scene, DecodeError> {
     Ok(Scene::new(name, width, height, gaussians))
 }
 
-fn put_vec3(buf: &mut BytesMut, v: Vec3) {
-    buf.put_f32_le(v.x);
-    buf.put_f32_le(v.y);
-    buf.put_f32_le(v.z);
+/// Bounds-checked little-endian reader over the input buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
 }
 
-fn get_vec3(buf: &mut &[u8]) -> Vec3 {
-    Vec3::new(buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le())
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.get_u32_le()?))
+    }
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec3(buf: &mut Vec<u8>, v: Vec3) {
+    put_f32(buf, v.x);
+    put_f32(buf, v.y);
+    put_f32(buf, v.z);
+}
+
+fn get_vec3(reader: &mut Reader<'_>) -> Result<Vec3, DecodeError> {
+    Ok(Vec3::new(
+        reader.get_f32_le()?,
+        reader.get_f32_le()?,
+        reader.get_f32_le()?,
+    ))
 }
 
 #[cfg(test)]
@@ -175,7 +196,10 @@ mod tests {
         let decoded = decode_scene(&encoded).expect("decodes");
         assert_eq!(decoded.name(), scene.name());
         assert_eq!(decoded.len(), scene.len());
-        assert_eq!((decoded.width(), decoded.height()), (scene.width(), scene.height()));
+        assert_eq!(
+            (decoded.width(), decoded.height()),
+            (scene.width(), scene.height())
+        );
         for (a, b) in decoded.iter().zip(scene.iter()) {
             // The builder re-normalizes the rotation on decode, which can
             // perturb the last mantissa bit, so compare with a tolerance.

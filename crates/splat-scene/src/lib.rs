@@ -27,6 +27,7 @@
 
 pub mod datasets;
 pub mod io;
+pub use splat_types::rng;
 pub mod scene;
 pub mod stats;
 pub mod synth;

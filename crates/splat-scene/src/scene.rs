@@ -1,7 +1,6 @@
 //! The [`Scene`] container holding a cloud of 3D Gaussian splats.
 
 use crate::stats::SceneStats;
-use serde::{Deserialize, Serialize};
 use splat_types::{Gaussian3d, Precision, Vec3};
 
 /// A named collection of 3D Gaussians plus the output resolution the scene
@@ -9,7 +8,7 @@ use splat_types::{Gaussian3d, Precision, Vec3};
 ///
 /// A `Scene` is the unit of input to both the software rendering pipelines
 /// and the accelerator simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scene {
     name: String,
     width: u32,
@@ -19,7 +18,12 @@ pub struct Scene {
 
 impl Scene {
     /// Creates a scene from its parts.
-    pub fn new(name: impl Into<String>, width: u32, height: u32, gaussians: Vec<Gaussian3d>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        width: u32,
+        height: u32,
+        gaussians: Vec<Gaussian3d>,
+    ) -> Self {
         Self {
             name: name.into(),
             width,
@@ -183,7 +187,10 @@ mod tests {
             "test",
             64,
             64,
-            vec![splat_at(Vec3::new(0.0, 0.0, 0.0)), splat_at(Vec3::new(2.0, 4.0, 6.0))],
+            vec![
+                splat_at(Vec3::new(0.0, 0.0, 0.0)),
+                splat_at(Vec3::new(2.0, 4.0, 6.0)),
+            ],
         );
         assert_eq!(scene.centroid(), Vec3::new(1.0, 2.0, 3.0));
     }
@@ -208,7 +215,9 @@ mod tests {
             "test",
             64,
             64,
-            (0..5).map(|i| splat_at(Vec3::splat(i as f32 * 0.1))).collect(),
+            (0..5)
+                .map(|i| splat_at(Vec3::splat(i as f32 * 0.1)))
+                .collect(),
         );
         let half = scene.to_precision(Precision::Half);
         assert_eq!(half.len(), scene.len());

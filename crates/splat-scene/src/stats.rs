@@ -1,12 +1,11 @@
 //! Summary statistics of a splat population.
 
 use crate::scene::Scene;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of a [`Scene`]'s splat population, used to sanity
 /// check the synthetic generators against the regimes the paper's scenes
 /// operate in.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SceneStats {
     /// Number of splats.
     pub count: usize,
@@ -43,10 +42,7 @@ impl SceneStats {
             };
         }
         let n = scene.len() as f32;
-        let mut max_scales: Vec<f32> = scene
-            .iter()
-            .map(|g| g.scale().max_component())
-            .collect();
+        let mut max_scales: Vec<f32> = scene.iter().map(|g| g.scale().max_component()).collect();
         max_scales.sort_by(|a, b| a.partial_cmp(b).expect("finite scales"));
         let mean_max_scale = max_scales.iter().sum::<f32>() / n;
         let median_max_scale = percentile(&max_scales, 0.5);
@@ -113,7 +109,11 @@ mod tests {
             "s",
             8,
             8,
-            vec![splat(0.1, 1.0, 1.0), splat(0.3, 0.5, 3.0), splat(0.2, 0.95, 2.0)],
+            vec![
+                splat(0.1, 1.0, 1.0),
+                splat(0.3, 0.5, 3.0),
+                splat(0.2, 0.95, 2.0),
+            ],
         );
         let stats = scene.stats();
         assert_eq!(stats.count, 3);

@@ -8,10 +8,8 @@
 //! sharing between adjacent tiles, Gaussians per pixel) falls in the same
 //! ranges as the real scenes.
 
+use crate::rng::Rng;
 use crate::scene::Scene;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use splat_types::{Gaussian3d, Quat, Rgb, ShCoefficients, Vec3};
 
 /// Statistical profile of a synthetic splat population.
@@ -20,7 +18,7 @@ use splat_types::{Gaussian3d, Quat, Rgb, ShCoefficients, Vec3};
 /// [`crate::datasets::PaperScene::default_camera`] sit at the origin looking
 /// along +Z, so splats are generated inside a frustum-shaped slab spanning
 /// `depth_range` along +Z.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthProfile {
     /// Number of splats to generate.
     pub gaussian_count: usize,
@@ -99,7 +97,7 @@ impl SceneGenerator {
 
     /// Generates the scene with the given name and output resolution.
     pub fn generate(&self, name: impl Into<String>, width: u32, height: u32) -> Scene {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let p = &self.profile;
 
         // Cluster centers: scattered through the slab, biased toward the
@@ -110,10 +108,10 @@ impl SceneGenerator {
 
         let mut gaussians = Vec::with_capacity(p.gaussian_count);
         for _ in 0..p.gaussian_count {
-            let position = if rng.gen::<f32>() < p.background_fraction {
+            let position = if rng.gen_f32() < p.background_fraction {
                 self.sample_volume_point(&mut rng, 1.0)
             } else {
-                let center = clusters[rng.gen_range(0..clusters.len())];
+                let center = clusters[rng.gen_index(clusters.len())];
                 let spread = p.cluster_spread * p.lateral_extent;
                 center
                     + Vec3::new(
@@ -124,27 +122,27 @@ impl SceneGenerator {
             };
 
             let base_scale = (p.scale_log_mean + p.scale_log_std * normal(&mut rng)).exp();
-            let aniso = 1.0 + rng.gen::<f32>() * (p.anisotropy - 1.0);
+            let aniso = 1.0 + rng.gen_f32() * (p.anisotropy - 1.0);
             // Distribute the anisotropy over two axes so splats are
             // surface-aligned "pancakes" more often than needles.
             let scale = Vec3::new(
                 base_scale * aniso,
-                base_scale * (1.0 + rng.gen::<f32>() * (aniso - 1.0) * 0.5),
+                base_scale * (1.0 + rng.gen_f32() * (aniso - 1.0) * 0.5),
                 base_scale,
             );
 
             let rotation = Quat::from_euler(
-                rng.gen::<f32>() * std::f32::consts::TAU,
-                (rng.gen::<f32>() - 0.5) * std::f32::consts::PI,
-                rng.gen::<f32>() * std::f32::consts::TAU,
+                rng.gen_f32() * std::f32::consts::TAU,
+                (rng.gen_f32() - 0.5) * std::f32::consts::PI,
+                rng.gen_f32() * std::f32::consts::TAU,
             );
 
-            let opacity = if rng.gen::<f32>() < p.opaque_fraction {
-                0.9 + 0.1 * rng.gen::<f32>()
+            let opacity = if rng.gen_f32() < p.opaque_fraction {
+                0.9 + 0.1 * rng.gen_f32()
             } else {
                 // Decaying distribution toward zero but above the 1/255
                 // culling threshold most of the time.
-                (rng.gen::<f32>().powi(2) * 0.85 + 0.02).min(1.0)
+                (rng.gen_f32().powi(2) * 0.85 + 0.02).min(1.0)
             };
 
             let sh = random_sh(&mut rng, p.sh_degree);
@@ -170,38 +168,37 @@ impl SceneGenerator {
     /// Samples a point inside the frustum-shaped slab. `lateral_bias` < 1
     /// shrinks the lateral extent (used to keep cluster centers away from
     /// the very edge of the frustum).
-    fn sample_volume_point(&self, rng: &mut StdRng, lateral_bias: f32) -> Vec3 {
+    fn sample_volume_point(&self, rng: &mut Rng, lateral_bias: f32) -> Vec3 {
         let p = &self.profile;
         let (near, far) = p.depth_range;
         // Bias depth sampling toward the near half (real captures have more
         // geometry close to the camera path).
-        let t = rng.gen::<f32>().powf(1.35);
+        let t = rng.gen_f32().powf(1.35);
         let depth = near + t * (far - near);
         let frac = depth / far;
         let half = p.lateral_extent * frac.max(0.15) * lateral_bias;
         Vec3::new(
-            (rng.gen::<f32>() * 2.0 - 1.0) * half,
-            (rng.gen::<f32>() * 2.0 - 1.0) * half * 0.75,
+            (rng.gen_f32() * 2.0 - 1.0) * half,
+            (rng.gen_f32() * 2.0 - 1.0) * half * 0.75,
             depth,
         )
     }
 }
 
-/// Standard normal sample via Box–Muller (rand 0.8 ships no normal
-/// distribution without `rand_distr`).
-fn normal(rng: &mut StdRng) -> f32 {
-    let u1: f32 = rng.gen::<f32>().max(1e-7);
-    let u2: f32 = rng.gen();
+/// Standard normal sample via Box–Muller.
+fn normal(rng: &mut Rng) -> f32 {
+    let u1: f32 = rng.gen_f32().max(1e-7);
+    let u2: f32 = rng.gen_f32();
     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 
 /// Generates random SH coefficients of the requested degree with a plausible
 /// energy fall-off per band.
-fn random_sh(rng: &mut StdRng, degree: usize) -> ShCoefficients {
+fn random_sh(rng: &mut Rng, degree: usize) -> ShCoefficients {
     let count = splat_types::sh::coefficient_count(degree.min(splat_types::SH_DEGREE_MAX));
     let mut coeffs = Vec::with_capacity(count);
     // DC term: random base color mapped through the inverse SH0 weighting.
-    let base = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let base = Rgb::new(rng.gen_f32(), rng.gen_f32(), rng.gen_f32());
     coeffs.push(Rgb::new(
         (base.r - 0.5) / 0.282_094_79,
         (base.g - 0.5) / 0.282_094_79,
@@ -210,9 +207,9 @@ fn random_sh(rng: &mut StdRng, degree: usize) -> ShCoefficients {
     for band in 1..count {
         let falloff = 0.25 / (band as f32).sqrt();
         coeffs.push(Rgb::new(
-            (rng.gen::<f32>() - 0.5) * falloff,
-            (rng.gen::<f32>() - 0.5) * falloff,
-            (rng.gen::<f32>() - 0.5) * falloff,
+            (rng.gen_f32() - 0.5) * falloff,
+            (rng.gen_f32() - 0.5) * falloff,
+            (rng.gen_f32() - 0.5) * falloff,
         ));
     }
     ShCoefficients::from_coefficients(coeffs).expect("complete coefficient count")
@@ -299,7 +296,7 @@ mod tests {
 
     #[test]
     fn normal_has_roughly_zero_mean_unit_variance() {
-        let mut rng = StdRng::seed_from_u64(100);
+        let mut rng = Rng::seed_from_u64(100);
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;

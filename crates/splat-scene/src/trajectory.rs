@@ -5,18 +5,17 @@
 //! a deterministic camera path through the populated volume; experiments
 //! sample a handful of views from it.
 
-use serde::{Deserialize, Serialize};
 use splat_types::{Camera, CameraIntrinsics, Vec3};
 
 /// A deterministic sequence of camera poses sharing one set of intrinsics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CameraTrajectory {
     intrinsics: CameraIntrinsics,
     keyframes: Vec<Pose>,
 }
 
 /// A single camera pose (eye position plus look-at target).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pose {
     /// Camera position.
     pub eye: Vec3,
@@ -169,7 +168,10 @@ mod tests {
         let traj = CameraTrajectory::lateral_sweep(intr(), 3.0, 12.0, 5);
         for (i, cam) in traj.cameras().enumerate() {
             let target = traj.keyframes[i].target;
-            assert!(cam.depth_of(target) > 0.0, "target behind camera for pose {i}");
+            assert!(
+                cam.depth_of(target) > 0.0,
+                "target behind camera for pose {i}"
+            );
         }
     }
 }

@@ -9,10 +9,9 @@
 use crate::error::{Error, Result};
 use crate::mat::{Mat3, Mat4};
 use crate::vec::{Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Pinhole intrinsics in pixel units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CameraIntrinsics {
     /// Focal length along X, in pixels.
     pub focal_x: f32,
@@ -82,7 +81,7 @@ impl CameraIntrinsics {
 }
 
 /// A posed pinhole camera.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Camera {
     intrinsics: CameraIntrinsics,
     /// World-to-view transform.

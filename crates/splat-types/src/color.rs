@@ -1,7 +1,6 @@
 //! Linear RGB color values.
 
 use crate::vec::Vec3;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Mul};
 
 /// A linear-space RGB color with unclamped `f32` channels.
@@ -9,7 +8,7 @@ use std::ops::{Add, AddAssign, Mul};
 /// Colors stay unclamped throughout α-blending (matching the reference
 /// 3D-GS rasterizer) and are only clamped when written to an 8-bit
 /// framebuffer.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rgb {
     /// Red channel.
     pub r: f32,

@@ -46,7 +46,10 @@ impl fmt::Display for Error {
                 write!(f, "unsupported spherical harmonics degree {degree} (max 3)")
             }
             Error::PrecisionOverflow { value } => {
-                write!(f, "value {value} cannot be represented in reduced precision")
+                write!(
+                    f,
+                    "value {value} cannot be represented in reduced precision"
+                )
             }
         }
     }

@@ -42,6 +42,7 @@ pub mod gaussian;
 pub mod half;
 pub mod mat;
 pub mod quat;
+pub mod rng;
 pub mod sh;
 pub mod vec;
 

@@ -8,7 +8,6 @@
 
 use crate::mat::Mat3;
 use crate::vec::Vec3;
-use serde::{Deserialize, Serialize};
 use std::ops::Mul;
 
 /// A quaternion `w + xi + yj + zk` used to represent rotations.
@@ -16,7 +15,7 @@ use std::ops::Mul;
 /// Construction helpers always return normalized quaternions; deserialized
 /// or manually constructed values can be re-normalized with
 /// [`Quat::normalized`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quat {
     /// Scalar (real) part.
     pub w: f32,
@@ -141,7 +140,7 @@ impl Mul for Quat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Rng;
 
     fn approx(a: f32, b: f32) -> bool {
         (a - b).abs() <= 1e-4
@@ -194,38 +193,71 @@ mod tests {
         assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized(), Quat::IDENTITY);
     }
 
-    proptest! {
-        #[test]
-        fn rotation_preserves_length(
-            yaw in -3.0f32..3.0, pitch in -1.5f32..1.5, roll in -3.0f32..3.0,
-            x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0,
-        ) {
-            let q = Quat::from_euler(yaw, pitch, roll);
-            let v = Vec3::new(x, y, z);
-            prop_assert!((q.rotate(v).length() - v.length()).abs() < 1e-3 * (1.0 + v.length()));
+    #[test]
+    fn rotation_preserves_length() {
+        let mut rng = Rng::seed_from_u64(0xAAAA_BBBB_CCCC_DDDD);
+        for case in 0..400 {
+            let q = Quat::from_euler(
+                rng.range_f32(-3.0, 3.0),
+                rng.range_f32(-1.5, 1.5),
+                rng.range_f32(-3.0, 3.0),
+            );
+            let v = Vec3::new(
+                rng.range_f32(-10.0, 10.0),
+                rng.range_f32(-10.0, 10.0),
+                rng.range_f32(-10.0, 10.0),
+            );
+            assert!(
+                (q.rotate(v).length() - v.length()).abs() < 1e-3 * (1.0 + v.length()),
+                "case {case}"
+            );
         }
+    }
 
-        #[test]
-        fn composition_matches_matrix_product(
-            a in -3.0f32..3.0, b in -1.5f32..1.5, c in -3.0f32..3.0,
-            d in -3.0f32..3.0, e in -1.5f32..1.5, f in -3.0f32..3.0,
-            x in -5.0f32..5.0, y in -5.0f32..5.0, z in -5.0f32..5.0,
-        ) {
-            let q1 = Quat::from_euler(a, b, c);
-            let q2 = Quat::from_euler(d, e, f);
-            let v = Vec3::new(x, y, z);
+    #[test]
+    fn composition_matches_matrix_product() {
+        let mut rng = Rng::seed_from_u64(0x0F0F_0F0F_F0F0_F0F0);
+        for case in 0..300 {
+            let q1 = Quat::from_euler(
+                rng.range_f32(-3.0, 3.0),
+                rng.range_f32(-1.5, 1.5),
+                rng.range_f32(-3.0, 3.0),
+            );
+            let q2 = Quat::from_euler(
+                rng.range_f32(-3.0, 3.0),
+                rng.range_f32(-1.5, 1.5),
+                rng.range_f32(-3.0, 3.0),
+            );
+            let v = Vec3::new(
+                rng.range_f32(-5.0, 5.0),
+                rng.range_f32(-5.0, 5.0),
+                rng.range_f32(-5.0, 5.0),
+            );
             let via_quat = (q1 * q2).rotate(v);
-            let via_mat = q1.to_rotation_matrix().mul_vec(q2.to_rotation_matrix().mul_vec(v));
-            prop_assert!((via_quat - via_mat).length() < 1e-2 * (1.0 + v.length()));
+            let via_mat = q1
+                .to_rotation_matrix()
+                .mul_vec(q2.to_rotation_matrix().mul_vec(v));
+            assert!(
+                (via_quat - via_mat).length() < 1e-2 * (1.0 + v.length()),
+                "case {case}"
+            );
         }
+    }
 
-        #[test]
-        fn product_of_unit_quats_is_unit(
-            a in -3.0f32..3.0, b in -1.5f32..1.5, c in -3.0f32..3.0,
-            d in -3.0f32..3.0, e in -1.5f32..1.5, f in -3.0f32..3.0,
-        ) {
-            let q = Quat::from_euler(a, b, c) * Quat::from_euler(d, e, f);
-            prop_assert!((q.norm() - 1.0).abs() < 1e-3);
+    #[test]
+    fn product_of_unit_quats_is_unit() {
+        let mut rng = Rng::seed_from_u64(0x1357_9BDF_2468_ACE0);
+        for case in 0..400 {
+            let q = Quat::from_euler(
+                rng.range_f32(-3.0, 3.0),
+                rng.range_f32(-1.5, 1.5),
+                rng.range_f32(-3.0, 3.0),
+            ) * Quat::from_euler(
+                rng.range_f32(-3.0, 3.0),
+                rng.range_f32(-1.5, 1.5),
+                rng.range_f32(-3.0, 3.0),
+            );
+            assert!((q.norm() - 1.0).abs() < 1e-3, "case {case}");
         }
     }
 }

@@ -1,0 +1,134 @@
+//! Small deterministic PRNG (splitmix64-seeded xoshiro256++).
+//!
+//! The build environment has no access to crates.io, so the `rand` crate
+//! is replaced by this self-contained generator. It is the single source
+//! of randomness for the workspace: procedural scene generation
+//! (`splat-scene`) and the deterministic property-test sweeps all draw
+//! from it. The generator only has to be fast, well distributed and —
+//! above all — deterministic: the same seed must produce the same stream
+//! on every platform, which keeps every experiment reproducible.
+
+/// A deterministic 64-bit PRNG (xoshiro256++ seeded through splitmix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Distinct seeds yield
+    /// uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the 256-bit state, as
+        // recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn gen_f32(&mut self) -> f32 {
+        // 24 high bits → the full f32 mantissa range without bias.
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.gen_f32() * (hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty range");
+        // Plain modulo reduction; the bias is negligible for the small
+        // ranges scene generation uses.
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_f32();
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_interval_roughly_uniformly() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_f32() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn indices_stay_in_range_and_hit_every_bucket() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Rng::seed_from_u64(0).gen_index(0);
+    }
+}

@@ -8,7 +8,6 @@
 use crate::color::Rgb;
 use crate::error::{Error, Result};
 use crate::vec::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// Highest supported spherical-harmonics degree (matching 3D-GS).
 pub const SH_DEGREE_MAX: usize = 3;
@@ -27,7 +26,13 @@ pub const fn coefficient_count(degree: usize) -> usize {
 // Real SH basis constants as used by the 3D-GS reference implementation.
 const SH_C0: f32 = 0.282_094_79;
 const SH_C1: f32 = 0.488_602_51;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,
@@ -83,7 +88,7 @@ pub fn eval_basis(degree: usize, dir: Vec3) -> Result<Vec<f32>> {
 ///
 /// Coefficients are stored interleaved per basis function:
 /// `coeffs[i]` is the RGB weight of basis function `i`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShCoefficients {
     degree: usize,
     coeffs: Vec<Rgb>,
@@ -170,7 +175,7 @@ impl Default for ShCoefficients {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Rng;
 
     #[test]
     fn coefficient_counts() {
@@ -197,7 +202,12 @@ mod tests {
     fn constant_coefficients_reproduce_base_color() {
         let base = Rgb::new(0.2, 0.6, 0.9);
         let sh = ShCoefficients::constant(base);
-        for dir in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(-0.5, 0.3, 0.8).normalized()] {
+        for dir in [
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            Vec3::new(-0.5, 0.3, 0.8).normalized(),
+        ] {
             let c = sh.eval(dir);
             assert!(c.max_abs_diff(base) < 1e-5, "direction {dir:?}");
         }
@@ -234,21 +244,27 @@ mod tests {
         assert_eq!(sh.value_count(), 48);
     }
 
-    proptest! {
-        #[test]
-        fn eval_is_finite_for_unit_directions(
-            x in -1.0f32..1.0, y in -1.0f32..1.0, z in -1.0f32..1.0,
-            seed in 0u8..255,
-        ) {
-            prop_assume!(Vec3::new(x, y, z).length() > 1e-3);
+    #[test]
+    fn eval_is_finite_for_unit_directions() {
+        let mut rng = Rng::seed_from_u64(0x0BAD_CAFE_DEAD_F00D);
+        let mut tested = 0;
+        while tested < 400 {
+            let x = rng.range_f32(-1.0, 1.0);
+            let y = rng.range_f32(-1.0, 1.0);
+            let z = rng.range_f32(-1.0, 1.0);
+            if Vec3::new(x, y, z).length() <= 1e-3 {
+                continue;
+            }
+            tested += 1;
+            let seed = (rng.range_f32(0.0, 255.0)).floor();
             let dir = Vec3::new(x, y, z).normalized();
             let coeffs: Vec<Rgb> = (0..16)
-                .map(|i| Rgb::splat(((i as f32) + f32::from(seed)) * 0.01 - 0.5))
+                .map(|i| Rgb::splat(((i as f32) + seed) * 0.01 - 0.5))
                 .collect();
             let sh = ShCoefficients::from_coefficients(coeffs).unwrap();
             let c = sh.eval(dir);
-            prop_assert!(c.is_finite());
-            prop_assert!(c.r >= 0.0 && c.g >= 0.0 && c.b >= 0.0);
+            assert!(c.is_finite());
+            assert!(c.r >= 0.0 && c.g >= 0.0 && c.b >= 0.0);
         }
     }
 }

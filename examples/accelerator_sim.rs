@@ -39,7 +39,10 @@ fn main() {
             Vec3::Y,
             CameraIntrinsics::from_fov_y(0.9, scene.width() / 4, scene.height() / 4),
         );
-        let reports: Vec<_> = variants.iter().map(|v| sim.simulate(&scene, &camera, v)).collect();
+        let reports: Vec<_> = variants
+            .iter()
+            .map(|v| sim.simulate(&scene, &camera, v))
+            .collect();
         let baseline = reports[0].clone();
         for report in &reports {
             table.add_row([

@@ -23,9 +23,19 @@ fn main() {
     };
 
     let combos = [(8u32, 16u32), (8, 32), (8, 64), (16, 32), (16, 64)];
-    let boundaries = [BoundaryMethod::Aabb, BoundaryMethod::Obb, BoundaryMethod::Ellipse];
+    let boundaries = [
+        BoundaryMethod::Aabb,
+        BoundaryMethod::Obb,
+        BoundaryMethod::Ellipse,
+    ];
 
-    let mut table = Table::new(["scene", "tile+group", "bitmask boundary", "identical", "sort reduction"]);
+    let mut table = Table::new([
+        "scene",
+        "tile+group",
+        "bitmask boundary",
+        "identical",
+        "sort reduction",
+    ]);
     let mut all_lossless = true;
 
     for scene_id in [PaperScene::Train, PaperScene::Drjohnson] {

@@ -28,7 +28,8 @@ fn main() {
     );
 
     // Conventional pipeline: 16x16 tiles, exact ellipse boundary.
-    let baseline = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &camera);
+    let baseline =
+        Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &camera);
     println!(
         "baseline : {:>9} sort keys, {:>9} sort comparisons, {:>10} alpha computations, {:.1} ms wall clock",
         baseline.stats.counts.tile_intersections,
@@ -52,7 +53,10 @@ fn main() {
     let reduction = baseline.stats.counts.sort_comparisons as f64
         / grouped.stats.counts.sort_comparisons.max(1) as f64;
     println!();
-    println!("max pixel difference      : {diff} (lossless: {})", diff == 0.0);
+    println!(
+        "max pixel difference      : {diff} (lossless: {})",
+        diff == 0.0
+    );
     println!("sorting-work reduction    : {reduction:.2}x");
     println!(
         "rasterization work ratio  : {:.3} (1.0 = efficiency fully preserved)",

@@ -33,7 +33,8 @@ fn main() {
     for tile in [8u32, 16, 32, 64] {
         let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Ellipse));
         let prepared = renderer.prepare(&scene, &camera);
-        let (_, raster_counts) = renderer.rasterize(&prepared.projected, &prepared.assignments, &camera);
+        let (_, raster_counts) =
+            renderer.rasterize(&prepared.projected, &prepared.assignments, &camera);
         let counts = prepared.counts + raster_counts;
         let times = model.baseline_times(&counts, BoundaryMethod::Ellipse);
         if tile == 16 {

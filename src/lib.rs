@@ -4,6 +4,8 @@
 //! integration tests and downstream users can depend on a single crate:
 //!
 //! * [`types`] — math primitives and the 3D Gaussian data model,
+//! * [`core`] — the shared stage engine (execution config, tile
+//!   scheduler, stage counters, blending kernel) both pipelines build on,
 //! * [`scene`] — synthetic scenes matching the paper's evaluation set,
 //! * [`render`] — the conventional tile-based 3D-GS pipeline (the
 //!   baseline),
@@ -40,18 +42,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The paper's contribution: the tile-grouping pipeline.
+pub use gstg as tile_grouping;
 pub use splat_accel as accel;
+/// The shared stage engine both pipelines build on.
+pub use splat_core as core;
 pub use splat_metrics as metrics;
 pub use splat_render as render;
 pub use splat_scene as scene;
 pub use splat_types as types;
-/// The paper's contribution: the tile-grouping pipeline.
-pub use gstg as tile_grouping;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use gstg::{verify_lossless, GstgConfig, GstgRenderer};
     pub use splat_accel::{AccelConfig, PipelineVariant, Simulator};
+    pub use splat_core::{ExecutionConfig, ExecutionModel, HasExecution, StageCounts};
     pub use splat_metrics::{geometric_mean, Table};
     pub use splat_render::{BoundaryMethod, RenderConfig, Renderer};
     pub use splat_scene::{PaperScene, Scene, SceneScale};

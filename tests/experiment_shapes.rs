@@ -38,13 +38,22 @@ fn tile_size_trends_match_the_motivation_figures() {
     }
 
     for w in tiles_per_gaussian.windows(2) {
-        assert!(w[0] > w[1], "tiles per gaussian must fall with tile size: {tiles_per_gaussian:?}");
+        assert!(
+            w[0] > w[1],
+            "tiles per gaussian must fall with tile size: {tiles_per_gaussian:?}"
+        );
     }
     for w in shared.windows(2) {
-        assert!(w[0] >= w[1], "shared fraction must not rise with tile size: {shared:?}");
+        assert!(
+            w[0] >= w[1],
+            "shared fraction must not rise with tile size: {shared:?}"
+        );
     }
     for w in gaussians_per_pixel.windows(2) {
-        assert!(w[0] <= w[1], "gaussians per pixel must not fall with tile size: {gaussians_per_pixel:?}");
+        assert!(
+            w[0] <= w[1],
+            "gaussians per pixel must not fall with tile size: {gaussians_per_pixel:?}"
+        );
     }
     // The extreme ratio is substantial, as in Fig. 5 (18.3x) / Fig. 7 (10.6x).
     assert!(tiles_per_gaussian[0] / tiles_per_gaussian[3] > 2.0);
@@ -68,8 +77,14 @@ fn stage_cost_trade_off_matches_fig3() {
         sort_costs.push(times.sort);
         raster_costs.push(times.raster);
     }
-    assert!(sort_costs[0] > sort_costs[3], "sorting must shrink with larger tiles");
-    assert!(raster_costs[3] > raster_costs[0], "rasterization must grow with larger tiles");
+    assert!(
+        sort_costs[0] > sort_costs[3],
+        "sorting must shrink with larger tiles"
+    );
+    assert!(
+        raster_costs[3] > raster_costs[0],
+        "rasterization must grow with larger tiles"
+    );
 }
 
 /// Fig. 11 ordering: grouping never loses to the same-tile-size baseline
@@ -81,12 +96,14 @@ fn grouping_sweep_orders_as_in_fig11() {
     let camera = camera_for(&scene, 200);
     let model = CostModel::new();
 
-    let baseline = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &camera);
+    let baseline =
+        Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &camera);
     let baseline_times = model.baseline_times(&baseline.stats.counts, BoundaryMethod::Ellipse);
 
     let mut previous_keys = u64::MAX;
     for group in [32u32, 64] {
-        let config = GstgConfig::new(16, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
+        let config =
+            GstgConfig::new(16, group, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse).unwrap();
         let output = GstgRenderer::new(config).render(&scene, &camera);
         let times = model.gstg_overlapped_times(
             &output.stats.counts,
@@ -122,9 +139,21 @@ fn accelerator_orderings_match_fig14_and_fig15() {
         let gscore = sim.simulate(&scene, &camera, &PipelineVariant::gscore_paper());
         let gstg = sim.simulate(&scene, &camera, &PipelineVariant::gstg_paper());
 
-        assert!(gstg.speedup_over(&baseline) >= 1.0, "{}: GS-TG slower than baseline", scene_id.name());
-        assert!(gstg.speedup_over(&gscore) >= 1.0, "{}: GS-TG slower than GSCore", scene_id.name());
-        assert!(gscore.total_cycles >= baseline.total_cycles, "{}: GSCore faster than ellipse baseline", scene_id.name());
+        assert!(
+            gstg.speedup_over(&baseline) >= 1.0,
+            "{}: GS-TG slower than baseline",
+            scene_id.name()
+        );
+        assert!(
+            gstg.speedup_over(&gscore) >= 1.0,
+            "{}: GS-TG slower than GSCore",
+            scene_id.name()
+        );
+        assert!(
+            gscore.total_cycles >= baseline.total_cycles,
+            "{}: GSCore faster than ellipse baseline",
+            scene_id.name()
+        );
         assert!(
             gstg.energy_efficiency_over(&baseline) >= 1.0,
             "{}: GS-TG less energy-efficient than baseline",

@@ -28,7 +28,8 @@ fn paper_configuration_is_lossless_on_every_scene() {
             report.max_abs_diff
         );
         assert_eq!(
-            report.baseline_alpha_computations, report.gstg_alpha_computations,
+            report.baseline_alpha_computations,
+            report.gstg_alpha_computations,
             "{}: rasterization work must be identical",
             scene_id.name()
         );
@@ -40,7 +41,11 @@ fn every_grouping_and_boundary_combination_is_lossless() {
     let scene = PaperScene::Truck.build(SceneScale::Tiny, 3);
     let camera = test_camera(320, 200, 0.9);
     for (tile, group) in [(8u32, 16u32), (8, 64), (16, 32), (16, 64)] {
-        for group_boundary in [BoundaryMethod::Aabb, BoundaryMethod::Obb, BoundaryMethod::Ellipse] {
+        for group_boundary in [
+            BoundaryMethod::Aabb,
+            BoundaryMethod::Obb,
+            BoundaryMethod::Ellipse,
+        ] {
             for bitmask_boundary in [BoundaryMethod::Aabb, BoundaryMethod::Ellipse] {
                 let config = GstgConfig::new(tile, group, group_boundary, bitmask_boundary)
                     .expect("valid configuration");

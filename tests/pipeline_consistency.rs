@@ -22,7 +22,11 @@ fn boundary_methods_form_a_work_hierarchy_at_pipeline_level() {
     let cam = camera(320, 200);
     let mut previous_keys = u64::MAX;
     let mut reference_image = None;
-    for boundary in [BoundaryMethod::Aabb, BoundaryMethod::Obb, BoundaryMethod::Ellipse] {
+    for boundary in [
+        BoundaryMethod::Aabb,
+        BoundaryMethod::Obb,
+        BoundaryMethod::Ellipse,
+    ] {
         let out = Renderer::new(RenderConfig::new(16, boundary)).render(&scene, &cam);
         assert!(
             out.stats.counts.tile_intersections <= previous_keys,
@@ -60,9 +64,18 @@ fn simulator_counts_match_the_software_pipeline() {
 
     let config = GstgConfig::paper_default().with_precision(gs_tg::types::Precision::Half);
     let direct = GstgRenderer::new(config).render(&scene, &cam);
-    assert_eq!(report.counts.alpha_computations, direct.stats.counts.alpha_computations);
-    assert_eq!(report.counts.tile_intersections, direct.stats.counts.tile_intersections);
-    assert_eq!(report.counts.bitmask_tests, direct.stats.counts.bitmask_tests);
+    assert_eq!(
+        report.counts.alpha_computations,
+        direct.stats.counts.alpha_computations
+    );
+    assert_eq!(
+        report.counts.tile_intersections,
+        direct.stats.counts.tile_intersections
+    );
+    assert_eq!(
+        report.counts.bitmask_tests,
+        direct.stats.counts.bitmask_tests
+    );
 }
 
 #[test]
