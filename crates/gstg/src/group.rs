@@ -10,6 +10,7 @@
 
 use crate::bitmask::{GroupLayout, TileBitmask};
 use crate::config::GstgConfig;
+use splat_core::{CsrAssignments, CsrScratch};
 use splat_render::bounds::GaussianFootprint;
 use splat_render::preprocess::ProjectedGaussian;
 use splat_render::stats::StageCounts;
@@ -17,7 +18,7 @@ use splat_render::tiling::TileGrid;
 
 /// One splat's membership in one group: which projected splat it is and
 /// which small tiles of the group it touches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GroupEntry {
     /// Index into the `ProjectedGaussian` slice.
     pub slot: u32,
@@ -26,17 +27,32 @@ pub struct GroupEntry {
 }
 
 /// The result of group identification: per-group splat lists with their
-/// tile bitmasks.
+/// tile bitmasks, stored in the flat CSR layout ([`CsrAssignments`]) shared
+/// with the baseline's tile assignments so a session can rebuild them in
+/// place every frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupAssignments {
     group_grid: TileGrid,
     tile_grid: TileGrid,
     layout: GroupLayout,
-    per_group: Vec<Vec<GroupEntry>>,
+    per_group: CsrAssignments<GroupEntry>,
     groups_per_gaussian: Vec<u32>,
 }
 
 impl GroupAssignments {
+    /// An empty assignment set over a 1×1 placeholder image, ready to be
+    /// rebuilt in place by [`identify_groups_into`].
+    pub fn empty() -> Self {
+        let grid = TileGrid::new(1, 1, 1);
+        Self {
+            group_grid: grid,
+            tile_grid: grid,
+            layout: GroupLayout::new(1, 1),
+            per_group: CsrAssignments::with_bins(grid.tile_count()),
+            groups_per_gaussian: Vec::new(),
+        }
+    }
+
     /// Grid of groups (one cell per group).
     #[inline]
     pub fn group_grid(&self) -> &TileGrid {
@@ -58,34 +74,37 @@ impl GroupAssignments {
     /// Entries of the group with flattened index `group`.
     #[inline]
     pub fn group(&self, group: usize) -> &[GroupEntry] {
-        &self.per_group[group]
+        self.per_group.bin(group)
     }
 
     /// Mutable access used by the group-wise sorting stage.
     #[inline]
-    pub(crate) fn group_mut(&mut self, group: usize) -> &mut Vec<GroupEntry> {
-        &mut self.per_group[group]
+    pub(crate) fn group_mut(&mut self, group: usize) -> &mut [GroupEntry] {
+        self.per_group.bin_mut(group)
     }
 
     /// Number of groups.
     #[inline]
     pub fn group_count(&self) -> usize {
-        self.per_group.len()
+        self.per_group.bin_count()
     }
 
     /// Iterates over `(group_index, entries)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[GroupEntry])> {
-        self.per_group
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, v.as_slice()))
+        self.per_group.iter()
     }
 
     /// Total number of (group, splat) pairs — the number of sort keys the
     /// group-wise sorting stage handles. Compare with the baseline's
     /// per-tile total to quantify the sorting reduction.
     pub fn total_entries(&self) -> u64 {
-        self.per_group.iter().map(|v| v.len() as u64).sum()
+        self.per_group.total_entries()
+    }
+
+    /// Bytes currently reserved by the assignment buffers.
+    pub fn footprint_bytes(&self) -> usize {
+        self.per_group.footprint_bytes()
+            + self.groups_per_gaussian.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Number of groups each projected splat intersects.
@@ -136,12 +155,44 @@ pub fn identify_groups(
     config: &GstgConfig,
     counts: &mut StageCounts,
 ) -> GroupAssignments {
+    let mut scratch = CsrScratch::new();
+    let mut out = GroupAssignments::empty();
+    identify_groups_into(
+        projected,
+        image_width,
+        image_height,
+        config,
+        counts,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// In-place variant of [`identify_groups`] used by the render sessions:
+/// `out` is rebuilt through `scratch`, retaining both allocations across
+/// frames. Every group/bitmask test is performed (and charged) exactly
+/// once; the staged `(group, entry)` pairs are then counting-sorted into
+/// the CSR layout, preserving scene order within each group.
+pub fn identify_groups_into(
+    projected: &[ProjectedGaussian],
+    image_width: u32,
+    image_height: u32,
+    config: &GstgConfig,
+    counts: &mut StageCounts,
+    scratch: &mut CsrScratch<GroupEntry>,
+    out: &mut GroupAssignments,
+) {
     let group_grid = TileGrid::new(image_width, image_height, config.group_size);
     let tile_grid = TileGrid::new(image_width, image_height, config.tile_size);
     let layout = GroupLayout::new(config.tile_size, config.tiles_per_group_side());
 
-    let mut per_group: Vec<Vec<GroupEntry>> = vec![Vec::new(); group_grid.tile_count()];
-    let mut groups_per_gaussian = vec![0u32; projected.len()];
+    out.group_grid = group_grid;
+    out.tile_grid = tile_grid;
+    out.layout = layout;
+    out.groups_per_gaussian.clear();
+    out.groups_per_gaussian.resize(projected.len(), 0);
+    scratch.clear();
 
     for (slot, splat) in projected.iter().enumerate() {
         let Some(footprint) = GaussianFootprint::from_covariance(splat.mean, splat.cov) else {
@@ -162,7 +213,7 @@ pub fn identify_groups(
                     continue;
                 }
                 counts.tile_intersections += 1;
-                groups_per_gaussian[slot] += 1;
+                out.groups_per_gaussian[slot] += 1;
 
                 // Bitmask generation: test the splat against the candidate
                 // small tiles of this group that lie inside the image.
@@ -182,21 +233,18 @@ pub fn identify_groups(
                     }
                 }
 
-                per_group[group_grid.tile_index(gx, gy)].push(GroupEntry {
-                    slot: slot as u32,
-                    bitmask,
-                });
+                scratch.stage(
+                    group_grid.tile_index(gx, gy) as u32,
+                    GroupEntry {
+                        slot: slot as u32,
+                        bitmask,
+                    },
+                );
             }
         }
     }
 
-    GroupAssignments {
-        group_grid,
-        tile_grid,
-        layout,
-        per_group,
-        groups_per_gaussian,
-    }
+    scratch.build_into(group_grid.tile_count(), &mut out.per_group);
 }
 
 #[cfg(test)]
@@ -343,6 +391,56 @@ mod tests {
             counts.bitmask_tests >= 1 && counts.bitmask_tests <= 4,
             "expected a pre-filtered test count, got {}",
             counts.bitmask_tests
+        );
+    }
+
+    #[test]
+    fn in_place_identification_matches_fresh_and_reuses_capacity() {
+        let cfg = config(16, 64);
+        let splats: Vec<ProjectedGaussian> = (0..8)
+            .map(|i| {
+                projected(
+                    Vec2::new(30.0 + 25.0 * i as f32, 90.0),
+                    7.0,
+                    i,
+                    1.0 + i as f32,
+                )
+            })
+            .collect();
+        let mut fresh_counts = StageCounts::new();
+        let fresh = identify_groups(&splats, 256, 256, &cfg, &mut fresh_counts);
+
+        let mut scratch = splat_core::CsrScratch::new();
+        let mut reused = GroupAssignments::empty();
+        for _ in 0..3 {
+            let mut counts = StageCounts::new();
+            identify_groups_into(
+                &splats,
+                256,
+                256,
+                &cfg,
+                &mut counts,
+                &mut scratch,
+                &mut reused,
+            );
+            assert_eq!(reused, fresh);
+            assert_eq!(counts, fresh_counts);
+        }
+        let footprint = reused.footprint_bytes() + scratch.footprint_bytes();
+        let mut counts = StageCounts::new();
+        identify_groups_into(
+            &splats,
+            256,
+            256,
+            &cfg,
+            &mut counts,
+            &mut scratch,
+            &mut reused,
+        );
+        assert_eq!(
+            reused.footprint_bytes() + scratch.footprint_bytes(),
+            footprint,
+            "steady-state rebuild must not grow the buffers"
         );
     }
 

@@ -48,11 +48,13 @@ pub mod group;
 pub mod lossless;
 pub mod pipeline;
 pub mod raster;
+pub mod session;
 pub mod sort;
 
 pub use bitmask::{GroupLayout, TileBitmask};
 pub use config::{ConfigError, ExecutionModel, GstgConfig};
-pub use group::{identify_groups, GroupAssignments, GroupEntry};
+pub use group::{identify_groups, identify_groups_into, GroupAssignments, GroupEntry};
 pub use lossless::{verify_lossless, LosslessReport};
 pub use pipeline::{GstgOutput, GstgRenderer};
+pub use session::GstgSession;
 pub use splat_core::HasExecution;

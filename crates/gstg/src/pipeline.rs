@@ -152,6 +152,11 @@ impl GstgRenderer {
         &self.config
     }
 
+    /// The background color pixels start from.
+    pub fn background(&self) -> Rgb {
+        self.background
+    }
+
     /// Runs preprocessing, group identification, bitmask generation and
     /// group-wise sorting, returning the intermediate state without
     /// rasterizing.

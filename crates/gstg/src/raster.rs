@@ -11,20 +11,38 @@
 
 use crate::bitmask::TileBitmask;
 use crate::group::{GroupAssignments, GroupEntry};
-use splat_core::{rasterize_tile, Framebuffer, ProjectedGaussian, StageCounts, TileScheduler};
+use splat_core::{
+    rasterize_tile, rasterize_tile_into, Framebuffer, ProjectedGaussian, StageCounts, TileScheduler,
+};
 use splat_types::Rgb;
 
 /// Filters a group-sorted entry list down to the splats that touch the tile
 /// at bitmask position `bit`, preserving order. Each entry costs one
 /// bitmask filter operation (the hardware performs them 8 per cycle).
 pub fn filter_tile_list(entries: &[GroupEntry], bit: u32, counts: &mut StageCounts) -> Vec<u32> {
+    let mut out = Vec::new();
+    filter_tile_list_into(entries, bit, counts, &mut out);
+    out
+}
+
+/// In-place variant of [`filter_tile_list`]: `out` is cleared and refilled,
+/// retaining its allocation across tiles — the allocation-free session
+/// path.
+pub fn filter_tile_list_into(
+    entries: &[GroupEntry],
+    bit: u32,
+    counts: &mut StageCounts,
+    out: &mut Vec<u32>,
+) {
     let location = TileBitmask::one_hot(bit);
     counts.bitmask_filter_ops += entries.len() as u64;
-    entries
-        .iter()
-        .filter(|e| e.bitmask.filter(location))
-        .map(|e| e.slot)
-        .collect()
+    out.clear();
+    out.extend(
+        entries
+            .iter()
+            .filter(|e| e.bitmask.filter(location))
+            .map(|e| e.slot),
+    );
 }
 
 /// Rasterizes every tile of every group into a framebuffer.
@@ -40,8 +58,61 @@ pub fn rasterize_groups(
     background: Rgb,
     threads: usize,
 ) -> (Framebuffer, StageCounts) {
-    let mut image = Framebuffer::new(image_width, image_height, background);
+    // Start from an empty framebuffer: rasterize_groups_into's reset
+    // performs the one-and-only background fill.
+    let mut image = Framebuffer::new(0, 0, background);
+    let mut tile_list = Vec::new();
+    let counts = rasterize_groups_into(
+        projected,
+        assignments,
+        image_width,
+        image_height,
+        background,
+        threads,
+        &mut image,
+        &mut tile_list,
+    );
+    (image, counts)
+}
+
+/// In-place variant of [`rasterize_groups`] used by the render sessions:
+/// the framebuffer is reset to the image dimensions and reused, and with
+/// one worker thread every tile is filtered into `tile_list` and shaded
+/// directly into `image` with no per-tile buffers. With more threads the
+/// fan-out runs through the shared [`TileScheduler`] exactly as before.
+/// Both paths perform identical per-pixel operations, so pixels and
+/// [`StageCounts`] are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_groups_into(
+    projected: &[ProjectedGaussian],
+    assignments: &GroupAssignments,
+    image_width: u32,
+    image_height: u32,
+    background: Rgb,
+    threads: usize,
+    image: &mut Framebuffer,
+    tile_list: &mut Vec<u32>,
+) -> StageCounts {
+    image.reset(image_width, image_height, background);
     let mut counts = StageCounts::new();
+
+    if threads <= 1 {
+        let layout = assignments.layout();
+        let tile_grid = assignments.tile_grid();
+        for group in 0..assignments.group_count() {
+            let entries = assignments.group(group);
+            let (gx, gy) = assignments.group_grid().tile_coords(group);
+            for bit in 0..layout.tiles_per_group() {
+                let Some((tx, ty)) = assignments.global_tile_of_bit(gx, gy, bit) else {
+                    continue;
+                };
+                let rect = tile_grid.tile_rect(tx, ty);
+                filter_tile_list_into(entries, bit, &mut counts, tile_list);
+                rasterize_tile_into(tile_list, projected, &rect, background, image, &mut counts);
+            }
+        }
+        return counts;
+    }
 
     let scheduler = TileScheduler::new(threads);
     let groups = scheduler.run(assignments.group_count(), |group| {
@@ -64,7 +135,7 @@ pub fn rasterize_groups(
             image.write_region(x0, y0, width, &pixels);
         }
     }
-    (image, counts)
+    counts
 }
 
 type Region = (u32, u32, u32, Vec<Rgb>);

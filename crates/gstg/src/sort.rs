@@ -1,42 +1,65 @@
 //! Group-wise depth sorting.
 //!
 //! Each group's splat list is sorted exactly once, front-to-back, using the
-//! same comparator as the baseline's tile-wise sort (depth, ties broken by
-//! original scene index). Because the comparator is identical, filtering a
-//! group-sorted list down to one tile yields the same order the baseline
+//! same key ordering as the baseline's tile-wise sort — the shared radix
+//! key sort on `(depth_bits << 32) | scene_index`
+//! ([`splat_core::keysort`]). Because the ordering is identical, filtering
+//! a group-sorted list down to one tile yields the same order the baseline
 //! would have produced for that tile — the key to GS-TG's losslessness.
+//! `StageCounts` records the measured key-sort work (`sort_keys`,
+//! `radix_passes`) alongside the modeled comparison count the paper's
+//! redundancy figures are expressed in.
 
 use crate::group::{GroupAssignments, GroupEntry};
+use splat_core::{splat_key, KeySortRun, KeySortScratch};
 use splat_render::preprocess::ProjectedGaussian;
 use splat_render::stats::StageCounts;
 
-/// Sorts a single group's entries front-to-back, returning the number of
-/// comparisons performed.
+/// Sorts a single group's entries front-to-back, returning the modeled
+/// merge-sort comparison count for the list (the key sort itself performs
+/// none); use [`sort_group_with`] to reuse sort buffers and obtain the full
+/// [`KeySortRun`].
 pub fn sort_group(entries: &mut [GroupEntry], projected: &[ProjectedGaussian]) -> u64 {
-    let mut comparisons = 0u64;
-    entries.sort_by(|a, b| {
-        comparisons += 1;
-        let ga = &projected[a.slot as usize];
-        let gb = &projected[b.slot as usize];
-        ga.depth
-            .partial_cmp(&gb.depth)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(ga.index.cmp(&gb.index))
-    });
-    comparisons
+    let mut scratch = KeySortScratch::new();
+    sort_group_with(entries, projected, &mut scratch).modeled_comparisons
 }
 
-/// Sorts every group's list in place, accumulating the comparison count
-/// into `counts.sort_comparisons`.
+/// Sorts a single group's entries front-to-back through a reusable
+/// key-sort scratch. Depths are finite by the preprocessing contract, so
+/// the sign-flip key mapping reproduces the comparator order exactly.
+pub fn sort_group_with(
+    entries: &mut [GroupEntry],
+    projected: &[ProjectedGaussian],
+    scratch: &mut KeySortScratch<GroupEntry>,
+) -> KeySortRun {
+    scratch.sort_by_key(entries, |entry| {
+        let splat = &projected[entry.slot as usize];
+        splat_key(splat.depth, splat.index)
+    })
+}
+
+/// Sorts every group's list in place, accumulating the modeled comparison
+/// count and the measured key-sort counters into `counts`.
 pub fn sort_groups(
     assignments: &mut GroupAssignments,
     projected: &[ProjectedGaussian],
     counts: &mut StageCounts,
 ) {
+    let mut scratch = KeySortScratch::new();
+    sort_groups_with(assignments, projected, counts, &mut scratch);
+}
+
+/// In-place variant of [`sort_groups`] reusing the session's sort scratch.
+pub fn sort_groups_with(
+    assignments: &mut GroupAssignments,
+    projected: &[ProjectedGaussian],
+    counts: &mut StageCounts,
+    scratch: &mut KeySortScratch<GroupEntry>,
+) {
     for group in 0..assignments.group_count() {
         let entries = assignments.group_mut(group);
         if entries.len() > 1 {
-            counts.sort_comparisons += sort_group(entries, projected);
+            sort_group_with(entries, projected, scratch).accumulate(counts);
         }
     }
 }

@@ -14,9 +14,11 @@ use splat_types::CameraIntrinsics;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    println!("# FPS report — simulated accelerator frame rates over a camera trajectory");
-    println!("# workload: {}", options.describe());
-    println!();
+    if !options.json {
+        println!("# FPS report — simulated accelerator frame rates over a camera trajectory");
+        println!("# workload: {}", options.describe());
+        println!();
+    }
 
     let sim = Simulator::new(AccelConfig::paper());
     let variants = [
@@ -61,6 +63,21 @@ fn main() {
             .iter()
             .map(|v| mean(v).unwrap_or(0.0))
             .collect();
+        if options.json {
+            println!(
+                "{{\"bench\":\"fps_report\",\"scene\":\"{}\",\"scale\":\"{:?}\",\"views\":{},\
+                 \"baseline_fps\":{:.3},\"gscore_fps\":{:.3},\"gstg_fps\":{:.3},\
+                 \"gstg_gain\":{:.4}}}",
+                scene_id.name(),
+                options.scale,
+                view_count,
+                fps[0],
+                fps[1],
+                fps[2],
+                fps[2] / fps[0].max(1e-9),
+            );
+            continue;
+        }
         table.add_row([
             scene_id.name().to_string(),
             view_count.to_string(),
@@ -70,6 +87,8 @@ fn main() {
             format!("{:.2}x", fps[2] / fps[0].max(1e-9)),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!("(FPS values are for the reduced synthetic workload; the paper's point is the relative gain)");
+    if !options.json {
+        println!("{}", table.to_markdown());
+        println!("(FPS values are for the reduced synthetic workload; the paper's point is the relative gain)");
+    }
 }

@@ -1,0 +1,252 @@
+//! Trajectory throughput — steady-state session rendering.
+//!
+//! Renders N poses of a camera trajectory through a *reused* render
+//! session for both pipelines (baseline `RenderSession`, GS-TG
+//! `GstgSession`) and reports frames per second plus **bytes allocated per
+//! steady-state frame**, measured with a counting global allocator.
+//!
+//! The trajectory is rendered twice. The first pass is the warm-up: the
+//! session's arena grows to the trajectory's high-water mark (this is
+//! where the "allocates only on the first frames" cost is paid). The
+//! second pass is the measured steady state, where every buffer is
+//! recycled — the expected allocation is **zero bytes per frame**, and the
+//! binary exits non-zero if any steady-state frame touches the heap, so CI
+//! enforces the property mechanically.
+//!
+//! ```text
+//! cargo run --release -p splat-bench --bin trajectory_throughput -- \
+//!     --scale tiny --resolution-divisor 8 --frames 8 --json
+//! ```
+//!
+//! `--json` emits one machine-readable object per pipeline for
+//! `BENCH_*.json` capture; the shared `--scale` / `--resolution-divisor` /
+//! `--seed-offset` knobs of the experiment harness apply.
+
+use gstg::{GstgConfig, GstgSession};
+use splat_bench::HarnessOptions;
+use splat_render::{BoundaryMethod, RenderConfig, RenderSession};
+use splat_scene::{CameraTrajectory, PaperScene};
+use splat_types::{Camera, CameraIntrinsics};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// System allocator wrapper counting allocated bytes and call counts, so
+/// the bench can prove steady-state frames never touch the heap.
+struct CountingAllocator;
+
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            BYTES_ALLOCATED.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+            ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PassStats {
+    time: Duration,
+    bytes: u64,
+    allocation_calls: u64,
+    max_frame_bytes: u64,
+    frames: u64,
+    /// Mean-luminance checksum keeping the rendered pixels observable.
+    checksum: f64,
+}
+
+impl PassStats {
+    fn fps(&self) -> f64 {
+        if self.time.as_secs_f64() <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / self.time.as_secs_f64()
+        }
+    }
+
+    fn bytes_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Runs one pass over the trajectory. The `render` closure times the
+/// session's `render` call itself and returns `(render_time, luminance)`,
+/// so the checksum's framebuffer scan stays outside the timed window; the
+/// allocation window spans the whole closure (the scan allocates nothing,
+/// and any stray allocation should be caught).
+fn run_pass(
+    trajectory: &CameraTrajectory,
+    mut render: impl FnMut(&Camera) -> (Duration, f64),
+) -> PassStats {
+    let mut stats = PassStats::default();
+    for index in 0..trajectory.len() {
+        let camera = trajectory.camera(index);
+        let bytes_before = BYTES_ALLOCATED.load(Ordering::Relaxed);
+        let calls_before = ALLOCATION_CALLS.load(Ordering::Relaxed);
+        let (render_time, luminance) = render(&camera);
+        stats.time += render_time;
+        let frame_bytes = BYTES_ALLOCATED.load(Ordering::Relaxed) - bytes_before;
+        stats.bytes += frame_bytes;
+        stats.allocation_calls += ALLOCATION_CALLS.load(Ordering::Relaxed) - calls_before;
+        stats.max_frame_bytes = stats.max_frame_bytes.max(frame_bytes);
+        stats.frames += 1;
+        stats.checksum += luminance;
+    }
+    stats
+}
+
+/// Renders one frame through a session closure, timing only the render and
+/// reading the checksum afterwards.
+macro_rules! timed_frame {
+    ($session:expr, $scene:expr, $camera:expr) => {{
+        let start = Instant::now();
+        let frame = $session.render($scene, $camera);
+        let render_time = start.elapsed();
+        (render_time, f64::from(frame.image.mean_luminance()))
+    }};
+}
+
+struct PipelineReport {
+    name: &'static str,
+    warmup: PassStats,
+    steady: PassStats,
+    footprint_bytes: usize,
+}
+
+fn report_human(report: &PipelineReport) {
+    println!(
+        "{:<9} : {:>7.1} frames/s steady ({} frames), warm-up {} B ({} allocs), \
+         steady {} B/frame (max {} B, {} allocs), arena {} B, checksum {:.4}",
+        report.name,
+        report.steady.fps(),
+        report.steady.frames,
+        report.warmup.bytes,
+        report.warmup.allocation_calls,
+        report.steady.bytes_per_frame(),
+        report.steady.max_frame_bytes,
+        report.steady.allocation_calls,
+        report.footprint_bytes,
+        report.steady.checksum,
+    );
+}
+
+fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, height: u32) {
+    println!(
+        "{{\"bench\":\"trajectory_throughput\",\"pipeline\":\"{}\",\"scale\":\"{:?}\",\
+         \"width\":{},\"height\":{},\"frames\":{},\"steady_fps\":{:.3},\
+         \"warmup_bytes\":{},\"steady_bytes_total\":{},\"steady_bytes_per_frame\":{:.3},\
+         \"steady_max_frame_bytes\":{},\"steady_allocation_calls\":{},\
+         \"arena_footprint_bytes\":{},\"checksum_luminance\":{:.6}}}",
+        report.name,
+        options.scale,
+        width,
+        height,
+        report.steady.frames,
+        report.steady.fps(),
+        report.warmup.bytes,
+        report.steady.bytes,
+        report.steady.bytes_per_frame(),
+        report.steady.max_frame_bytes,
+        report.steady.allocation_calls,
+        report.footprint_bytes,
+        report.steady.checksum,
+    );
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let frames = options.frames.unwrap_or(12);
+    let scene_id = PaperScene::Playroom;
+    let scene = options.scene(scene_id);
+    let reference = options.camera(scene_id);
+    let intrinsics = CameraIntrinsics::from_fov_y(
+        reference.intrinsics().fov_y(),
+        reference.width(),
+        reference.height(),
+    );
+    let profile = scene_id.profile(options.scale);
+    let trajectory = CameraTrajectory::lateral_sweep(
+        intrinsics,
+        profile.lateral_extent * 0.25,
+        (profile.depth_range.0 + profile.depth_range.1) * 0.4,
+        frames,
+    );
+
+    if !options.json {
+        println!("# Trajectory throughput — reused sessions over {frames} poses");
+        println!(
+            "# workload: {}, scene `{}` ({} Gaussians) at {}x{}",
+            options.describe(),
+            scene.name(),
+            scene.len(),
+            reference.width(),
+            reference.height()
+        );
+        println!();
+    }
+
+    let mut baseline = RenderSession::from_config(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    let baseline_report = PipelineReport {
+        name: "baseline",
+        warmup: run_pass(&trajectory, |camera| timed_frame!(baseline, &scene, camera)),
+        steady: run_pass(&trajectory, |camera| timed_frame!(baseline, &scene, camera)),
+        footprint_bytes: baseline.footprint_bytes(),
+    };
+
+    let mut grouped = GstgSession::from_config(GstgConfig::paper_default());
+    let gstg_report = PipelineReport {
+        name: "gstg",
+        warmup: run_pass(&trajectory, |camera| timed_frame!(grouped, &scene, camera)),
+        steady: run_pass(&trajectory, |camera| timed_frame!(grouped, &scene, camera)),
+        footprint_bytes: grouped.footprint_bytes(),
+    };
+
+    let mut steady_state_clean = true;
+    for report in [&baseline_report, &gstg_report] {
+        if options.json {
+            report_json(report, &options, reference.width(), reference.height());
+        } else {
+            report_human(report);
+        }
+        if report.steady.bytes > 0 {
+            steady_state_clean = false;
+        }
+    }
+
+    if !options.json {
+        println!();
+        println!(
+            "steady-state heap growth: {}",
+            if steady_state_clean {
+                "0 B across all frames (allocation-free)"
+            } else {
+                "NON-ZERO — session reuse is broken"
+            }
+        );
+    }
+    if !steady_state_clean {
+        eprintln!("error: steady-state frames allocated memory; the frame arena must recycle every buffer");
+        std::process::exit(1);
+    }
+}

@@ -35,6 +35,13 @@ pub struct HarnessOptions {
     pub resolution_divisor: u32,
     /// Seed offset mixed into every scene's deterministic seed.
     pub seed_offset: u64,
+    /// Emit machine-readable JSON instead of (or alongside) the human
+    /// tables, so perf trajectories can be captured mechanically
+    /// (`BENCH_*.json`).
+    pub json: bool,
+    /// Frame/view count override for trajectory-driven binaries; `None`
+    /// keeps each binary's default.
+    pub frames: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -43,6 +50,8 @@ impl Default for HarnessOptions {
             scale: SceneScale::Small,
             resolution_divisor: 4,
             seed_offset: 0,
+            json: false,
+            frames: None,
         }
     }
 }
@@ -86,6 +95,13 @@ impl HarnessOptions {
                     options.seed_offset = args[i + 1].parse().unwrap_or(0);
                     i += 1;
                 }
+                "--json" => {
+                    options.json = true;
+                }
+                "--frames" if i + 1 < args.len() => {
+                    options.frames = args[i + 1].parse().ok().map(|n: usize| n.max(1));
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -120,10 +136,14 @@ impl HarnessOptions {
     /// Human-readable description of the workload configuration, printed
     /// at the top of every experiment's output.
     pub fn describe(&self) -> String {
-        format!(
+        let mut description = format!(
             "scale={:?}, resolution divisor={}, seed offset={}",
             self.scale, self.resolution_divisor, self.seed_offset
-        )
+        );
+        if let Some(frames) = self.frames {
+            description.push_str(&format!(", frames={frames}"));
+        }
+        description
     }
 }
 
@@ -206,10 +226,20 @@ mod tests {
             "8",
             "--seed-offset",
             "3",
+            "--json",
+            "--frames",
+            "7",
         ]);
         assert_eq!(o.scale, SceneScale::Tiny);
         assert_eq!(o.resolution_divisor, 8);
         assert_eq!(o.seed_offset, 3);
+        assert!(o.json);
+        assert_eq!(o.frames, Some(7));
+        assert!(o.describe().contains("frames=7"));
+        let d = HarnessOptions::default();
+        assert!(!d.json);
+        assert_eq!(d.frames, None);
+        assert!(!d.describe().contains("frames="));
     }
 
     #[test]
@@ -225,6 +255,8 @@ mod tests {
             scale: SceneScale::Tiny,
             resolution_divisor: 4,
             seed_offset: 0,
+            json: false,
+            frames: None,
         };
         let cam = o.camera(PaperScene::Train);
         assert_eq!(cam.width(), 1959 / 4);
@@ -237,6 +269,8 @@ mod tests {
             scale: SceneScale::Tiny,
             resolution_divisor: 8,
             seed_offset: 0,
+            json: false,
+            frames: None,
         };
         let scene = o.scene(PaperScene::Playroom);
         let camera = o.camera(PaperScene::Playroom);

@@ -65,25 +65,13 @@ pub fn rasterize_tile(
         for px in x0..x1 {
             counts.pixels += 1;
             let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
-            let mut transmittance = 1.0f32;
-            let mut color = Rgb::BLACK;
-            for &slot in sorted {
-                let splat = &projected[slot as usize];
-                counts.alpha_computations += 1;
-                let alpha = alpha_at(splat, pixel_center);
-                if alpha < ALPHA_CULL_THRESHOLD {
-                    continue;
-                }
-                color += splat.color * (alpha * transmittance);
-                transmittance *= 1.0 - alpha;
-                counts.blend_operations += 1;
-                if transmittance < TRANSMITTANCE_EPSILON {
-                    counts.early_exits += 1;
-                    break;
-                }
-            }
-            color += background * transmittance;
-            pixels.push(color);
+            pixels.push(shade_pixel(
+                sorted,
+                projected,
+                pixel_center,
+                background,
+                &mut counts,
+            ));
         }
     }
 
@@ -93,6 +81,69 @@ pub fn rasterize_tile(
         pixels,
         counts,
     }
+}
+
+/// Rasterizes one tile directly into a framebuffer, charging all work to
+/// `counts`. This is the allocation-free path the sequential rasterizers
+/// use inside a reused [`crate::FrameArena`]; it performs exactly the same
+/// per-pixel operations as [`rasterize_tile`], so the two paths produce
+/// bit-identical pixels and identical counters.
+///
+/// # Panics
+///
+/// Panics when `rect` exceeds the framebuffer bounds.
+pub fn rasterize_tile_into(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    rect: &TileRect,
+    background: Rgb,
+    image: &mut crate::Framebuffer,
+    counts: &mut StageCounts,
+) {
+    let x0 = rect.x0 as u32;
+    let y0 = rect.y0 as u32;
+    let x1 = rect.x1 as u32;
+    let y1 = rect.y1 as u32;
+    for py in y0..y1 {
+        for px in x0..x1 {
+            counts.pixels += 1;
+            let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+            let color = shade_pixel(sorted, projected, pixel_center, background, counts);
+            image.set_pixel(px, py, color);
+        }
+    }
+}
+
+/// Walks a sorted splat list front-to-back for one pixel (Eqs. 1–2 with
+/// the 1/255 α-cull and 10⁻⁴ transmittance early-exit), charging
+/// α-computations, blends and early exits to `counts`. The caller charges
+/// `counts.pixels`.
+#[inline]
+pub fn shade_pixel(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    pixel_center: Vec2,
+    background: Rgb,
+    counts: &mut StageCounts,
+) -> Rgb {
+    let mut transmittance = 1.0f32;
+    let mut color = Rgb::BLACK;
+    for &slot in sorted {
+        let splat = &projected[slot as usize];
+        counts.alpha_computations += 1;
+        let alpha = alpha_at(splat, pixel_center);
+        if alpha < ALPHA_CULL_THRESHOLD {
+            continue;
+        }
+        color += splat.color * (alpha * transmittance);
+        transmittance *= 1.0 - alpha;
+        counts.blend_operations += 1;
+        if transmittance < TRANSMITTANCE_EPSILON {
+            counts.early_exits += 1;
+            break;
+        }
+    }
+    color + background * transmittance
 }
 
 /// Evaluates Eq. 1: the contribution of a splat at a pixel center,
@@ -281,6 +332,49 @@ mod tests {
         assert!((c.r - 1.0).abs() < 1e-3); // red from both
         assert!((c.g - 0.5).abs() < 0.02); // half the white background
         assert!(c.g > 0.0 && c.g < 1.0);
+    }
+
+    #[test]
+    fn in_place_rasterization_matches_the_buffered_kernel() {
+        let projected: Vec<ProjectedGaussian> = (0..6)
+            .map(|i| {
+                splat(
+                    Vec2::new(3.0 + 2.0 * i as f32, 8.0),
+                    4.0,
+                    0.5,
+                    Rgb::new(0.2 * i as f32, 0.5, 1.0 - 0.1 * i as f32),
+                    1.0 + i as f32,
+                    i,
+                )
+            })
+            .collect();
+        let order: Vec<u32> = (0..6).collect();
+        let rect = TileRect::new(0.0, 0.0, 16.0, 16.0);
+        let background = Rgb::splat(0.1);
+
+        let buffered = rasterize_tile(&order, &projected, &rect, background);
+
+        let mut image = crate::Framebuffer::new(16, 16, Rgb::BLACK);
+        let mut counts = StageCounts::new();
+        rasterize_tile_into(
+            &order,
+            &projected,
+            &rect,
+            background,
+            &mut image,
+            &mut counts,
+        );
+
+        assert_eq!(counts, buffered.counts);
+        for y in 0..16u32 {
+            for x in 0..16u32 {
+                assert_eq!(
+                    image.pixel(x, y),
+                    buffered.pixels[(y * 16 + x) as usize],
+                    "pixel ({x},{y})"
+                );
+            }
+        }
     }
 
     #[test]

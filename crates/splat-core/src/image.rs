@@ -78,6 +78,23 @@ impl Framebuffer {
         &self.pixels
     }
 
+    /// Re-initializes the framebuffer to the given dimensions and
+    /// background color, reusing the existing pixel allocation. A session
+    /// rendering a trajectory at a fixed resolution therefore allocates the
+    /// framebuffer exactly once.
+    pub fn reset(&mut self, width: u32, height: u32, background: Rgb) {
+        self.width = width;
+        self.height = height;
+        self.pixels.clear();
+        self.pixels
+            .resize((width as usize) * (height as usize), background);
+    }
+
+    /// Bytes currently reserved by the pixel buffer.
+    pub fn footprint_bytes(&self) -> usize {
+        self.pixels.capacity() * std::mem::size_of::<Rgb>()
+    }
+
     /// Copies a full row of pixels into the framebuffer. Used by the
     /// tile-parallel rasterizer to write back without aliasing.
     pub fn write_region(&mut self, x0: u32, y0: u32, width: u32, rows: &[Rgb]) {
@@ -200,6 +217,17 @@ mod tests {
         let mut large_err = reference.clone();
         large_err.set_pixel(0, 0, Rgb::splat(1.0));
         assert!(small_err.psnr(&reference) > large_err.psnr(&reference));
+    }
+
+    #[test]
+    fn reset_reuses_the_pixel_allocation() {
+        let mut fb = Framebuffer::new(8, 8, Rgb::WHITE);
+        let footprint = fb.footprint_bytes();
+        fb.set_pixel(1, 1, Rgb::BLACK);
+        fb.reset(4, 4, Rgb::splat(0.5));
+        assert_eq!((fb.width(), fb.height()), (4, 4));
+        assert_eq!(fb.pixel(1, 1), Rgb::splat(0.5));
+        assert_eq!(fb.footprint_bytes(), footprint);
     }
 
     #[test]

@@ -7,6 +7,16 @@
 //! machinery that is identical between them so that a new backend is a new
 //! stage set, not a third copy:
 //!
+//! * [`arena`] — [`FrameArena`], the recyclable per-frame scratch (and the
+//!   [`SessionFrame`] output type) the render sessions build on to reach an
+//!   allocation-free steady state over camera trajectories.
+//! * [`csr`] — the flat CSR-style assignment layout (counting prepass →
+//!   prefix-sum offsets → stable scatter) both identification stages build
+//!   their per-tile / per-group lists into.
+//! * [`keysort`] — the order-preserving radix key sort on
+//!   `(depth_bits << 32) | scene_index` that replaced the per-list
+//!   comparison sorts, plus the modeled comparison count that keeps the
+//!   paper's redundancy accounting.
 //! * [`exec`] — the shared execution configuration: worker thread count and
 //!   scheduling model, with the single `with_threads` knob every pipeline
 //!   configuration re-uses through [`HasExecution`].
@@ -23,20 +33,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod blend;
+pub mod csr;
 pub mod exec;
 pub mod image;
+pub mod keysort;
 pub mod rect;
 pub mod schedule;
 pub mod splat;
 pub mod stage;
 pub mod stats;
 
+pub use arena::{FrameArena, SessionFrame};
 pub use blend::{
-    alpha_at, rasterize_tile, TileRaster, ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON,
+    alpha_at, rasterize_tile, rasterize_tile_into, shade_pixel, TileRaster, ALPHA_CULL_THRESHOLD,
+    ALPHA_MAX, TRANSMITTANCE_EPSILON,
 };
+pub use csr::{CsrAssignments, CsrScratch};
 pub use exec::{ExecutionConfig, ExecutionModel, HasExecution};
 pub use image::Framebuffer;
+pub use keysort::{depth_key, modeled_merge_comparisons, splat_key, KeySortRun, KeySortScratch};
 pub use rect::{TileRect, MAHALANOBIS_CUTOFF, SIGMA_EXTENT};
 pub use schedule::TileScheduler;
 pub use splat::ProjectedGaussian;

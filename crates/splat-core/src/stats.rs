@@ -27,8 +27,18 @@ pub struct StageCounts {
     /// Bitmask tile tests performed (GS-TG only: per-Gaussian small-tile
     /// tests inside its groups).
     pub bitmask_tests: u64,
-    /// Pairwise comparison operations spent in depth sorting.
+    /// Modeled pairwise comparison operations of the depth sort (the
+    /// `n·⌈log₂ n⌉` merge-sort bound per sorted list). The actual sort is a
+    /// comparison-free radix key sort, but the paper's Fig. 3/13 redundancy
+    /// accounting is expressed in comparisons, so the modeled count is kept
+    /// alongside the measured key-sort counters below.
     pub sort_comparisons: u64,
+    /// Keys submitted to the depth key sort (entries of lists that actually
+    /// needed sorting, i.e. length ≥ 2).
+    pub sort_keys: u64,
+    /// Radix digit passes executed by the key sort (digit positions on
+    /// which every key of a list agrees are skipped).
+    pub radix_passes: u64,
     /// Per-(tile,Gaussian) bitmask filter operations (GS-TG rasterization
     /// front-end: AND/OR of the 16-bit masks).
     pub bitmask_filter_ops: u64,
@@ -92,6 +102,8 @@ impl Add for StageCounts {
             tile_intersections: self.tile_intersections + rhs.tile_intersections,
             bitmask_tests: self.bitmask_tests + rhs.bitmask_tests,
             sort_comparisons: self.sort_comparisons + rhs.sort_comparisons,
+            sort_keys: self.sort_keys + rhs.sort_keys,
+            radix_passes: self.radix_passes + rhs.radix_passes,
             bitmask_filter_ops: self.bitmask_filter_ops + rhs.bitmask_filter_ops,
             alpha_computations: self.alpha_computations + rhs.alpha_computations,
             blend_operations: self.blend_operations + rhs.blend_operations,
@@ -181,6 +193,8 @@ mod tests {
             tile_intersections: 5,
             bitmask_tests: 6,
             sort_comparisons: 7,
+            sort_keys: 13,
+            radix_passes: 14,
             bitmask_filter_ops: 8,
             alpha_computations: 9,
             blend_operations: 10,
@@ -192,6 +206,8 @@ mod tests {
         assert_eq!(b.input_gaussians, 2);
         assert_eq!(b.pixels, 24);
         assert_eq!(b.sort_comparisons, 14);
+        assert_eq!(b.sort_keys, 26);
+        assert_eq!(b.radix_passes, 28);
     }
 
     #[test]

@@ -22,21 +22,23 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
 
 /// Normalizes every value to a reference: `values[i] / reference`.
 ///
-/// # Panics
-///
-/// Panics when `reference` is zero.
-pub fn normalize_to(values: &[f64], reference: f64) -> Vec<f64> {
-    assert!(reference != 0.0, "normalization reference must be non-zero");
-    values.iter().map(|v| v / reference).collect()
+/// Returns `None` when the reference is zero, NaN or infinite — a baseline
+/// measurement of zero (or a poisoned one) cannot anchor a normalization,
+/// and silently dividing by it would propagate NaN/∞ into every figure.
+pub fn normalize_to(values: &[f64], reference: f64) -> Option<Vec<f64>> {
+    if !reference.is_finite() || reference == 0.0 {
+        return None;
+    }
+    Some(values.iter().map(|v| v / reference).collect())
 }
 
-/// Normalizes every value to the first element of the slice; an empty slice
-/// returns an empty vector.
-pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
-    match values.first() {
-        None => Vec::new(),
-        Some(&first) => normalize_to(values, first),
-    }
+/// Normalizes every value to the first element of the slice. Returns
+/// `None` when the slice is empty or its first element is zero, NaN or
+/// infinite.
+pub fn normalize_to_first(values: &[f64]) -> Option<Vec<f64>> {
+    values
+        .first()
+        .and_then(|&first| normalize_to(values, first))
 }
 
 /// Five-number-style summary of a set of measurements.
@@ -100,14 +102,19 @@ mod tests {
 
     #[test]
     fn normalization_to_first_starts_at_one() {
-        let norm = normalize_to_first(&[4.0, 8.0, 2.0]);
+        let norm = normalize_to_first(&[4.0, 8.0, 2.0]).unwrap();
         assert_eq!(norm, vec![1.0, 2.0, 0.5]);
+        assert_eq!(normalize_to_first(&[]), None);
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
-    fn normalizing_to_zero_panics() {
-        let _ = normalize_to(&[1.0], 0.0);
+    fn invalid_references_are_rejected() {
+        assert_eq!(normalize_to(&[1.0], 0.0), None);
+        assert_eq!(normalize_to(&[1.0], f64::NAN), None);
+        assert_eq!(normalize_to(&[1.0], f64::INFINITY), None);
+        assert_eq!(normalize_to(&[1.0], f64::NEG_INFINITY), None);
+        assert_eq!(normalize_to_first(&[0.0, 2.0]), None);
+        assert_eq!(normalize_to_first(&[f64::NAN, 2.0]), None);
     }
 
     #[test]

@@ -198,6 +198,8 @@ mod tests {
             tile_intersections: 3000,
             bitmask_tests: 2000,
             sort_comparisons: 20_000,
+            sort_keys: 5000,
+            radix_passes: 40,
             bitmask_filter_ops: 4000,
             alpha_computations: 500_000,
             blend_operations: 200_000,

@@ -42,6 +42,7 @@ pub mod config;
 pub mod cost;
 pub mod pipeline;
 pub mod preprocess;
+pub mod session;
 pub mod sort;
 pub mod tiling;
 
@@ -55,8 +56,10 @@ pub use bounds::{GaussianFootprint, TileRect};
 pub use config::{BoundaryMethod, RenderConfig, ALPHA_CULL_THRESHOLD, TRANSMITTANCE_EPSILON};
 pub use cost::{CostModel, StageTimes};
 pub use pipeline::{RenderOutput, Renderer};
-pub use preprocess::{preprocess, ProjectedGaussian};
+pub use preprocess::{preprocess, preprocess_into, ProjectedGaussian};
+pub use session::RenderSession;
 pub use splat_core::{
-    ExecutionConfig, Framebuffer, HasExecution, RenderStats, StageCounts, TileScheduler,
+    ExecutionConfig, FrameArena, Framebuffer, HasExecution, RenderStats, SessionFrame, StageCounts,
+    TileScheduler,
 };
 pub use tiling::{TileAssignments, TileGrid};

@@ -138,6 +138,11 @@ impl Renderer {
         &self.config
     }
 
+    /// The background color pixels start from.
+    pub fn background(&self) -> Rgb {
+        self.background
+    }
+
     /// Runs preprocessing, tile identification and sorting, returning the
     /// intermediate state without rasterizing. Useful for experiments that
     /// only need counts and for the GS-TG equivalence checks.
@@ -217,9 +222,47 @@ impl Renderer {
         assignments: &TileAssignments,
         camera: &Camera,
     ) -> (Framebuffer, StageCounts) {
+        // Start from an empty framebuffer: rasterize_into's reset performs
+        // the one-and-only background fill.
+        let mut image = Framebuffer::new(0, 0, self.background);
+        let counts = self.rasterize_into(projected, assignments, camera, &mut image);
+        (image, counts)
+    }
+
+    /// Rasterizes all tiles of a prepared frame into a recycled
+    /// framebuffer, which is reset to the camera dimensions first.
+    ///
+    /// With one worker thread every tile is shaded directly into `image`
+    /// (no per-tile buffers — the allocation-free session path); with more
+    /// threads the fan-out runs through the shared [`TileScheduler`] as in
+    /// [`Renderer::rasterize`]. Both paths perform identical per-pixel
+    /// operations, so pixels and [`StageCounts`] are bit-identical.
+    pub fn rasterize_into(
+        &self,
+        projected: &[ProjectedGaussian],
+        assignments: &TileAssignments,
+        camera: &Camera,
+        image: &mut Framebuffer,
+    ) -> StageCounts {
         let grid = *assignments.grid();
-        let mut image = Framebuffer::new(camera.width(), camera.height(), self.background);
+        image.reset(camera.width(), camera.height(), self.background);
         let mut counts = StageCounts::new();
+
+        if self.config.threads() <= 1 {
+            for tile in 0..grid.tile_count() {
+                let (tx, ty) = grid.tile_coords(tile);
+                let rect = grid.tile_rect(tx, ty);
+                splat_core::rasterize_tile_into(
+                    assignments.tile(tile),
+                    projected,
+                    &rect,
+                    self.background,
+                    image,
+                    &mut counts,
+                );
+            }
+            return counts;
+        }
 
         let scheduler = TileScheduler::from_exec(self.config.execution());
         let tiles = scheduler.run(grid.tile_count(), |tile| {
@@ -233,7 +276,7 @@ impl Renderer {
             counts += out.counts;
             image.write_region(rect.x0 as u32, rect.y0 as u32, out.width, &out.pixels);
         }
-        (image, counts)
+        counts
     }
 }
 

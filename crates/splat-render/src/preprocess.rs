@@ -35,12 +35,38 @@ pub fn preprocess(
     config: &RenderConfig,
     counts: &mut StageCounts,
 ) -> Vec<ProjectedGaussian> {
-    let mut projected = Vec::with_capacity(scene.len());
+    let mut projected = Vec::new();
+    preprocess_into(scene, camera, config, counts, &mut projected);
+    projected
+}
+
+/// In-place variant of [`preprocess`] used by the render sessions: `out` is
+/// cleared and refilled, retaining its allocation. The capacity is reserved
+/// for the full scene up front, so a reused buffer never grows again.
+pub fn preprocess_into(
+    scene: &Scene,
+    camera: &Camera,
+    config: &RenderConfig,
+    counts: &mut StageCounts,
+    out: &mut Vec<ProjectedGaussian>,
+) {
+    out.clear();
+    out.reserve(scene.len());
+    let projected = out;
     let precision = config.precision;
     for (index, gaussian_ref) in scene.iter().enumerate() {
         counts.input_gaussians += 1;
-        let storage = gaussian_ref.to_precision(precision);
-        let gaussian = &storage;
+        // At full precision the splat is used as stored — cloning it would
+        // allocate (SH coefficients live on the heap) once per splat per
+        // frame, which the allocation-free session contract forbids.
+        let storage;
+        let gaussian = match precision {
+            splat_types::Precision::Full => gaussian_ref,
+            _ => {
+                storage = gaussian_ref.to_precision(precision);
+                &storage
+            }
+        };
 
         // Opacity culling: fully transparent splats can never contribute.
         if gaussian.opacity() < ALPHA_CULL_THRESHOLD {
@@ -55,7 +81,12 @@ pub fn preprocess(
 
         let view = camera.to_view(gaussian.position());
         let depth = -view.z;
-        if depth <= camera.near() {
+        // Non-finite depths (NaN/∞ positions that slip past the frustum
+        // test, whose rejecting comparisons are all false for NaN) are
+        // culled here: every depth reaching the sort stage is finite, which
+        // is what lets the key sort order splats without a NaN branch and
+        // keeps `is_sorted_by_depth` consistent with the sort.
+        if !depth.is_finite() || depth <= camera.near() {
             counts.culled_gaussians += 1;
             continue;
         }
@@ -106,7 +137,6 @@ pub fn preprocess(
             color,
         });
     }
-    projected
 }
 
 #[cfg(test)]
@@ -221,6 +251,86 @@ mod tests {
         assert!((product.at(0, 0) - 1.0).abs() < 1e-3);
         assert!((product.at(1, 1) - 1.0).abs() < 1e-3);
         assert!(product.at(0, 1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn non_finite_depths_are_culled_not_propagated() {
+        // Regression test for the depth comparator satellite. A position
+        // within f32 range but beyond f16 range overflows to ±∞ under
+        // `Precision::Half`; the view transform then yields a NaN depth
+        // (∞·0 in the rotation), which slips past the frustum test (its
+        // rejecting comparisons are all false for NaN) and previously
+        // produced a projected splat with a NaN depth — breaking the total
+        // order the sort and `is_sorted_by_depth` rely on.
+        let scene = Scene::new(
+            "overflow",
+            640,
+            480,
+            vec![
+                splat(Vec3::new(1.0e6, 0.0, 5.0), 0.9, 0.1),
+                splat(Vec3::new(0.0, 0.0, 5.0), 0.9, 0.1),
+            ],
+        );
+        let mut counts = StageCounts::new();
+        let projected = preprocess(
+            &scene,
+            &camera(),
+            &RenderConfig::new(16, BoundaryMethod::Aabb)
+                .with_precision(splat_types::Precision::Half),
+            &mut counts,
+        );
+        assert_eq!(projected.len(), 1);
+        assert_eq!(counts.culled_gaussians, 1);
+        assert!(projected.iter().all(|p| p.depth.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_camera_culls_everything_instead_of_emitting_nan_depths() {
+        // A NaN camera pose (e.g. from broken trajectory math) must not
+        // leak NaN depths into the sort stage.
+        let scene = Scene::new(
+            "t",
+            640,
+            480,
+            vec![splat(Vec3::new(0.0, 0.0, 5.0), 0.9, 0.1)],
+        );
+        let nan_camera = Camera::look_at(
+            Vec3::new(f32::NAN, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 640, 480),
+        );
+        let mut counts = StageCounts::new();
+        let projected = preprocess(
+            &scene,
+            &nan_camera,
+            &RenderConfig::new(16, BoundaryMethod::Aabb),
+            &mut counts,
+        );
+        assert!(projected.is_empty());
+        assert_eq!(counts.culled_gaussians, 1);
+    }
+
+    #[test]
+    fn preprocess_into_reuses_the_buffer_and_matches_the_owned_path() {
+        let gaussians = vec![
+            splat(Vec3::new(0.0, 0.0, 5.0), 0.9, 0.1),
+            splat(Vec3::new(0.5, 0.0, 6.0), 0.9, 0.1),
+        ];
+        let scene = Scene::new("t", 640, 480, gaussians);
+        let config = RenderConfig::new(16, BoundaryMethod::Aabb);
+
+        let mut counts = StageCounts::new();
+        let owned = preprocess(&scene, &camera(), &config, &mut counts);
+
+        let mut reused = Vec::new();
+        for _ in 0..3 {
+            let mut c = StageCounts::new();
+            preprocess_into(&scene, &camera(), &config, &mut c, &mut reused);
+            assert_eq!(reused, owned);
+            assert_eq!(c, counts);
+        }
+        assert!(reused.capacity() >= scene.len());
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Reusable render sessions: allocation-free steady-state rendering.
+//!
+//! [`RenderSession`] wraps a [`Renderer`] together with a
+//! [`splat_core::FrameArena`] and a persistent [`TileAssignments`], so that
+//! rendering frame after frame — e.g. every pose of a
+//! [`splat_scene::CameraTrajectory`] — recycles every buffer: projected
+//! splats, the CSR assignment storage, the key-sort scratch and the
+//! framebuffer. Only the first frame (or a frame that grows past every
+//! previous one) touches the allocator; each rendered frame is bit-exactly
+//! identical to what a fresh [`Renderer::render`] would produce, with
+//! identical [`StageCounts`].
+
+use crate::config::RenderConfig;
+use crate::preprocess::preprocess_into;
+use crate::sort::sort_tiles_with;
+use crate::tiling::{identify_tiles_into, TileAssignments, TileGrid};
+use splat_core::{FrameArena, RenderStats, SessionFrame, StageCounts};
+use splat_scene::Scene;
+use splat_types::Camera;
+use std::time::Instant;
+
+/// A baseline renderer plus the recyclable state to render many frames
+/// without steady-state allocation.
+#[derive(Debug, Clone)]
+pub struct RenderSession {
+    renderer: crate::Renderer,
+    arena: FrameArena<u32>,
+    assignments: TileAssignments,
+}
+
+impl RenderSession {
+    /// Creates a session around a renderer. No buffers are allocated until
+    /// the first frame.
+    pub fn new(renderer: crate::Renderer) -> Self {
+        Self {
+            renderer,
+            arena: FrameArena::new(),
+            assignments: TileAssignments::empty(),
+        }
+    }
+
+    /// Convenience constructor from a configuration.
+    pub fn from_config(config: RenderConfig) -> Self {
+        Self::new(crate::Renderer::new(config))
+    }
+
+    /// The wrapped renderer.
+    pub fn renderer(&self) -> &crate::Renderer {
+        &self.renderer
+    }
+
+    /// Bytes currently reserved by the session's recycled buffers. After a
+    /// warm-up frame this is stable across steady-state frames.
+    pub fn footprint_bytes(&self) -> usize {
+        self.arena.footprint_bytes() + self.assignments.footprint_bytes()
+    }
+
+    /// Renders one view into the session's recycled framebuffer.
+    ///
+    /// The returned frame borrows the framebuffer; copy it out if it must
+    /// survive the next [`RenderSession::render`] call. Pixels and
+    /// [`StageCounts`] are bit-identical to a fresh
+    /// [`Renderer::render`](crate::Renderer::render) of the same view.
+    pub fn render(&mut self, scene: &Scene, camera: &Camera) -> SessionFrame<'_> {
+        let mut counts = StageCounts::new();
+        let config = *self.renderer.config();
+
+        let start = Instant::now();
+        preprocess_into(
+            scene,
+            camera,
+            &config,
+            &mut counts,
+            &mut self.arena.projected,
+        );
+        let grid = TileGrid::new(camera.width(), camera.height(), config.tile_size);
+        identify_tiles_into(
+            &self.arena.projected,
+            grid,
+            config.boundary,
+            &mut counts,
+            &mut self.arena.csr,
+            &mut self.assignments,
+        );
+        let preprocess_time = start.elapsed();
+
+        let start = Instant::now();
+        sort_tiles_with(
+            &mut self.assignments,
+            &self.arena.projected,
+            &mut counts,
+            &mut self.arena.keys,
+        );
+        let sort_time = start.elapsed();
+
+        let start = Instant::now();
+        counts += self.renderer.rasterize_into(
+            &self.arena.projected,
+            &self.assignments,
+            camera,
+            &mut self.arena.framebuffer,
+        );
+        let raster_time = start.elapsed();
+
+        SessionFrame {
+            image: &self.arena.framebuffer,
+            stats: RenderStats {
+                counts,
+                preprocess_time,
+                sort_time,
+                raster_time,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BoundaryMethod;
+    use splat_scene::{CameraTrajectory, PaperScene, SceneScale};
+    use splat_types::{CameraIntrinsics, Vec3};
+
+    fn trajectory(views: usize) -> CameraTrajectory {
+        CameraTrajectory::orbit(
+            CameraIntrinsics::from_fov_y(1.0, 96, 64),
+            Vec3::new(0.0, 0.0, 6.0),
+            4.0,
+            0.5,
+            views,
+        )
+    }
+
+    #[test]
+    fn session_frames_match_fresh_renders_bit_exactly() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 1);
+        let renderer = crate::Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+        let mut session = RenderSession::new(renderer.clone());
+        for camera in trajectory(4).cameras() {
+            let fresh = renderer.render(&scene, &camera);
+            let frame = session.render(&scene, &camera);
+            assert_eq!(frame.image.max_abs_diff(&fresh.image), 0.0);
+            assert_eq!(frame.stats.counts, fresh.stats.counts);
+        }
+    }
+
+    #[test]
+    fn steady_state_footprint_is_stable() {
+        let scene = PaperScene::Train.build(SceneScale::Tiny, 2);
+        let mut session = RenderSession::from_config(RenderConfig::new(16, BoundaryMethod::Aabb));
+        let trajectory = trajectory(3);
+        // Warm-up pass: buffers grow to the trajectory's high-water mark.
+        for camera in trajectory.cameras() {
+            let _ = session.render(&scene, &camera);
+        }
+        let warmed = session.footprint_bytes();
+        assert!(warmed > 0);
+        // Steady-state pass: re-rendering the same trajectory must not
+        // grow any buffer.
+        for camera in trajectory.cameras() {
+            let _ = session.render(&scene, &camera);
+            assert_eq!(session.footprint_bytes(), warmed);
+        }
+    }
+
+    #[test]
+    fn session_supports_changing_resolution() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+        let mut session = RenderSession::from_config(RenderConfig::new(16, BoundaryMethod::Aabb));
+        for (w, h) in [(64, 48), (96, 64), (64, 48)] {
+            let camera = Camera::look_at(
+                Vec3::ZERO,
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::Y,
+                CameraIntrinsics::from_fov_y(1.0, w, h),
+            );
+            let frame = session.render(&scene, &camera);
+            assert_eq!((frame.image.width(), frame.image.height()), (w, h));
+        }
+    }
+}

@@ -2,47 +2,68 @@
 //!
 //! Every tile's splat list is sorted front-to-back by depth. The paper's
 //! central observation is that this work is *duplicated* across tiles:
-//! a splat covering `k` tiles is sorted `k` times. The functions here count
-//! the comparison operations actually performed so experiments can measure
-//! that redundancy directly.
+//! a splat covering `k` tiles is sorted `k` times. Sorting itself is the
+//! shared order-preserving radix key sort on
+//! `(depth_bits << 32) | scene_index` ([`splat_core::keysort`]): the same
+//! ordering the old comparison sort produced (depth, ties by scene index),
+//! so the lossless-equivalence guarantees are unchanged, while
+//! `StageCounts` records both the measured key-sort work (`sort_keys`,
+//! `radix_passes`) and the modeled comparison count the paper's redundancy
+//! figures are expressed in.
 
 use crate::preprocess::ProjectedGaussian;
 use crate::stats::StageCounts;
 use crate::tiling::TileAssignments;
+use splat_core::{splat_key, KeySortRun, KeySortScratch};
 
 /// Sorts one splat list front-to-back by depth, breaking ties by original
 /// scene order so that results are deterministic and identical between the
 /// baseline and the GS-TG pipeline.
 ///
-/// Returns the number of comparisons performed (a merge-sort style
-/// `n·log₂(n)` bound counted explicitly).
+/// Returns the modeled merge-sort comparison count for the list (the key
+/// sort itself performs none); use [`sort_by_depth_with`] to reuse sort
+/// buffers and obtain the full [`KeySortRun`].
 pub fn sort_by_depth(list: &mut [u32], projected: &[ProjectedGaussian]) -> u64 {
-    let mut comparisons = 0u64;
-    // `sort_by` in std is a stable adaptive merge sort; count comparisons
-    // through the comparator to charge exactly the work performed.
-    list.sort_by(|&a, &b| {
-        comparisons += 1;
-        let ga = &projected[a as usize];
-        let gb = &projected[b as usize];
-        ga.depth
-            .partial_cmp(&gb.depth)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(ga.index.cmp(&gb.index))
-    });
-    comparisons
+    let mut scratch = KeySortScratch::new();
+    sort_by_depth_with(list, projected, &mut scratch).modeled_comparisons
 }
 
-/// Sorts every tile's splat list in place, accumulating the comparison
-/// count into `counts.sort_comparisons`.
+/// Sorts one splat list front-to-back through a reusable key-sort scratch.
+/// Depths are finite by the preprocessing contract, so the sign-flip key
+/// mapping reproduces the comparator order exactly.
+pub fn sort_by_depth_with(
+    list: &mut [u32],
+    projected: &[ProjectedGaussian],
+    scratch: &mut KeySortScratch<u32>,
+) -> KeySortRun {
+    scratch.sort_by_key(list, |&slot| {
+        let splat = &projected[slot as usize];
+        splat_key(splat.depth, splat.index)
+    })
+}
+
+/// Sorts every tile's splat list in place, accumulating the modeled
+/// comparison count and the measured key-sort counters into `counts`.
 pub fn sort_tiles(
     assignments: &mut TileAssignments,
     projected: &[ProjectedGaussian],
     counts: &mut StageCounts,
 ) {
+    let mut scratch = KeySortScratch::new();
+    sort_tiles_with(assignments, projected, counts, &mut scratch);
+}
+
+/// In-place variant of [`sort_tiles`] reusing the session's sort scratch.
+pub fn sort_tiles_with(
+    assignments: &mut TileAssignments,
+    projected: &[ProjectedGaussian],
+    counts: &mut StageCounts,
+    scratch: &mut KeySortScratch<u32>,
+) {
     for tile in 0..assignments.grid().tile_count() {
         let list = assignments.tile_mut(tile);
         if list.len() > 1 {
-            counts.sort_comparisons += sort_by_depth(list, projected);
+            sort_by_depth_with(list, projected, scratch).accumulate(counts);
         }
     }
 }
@@ -126,6 +147,48 @@ mod tests {
         for (_, list) in assignments.iter() {
             assert!(is_sorted_by_depth(list, &projected));
         }
+    }
+
+    #[test]
+    fn key_sort_matches_the_comparator_sort_bit_exactly() {
+        // The radix key sort must reproduce the order of the stable
+        // comparison sort it replaced: depth ascending, ties by scene
+        // index. Sweep deterministic pseudo-random depth sets, including
+        // duplicated depths.
+        let mut rng = splat_types::rng::Rng::seed_from_u64(42);
+        for case in 0..50u32 {
+            let len = 2 + (case % 23) as usize;
+            let projected: Vec<ProjectedGaussian> = (0..len)
+                .map(|i| projected_at(i as u32 * 3 + 1, rng.range_f64(0.1, 8.0) as f32))
+                .collect();
+            let mut by_key: Vec<u32> = (0..len as u32).rev().collect();
+            let mut by_comparator = by_key.clone();
+            sort_by_depth(&mut by_key, &projected);
+            by_comparator.sort_by(|&a, &b| {
+                let ga = &projected[a as usize];
+                let gb = &projected[b as usize];
+                ga.depth
+                    .partial_cmp(&gb.depth)
+                    .unwrap()
+                    .then(ga.index.cmp(&gb.index))
+            });
+            assert_eq!(by_key, by_comparator, "case {case}");
+        }
+    }
+
+    #[test]
+    fn sort_tiles_records_key_sort_counters() {
+        let projected: Vec<ProjectedGaussian> =
+            (0..8).map(|i| projected_at(i, (8 - i) as f32)).collect();
+        let grid = TileGrid::new(64, 64, 16);
+        let mut counts = StageCounts::new();
+        let mut assignments = identify_tiles(&projected, grid, BoundaryMethod::Aabb, &mut counts);
+        sort_tiles(&mut assignments, &projected, &mut counts);
+        assert!(counts.sort_keys > 0);
+        assert!(counts.radix_passes > 0);
+        // Every sorted key belongs to a multi-entry list, so the key count
+        // never exceeds the total number of (tile, splat) pairs.
+        assert!(counts.sort_keys <= assignments.total_entries());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::bounds::{GaussianFootprint, TileRect};
 use crate::config::BoundaryMethod;
 use crate::preprocess::ProjectedGaussian;
 use crate::stats::StageCounts;
+use splat_core::{CsrAssignments, CsrScratch};
 use splat_types::Vec2;
 
 /// A regular grid of square tiles covering the output image.
@@ -132,17 +133,29 @@ impl TileGrid {
 
 /// The result of tile identification: for every tile, the list of projected
 /// splat positions (indices into the `ProjectedGaussian` slice) that
-/// influence it, in scene order.
+/// influence it, in scene order. Stored as a flat CSR layout
+/// ([`CsrAssignments`]) so a session can rebuild it in place every frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileAssignments {
     grid: TileGrid,
-    per_tile: Vec<Vec<u32>>,
+    per_tile: CsrAssignments<u32>,
     /// Number of tiles intersected by each projected splat (same indexing
     /// as the `ProjectedGaussian` slice).
     tiles_per_gaussian: Vec<u32>,
 }
 
 impl TileAssignments {
+    /// An empty assignment set (one empty bin over a 1×1 placeholder grid),
+    /// ready to be rebuilt in place by [`identify_tiles_into`].
+    pub fn empty() -> Self {
+        let grid = TileGrid::new(1, 1, 1);
+        Self {
+            grid,
+            per_tile: CsrAssignments::with_bins(grid.tile_count()),
+            tiles_per_gaussian: Vec::new(),
+        }
+    }
+
     /// The grid the assignments refer to.
     #[inline]
     pub fn grid(&self) -> &TileGrid {
@@ -152,27 +165,30 @@ impl TileAssignments {
     /// Splat list of the tile with flattened index `tile`.
     #[inline]
     pub fn tile(&self, tile: usize) -> &[u32] {
-        &self.per_tile[tile]
+        self.per_tile.bin(tile)
     }
 
     /// Mutable access used by the sorting stage.
     #[inline]
-    pub(crate) fn tile_mut(&mut self, tile: usize) -> &mut Vec<u32> {
-        &mut self.per_tile[tile]
+    pub(crate) fn tile_mut(&mut self, tile: usize) -> &mut [u32] {
+        self.per_tile.bin_mut(tile)
     }
 
     /// Iterates over `(tile_index, splat_list)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
-        self.per_tile
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, v.as_slice()))
+        self.per_tile.iter()
     }
 
     /// Total number of (tile, splat) pairs — the number of sort keys the
     /// tile-wise sorting stage has to handle.
     pub fn total_entries(&self) -> u64 {
-        self.per_tile.iter().map(|v| v.len() as u64).sum()
+        self.per_tile.total_entries()
+    }
+
+    /// Bytes currently reserved by the assignment buffers.
+    pub fn footprint_bytes(&self) -> usize {
+        self.per_tile.footprint_bytes()
+            + self.tiles_per_gaussian.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Number of tiles each projected splat intersects.
@@ -216,8 +232,29 @@ pub fn identify_tiles(
     boundary: BoundaryMethod,
     counts: &mut StageCounts,
 ) -> TileAssignments {
-    let mut per_tile: Vec<Vec<u32>> = vec![Vec::new(); grid.tile_count()];
-    let mut tiles_per_gaussian = vec![0u32; projected.len()];
+    let mut scratch = CsrScratch::new();
+    let mut out = TileAssignments::empty();
+    identify_tiles_into(projected, grid, boundary, counts, &mut scratch, &mut out);
+    out
+}
+
+/// In-place variant of [`identify_tiles`] used by the render sessions:
+/// `out` is rebuilt through `scratch`, retaining both allocations across
+/// frames. Every intersection test is performed (and charged) exactly once;
+/// the staged `(tile, slot)` pairs are then counting-sorted into the CSR
+/// layout, preserving scene order within each tile.
+pub fn identify_tiles_into(
+    projected: &[ProjectedGaussian],
+    grid: TileGrid,
+    boundary: BoundaryMethod,
+    counts: &mut StageCounts,
+    scratch: &mut CsrScratch<u32>,
+    out: &mut TileAssignments,
+) {
+    out.grid = grid;
+    out.tiles_per_gaussian.clear();
+    out.tiles_per_gaussian.resize(projected.len(), 0);
+    scratch.clear();
 
     for (slot, splat) in projected.iter().enumerate() {
         let Some(footprint) = GaussianFootprint::from_covariance(splat.mean, splat.cov) else {
@@ -231,18 +268,14 @@ pub fn identify_tiles(
                 let rect = grid.tile_rect_unclipped(tx, ty);
                 if footprint.intersects(&rect, boundary) {
                     counts.tile_intersections += 1;
-                    per_tile[grid.tile_index(tx, ty)].push(slot as u32);
-                    tiles_per_gaussian[slot] += 1;
+                    scratch.stage(grid.tile_index(tx, ty) as u32, slot as u32);
+                    out.tiles_per_gaussian[slot] += 1;
                 }
             }
         }
     }
 
-    TileAssignments {
-        grid,
-        per_tile,
-        tiles_per_gaussian,
-    }
+    scratch.build_into(grid.tile_count(), &mut out.per_tile);
 }
 
 #[cfg(test)]
@@ -404,5 +437,46 @@ mod tests {
     #[should_panic(expected = "tile size must be non-zero")]
     fn zero_tile_size_panics() {
         let _ = TileGrid::new(64, 64, 0);
+    }
+
+    #[test]
+    fn in_place_identification_matches_fresh_and_reuses_capacity() {
+        let grid = TileGrid::new(128, 128, 16);
+        let splats: Vec<ProjectedGaussian> = (0..10)
+            .map(|i| projected(Vec2::new(10.0 + 11.0 * i as f32, 64.0), 5.0))
+            .collect();
+        let mut fresh_counts = StageCounts::new();
+        let fresh = identify_tiles(&splats, grid, BoundaryMethod::Aabb, &mut fresh_counts);
+
+        let mut scratch = CsrScratch::new();
+        let mut reused = TileAssignments::empty();
+        for _ in 0..3 {
+            let mut counts = StageCounts::new();
+            identify_tiles_into(
+                &splats,
+                grid,
+                BoundaryMethod::Aabb,
+                &mut counts,
+                &mut scratch,
+                &mut reused,
+            );
+            assert_eq!(reused, fresh);
+            assert_eq!(counts, fresh_counts);
+        }
+        let footprint = reused.footprint_bytes() + scratch.footprint_bytes();
+        let mut counts = StageCounts::new();
+        identify_tiles_into(
+            &splats,
+            grid,
+            BoundaryMethod::Aabb,
+            &mut counts,
+            &mut scratch,
+            &mut reused,
+        );
+        assert_eq!(
+            reused.footprint_bytes() + scratch.footprint_bytes(),
+            footprint,
+            "steady-state rebuild must not grow the buffers"
+        );
     }
 }

@@ -164,6 +164,54 @@ mod tests {
     }
 
     #[test]
+    fn trajectories_are_pose_deterministic() {
+        // Rebuilding a trajectory from the same parameters must yield
+        // bitwise-identical poses and cameras — sessions and benches rely
+        // on frame N of a replayed trajectory matching frame N exactly.
+        let orbit_a = CameraTrajectory::orbit(intr(), Vec3::new(1.0, 0.5, 5.0), 4.0, 2.0, 9);
+        let orbit_b = CameraTrajectory::orbit(intr(), Vec3::new(1.0, 0.5, 5.0), 4.0, 2.0, 9);
+        assert_eq!(orbit_a, orbit_b);
+        let sweep_a = CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 7);
+        let sweep_b = CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 7);
+        assert_eq!(sweep_a, sweep_b);
+        for i in 0..orbit_a.len() {
+            assert_eq!(
+                orbit_a.camera(i).view_matrix(),
+                orbit_b.camera(i).view_matrix(),
+                "orbit pose {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_view_count_is_clamped_to_a_single_pose() {
+        let sweep = CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 0);
+        assert_eq!(sweep.len(), 1);
+        assert!(!sweep.is_empty());
+        // The single pose equals the explicit one-view trajectory (the
+        // centered pose).
+        assert_eq!(sweep, CameraTrajectory::lateral_sweep(intr(), 5.0, 10.0, 1));
+
+        let orbit = CameraTrajectory::orbit(intr(), Vec3::ZERO, 3.0, 1.0, 0);
+        assert_eq!(orbit.len(), 1);
+        assert_eq!(
+            orbit,
+            CameraTrajectory::orbit(intr(), Vec3::ZERO, 3.0, 1.0, 1)
+        );
+        // Angle 0 of a one-pose orbit: eye at center + (radius, height, 0).
+        let eye = orbit.camera(0).position();
+        assert!((eye.x - 3.0).abs() < 1e-6 && (eye.y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_view_orbit_camera_is_finite() {
+        let orbit = CameraTrajectory::orbit(intr(), Vec3::new(0.0, 0.0, 5.0), 2.0, 0.5, 1);
+        let cam = orbit.camera(0);
+        assert!(cam.position().x.is_finite());
+        assert!(cam.depth_of(Vec3::new(0.0, 0.0, 5.0)) > 0.0);
+    }
+
+    #[test]
     fn cameras_look_toward_target() {
         let traj = CameraTrajectory::lateral_sweep(intr(), 3.0, 12.0, 5);
         for (i, cam) in traj.cameras().enumerate() {

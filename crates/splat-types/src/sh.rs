@@ -51,37 +51,55 @@ const SH_C3: [f32; 7] = [
 /// Returns [`Error::UnsupportedShDegree`] for degrees above
 /// [`SH_DEGREE_MAX`].
 pub fn eval_basis(degree: usize, dir: Vec3) -> Result<Vec<f32>> {
+    let mut basis = [0.0f32; coefficient_count(SH_DEGREE_MAX)];
+    let count = eval_basis_into(degree, dir, &mut basis)?;
+    Ok(basis[..count].to_vec())
+}
+
+/// Allocation-free variant of [`eval_basis`]: writes the basis values into
+/// a stack buffer and returns how many were written
+/// (`coefficient_count(degree)`). This is the path the per-frame color
+/// evaluation uses so that preprocessing never touches the heap.
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedShDegree`] for degrees above
+/// [`SH_DEGREE_MAX`].
+pub fn eval_basis_into(
+    degree: usize,
+    dir: Vec3,
+    basis: &mut [f32; coefficient_count(SH_DEGREE_MAX)],
+) -> Result<usize> {
     if degree > SH_DEGREE_MAX {
         return Err(Error::UnsupportedShDegree { degree });
     }
     let (x, y, z) = (dir.x, dir.y, dir.z);
-    let mut basis = Vec::with_capacity(coefficient_count(degree));
-    basis.push(SH_C0);
+    basis[0] = SH_C0;
     if degree >= 1 {
-        basis.push(-SH_C1 * y);
-        basis.push(SH_C1 * z);
-        basis.push(-SH_C1 * x);
+        basis[1] = -SH_C1 * y;
+        basis[2] = SH_C1 * z;
+        basis[3] = -SH_C1 * x;
     }
     if degree >= 2 {
         let (xx, yy, zz) = (x * x, y * y, z * z);
         let (xy, yz, xz) = (x * y, y * z, x * z);
-        basis.push(SH_C2[0] * xy);
-        basis.push(SH_C2[1] * yz);
-        basis.push(SH_C2[2] * (2.0 * zz - xx - yy));
-        basis.push(SH_C2[3] * xz);
-        basis.push(SH_C2[4] * (xx - yy));
+        basis[4] = SH_C2[0] * xy;
+        basis[5] = SH_C2[1] * yz;
+        basis[6] = SH_C2[2] * (2.0 * zz - xx - yy);
+        basis[7] = SH_C2[3] * xz;
+        basis[8] = SH_C2[4] * (xx - yy);
     }
     if degree >= 3 {
         let (xx, yy, zz) = (x * x, y * y, z * z);
-        basis.push(SH_C3[0] * y * (3.0 * xx - yy));
-        basis.push(SH_C3[1] * x * y * z);
-        basis.push(SH_C3[2] * y * (4.0 * zz - xx - yy));
-        basis.push(SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy));
-        basis.push(SH_C3[4] * x * (4.0 * zz - xx - yy));
-        basis.push(SH_C3[5] * z * (xx - yy));
-        basis.push(SH_C3[6] * x * (xx - 3.0 * yy));
+        basis[9] = SH_C3[0] * y * (3.0 * xx - yy);
+        basis[10] = SH_C3[1] * x * y * z;
+        basis[11] = SH_C3[2] * y * (4.0 * zz - xx - yy);
+        basis[12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy);
+        basis[13] = SH_C3[4] * x * (4.0 * zz - xx - yy);
+        basis[14] = SH_C3[5] * z * (xx - yy);
+        basis[15] = SH_C3[6] * x * (xx - 3.0 * yy);
     }
-    Ok(basis)
+    Ok(coefficient_count(degree))
 }
 
 /// Per-Gaussian RGB spherical-harmonics coefficients.
@@ -150,9 +168,11 @@ impl ShCoefficients {
     /// camera→splat direction), clamped to non-negative values as in the
     /// 3D-GS reference renderer.
     pub fn eval(&self, dir: Vec3) -> Rgb {
-        let basis = eval_basis(self.degree, dir).expect("degree validated at construction");
+        let mut basis = [0.0f32; coefficient_count(SH_DEGREE_MAX)];
+        let count = eval_basis_into(self.degree, dir, &mut basis)
+            .expect("degree validated at construction");
         let mut color = Rgb::new(0.5, 0.5, 0.5);
-        for (w, c) in basis.iter().zip(&self.coeffs) {
+        for (w, c) in basis[..count].iter().zip(&self.coeffs) {
             color += *c * *w;
         }
         Rgb::new(color.r.max(0.0), color.g.max(0.0), color.b.max(0.0))

@@ -63,4 +63,28 @@ fn main() {
         grouped.stats.counts.alpha_computations as f64
             / baseline.stats.counts.alpha_computations.max(1) as f64
     );
+
+    // Steady-state trajectory rendering: a reused session recycles the
+    // framebuffer, the projected splats, the CSR assignments and the sort
+    // scratch, so frames after the first allocate nothing.
+    let trajectory = CameraTrajectory::orbit(
+        CameraIntrinsics::from_fov_y(1.05, 316, 208),
+        Vec3::new(0.0, 0.0, 6.0),
+        4.0,
+        0.8,
+        8,
+    );
+    let mut session = GstgSession::new(GstgRenderer::new(GstgConfig::paper_default()));
+    let mut total = std::time::Duration::ZERO;
+    for index in 0..trajectory.len() {
+        let frame = session.render(&scene, &trajectory.camera(index));
+        total += frame.stats.total_time();
+    }
+    println!();
+    println!(
+        "trajectory session        : {} frames at {:.1} frames/s ({} B arena, reused across frames)",
+        trajectory.len(),
+        trajectory.len() as f64 / total.as_secs_f64().max(1e-9),
+        session.footprint_bytes()
+    );
 }

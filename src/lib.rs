@@ -5,7 +5,9 @@
 //!
 //! * [`types`] — math primitives and the 3D Gaussian data model,
 //! * [`core`] — the shared stage engine (execution config, tile
-//!   scheduler, stage counters, blending kernel) both pipelines build on,
+//!   scheduler, stage counters, blending kernel, CSR assignment storage,
+//!   radix key sort and the frame arenas behind the allocation-free render
+//!   sessions) both pipelines build on,
 //! * [`scene`] — synthetic scenes matching the paper's evaluation set,
 //! * [`render`] — the conventional tile-based 3D-GS pipeline (the
 //!   baseline),
@@ -54,12 +56,14 @@ pub use splat_types as types;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
-    pub use gstg::{verify_lossless, GstgConfig, GstgRenderer};
+    pub use gstg::{verify_lossless, GstgConfig, GstgRenderer, GstgSession};
     pub use splat_accel::{AccelConfig, PipelineVariant, Simulator};
-    pub use splat_core::{ExecutionConfig, ExecutionModel, HasExecution, StageCounts};
+    pub use splat_core::{
+        ExecutionConfig, ExecutionModel, FrameArena, HasExecution, SessionFrame, StageCounts,
+    };
     pub use splat_metrics::{geometric_mean, Table};
-    pub use splat_render::{BoundaryMethod, RenderConfig, Renderer};
-    pub use splat_scene::{PaperScene, Scene, SceneScale};
+    pub use splat_render::{BoundaryMethod, RenderConfig, RenderSession, Renderer};
+    pub use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
     pub use splat_types::{Camera, CameraIntrinsics, Gaussian3d, Quat, Rgb, Vec3};
 }
 
