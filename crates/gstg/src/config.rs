@@ -4,7 +4,7 @@ pub use splat_core::ExecutionModel;
 
 use splat_core::{ExecutionConfig, HasExecution};
 use splat_render::BoundaryMethod;
-use splat_types::Precision;
+use splat_types::{Precision, RenderError};
 use std::fmt;
 
 /// Errors raised when building an invalid [`GstgConfig`].
@@ -68,8 +68,28 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+impl From<ConfigError> for RenderError {
+    fn from(error: ConfigError) -> Self {
+        match error {
+            ConfigError::InvalidTileSize { tile_size } => {
+                RenderError::InvalidTileSize { tile_size }
+            }
+            other => RenderError::InvalidConfiguration {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Configuration of the GS-TG rendering pipeline.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`GstgConfig::default`] / [`GstgConfig::paper_default`],
+/// [`GstgConfig::new`] or [`GstgConfig::builder`], so future knobs can be
+/// added without breaking callers. The fields stay public for reading and
+/// in-place adjustment.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct GstgConfig {
     /// Small tile edge length in pixels (rasterization granularity).
     pub tile_size: u32,
@@ -114,19 +134,68 @@ impl GstgConfig {
         group_boundary: BoundaryMethod,
         bitmask_boundary: BoundaryMethod,
     ) -> Result<Self, ConfigError> {
-        if tile_size < 4 || !tile_size.is_power_of_two() {
-            return Err(ConfigError::InvalidTileSize { tile_size });
+        let config = Self {
+            tile_size,
+            group_size,
+            group_boundary,
+            bitmask_boundary,
+            precision: Precision::Full,
+            exec: ExecutionConfig::sequential(),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Starts a builder from the paper's default configuration
+    /// (16×16 tiles in 64×64 groups, ellipse boundaries).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gstg::GstgConfig;
+    /// use splat_render::BoundaryMethod;
+    ///
+    /// let config = GstgConfig::builder()
+    ///     .tile_size(8)
+    ///     .group_size(32)
+    ///     .boundaries(BoundaryMethod::Obb)
+    ///     .build()?;
+    /// assert_eq!(config.tiles_per_group(), 16);
+    /// # Ok::<(), splat_types::RenderError>(())
+    /// ```
+    pub fn builder() -> GstgConfigBuilder {
+        GstgConfigBuilder {
+            config: Self::paper_default(),
         }
-        if group_size == 0 || group_size % tile_size != 0 {
-            return Err(ConfigError::GroupNotMultipleOfTile {
-                tile_size,
-                group_size,
+    }
+
+    /// Validates the configuration. Because the fields are public, the
+    /// panic-free serving path re-checks configurations through this
+    /// method before rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] describing the first violated
+    /// constraint (invalid tile size, non-multiple or degenerate group
+    /// size, or a group beyond the bitmask capacity).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tile_size < 4 || !self.tile_size.is_power_of_two() {
+            return Err(ConfigError::InvalidTileSize {
+                tile_size: self.tile_size,
             });
         }
-        if group_size == tile_size {
-            return Err(ConfigError::DegenerateGroup { size: tile_size });
+        if self.group_size == 0 || self.group_size % self.tile_size != 0 {
+            return Err(ConfigError::GroupNotMultipleOfTile {
+                tile_size: self.tile_size,
+                group_size: self.group_size,
+            });
         }
-        let per_side = group_size / tile_size;
+        if self.group_size == self.tile_size {
+            return Err(ConfigError::DegenerateGroup {
+                size: self.tile_size,
+            });
+        }
+        let per_side = self.group_size / self.tile_size;
         let tiles_per_group = per_side * per_side;
         if tiles_per_group > Self::MAX_TILES_PER_GROUP {
             return Err(ConfigError::GroupTooLarge {
@@ -134,14 +203,7 @@ impl GstgConfig {
                 max: Self::MAX_TILES_PER_GROUP,
             });
         }
-        Ok(Self {
-            tile_size,
-            group_size,
-            group_boundary,
-            bitmask_boundary,
-            precision: Precision::Full,
-            exec: ExecutionConfig::sequential(),
-        })
+        Ok(())
     }
 
     /// Number of small tiles along one edge of a group.
@@ -171,6 +233,73 @@ impl GstgConfig {
         config.precision = self.precision;
         config.exec = self.exec;
         config
+    }
+}
+
+/// Builder for [`GstgConfig`] (see [`GstgConfig::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GstgConfigBuilder {
+    config: GstgConfig,
+}
+
+impl GstgConfigBuilder {
+    /// Sets the small tile edge length in pixels (rasterization
+    /// granularity).
+    pub fn tile_size(mut self, tile_size: u32) -> Self {
+        self.config.tile_size = tile_size;
+        self
+    }
+
+    /// Sets the group edge length in pixels (sorting granularity).
+    pub fn group_size(mut self, group_size: u32) -> Self {
+        self.config.group_size = group_size;
+        self
+    }
+
+    /// Sets the boundary method used for group identification.
+    pub fn group_boundary(mut self, boundary: BoundaryMethod) -> Self {
+        self.config.group_boundary = boundary;
+        self
+    }
+
+    /// Sets the boundary method used when generating per-tile bitmasks.
+    pub fn bitmask_boundary(mut self, boundary: BoundaryMethod) -> Self {
+        self.config.bitmask_boundary = boundary;
+        self
+    }
+
+    /// Sets both boundary methods at once.
+    pub fn boundaries(self, boundary: BoundaryMethod) -> Self {
+        self.group_boundary(boundary).bitmask_boundary(boundary)
+    }
+
+    /// Sets the storage precision applied to splat parameters.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Sets the worker thread count (clamped to at least one).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
+    /// Replaces the whole execution configuration.
+    pub fn execution(mut self, exec: ExecutionConfig) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Validates and finishes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RenderError`] for the first violated constraint (see
+    /// [`GstgConfig::validate`]).
+    pub fn build(self) -> Result<GstgConfig, RenderError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -276,6 +405,59 @@ mod tests {
             .with_execution(ExecutionModel::AcceleratorOverlapped);
         assert_eq!(c.exec.threads, 4);
         assert_eq!(c.exec.model, ExecutionModel::AcceleratorOverlapped);
+    }
+
+    #[test]
+    fn builder_sets_every_knob_and_validates() {
+        let config = GstgConfig::builder()
+            .tile_size(8)
+            .group_size(64)
+            .group_boundary(BoundaryMethod::Aabb)
+            .bitmask_boundary(BoundaryMethod::Obb)
+            .threads(2)
+            .build()
+            .expect("valid configuration");
+        assert_eq!((config.tile_size, config.group_size), (8, 64));
+        assert_eq!(config.group_boundary, BoundaryMethod::Aabb);
+        assert_eq!(config.bitmask_boundary, BoundaryMethod::Obb);
+        assert_eq!(config.exec.threads, 2);
+        assert_eq!(
+            GstgConfig::builder().build().expect("paper default"),
+            GstgConfig::paper_default()
+        );
+        assert!(matches!(
+            GstgConfig::builder().tile_size(0).build(),
+            Err(splat_types::RenderError::InvalidTileSize { tile_size: 0 })
+        ));
+        assert!(matches!(
+            GstgConfig::builder().group_size(40).build(),
+            Err(splat_types::RenderError::InvalidConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_hand_mutated_configs() {
+        let mut config = GstgConfig::paper_default();
+        config.group_size = 40;
+        assert!(matches!(
+            config.validate(),
+            Err(ConfigError::GroupNotMultipleOfTile { .. })
+        ));
+        assert!(GstgConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn config_errors_convert_to_render_errors() {
+        let err = GstgConfig::new(6, 24, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap_err();
+        assert!(matches!(
+            splat_types::RenderError::from(err),
+            splat_types::RenderError::InvalidTileSize { tile_size: 6 }
+        ));
+        let err = GstgConfig::new(16, 16, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap_err();
+        assert!(matches!(
+            splat_types::RenderError::from(err),
+            splat_types::RenderError::InvalidConfiguration { .. }
+        ));
     }
 
     #[test]

@@ -33,11 +33,20 @@
 //!
 //! let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
 //! let camera = PaperScene::Playroom.default_camera();
-//! let config = GstgConfig::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse)?;
+//! let config = GstgConfig::builder()
+//!     .tile_size(16)
+//!     .group_size(64)
+//!     .boundaries(BoundaryMethod::Ellipse)
+//!     .build()?;
 //! let output = GstgRenderer::new(config).render(&scene, &camera);
 //! assert_eq!(output.image.width(), scene.width());
-//! # Ok::<(), gstg::ConfigError>(())
+//! # Ok::<(), splat_types::RenderError>(())
 //! ```
+//!
+//! Both [`GstgRenderer`] and the allocation-free [`GstgSession`] implement
+//! the backend-agnostic [`splat_core::RenderBackend`] trait, so they can be
+//! served — interchangeably with the baseline pipeline — through the
+//! fallible request/response API and the batch `Engine` in `splat-engine`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,9 +61,11 @@ pub mod session;
 pub mod sort;
 
 pub use bitmask::{GroupLayout, TileBitmask};
-pub use config::{ConfigError, ExecutionModel, GstgConfig};
+pub use config::{ConfigError, ExecutionModel, GstgConfig, GstgConfigBuilder};
 pub use group::{identify_groups, identify_groups_into, GroupAssignments, GroupEntry};
 pub use lossless::{verify_lossless, LosslessReport};
-pub use pipeline::{GstgOutput, GstgRenderer};
+#[allow(deprecated)]
+pub use pipeline::GstgOutput;
+pub use pipeline::{GstgRenderer, RenderOutput};
 pub use session::GstgSession;
-pub use splat_core::HasExecution;
+pub use splat_core::{HasExecution, RenderBackend, RenderRequest};

@@ -12,24 +12,27 @@ use crate::group::{identify_groups, GroupAssignments};
 use crate::raster::rasterize_groups;
 use crate::sort::sort_groups;
 use splat_core::{
-    run_timed, Framebuffer, HasExecution, PipelineStage, ProjectedGaussian, RenderStats,
-    StageCounts,
+    run_timed, Framebuffer, HasExecution, PipelineStage, ProjectedGaussian, RenderBackend,
+    RenderRequest, RenderStats, StageCounts,
 };
 use splat_render::preprocess::preprocess;
 use splat_scene::Scene;
-use splat_types::{Camera, Rgb};
+use splat_types::{Camera, RenderError, Rgb};
 
-/// Everything produced by a GS-TG render of one view.
-#[derive(Debug, Clone)]
-pub struct GstgOutput {
-    /// The rendered image, sized to the camera resolution.
-    pub image: Framebuffer,
-    /// Operation counts and per-stage wall-clock timings. Bitmask
-    /// generation wall-clock is included in `preprocess_time`, matching the
-    /// GPU execution model; the accelerator simulator models the overlapped
-    /// schedule separately.
-    pub stats: RenderStats,
-}
+pub use splat_core::RenderOutput;
+
+/// Deprecated name of the shared render output type.
+///
+/// GS-TG renders used to return their own output struct; since the
+/// `RenderBackend` redesign both pipelines return the same
+/// [`splat_core::RenderOutput`]. Bitmask-generation wall-clock is included
+/// in `stats.preprocess_time`, matching the GPU execution model; the
+/// accelerator simulator models the overlapped schedule separately.
+#[deprecated(
+    since = "0.1.0",
+    note = "both pipelines now return the shared `RenderOutput` (re-exported from `splat_core`)"
+)]
+pub type GstgOutput = RenderOutput;
 
 /// Intermediate GS-TG state exposed for the accelerator simulator and for
 /// equivalence tests.
@@ -181,7 +184,7 @@ impl GstgRenderer {
     }
 
     /// Renders one view of the scene through the GS-TG pipeline.
-    pub fn render(&self, scene: &Scene, camera: &Camera) -> GstgOutput {
+    pub fn render(&self, scene: &Scene, camera: &Camera) -> RenderOutput {
         let mut counts = StageCounts::new();
 
         let ((projected, assignments), preprocess_time) = run_timed(
@@ -210,7 +213,7 @@ impl GstgRenderer {
             &mut counts,
         );
 
-        GstgOutput {
+        RenderOutput {
             image,
             stats: RenderStats {
                 counts,
@@ -219,6 +222,21 @@ impl GstgRenderer {
                 raster_time,
             },
         }
+    }
+}
+
+impl RenderBackend for GstgRenderer {
+    fn name(&self) -> &'static str {
+        "gstg"
+    }
+
+    /// Serves one request through [`GstgRenderer::render`] after validating
+    /// the request and the configuration, so malformed input returns a
+    /// typed error instead of panicking.
+    fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
+        self.config.validate()?;
+        request.validate()?;
+        Ok(GstgRenderer::render(self, request.scene, &request.camera))
     }
 }
 
@@ -322,6 +340,33 @@ mod tests {
             assert!(crate::sort::is_group_sorted(entries, &prepared.projected));
         }
         assert!(prepared.counts.sort_comparisons > 0 || prepared.assignments.total_entries() <= 1);
+    }
+
+    #[test]
+    fn backend_trait_matches_inherent_render() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 2);
+        let camera = small_camera(&scene);
+        let renderer = GstgRenderer::new(GstgConfig::paper_default());
+        let direct = renderer.render(&scene, &camera);
+        let mut backend: Box<dyn RenderBackend> = Box::new(renderer);
+        assert_eq!(backend.name(), "gstg");
+        let served = backend
+            .render(&RenderRequest::new(&scene, camera))
+            .expect("valid request");
+        assert_eq!(served.image.max_abs_diff(&direct.image), 0.0);
+        assert_eq!(served.stats.counts, direct.stats.counts);
+    }
+
+    #[test]
+    fn backend_trait_rejects_invalid_input_without_panicking() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 2);
+        let camera = small_camera(&scene);
+        let mut backend = GstgRenderer::new(GstgConfig::paper_default());
+        let empty = Scene::new("empty", 32, 32, Vec::new());
+        assert!(RenderBackend::render(&mut backend, &RenderRequest::new(&empty, camera)).is_err());
+        let mut bad = GstgRenderer::new(GstgConfig::paper_default());
+        bad.config.group_size = 40;
+        assert!(RenderBackend::render(&mut bad, &RenderRequest::new(&scene, camera)).is_err());
     }
 
     #[test]

@@ -12,10 +12,13 @@ use crate::group::{identify_groups_into, GroupAssignments, GroupEntry};
 use crate::pipeline::GstgRenderer;
 use crate::raster::rasterize_groups_into;
 use crate::sort::sort_groups_with;
-use splat_core::{FrameArena, HasExecution, RenderStats, SessionFrame, StageCounts};
+use splat_core::{
+    FrameArena, HasExecution, RenderBackend, RenderOutput, RenderRequest, RenderStats,
+    SessionFrame, StageCounts,
+};
 use splat_render::preprocess::preprocess_into;
 use splat_scene::Scene;
-use splat_types::Camera;
+use splat_types::{Camera, RenderError};
 use std::time::Instant;
 
 /// A GS-TG renderer plus the recyclable state to render many frames
@@ -122,6 +125,33 @@ impl GstgSession {
     }
 }
 
+impl RenderBackend for GstgSession {
+    fn name(&self) -> &'static str {
+        "gstg-session"
+    }
+
+    /// Serves one request through the session's recycled buffers. The
+    /// returned image is an owned copy of the arena framebuffer (the
+    /// borrow-free contract of the trait); the pipeline scratch itself is
+    /// still recycled across calls.
+    fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
+        self.renderer.config().validate()?;
+        request.validate()?;
+        let stats = {
+            let frame = GstgSession::render(self, request.scene, &request.camera);
+            frame.stats
+        };
+        Ok(RenderOutput {
+            image: self.arena.framebuffer.clone(),
+            stats,
+        })
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        GstgSession::footprint_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +195,22 @@ mod tests {
         for camera in trajectory.cameras() {
             let _ = session.render(&scene, &camera);
             assert_eq!(session.footprint_bytes(), warmed);
+        }
+    }
+
+    #[test]
+    fn session_backend_trait_matches_fresh_renders() {
+        let scene = PaperScene::Truck.build(SceneScale::Tiny, 2);
+        let renderer = GstgRenderer::new(GstgConfig::paper_default());
+        let mut backend: Box<dyn RenderBackend> = Box::new(GstgSession::new(renderer.clone()));
+        assert_eq!(backend.name(), "gstg-session");
+        for camera in trajectory(3).cameras() {
+            let fresh = renderer.render(&scene, &camera);
+            let served = backend
+                .render(&RenderRequest::new(&scene, camera))
+                .expect("valid request");
+            assert_eq!(served.image.max_abs_diff(&fresh.image), 0.0);
+            assert_eq!(served.stats.counts, fresh.stats.counts);
         }
     }
 

@@ -1,5 +1,7 @@
 //! Accelerator hardware configuration (unit counts, clock, memory system).
 
+use splat_types::RenderError;
+
 /// Hardware parameters of the simulated accelerator.
 ///
 /// The defaults ([`AccelConfig::paper`]) follow Section V and Table III of
@@ -8,7 +10,14 @@
 /// group-sorting module and a rasterization module that filters eight
 /// Gaussians per cycle into sixteen rasterization units, all backed by
 /// double-buffered 42 KB SRAM per core and a 51.2 GB/s DRAM channel.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`AccelConfig::default`] / [`AccelConfig::paper`] or
+/// [`AccelConfig::builder`], so future hardware knobs can be added without
+/// breaking callers. The fields stay public for reading and in-place
+/// adjustment.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct AccelConfig {
     /// Clock frequency in Hz.
     pub clock_hz: f64,
@@ -43,7 +52,7 @@ pub struct AccelConfig {
     /// DRAM bandwidth in bytes per second.
     pub dram_bandwidth_bytes_per_s: f64,
     /// DRAM access energy in picojoules per byte (derived from the DRAM
-    /// energy model the paper cites [16]; absolute value only scales the
+    /// energy model the paper cites \[16\]; absolute value only scales the
     /// energy axis, every experiment reports ratios).
     pub dram_pj_per_byte: f64,
 }
@@ -109,6 +118,137 @@ impl AccelConfig {
     pub fn dram_bytes_per_cycle(&self) -> f64 {
         self.dram_bandwidth_bytes_per_s / self.clock_hz
     }
+
+    /// Starts a builder from the paper's configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use splat_accel::AccelConfig;
+    ///
+    /// let config = AccelConfig::builder().cores(8).clock_hz(1.2e9).build()?;
+    /// assert_eq!(config.total_raster_throughput(), 128.0);
+    /// # Ok::<(), splat_types::RenderError>(())
+    /// ```
+    pub fn builder() -> AccelConfigBuilder {
+        AccelConfigBuilder {
+            config: Self::paper(),
+        }
+    }
+
+    /// Validates that every throughput, unit count and memory parameter is
+    /// positive and finite — the invariants the cycle model divides by.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidConfiguration`] naming the first
+    /// offending parameter.
+    pub fn validate(&self) -> Result<(), RenderError> {
+        let positive_finite = [
+            ("clock_hz", self.clock_hz),
+            ("pm_gaussians_per_cycle", self.pm_gaussians_per_cycle),
+            ("pm_tile_tests_per_cycle", self.pm_tile_tests_per_cycle),
+            ("gsm_comparisons_per_cycle", self.gsm_comparisons_per_cycle),
+            ("gsm_keys_per_cycle", self.gsm_keys_per_cycle),
+            ("rm_filter_ops_per_cycle", self.rm_filter_ops_per_cycle),
+            (
+                "dram_bandwidth_bytes_per_s",
+                self.dram_bandwidth_bytes_per_s,
+            ),
+            ("dram_pj_per_byte", self.dram_pj_per_byte),
+        ];
+        for (name, value) in positive_finite {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(RenderError::InvalidConfiguration {
+                    reason: format!(
+                        "accelerator parameter `{name}` must be positive and finite, got {value}"
+                    ),
+                });
+            }
+        }
+        let positive_counts = [
+            (
+                "preprocessing_modules",
+                u64::from(self.preprocessing_modules),
+            ),
+            ("cores", u64::from(self.cores)),
+            ("bgm_tile_check_units", u64::from(self.bgm_tile_check_units)),
+            (
+                "rm_rasterization_units",
+                u64::from(self.rm_rasterization_units),
+            ),
+            ("buffer_bytes_per_core", self.buffer_bytes_per_core),
+        ];
+        for (name, value) in positive_counts {
+            if value == 0 {
+                return Err(RenderError::InvalidConfiguration {
+                    reason: format!("accelerator parameter `{name}` must be non-zero"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AccelConfig`] (see [`AccelConfig::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AccelConfigBuilder {
+    config: AccelConfig,
+}
+
+impl AccelConfigBuilder {
+    /// Sets the clock frequency in Hz.
+    pub fn clock_hz(mut self, clock_hz: f64) -> Self {
+        self.config.clock_hz = clock_hz;
+        self
+    }
+
+    /// Sets the number of parallel preprocessing modules.
+    pub fn preprocessing_modules(mut self, modules: u32) -> Self {
+        self.config.preprocessing_modules = modules;
+        self
+    }
+
+    /// Sets the number of GS-TG cores (each with BGM + GSM + RM).
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Sets the tile-check units per bitmask generation module.
+    pub fn bgm_tile_check_units(mut self, units: u32) -> Self {
+        self.config.bgm_tile_check_units = units;
+        self
+    }
+
+    /// Sets the rasterization units per rasterization module.
+    pub fn rm_rasterization_units(mut self, units: u32) -> Self {
+        self.config.rm_rasterization_units = units;
+        self
+    }
+
+    /// Sets the on-chip buffer capacity per core in bytes.
+    pub fn buffer_bytes_per_core(mut self, bytes: u64) -> Self {
+        self.config.buffer_bytes_per_core = bytes;
+        self
+    }
+
+    /// Sets the DRAM bandwidth in bytes per second.
+    pub fn dram_bandwidth_bytes_per_s(mut self, bandwidth: f64) -> Self {
+        self.config.dram_bandwidth_bytes_per_s = bandwidth;
+        self
+    }
+
+    /// Validates and finishes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidConfiguration`] when a parameter is
+    /// zero, negative or non-finite (see [`AccelConfig::validate`]).
+    pub fn build(self) -> Result<AccelConfig, RenderError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 impl Default for AccelConfig {
@@ -140,6 +280,34 @@ mod tests {
         assert_eq!(c.total_raster_throughput(), 64.0);
         assert_eq!(c.total_sort_comparison_throughput(), 16.0);
         assert_eq!(c.total_filter_throughput(), 32.0);
+    }
+
+    #[test]
+    fn builder_scales_units_and_validates() {
+        let config = AccelConfig::builder()
+            .cores(8)
+            .preprocessing_modules(2)
+            .rm_rasterization_units(32)
+            .dram_bandwidth_bytes_per_s(100e9)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(config.cores, 8);
+        assert_eq!(config.total_raster_throughput(), 256.0);
+        assert!(AccelConfig::builder().cores(0).build().is_err());
+        assert!(AccelConfig::builder().clock_hz(0.0).build().is_err());
+        assert!(AccelConfig::builder().clock_hz(f64::NAN).build().is_err());
+        assert_eq!(
+            AccelConfig::builder().build().expect("paper default"),
+            AccelConfig::paper()
+        );
+    }
+
+    #[test]
+    fn validate_catches_hand_mutated_configs() {
+        let mut config = AccelConfig::paper();
+        config.buffer_bytes_per_core = 0;
+        assert!(config.validate().is_err());
+        assert!(AccelConfig::paper().validate().is_ok());
     }
 
     #[test]

@@ -4,13 +4,17 @@
 //! the 90–120 FPS required by AR/VR devices. This binary simulates several
 //! views along a camera trajectory for each scene on the accelerator model
 //! and reports the average frames per second achieved by the baseline,
-//! GSCore and GS-TG pipelines at the 1 GHz clock.
+//! GSCore and GS-TG pipelines at the 1 GHz clock — plus the *measured*
+//! software frame rate of serving the same views through
+//! `Engine::render_batch` (GS-TG backend, 4 batch workers), so the
+//! simulated accelerator numbers sit next to a real end-to-end throughput.
 
 use splat_accel::{AccelConfig, PipelineVariant, Simulator};
-use splat_bench::HarnessOptions;
+use splat_bench::{run_engine_batch, HarnessOptions};
+use splat_engine::Backend;
 use splat_metrics::{mean, Table};
 use splat_scene::{CameraTrajectory, PaperScene};
-use splat_types::CameraIntrinsics;
+use splat_types::{Camera, CameraIntrinsics};
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -28,6 +32,7 @@ fn main() {
     ];
     let view_count = 3usize;
 
+    let batch_threads = 4usize;
     let mut table = Table::new([
         "scene",
         "views",
@@ -35,6 +40,7 @@ fn main() {
         "GSCore FPS",
         "GS-TG FPS",
         "GS-TG gain",
+        "SW batch FPS",
     ]);
     for scene_id in PaperScene::ALGORITHM_SET {
         let scene = options.scene(scene_id);
@@ -63,11 +69,15 @@ fn main() {
             .iter()
             .map(|v| mean(v).unwrap_or(0.0))
             .collect();
+        // Measured software throughput of the same views, served as one
+        // warmed-up `Engine::render_batch` on the GS-TG backend.
+        let cameras: Vec<Camera> = trajectory.cameras().collect();
+        let batch = run_engine_batch(Backend::Gstg, batch_threads, &scene, &cameras);
         if options.json {
             println!(
                 "{{\"bench\":\"fps_report\",\"scene\":\"{}\",\"scale\":\"{:?}\",\"views\":{},\
                  \"baseline_fps\":{:.3},\"gscore_fps\":{:.3},\"gstg_fps\":{:.3},\
-                 \"gstg_gain\":{:.4}}}",
+                 \"gstg_gain\":{:.4},\"sw_batch_fps\":{:.3},\"sw_batch_threads\":{}}}",
                 scene_id.name(),
                 options.scale,
                 view_count,
@@ -75,6 +85,8 @@ fn main() {
                 fps[1],
                 fps[2],
                 fps[2] / fps[0].max(1e-9),
+                batch.fps(),
+                batch.threads,
             );
             continue;
         }
@@ -85,6 +97,7 @@ fn main() {
             format!("{:.1}", fps[1]),
             format!("{:.1}", fps[2]),
             format!("{:.2}x", fps[2] / fps[0].max(1e-9)),
+            format!("{:.1}", batch.fps()),
         ]);
     }
     if !options.json {

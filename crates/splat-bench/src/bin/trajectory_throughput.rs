@@ -23,7 +23,8 @@
 //! `--seed-offset` knobs of the experiment harness apply.
 
 use gstg::{GstgConfig, GstgSession};
-use splat_bench::HarnessOptions;
+use splat_bench::{run_engine_batch, HarnessOptions};
+use splat_engine::Backend;
 use splat_render::{BoundaryMethod, RenderConfig, RenderSession};
 use splat_scene::{CameraTrajectory, PaperScene};
 use splat_types::{Camera, CameraIntrinsics};
@@ -231,6 +232,40 @@ fn main() {
         }
         if report.steady.bytes > 0 {
             steady_state_clean = false;
+        }
+    }
+
+    // Batch-serving engine throughput over the same trajectory: one
+    // `Engine::render_batch` per backend and thread count, timed in its
+    // warmed-up steady state. The engine's outputs are owned framebuffers
+    // (the product of a batch), so this pass is intentionally outside the
+    // zero-allocation check that guards the session loops above.
+    let cameras: Vec<Camera> = trajectory.cameras().collect();
+    for backend in [Backend::Baseline, Backend::Gstg] {
+        for threads in [1usize, 4] {
+            let run = run_engine_batch(backend, threads, &scene, &cameras);
+            if options.json {
+                println!(
+                    "{}",
+                    run.to_json(
+                        "trajectory_throughput",
+                        &options,
+                        reference.width(),
+                        reference.height()
+                    )
+                );
+            } else {
+                println!(
+                    "engine {:<9} t={} : {:>7.1} frames/s batch ({} frames, {} workers, arena {} B, checksum {:.4})",
+                    run.backend.label(),
+                    run.threads,
+                    run.fps(),
+                    run.frames,
+                    run.threads,
+                    run.footprint_bytes,
+                    run.checksum,
+                );
+            }
         }
     }
 

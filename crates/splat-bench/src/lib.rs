@@ -22,9 +22,12 @@
 #![warn(missing_docs)]
 
 use gstg::{ExecutionModel, GstgConfig};
+use splat_core::RenderRequest;
+use splat_engine::{Backend, Engine};
 use splat_render::{BoundaryMethod, CostModel, RenderConfig, Renderer, StageCounts, StageTimes};
 use splat_scene::{PaperScene, Scene, SceneScale};
 use splat_types::{Camera, CameraIntrinsics, Vec3};
+use std::time::{Duration, Instant};
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +202,105 @@ pub fn run_gstg(scene: &Scene, camera: &Camera, config: GstgConfig) -> PipelineR
     }
 }
 
+/// Result of timing one warmed-up [`Engine::render_batch`] call over a
+/// set of views.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// The engine backend the batch was served with.
+    pub backend: Backend,
+    /// Batch-level worker thread count.
+    pub threads: usize,
+    /// Requests served.
+    pub frames: usize,
+    /// Wall-clock time of the timed (second) batch.
+    pub elapsed: Duration,
+    /// Mean-luminance checksum keeping the rendered pixels observable.
+    pub checksum: f64,
+    /// Bytes reserved by the engine's recycled per-worker sessions after
+    /// the batch.
+    pub footprint_bytes: usize,
+}
+
+impl BatchRun {
+    /// Frames per second of the timed batch.
+    pub fn fps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// One machine-readable JSON object for `BENCH_*.json` capture on the
+    /// shared `--json` path.
+    pub fn to_json(
+        &self,
+        bench: &str,
+        options: &HarnessOptions,
+        width: u32,
+        height: u32,
+    ) -> String {
+        format!(
+            "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-{}\",\"scale\":\"{:?}\",\
+             \"width\":{width},\"height\":{height},\"threads\":{},\"frames\":{},\
+             \"batch_fps\":{:.3},\"batch_ms\":{:.3},\"engine_footprint_bytes\":{},\
+             \"checksum_luminance\":{:.6}}}",
+            self.backend,
+            options.scale,
+            self.threads,
+            self.frames,
+            self.fps(),
+            self.elapsed.as_secs_f64() * 1e3,
+            self.footprint_bytes,
+            self.checksum,
+        )
+    }
+}
+
+/// Serves every view once as a warm-up batch (growing the per-worker
+/// arenas), then times a second batch — the recycled steady state a server
+/// runs in — and returns its timing.
+///
+/// # Panics
+///
+/// Panics if the engine rejects a request: the harness only builds valid
+/// scenes and cameras, so a rejection is a bug worth failing loudly on.
+pub fn run_engine_batch(
+    backend: Backend,
+    threads: usize,
+    scene: &Scene,
+    cameras: &[Camera],
+) -> BatchRun {
+    let engine = Engine::builder()
+        .backend(backend)
+        .threads(threads)
+        .build()
+        .expect("default pipeline configurations are valid");
+    let requests: Vec<RenderRequest<'_>> = cameras
+        .iter()
+        .map(|camera| RenderRequest::new(scene, *camera))
+        .collect();
+    let _ = engine.render_batch(&requests);
+    let start = Instant::now();
+    let results = engine.render_batch(&requests);
+    let elapsed = start.elapsed();
+    let mut checksum = 0.0;
+    for result in &results {
+        let output = result
+            .as_ref()
+            .unwrap_or_else(|error| panic!("engine rejected a harness request: {error}"));
+        checksum += f64::from(output.image.mean_luminance());
+    }
+    BatchRun {
+        backend,
+        threads,
+        frames: results.len(),
+        elapsed,
+        checksum,
+        footprint_bytes: engine.footprint_bytes(),
+    }
+}
+
 /// The tile sizes swept by the motivation figures (Figs. 3, 5, 7, Table I).
 pub const TILE_SIZE_SWEEP: [u32; 4] = [8, 16, 32, 64];
 
@@ -261,6 +363,27 @@ mod tests {
         let cam = o.camera(PaperScene::Train);
         assert_eq!(cam.width(), 1959 / 4);
         assert_eq!(cam.height(), 1090 / 4);
+    }
+
+    #[test]
+    fn engine_batch_harness_reports_fps_and_json() {
+        let o = HarnessOptions {
+            scale: SceneScale::Tiny,
+            resolution_divisor: 16,
+            seed_offset: 0,
+            json: true,
+            frames: None,
+        };
+        let scene = o.scene(PaperScene::Playroom);
+        let camera = o.camera(PaperScene::Playroom);
+        let cameras = vec![camera; 3];
+        let run = run_engine_batch(Backend::Gstg, 2, &scene, &cameras);
+        assert_eq!(run.frames, 3);
+        assert!(run.fps() > 0.0);
+        assert!(run.footprint_bytes > 0);
+        let json = run.to_json("trajectory_throughput", &o, camera.width(), camera.height());
+        assert!(json.contains("\"pipeline\":\"engine-gstg\""));
+        assert!(json.contains("\"threads\":2"));
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub enum ExecutionModel {
 }
 
 /// Execution parameters shared by every pipeline configuration.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`ExecutionConfig::default`], [`ExecutionConfig::sequential`] /
+/// [`ExecutionConfig::parallel`] or [`ExecutionConfig::builder`], so future
+/// execution knobs can be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub struct ExecutionConfig {
     /// Number of worker threads for the rasterization fan-out
     /// (1 = sequential; operation counts are unaffected either way).
@@ -52,6 +58,51 @@ impl ExecutionConfig {
             threads: threads.max(1),
             model: ExecutionModel::default(),
         }
+    }
+
+    /// Starts a builder from the sequential default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use splat_core::{ExecutionConfig, ExecutionModel};
+    ///
+    /// let exec = ExecutionConfig::builder()
+    ///     .threads(4)
+    ///     .model(ExecutionModel::AcceleratorOverlapped)
+    ///     .build();
+    /// assert_eq!(exec.threads, 4);
+    /// ```
+    pub fn builder() -> ExecutionConfigBuilder {
+        ExecutionConfigBuilder {
+            config: Self::sequential(),
+        }
+    }
+}
+
+/// Builder for [`ExecutionConfig`] (see [`ExecutionConfig::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionConfigBuilder {
+    config: ExecutionConfig,
+}
+
+impl ExecutionConfigBuilder {
+    /// Sets the worker thread count (clamped to at least one).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the scheduling model for hideable side work.
+    pub fn model(mut self, model: ExecutionModel) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Finishes the builder. Infallible: every field is clamped to its
+    /// domain as it is set.
+    pub fn build(self) -> ExecutionConfig {
+        self.config
     }
 }
 
@@ -122,6 +173,20 @@ mod tests {
         let exec = ExecutionConfig::sequential().with_threads(4);
         assert_eq!(exec.threads, 4);
         assert_eq!(ExecutionConfig::sequential().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn builder_clamps_and_sets_every_knob() {
+        let exec = ExecutionConfig::builder()
+            .threads(0)
+            .model(ExecutionModel::AcceleratorOverlapped)
+            .build();
+        assert_eq!(exec.threads, 1);
+        assert_eq!(exec.model, ExecutionModel::AcceleratorOverlapped);
+        assert_eq!(
+            ExecutionConfig::builder().build(),
+            ExecutionConfig::default()
+        );
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! machinery that is identical between them so that a new backend is a new
 //! stage set, not a third copy:
 //!
+//! * [`backend`] — the backend-agnostic rendering API: [`RenderRequest`] /
+//!   [`RenderOutput`] with panic-free validation, and the [`RenderBackend`]
+//!   trait every renderer and session implements so callers (most
+//!   importantly the batch-serving `Engine` in `splat-engine`) can swap
+//!   pipelines behind a `dyn RenderBackend`.
 //! * [`arena`] — [`FrameArena`], the recyclable per-frame scratch (and the
 //!   [`SessionFrame`] output type) the render sessions build on to reach an
 //!   allocation-free steady state over camera trajectories.
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod backend;
 pub mod blend;
 pub mod csr;
 pub mod exec;
@@ -46,12 +52,13 @@ pub mod stage;
 pub mod stats;
 
 pub use arena::{FrameArena, SessionFrame};
+pub use backend::{RenderBackend, RenderOutput, RenderRequest};
 pub use blend::{
     alpha_at, rasterize_tile, rasterize_tile_into, shade_pixel, TileRaster, ALPHA_CULL_THRESHOLD,
     ALPHA_MAX, TRANSMITTANCE_EPSILON,
 };
 pub use csr::{CsrAssignments, CsrScratch};
-pub use exec::{ExecutionConfig, ExecutionModel, HasExecution};
+pub use exec::{ExecutionConfig, ExecutionConfigBuilder, ExecutionModel, HasExecution};
 pub use image::Framebuffer;
 pub use keysort::{depth_key, modeled_merge_comparisons, splat_key, KeySortRun, KeySortScratch};
 pub use rect::{TileRect, MAHALANOBIS_CUTOFF, SIGMA_EXTENT};

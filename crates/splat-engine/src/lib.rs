@@ -1,0 +1,545 @@
+//! Batch-serving front door for the GS-TG rendering pipelines.
+//!
+//! [`Engine`] is the one entry point a serving deployment needs: it is
+//! configured once through a builder ([`Engine::builder`]), owns a pool of
+//! recycled per-worker render sessions (so steady-state pipeline scratch
+//! never touches the allocator), and serves [`RenderRequest`]s through the
+//! backend-agnostic [`RenderBackend`] trait — one at a time
+//! ([`Engine::render_one`]) or as a deterministic batch
+//! ([`Engine::render_batch`]) fanned out across worker threads via the same
+//! [`TileScheduler`] machinery the rasterizers use.
+//!
+//! Everything is fallible and panic-free: malformed requests (degenerate
+//! cameras, zero-dimension intrinsics, empty scenes) and malformed
+//! configurations (tile size 0, impossible groupings) come back as typed
+//! [`RenderError`]s, which is what lets a server keep serving the rest of a
+//! batch when one request is bad.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use splat_engine::{Backend, Engine};
+//! use splat_core::RenderRequest;
+//! use splat_scene::{PaperScene, SceneScale};
+//! use splat_types::{Camera, CameraIntrinsics, Vec3};
+//!
+//! let engine = Engine::builder()
+//!     .backend(Backend::Gstg)
+//!     .threads(2)
+//!     .build()?;
+//!
+//! let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+//! let camera = Camera::try_look_at(
+//!     Vec3::ZERO,
+//!     Vec3::new(0.0, 0.0, 1.0),
+//!     Vec3::Y,
+//!     CameraIntrinsics::try_from_fov_y(1.0, 96, 64)?,
+//! )?;
+//!
+//! // One request…
+//! let output = engine.render_one(&RenderRequest::new(&scene, camera))?;
+//! assert_eq!(output.image.width(), 96);
+//!
+//! // …or a whole batch, rendered across the worker pool with outputs in
+//! // request order.
+//! let requests = vec![RenderRequest::new(&scene, camera); 4];
+//! let outputs = engine.render_batch(&requests);
+//! assert_eq!(outputs.len(), 4);
+//! assert!(outputs.iter().all(|r| r.is_ok()));
+//! # Ok::<(), splat_types::RenderError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gstg::{GstgConfig, GstgRenderer, GstgSession};
+use splat_core::{ExecutionConfig, RenderBackend, RenderOutput, RenderRequest, TileScheduler};
+use splat_render::{RenderConfig, RenderSession, Renderer};
+use splat_types::{RenderError, Rgb};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which rendering pipeline an [`Engine`] serves with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Backend {
+    /// The conventional tile-based 3D-GS pipeline (`splat-render`).
+    Baseline,
+    /// The paper's tile-grouping pipeline (`gstg`). The default: it renders
+    /// the identical image with a fraction of the sorting work.
+    #[default]
+    Gstg,
+}
+
+impl Backend {
+    /// Short stable label used in tables and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Baseline => "baseline",
+            Backend::Gstg => "gstg",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builder for [`Engine`] (see [`Engine::builder`]).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    backend: Backend,
+    baseline: RenderConfig,
+    gstg: GstgConfig,
+    background: Rgb,
+    exec: ExecutionConfig,
+    workers: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Selects the pipeline the engine serves with (default:
+    /// [`Backend::Gstg`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the baseline pipeline configuration used when the backend
+    /// is [`Backend::Baseline`].
+    pub fn render_config(mut self, config: RenderConfig) -> Self {
+        self.baseline = config;
+        self
+    }
+
+    /// Replaces the GS-TG pipeline configuration used when the backend is
+    /// [`Backend::Gstg`].
+    pub fn gstg_config(mut self, config: GstgConfig) -> Self {
+        self.gstg = config;
+        self
+    }
+
+    /// Sets the background color frames start from (default black).
+    pub fn background(mut self, background: Rgb) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Sets the number of worker threads [`Engine::render_batch`] fans
+    /// requests out across (clamped to at least one; default sequential).
+    ///
+    /// This is the *batch-level* parallelism knob. Each worker renders its
+    /// requests with the per-frame thread count of the pipeline
+    /// configuration (sequential by default), so total parallelism is
+    /// `threads × config.exec.threads`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.exec.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the size of the recycled session pool (default: the
+    /// batch thread count). More workers than threads lets a later request
+    /// proceed while another worker is still mid-frame; fewer makes no
+    /// sense and is clamped up to the thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Validates the configuration and builds the engine, allocating its
+    /// worker pool (the sessions themselves allocate lazily on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RenderError`] of the selected pipeline configuration
+    /// (e.g. [`RenderError::InvalidTileSize`]) — the engine never holds a
+    /// configuration that could panic mid-render.
+    pub fn build(self) -> Result<Engine, RenderError> {
+        let workers = self
+            .workers
+            .unwrap_or(self.exec.threads)
+            .max(self.exec.threads);
+        let pool: Vec<Mutex<Box<dyn RenderBackend>>> = match self.backend {
+            Backend::Baseline => {
+                self.baseline.validate()?;
+                (0..workers)
+                    .map(|_| {
+                        let renderer =
+                            Renderer::new(self.baseline).with_background(self.background);
+                        Mutex::new(Box::new(RenderSession::new(renderer)) as Box<dyn RenderBackend>)
+                    })
+                    .collect()
+            }
+            Backend::Gstg => {
+                self.gstg.validate()?;
+                (0..workers)
+                    .map(|_| {
+                        let renderer =
+                            GstgRenderer::new(self.gstg).with_background(self.background);
+                        Mutex::new(Box::new(GstgSession::new(renderer)) as Box<dyn RenderBackend>)
+                    })
+                    .collect()
+            }
+        };
+        Ok(Engine {
+            backend: self.backend,
+            exec: self.exec,
+            pool,
+            next_worker: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// A batch-serving render engine over a pool of recycled sessions.
+///
+/// See the [crate-level documentation](crate) for the full story and a
+/// quickstart. Engines are `Sync`: one engine can serve requests from many
+/// threads, and [`Engine::render_batch`] parallelizes internally.
+pub struct Engine {
+    backend: Backend,
+    exec: ExecutionConfig,
+    pool: Vec<Mutex<Box<dyn RenderBackend>>>,
+    /// Rotating start index for worker selection (see
+    /// [`Engine::with_worker`]).
+    next_worker: AtomicUsize,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("backend", &self.backend)
+            .field("threads", &self.exec.threads)
+            .field("workers", &self.pool.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Starts an engine builder with the default configuration: the GS-TG
+    /// backend at the paper's 16+64 grouping, black background, sequential
+    /// batch execution, one worker.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            backend: Backend::default(),
+            baseline: RenderConfig::default(),
+            gstg: GstgConfig::paper_default(),
+            background: Rgb::BLACK,
+            exec: ExecutionConfig::sequential(),
+            workers: None,
+        }
+    }
+
+    /// The pipeline this engine serves with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Worker threads used by [`Engine::render_batch`].
+    pub fn threads(&self) -> usize {
+        self.exec.threads
+    }
+
+    /// Number of pooled recycled sessions.
+    pub fn worker_count(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Renders one request on the first free pooled session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RenderError`] when the request is invalid (see
+    /// [`RenderRequest::validate`]); never panics on malformed input.
+    pub fn render_one(&self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
+        self.with_worker(|backend| backend.render(request))
+    }
+
+    /// Renders a slice of requests across the worker pool, returning one
+    /// result per request **in request order**.
+    ///
+    /// Requests fan out over [`TileScheduler`] with the engine's batch
+    /// thread count; each scheduled request renders on a free pooled
+    /// session. Outputs are deterministic: the scheduler merges results in
+    /// request order and every pooled session renders bit-identically to a
+    /// fresh renderer, so the batch output is independent of the thread
+    /// count and of which worker served which request — the
+    /// `backend_parity` integration test pins this down.
+    ///
+    /// An invalid request yields an `Err` in its slot without affecting
+    /// the rest of the batch.
+    pub fn render_batch(
+        &self,
+        requests: &[RenderRequest<'_>],
+    ) -> Vec<Result<RenderOutput, RenderError>> {
+        let scheduler = TileScheduler::from_exec(&self.exec);
+        scheduler.run(requests.len(), |index| {
+            self.with_worker(|backend| backend.render(&requests[index]))
+        })
+    }
+
+    /// Bytes currently reserved by the pooled sessions' recycled buffers.
+    /// Stable once every worker has served the steady-state working set.
+    pub fn footprint_bytes(&self) -> usize {
+        self.pool
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .footprint_bytes()
+            })
+            .sum()
+    }
+
+    /// Runs `work` on a free pooled session.
+    ///
+    /// Slot selection rotates through the pool (an atomic counter picks the
+    /// starting slot), so concurrent callers spread across workers instead
+    /// of all hammering slot 0. One fast scan looks for an uncontended
+    /// session; if every slot is busy — more concurrent callers than pooled
+    /// workers — the caller parks on its rotated slot's lock rather than
+    /// spinning. The pool is sized to at least the batch thread count, so
+    /// under `render_batch` the scan always finds a free worker.
+    ///
+    /// A poisoned slot (a caller panicked mid-render, e.g. through a bug in
+    /// a pipeline stage) is recovered rather than skipped: sessions rebuild
+    /// every buffer from scratch each frame, so a worker abandoned
+    /// mid-frame serves the next request correctly — and the engine never
+    /// wedges on a lock nobody will unpoison.
+    fn with_worker<R>(&self, work: impl FnOnce(&mut dyn RenderBackend) -> R) -> R {
+        use std::sync::TryLockError;
+        let start = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        let workers = self.pool.len();
+        for offset in 0..workers {
+            match self.pool[(start + offset) % workers].try_lock() {
+                Ok(mut guard) => return work(guard.as_mut()),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return work(poisoned.into_inner().as_mut())
+                }
+                Err(TryLockError::WouldBlock) => {}
+            }
+        }
+        match self.pool[start % workers].lock() {
+            Ok(mut guard) => work(guard.as_mut()),
+            Err(poisoned) => work(poisoned.into_inner().as_mut()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_core::HasExecution as _;
+    use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
+    use splat_types::{Camera, CameraIntrinsics, Vec3};
+
+    fn trajectory(views: usize) -> CameraTrajectory {
+        CameraTrajectory::orbit(
+            CameraIntrinsics::from_fov_y(1.0, 96, 64),
+            Vec3::new(0.0, 0.0, 6.0),
+            4.0,
+            0.6,
+            views,
+        )
+    }
+
+    #[test]
+    fn builder_defaults_are_gstg_sequential() {
+        let engine = Engine::builder().build().expect("default engine");
+        assert_eq!(engine.backend(), Backend::Gstg);
+        assert_eq!(engine.threads(), 1);
+        assert_eq!(engine.worker_count(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let mut bad = GstgConfig::paper_default();
+        bad.tile_size = 0;
+        assert!(matches!(
+            Engine::builder().gstg_config(bad).build(),
+            Err(RenderError::InvalidTileSize { tile_size: 0 })
+        ));
+        let mut bad = RenderConfig::default();
+        bad.tile_size = 7;
+        assert!(Engine::builder()
+            .backend(Backend::Baseline)
+            .render_config(bad)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn pool_is_at_least_the_thread_count() {
+        let engine = Engine::builder().threads(4).workers(2).build().unwrap();
+        assert_eq!(engine.worker_count(), 4);
+        let engine = Engine::builder().threads(2).workers(6).build().unwrap();
+        assert_eq!(engine.worker_count(), 6);
+    }
+
+    #[test]
+    fn render_one_matches_a_fresh_renderer_for_both_backends() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 1);
+        let camera = trajectory(1).camera(0);
+        let request = RenderRequest::new(&scene, camera);
+
+        let engine = Engine::builder()
+            .backend(Backend::Baseline)
+            .build()
+            .unwrap();
+        let fresh = Renderer::new(RenderConfig::default()).render(&scene, &camera);
+        let served = engine.render_one(&request).expect("valid request");
+        assert_eq!(served.image.max_abs_diff(&fresh.image), 0.0);
+        assert_eq!(served.stats.counts, fresh.stats.counts);
+
+        let engine = Engine::builder().backend(Backend::Gstg).build().unwrap();
+        let fresh = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        let served = engine.render_one(&request).expect("valid request");
+        assert_eq!(served.image.max_abs_diff(&fresh.image), 0.0);
+        assert_eq!(served.stats.counts, fresh.stats.counts);
+    }
+
+    #[test]
+    fn batch_outputs_are_in_request_order_and_thread_invariant() {
+        let scene = PaperScene::Train.build(SceneScale::Tiny, 3);
+        let cameras: Vec<Camera> = trajectory(6).cameras().collect();
+        let requests: Vec<RenderRequest<'_>> = cameras
+            .iter()
+            .map(|camera| RenderRequest::new(&scene, *camera))
+            .collect();
+
+        let sequential = Engine::builder().threads(1).build().unwrap();
+        let parallel = Engine::builder().threads(4).build().unwrap();
+        let a = sequential.render_batch(&requests);
+        let b = parallel.render_batch(&requests);
+        assert_eq!(a.len(), requests.len());
+        for (index, (left, right)) in a.iter().zip(&b).enumerate() {
+            let left = left.as_ref().expect("valid request");
+            let right = right.as_ref().expect("valid request");
+            assert_eq!(
+                left.image.max_abs_diff(&right.image),
+                0.0,
+                "request {index} diverged across thread counts"
+            );
+            assert_eq!(left.stats.counts, right.stats.counts);
+            // And each slot matches its own camera, i.e. order was kept.
+            let fresh =
+                GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &cameras[index]);
+            assert_eq!(left.image.max_abs_diff(&fresh.image), 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_requests_fail_their_slot_only() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+        let empty = Scene::new("empty", 64, 48, Vec::new());
+        let camera = trajectory(1).camera(0);
+        let degenerate = Camera::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 5.0, 0.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 64, 48),
+        );
+        let requests = [
+            RenderRequest::new(&scene, camera),
+            RenderRequest::new(&empty, camera),
+            RenderRequest::new(&scene, degenerate),
+            RenderRequest::new(&scene, camera),
+        ];
+        let engine = Engine::builder().threads(2).build().unwrap();
+        let results = engine.render_batch(&requests);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err(), &RenderError::EmptyScene);
+        assert!(matches!(
+            results[2].as_ref().unwrap_err(),
+            RenderError::DegenerateCamera { .. }
+        ));
+        assert!(results[3].is_ok());
+        let first = results[0].as_ref().unwrap();
+        let last = results[3].as_ref().unwrap();
+        assert_eq!(first.image.max_abs_diff(&last.image), 0.0);
+    }
+
+    #[test]
+    fn poisoned_worker_is_recovered_not_wedged() {
+        let engine = Engine::builder().build().expect("default engine");
+        assert_eq!(engine.worker_count(), 1);
+        // Poison the only pool slot by panicking while holding its lock —
+        // the stand-in for a panic inside a pipeline stage.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.pool[0].lock().unwrap();
+            panic!("mid-render panic");
+        }));
+        assert!(result.is_err());
+        assert!(engine.pool[0].is_poisoned());
+        // The engine recovers the worker instead of spinning forever, and
+        // the recovered session still renders correctly (every buffer is
+        // rebuilt per frame).
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 1);
+        let camera = trajectory(1).camera(0);
+        let served = engine
+            .render_one(&RenderRequest::new(&scene, camera))
+            .expect("poisoned worker must serve again");
+        let fresh = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        assert_eq!(served.image.max_abs_diff(&fresh.image), 0.0);
+        assert!(engine.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn more_concurrent_callers_than_workers_all_get_served() {
+        // A 1-worker engine under 4 concurrent render_one callers: the
+        // overflow callers park on the busy lock (no deadlock, no spin
+        // requirement) and every call succeeds with identical pixels.
+        let engine = Engine::builder().build().expect("default engine");
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 4);
+        let camera = trajectory(1).camera(0);
+        let reference = engine
+            .render_one(&RenderRequest::new(&scene, camera))
+            .expect("valid request");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        engine
+                            .render_one(&RenderRequest::new(&scene, camera))
+                            .expect("valid request")
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let output = handle.join().expect("no panic");
+                assert_eq!(output.image.max_abs_diff(&reference.image), 0.0);
+                assert_eq!(output.stats.counts, reference.stats.counts);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::builder().threads(4).build().unwrap();
+        assert!(engine.render_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn engine_respects_per_frame_thread_configs() {
+        // Batch threads × per-frame threads: outputs must stay bit-exact.
+        let scene = PaperScene::Drjohnson.build(SceneScale::Tiny, 1);
+        let cameras: Vec<Camera> = trajectory(3).cameras().collect();
+        let requests: Vec<RenderRequest<'_>> = cameras
+            .iter()
+            .map(|camera| RenderRequest::new(&scene, *camera))
+            .collect();
+        let reference = Engine::builder().build().unwrap().render_batch(&requests);
+        let nested = Engine::builder()
+            .threads(2)
+            .gstg_config(GstgConfig::paper_default().with_threads(2))
+            .build()
+            .unwrap()
+            .render_batch(&requests);
+        for (a, b) in reference.iter().zip(&nested) {
+            let a = a.as_ref().unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(a.image.max_abs_diff(&b.image), 0.0);
+            assert_eq!(a.stats.counts, b.stats.counts);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 pub use splat_core::{ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON};
 
 use splat_core::{ExecutionConfig, HasExecution};
-use splat_types::Precision;
+use splat_types::{Precision, RenderError};
 
 /// How the screen-space footprint of a splat is tested against tiles during
 /// tile/group identification (Fig. 2 of the paper).
@@ -58,7 +58,14 @@ impl std::fmt::Display for BoundaryMethod {
 }
 
 /// Full configuration of the baseline rendering pipeline.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`RenderConfig::default`], [`RenderConfig::new`] /
+/// [`RenderConfig::try_new`] or [`RenderConfig::builder`], so future knobs
+/// can be added without breaking callers. The fields stay public for
+/// reading and in-place adjustment.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct RenderConfig {
     /// Square tile edge length in pixels (8, 16, 32 or 64 in the paper's
     /// sweeps; any power of two ≥ 4 is accepted).
@@ -99,25 +106,110 @@ impl RenderConfig {
     ///
     /// # Errors
     ///
-    /// Returns an error message when `tile_size` is not a power of two or
-    /// is smaller than 4 pixels.
-    pub fn try_new(tile_size: u32, boundary: BoundaryMethod) -> Result<Self, String> {
-        if tile_size < 4 || !tile_size.is_power_of_two() {
-            return Err(format!(
-                "tile size must be a power of two >= 4, got {tile_size}"
-            ));
-        }
-        Ok(Self {
+    /// Returns [`RenderError::InvalidTileSize`] when `tile_size` is not a
+    /// power of two or is smaller than 4 pixels.
+    pub fn try_new(tile_size: u32, boundary: BoundaryMethod) -> Result<Self, RenderError> {
+        let config = Self {
             tile_size,
             boundary,
             ..Self::default()
-        })
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Starts a builder from the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use splat_render::{BoundaryMethod, RenderConfig};
+    ///
+    /// let config = RenderConfig::builder()
+    ///     .tile_size(32)
+    ///     .boundary(BoundaryMethod::Ellipse)
+    ///     .threads(4)
+    ///     .build()?;
+    /// assert_eq!(config.tile_size, 32);
+    /// # Ok::<(), splat_types::RenderError>(())
+    /// ```
+    pub fn builder() -> RenderConfigBuilder {
+        RenderConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Validates the configuration. Because the fields are public (and the
+    /// convenience constructors panic rather than return errors), the
+    /// panic-free serving path re-checks configurations through this
+    /// method before rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidTileSize`] when the tile size is not a
+    /// power of two of at least 4 pixels (zero included).
+    pub fn validate(&self) -> Result<(), RenderError> {
+        if self.tile_size < 4 || !self.tile_size.is_power_of_two() {
+            return Err(RenderError::InvalidTileSize {
+                tile_size: self.tile_size,
+            });
+        }
+        Ok(())
     }
 
     /// Returns a copy with the storage precision replaced.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
         self
+    }
+}
+
+/// Builder for [`RenderConfig`] (see [`RenderConfig::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RenderConfigBuilder {
+    config: RenderConfig,
+}
+
+impl RenderConfigBuilder {
+    /// Sets the square tile edge length in pixels.
+    pub fn tile_size(mut self, tile_size: u32) -> Self {
+        self.config.tile_size = tile_size;
+        self
+    }
+
+    /// Sets the boundary method used in tile identification.
+    pub fn boundary(mut self, boundary: BoundaryMethod) -> Self {
+        self.config.boundary = boundary;
+        self
+    }
+
+    /// Sets the storage precision applied to splat parameters.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Sets the worker thread count (clamped to at least one).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
+    /// Replaces the whole execution configuration.
+    pub fn execution(mut self, exec: ExecutionConfig) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Validates and finishes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidTileSize`] when the tile size is
+    /// invalid (see [`RenderConfig::validate`]).
+    pub fn build(self) -> Result<RenderConfig, RenderError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -151,10 +243,47 @@ mod tests {
 
     #[test]
     fn try_new_rejects_bad_tile_sizes() {
-        assert!(RenderConfig::try_new(0, BoundaryMethod::Aabb).is_err());
-        assert!(RenderConfig::try_new(3, BoundaryMethod::Aabb).is_err());
-        assert!(RenderConfig::try_new(20, BoundaryMethod::Aabb).is_err());
-        assert!(RenderConfig::try_new(2, BoundaryMethod::Aabb).is_err());
+        for tile_size in [0, 3, 20, 2] {
+            assert_eq!(
+                RenderConfig::try_new(tile_size, BoundaryMethod::Aabb),
+                Err(RenderError::InvalidTileSize { tile_size })
+            );
+        }
+    }
+
+    #[test]
+    fn builder_sets_every_knob_and_validates() {
+        let config = RenderConfig::builder()
+            .tile_size(32)
+            .boundary(BoundaryMethod::Obb)
+            .precision(Precision::Half)
+            .threads(3)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(config.tile_size, 32);
+        assert_eq!(config.boundary, BoundaryMethod::Obb);
+        assert_eq!(config.precision, Precision::Half);
+        assert_eq!(config.exec.threads, 3);
+        assert_eq!(
+            RenderConfig::builder().tile_size(0).build(),
+            Err(RenderError::InvalidTileSize { tile_size: 0 })
+        );
+        assert_eq!(
+            RenderConfig::builder().build().expect("default is valid"),
+            RenderConfig::default()
+        );
+    }
+
+    #[test]
+    fn validate_catches_hand_mutated_configs() {
+        // Public-field mutation can bypass the constructors; validate()
+        // is what the serving path relies on to catch it.
+        let mut config = RenderConfig::new(16, BoundaryMethod::Aabb);
+        config.tile_size = 0;
+        assert_eq!(
+            config.validate(),
+            Err(RenderError::InvalidTileSize { tile_size: 0 })
+        );
     }
 
     #[test]

@@ -28,11 +28,20 @@
 //!
 //! let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
 //! let camera = PaperScene::Playroom.default_camera();
-//! let config = RenderConfig::new(16, BoundaryMethod::Ellipse);
+//! let config = RenderConfig::builder()
+//!     .tile_size(16)
+//!     .boundary(BoundaryMethod::Ellipse)
+//!     .build()?;
 //! let renderer = Renderer::new(config);
 //! let output = renderer.render(&scene, &camera);
 //! assert_eq!(output.image.width(), scene.width());
+//! # Ok::<(), splat_types::RenderError>(())
 //! ```
+//!
+//! Both [`Renderer`] and the allocation-free [`RenderSession`] also
+//! implement the backend-agnostic [`splat_core::RenderBackend`] trait, the
+//! fallible request/response API (`RenderRequest` → `RenderOutput` /
+//! `RenderError`) the batch-serving `Engine` in `splat-engine` builds on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,13 +62,15 @@ pub use splat_core::image;
 pub use splat_core::stats;
 
 pub use bounds::{GaussianFootprint, TileRect};
-pub use config::{BoundaryMethod, RenderConfig, ALPHA_CULL_THRESHOLD, TRANSMITTANCE_EPSILON};
+pub use config::{
+    BoundaryMethod, RenderConfig, RenderConfigBuilder, ALPHA_CULL_THRESHOLD, TRANSMITTANCE_EPSILON,
+};
 pub use cost::{CostModel, StageTimes};
 pub use pipeline::{RenderOutput, Renderer};
 pub use preprocess::{preprocess, preprocess_into, ProjectedGaussian};
 pub use session::RenderSession;
 pub use splat_core::{
-    ExecutionConfig, FrameArena, Framebuffer, HasExecution, RenderStats, SessionFrame, StageCounts,
-    TileScheduler,
+    ExecutionConfig, FrameArena, Framebuffer, HasExecution, RenderBackend, RenderRequest,
+    RenderStats, SessionFrame, StageCounts, TileScheduler,
 };
 pub use tiling::{TileAssignments, TileGrid};

@@ -13,20 +13,13 @@ use crate::preprocess::{preprocess, ProjectedGaussian};
 use crate::sort::sort_tiles;
 use crate::tiling::{identify_tiles, TileAssignments, TileGrid};
 use splat_core::{
-    rasterize_tile, run_timed, Framebuffer, HasExecution, PipelineStage, RenderStats, StageCounts,
-    TileScheduler,
+    rasterize_tile, run_timed, Framebuffer, HasExecution, PipelineStage, RenderBackend,
+    RenderRequest, RenderStats, StageCounts, TileScheduler,
 };
 use splat_scene::Scene;
-use splat_types::{Camera, Rgb};
+use splat_types::{Camera, RenderError, Rgb};
 
-/// Everything produced by rendering one view.
-#[derive(Debug, Clone)]
-pub struct RenderOutput {
-    /// The rendered image, sized to the camera resolution.
-    pub image: Framebuffer,
-    /// Operation counts and per-stage wall-clock timings.
-    pub stats: RenderStats,
-}
+pub use splat_core::RenderOutput;
 
 /// Intermediate pipeline state exposed for pipelines (such as GS-TG) that
 /// reuse the baseline preprocessing and for equivalence tests.
@@ -280,6 +273,21 @@ impl Renderer {
     }
 }
 
+impl RenderBackend for Renderer {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    /// Serves one request through [`Renderer::render`] after validating the
+    /// request and the configuration, so malformed input returns a typed
+    /// error instead of panicking.
+    fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
+        self.config.validate()?;
+        request.validate()?;
+        Ok(Renderer::render(self, request.scene, &request.camera))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +428,32 @@ mod tests {
             frame.counts.visible_gaussians,
             out.stats.counts.visible_gaussians
         );
+    }
+
+    #[test]
+    fn backend_trait_matches_inherent_render() {
+        let (scene, camera) = small_scene();
+        let renderer = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+        let direct = renderer.render(&scene, &camera);
+        let mut backend: Box<dyn RenderBackend> = Box::new(renderer);
+        assert_eq!(backend.name(), "baseline");
+        let served = backend
+            .render(&RenderRequest::new(&scene, camera))
+            .expect("valid request");
+        assert_eq!(served.image.max_abs_diff(&direct.image), 0.0);
+        assert_eq!(served.stats.counts, direct.stats.counts);
+    }
+
+    #[test]
+    fn backend_trait_rejects_invalid_input_without_panicking() {
+        let (scene, camera) = small_scene();
+        let mut backend = Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb));
+        let empty = Scene::new("empty", 32, 32, Vec::new());
+        assert!(RenderBackend::render(&mut backend, &RenderRequest::new(&empty, camera)).is_err());
+        // A config hand-mutated into an invalid state is caught too.
+        let mut bad = Renderer::new(RenderConfig::default());
+        bad.config.tile_size = 0;
+        assert!(RenderBackend::render(&mut bad, &RenderRequest::new(&scene, camera)).is_err());
     }
 
     #[test]

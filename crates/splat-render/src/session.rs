@@ -1,22 +1,25 @@
 //! Reusable render sessions: allocation-free steady-state rendering.
 //!
-//! [`RenderSession`] wraps a [`Renderer`] together with a
+//! [`RenderSession`] wraps a [`Renderer`](crate::Renderer) together with a
 //! [`splat_core::FrameArena`] and a persistent [`TileAssignments`], so that
 //! rendering frame after frame — e.g. every pose of a
 //! [`splat_scene::CameraTrajectory`] — recycles every buffer: projected
 //! splats, the CSR assignment storage, the key-sort scratch and the
 //! framebuffer. Only the first frame (or a frame that grows past every
 //! previous one) touches the allocator; each rendered frame is bit-exactly
-//! identical to what a fresh [`Renderer::render`] would produce, with
+//! identical to what a fresh [`Renderer::render`](crate::Renderer::render)
+//! would produce, with
 //! identical [`StageCounts`].
 
 use crate::config::RenderConfig;
 use crate::preprocess::preprocess_into;
 use crate::sort::sort_tiles_with;
 use crate::tiling::{identify_tiles_into, TileAssignments, TileGrid};
-use splat_core::{FrameArena, RenderStats, SessionFrame, StageCounts};
+use splat_core::{
+    FrameArena, RenderBackend, RenderOutput, RenderRequest, RenderStats, SessionFrame, StageCounts,
+};
 use splat_scene::Scene;
-use splat_types::Camera;
+use splat_types::{Camera, RenderError};
 use std::time::Instant;
 
 /// A baseline renderer plus the recyclable state to render many frames
@@ -114,6 +117,33 @@ impl RenderSession {
     }
 }
 
+impl RenderBackend for RenderSession {
+    fn name(&self) -> &'static str {
+        "baseline-session"
+    }
+
+    /// Serves one request through the session's recycled buffers. The
+    /// returned image is an owned copy of the arena framebuffer (the
+    /// borrow-free contract of the trait); the pipeline scratch itself is
+    /// still recycled across calls.
+    fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
+        self.renderer.config().validate()?;
+        request.validate()?;
+        let stats = {
+            let frame = RenderSession::render(self, request.scene, &request.camera);
+            frame.stats
+        };
+        Ok(RenderOutput {
+            image: self.arena.framebuffer.clone(),
+            stats,
+        })
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        RenderSession::footprint_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +191,35 @@ mod tests {
             let _ = session.render(&scene, &camera);
             assert_eq!(session.footprint_bytes(), warmed);
         }
+    }
+
+    #[test]
+    fn session_backend_trait_matches_fresh_renders() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 3);
+        let renderer = crate::Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+        let mut backend: Box<dyn RenderBackend> = Box::new(RenderSession::new(renderer.clone()));
+        assert_eq!(backend.name(), "baseline-session");
+        for camera in trajectory(3).cameras() {
+            let fresh = renderer.render(&scene, &camera);
+            let served = backend
+                .render(&RenderRequest::new(&scene, camera))
+                .expect("valid request");
+            assert_eq!(served.image.max_abs_diff(&fresh.image), 0.0);
+            assert_eq!(served.stats.counts, fresh.stats.counts);
+        }
+    }
+
+    #[test]
+    fn session_backend_trait_rejects_empty_scenes() {
+        let mut session = RenderSession::from_config(RenderConfig::default());
+        let empty = Scene::new("empty", 32, 32, Vec::new());
+        let camera = Camera::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 32, 32),
+        );
+        assert!(RenderBackend::render(&mut session, &RenderRequest::new(&empty, camera)).is_err());
     }
 
     #[test]

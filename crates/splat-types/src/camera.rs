@@ -6,7 +6,7 @@
 //! coordinates and compute the local affine (Jacobian) approximation for
 //! EWA covariance projection.
 
-use crate::error::{Error, Result};
+use crate::error::{Error, RenderError, Result};
 use crate::mat::{Mat3, Mat4};
 use crate::vec::{Vec2, Vec3};
 
@@ -40,6 +40,31 @@ impl CameraIntrinsics {
             width,
             height,
         }
+    }
+
+    /// Fallible variant of [`CameraIntrinsics::from_fov_y`] rejecting
+    /// zero-dimension resolutions and non-positive fields of view instead
+    /// of producing intrinsics that fail [`CameraIntrinsics::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidResolution`] when either dimension is
+    /// zero and [`RenderError::InvalidIntrinsics`] when `fov_y` is not a
+    /// usable positive angle.
+    pub fn try_from_fov_y(
+        fov_y: f32,
+        width: u32,
+        height: u32,
+    ) -> std::result::Result<Self, RenderError> {
+        if width == 0 || height == 0 {
+            return Err(RenderError::InvalidResolution { width, height });
+        }
+        if !(fov_y.is_finite() && fov_y > 0.0 && fov_y < std::f32::consts::PI) {
+            return Err(RenderError::InvalidIntrinsics {
+                reason: format!("vertical fov {fov_y} must be a finite angle in (0, pi)"),
+            });
+        }
+        Ok(Self::from_fov_y(fov_y, width, height))
     }
 
     /// Horizontal field of view in radians.
@@ -101,6 +126,12 @@ impl Camera {
 
     /// Creates a camera looking from `eye` toward `target` with the given
     /// `up` vector and intrinsics.
+    ///
+    /// The pose is not validated: a degenerate orientation (`eye == target`
+    /// or `up` parallel to the view direction) produces a non-finite view
+    /// matrix that [`Camera::validate`] — and every fallible render entry
+    /// point built on it — rejects. Use [`Camera::try_look_at`] to surface
+    /// the problem at construction time instead.
     pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, intrinsics: CameraIntrinsics) -> Self {
         Self {
             intrinsics,
@@ -109,6 +140,83 @@ impl Camera {
             near: Self::DEFAULT_NEAR,
             far: Self::DEFAULT_FAR,
         }
+    }
+
+    /// Fallible variant of [`Camera::look_at`] that rejects degenerate
+    /// poses instead of silently producing a NaN view matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::DegenerateCamera`] when `eye == target`, the
+    /// `up` vector is (numerically) parallel to the viewing direction or
+    /// any input is non-finite, and propagates intrinsics validation
+    /// failures ([`RenderError::InvalidResolution`] /
+    /// [`RenderError::InvalidIntrinsics`]).
+    pub fn try_look_at(
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        intrinsics: CameraIntrinsics,
+    ) -> std::result::Result<Self, RenderError> {
+        let camera = Self::look_at(eye, target, up, intrinsics);
+        camera.validate()?;
+        Ok(camera)
+    }
+
+    /// Validates that the camera can serve a render request: finite view
+    /// matrix (i.e. a non-degenerate pose), usable intrinsics and an
+    /// ordered positive clip range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RenderError`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> std::result::Result<(), RenderError> {
+        if self.intrinsics.width == 0 || self.intrinsics.height == 0 {
+            return Err(RenderError::InvalidResolution {
+                width: self.intrinsics.width,
+                height: self.intrinsics.height,
+            });
+        }
+        if let Err(error) = self.intrinsics.validate() {
+            return Err(RenderError::InvalidIntrinsics {
+                reason: error.to_string(),
+            });
+        }
+        for row in 0..4 {
+            for col in 0..4 {
+                if !self.view.at(row, col).is_finite() {
+                    return Err(RenderError::DegenerateCamera {
+                        reason: "view matrix is non-finite".to_owned(),
+                    });
+                }
+            }
+        }
+        // A degenerate look_at (up parallel to the view direction, or
+        // eye == target) zeroes one or more basis vectors, collapsing the
+        // rotation block; a usable pose has |det| == 1.
+        let det = self.view_rotation().determinant();
+        if !det.is_finite() || (det.abs() - 1.0).abs() > 1e-3 {
+            return Err(RenderError::DegenerateCamera {
+                reason: format!(
+                    "view rotation is not orthonormal (determinant {det}); the up vector \
+                     is parallel to the view direction or eye coincides with the target"
+                ),
+            });
+        }
+        if !(self.near.is_finite()
+            && self.far.is_finite()
+            && 0.0 < self.near
+            && self.near < self.far)
+        {
+            return Err(RenderError::DegenerateCamera {
+                reason: format!(
+                    "clip range [{}, {}] must be finite, positive and ordered",
+                    self.near, self.far
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Overrides the near/far clipping range.
@@ -345,6 +453,70 @@ mod tests {
                 assert!((rt_r.at(i, j) - expected).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn try_look_at_rejects_degenerate_poses() {
+        let intr = CameraIntrinsics::from_fov_y(1.0, 640, 480);
+        // Up parallel to the viewing direction.
+        let parallel_up = Camera::try_look_at(Vec3::ZERO, Vec3::new(0.0, 5.0, 0.0), Vec3::Y, intr);
+        assert!(matches!(
+            parallel_up,
+            Err(RenderError::DegenerateCamera { .. })
+        ));
+        // Eye coincides with the target.
+        let zero_dir = Camera::try_look_at(Vec3::ONE, Vec3::ONE, Vec3::Y, intr);
+        assert!(matches!(
+            zero_dir,
+            Err(RenderError::DegenerateCamera { .. })
+        ));
+        // A healthy pose round-trips.
+        let ok = Camera::try_look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0), Vec3::Y, intr)
+            .expect("valid pose");
+        assert_eq!(ok.width(), 640);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn try_look_at_rejects_zero_resolution() {
+        let mut intr = CameraIntrinsics::from_fov_y(1.0, 640, 480);
+        intr.height = 0;
+        let result = Camera::try_look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0), Vec3::Y, intr);
+        assert_eq!(
+            result.unwrap_err(),
+            RenderError::InvalidResolution {
+                width: 640,
+                height: 0
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_clip_ranges() {
+        let intr = CameraIntrinsics::from_fov_y(1.0, 320, 240);
+        let camera = Camera::look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0), Vec3::Y, intr)
+            .with_clip_range(10.0, 1.0);
+        assert!(matches!(
+            camera.validate(),
+            Err(RenderError::DegenerateCamera { .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_fov_y_rejects_bad_inputs() {
+        assert!(matches!(
+            CameraIntrinsics::try_from_fov_y(1.0, 0, 480),
+            Err(RenderError::InvalidResolution { .. })
+        ));
+        assert!(matches!(
+            CameraIntrinsics::try_from_fov_y(0.0, 640, 480),
+            Err(RenderError::InvalidIntrinsics { .. })
+        ));
+        assert!(matches!(
+            CameraIntrinsics::try_from_fov_y(f32::NAN, 640, 480),
+            Err(RenderError::InvalidIntrinsics { .. })
+        ));
+        assert!(CameraIntrinsics::try_from_fov_y(1.0, 640, 480).is_ok());
     }
 
     #[test]

@@ -57,6 +57,89 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Errors raised while validating or serving a render request.
+///
+/// The rendering front door ([`RenderRequest::validate`] in `splat-core` and
+/// the `Engine` built on it) is panic-free: every malformed input that used
+/// to panic or assert somewhere inside a pipeline — a degenerate camera, a
+/// zero-dimension resolution, an empty scene, a tile size of zero — is
+/// reported as one of these variants instead.
+///
+/// [`RenderRequest::validate`]: https://docs.rs/splat-core
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RenderError {
+    /// The camera pose cannot be used for rendering: the view matrix is
+    /// non-finite (e.g. a `look_at` with an up vector parallel to the view
+    /// direction, or `eye == target`), or a clip plane is malformed.
+    DegenerateCamera {
+        /// Human-readable description of what is degenerate.
+        reason: String,
+    },
+    /// The camera intrinsics describe a zero-area image.
+    InvalidResolution {
+        /// Image width in pixels.
+        width: u32,
+        /// Image height in pixels.
+        height: u32,
+    },
+    /// A focal length or principal point is outside its domain.
+    InvalidIntrinsics {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The scene contains no Gaussians, so there is nothing to render.
+    EmptyScene,
+    /// The tile size is not a power of two of at least 4 pixels
+    /// (zero included).
+    InvalidTileSize {
+        /// The offending tile size.
+        tile_size: u32,
+    },
+    /// Any other configuration violation (group sizing, accelerator
+    /// parameters, worker counts, …).
+    InvalidConfiguration {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::DegenerateCamera { reason } => {
+                write!(f, "degenerate camera: {reason}")
+            }
+            RenderError::InvalidResolution { width, height } => {
+                write!(
+                    f,
+                    "invalid resolution {width}x{height}: both dimensions must be non-zero"
+                )
+            }
+            RenderError::InvalidIntrinsics { reason } => {
+                write!(f, "invalid camera intrinsics: {reason}")
+            }
+            RenderError::EmptyScene => write!(f, "scene contains no gaussians"),
+            RenderError::InvalidTileSize { tile_size } => {
+                write!(f, "tile size {tile_size} must be a power of two >= 4")
+            }
+            RenderError::InvalidConfiguration { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+impl From<Error> for RenderError {
+    fn from(error: Error) -> Self {
+        RenderError::InvalidConfiguration {
+            reason: error.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +165,34 @@ mod tests {
             reason: "must be in [0, 1]".to_owned(),
         };
         assert!(e.to_string().contains("opacity"));
+    }
+
+    #[test]
+    fn render_error_is_send_sync_and_displays_specifics() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RenderError>();
+        let e = RenderError::InvalidResolution {
+            width: 0,
+            height: 480,
+        };
+        assert!(e.to_string().contains("0x480"));
+        let e = RenderError::InvalidTileSize { tile_size: 0 };
+        assert!(e.to_string().contains("tile size 0"));
+        assert!(RenderError::EmptyScene.to_string().contains("no gaussians"));
+    }
+
+    #[test]
+    fn math_errors_convert_to_configuration_errors() {
+        let e: RenderError = Error::InvalidParameter {
+            name: "focal",
+            reason: "must be positive".to_owned(),
+        }
+        .into();
+        match e {
+            RenderError::InvalidConfiguration { reason } => {
+                assert!(reason.contains("focal"));
+            }
+            other => panic!("unexpected conversion {other:?}"),
+        }
     }
 }

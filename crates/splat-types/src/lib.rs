@@ -48,7 +48,7 @@ pub mod vec;
 
 pub use camera::{Camera, CameraIntrinsics};
 pub use color::Rgb;
-pub use error::{Error, Result};
+pub use error::{Error, RenderError, Result};
 pub use gaussian::{Gaussian3d, Gaussian3dBuilder, Precision};
 pub use half::F16;
 pub use mat::{Mat2, Mat3, Mat4};

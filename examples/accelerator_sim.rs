@@ -9,8 +9,8 @@
 
 use gs_tg::prelude::*;
 
-fn main() {
-    let sim = Simulator::new(AccelConfig::paper());
+fn main() -> Result<(), RenderError> {
+    let sim = Simulator::new(AccelConfig::builder().build()?);
     let variants = [
         PipelineVariant::baseline_paper(),
         PipelineVariant::gscore_paper(),
@@ -33,12 +33,12 @@ fn main() {
         let scene = scene_id.build(SceneScale::Tiny, 0);
         // Reduced-resolution proxy view keeps the example under a minute;
         // the figure binaries in `splat-bench` sweep larger settings.
-        let camera = Camera::look_at(
+        let camera = Camera::try_look_at(
             Vec3::ZERO,
             Vec3::new(0.0, 0.0, 1.0),
             Vec3::Y,
-            CameraIntrinsics::from_fov_y(0.9, scene.width() / 4, scene.height() / 4),
-        );
+            CameraIntrinsics::try_from_fov_y(0.9, scene.width() / 4, scene.height() / 4)?,
+        )?;
         let reports: Vec<_> = variants
             .iter()
             .map(|v| sim.simulate(&scene, &camera, v))
@@ -65,4 +65,5 @@ fn main() {
         geometric_mean(&gstg_speedups).unwrap_or(0.0)
     );
     println!("(run `cargo run --release -p splat-bench --bin fig14_accel_speedup` for the full six-scene sweep)");
+    Ok(())
 }

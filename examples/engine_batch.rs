@@ -1,0 +1,118 @@
+//! Batch serving walkthrough: build an `Engine` once, then serve a whole
+//! trajectory of render requests as one deterministic batch fanned out
+//! across worker threads — the "many users, one budget" serving shape the
+//! production deployment targets.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example engine_batch
+//! ```
+
+use gs_tg::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), RenderError> {
+    let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
+    let trajectory = CameraTrajectory::orbit(
+        CameraIntrinsics::try_from_fov_y(1.0, 316, 208)?,
+        Vec3::new(0.0, 0.0, 6.0),
+        4.5,
+        1.0,
+        12,
+    );
+    let cameras: Vec<Camera> = trajectory.cameras().collect();
+    let requests: Vec<RenderRequest<'_>> = cameras
+        .iter()
+        .map(|camera| RenderRequest::new(&scene, *camera))
+        .collect();
+    println!(
+        "scene `{}`: {} Gaussians, batch of {} requests at {}x{}",
+        scene.name(),
+        scene.len(),
+        requests.len(),
+        cameras[0].width(),
+        cameras[0].height()
+    );
+    println!();
+
+    // The same batch served sequentially and across four workers: the
+    // engine recycles one session per worker and merges outputs in request
+    // order, so the images are bit-identical regardless of thread count.
+    let mut reference: Option<Vec<RenderOutput>> = None;
+    for threads in [1usize, 4] {
+        let engine = Engine::builder()
+            .backend(Backend::Gstg)
+            .threads(threads)
+            .build()?;
+        // Warm-up batch grows the per-worker arenas; the timed batch is
+        // the recycled steady state a server would run in.
+        let _ = engine.render_batch(&requests);
+        let start = Instant::now();
+        let results = engine.render_batch(&requests);
+        let elapsed = start.elapsed();
+
+        let outputs: Result<Vec<RenderOutput>, RenderError> = results.into_iter().collect();
+        let outputs = outputs?;
+        let alpha_total: u64 = outputs
+            .iter()
+            .map(|o| o.stats.counts.alpha_computations)
+            .sum();
+        println!(
+            "threads={threads}: {:.1} frames/s ({} frames in {:.1} ms, {} workers, {alpha_total} alpha computations, arena {} B)",
+            outputs.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            outputs.len(),
+            elapsed.as_secs_f64() * 1e3,
+            engine.worker_count(),
+            engine.footprint_bytes(),
+        );
+
+        match &reference {
+            None => reference = Some(outputs),
+            Some(reference) => {
+                let max_diff = reference
+                    .iter()
+                    .zip(&outputs)
+                    .map(|(a, b)| a.image.max_abs_diff(&b.image))
+                    .fold(0.0f32, f32::max);
+                println!(
+                    "max pixel difference vs threads=1: {max_diff} (deterministic: {})",
+                    max_diff == 0.0
+                );
+                // CI smoke-runs this example: enforce the documented
+                // bit-exactness guarantee, don't just report it.
+                if max_diff != 0.0 {
+                    eprintln!("error: render_batch diverged across thread counts");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // A bad request fails its slot with a typed error; the rest of the
+    // batch renders normally.
+    let degenerate = Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 5.0, 0.0), // up parallel to the view direction
+        Vec3::Y,
+        CameraIntrinsics::try_from_fov_y(1.0, 316, 208)?,
+    );
+    let mut mixed = requests.clone();
+    mixed[1] = RenderRequest::new(&scene, degenerate);
+    let engine = Engine::builder().threads(2).build()?;
+    let results = engine.render_batch(&mixed);
+    let served = results.iter().filter(|r| r.is_ok()).count();
+    println!();
+    println!(
+        "mixed batch: {served}/{} served, slot 1 = {}",
+        mixed.len(),
+        match &results[1] {
+            Err(error) => format!("Err({error})"),
+            Ok(_) => "Ok (unexpected)".to_owned(),
+        }
+    );
+    if served != mixed.len() - 1 || results[1].is_ok() {
+        eprintln!("error: exactly the degenerate slot should have failed");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -10,15 +10,15 @@
 use gs_tg::prelude::*;
 use gs_tg::tile_grouping::verify_lossless;
 
-fn main() {
+fn main() -> Result<(), RenderError> {
     let camera_for = |scene: &Scene| {
         let aspect = scene.width() as f32 / scene.height() as f32;
         let height = 360u32;
-        Camera::look_at(
+        Camera::try_look_at(
             Vec3::ZERO,
             Vec3::new(0.0, 0.0, 1.0),
             Vec3::Y,
-            CameraIntrinsics::from_fov_y(0.95, (height as f32 * aspect) as u32, height),
+            CameraIntrinsics::try_from_fov_y(0.95, (height as f32 * aspect) as u32, height)?,
         )
     };
 
@@ -40,11 +40,14 @@ fn main() {
 
     for scene_id in [PaperScene::Train, PaperScene::Drjohnson] {
         let scene = scene_id.build(SceneScale::Tiny, 7);
-        let camera = camera_for(&scene);
+        let camera = camera_for(&scene)?;
         for &(tile, group) in &combos {
             for &boundary in &boundaries {
-                let config = GstgConfig::new(tile, group, boundary, boundary)
-                    .expect("valid sweep configuration");
+                let config = GstgConfig::builder()
+                    .tile_size(tile)
+                    .group_size(group)
+                    .boundaries(boundary)
+                    .build()?;
                 let report = verify_lossless(&scene, &camera, config);
                 all_lossless &= report.identical;
                 table.add_row([
@@ -62,4 +65,5 @@ fn main() {
     println!(
         "every configuration lossless: {all_lossless} (GS-TG never changes a pixel, it only removes redundant sorting)"
     );
+    Ok(())
 }

@@ -1,6 +1,6 @@
 //! Quickstart: render one view of a synthetic scene with the conventional
-//! 3D-GS pipeline and with GS-TG, and verify that tile grouping is
-//! lossless while removing redundant sorting.
+//! 3D-GS pipeline and with GS-TG through the batch-serving [`Engine`], and
+//! verify that tile grouping is lossless while removing redundant sorting.
 //!
 //! Run with:
 //! ```text
@@ -9,16 +9,16 @@
 
 use gs_tg::prelude::*;
 
-fn main() {
+fn main() -> Result<(), RenderError> {
     // A small synthetic stand-in for the Deep Blending "playroom" scene,
     // rendered at a reduced resolution so the example finishes in seconds.
     let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
-    let camera = Camera::look_at(
+    let camera = Camera::try_look_at(
         Vec3::ZERO,
         Vec3::new(0.0, 0.0, 1.0),
         Vec3::Y,
-        CameraIntrinsics::from_fov_y(1.05, 632, 416),
-    );
+        CameraIntrinsics::try_from_fov_y(1.05, 632, 416)?,
+    )?;
     println!(
         "scene `{}`: {} Gaussians, rendering at {}x{}",
         scene.name(),
@@ -27,9 +27,21 @@ fn main() {
         camera.height()
     );
 
+    // One validated request, served by two engines that differ only in the
+    // backend they were built with.
+    let request = RenderRequest::new(&scene, camera);
+
     // Conventional pipeline: 16x16 tiles, exact ellipse boundary.
-    let baseline =
-        Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &camera);
+    let baseline_engine = Engine::builder()
+        .backend(Backend::Baseline)
+        .render_config(
+            RenderConfig::builder()
+                .tile_size(16)
+                .boundary(BoundaryMethod::Ellipse)
+                .build()?,
+        )
+        .build()?;
+    let baseline = baseline_engine.render_one(&request)?;
     println!(
         "baseline : {:>9} sort keys, {:>9} sort comparisons, {:>10} alpha computations, {:.1} ms wall clock",
         baseline.stats.counts.tile_intersections,
@@ -40,7 +52,8 @@ fn main() {
 
     // GS-TG: sorting shared across 64x64 groups, rasterization still 16x16
     // thanks to the per-Gaussian tile bitmasks.
-    let grouped = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+    let gstg_engine = Engine::builder().backend(Backend::Gstg).build()?;
+    let grouped = gstg_engine.render_one(&request)?;
     println!(
         "GS-TG    : {:>9} sort keys, {:>9} sort comparisons, {:>10} alpha computations, {:.1} ms wall clock",
         grouped.stats.counts.tile_intersections,
@@ -64,11 +77,19 @@ fn main() {
             / baseline.stats.counts.alpha_computations.max(1) as f64
     );
 
+    // Malformed requests are rejected with a typed error instead of a
+    // panic — the serving path stays up.
+    let empty = Scene::new("empty", 64, 48, Vec::new());
+    match gstg_engine.render_one(&RenderRequest::new(&empty, camera)) {
+        Err(RenderError::EmptyScene) => println!("empty-scene request       : Err(EmptyScene)"),
+        other => println!("unexpected result for the empty scene: {other:?}"),
+    }
+
     // Steady-state trajectory rendering: a reused session recycles the
     // framebuffer, the projected splats, the CSR assignments and the sort
     // scratch, so frames after the first allocate nothing.
     let trajectory = CameraTrajectory::orbit(
-        CameraIntrinsics::from_fov_y(1.05, 316, 208),
+        CameraIntrinsics::try_from_fov_y(1.05, 316, 208)?,
         Vec3::new(0.0, 0.0, 6.0),
         4.0,
         0.8,
@@ -87,4 +108,5 @@ fn main() {
         trajectory.len() as f64 / total.as_secs_f64().max(1e-9),
         session.footprint_bytes()
     );
+    Ok(())
 }

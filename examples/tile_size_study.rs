@@ -11,14 +11,14 @@
 use gs_tg::prelude::*;
 use gs_tg::render::CostModel;
 
-fn main() {
+fn main() -> Result<(), RenderError> {
     let scene = PaperScene::Truck.build(SceneScale::Tiny, 0);
-    let camera = Camera::look_at(
+    let camera = Camera::try_look_at(
         Vec3::ZERO,
         Vec3::new(0.0, 0.0, 1.0),
         Vec3::Y,
-        CameraIntrinsics::from_fov_y(0.9, 640, 360),
-    );
+        CameraIntrinsics::try_from_fov_y(0.9, 640, 360)?,
+    )?;
     let model = CostModel::new();
 
     let mut table = Table::new([
@@ -31,7 +31,11 @@ fn main() {
 
     let mut baseline_16_total = None;
     for tile in [8u32, 16, 32, 64] {
-        let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Ellipse));
+        let config = RenderConfig::builder()
+            .tile_size(tile)
+            .boundary(BoundaryMethod::Ellipse)
+            .build()?;
+        let renderer = Renderer::new(config);
         let prepared = renderer.prepare(&scene, &camera);
         let (_, raster_counts) =
             renderer.rasterize(&prepared.projected, &prepared.assignments, &camera);
@@ -49,7 +53,10 @@ fn main() {
         ]);
     }
 
-    let gstg_out = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+    let gstg_out = Engine::builder()
+        .backend(Backend::Gstg)
+        .build()?
+        .render_one(&RenderRequest::new(&scene, camera))?;
     let gstg_times = model.gstg_overlapped_times(
         &gstg_out.stats.counts,
         BoundaryMethod::Ellipse,
@@ -72,4 +79,5 @@ fn main() {
     }
     println!("Reading: sort keys fall and gaussians/pixel rises as tiles grow; GS-TG keeps the");
     println!("16x16 per-pixel cost while its key count matches the 64x64 configuration.");
+    Ok(())
 }

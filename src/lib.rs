@@ -13,6 +13,11 @@
 //!   baseline),
 //! * [`tile_grouping`] — the GS-TG pipeline: group-wise sorting with
 //!   per-Gaussian tile bitmasks,
+//! * [`engine`] — the batch-serving [`Engine`](engine::Engine): a pool of
+//!   recycled sessions behind the backend-agnostic
+//!   [`RenderBackend`](core::RenderBackend) trait, serving fallible
+//!   [`RenderRequest`](core::RenderRequest)s one at a time or as
+//!   deterministic batches,
 //! * [`accel`] — the cycle-level accelerator simulator,
 //! * [`metrics`] — summary statistics and table output.
 //!
@@ -30,15 +35,24 @@
 //!     CameraIntrinsics::from_fov_y(1.0, 160, 120),
 //! );
 //!
-//! // Render it with the conventional pipeline and with GS-TG.
-//! let baseline = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse))
-//!     .render(&scene, &camera);
-//! let grouped = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+//! // Render it through the serving engine with both pipelines: the same
+//! // request, a backend swap away.
+//! let request = RenderRequest::new(&scene, camera);
+//! let baseline = Engine::builder()
+//!     .backend(Backend::Baseline)
+//!     .render_config(RenderConfig::builder().boundary(BoundaryMethod::Ellipse).build()?)
+//!     .build()?
+//!     .render_one(&request)?;
+//! let grouped = Engine::builder()
+//!     .backend(Backend::Gstg)
+//!     .build()?
+//!     .render_one(&request)?;
 //!
 //! // GS-TG is lossless: the images match bit-exactly, but it sorted far
 //! // fewer (group, splat) keys than the baseline's (tile, splat) keys.
 //! assert_eq!(grouped.image.max_abs_diff(&baseline.image), 0.0);
 //! assert!(grouped.stats.counts.tile_intersections < baseline.stats.counts.tile_intersections);
+//! # Ok::<(), gs_tg::types::RenderError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,6 +63,8 @@ pub use gstg as tile_grouping;
 pub use splat_accel as accel;
 /// The shared stage engine both pipelines build on.
 pub use splat_core as core;
+/// The batch-serving engine over the `RenderBackend` trait.
+pub use splat_engine as engine;
 pub use splat_metrics as metrics;
 pub use splat_render as render;
 pub use splat_scene as scene;
@@ -59,12 +75,14 @@ pub mod prelude {
     pub use gstg::{verify_lossless, GstgConfig, GstgRenderer, GstgSession};
     pub use splat_accel::{AccelConfig, PipelineVariant, Simulator};
     pub use splat_core::{
-        ExecutionConfig, ExecutionModel, FrameArena, HasExecution, SessionFrame, StageCounts,
+        ExecutionConfig, ExecutionModel, FrameArena, HasExecution, RenderBackend, RenderOutput,
+        RenderRequest, SessionFrame, StageCounts,
     };
+    pub use splat_engine::{Backend, Engine, EngineBuilder};
     pub use splat_metrics::{geometric_mean, Table};
     pub use splat_render::{BoundaryMethod, RenderConfig, RenderSession, Renderer};
     pub use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
-    pub use splat_types::{Camera, CameraIntrinsics, Gaussian3d, Quat, Rgb, Vec3};
+    pub use splat_types::{Camera, CameraIntrinsics, Gaussian3d, Quat, RenderError, Rgb, Vec3};
 }
 
 #[cfg(test)]
@@ -78,5 +96,11 @@ mod tests {
         let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
         assert!(!scene.is_empty());
         let _ = RenderConfig::new(16, BoundaryMethod::Aabb);
+        let engine = Engine::builder()
+            .backend(Backend::Gstg)
+            .threads(2)
+            .build()
+            .expect("default engine configuration is valid");
+        assert_eq!(engine.backend(), Backend::Gstg);
     }
 }

@@ -1,0 +1,219 @@
+//! Integration test: backend parity across the `RenderBackend` redesign.
+//!
+//! Every way of rendering a view — fresh `Renderer` / `GstgRenderer`,
+//! recycled `RenderSession` / `GstgSession`, and the batch-serving
+//! `Engine` at several thread counts — must produce **bit-identical**
+//! framebuffers and identical `StageCounts` for the same scene and
+//! trajectory. This pins the acceptance criterion of the API redesign: the
+//! trait and the engine are pure plumbing, never observable in the pixels.
+
+use gs_tg::prelude::*;
+
+fn trajectory(views: usize) -> CameraTrajectory {
+    CameraTrajectory::orbit(
+        CameraIntrinsics::from_fov_y(1.0, 160, 120),
+        Vec3::new(0.0, 0.0, 6.0),
+        4.5,
+        0.9,
+        views,
+    )
+}
+
+/// Renders the trajectory through a `dyn RenderBackend` and returns the
+/// outputs.
+fn drive(backend: &mut dyn RenderBackend, scene: &Scene, cameras: &[Camera]) -> Vec<RenderOutput> {
+    cameras
+        .iter()
+        .map(|camera| {
+            backend
+                .render(&RenderRequest::new(scene, *camera))
+                .unwrap_or_else(|error| {
+                    panic!("{} rejected a valid request: {error}", backend.name())
+                })
+        })
+        .collect()
+}
+
+#[test]
+fn every_backend_renders_identical_frames() {
+    let scene = PaperScene::Playroom.build(SceneScale::Tiny, 11);
+    let cameras: Vec<Camera> = trajectory(4).cameras().collect();
+    let gstg_config = GstgConfig::paper_default();
+    let baseline_config = gstg_config.equivalent_baseline();
+
+    // The four dyn backends: both fresh renderers, both recycled sessions.
+    let mut backends: Vec<Box<dyn RenderBackend>> = vec![
+        Box::new(Renderer::new(baseline_config)),
+        Box::new(RenderSession::new(Renderer::new(baseline_config))),
+        Box::new(GstgRenderer::new(gstg_config)),
+        Box::new(GstgSession::new(GstgRenderer::new(gstg_config))),
+    ];
+    let mut outputs: Vec<(String, Vec<RenderOutput>)> = backends
+        .iter_mut()
+        .map(|backend| {
+            let name = backend.name().to_owned();
+            let frames = drive(backend.as_mut(), &scene, &cameras);
+            (name, frames)
+        })
+        .collect();
+
+    // Through the Engine, both backends, batch threads 1 and 4.
+    for (backend, config_label) in [(Backend::Baseline, "baseline"), (Backend::Gstg, "gstg")] {
+        for threads in [1usize, 4] {
+            let engine = Engine::builder()
+                .backend(backend)
+                .render_config(baseline_config)
+                .gstg_config(gstg_config)
+                .threads(threads)
+                .build()
+                .expect("valid engine configuration");
+            let requests: Vec<RenderRequest<'_>> = cameras
+                .iter()
+                .map(|camera| RenderRequest::new(&scene, *camera))
+                .collect();
+            let frames: Vec<RenderOutput> = engine
+                .render_batch(&requests)
+                .into_iter()
+                .map(|result| result.expect("valid request"))
+                .collect();
+            outputs.push((format!("engine-{config_label}-t{threads}"), frames));
+        }
+    }
+
+    // Pixels: every backend (including GS-TG — losslessness) matches the
+    // first one bit-exactly, frame by frame.
+    let (reference_name, reference_frames) = &outputs[0];
+    for (name, frames) in &outputs[1..] {
+        assert_eq!(frames.len(), reference_frames.len());
+        for (index, (frame, reference)) in frames.iter().zip(reference_frames).enumerate() {
+            assert_eq!(
+                frame.image.max_abs_diff(&reference.image),
+                0.0,
+                "{name} frame {index} diverged from {reference_name}"
+            );
+        }
+    }
+
+    // Counts: identical within each pipeline family (GS-TG counts bitmask
+    // work the baseline does not have, so families differ by design).
+    let family = |name: &str| {
+        if name.contains("gstg") {
+            "gstg"
+        } else {
+            "baseline"
+        }
+    };
+    for (name, frames) in &outputs[1..] {
+        let (reference_name, reference_frames) = outputs
+            .iter()
+            .find(|(other, _)| family(other) == family(name))
+            .expect("every family has a first member");
+        if reference_name == name {
+            continue;
+        }
+        for (index, (frame, reference)) in frames.iter().zip(reference_frames).enumerate() {
+            assert_eq!(
+                frame.stats.counts, reference.stats.counts,
+                "{name} frame {index} counts diverged from {reference_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_batch_is_thread_count_invariant_for_both_backends() {
+    let scene = PaperScene::Truck.build(SceneScale::Tiny, 7);
+    let cameras: Vec<Camera> = trajectory(5).cameras().collect();
+    for backend in [Backend::Baseline, Backend::Gstg] {
+        let requests: Vec<RenderRequest<'_>> = cameras
+            .iter()
+            .map(|camera| RenderRequest::new(&scene, *camera))
+            .collect();
+        let reference: Vec<RenderOutput> = Engine::builder()
+            .backend(backend)
+            .threads(1)
+            .build()
+            .unwrap()
+            .render_batch(&requests)
+            .into_iter()
+            .map(|r| r.expect("valid request"))
+            .collect();
+        for threads in [2usize, 4] {
+            let outputs = Engine::builder()
+                .backend(backend)
+                .threads(threads)
+                .build()
+                .unwrap()
+                .render_batch(&requests);
+            for (index, (result, expected)) in outputs.iter().zip(&reference).enumerate() {
+                let output = result.as_ref().expect("valid request");
+                assert_eq!(
+                    output.image.max_abs_diff(&expected.image),
+                    0.0,
+                    "{backend} request {index} diverged at {threads} threads"
+                );
+                assert_eq!(output.stats.counts, expected.stats.counts);
+            }
+        }
+    }
+}
+
+#[test]
+fn invalid_requests_error_instead_of_panicking_everywhere() {
+    let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+    let empty = Scene::new("empty", 64, 48, Vec::new());
+    let good = trajectory(1).camera(0);
+    let degenerate = Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 5.0, 0.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 64, 48),
+    );
+    let zero_res = Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics {
+            width: 0,
+            ..CameraIntrinsics::from_fov_y(1.0, 64, 48)
+        },
+    );
+
+    let config = GstgConfig::paper_default();
+    let mut backends: Vec<Box<dyn RenderBackend>> = vec![
+        Box::new(Renderer::new(config.equivalent_baseline())),
+        Box::new(RenderSession::new(Renderer::new(
+            config.equivalent_baseline(),
+        ))),
+        Box::new(GstgRenderer::new(config)),
+        Box::new(GstgSession::new(GstgRenderer::new(config))),
+    ];
+    for backend in &mut backends {
+        assert_eq!(
+            backend
+                .render(&RenderRequest::new(&empty, good))
+                .expect_err("empty scene must be rejected"),
+            RenderError::EmptyScene,
+            "{}",
+            backend.name()
+        );
+        assert!(
+            matches!(
+                backend.render(&RenderRequest::new(&scene, degenerate)),
+                Err(RenderError::DegenerateCamera { .. })
+            ),
+            "{}",
+            backend.name()
+        );
+        assert!(
+            matches!(
+                backend.render(&RenderRequest::new(&scene, zero_res)),
+                Err(RenderError::InvalidResolution { .. })
+            ),
+            "{}",
+            backend.name()
+        );
+        // And the backend still serves valid requests afterwards.
+        assert!(backend.render(&RenderRequest::new(&scene, good)).is_ok());
+    }
+}

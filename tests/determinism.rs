@@ -9,19 +9,28 @@
 use gs_tg::prelude::*;
 
 fn camera(width: u32, height: u32) -> Camera {
-    Camera::look_at(
+    Camera::try_look_at(
         Vec3::ZERO,
         Vec3::new(0.0, 0.0, 1.0),
         Vec3::Y,
-        CameraIntrinsics::from_fov_y(1.0, width, height),
+        CameraIntrinsics::try_from_fov_y(1.0, width, height).expect("valid intrinsics"),
     )
+    .expect("valid pose")
+}
+
+fn ellipse_config() -> RenderConfig {
+    RenderConfig::builder()
+        .tile_size(16)
+        .boundary(BoundaryMethod::Ellipse)
+        .build()
+        .expect("valid configuration")
 }
 
 #[test]
 fn baseline_renderer_is_thread_count_invariant() {
     let scene = PaperScene::Playroom.build(SceneScale::Tiny, 4);
     let cam = camera(320, 200);
-    let config = RenderConfig::new(16, BoundaryMethod::Ellipse);
+    let config = ellipse_config();
     let sequential = Renderer::new(config.with_threads(1)).render(&scene, &cam);
     let parallel = Renderer::new(config.with_threads(4)).render(&scene, &cam);
 
@@ -62,13 +71,10 @@ fn thread_count_sweep_holds_for_both_pipelines() {
     let scene = PaperScene::Drjohnson.build(SceneScale::Tiny, 2);
     let cam = camera(192, 128);
 
-    let base_ref =
-        Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &cam);
+    let base_ref = Renderer::new(ellipse_config()).render(&scene, &cam);
     let gstg_ref = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &cam);
     for threads in [2, 3, 8, 64] {
-        let base =
-            Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse).with_threads(threads))
-                .render(&scene, &cam);
+        let base = Renderer::new(ellipse_config().with_threads(threads)).render(&scene, &cam);
         assert_eq!(
             base.image.max_abs_diff(&base_ref.image),
             0.0,

@@ -9,12 +9,13 @@ use gs_tg::render::{CostModel, RenderConfig, Renderer};
 
 fn camera_for(scene: &Scene, height: u32) -> Camera {
     let aspect = scene.width() as f32 / scene.height() as f32;
-    Camera::look_at(
+    Camera::try_look_at(
         Vec3::ZERO,
         Vec3::new(0.0, 0.0, 1.0),
         Vec3::Y,
         CameraIntrinsics::from_fov_y(0.95, (height as f32 * aspect) as u32, height),
     )
+    .expect("valid pose")
 }
 
 /// Fig. 5 / Table I / Fig. 7: tiles-per-Gaussian and shared fraction fall
@@ -28,7 +29,12 @@ fn tile_size_trends_match_the_motivation_figures() {
     let mut shared = Vec::new();
     let mut gaussians_per_pixel = Vec::new();
     for tile in [8u32, 16, 32, 64] {
-        let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Aabb));
+        let renderer = Renderer::new(
+            RenderConfig::builder()
+                .tile_size(tile)
+                .build()
+                .expect("valid configuration"),
+        );
         let prepared = renderer.prepare(&scene, &camera);
         let (_, raster) = renderer.rasterize(&prepared.projected, &prepared.assignments, &camera);
         tiles_per_gaussian.push(prepared.assignments.mean_tiles_per_gaussian());
@@ -71,7 +77,12 @@ fn stage_cost_trade_off_matches_fig3() {
     let mut sort_costs = Vec::new();
     let mut raster_costs = Vec::new();
     for tile in [8u32, 16, 32, 64] {
-        let renderer = Renderer::new(RenderConfig::new(tile, BoundaryMethod::Aabb));
+        let renderer = Renderer::new(
+            RenderConfig::builder()
+                .tile_size(tile)
+                .build()
+                .expect("valid configuration"),
+        );
         let output = renderer.render(&scene, &camera);
         let times = model.baseline_times(&output.stats.counts, BoundaryMethod::Aabb);
         sort_costs.push(times.sort);
@@ -96,8 +107,14 @@ fn grouping_sweep_orders_as_in_fig11() {
     let camera = camera_for(&scene, 200);
     let model = CostModel::new();
 
-    let baseline =
-        Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse)).render(&scene, &camera);
+    let baseline = Renderer::new(
+        RenderConfig::builder()
+            .tile_size(16)
+            .boundary(BoundaryMethod::Ellipse)
+            .build()
+            .expect("valid configuration"),
+    )
+    .render(&scene, &camera);
     let baseline_times = model.baseline_times(&baseline.stats.counts, BoundaryMethod::Ellipse);
 
     let mut previous_keys = u64::MAX;

@@ -7,12 +7,13 @@ use gs_tg::prelude::*;
 use gs_tg::tile_grouping::verify_lossless;
 
 fn test_camera(width: u32, height: u32, fov: f32) -> Camera {
-    Camera::look_at(
+    Camera::try_look_at(
         Vec3::ZERO,
         Vec3::new(0.0, 0.0, 1.0),
         Vec3::Y,
         CameraIntrinsics::from_fov_y(fov, width, height),
     )
+    .expect("valid pose")
 }
 
 #[test]

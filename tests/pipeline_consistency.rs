@@ -5,12 +5,21 @@ use gs_tg::prelude::*;
 use gs_tg::scene::io::{decode_scene, encode_scene};
 
 fn camera(width: u32, height: u32) -> Camera {
-    Camera::look_at(
+    Camera::try_look_at(
         Vec3::ZERO,
         Vec3::new(0.0, 0.0, 1.0),
         Vec3::Y,
-        CameraIntrinsics::from_fov_y(1.0, width, height),
+        CameraIntrinsics::try_from_fov_y(1.0, width, height).expect("valid intrinsics"),
     )
+    .expect("valid pose")
+}
+
+fn ellipse_config() -> RenderConfig {
+    RenderConfig::builder()
+        .tile_size(16)
+        .boundary(BoundaryMethod::Ellipse)
+        .build()
+        .expect("valid configuration")
 }
 
 #[test]
@@ -27,7 +36,14 @@ fn boundary_methods_form_a_work_hierarchy_at_pipeline_level() {
         BoundaryMethod::Obb,
         BoundaryMethod::Ellipse,
     ] {
-        let out = Renderer::new(RenderConfig::new(16, boundary)).render(&scene, &cam);
+        let out = Renderer::new(
+            RenderConfig::builder()
+                .tile_size(16)
+                .boundary(boundary)
+                .build()
+                .expect("valid configuration"),
+        )
+        .render(&scene, &cam);
         assert!(
             out.stats.counts.tile_intersections <= previous_keys,
             "{boundary} produced more tile entries than a looser method"
@@ -45,7 +61,7 @@ fn scene_serialization_preserves_rendering_results() {
     let scene = PaperScene::Playroom.build(SceneScale::Tiny, 2);
     let cam = camera(256, 160);
     let decoded = decode_scene(&encode_scene(&scene)).expect("round trip");
-    let renderer = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    let renderer = Renderer::new(ellipse_config());
     let original = renderer.render(&scene, &cam);
     let restored = renderer.render(&decoded, &cam);
     // Serialization is exact for all parameters except quaternion
@@ -83,7 +99,7 @@ fn scaling_the_scene_scales_the_work() {
     let cam = camera(256, 160);
     let tiny = PaperScene::Train.build(SceneScale::Tiny, 0);
     let small = PaperScene::Train.build(SceneScale::Small, 0);
-    let renderer = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    let renderer = Renderer::new(ellipse_config());
     let tiny_out = renderer.render(&tiny, &cam);
     let small_out = renderer.render(&small, &cam);
     assert!(small.len() > 5 * tiny.len());
@@ -95,7 +111,7 @@ fn scaling_the_scene_scales_the_work() {
 fn renderer_is_deterministic_across_runs() {
     let scene = PaperScene::Truck.build(SceneScale::Tiny, 9);
     let cam = camera(200, 150);
-    let renderer = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    let renderer = Renderer::new(ellipse_config());
     let a = renderer.render(&scene, &cam);
     let b = renderer.render(&scene, &cam);
     assert_eq!(a.image.max_abs_diff(&b.image), 0.0);

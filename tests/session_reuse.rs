@@ -8,6 +8,14 @@
 
 use gs_tg::prelude::*;
 
+fn ellipse_config() -> RenderConfig {
+    RenderConfig::builder()
+        .tile_size(16)
+        .boundary(BoundaryMethod::Ellipse)
+        .build()
+        .expect("valid configuration")
+}
+
 fn trajectory(views: usize) -> CameraTrajectory {
     CameraTrajectory::orbit(
         CameraIntrinsics::from_fov_y(1.0, 160, 120),
@@ -21,7 +29,7 @@ fn trajectory(views: usize) -> CameraTrajectory {
 #[test]
 fn baseline_session_frames_match_fresh_renderers_bit_exactly() {
     let scene = PaperScene::Playroom.build(SceneScale::Tiny, 5);
-    let renderer = Renderer::new(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    let renderer = Renderer::new(ellipse_config());
     let mut session = RenderSession::new(renderer.clone());
     for (index, camera) in trajectory(5).cameras().enumerate() {
         let fresh = renderer.render(&scene, &camera);
@@ -63,7 +71,7 @@ fn sessions_reach_a_zero_growth_steady_state() {
     let scene = PaperScene::Train.build(SceneScale::Tiny, 1);
     let trajectory = trajectory(4);
 
-    let mut baseline = RenderSession::from_config(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    let mut baseline = RenderSession::from_config(ellipse_config());
     let mut grouped = GstgSession::from_config(GstgConfig::paper_default());
 
     // Warm-up pass: buffers grow to the trajectory's high-water mark.
