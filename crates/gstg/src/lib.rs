@@ -64,8 +64,6 @@ pub use bitmask::{GroupLayout, TileBitmask};
 pub use config::{ConfigError, ExecutionModel, GstgConfig, GstgConfigBuilder};
 pub use group::{identify_groups, identify_groups_into, GroupAssignments, GroupEntry};
 pub use lossless::{verify_lossless, LosslessReport};
-#[allow(deprecated)]
-pub use pipeline::GstgOutput;
 pub use pipeline::{GstgRenderer, RenderOutput};
 pub use session::GstgSession;
 pub use splat_core::{HasExecution, RenderBackend, RenderRequest};

@@ -21,19 +21,6 @@ use splat_types::{Camera, RenderError, Rgb};
 
 pub use splat_core::RenderOutput;
 
-/// Deprecated name of the shared render output type.
-///
-/// GS-TG renders used to return their own output struct; since the
-/// `RenderBackend` redesign both pipelines return the same
-/// [`splat_core::RenderOutput`]. Bitmask-generation wall-clock is included
-/// in `stats.preprocess_time`, matching the GPU execution model; the
-/// accelerator simulator models the overlapped schedule separately.
-#[deprecated(
-    since = "0.1.0",
-    note = "both pipelines now return the shared `RenderOutput` (re-exported from `splat_core`)"
-)]
-pub type GstgOutput = RenderOutput;
-
 /// Intermediate GS-TG state exposed for the accelerator simulator and for
 /// equivalence tests.
 #[derive(Debug, Clone)]

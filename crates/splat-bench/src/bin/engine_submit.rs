@@ -1,0 +1,120 @@
+//! Engine submit throughput/latency — the asynchronous serving path.
+//!
+//! Times `Engine::submit` + `JobHandle::wait` on a warmed-up engine for
+//! both pipelines at 1 and 4 workers: a burst of submissions waited in
+//! order (throughput, the shape a request router produces under load) and
+//! single-job round trips on an idle engine (latency floor). The same
+//! trajectory is also served through the synchronous `render_batch` so the
+//! two serving paths can be compared line by line.
+//!
+//! ```text
+//! cargo run --release -p splat-bench --bin engine_submit -- \
+//!     --scale tiny --resolution-divisor 8 --frames 8 --json
+//! ```
+//!
+//! `--json` emits one machine-readable object per configuration for
+//! `BENCH_*.json` capture; the shared `--scale` / `--resolution-divisor` /
+//! `--seed-offset` / `--frames` knobs of the experiment harness apply.
+//!
+//! The binary exits non-zero if the engine's counters disagree with the
+//! work submitted (a lost or double-served job), so CI smoke-runs enforce
+//! the serving accounting mechanically.
+
+use splat_bench::{run_engine_batch, run_engine_submit, HarnessOptions};
+use splat_engine::Backend;
+use splat_scene::{CameraTrajectory, PaperScene};
+use splat_types::{Camera, CameraIntrinsics};
+use std::sync::Arc;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let frames = options.frames.unwrap_or(12);
+    let scene_id = PaperScene::Playroom;
+    let scene = Arc::new(options.scene(scene_id));
+    let reference = options.camera(scene_id);
+    let intrinsics = CameraIntrinsics::from_fov_y(
+        reference.intrinsics().fov_y(),
+        reference.width(),
+        reference.height(),
+    );
+    let profile = scene_id.profile(options.scale);
+    let trajectory = CameraTrajectory::lateral_sweep(
+        intrinsics,
+        profile.lateral_extent * 0.25,
+        (profile.depth_range.0 + profile.depth_range.1) * 0.4,
+        frames,
+    );
+    let cameras: Vec<Camera> = trajectory.cameras().collect();
+
+    if !options.json {
+        println!("# Engine submit throughput/latency — async serving over {frames} jobs");
+        println!(
+            "# workload: {}, scene `{}` ({} Gaussians) at {}x{}",
+            options.describe(),
+            scene.name(),
+            scene.len(),
+            reference.width(),
+            reference.height()
+        );
+        println!();
+    }
+
+    let mut accounting_clean = true;
+    for backend in [Backend::Baseline, Backend::Gstg] {
+        for workers in [1usize, 4] {
+            let run = run_engine_submit(backend, workers, &scene, &cameras);
+            let batch = run_engine_batch(backend, workers, &scene, &cameras);
+            if options.json {
+                println!(
+                    "{}",
+                    run.to_json(
+                        "engine_submit",
+                        &options,
+                        reference.width(),
+                        reference.height()
+                    )
+                );
+            } else {
+                println!(
+                    "submit {:<9} w={} : {:>7.1} jobs/s burst, round trip {:.2} ms mean \
+                     / {:.2} ms max, batch {:.1} frames/s, checksum {:.4}",
+                    run.backend.label(),
+                    run.workers,
+                    run.jobs_per_second(),
+                    run.round_trip_mean.as_secs_f64() * 1e3,
+                    run.round_trip_max.as_secs_f64() * 1e3,
+                    batch.fps(),
+                    run.checksum,
+                );
+            }
+            // Serving accounting: the engine must have served exactly the
+            // submitted work — two bursts of `frames` plus the round trips
+            // — and never shed or cancelled anything under Block admission.
+            let expected = 2 * run.frames as u64 + 5.min(run.frames) as u64;
+            if run.stats.completed != expected
+                || run.stats.rejected != 0
+                || run.stats.cancelled != 0
+                || run.stats.in_flight() != 0
+            {
+                eprintln!(
+                    "error: {backend} w={workers}: expected {expected} completed jobs, \
+                     got counters {}",
+                    run.stats
+                );
+                accounting_clean = false;
+            }
+            // The same pixels must come out of both serving paths.
+            if (run.checksum - batch.checksum).abs() > 1e-12 {
+                eprintln!(
+                    "error: {backend} w={workers}: submit checksum {:.9} != batch checksum {:.9}",
+                    run.checksum, batch.checksum
+                );
+                accounting_clean = false;
+            }
+        }
+    }
+
+    if !accounting_clean {
+        std::process::exit(1);
+    }
+}

@@ -23,10 +23,11 @@
 
 use gstg::{ExecutionModel, GstgConfig};
 use splat_core::RenderRequest;
-use splat_engine::{Backend, Engine};
+use splat_engine::{Backend, Engine, SubmitRequest};
 use splat_render::{BoundaryMethod, CostModel, RenderConfig, Renderer, StageCounts, StageTimes};
 use splat_scene::{PaperScene, Scene, SceneScale};
 use splat_types::{Camera, CameraIntrinsics, Vec3};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Command-line options shared by every experiment binary.
@@ -301,6 +302,140 @@ pub fn run_engine_batch(
     }
 }
 
+/// Result of timing the asynchronous serving path: one warmed-up
+/// submit-all/wait-all burst plus a sequence of single-job round trips.
+#[derive(Debug, Clone)]
+pub struct SubmitRun {
+    /// The engine backend the jobs were served with.
+    pub backend: Backend,
+    /// Worker threads (pooled sessions) draining the queue.
+    pub workers: usize,
+    /// Jobs served in the timed burst.
+    pub frames: usize,
+    /// Wall-clock time of the timed burst (submit all, wait all).
+    pub elapsed: Duration,
+    /// Mean single-job submit→wait round-trip time on an idle engine.
+    pub round_trip_mean: Duration,
+    /// Worst single-job round trip observed.
+    pub round_trip_max: Duration,
+    /// Mean-luminance checksum keeping the rendered pixels observable.
+    pub checksum: f64,
+    /// Serving counters after the run.
+    pub stats: splat_engine::EngineStats,
+}
+
+impl SubmitRun {
+    /// Jobs per second of the timed burst.
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.elapsed.as_secs_f64() <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// One machine-readable JSON object for `BENCH_*.json` capture on the
+    /// shared `--json` path.
+    pub fn to_json(
+        &self,
+        bench: &str,
+        options: &HarnessOptions,
+        width: u32,
+        height: u32,
+    ) -> String {
+        format!(
+            "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-submit-{}\",\"scale\":\"{:?}\",\
+             \"width\":{width},\"height\":{height},\"workers\":{},\"frames\":{},\
+             \"submit_jobs_per_s\":{:.3},\"burst_ms\":{:.3},\
+             \"round_trip_mean_ms\":{:.3},\"round_trip_max_ms\":{:.3},\
+             \"checksum_luminance\":{:.6},\"engine_stats\":{}}}",
+            self.backend,
+            options.scale,
+            self.workers,
+            self.frames,
+            self.jobs_per_second(),
+            self.elapsed.as_secs_f64() * 1e3,
+            self.round_trip_mean.as_secs_f64() * 1e3,
+            self.round_trip_max.as_secs_f64() * 1e3,
+            self.checksum,
+            self.stats.to_json(),
+        )
+    }
+}
+
+/// Times the asynchronous serving path on a warmed-up engine: submits every
+/// view as one burst through [`Engine::submit`] and waits the handles in
+/// submission order (throughput), then measures single-job submit→wait
+/// round trips on the idle engine (latency).
+///
+/// # Panics
+///
+/// Panics if the engine rejects or fails a request: the harness uses the
+/// blocking admission policy and valid scenes, so nothing should ever be
+/// shed.
+pub fn run_engine_submit(
+    backend: Backend,
+    workers: usize,
+    scene: &Arc<splat_scene::Scene>,
+    cameras: &[Camera],
+) -> SubmitRun {
+    let engine = Engine::builder()
+        .backend(backend)
+        .workers(workers)
+        .build()
+        .expect("default pipeline configurations are valid");
+    let submit_all = |engine: &Engine| -> f64 {
+        let handles: Vec<splat_engine::JobHandle> = cameras
+            .iter()
+            .map(|camera| {
+                engine
+                    .submit(SubmitRequest::new(Arc::clone(scene), *camera))
+                    .expect("blocking admission never rejects")
+            })
+            .collect();
+        let mut checksum = 0.0;
+        for handle in handles {
+            let output = handle
+                .wait()
+                .unwrap_or_else(|error| panic!("engine rejected a harness request: {error}"));
+            checksum += f64::from(output.image.mean_luminance());
+        }
+        checksum
+    };
+    // Warm-up burst grows the per-worker arenas; the timed burst is the
+    // recycled steady state a server runs in.
+    let _ = submit_all(&engine);
+    let start = Instant::now();
+    let checksum = submit_all(&engine);
+    let elapsed = start.elapsed();
+
+    let round_trips = 5.min(cameras.len());
+    let mut total = Duration::ZERO;
+    let mut worst = Duration::ZERO;
+    for camera in &cameras[..round_trips] {
+        let start = Instant::now();
+        let output = engine
+            .submit(SubmitRequest::new(Arc::clone(scene), *camera))
+            .expect("blocking admission never rejects")
+            .wait()
+            .expect("valid request");
+        let trip = start.elapsed();
+        assert!(output.image.pixel_count() > 0);
+        total += trip;
+        worst = worst.max(trip);
+    }
+    SubmitRun {
+        backend,
+        workers,
+        frames: cameras.len(),
+        elapsed,
+        round_trip_mean: total.div_f64(round_trips.max(1) as f64),
+        round_trip_max: worst,
+        checksum,
+        stats: engine.stats(),
+    }
+}
+
 /// The tile sizes swept by the motivation figures (Figs. 3, 5, 7, Table I).
 pub const TILE_SIZE_SWEEP: [u32; 4] = [8, 16, 32, 64];
 
@@ -384,6 +519,32 @@ mod tests {
         let json = run.to_json("trajectory_throughput", &o, camera.width(), camera.height());
         assert!(json.contains("\"pipeline\":\"engine-gstg\""));
         assert!(json.contains("\"threads\":2"));
+    }
+
+    #[test]
+    fn engine_submit_harness_reports_throughput_latency_and_json() {
+        let o = HarnessOptions {
+            scale: SceneScale::Tiny,
+            resolution_divisor: 16,
+            seed_offset: 0,
+            json: true,
+            frames: None,
+        };
+        let scene = Arc::new(o.scene(PaperScene::Playroom));
+        let camera = o.camera(PaperScene::Playroom);
+        let cameras = vec![camera; 3];
+        let run = run_engine_submit(Backend::Gstg, 2, &scene, &cameras);
+        assert_eq!(run.frames, 3);
+        assert!(run.jobs_per_second() > 0.0);
+        assert!(run.round_trip_mean > Duration::ZERO);
+        assert!(run.round_trip_max >= run.round_trip_mean);
+        // Two bursts of 3 plus 3 round trips, nothing shed.
+        assert_eq!(run.stats.completed, 9);
+        assert_eq!(run.stats.rejected, 0);
+        let json = run.to_json("engine_submit", &o, camera.width(), camera.height());
+        assert!(json.contains("\"pipeline\":\"engine-submit-gstg\""));
+        assert!(json.contains("\"workers\":2"));
+        assert!(json.contains("\"engine_stats\":{\"submitted\":9"));
     }
 
     #[test]

@@ -62,6 +62,20 @@ impl<'a> RenderRequest<'a> {
         Self { scene, camera }
     }
 
+    /// A dimensionless estimate of how much work serving this request
+    /// costs, used by admission control to deflate over-capacity load.
+    ///
+    /// The estimate is the splat count plus the output pixel count — the
+    /// two inputs every pipeline stage scales with. It is *not* a cycle
+    /// count: its only job is to rank queued requests so a shedding policy
+    /// can reject the submission that frees the most capacity, and to do so
+    /// deterministically (the hint depends only on the request, never on
+    /// engine state).
+    pub fn cost_hint(&self) -> u64 {
+        let pixels = u64::from(self.camera.width()) * u64::from(self.camera.height());
+        self.scene.len() as u64 + pixels
+    }
+
     /// Validates the request without rendering it.
     ///
     /// Every [`RenderBackend`] implementation performs this check before
@@ -167,6 +181,20 @@ mod tests {
         let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
         let request = RenderRequest::new(&scene, camera(64, 48));
         assert!(request.validate().is_ok());
+    }
+
+    #[test]
+    fn cost_hint_scales_with_splats_and_pixels() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+        let small = RenderRequest::new(&scene, camera(64, 48));
+        let large = RenderRequest::new(&scene, camera(128, 96));
+        assert!(small.cost_hint() > 0);
+        assert!(large.cost_hint() > small.cost_hint());
+        assert_eq!(
+            large.cost_hint() - small.cost_hint(),
+            128 * 96 - 64 * 48,
+            "same scene: the hint differs by exactly the pixel delta"
+        );
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Submissions and job handles for the asynchronous serving path.
+//!
+//! [`Engine::submit`](crate::Engine::submit) turns a [`SubmitRequest`] into
+//! a queued job and hands back a [`JobHandle`] — the caller's only view of
+//! the job. The handle supports the three things a non-blocking client
+//! needs: [`JobHandle::wait`] (block for the result),
+//! [`JobHandle::try_poll`] (peek without blocking) and
+//! [`JobHandle::cancel`] (withdraw a job that has not started, freeing its
+//! queue slot).
+//!
+//! Unlike the synchronous [`RenderRequest`], a
+//! submission owns its scene through an [`Arc`] — the job outlives the
+//! submitting stack frame, so nothing can be borrowed.
+
+use crate::queue::JobQueue;
+use splat_core::{RenderOutput, RenderRequest};
+use splat_scene::Scene;
+use splat_types::{Camera, Priority, RenderError};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One asynchronous render submission: a shared scene, a posed camera and
+/// an admission priority.
+///
+/// # Examples
+///
+/// ```
+/// use splat_engine::SubmitRequest;
+/// use splat_scene::{PaperScene, SceneScale};
+/// use splat_types::{Camera, CameraIntrinsics, Priority, Vec3};
+/// use std::sync::Arc;
+///
+/// let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+/// let camera = Camera::try_look_at(
+///     Vec3::ZERO,
+///     Vec3::new(0.0, 0.0, 1.0),
+///     Vec3::Y,
+///     CameraIntrinsics::try_from_fov_y(1.0, 96, 64)?,
+/// )?;
+/// let request = SubmitRequest::new(scene, camera).with_priority(Priority::High);
+/// assert_eq!(request.priority, Priority::High);
+/// assert!(request.validate().is_ok());
+/// # Ok::<(), splat_types::RenderError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// The scene to render, shared with the submitter (cloning the `Arc`
+    /// is cheap, so many submissions can reference one scene).
+    pub scene: Arc<Scene>,
+    /// The posed camera; the framebuffer takes its dimensions from the
+    /// camera intrinsics.
+    pub camera: Camera,
+    /// Admission priority: higher classes dispatch first and shed last
+    /// (default [`Priority::Normal`]).
+    pub priority: Priority,
+}
+
+impl SubmitRequest {
+    /// Creates a normal-priority submission for one view of `scene`.
+    pub fn new(scene: Arc<Scene>, camera: Camera) -> Self {
+        Self {
+            scene,
+            camera,
+            priority: Priority::default(),
+        }
+    }
+
+    /// Sets the admission priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The borrowed request a backend serves (used internally by workers).
+    pub fn as_render_request(&self) -> RenderRequest<'_> {
+        RenderRequest::new(&self.scene, self.camera)
+    }
+
+    /// The admission-control cost estimate of this submission
+    /// (see [`RenderRequest::cost_hint`]).
+    pub fn cost_hint(&self) -> u64 {
+        self.as_render_request().cost_hint()
+    }
+
+    /// Validates the submission without queueing it (same checks as
+    /// [`RenderRequest::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RenderError`] a backend would have raised:
+    /// [`RenderError::EmptyScene`], [`RenderError::InvalidResolution`],
+    /// [`RenderError::InvalidIntrinsics`] or
+    /// [`RenderError::DegenerateCamera`].
+    pub fn validate(&self) -> Result<(), RenderError> {
+        self.as_render_request().validate()
+    }
+}
+
+/// Where a submitted job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is rendering it.
+    Active,
+    /// The result (success or error) is available.
+    Finished,
+}
+
+/// The state cell shared between a [`JobHandle`] and the worker that
+/// eventually serves (or rejects) the job.
+#[derive(Debug)]
+pub(crate) struct JobShared {
+    phase: Mutex<JobPhase>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum JobPhase {
+    Queued,
+    Active,
+    /// `Some` until [`JobHandle::wait`] takes the result; `try_poll`
+    /// clones instead of taking, so polling never loses the result.
+    Finished(Option<Result<RenderOutput, RenderError>>),
+}
+
+impl JobShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            phase: Mutex::new(JobPhase::Queued),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobPhase> {
+        // A poisoned phase lock means a waiter panicked while holding it;
+        // the phase value itself is always valid, so recover it.
+        self.phase
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Marks the job as picked up by a worker.
+    pub(crate) fn set_active(&self) {
+        let mut phase = self.lock();
+        if matches!(*phase, JobPhase::Queued) {
+            *phase = JobPhase::Active;
+        }
+    }
+
+    /// Stores the final result and wakes every waiter. Called exactly once
+    /// per job — by the serving worker, or by the queue when the job is
+    /// shed, cancelled or aborted.
+    pub(crate) fn finish(&self, result: Result<RenderOutput, RenderError>) {
+        let mut phase = self.lock();
+        *phase = JobPhase::Finished(Some(result));
+        drop(phase);
+        self.ready.notify_all();
+    }
+
+    fn status(&self) -> JobStatus {
+        match *self.lock() {
+            JobPhase::Queued => JobStatus::Queued,
+            JobPhase::Active => JobStatus::Active,
+            JobPhase::Finished(_) => JobStatus::Finished,
+        }
+    }
+
+    fn try_clone_result(&self) -> Option<Result<RenderOutput, RenderError>> {
+        match &*self.lock() {
+            JobPhase::Finished(result) => result.clone(),
+            _ => None,
+        }
+    }
+
+    fn wait_take(&self) -> Result<RenderOutput, RenderError> {
+        let mut phase = self.lock();
+        loop {
+            if let JobPhase::Finished(result) = &mut *phase {
+                // `wait` consumes the handle and is the only taker, so the
+                // slot still holds the result; `Cancelled` is a defensive
+                // fallback that no current path can reach.
+                return result.take().unwrap_or(Err(RenderError::Cancelled));
+            }
+            phase = self
+                .ready
+                .wait(phase)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// A claim on the future result of one submitted job.
+///
+/// Handles are not clonable: the job's result belongs to exactly one
+/// caller. Dropping the handle abandons the result but never the work — a
+/// queued job still renders (use [`JobHandle::cancel`] to withdraw it).
+#[derive(Debug)]
+pub struct JobHandle {
+    queue: Arc<JobQueue>,
+    shared: Arc<JobShared>,
+    id: u64,
+    priority: Priority,
+}
+
+impl JobHandle {
+    pub(crate) fn new(
+        queue: Arc<JobQueue>,
+        shared: Arc<JobShared>,
+        id: u64,
+        priority: Priority,
+    ) -> Self {
+        Self {
+            queue,
+            shared,
+            id,
+            priority,
+        }
+    }
+
+    /// The engine-unique id of this job (monotonic in admission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The admission priority the job was submitted with.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Where the job currently is: queued, rendering or finished.
+    pub fn status(&self) -> JobStatus {
+        self.shared.status()
+    }
+
+    /// `true` once [`JobHandle::wait`] would return without blocking.
+    pub fn is_finished(&self) -> bool {
+        self.status() == JobStatus::Finished
+    }
+
+    /// Non-blocking poll: `None` while the job is queued or rendering,
+    /// `Some` clone of the result once it finished. The result stays with
+    /// the handle, so a later [`JobHandle::wait`] still succeeds.
+    pub fn try_poll(&self) -> Option<Result<RenderOutput, RenderError>> {
+        self.shared.try_clone_result()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// The render's own [`RenderError`] for an invalid request, or one of
+    /// the serving errors: [`RenderError::Overloaded`] (shed by admission
+    /// control), [`RenderError::Cancelled`] (withdrawn via
+    /// [`JobHandle::cancel`]) or [`RenderError::ShutDown`] (engine torn
+    /// down before the job ran).
+    pub fn wait(self) -> Result<RenderOutput, RenderError> {
+        self.shared.wait_take()
+    }
+
+    /// Withdraws the job if a worker has not picked it up yet.
+    ///
+    /// Returns `true` when the job was still queued: its slot is freed
+    /// (unblocking a `Block`-policy submitter) and [`JobHandle::wait`]
+    /// returns [`RenderError::Cancelled`]. Returns `false` when the job is
+    /// already rendering or finished — in-flight work is never interrupted.
+    pub fn cancel(&self) -> bool {
+        self.queue.cancel(self.id)
+    }
+}

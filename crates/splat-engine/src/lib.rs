@@ -48,16 +48,71 @@
 //! assert!(outputs.iter().all(|r| r.is_ok()));
 //! # Ok::<(), splat_types::RenderError>(())
 //! ```
+//!
+//! # Asynchronous serving
+//!
+//! `render_batch` blocks the caller for the whole batch. A serving
+//! deployment instead wants to *submit* work and get on with its life:
+//! [`Engine::submit`] enqueues a [`SubmitRequest`] on a bounded job queue
+//! drained by persistent worker threads (one per pooled session) and
+//! returns a [`JobHandle`] supporting [`wait`](JobHandle::wait),
+//! [`try_poll`](JobHandle::try_poll) and [`cancel`](JobHandle::cancel).
+//! An [`AdmissionPolicy`] decides what happens at capacity — block the
+//! submitter, reject the newcomer, or deterministically shed the
+//! cheapest-to-reject queued job ([`RenderError::Overloaded`]) so
+//! high-[`Priority`] traffic keeps flowing. [`Engine::stats`] exposes the
+//! serving counters and [`Engine::shutdown`] drains or aborts the queue.
+//!
+//! ```
+//! use splat_engine::{Engine, SubmitRequest};
+//! use splat_scene::{PaperScene, SceneScale};
+//! use splat_types::{Camera, CameraIntrinsics, Priority, Vec3};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::builder().build()?;
+//! let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+//! let camera = Camera::try_look_at(
+//!     Vec3::ZERO,
+//!     Vec3::new(0.0, 0.0, 1.0),
+//!     Vec3::Y,
+//!     CameraIntrinsics::try_from_fov_y(1.0, 96, 64)?,
+//! )?;
+//!
+//! let handle = engine.submit(
+//!     SubmitRequest::new(Arc::clone(&scene), camera).with_priority(Priority::High),
+//! )?;
+//! let output = handle.wait()?;
+//! assert_eq!(output.image.width(), 96);
+//! assert_eq!(engine.stats().completed, 1);
+//! # Ok::<(), splat_types::RenderError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod job;
+pub mod policy;
+pub mod stats;
+
+mod queue;
+
+pub use job::{JobHandle, JobStatus, SubmitRequest};
+pub use policy::{AdmissionPolicy, ShutdownMode};
+pub use splat_types::Priority;
+pub use stats::EngineStats;
+
 use gstg::{GstgConfig, GstgRenderer, GstgSession};
+use queue::JobQueue;
 use splat_core::{ExecutionConfig, RenderBackend, RenderOutput, RenderRequest, TileScheduler};
 use splat_render::{RenderConfig, RenderSession, Renderer};
 use splat_types::{RenderError, Rgb};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default bound of the submission queue when the admission policy does
+/// not carry its own capacity (see [`EngineBuilder::queue_capacity`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
 
 /// Which rendering pipeline an [`Engine`] serves with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -96,6 +151,9 @@ pub struct EngineBuilder {
     background: Rgb,
     exec: ExecutionConfig,
     workers: Option<usize>,
+    admission: AdmissionPolicy,
+    queue_capacity: usize,
+    start_paused: bool,
 }
 
 impl EngineBuilder {
@@ -141,20 +199,61 @@ impl EngineBuilder {
     /// Overrides the size of the recycled session pool (default: the
     /// batch thread count). More workers than threads lets a later request
     /// proceed while another worker is still mid-frame; fewer makes no
-    /// sense and is clamped up to the thread count.
+    /// sense and is clamped up to the thread count. The pool size is also
+    /// the number of persistent worker threads draining
+    /// [`Engine::submit`]'s job queue.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
         self
     }
 
+    /// Selects what [`Engine::submit`] does when the job queue is at
+    /// capacity (default [`AdmissionPolicy::Block`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Bounds the submission queue for the [`AdmissionPolicy::Block`] and
+    /// [`AdmissionPolicy::RejectWhenFull`] policies (clamped to at least
+    /// one; default [`DEFAULT_QUEUE_CAPACITY`]).
+    /// [`AdmissionPolicy::ShedLowPriority`] carries its own capacity and
+    /// ignores this knob.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builds the engine with dispatch paused: submissions are admitted
+    /// (and shed) normally, but no worker picks a job up until
+    /// [`Engine::resume`]. Useful for staging a burst deterministically —
+    /// admission control decides the whole burst before any job runs —
+    /// and in tests.
+    ///
+    /// Beware pairing this with the default [`AdmissionPolicy::Block`]:
+    /// while paused, nothing drains the queue, so a submitter that fills
+    /// it blocks until some *other* thread resumes the engine. To stage a
+    /// burst larger than the queue from a single thread, use
+    /// [`AdmissionPolicy::RejectWhenFull`] or
+    /// [`AdmissionPolicy::ShedLowPriority`], or keep the burst within
+    /// [`EngineBuilder::queue_capacity`].
+    pub fn start_paused(mut self, paused: bool) -> Self {
+        self.start_paused = paused;
+        self
+    }
+
     /// Validates the configuration and builds the engine, allocating its
-    /// worker pool (the sessions themselves allocate lazily on first use).
+    /// worker pool (the sessions themselves allocate lazily on first use)
+    /// and spawning one persistent worker thread per pooled session to
+    /// drain the submission queue.
     ///
     /// # Errors
     ///
     /// Returns the [`RenderError`] of the selected pipeline configuration
     /// (e.g. [`RenderError::InvalidTileSize`]) — the engine never holds a
-    /// configuration that could panic mid-render.
+    /// configuration that could panic mid-render — or
+    /// [`RenderError::InvalidConfiguration`] when the OS refuses to spawn
+    /// a worker thread.
     pub fn build(self) -> Result<Engine, RenderError> {
         let workers = self
             .workers
@@ -182,12 +281,79 @@ impl EngineBuilder {
                     .collect()
             }
         };
+        let shared = Arc::new(EngineShared {
+            pool,
+            queue: Arc::new(JobQueue::new(
+                self.admission,
+                self.queue_capacity,
+                self.start_paused,
+            )),
+        });
+        let mut worker_threads = Vec::with_capacity(workers);
+        for slot in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("splat-engine-worker-{slot}"))
+                .spawn(move || worker_loop(&worker_shared, slot))
+            {
+                Ok(thread) => worker_threads.push(thread),
+                Err(error) => {
+                    // Don't leak the workers that did spawn: they are
+                    // parked in `pop` and would otherwise live (with the
+                    // whole session pool) for the rest of the process.
+                    shared.queue.shutdown(ShutdownMode::Abort);
+                    for thread in worker_threads {
+                        let _ = thread.join();
+                    }
+                    return Err(RenderError::InvalidConfiguration {
+                        reason: format!("failed to spawn engine worker thread: {error}"),
+                    });
+                }
+            }
+        }
         Ok(Engine {
             backend: self.backend,
             exec: self.exec,
-            pool,
+            admission: self.admission,
+            shared,
+            workers: worker_threads,
             next_worker: AtomicUsize::new(0),
         })
+    }
+}
+
+/// Everything a persistent worker thread needs: the session pool it
+/// renders on and the queue it drains.
+struct EngineShared {
+    pool: Vec<Mutex<Box<dyn RenderBackend>>>,
+    queue: Arc<JobQueue>,
+}
+
+/// The drain loop of one persistent worker thread: pop a job, render it on
+/// the thread's dedicated pool slot, publish the result, repeat until the
+/// queue shuts down.
+fn worker_loop(shared: &Arc<EngineShared>, slot: usize) {
+    while let Some(job) = shared.queue.pop() {
+        // A panicking backend (a pipeline bug — the documented contract is
+        // typed errors, never panics) must not take the worker thread down
+        // with it: waiters on the job would deadlock and the queue would
+        // silently lose a drain. Catch the panic, fail the one job, keep
+        // serving. The slot's poisoned lock is recovered on the next
+        // render — sessions rebuild every buffer per frame.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let request = RenderRequest::new(&job.scene, job.camera);
+            let mut backend = shared.pool[slot]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            backend.render(&request)
+        }))
+        .unwrap_or_else(|_| {
+            Err(RenderError::InvalidConfiguration {
+                reason: "backend panicked mid-render (pipeline bug); job aborted".to_owned(),
+            })
+        });
+        shared.queue.mark_completed();
+        job.shared.finish(result);
     }
 }
 
@@ -195,11 +361,21 @@ impl EngineBuilder {
 ///
 /// See the [crate-level documentation](crate) for the full story and a
 /// quickstart. Engines are `Sync`: one engine can serve requests from many
-/// threads, and [`Engine::render_batch`] parallelizes internally.
+/// threads — synchronously ([`Engine::render_one`] /
+/// [`Engine::render_batch`]) or asynchronously ([`Engine::submit`], backed
+/// by persistent worker threads draining a bounded job queue).
+///
+/// Dropping an engine aborts its queue (queued jobs complete with
+/// [`RenderError::ShutDown`]) and joins the workers; call
+/// [`Engine::shutdown`] with [`ShutdownMode::Drain`] first to serve the
+/// backlog instead.
 pub struct Engine {
     backend: Backend,
     exec: ExecutionConfig,
-    pool: Vec<Mutex<Box<dyn RenderBackend>>>,
+    admission: AdmissionPolicy,
+    shared: Arc<EngineShared>,
+    /// Persistent submit-queue workers; drained (joined) on shutdown/drop.
+    workers: Vec<JoinHandle<()>>,
     /// Rotating start index for worker selection (see
     /// [`Engine::with_worker`]).
     next_worker: AtomicUsize,
@@ -210,7 +386,9 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("backend", &self.backend)
             .field("threads", &self.exec.threads)
-            .field("workers", &self.pool.len())
+            .field("workers", &self.shared.pool.len())
+            .field("admission", &self.admission)
+            .field("queue_capacity", &self.shared.queue.capacity())
             .finish()
     }
 }
@@ -227,6 +405,9 @@ impl Engine {
             background: Rgb::BLACK,
             exec: ExecutionConfig::sequential(),
             workers: None,
+            admission: AdmissionPolicy::default(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            start_paused: false,
         }
     }
 
@@ -240,9 +421,20 @@ impl Engine {
         self.exec.threads
     }
 
-    /// Number of pooled recycled sessions.
+    /// Number of pooled recycled sessions (also the number of persistent
+    /// submit-queue worker threads).
     pub fn worker_count(&self) -> usize {
-        self.pool.len()
+        self.shared.pool.len()
+    }
+
+    /// The admission policy applied by [`Engine::submit`].
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// The submission queue's capacity (maximum queued jobs).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
     }
 
     /// Renders one request on the first free pooled session.
@@ -278,10 +470,96 @@ impl Engine {
         })
     }
 
+    /// Submits one job to the asynchronous serving queue and returns its
+    /// [`JobHandle`] without waiting for the render.
+    ///
+    /// The submission is validated at the door (an invalid request is
+    /// refused immediately, never queued) and then admitted under the
+    /// engine's [`AdmissionPolicy`]. Persistent worker threads drain the
+    /// queue highest-priority-first, FIFO within a class; with the
+    /// [`AdmissionPolicy::Block`] policy and a single worker, waiting on
+    /// the handles in submission order yields framebuffers bit-identical
+    /// to [`Engine::render_batch`] over the same requests (pinned by the
+    /// `engine_async` integration test).
+    ///
+    /// # Errors
+    ///
+    /// * The request's own [`RenderError`] when it fails validation.
+    /// * [`RenderError::Overloaded`] when admission control refuses the
+    ///   submission ([`AdmissionPolicy::RejectWhenFull`], or an incoming
+    ///   job that loses the [`AdmissionPolicy::ShedLowPriority`]
+    ///   comparison).
+    /// * [`RenderError::ShutDown`] after [`Engine::shutdown`] has begun.
+    pub fn submit(&self, request: SubmitRequest) -> Result<JobHandle, RenderError> {
+        request.validate()?;
+        let cost = request.cost_hint();
+        let priority = request.priority;
+        let shared = job::JobShared::new();
+        let id = self.shared.queue.push(
+            request.scene,
+            request.camera,
+            priority,
+            cost,
+            Arc::clone(&shared),
+        )?;
+        Ok(JobHandle::new(
+            Arc::clone(&self.shared.queue),
+            shared,
+            id,
+            priority,
+        ))
+    }
+
+    /// A point-in-time snapshot of the serving counters:
+    /// queued/active gauges, cumulative submitted/completed/rejected/
+    /// cancelled counts and the queue high-water mark.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.queue.stats()
+    }
+
+    /// Pauses dispatch: workers finish their current render, then wait.
+    /// Submissions are still admitted (and shed) normally, so a paused
+    /// engine stages a burst deterministically. With the
+    /// [`AdmissionPolicy::Block`] policy, a submitter that fills the
+    /// paused queue blocks until another thread calls [`Engine::resume`]
+    /// (see [`EngineBuilder::start_paused`]).
+    pub fn pause(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Resumes dispatch after [`Engine::pause`] (or a
+    /// [`EngineBuilder::start_paused`] build).
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// Whether submit-queue dispatch is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.shared.queue.is_paused()
+    }
+
+    /// Shuts the serving queue down and joins the worker threads,
+    /// returning the final counters.
+    ///
+    /// [`ShutdownMode::Drain`] serves every queued job first (resuming a
+    /// paused engine); [`ShutdownMode::Abort`] completes queued jobs'
+    /// handles with [`RenderError::ShutDown`] instead. Either way,
+    /// submissions racing with the shutdown receive
+    /// [`RenderError::ShutDown`] and in-flight renders finish normally.
+    /// Dropping an engine without calling this is equivalent to an abort.
+    pub fn shutdown(mut self, mode: ShutdownMode) -> EngineStats {
+        self.shared.queue.shutdown(mode);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.queue.stats()
+    }
+
     /// Bytes currently reserved by the pooled sessions' recycled buffers.
     /// Stable once every worker has served the steady-state working set.
     pub fn footprint_bytes(&self) -> usize {
-        self.pool
+        self.shared
+            .pool
             .iter()
             .map(|slot| {
                 slot.lock()
@@ -309,9 +587,9 @@ impl Engine {
     fn with_worker<R>(&self, work: impl FnOnce(&mut dyn RenderBackend) -> R) -> R {
         use std::sync::TryLockError;
         let start = self.next_worker.fetch_add(1, Ordering::Relaxed);
-        let workers = self.pool.len();
+        let workers = self.shared.pool.len();
         for offset in 0..workers {
-            match self.pool[(start + offset) % workers].try_lock() {
+            match self.shared.pool[(start + offset) % workers].try_lock() {
                 Ok(mut guard) => return work(guard.as_mut()),
                 Err(TryLockError::Poisoned(poisoned)) => {
                     return work(poisoned.into_inner().as_mut())
@@ -319,9 +597,21 @@ impl Engine {
                 Err(TryLockError::WouldBlock) => {}
             }
         }
-        match self.pool[start % workers].lock() {
+        match self.shared.pool[start % workers].lock() {
             Ok(mut guard) => work(guard.as_mut()),
             Err(poisoned) => work(poisoned.into_inner().as_mut()),
+        }
+    }
+}
+
+impl Drop for Engine {
+    /// Aborts the queue (pending handles complete with
+    /// [`RenderError::ShutDown`]) and joins the worker threads. A no-op
+    /// after [`Engine::shutdown`].
+    fn drop(&mut self) {
+        self.shared.queue.shutdown(ShutdownMode::Abort);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -466,11 +756,11 @@ mod tests {
         // Poison the only pool slot by panicking while holding its lock —
         // the stand-in for a panic inside a pipeline stage.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = engine.pool[0].lock().unwrap();
+            let _guard = engine.shared.pool[0].lock().unwrap();
             panic!("mid-render panic");
         }));
         assert!(result.is_err());
-        assert!(engine.pool[0].is_poisoned());
+        assert!(engine.shared.pool[0].is_poisoned());
         // The engine recovers the worker instead of spinning forever, and
         // the recovered session still renders correctly (every buffer is
         // rebuilt per frame).
@@ -517,6 +807,148 @@ mod tests {
     fn empty_batch_is_fine() {
         let engine = Engine::builder().threads(4).build().unwrap();
         assert!(engine.render_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn submit_serves_a_job_and_counts_it() {
+        let engine = Engine::builder().build().unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 2));
+        let camera = trajectory(1).camera(0);
+        let handle = engine
+            .submit(SubmitRequest::new(std::sync::Arc::clone(&scene), camera))
+            .expect("valid submission");
+        assert_eq!(handle.priority(), splat_types::Priority::Normal);
+        let output = handle.wait().expect("render succeeds");
+        let fresh = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        assert_eq!(output.image.max_abs_diff(&fresh.image), 0.0);
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.in_flight(), 0);
+        assert_eq!(stats.queue_high_water, 1);
+    }
+
+    #[test]
+    fn submit_rejects_invalid_requests_at_the_door() {
+        let engine = Engine::builder().build().unwrap();
+        let empty = std::sync::Arc::new(Scene::new("empty", 64, 48, Vec::new()));
+        let camera = trajectory(1).camera(0);
+        let error = engine
+            .submit(SubmitRequest::new(empty, camera))
+            .expect_err("empty scene must be refused");
+        assert_eq!(error, RenderError::EmptyScene);
+        // Refused submissions never touch the queue.
+        assert_eq!(engine.stats().submitted, 0);
+    }
+
+    #[test]
+    fn try_poll_transitions_none_to_some_and_keeps_the_result() {
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let camera = trajectory(1).camera(0);
+        let handle = engine
+            .submit(SubmitRequest::new(scene, camera))
+            .expect("valid submission");
+        assert_eq!(handle.status(), JobStatus::Queued);
+        assert!(handle.try_poll().is_none(), "paused engine: still queued");
+        engine.resume();
+        while handle.try_poll().is_none() {
+            std::thread::yield_now();
+        }
+        assert!(handle.is_finished());
+        // Polling clones; the handle still owns the result for wait().
+        let polled = handle.try_poll().unwrap().expect("render succeeds");
+        let waited = handle.wait().expect("render succeeds");
+        assert_eq!(polled.image.max_abs_diff(&waited.image), 0.0);
+    }
+
+    #[test]
+    fn cancel_withdraws_a_queued_job() {
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let camera = trajectory(1).camera(0);
+        let victim = engine
+            .submit(SubmitRequest::new(std::sync::Arc::clone(&scene), camera))
+            .unwrap();
+        let survivor = engine
+            .submit(SubmitRequest::new(std::sync::Arc::clone(&scene), camera))
+            .unwrap();
+        assert!(victim.cancel());
+        assert!(!victim.cancel(), "cancelling twice finds nothing");
+        engine.resume();
+        assert_eq!(victim.wait().unwrap_err(), RenderError::Cancelled);
+        assert!(survivor.wait().is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn drain_shutdown_serves_the_backlog() {
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 1));
+        let camera = trajectory(1).camera(0);
+        let handles: Vec<JobHandle> = (0..3)
+            .map(|_| {
+                engine
+                    .submit(SubmitRequest::new(std::sync::Arc::clone(&scene), camera))
+                    .unwrap()
+            })
+            .collect();
+        // Drain resumes the paused queue, serves all three, then stops.
+        let stats = engine.shutdown(ShutdownMode::Drain);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.in_flight(), 0);
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn abort_shutdown_fails_queued_jobs_with_shut_down() {
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 1));
+        let camera = trajectory(1).camera(0);
+        let handle = engine
+            .submit(SubmitRequest::new(std::sync::Arc::clone(&scene), camera))
+            .unwrap();
+        let stats = engine.shutdown(ShutdownMode::Abort);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(handle.wait().unwrap_err(), RenderError::ShutDown);
+    }
+
+    #[test]
+    fn dropping_the_engine_aborts_outstanding_jobs() {
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 1));
+        let camera = trajectory(1).camera(0);
+        let handle = {
+            let engine = Engine::builder().start_paused(true).build().unwrap();
+            engine
+                .submit(SubmitRequest::new(std::sync::Arc::clone(&scene), camera))
+                .unwrap()
+            // Engine dropped here: abort + join.
+        };
+        assert_eq!(handle.wait().unwrap_err(), RenderError::ShutDown);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let engine = Engine::builder().build().unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let camera = trajectory(1).camera(0);
+        // Shutdown consumes the engine; re-create the submission path via a
+        // second engine whose queue is already draining.
+        let stats = engine.shutdown(ShutdownMode::Drain);
+        assert_eq!(stats.submitted, 0);
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        engine.shared.queue.shutdown(ShutdownMode::Drain);
+        assert_eq!(
+            engine
+                .submit(SubmitRequest::new(scene, camera))
+                .expect_err("draining queue refuses new work"),
+            RenderError::ShutDown
+        );
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Admission control for the asynchronous serving queue.
+//!
+//! A serving deployment at capacity has to decide what to do with the next
+//! submission: make the caller wait, turn the caller away, or turn away
+//! whoever in the queue is cheapest to reject. [`AdmissionPolicy`] picks
+//! between those three, and [`ShutdownMode`] picks what happens to the
+//! queue when the engine is torn down.
+//!
+//! The shedding policy follows the *deflation* idea from joint power and
+//! admission control: when demand exceeds capacity, remove the
+//! cheapest-to-reject request — lowest [`Priority`](splat_types::Priority)
+//! class first, then the highest cost hint
+//! ([`RenderRequest::cost_hint`](splat_core::RenderRequest::cost_hint),
+//! rejecting it frees the most capacity), then the most recent arrival
+//! (earlier submissions keep their place). The rule depends only on what
+//! is queued, never on worker timing, so an over-capacity burst deflates
+//! deterministically.
+
+/// What [`Engine::submit`](crate::Engine::submit) does when the job queue
+/// is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a worker frees a slot (the
+    /// default). Backpressure propagates to the caller; nothing is ever
+    /// rejected. With one worker this makes `submit` + `wait` reproduce
+    /// `render_batch` bit-for-bit, in submission order.
+    #[default]
+    Block,
+    /// Fail fast: return
+    /// [`RenderError::Overloaded`](splat_types::RenderError::Overloaded)
+    /// to the submitter without queueing. The queue itself is never
+    /// disturbed.
+    RejectWhenFull,
+    /// Deflate: keep at most `capacity` queued jobs, and when a submission
+    /// would exceed that, reject the cheapest-to-reject job — the incoming
+    /// one or an already-queued one, whichever has the lowest priority
+    /// (ties: highest cost hint, then latest arrival). A shed queued job's
+    /// handle completes with `RenderError::Overloaded`.
+    ShedLowPriority {
+        /// Maximum number of queued (not yet running) jobs.
+        capacity: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The queue capacity this policy enforces, given the engine's
+    /// configured default capacity.
+    pub(crate) fn capacity(self, default_capacity: usize) -> usize {
+        match self {
+            AdmissionPolicy::Block | AdmissionPolicy::RejectWhenFull => default_capacity.max(1),
+            AdmissionPolicy::ShedLowPriority { capacity } => capacity.max(1),
+        }
+    }
+
+    /// Short stable label used in logs and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::RejectWhenFull => "reject-when-full",
+            AdmissionPolicy::ShedLowPriority { .. } => "shed-low-priority",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How [`Engine::shutdown`](crate::Engine::shutdown) disposes of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShutdownMode {
+    /// Serve every queued job, then stop the workers (the default).
+    /// Submissions arriving after shutdown begins are rejected with
+    /// `RenderError::ShutDown`. A paused engine is resumed so the drain
+    /// can finish.
+    #[default]
+    Drain,
+    /// Stop as soon as in-flight renders finish: every still-queued job's
+    /// handle completes with `RenderError::ShutDown`.
+    Abort,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_blocks() {
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Block);
+        assert_eq!(ShutdownMode::default(), ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn shed_policy_overrides_the_default_capacity() {
+        assert_eq!(AdmissionPolicy::Block.capacity(64), 64);
+        assert_eq!(AdmissionPolicy::RejectWhenFull.capacity(64), 64);
+        assert_eq!(
+            AdmissionPolicy::ShedLowPriority { capacity: 3 }.capacity(64),
+            3
+        );
+    }
+
+    #[test]
+    fn zero_capacities_are_clamped_to_one() {
+        assert_eq!(AdmissionPolicy::Block.capacity(0), 1);
+        assert_eq!(
+            AdmissionPolicy::ShedLowPriority { capacity: 0 }.capacity(64),
+            1
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AdmissionPolicy::Block.to_string(), "block");
+        assert_eq!(
+            AdmissionPolicy::ShedLowPriority { capacity: 1 }.to_string(),
+            "shed-low-priority"
+        );
+    }
+}

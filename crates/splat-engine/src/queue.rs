@@ -1,0 +1,478 @@
+//! The bounded MPMC job queue behind
+//! [`Engine::submit`](crate::Engine::submit).
+//!
+//! Plain `std` synchronization only: one [`Mutex`] around the queue state
+//! and two [`Condvar`]s (`not_empty` wakes workers, `not_full` wakes
+//! blocked submitters). Dispatch pops the highest-priority job, FIFO within
+//! a class; admission applies the configured [`AdmissionPolicy`] at the
+//! door. Both rules are pure functions of the queue contents, which is what
+//! keeps serving deterministic: with the `Block` policy and a single
+//! worker, execution order *is* submission order.
+//!
+//! The two-timescale split of admission-control theory shows up here as
+//! code structure: the fast path ([`JobQueue::push`] / [`JobQueue::pop`])
+//! touches only the queue mutex, while the slow "policy" path — pause,
+//! resume, shutdown — flips mode flags that the fast path merely reads.
+
+use crate::job::JobShared;
+use crate::policy::{AdmissionPolicy, ShutdownMode};
+use crate::stats::EngineStats;
+use splat_scene::Scene;
+use splat_types::{Camera, Priority, RenderError};
+use std::cmp::Reverse;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// One admitted job, owned by the queue until a worker pops it.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: u64,
+    pub priority: Priority,
+    pub cost: u64,
+    pub scene: Arc<Scene>,
+    pub camera: Camera,
+    pub shared: Arc<JobShared>,
+}
+
+impl Job {
+    /// Shedding order: the job that minimizes this key is the cheapest to
+    /// reject — lowest priority class, then highest cost hint (rejecting
+    /// it frees the most capacity), then latest arrival (earlier
+    /// submissions keep their place).
+    fn shed_key(&self) -> (Priority, Reverse<u64>, Reverse<u64>) {
+        (self.priority, Reverse(self.cost), Reverse(self.id))
+    }
+
+    /// Dispatch order: the job that maximizes this key runs next —
+    /// highest priority class, FIFO within a class.
+    fn dispatch_key(&self) -> (Priority, Reverse<u64>) {
+        (self.priority, Reverse(self.id))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    cancelled: u64,
+    active: usize,
+    high_water: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    jobs: Vec<Job>,
+    next_id: u64,
+    paused: bool,
+    draining: bool,
+    aborted: bool,
+    counters: Counters,
+}
+
+/// The bounded MPMC queue: jobs enter through [`JobQueue::push`] (subject
+/// to admission control) and leave through [`JobQueue::pop`] (priority
+/// dispatch), [`JobQueue::cancel`] or shutdown.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    capacity: usize,
+    policy: AdmissionPolicy,
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new(policy: AdmissionPolicy, default_capacity: usize, paused: bool) -> Self {
+        Self {
+            capacity: policy.capacity(default_capacity),
+            policy,
+            inner: Mutex::new(QueueInner {
+                jobs: Vec::new(),
+                next_id: 0,
+                paused,
+                draining: false,
+                aborted: false,
+                counters: Counters::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The admission capacity (maximum queued jobs).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        // Queue state stays consistent across a panicking waiter (every
+        // mutation is completed before the guard drops), so a poisoned
+        // lock is recovered rather than propagated — the serving engine
+        // must never wedge on a lock nobody will unpoison.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Admits one submission under the configured policy, returning its
+    /// job id, or the typed rejection.
+    pub(crate) fn push(
+        &self,
+        scene: Arc<Scene>,
+        camera: Camera,
+        priority: Priority,
+        cost: u64,
+        shared: Arc<JobShared>,
+    ) -> Result<u64, RenderError> {
+        let mut shed_victim: Option<Job> = None;
+        let mut inner = self.lock();
+        loop {
+            if inner.draining || inner.aborted {
+                return Err(RenderError::ShutDown);
+            }
+            if inner.jobs.len() < self.capacity {
+                break;
+            }
+            match self.policy {
+                AdmissionPolicy::Block => {
+                    inner = self
+                        .not_full
+                        .wait(inner)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                AdmissionPolicy::RejectWhenFull => {
+                    inner.counters.rejected += 1;
+                    return Err(RenderError::Overloaded {
+                        capacity: self.capacity,
+                    });
+                }
+                AdmissionPolicy::ShedLowPriority { .. } => {
+                    // The incoming job is by definition the latest arrival,
+                    // so on a full (priority, cost) tie it is the one shed.
+                    let victim_index = inner
+                        .jobs
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, job)| job.shed_key())
+                        .map(|(index, _)| index)
+                        .expect("queue is full, so at least one job is queued");
+                    let victim = &inner.jobs[victim_index];
+                    let incoming_key = (priority, Reverse(cost), Reverse(u64::MAX));
+                    if incoming_key <= victim.shed_key() {
+                        inner.counters.rejected += 1;
+                        return Err(RenderError::Overloaded {
+                            capacity: self.capacity,
+                        });
+                    }
+                    let victim = inner.jobs.swap_remove(victim_index);
+                    inner.counters.rejected += 1;
+                    shed_victim = Some(victim);
+                    break;
+                }
+            }
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.push(Job {
+            id,
+            priority,
+            cost,
+            scene,
+            camera,
+            shared,
+        });
+        inner.counters.submitted += 1;
+        let queued = inner.jobs.len();
+        inner.counters.high_water = inner.counters.high_water.max(queued);
+        drop(inner);
+        self.not_empty.notify_one();
+        if let Some(victim) = shed_victim {
+            victim.shared.finish(Err(RenderError::Overloaded {
+                capacity: self.capacity,
+            }));
+        }
+        Ok(id)
+    }
+
+    /// Blocks until a job is dispatchable and claims it, or returns `None`
+    /// when the queue shut down (drained empty, or aborted).
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut inner = self.lock();
+        loop {
+            if inner.aborted {
+                return None;
+            }
+            if !inner.paused && !inner.jobs.is_empty() {
+                break;
+            }
+            if inner.draining && inner.jobs.is_empty() {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let index = inner
+            .jobs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, job)| job.dispatch_key())
+            .map(|(index, _)| index)
+            .expect("loop breaks only on a non-empty queue");
+        let job = inner.jobs.swap_remove(index);
+        inner.counters.active += 1;
+        drop(inner);
+        self.not_full.notify_one();
+        // More jobs may remain dispatchable; keep sibling workers awake.
+        self.not_empty.notify_one();
+        job.shared.set_active();
+        Some(job)
+    }
+
+    /// Records that a worker finished serving a popped job.
+    pub(crate) fn mark_completed(&self) {
+        let mut inner = self.lock();
+        inner.counters.active -= 1;
+        inner.counters.completed += 1;
+    }
+
+    /// Withdraws a still-queued job; `true` when it was found (its handle
+    /// completes with `RenderError::Cancelled`).
+    pub(crate) fn cancel(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        let Some(index) = inner.jobs.iter().position(|job| job.id == id) else {
+            return false;
+        };
+        let job = inner.jobs.swap_remove(index);
+        inner.counters.cancelled += 1;
+        drop(inner);
+        self.not_full.notify_one();
+        job.shared.finish(Err(RenderError::Cancelled));
+        true
+    }
+
+    /// Stops dispatch: workers finish their current render and then wait.
+    pub(crate) fn pause(&self) {
+        self.lock().paused = true;
+    }
+
+    /// Resumes dispatch after [`JobQueue::pause`].
+    pub(crate) fn resume(&self) {
+        self.lock().paused = false;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether dispatch is currently paused.
+    pub(crate) fn is_paused(&self) -> bool {
+        self.lock().paused
+    }
+
+    /// Enters shutdown: `Drain` lets workers empty the queue (resuming a
+    /// paused engine), `Abort` discards queued jobs (their handles complete
+    /// with `RenderError::ShutDown`). Blocked submitters wake and receive
+    /// `RenderError::ShutDown`; idempotent.
+    pub(crate) fn shutdown(&self, mode: ShutdownMode) {
+        let mut discarded = Vec::new();
+        let mut inner = self.lock();
+        match mode {
+            ShutdownMode::Drain => {
+                inner.draining = true;
+                inner.paused = false;
+            }
+            ShutdownMode::Abort => {
+                inner.aborted = true;
+                discarded = std::mem::take(&mut inner.jobs);
+                inner.counters.cancelled += discarded.len() as u64;
+            }
+        }
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        for job in discarded {
+            job.shared.finish(Err(RenderError::ShutDown));
+        }
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub(crate) fn stats(&self) -> EngineStats {
+        let inner = self.lock();
+        EngineStats {
+            submitted: inner.counters.submitted,
+            completed: inner.counters.completed,
+            rejected: inner.counters.rejected,
+            cancelled: inner.counters.cancelled,
+            queued: inner.jobs.len(),
+            active: inner.counters.active,
+            queue_high_water: inner.counters.high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_scene::{PaperScene, SceneScale};
+    use splat_types::{CameraIntrinsics, Vec3};
+
+    fn scene() -> Arc<Scene> {
+        Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0))
+    }
+
+    fn camera() -> Camera {
+        Camera::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 64, 48),
+        )
+    }
+
+    fn push(queue: &JobQueue, priority: Priority, cost: u64) -> Result<u64, RenderError> {
+        queue.push(scene(), camera(), priority, cost, JobShared::new())
+    }
+
+    #[test]
+    fn dispatch_is_priority_then_fifo() {
+        let queue = JobQueue::new(AdmissionPolicy::Block, 16, false);
+        push(&queue, Priority::Normal, 1).unwrap();
+        push(&queue, Priority::High, 1).unwrap();
+        push(&queue, Priority::Normal, 1).unwrap();
+        push(&queue, Priority::Critical, 1).unwrap();
+        let order: Vec<(Priority, u64)> = (0..4)
+            .map(|_| queue.pop().map(|job| (job.priority, job.id)).unwrap())
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (Priority::Critical, 3),
+                (Priority::High, 1),
+                (Priority::Normal, 0),
+                (Priority::Normal, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn reject_when_full_turns_the_incoming_job_away() {
+        let queue = JobQueue::new(AdmissionPolicy::RejectWhenFull, 2, true);
+        push(&queue, Priority::Critical, 1).unwrap();
+        push(&queue, Priority::Low, 1).unwrap();
+        assert_eq!(
+            push(&queue, Priority::Critical, 1),
+            Err(RenderError::Overloaded { capacity: 2 })
+        );
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queued, 2);
+        assert_eq!(stats.queue_high_water, 2);
+    }
+
+    #[test]
+    fn shedding_evicts_lowest_priority_then_highest_cost_then_youngest() {
+        // No worker threads here: pops are explicit, so the queue need not
+        // be paused for the admissions to stage deterministically.
+        let queue = JobQueue::new(AdmissionPolicy::ShedLowPriority { capacity: 3 }, 64, false);
+        let a = push(&queue, Priority::Low, 10).unwrap();
+        let _b = push(&queue, Priority::Low, 30).unwrap(); // shed below
+        let c = push(&queue, Priority::Normal, 10).unwrap();
+        // Queue full. A high-priority arrival evicts the low class's
+        // costliest job (b).
+        let d = push(&queue, Priority::High, 5).unwrap();
+        let ids: Vec<u64> = (0..3).map(|_| queue.pop().unwrap().id).collect();
+        assert_eq!(ids, vec![d, c, a]);
+        assert_eq!(queue.stats().rejected, 1);
+    }
+
+    #[test]
+    fn incoming_job_loses_shedding_ties() {
+        let queue = JobQueue::new(AdmissionPolicy::ShedLowPriority { capacity: 2 }, 64, true);
+        push(&queue, Priority::Normal, 10).unwrap();
+        push(&queue, Priority::Normal, 10).unwrap();
+        // Same priority, same cost: the incoming job is the latest arrival
+        // and is the one deflated.
+        assert_eq!(
+            push(&queue, Priority::Normal, 10),
+            Err(RenderError::Overloaded { capacity: 2 })
+        );
+        // Lower priority incoming: also rejected outright.
+        assert_eq!(
+            push(&queue, Priority::Low, 1),
+            Err(RenderError::Overloaded { capacity: 2 })
+        );
+        assert_eq!(queue.stats().queued, 2);
+    }
+
+    #[test]
+    fn cancel_frees_the_slot_and_reports_cancelled() {
+        let queue = JobQueue::new(AdmissionPolicy::Block, 4, true);
+        let id = push(&queue, Priority::Normal, 1).unwrap();
+        assert!(queue.cancel(id));
+        assert!(!queue.cancel(id), "second cancel finds nothing");
+        let stats = queue.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn drain_shutdown_serves_the_backlog_then_stops() {
+        let queue = JobQueue::new(AdmissionPolicy::Block, 4, true);
+        push(&queue, Priority::Normal, 1).unwrap();
+        push(&queue, Priority::Normal, 1).unwrap();
+        queue.shutdown(ShutdownMode::Drain);
+        assert_eq!(
+            push(&queue, Priority::Normal, 1),
+            Err(RenderError::ShutDown)
+        );
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_none(), "drained queue stops the workers");
+    }
+
+    #[test]
+    fn abort_shutdown_discards_the_backlog() {
+        let queue = JobQueue::new(AdmissionPolicy::Block, 4, true);
+        let shared = JobShared::new();
+        queue
+            .push(scene(), camera(), Priority::Normal, 1, Arc::clone(&shared))
+            .unwrap();
+        queue.shutdown(ShutdownMode::Abort);
+        assert!(queue.pop().is_none());
+        assert_eq!(queue.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn pause_gates_dispatch_without_refusing_admission() {
+        let queue = Arc::new(JobQueue::new(AdmissionPolicy::Block, 4, true));
+        push(&queue, Priority::Normal, 1).unwrap();
+        assert!(queue.is_paused());
+        // A popper blocks while paused; resuming releases it.
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop().map(|job| job.id))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!popper.is_finished(), "pop must wait while paused");
+        queue.resume();
+        assert_eq!(popper.join().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn blocked_submitter_wakes_when_a_slot_frees() {
+        let queue = Arc::new(JobQueue::new(AdmissionPolicy::Block, 1, true));
+        let first = push(&queue, Priority::Normal, 1).unwrap();
+        let submitter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || push(&queue, Priority::Normal, 1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            !submitter.is_finished(),
+            "submit must block on a full queue"
+        );
+        assert!(queue.cancel(first));
+        assert!(submitter.join().unwrap().is_ok());
+        assert_eq!(queue.stats().queued, 1);
+    }
+}

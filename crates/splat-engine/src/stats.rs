@@ -1,0 +1,115 @@
+//! Observable serving counters.
+
+/// A point-in-time snapshot of the engine's serving counters, taken with
+/// [`Engine::stats`](crate::Engine::stats).
+///
+/// Counters are cumulative over the engine's lifetime; `queued` and
+/// `active` are instantaneous gauges. The bookkeeping identity is
+/// `submitted == completed + cancelled + shed + queued + active`, where
+/// `shed` is the part of `rejected` that was admitted first and deflated
+/// later (`rejected` also counts submissions turned away at the door,
+/// which were never `submitted`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Jobs admitted into the queue.
+    pub submitted: u64,
+    /// Jobs fully served by a worker (whether the render succeeded or
+    /// returned a typed error).
+    pub completed: u64,
+    /// Jobs rejected with `RenderError::Overloaded`: submissions refused at
+    /// the door (`RejectWhenFull`, or an incoming job that lost the
+    /// shedding comparison) plus queued jobs deflated by `ShedLowPriority`.
+    pub rejected: u64,
+    /// Jobs withdrawn before running: cancelled through their handle, or
+    /// discarded by an aborting shutdown (`RenderError::ShutDown`).
+    pub cancelled: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently being rendered by workers.
+    pub active: usize,
+    /// The largest queue length ever observed — how close the engine came
+    /// to its admission capacity.
+    pub queue_high_water: usize,
+}
+
+impl EngineStats {
+    /// Jobs admitted but not yet finished (queued + active).
+    pub fn in_flight(&self) -> usize {
+        self.queued + self.active
+    }
+
+    /// One machine-readable JSON object (used by the `engine_submit`
+    /// bench and the serving example).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"cancelled\":{},\
+             \"queued\":{},\"active\":{},\"queue_high_water\":{}}}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.cancelled,
+            self.queued,
+            self.active,
+            self.queue_high_water,
+        )
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted {} / completed {} / rejected {} / cancelled {} / \
+             queued {} / active {} / high water {}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.cancelled,
+            self.queued,
+            self.active,
+            self.queue_high_water,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_sums_the_gauges() {
+        let stats = EngineStats {
+            queued: 3,
+            active: 2,
+            ..Default::default()
+        };
+        assert_eq!(stats.in_flight(), 5);
+    }
+
+    #[test]
+    fn json_and_display_cover_every_counter() {
+        let stats = EngineStats {
+            submitted: 10,
+            completed: 6,
+            rejected: 2,
+            cancelled: 1,
+            queued: 1,
+            active: 0,
+            queue_high_water: 4,
+        };
+        let json = stats.to_json();
+        for field in [
+            "\"submitted\":10",
+            "\"completed\":6",
+            "\"rejected\":2",
+            "\"cancelled\":1",
+            "\"queued\":1",
+            "\"active\":0",
+            "\"queue_high_water\":4",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(stats.to_string().contains("high water 4"));
+    }
+}

@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod summary;
 pub mod table;
 
+pub use digest::{digest_f32s, fnv1a64, Fnv1a64, FNV1A64_OFFSET, FNV1A64_PRIME};
 pub use summary::{geometric_mean, mean, normalize_to, normalize_to_first, Summary};
 pub use table::Table;

@@ -87,7 +87,8 @@ impl CameraIntrinsics {
     /// # Errors
     ///
     /// Returns [`Error::InvalidParameter`] when the resolution is zero or a
-    /// focal length is not strictly positive.
+    /// focal length is not strictly positive and finite (NaN and infinite
+    /// focal lengths — e.g. from a NaN field of view — are rejected).
     pub fn validate(&self) -> Result<()> {
         if self.width == 0 || self.height == 0 {
             return Err(Error::InvalidParameter {
@@ -95,10 +96,17 @@ impl CameraIntrinsics {
                 reason: format!("{}x{} must be non-zero", self.width, self.height),
             });
         }
-        if self.focal_x <= 0.0 || self.focal_y <= 0.0 {
+        // `!(x > 0.0)` rather than `x <= 0.0`: a NaN focal length (e.g.
+        // from a NaN field of view) fails every comparison and must still
+        // be rejected here.
+        if !(self.focal_x > 0.0
+            && self.focal_x.is_finite()
+            && self.focal_y > 0.0
+            && self.focal_y.is_finite())
+        {
             return Err(Error::InvalidParameter {
                 name: "focal",
-                reason: "focal lengths must be strictly positive".to_owned(),
+                reason: "focal lengths must be strictly positive and finite".to_owned(),
             });
         }
         Ok(())

@@ -98,10 +98,29 @@ pub enum RenderError {
     },
     /// Any other configuration violation (group sizing, accelerator
     /// parameters, worker counts, …).
+    ///
+    /// The serving engine also reports an internal backend panic (a
+    /// pipeline bug, not a caller error) through this variant, with a
+    /// reason beginning `"backend panicked"` — a client that retries on
+    /// transient faults should treat that reason as retryable rather than
+    /// as a permanent misconfiguration.
     InvalidConfiguration {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// Admission control deflated the submission: the serving queue was at
+    /// capacity and this job was (or would have been) the cheapest to
+    /// reject — lowest priority first, then highest estimated cost, then
+    /// most recent arrival.
+    Overloaded {
+        /// The admission capacity that was exceeded (queued jobs).
+        capacity: usize,
+    },
+    /// The job was cancelled through its handle before a worker picked
+    /// it up.
+    Cancelled,
+    /// The engine was shut down before the job could be served.
+    ShutDown,
 }
 
 impl fmt::Display for RenderError {
@@ -126,6 +145,14 @@ impl fmt::Display for RenderError {
             RenderError::InvalidConfiguration { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            RenderError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "engine overloaded: admission queue at capacity {capacity}, job shed"
+                )
+            }
+            RenderError::Cancelled => write!(f, "job cancelled before execution"),
+            RenderError::ShutDown => write!(f, "engine shut down before the job was served"),
         }
     }
 }
@@ -179,6 +206,14 @@ mod tests {
         let e = RenderError::InvalidTileSize { tile_size: 0 };
         assert!(e.to_string().contains("tile size 0"));
         assert!(RenderError::EmptyScene.to_string().contains("no gaussians"));
+    }
+
+    #[test]
+    fn serving_errors_display_their_cause() {
+        let e = RenderError::Overloaded { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        assert!(RenderError::Cancelled.to_string().contains("cancelled"));
+        assert!(RenderError::ShutDown.to_string().contains("shut down"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod error;
 pub mod gaussian;
 pub mod half;
 pub mod mat;
+pub mod priority;
 pub mod quat;
 pub mod rng;
 pub mod sh;
@@ -52,6 +53,7 @@ pub use error::{Error, RenderError, Result};
 pub use gaussian::{Gaussian3d, Gaussian3dBuilder, Precision};
 pub use half::F16;
 pub use mat::{Mat2, Mat3, Mat4};
+pub use priority::Priority;
 pub use quat::Quat;
 pub use sh::{ShCoefficients, SH_DEGREE_MAX};
 pub use vec::{Vec2, Vec3, Vec4};

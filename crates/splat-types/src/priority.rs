@@ -1,0 +1,98 @@
+//! Request priority classes for admission control.
+//!
+//! The serving engine's admission policies (most importantly
+//! `ShedLowPriority`) deflate over-capacity load by rejecting the
+//! cheapest-to-reject submissions first — and "cheapest to reject" is
+//! primarily this priority class. Priorities order naturally:
+//! [`Priority::Low`] `<` [`Priority::Normal`] `<` [`Priority::High`] `<`
+//! [`Priority::Critical`].
+
+use std::fmt;
+
+/// The admission-control priority class of a render submission.
+///
+/// Higher priorities are dispatched first and shed last. The default is
+/// [`Priority::Normal`], so callers that never think about priorities all
+/// compete in one FIFO class.
+///
+/// # Examples
+///
+/// ```
+/// use splat_types::Priority;
+///
+/// assert!(Priority::Low < Priority::Normal);
+/// assert!(Priority::High < Priority::Critical);
+/// assert_eq!(Priority::default(), Priority::Normal);
+/// assert_eq!(Priority::Critical.label(), "critical");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort work: previews, prefetches, speculative renders. Shed
+    /// first under load.
+    Low,
+    /// Ordinary interactive traffic (the default).
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic that should jump the normal queue.
+    High,
+    /// Must-serve traffic (health probes, operator actions). Shed last.
+    Critical,
+}
+
+impl Priority {
+    /// All priority classes, lowest first.
+    pub const ALL: [Priority; 4] = [
+        Priority::Low,
+        Priority::Normal,
+        Priority::High,
+        Priority::Critical,
+    ];
+
+    /// Short stable label used in logs, tables and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+            Priority::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_order_low_to_critical() {
+        for pair in Priority::ALL.windows(2) {
+            assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn labels_are_stable_and_lowercase() {
+        for priority in Priority::ALL {
+            let label = priority.label();
+            assert_eq!(label, label.to_lowercase());
+            assert_eq!(priority.to_string(), label);
+        }
+    }
+
+    #[test]
+    fn priority_is_send_sync_and_hash() {
+        fn assert_send_sync<T: Send + Sync + std::hash::Hash>() {}
+        assert_send_sync::<Priority>();
+    }
+}

@@ -13,11 +13,13 @@
 //!   baseline),
 //! * [`tile_grouping`] — the GS-TG pipeline: group-wise sorting with
 //!   per-Gaussian tile bitmasks,
-//! * [`engine`] — the batch-serving [`Engine`](engine::Engine): a pool of
+//! * [`engine`] — the serving [`Engine`](engine::Engine): a pool of
 //!   recycled sessions behind the backend-agnostic
 //!   [`RenderBackend`](core::RenderBackend) trait, serving fallible
-//!   [`RenderRequest`](core::RenderRequest)s one at a time or as
-//!   deterministic batches,
+//!   [`RenderRequest`](core::RenderRequest)s one at a time, as
+//!   deterministic batches, or asynchronously through a bounded
+//!   admission-controlled job queue
+//!   ([`Engine::submit`](engine::Engine::submit)),
 //! * [`accel`] — the cycle-level accelerator simulator,
 //! * [`metrics`] — summary statistics and table output.
 //!
@@ -78,11 +80,16 @@ pub mod prelude {
         ExecutionConfig, ExecutionModel, FrameArena, HasExecution, RenderBackend, RenderOutput,
         RenderRequest, SessionFrame, StageCounts,
     };
-    pub use splat_engine::{Backend, Engine, EngineBuilder};
+    pub use splat_engine::{
+        AdmissionPolicy, Backend, Engine, EngineBuilder, EngineStats, JobHandle, JobStatus,
+        ShutdownMode, SubmitRequest,
+    };
     pub use splat_metrics::{geometric_mean, Table};
     pub use splat_render::{BoundaryMethod, RenderConfig, RenderSession, Renderer};
     pub use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
-    pub use splat_types::{Camera, CameraIntrinsics, Gaussian3d, Quat, RenderError, Rgb, Vec3};
+    pub use splat_types::{
+        Camera, CameraIntrinsics, Gaussian3d, Priority, Quat, RenderError, Rgb, Vec3,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,270 @@
+//! Error-path coverage: every `RenderError` variant is constructed through
+//! the *public* `Engine`/backend API — never with a literal — and its
+//! `Display` output is asserted non-empty and stable.
+//!
+//! This pins two things at once: that each failure mode actually reaches
+//! callers as the documented variant (not a panic, not a coarser error),
+//! and that the human-readable messages server logs depend on don't drift
+//! silently.
+
+use gs_tg::prelude::*;
+use std::sync::Arc;
+
+fn valid_camera() -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 64, 48),
+    )
+}
+
+fn scene() -> Scene {
+    PaperScene::Playroom.build(SceneScale::Tiny, 0)
+}
+
+/// Stable name of a `RenderError` variant (the enum is `#[non_exhaustive]`,
+/// so coverage is asserted by name set rather than by `match` alone).
+fn variant_name(error: &RenderError) -> &'static str {
+    match error {
+        RenderError::DegenerateCamera { .. } => "DegenerateCamera",
+        RenderError::InvalidResolution { .. } => "InvalidResolution",
+        RenderError::InvalidIntrinsics { .. } => "InvalidIntrinsics",
+        RenderError::EmptyScene => "EmptyScene",
+        RenderError::InvalidTileSize { .. } => "InvalidTileSize",
+        RenderError::InvalidConfiguration { .. } => "InvalidConfiguration",
+        RenderError::Overloaded { .. } => "Overloaded",
+        RenderError::Cancelled => "Cancelled",
+        RenderError::ShutDown => "ShutDown",
+        other => panic!("new RenderError variant {other:?}: extend tests/error_paths.rs"),
+    }
+}
+
+/// Constructs one specimen of every variant through public entry points.
+fn all_variants_via_public_api() -> Vec<(RenderError, &'static str)> {
+    let scene = scene();
+    let engine = Engine::builder().build().expect("default engine");
+    let mut specimens = Vec::new();
+
+    // DegenerateCamera: up vector parallel to the view direction.
+    let degenerate = Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 5.0, 0.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 64, 48),
+    );
+    specimens.push((
+        engine
+            .render_one(&RenderRequest::new(&scene, degenerate))
+            .expect_err("degenerate camera must be rejected"),
+        "degenerate camera",
+    ));
+
+    // InvalidResolution: a zero-width image served through the engine.
+    let zero_width = Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 0, 48),
+    );
+    specimens.push((
+        engine
+            .render_one(&RenderRequest::new(&scene, zero_width))
+            .expect_err("zero-width image must be rejected"),
+        "invalid resolution 0x48",
+    ));
+
+    // InvalidIntrinsics: a non-finite field of view.
+    let bad_fov = Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(f32::NAN, 64, 48),
+    );
+    specimens.push((
+        engine
+            .render_one(&RenderRequest::new(&scene, bad_fov))
+            .expect_err("NaN field of view must be rejected"),
+        "invalid camera intrinsics",
+    ));
+
+    // EmptyScene: nothing to render.
+    let empty = Scene::new("empty", 64, 48, Vec::new());
+    specimens.push((
+        engine
+            .render_one(&RenderRequest::new(&empty, valid_camera()))
+            .expect_err("empty scene must be rejected"),
+        "no gaussians",
+    ));
+
+    // InvalidTileSize: a hand-mutated config with tile size 0.
+    let mut bad_tile = GstgConfig::paper_default();
+    bad_tile.tile_size = 0;
+    specimens.push((
+        Engine::builder()
+            .gstg_config(bad_tile)
+            .build()
+            .expect_err("tile size 0 must be rejected"),
+        "tile size 0",
+    ));
+
+    // InvalidConfiguration: a group size that is not a multiple of the
+    // tile size.
+    let mut bad_group = GstgConfig::paper_default();
+    bad_group.group_size = bad_group.tile_size + 1;
+    specimens.push((
+        Engine::builder()
+            .gstg_config(bad_group)
+            .build()
+            .expect_err("misaligned group size must be rejected"),
+        "invalid configuration",
+    ));
+
+    // Overloaded: the second submission to a paused, capacity-1,
+    // reject-when-full queue.
+    let shared_scene = Arc::new(scene.clone());
+    let reject_engine = Engine::builder()
+        .admission(AdmissionPolicy::RejectWhenFull)
+        .queue_capacity(1)
+        .start_paused(true)
+        .build()
+        .expect("valid engine");
+    let _queued = reject_engine
+        .submit(SubmitRequest::new(
+            Arc::clone(&shared_scene),
+            valid_camera(),
+        ))
+        .expect("first submission fits");
+    specimens.push((
+        reject_engine
+            .submit(SubmitRequest::new(
+                Arc::clone(&shared_scene),
+                valid_camera(),
+            ))
+            .expect_err("full queue must reject"),
+        "engine overloaded",
+    ));
+
+    // Cancelled: a queued job withdrawn through its handle.
+    let cancel_engine = Engine::builder()
+        .start_paused(true)
+        .build()
+        .expect("valid engine");
+    let handle = cancel_engine
+        .submit(SubmitRequest::new(
+            Arc::clone(&shared_scene),
+            valid_camera(),
+        ))
+        .expect("valid submission");
+    assert!(handle.cancel());
+    specimens.push((
+        handle.wait().expect_err("cancelled job must not render"),
+        "cancelled",
+    ));
+
+    // ShutDown: a queued job orphaned by an aborting shutdown.
+    let abort_engine = Engine::builder()
+        .start_paused(true)
+        .build()
+        .expect("valid engine");
+    let orphan = abort_engine
+        .submit(SubmitRequest::new(
+            Arc::clone(&shared_scene),
+            valid_camera(),
+        ))
+        .expect("valid submission");
+    abort_engine.shutdown(ShutdownMode::Abort);
+    specimens.push((
+        orphan.wait().expect_err("aborted job must not render"),
+        "shut down",
+    ));
+
+    specimens
+}
+
+#[test]
+fn every_variant_is_reachable_through_the_public_api() {
+    let specimens = all_variants_via_public_api();
+    let mut names: Vec<&'static str> = specimens
+        .iter()
+        .map(|(error, _)| variant_name(error))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names,
+        vec![
+            "Cancelled",
+            "DegenerateCamera",
+            "EmptyScene",
+            "InvalidConfiguration",
+            "InvalidIntrinsics",
+            "InvalidResolution",
+            "InvalidTileSize",
+            "Overloaded",
+            "ShutDown",
+        ],
+        "one specimen of every RenderError variant"
+    );
+}
+
+#[test]
+fn display_output_is_non_empty_and_stable() {
+    for (error, expected_fragment) in all_variants_via_public_api() {
+        let message = error.to_string();
+        assert!(!message.is_empty(), "{error:?} displays nothing");
+        assert!(
+            message.contains(expected_fragment),
+            "{error:?} display drifted: `{message}` no longer contains `{expected_fragment}`"
+        );
+        // House style: lowercase start, no trailing period.
+        assert!(
+            message.starts_with(|c: char| c.is_lowercase() || c.is_ascii_digit()),
+            "`{message}` should start lowercase"
+        );
+        assert!(
+            !message.ends_with('.'),
+            "`{message}` should not end with a period"
+        );
+    }
+}
+
+#[test]
+fn exact_messages_of_the_fixed_variants_are_pinned() {
+    // Variants without interpolated context must never change their text:
+    // deployments grep serving logs for these strings.
+    let specimens = all_variants_via_public_api();
+    let by_name = |name: &str| {
+        specimens
+            .iter()
+            .find(|(error, _)| variant_name(error) == name)
+            .map(|(error, _)| error.to_string())
+            .expect("specimen exists")
+    };
+    assert_eq!(by_name("EmptyScene"), "scene contains no gaussians");
+    assert_eq!(by_name("Cancelled"), "job cancelled before execution");
+    assert_eq!(
+        by_name("ShutDown"),
+        "engine shut down before the job was served"
+    );
+    assert_eq!(
+        by_name("Overloaded"),
+        "engine overloaded: admission queue at capacity 1, job shed"
+    );
+    assert_eq!(
+        by_name("InvalidResolution"),
+        "invalid resolution 0x48: both dimensions must be non-zero"
+    );
+    assert_eq!(
+        by_name("InvalidTileSize"),
+        "tile size 0 must be a power of two >= 4"
+    );
+}
+
+#[test]
+fn render_errors_implement_the_error_trait() {
+    for (error, _) in all_variants_via_public_api() {
+        let dynamic: &dyn std::error::Error = &error;
+        assert!(!dynamic.to_string().is_empty());
+    }
+}

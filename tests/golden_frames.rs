@@ -1,0 +1,110 @@
+//! Golden-image regression tests: pinned FNV-1a digests of three canonical
+//! scenes, rendered through both pipelines at one and four threads.
+//!
+//! Determinism tests (`tests/determinism.rs`, `tests/backend_parity.rs`)
+//! prove every in-tree path renders the *same* image; this suite pins
+//! *which* image. Silent raster drift — a changed blending constant, a
+//! reordered sort key, an off-by-one tile bound — keeps all the
+//! equivalence tests green while shifting every digest here, so it fails
+//! loudly instead of shipping.
+//!
+//! When an intentional rendering change lands, re-pin: run the test and
+//! copy the `actual 0x…` values from the failure messages into `GOLDEN`.
+
+use gs_tg::core::Framebuffer;
+use gs_tg::prelude::*;
+use splat_metrics::Fnv1a64;
+
+/// FNV-1a digest of a framebuffer: dimensions, then every pixel's
+/// channels in row-major order as little-endian `f32` bit patterns.
+fn frame_digest(image: &Framebuffer) -> u64 {
+    let mut hasher = Fnv1a64::new();
+    hasher.write_u64(u64::from(image.width()));
+    hasher.write_u64(u64::from(image.height()));
+    for pixel in image.pixels() {
+        hasher.write_f32(pixel.r);
+        hasher.write_f32(pixel.g);
+        hasher.write_f32(pixel.b);
+    }
+    hasher.finish()
+}
+
+fn camera() -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 96, 64),
+    )
+}
+
+/// The pinned digests: one per canonical scene. Both pipelines are
+/// lossless-equivalent and thread-invariant, so all four combinations
+/// (baseline/GS-TG × threads 1/4) must land on this exact value.
+const GOLDEN: [(PaperScene, u64); 3] = [
+    (PaperScene::Train, 0x14cc_1b55_da64_e7bf),
+    (PaperScene::Playroom, 0x6c3b_961f_6b42_86a2),
+    (PaperScene::Drjohnson, 0x63cd_e21c_382b_0f6a),
+];
+
+#[test]
+fn golden_digests_hold_for_both_pipelines_at_one_and_four_threads() {
+    for (paper_scene, golden) in GOLDEN {
+        let scene = paper_scene.build(SceneScale::Tiny, 0);
+        let camera = camera();
+        for threads in [1usize, 4] {
+            let baseline = Renderer::new(RenderConfig::default().with_threads(threads))
+                .render(&scene, &camera);
+            let grouped = GstgRenderer::new(GstgConfig::paper_default().with_threads(threads))
+                .render(&scene, &camera);
+            for (pipeline, output) in [("baseline", &baseline), ("gstg", &grouped)] {
+                let digest = frame_digest(&output.image);
+                assert_eq!(
+                    digest, golden,
+                    "{paper_scene:?}/{pipeline}/threads={threads}: raster drift! \
+                     expected {golden:#018x}, actual {digest:#018x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn digest_is_sensitive_to_a_single_pixel_bit() {
+    let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
+    let camera = camera();
+    let output = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+    let clean = frame_digest(&output.image);
+
+    let mut tampered = output.image.clone();
+    let pixel = tampered.pixel(48, 32);
+    tampered.set_pixel(
+        48,
+        32,
+        Rgb::new(f32::from_bits(pixel.r.to_bits() ^ 1), pixel.g, pixel.b),
+    );
+    assert_ne!(
+        clean,
+        frame_digest(&tampered),
+        "flipping one mantissa bit must change the digest"
+    );
+}
+
+#[test]
+fn digest_distinguishes_the_canonical_scenes() {
+    let camera = camera();
+    let digests: Vec<u64> = GOLDEN
+        .iter()
+        .map(|(paper_scene, _)| {
+            let scene = paper_scene.build(SceneScale::Tiny, 0);
+            frame_digest(
+                &GstgRenderer::new(GstgConfig::paper_default())
+                    .render(&scene, &camera)
+                    .image,
+            )
+        })
+        .collect();
+    assert_ne!(digests[0], digests[1]);
+    assert_ne!(digests[1], digests[2]);
+    assert_ne!(digests[0], digests[2]);
+}
