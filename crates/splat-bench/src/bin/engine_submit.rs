@@ -16,11 +16,22 @@
 //! `BENCH_*.json` capture; the shared `--scale` / `--resolution-divisor` /
 //! `--seed-offset` / `--frames` knobs of the experiment harness apply.
 //!
+//! `--registry` switches every submission to the handle-based path: the
+//! scene is registered once (`Engine::register_scene`) and jobs reference
+//! it through `SceneRef::Id`. The run also evicts the scene, provokes one
+//! typed miss and re-registers, so the emitted `engine_stats` carry live
+//! registered/evicted/hit/miss counters.
+//!
 //! The binary exits non-zero if the engine's counters disagree with the
-//! work submitted (a lost or double-served job), so CI smoke-runs enforce
-//! the serving accounting mechanically.
+//! work submitted (a lost or double-served job) — and, under
+//! `--registry`, if the registry accounting drifts (`registered !=
+//! resident + evicted`, a served job that was not a hit, or more than the
+//! one provoked miss) — so CI smoke-runs enforce the serving accounting
+//! mechanically.
 
-use splat_bench::{run_engine_batch, run_engine_submit, HarnessOptions};
+use splat_bench::{
+    run_engine_batch, run_engine_submit, run_engine_submit_registry, HarnessOptions,
+};
 use splat_engine::Backend;
 use splat_scene::{CameraTrajectory, PaperScene};
 use splat_types::{Camera, CameraIntrinsics};
@@ -28,6 +39,7 @@ use std::sync::Arc;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let registry_mode = std::env::args().any(|arg| arg == "--registry");
     let frames = options.frames.unwrap_or(12);
     let scene_id = PaperScene::Playroom;
     let scene = Arc::new(options.scene(scene_id));
@@ -47,7 +59,12 @@ fn main() {
     let cameras: Vec<Camera> = trajectory.cameras().collect();
 
     if !options.json {
-        println!("# Engine submit throughput/latency — async serving over {frames} jobs");
+        let mode = if registry_mode {
+            "handle-based (SceneRef::Id)"
+        } else {
+            "inline (SceneRef::Inline)"
+        };
+        println!("# Engine submit throughput/latency — async serving over {frames} jobs, {mode}");
         println!(
             "# workload: {}, scene `{}` ({} Gaussians) at {}x{}",
             options.describe(),
@@ -62,13 +79,21 @@ fn main() {
     let mut accounting_clean = true;
     for backend in [Backend::Baseline, Backend::Gstg] {
         for workers in [1usize, 4] {
-            let run = run_engine_submit(backend, workers, &scene, &cameras);
+            let run = if registry_mode {
+                run_engine_submit_registry(backend, workers, &scene, &cameras)
+            } else {
+                run_engine_submit(backend, workers, &scene, &cameras)
+            };
             let batch = run_engine_batch(backend, workers, &scene, &cameras);
             if options.json {
                 println!(
                     "{}",
                     run.to_json(
-                        "engine_submit",
+                        if registry_mode {
+                            "engine_submit_registry"
+                        } else {
+                            "engine_submit"
+                        },
                         &options,
                         reference.width(),
                         reference.height()
@@ -86,6 +111,18 @@ fn main() {
                     batch.fps(),
                     run.checksum,
                 );
+                if registry_mode {
+                    println!(
+                        "       registry    : {} registered, {} resident ({} B), {} evicted, \
+                         {} hits, {} misses",
+                        run.stats.registered,
+                        run.stats.resident_scenes,
+                        run.stats.resident_bytes,
+                        run.stats.evicted,
+                        run.stats.scene_hits,
+                        run.stats.scene_misses,
+                    );
+                }
             }
             // Serving accounting: the engine must have served exactly the
             // submitted work — two bursts of `frames` plus the round trips
@@ -108,6 +145,34 @@ fn main() {
                 eprintln!(
                     "error: {backend} w={workers}: submit checksum {:.9} != batch checksum {:.9}",
                     run.checksum, batch.checksum
+                );
+                accounting_clean = false;
+            }
+            // Registry accounting: every registered scene is resident or
+            // evicted, every handle-served job was a hit, and exactly the
+            // one provoked miss occurred.
+            if registry_mode {
+                let stats = run.stats;
+                if stats.registered != stats.resident_scenes as u64 + stats.evicted {
+                    eprintln!(
+                        "error: {backend} w={workers}: registered {} != resident {} + evicted {}",
+                        stats.registered, stats.resident_scenes, stats.evicted
+                    );
+                    accounting_clean = false;
+                }
+                if stats.scene_hits != expected || stats.scene_misses != 1 {
+                    eprintln!(
+                        "error: {backend} w={workers}: expected {expected} hits / 1 miss, \
+                         got {} hits / {} misses",
+                        stats.scene_hits, stats.scene_misses
+                    );
+                    accounting_clean = false;
+                }
+            } else if run.stats.registered != 0 || run.stats.scene_hits != 0 {
+                eprintln!(
+                    "error: {backend} w={workers}: inline mode must not touch the registry, \
+                     got counters {}",
+                    run.stats
                 );
                 accounting_clean = false;
             }

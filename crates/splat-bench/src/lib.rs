@@ -23,10 +23,10 @@
 
 use gstg::{ExecutionModel, GstgConfig};
 use splat_core::RenderRequest;
-use splat_engine::{Backend, Engine, SubmitRequest};
+use splat_engine::{Backend, Engine, SceneRef, SubmitRequest};
 use splat_render::{BoundaryMethod, CostModel, RenderConfig, Renderer, StageCounts, StageTimes};
 use splat_scene::{PaperScene, Scene, SceneScale};
-use splat_types::{Camera, CameraIntrinsics, Vec3};
+use splat_types::{Camera, CameraIntrinsics, RenderError, Vec3};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -384,12 +384,60 @@ pub fn run_engine_submit(
         .workers(workers)
         .build()
         .expect("default pipeline configurations are valid");
+    run_submit_on(engine, backend, workers, scene, None, cameras)
+}
+
+/// Handle-based variant of [`run_engine_submit`]: the scene is registered
+/// once and every job references it through `SceneRef::Id`, so the timed
+/// path includes the registry resolution. The run also exercises the
+/// slow-timescale controls — the scene is evicted, a miss is provoked
+/// (`RenderError::Evicted`), and the scene re-registered — so the
+/// returned stats carry non-trivial registered/evicted/hit/miss counters
+/// for the `engine_submit --registry` accounting check.
+///
+/// # Panics
+///
+/// Panics if registration, any handle-based submission, or the provoked
+/// miss behaves differently than the registry contract promises.
+pub fn run_engine_submit_registry(
+    backend: Backend,
+    workers: usize,
+    scene: &Arc<splat_scene::Scene>,
+    cameras: &[Camera],
+) -> SubmitRun {
+    let engine = Engine::builder()
+        .backend(backend)
+        .workers(workers)
+        .build()
+        .expect("default pipeline configurations are valid");
+    let id = engine
+        .register_scene(Arc::clone(scene))
+        .expect("harness scenes are non-empty");
+    run_submit_on(engine, backend, workers, scene, Some(id), cameras)
+}
+
+/// Shared burst/round-trip timing over one engine; jobs reference the
+/// scene by registered handle when `id` is `Some`, inline otherwise. In
+/// handle mode the eviction/miss/re-register sequence is exercised after
+/// timing, so the final stats include non-trivial registry counters.
+fn run_submit_on(
+    engine: Engine,
+    backend: Backend,
+    workers: usize,
+    scene: &Arc<splat_scene::Scene>,
+    id: Option<splat_engine::SceneId>,
+    cameras: &[Camera],
+) -> SubmitRun {
+    let scene_ref = match id {
+        Some(id) => SceneRef::Id(id),
+        None => SceneRef::Inline(Arc::clone(scene)),
+    };
     let submit_all = |engine: &Engine| -> f64 {
         let handles: Vec<splat_engine::JobHandle> = cameras
             .iter()
             .map(|camera| {
                 engine
-                    .submit(SubmitRequest::new(Arc::clone(scene), *camera))
+                    .submit(SubmitRequest::new(scene_ref.clone(), *camera))
                     .expect("blocking admission never rejects")
             })
             .collect();
@@ -415,7 +463,7 @@ pub fn run_engine_submit(
     for camera in &cameras[..round_trips] {
         let start = Instant::now();
         let output = engine
-            .submit(SubmitRequest::new(Arc::clone(scene), *camera))
+            .submit(SubmitRequest::new(scene_ref.clone(), *camera))
             .expect("blocking admission never rejects")
             .wait()
             .expect("valid request");
@@ -424,6 +472,24 @@ pub fn run_engine_submit(
         total += trip;
         worst = worst.max(trip);
     }
+
+    // Registry mode: exercise the slow-timescale controls so the counters
+    // in the JSON output are non-trivial (and checkable).
+    if let Some(id) = id {
+        engine.evict_scene(id).expect("scene is resident");
+        match engine.submit(SubmitRequest::new(id, cameras[0])) {
+            Err(RenderError::Evicted { id: missed }) if missed == id => {}
+            other => panic!("evicted handle must miss with Evicted, got {other:?}"),
+        }
+        let again = engine
+            .register_scene(Arc::clone(scene))
+            .expect("re-registration succeeds");
+        let prepared = engine
+            .prepared_scene(again)
+            .expect("re-registered scene is resident");
+        assert!(prepared.footprint_bytes() > 0);
+    }
+
     SubmitRun {
         backend,
         workers,
@@ -545,6 +611,42 @@ mod tests {
         assert!(json.contains("\"pipeline\":\"engine-submit-gstg\""));
         assert!(json.contains("\"workers\":2"));
         assert!(json.contains("\"engine_stats\":{\"submitted\":9"));
+    }
+
+    #[test]
+    fn engine_submit_registry_harness_reconciles_registry_counters() {
+        let o = HarnessOptions {
+            scale: SceneScale::Tiny,
+            resolution_divisor: 16,
+            seed_offset: 0,
+            json: true,
+            frames: None,
+        };
+        let scene = Arc::new(o.scene(PaperScene::Playroom));
+        let camera = o.camera(PaperScene::Playroom);
+        let cameras = vec![camera; 3];
+        let inline = run_engine_submit(Backend::Gstg, 2, &scene, &cameras);
+        let registry = run_engine_submit_registry(Backend::Gstg, 2, &scene, &cameras);
+        // Same jobs, same pixels: the handle is invisible in the output.
+        assert_eq!(registry.stats.completed, inline.stats.completed);
+        assert!((registry.checksum - inline.checksum).abs() < 1e-12);
+        // Two registrations (initial + the post-eviction re-register), one
+        // eviction, one provoked miss, every served job a hit.
+        assert_eq!(registry.stats.registered, 2);
+        assert_eq!(registry.stats.evicted, 1);
+        assert_eq!(registry.stats.resident_scenes, 1);
+        assert_eq!(
+            registry.stats.registered,
+            registry.stats.resident_scenes as u64 + registry.stats.evicted
+        );
+        assert_eq!(registry.stats.scene_hits, registry.stats.submitted);
+        assert_eq!(registry.stats.scene_misses, 1);
+        let json = registry.to_json("engine_submit", &o, camera.width(), camera.height());
+        assert!(json.contains("\"registered\":2"));
+        assert!(json.contains("\"scene_misses\":1"));
+        // The inline run keeps zeroed registry counters.
+        assert_eq!(inline.stats.registered, 0);
+        assert_eq!(inline.stats.scene_hits, 0);
     }
 
     #[test]

@@ -23,6 +23,19 @@ use crate::stats::RenderStats;
 use splat_scene::Scene;
 use splat_types::{Camera, RenderError};
 
+/// The admission-control cost estimate for serving `splats` Gaussians at a
+/// `width`×`height` output: the two inputs every pipeline stage scales
+/// with, summed with saturating arithmetic so pathological sizes rank as
+/// "maximally expensive" instead of wrapping. The single source of truth
+/// behind [`RenderRequest::cost_hint`] and the engine-side hints
+/// (`SubmitRequest::cost_hint`, `PreparedScene::cost_hint`) — they must
+/// agree, or handle-based and inline submissions of the same scene would
+/// shed differently.
+pub fn request_cost_hint(splats: usize, width: u32, height: u32) -> u64 {
+    let pixels = u64::from(width).saturating_mul(u64::from(height));
+    (splats as u64).saturating_add(pixels)
+}
+
 /// One view to render: a scene and a posed camera.
 ///
 /// Requests are cheap to construct (the scene is borrowed) and carry
@@ -70,10 +83,12 @@ impl<'a> RenderRequest<'a> {
     /// count: its only job is to rank queued requests so a shedding policy
     /// can reject the submission that frees the most capacity, and to do so
     /// deterministically (the hint depends only on the request, never on
-    /// engine state).
+    /// engine state). The arithmetic saturates (see [`request_cost_hint`]),
+    /// so pathological inputs (e.g. a `u32::MAX`-square camera) rank as
+    /// "maximally expensive" instead of wrapping into a cheap-looking hint
+    /// — or overflowing the intermediate `usize` math on 32-bit targets.
     pub fn cost_hint(&self) -> u64 {
-        let pixels = u64::from(self.camera.width()) * u64::from(self.camera.height());
-        self.scene.len() as u64 + pixels
+        request_cost_hint(self.scene.len(), self.camera.width(), self.camera.height())
     }
 
     /// Validates the request without rendering it.
@@ -195,6 +210,20 @@ mod tests {
             128 * 96 - 64 * 48,
             "same scene: the hint differs by exactly the pixel delta"
         );
+    }
+
+    #[test]
+    fn cost_hint_saturates_instead_of_wrapping() {
+        // Regression: a u32::MAX-square camera multiplies to just under
+        // u64::MAX; the hint must rank it as maximally expensive, never
+        // wrap. (Admission control compares hints, so a wrapped hint would
+        // make the most expensive request look like the cheapest.)
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 0);
+        let pathological = RenderRequest::new(&scene, camera(u32::MAX, u32::MAX));
+        let expected = u64::from(u32::MAX).saturating_mul(u64::from(u32::MAX)) + scene.len() as u64;
+        assert_eq!(pathological.cost_hint(), expected);
+        let sane = RenderRequest::new(&scene, camera(64, 48));
+        assert!(pathological.cost_hint() > sane.cost_hint());
     }
 
     #[test]

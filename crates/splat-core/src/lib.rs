@@ -52,7 +52,7 @@ pub mod stage;
 pub mod stats;
 
 pub use arena::{FrameArena, SessionFrame};
-pub use backend::{RenderBackend, RenderOutput, RenderRequest};
+pub use backend::{request_cost_hint, RenderBackend, RenderOutput, RenderRequest};
 pub use blend::{
     alpha_at, rasterize_tile, rasterize_tile_into, shade_pixel, TileRaster, ALPHA_CULL_THRESHOLD,
     ALPHA_MAX, TRANSMITTANCE_EPSILON,

@@ -1,4 +1,5 @@
-//! Submissions and job handles for the asynchronous serving path.
+//! Submissions, scene references and job handles for the asynchronous
+//! serving path.
 //!
 //! [`Engine::submit`](crate::Engine::submit) turns a [`SubmitRequest`] into
 //! a queued job and hands back a [`JobHandle`] — the caller's only view of
@@ -8,18 +9,75 @@
 //! [`JobHandle::cancel`] (withdraw a job that has not started, freeing its
 //! queue slot).
 //!
-//! Unlike the synchronous [`RenderRequest`], a
-//! submission owns its scene through an [`Arc`] — the job outlives the
-//! submitting stack frame, so nothing can be borrowed.
+//! A submission names its scene through a [`SceneRef`]: either a
+//! [`SceneId`] handle obtained from
+//! [`Engine::register_scene`](crate::Engine::register_scene) (the
+//! registry resolves it at the door, so many jobs share one prepared
+//! scene) or an inline [`Arc<Scene>`] (the pre-registry shape — still
+//! supported, and what `SubmitRequest::new` accepts transparently from an
+//! `Arc<Scene>`). Either way the job *owns* an `Arc` once admitted, so a
+//! scene evicted mid-queue keeps rendering for jobs already holding it.
+//!
+//! [`Engine::submit_trajectory`](crate::Engine::submit_trajectory) fans a
+//! whole camera path into per-frame jobs and returns a
+//! [`TrajectoryHandle`] that delivers the frames in path order.
 
 use crate::queue::JobQueue;
 use splat_core::{RenderOutput, RenderRequest};
 use splat_scene::Scene;
-use splat_types::{Camera, Priority, RenderError};
+use splat_types::{Camera, Priority, RenderError, SceneId};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// One asynchronous render submission: a shared scene, a posed camera and
-/// an admission priority.
+/// How a submission names its scene: by registry handle or inline.
+///
+/// `From` conversions exist for both shapes, so call sites write
+/// `SubmitRequest::new(scene_id, camera)` or
+/// `SubmitRequest::new(scene_arc, camera)` and never spell the enum.
+///
+/// # Examples
+///
+/// ```
+/// use splat_engine::SceneRef;
+/// use splat_scene::{PaperScene, SceneScale};
+/// use splat_types::SceneId;
+/// use std::sync::Arc;
+///
+/// let by_id: SceneRef = SceneId::from_raw(0).into();
+/// assert!(matches!(by_id, SceneRef::Id(_)));
+/// let inline: SceneRef = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0)).into();
+/// assert!(matches!(inline, SceneRef::Inline(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub enum SceneRef {
+    /// A handle from `Engine::register_scene`. Resolved (and LRU-stamped)
+    /// by the registry when the job is admitted; a miss surfaces as
+    /// [`RenderError::UnknownScene`] or [`RenderError::Evicted`].
+    Id(SceneId),
+    /// A scene shipped with the job, bypassing the registry — the
+    /// pre-registry calling convention. No residency accounting applies.
+    Inline(Arc<Scene>),
+}
+
+impl From<SceneId> for SceneRef {
+    fn from(id: SceneId) -> Self {
+        SceneRef::Id(id)
+    }
+}
+
+impl From<Arc<Scene>> for SceneRef {
+    fn from(scene: Arc<Scene>) -> Self {
+        SceneRef::Inline(scene)
+    }
+}
+
+impl From<&Arc<Scene>> for SceneRef {
+    fn from(scene: &Arc<Scene>) -> Self {
+        SceneRef::Inline(Arc::clone(scene))
+    }
+}
+
+/// One asynchronous render submission: a scene reference, a posed camera
+/// and an admission priority.
 ///
 /// # Examples
 ///
@@ -43,9 +101,8 @@ use std::sync::{Arc, Condvar, Mutex};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SubmitRequest {
-    /// The scene to render, shared with the submitter (cloning the `Arc`
-    /// is cheap, so many submissions can reference one scene).
-    pub scene: Arc<Scene>,
+    /// The scene to render: a registered handle or an inline `Arc`.
+    pub scene: SceneRef,
     /// The posed camera; the framebuffer takes its dimensions from the
     /// camera intrinsics.
     pub camera: Camera,
@@ -55,10 +112,11 @@ pub struct SubmitRequest {
 }
 
 impl SubmitRequest {
-    /// Creates a normal-priority submission for one view of `scene`.
-    pub fn new(scene: Arc<Scene>, camera: Camera) -> Self {
+    /// Creates a normal-priority submission for one view of a scene —
+    /// named by [`SceneId`], `Arc<Scene>`, or an explicit [`SceneRef`].
+    pub fn new(scene: impl Into<SceneRef>, camera: Camera) -> Self {
         Self {
-            scene,
+            scene: scene.into(),
             camera,
             priority: Priority::default(),
         }
@@ -70,28 +128,37 @@ impl SubmitRequest {
         self
     }
 
-    /// The borrowed request a backend serves (used internally by workers).
-    pub fn as_render_request(&self) -> RenderRequest<'_> {
-        RenderRequest::new(&self.scene, self.camera)
-    }
-
-    /// The admission-control cost estimate of this submission
-    /// (see [`RenderRequest::cost_hint`]).
+    /// The admission-control cost estimate of this submission (see
+    /// `RenderRequest::cost_hint`). For a [`SceneRef::Id`] reference the
+    /// scene half is unknown until the registry resolves the handle, so
+    /// only the pixel half is counted here; the engine recomputes the full
+    /// hint at admission.
     pub fn cost_hint(&self) -> u64 {
-        self.as_render_request().cost_hint()
+        let splats = match &self.scene {
+            SceneRef::Inline(scene) => scene.len(),
+            SceneRef::Id(_) => 0,
+        };
+        splat_core::request_cost_hint(splats, self.camera.width(), self.camera.height())
     }
 
-    /// Validates the submission without queueing it (same checks as
-    /// [`RenderRequest::validate`]).
+    /// Validates the submission without queueing it. For an inline scene
+    /// this performs the same checks as `RenderRequest::validate`; for a
+    /// [`SceneRef::Id`] reference only the camera can be checked here —
+    /// the registry resolves (or refuses) the handle at submission.
     ///
     /// # Errors
     ///
     /// Returns the [`RenderError`] a backend would have raised:
-    /// [`RenderError::EmptyScene`], [`RenderError::InvalidResolution`],
+    /// [`RenderError::EmptyScene`] (inline only),
+    /// [`RenderError::InvalidResolution`],
     /// [`RenderError::InvalidIntrinsics`] or
     /// [`RenderError::DegenerateCamera`].
     pub fn validate(&self) -> Result<(), RenderError> {
-        self.as_render_request().validate()
+        match &self.scene {
+            // Delegate so the two validation paths cannot drift apart.
+            SceneRef::Inline(scene) => RenderRequest::new(scene, self.camera).validate(),
+            SceneRef::Id(_) => self.camera.validate(),
+        }
     }
 }
 
@@ -265,5 +332,93 @@ impl JobHandle {
     /// already rendering or finished — in-flight work is never interrupted.
     pub fn cancel(&self) -> bool {
         self.queue.cancel(self.id)
+    }
+}
+
+/// One frame slot of a [`TrajectoryHandle`]: a live job, a submission that
+/// was refused at the door (kept so the frame still reports its error in
+/// order), or already delivered.
+#[derive(Debug)]
+enum FrameSlot {
+    Pending(JobHandle),
+    Refused(RenderError),
+    Delivered,
+}
+
+/// In-order delivery of a camera path fanned into per-frame jobs by
+/// [`Engine::submit_trajectory`](crate::Engine::submit_trajectory).
+///
+/// All frames are submitted up front (workers render them with whatever
+/// parallelism the engine has), but delivery is strictly path order:
+/// [`TrajectoryHandle::next_frame`] returns frame 0, then frame 1, … —
+/// the shape a video encoder or streaming client consumes. A frame whose
+/// submission was refused (e.g. shed by admission control) still occupies
+/// its slot and yields its error in order.
+#[derive(Debug)]
+pub struct TrajectoryHandle {
+    frames: Vec<FrameSlot>,
+    next: usize,
+}
+
+impl TrajectoryHandle {
+    pub(crate) fn new(frames: Vec<Result<JobHandle, RenderError>>) -> Self {
+        Self {
+            frames: frames
+                .into_iter()
+                .map(|frame| match frame {
+                    Ok(handle) => FrameSlot::Pending(handle),
+                    Err(error) => FrameSlot::Refused(error),
+                })
+                .collect(),
+            next: 0,
+        }
+    }
+
+    /// Total number of frames in the trajectory.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the trajectory has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frames already taken through [`TrajectoryHandle::next_frame`].
+    pub fn frames_delivered(&self) -> usize {
+        self.next
+    }
+
+    /// Blocks for the next frame **in path order** and returns it, or
+    /// `None` once every frame has been delivered. Later frames may
+    /// already be finished — delivery order is still frame 0, 1, 2, …
+    pub fn next_frame(&mut self) -> Option<Result<RenderOutput, RenderError>> {
+        let slot = self.frames.get_mut(self.next)?;
+        self.next += 1;
+        match std::mem::replace(slot, FrameSlot::Delivered) {
+            FrameSlot::Pending(handle) => Some(handle.wait()),
+            FrameSlot::Refused(error) => Some(Err(error)),
+            FrameSlot::Delivered => unreachable!("the cursor only passes a slot once"),
+        }
+    }
+
+    /// Waits for every remaining frame and returns them in path order.
+    pub fn wait_all(mut self) -> Vec<Result<RenderOutput, RenderError>> {
+        let mut outputs = Vec::with_capacity(self.frames.len() - self.next);
+        while let Some(frame) = self.next_frame() {
+            outputs.push(frame);
+        }
+        outputs
+    }
+
+    /// Cancels every undelivered frame that is still queued, returning how
+    /// many were withdrawn. Frames already rendering (or finished) are
+    /// untouched and still deliverable; cancelled frames deliver
+    /// [`RenderError::Cancelled`] in order.
+    pub fn cancel_remaining(&self) -> usize {
+        self.frames[self.next..]
+            .iter()
+            .filter(|slot| matches!(slot, FrameSlot::Pending(handle) if handle.cancel()))
+            .count()
     }
 }

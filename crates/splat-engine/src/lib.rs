@@ -86,26 +86,72 @@
 //! assert_eq!(engine.stats().completed, 1);
 //! # Ok::<(), splat_types::RenderError>(())
 //! ```
+//!
+//! # Scene registry: handle-based serving
+//!
+//! Shipping an `Arc<Scene>` with every submission works for one tenant,
+//! but a deployment serving many users over a shared scene set wants to
+//! hand the engine each scene **once**:
+//! [`Engine::register_scene`] prepares the scene (footprint, bounds and
+//! cost statistics precomputed into a [`PreparedScene`]) and returns a
+//! [`SceneId`] that every later job names through [`SceneRef::Id`] — and a
+//! [`ResidencyPolicy`] bounds how many scenes (and bytes) stay resident,
+//! deflating the least-recently-served scene deterministically when the
+//! budget is exceeded. This is the slow-timescale control loop next to
+//! per-job admission (the fast one).
+//!
+//! ```
+//! use splat_engine::{Engine, ResidencyPolicy, SubmitRequest};
+//! use splat_scene::{PaperScene, SceneScale};
+//! use splat_types::{Camera, CameraIntrinsics, Vec3};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::builder()
+//!     .residency(ResidencyPolicy::unlimited().with_max_resident_scenes(8))
+//!     .build()?;
+//! let id = engine.register_scene(Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0)))?;
+//! let camera = Camera::try_look_at(
+//!     Vec3::ZERO,
+//!     Vec3::new(0.0, 0.0, 1.0),
+//!     Vec3::Y,
+//!     CameraIntrinsics::try_from_fov_y(1.0, 96, 64)?,
+//! )?;
+//!
+//! // Handle-based serving: the job carries 8 bytes of scene reference.
+//! let output = engine.submit(SubmitRequest::new(id, camera))?.wait()?;
+//! assert_eq!(output.image.width(), 96);
+//! // …and the synchronous counterparts work off the same handle.
+//! let again = engine.render_one_registered(id, camera)?;
+//! assert_eq!(again.image.max_abs_diff(&output.image), 0.0);
+//!
+//! engine.evict_scene(id)?;
+//! assert!(engine.render_one_registered(id, camera).is_err()); // Evicted
+//! # Ok::<(), splat_types::RenderError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod job;
 pub mod policy;
+pub mod registry;
 pub mod stats;
 
 mod queue;
 
-pub use job::{JobHandle, JobStatus, SubmitRequest};
+pub use job::{JobHandle, JobStatus, SceneRef, SubmitRequest, TrajectoryHandle};
 pub use policy::{AdmissionPolicy, ShutdownMode};
-pub use splat_types::Priority;
+pub use registry::{PreparedScene, ResidencyPolicy};
+pub use splat_types::{Priority, SceneId};
 pub use stats::EngineStats;
 
 use gstg::{GstgConfig, GstgRenderer, GstgSession};
 use queue::JobQueue;
+use registry::SceneRegistry;
 use splat_core::{ExecutionConfig, RenderBackend, RenderOutput, RenderRequest, TileScheduler};
 use splat_render::{RenderConfig, RenderSession, Renderer};
-use splat_types::{RenderError, Rgb};
+use splat_scene::{CameraTrajectory, Scene};
+use splat_types::{Camera, RenderError, Rgb};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -154,6 +200,7 @@ pub struct EngineBuilder {
     admission: AdmissionPolicy,
     queue_capacity: usize,
     start_paused: bool,
+    residency: ResidencyPolicy,
 }
 
 impl EngineBuilder {
@@ -242,6 +289,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the scene registry's residency budget (default: unlimited).
+    /// When a registration pushes the resident set over either bound, the
+    /// least-recently-served scene is deflated (see
+    /// [`Engine::register_scene`]).
+    pub fn residency(mut self, policy: ResidencyPolicy) -> Self {
+        self.residency = policy;
+        self
+    }
+
     /// Validates the configuration and builds the engine, allocating its
     /// worker pool (the sessions themselves allocate lazily on first use)
     /// and spawning one persistent worker thread per pooled session to
@@ -255,6 +311,7 @@ impl EngineBuilder {
     /// [`RenderError::InvalidConfiguration`] when the OS refuses to spawn
     /// a worker thread.
     pub fn build(self) -> Result<Engine, RenderError> {
+        self.residency.validate()?;
         let workers = self
             .workers
             .unwrap_or(self.exec.threads)
@@ -288,6 +345,7 @@ impl EngineBuilder {
                 self.queue_capacity,
                 self.start_paused,
             )),
+            registry: SceneRegistry::new(self.residency),
         });
         let mut worker_threads = Vec::with_capacity(workers);
         for slot in 0..workers {
@@ -322,11 +380,13 @@ impl EngineBuilder {
     }
 }
 
-/// Everything a persistent worker thread needs: the session pool it
-/// renders on and the queue it drains.
+/// Everything a persistent worker thread needs — the session pool it
+/// renders on and the queue it drains — plus the scene registry the
+/// submission path resolves handles against.
 struct EngineShared {
     pool: Vec<Mutex<Box<dyn RenderBackend>>>,
     queue: Arc<JobQueue>,
+    registry: SceneRegistry,
 }
 
 /// The drain loop of one persistent worker thread: pop a job, render it on
@@ -408,6 +468,7 @@ impl Engine {
             admission: AdmissionPolicy::default(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             start_paused: false,
+            residency: ResidencyPolicy::default(),
         }
     }
 
@@ -435,6 +496,77 @@ impl Engine {
     /// The submission queue's capacity (maximum queued jobs).
     pub fn queue_capacity(&self) -> usize {
         self.shared.queue.capacity()
+    }
+
+    /// The scene registry's residency budget.
+    pub fn residency(&self) -> ResidencyPolicy {
+        self.shared.registry.policy()
+    }
+
+    /// Registers a scene with the engine's scene registry, returning the
+    /// [`SceneId`] handle later submissions reference through
+    /// [`SceneRef::Id`].
+    ///
+    /// Registration is the slow-timescale control point: the scene is
+    /// prepared once (footprint, bounds and cost statistics precomputed
+    /// into a [`PreparedScene`]) and, when the registration pushes the
+    /// resident set over the [`ResidencyPolicy`] budget, the registry
+    /// deflates deterministically — the least-recently-served scene is
+    /// evicted first (never-served before served, ties broken by the
+    /// smallest [`SceneId`]; the scene being registered is never its own
+    /// victim). Evicted scenes' handles resolve to
+    /// [`RenderError::Evicted`] until re-registered; jobs already holding
+    /// the scene keep rendering, and the memory is freed when the last
+    /// holder drops.
+    ///
+    /// # Errors
+    ///
+    /// * [`RenderError::EmptyScene`] — an empty scene could never serve a
+    ///   render, so it is refused a handle.
+    /// * [`RenderError::InvalidConfiguration`] — the scene's
+    ///   [`footprint_bytes`](Scene::footprint_bytes) alone exceeds the
+    ///   residency byte budget, so it could never stay resident.
+    pub fn register_scene(&self, scene: Arc<Scene>) -> Result<SceneId, RenderError> {
+        self.shared.registry.register(scene)
+    }
+
+    /// Removes a registered scene from the resident set. Later
+    /// resolutions of the handle fail with [`RenderError::Evicted`];
+    /// in-flight jobs holding the scene are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// * [`RenderError::UnknownScene`] — the handle was never issued by
+    ///   this engine.
+    /// * [`RenderError::Evicted`] — the scene already left the resident
+    ///   set (deflation or a previous eviction).
+    pub fn evict_scene(&self, id: SceneId) -> Result<(), RenderError> {
+        self.shared.registry.evict(id)
+    }
+
+    /// Ids of the currently resident scenes in registration order.
+    /// Read-only: recency and the hit/miss counters are untouched, so
+    /// observing residency never perturbs eviction order.
+    pub fn resident_scenes(&self) -> Vec<SceneId> {
+        self.shared.registry.resident()
+    }
+
+    /// The precomputed statistics of a resident scene, or `None` when the
+    /// handle does not resolve. Read-only like
+    /// [`Engine::resident_scenes`].
+    pub fn prepared_scene(&self, id: SceneId) -> Option<PreparedScene> {
+        self.shared.registry.prepared(id)
+    }
+
+    /// Resolves a [`SceneRef`] to the scene a job will own: inline refs
+    /// pass through untouched, registered handles go through the registry
+    /// (a miss counts immediately; the hit and LRU recency commit only
+    /// once the job is actually admitted or served).
+    fn resolve(&self, scene: &SceneRef) -> Result<Arc<Scene>, RenderError> {
+        match scene {
+            SceneRef::Inline(scene) => Ok(Arc::clone(scene)),
+            SceneRef::Id(id) => self.shared.registry.resolve(*id),
+        }
     }
 
     /// Renders one request on the first free pooled session.
@@ -485,23 +617,43 @@ impl Engine {
     /// # Errors
     ///
     /// * The request's own [`RenderError`] when it fails validation.
+    /// * [`RenderError::UnknownScene`] / [`RenderError::Evicted`] when a
+    ///   [`SceneRef::Id`] reference does not resolve — misses are refused
+    ///   at the door, never queued.
     /// * [`RenderError::Overloaded`] when admission control refuses the
     ///   submission ([`AdmissionPolicy::RejectWhenFull`], or an incoming
     ///   job that loses the [`AdmissionPolicy::ShedLowPriority`]
     ///   comparison).
     /// * [`RenderError::ShutDown`] after [`Engine::shutdown`] has begun.
     pub fn submit(&self, request: SubmitRequest) -> Result<JobHandle, RenderError> {
-        request.validate()?;
-        let cost = request.cost_hint();
-        let priority = request.priority;
+        let scene = self.resolve(&request.scene)?;
+        let handle = self.submit_resolved(scene, request.camera, request.priority)?;
+        // Only an *admitted* job counts as serving the scene: a submission
+        // refused by validation or admission control must not refresh the
+        // scene's LRU recency or the hit counter.
+        if let SceneRef::Id(id) = request.scene {
+            self.shared.registry.commit_serve(id);
+        }
+        Ok(handle)
+    }
+
+    /// Admits one job whose scene reference has already been resolved.
+    /// The cost hint is computed from the resolved scene, so handle-based
+    /// and inline submissions of the same scene shed identically.
+    fn submit_resolved(
+        &self,
+        scene: Arc<Scene>,
+        camera: Camera,
+        priority: Priority,
+    ) -> Result<JobHandle, RenderError> {
+        let render = RenderRequest::new(&scene, camera);
+        render.validate()?;
+        let cost = render.cost_hint();
         let shared = job::JobShared::new();
-        let id = self.shared.queue.push(
-            request.scene,
-            request.camera,
-            priority,
-            cost,
-            Arc::clone(&shared),
-        )?;
+        let id = self
+            .shared
+            .queue
+            .push(scene, camera, priority, cost, Arc::clone(&shared))?;
         Ok(JobHandle::new(
             Arc::clone(&self.shared.queue),
             shared,
@@ -510,11 +662,118 @@ impl Engine {
         ))
     }
 
-    /// A point-in-time snapshot of the serving counters:
-    /// queued/active gauges, cumulative submitted/completed/rejected/
-    /// cancelled counts and the queue high-water mark.
+    /// Fans a whole camera path into per-frame jobs and returns a
+    /// [`TrajectoryHandle`] delivering the frames **in path order** —
+    /// the shape a video encoder or a streaming client consumes.
+    ///
+    /// The scene reference is resolved once (one registry touch for the
+    /// whole path), then every pose is submitted as its own job at the
+    /// given priority, so frames interleave with other traffic under the
+    /// normal admission policy and render with whatever parallelism the
+    /// engine has. A frame refused by admission control (e.g. shed under
+    /// [`AdmissionPolicy::RejectWhenFull`]) still occupies its slot in the
+    /// handle and yields its error in order — one bad frame never tears
+    /// down the path.
+    ///
+    /// # Errors
+    ///
+    /// * [`RenderError::UnknownScene`] / [`RenderError::Evicted`] when a
+    ///   [`SceneRef::Id`] reference does not resolve.
+    /// * [`RenderError::EmptyScene`] for an inline reference to an empty
+    ///   scene.
+    pub fn submit_trajectory(
+        &self,
+        scene: impl Into<SceneRef>,
+        trajectory: &CameraTrajectory,
+        priority: Priority,
+    ) -> Result<TrajectoryHandle, RenderError> {
+        let scene_ref = scene.into();
+        let scene = self.resolve(&scene_ref)?;
+        if scene.is_empty() {
+            return Err(RenderError::EmptyScene);
+        }
+        let frames: Vec<Result<JobHandle, RenderError>> = trajectory
+            .cameras()
+            .map(|camera| self.submit_resolved(Arc::clone(&scene), camera, priority))
+            .collect();
+        // One recency/hit commit for the whole path — and only if at least
+        // one frame was actually admitted.
+        if let SceneRef::Id(id) = scene_ref {
+            if frames.iter().any(|frame| frame.is_ok()) {
+                self.shared.registry.commit_serve(id);
+            }
+        }
+        Ok(TrajectoryHandle::new(frames))
+    }
+
+    /// Handle-based counterpart of [`Engine::render_one`]: resolves the
+    /// registered scene and serves one view of it, bit-identically to the
+    /// inline path.
+    ///
+    /// # Errors
+    ///
+    /// [`RenderError::UnknownScene`] / [`RenderError::Evicted`] when the
+    /// handle does not resolve, otherwise exactly the errors of
+    /// [`Engine::render_one`].
+    pub fn render_one_registered(
+        &self,
+        id: SceneId,
+        camera: Camera,
+    ) -> Result<RenderOutput, RenderError> {
+        let scene = self.shared.registry.resolve(id)?;
+        let output = self.render_one(&RenderRequest::new(&scene, camera))?;
+        // Served successfully: now the scene is most recently served.
+        self.shared.registry.commit_serve(id);
+        Ok(output)
+    }
+
+    /// Handle-based counterpart of [`Engine::render_batch`]: each slot
+    /// names its scene by [`SceneId`], outputs come back in request order.
+    ///
+    /// Handles are resolved up front and served slots commit their
+    /// registry recency after the batch **in request order** (so LRU
+    /// order — and therefore eviction order — does not depend on worker
+    /// timing); a slot whose handle does not resolve fails alone with
+    /// [`RenderError::UnknownScene`] / [`RenderError::Evicted`], exactly
+    /// like an invalid request in the inline batch path.
+    pub fn render_batch_registered(
+        &self,
+        requests: &[(SceneId, Camera)],
+    ) -> Vec<Result<RenderOutput, RenderError>> {
+        let resolved: Vec<Result<Arc<Scene>, RenderError>> = requests
+            .iter()
+            .map(|(id, _)| self.shared.registry.resolve(*id))
+            .collect();
+        let scheduler = TileScheduler::from_exec(&self.exec);
+        let results = scheduler.run(requests.len(), |index| {
+            let scene = resolved[index].as_ref().map_err(|error| error.clone())?;
+            self.with_worker(|backend| {
+                backend.render(&RenderRequest::new(scene, requests[index].1))
+            })
+        });
+        for (index, result) in results.iter().enumerate() {
+            if result.is_ok() {
+                self.shared.registry.commit_serve(requests[index].0);
+            }
+        }
+        results
+    }
+
+    /// A point-in-time snapshot of the serving counters: the job-queue
+    /// side (queued/active gauges, cumulative submitted/completed/
+    /// rejected/cancelled counts, queue high-water mark) and the scene-
+    /// registry side (registered/evicted/hit/miss counters plus the
+    /// resident-scenes and resident-bytes gauges).
     pub fn stats(&self) -> EngineStats {
-        self.shared.queue.stats()
+        let mut stats = self.shared.queue.stats();
+        let registry = self.shared.registry.stats();
+        stats.registered = registry.registered;
+        stats.evicted = registry.evicted;
+        stats.scene_hits = registry.scene_hits;
+        stats.scene_misses = registry.scene_misses;
+        stats.resident_scenes = registry.resident_scenes;
+        stats.resident_bytes = registry.resident_bytes;
+        stats
     }
 
     /// Pauses dispatch: workers finish their current render, then wait.
@@ -552,7 +811,7 @@ impl Engine {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        self.shared.queue.stats()
+        self.stats()
     }
 
     /// Bytes currently reserved by the pooled sessions' recycled buffers.
@@ -949,6 +1208,272 @@ mod tests {
                 .expect_err("draining queue refuses new work"),
             RenderError::ShutDown
         );
+    }
+
+    #[test]
+    fn registered_handle_serves_bit_identically_to_inline() {
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 2));
+        let camera = trajectory(1).camera(0);
+        let engine = Engine::builder().build().unwrap();
+        let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+
+        let inline = engine
+            .submit(SubmitRequest::new(Arc::clone(&scene), camera))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let by_id = engine
+            .submit(SubmitRequest::new(id, camera))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let sync = engine.render_one_registered(id, camera).unwrap();
+        assert_eq!(by_id.image.max_abs_diff(&inline.image), 0.0);
+        assert_eq!(sync.image.max_abs_diff(&inline.image), 0.0);
+        assert_eq!(by_id.stats.counts, inline.stats.counts);
+
+        let stats = engine.stats();
+        assert_eq!(stats.registered, 1);
+        assert_eq!(stats.resident_scenes, 1);
+        assert_eq!(stats.scene_hits, 2, "one submit + one render_one");
+        assert_eq!(stats.scene_misses, 0);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn submitting_an_unknown_or_evicted_handle_is_refused_at_the_door() {
+        let engine = Engine::builder().build().unwrap();
+        let camera = trajectory(1).camera(0);
+        let bogus = SceneId::from_raw(7);
+        assert_eq!(
+            engine
+                .submit(SubmitRequest::new(bogus, camera))
+                .expect_err("never registered"),
+            RenderError::UnknownScene { id: bogus }
+        );
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let id = engine.register_scene(scene).unwrap();
+        engine.evict_scene(id).unwrap();
+        assert_eq!(
+            engine
+                .submit(SubmitRequest::new(id, camera))
+                .expect_err("evicted"),
+            RenderError::Evicted { id }
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 0, "misses never touch the queue");
+        assert_eq!(stats.scene_misses, 2);
+        assert_eq!(
+            stats.registered,
+            stats.resident_scenes as u64 + stats.evicted
+        );
+    }
+
+    #[test]
+    fn refused_submissions_count_neither_hits_nor_recency() {
+        // A full RejectWhenFull queue refuses handle-based submissions:
+        // those must not count scene hits or refresh LRU recency, so
+        // rejected traffic cannot keep a scene resident.
+        let engine = Engine::builder()
+            .admission(AdmissionPolicy::RejectWhenFull)
+            .queue_capacity(1)
+            .start_paused(true)
+            .residency(ResidencyPolicy::unlimited().with_max_resident_scenes(2))
+            .build()
+            .unwrap();
+        let camera = trajectory(1).camera(0);
+        let a = engine
+            .register_scene(Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0)))
+            .unwrap();
+        let b = engine
+            .register_scene(Arc::new(PaperScene::Train.build(SceneScale::Tiny, 1)))
+            .unwrap();
+        // Admit one job for `b` (a hit), filling the queue…
+        let _queued = engine.submit(SubmitRequest::new(b, camera)).unwrap();
+        // …then hammer `a` with submissions that are all refused.
+        for _ in 0..3 {
+            assert!(matches!(
+                engine.submit(SubmitRequest::new(a, camera)),
+                Err(RenderError::Overloaded { .. })
+            ));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.scene_hits, 1, "only the admitted job is a hit");
+        // `a` never actually served a job, so it (not `b`) deflates.
+        let c = engine
+            .register_scene(Arc::new(PaperScene::Drjohnson.build(SceneScale::Tiny, 2)))
+            .unwrap();
+        assert_eq!(engine.resident_scenes(), vec![b, c]);
+    }
+
+    #[test]
+    fn render_batch_registered_fails_bad_slots_alone() {
+        let engine = Engine::builder().threads(2).build().unwrap();
+        let scene = Arc::new(PaperScene::Train.build(SceneScale::Tiny, 1));
+        let camera = trajectory(1).camera(0);
+        let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+        let bogus = SceneId::from_raw(99);
+        let results =
+            engine.render_batch_registered(&[(id, camera), (bogus, camera), (id, camera)]);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &RenderError::UnknownScene { id: bogus }
+        );
+        assert!(results[2].is_ok());
+        let fresh = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        assert_eq!(
+            results[0]
+                .as_ref()
+                .unwrap()
+                .image
+                .max_abs_diff(&fresh.image),
+            0.0
+        );
+    }
+
+    #[test]
+    fn residency_budget_deflates_the_least_recently_served_scene() {
+        let engine = Engine::builder()
+            .residency(ResidencyPolicy::unlimited().with_max_resident_scenes(2))
+            .build()
+            .unwrap();
+        let camera = trajectory(1).camera(0);
+        let a = engine
+            .register_scene(Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0)))
+            .unwrap();
+        let b = engine
+            .register_scene(Arc::new(PaperScene::Train.build(SceneScale::Tiny, 1)))
+            .unwrap();
+        // Serving `a` makes `b` the deflation victim of the next register.
+        engine.render_one_registered(a, camera).unwrap();
+        let c = engine
+            .register_scene(Arc::new(PaperScene::Drjohnson.build(SceneScale::Tiny, 2)))
+            .unwrap();
+        assert_eq!(engine.resident_scenes(), vec![a, c]);
+        assert_eq!(
+            engine.render_one_registered(b, camera).unwrap_err(),
+            RenderError::Evicted { id: b }
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.registered, 3);
+        assert_eq!(stats.resident_scenes, 2);
+    }
+
+    #[test]
+    fn eviction_does_not_disturb_in_flight_jobs() {
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 3));
+        let camera = trajectory(1).camera(0);
+        let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+        // The job resolved (and pinned) the scene at submission…
+        let handle = engine.submit(SubmitRequest::new(id, camera)).unwrap();
+        // …so evicting it mid-queue must not affect the render.
+        engine.evict_scene(id).unwrap();
+        engine.resume();
+        let output = handle.wait().expect("pinned scene renders");
+        let fresh = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        assert_eq!(output.image.max_abs_diff(&fresh.image), 0.0);
+    }
+
+    #[test]
+    fn prepared_scene_statistics_are_observable_without_perturbing_lru() {
+        let engine = Engine::builder().build().unwrap();
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+        let prepared = engine.prepared_scene(id).expect("resident");
+        assert_eq!(prepared.id(), id);
+        assert_eq!(prepared.splat_count(), scene.len());
+        assert_eq!(prepared.footprint_bytes(), scene.footprint_bytes());
+        assert_eq!(
+            prepared.cost_hint(96, 64),
+            RenderRequest::new(&scene, trajectory(1).camera(0)).cost_hint()
+        );
+        // Observability is not a serve: no hits were counted.
+        assert_eq!(engine.stats().scene_hits, 0);
+        assert!(engine.prepared_scene(SceneId::from_raw(9)).is_none());
+    }
+
+    #[test]
+    fn submit_trajectory_delivers_frames_in_path_order() {
+        let engine = Engine::builder().workers(3).build().unwrap();
+        let scene = Arc::new(PaperScene::Train.build(SceneScale::Tiny, 5));
+        let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+        let path = trajectory(5);
+        let mut handle = engine
+            .submit_trajectory(id, &path, Priority::Normal)
+            .unwrap();
+        assert_eq!(handle.len(), 5);
+        assert_eq!(handle.frames_delivered(), 0);
+        for index in 0..path.len() {
+            let frame = handle
+                .next_frame()
+                .expect("frame available")
+                .expect("valid render");
+            let fresh =
+                GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &path.camera(index));
+            assert_eq!(
+                frame.image.max_abs_diff(&fresh.image),
+                0.0,
+                "frame {index} out of order or wrong"
+            );
+        }
+        assert!(handle.next_frame().is_none());
+        assert_eq!(handle.frames_delivered(), 5);
+        // One registry touch for the whole path.
+        assert_eq!(engine.stats().scene_hits, 1);
+    }
+
+    #[test]
+    fn submit_trajectory_misses_and_cancellation() {
+        let engine = Engine::builder().start_paused(true).build().unwrap();
+        let path = trajectory(3);
+        let bogus = SceneId::from_raw(1);
+        assert_eq!(
+            engine
+                .submit_trajectory(bogus, &path, Priority::Normal)
+                .expect_err("unknown handle"),
+            RenderError::UnknownScene { id: bogus }
+        );
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let handle = engine
+            .submit_trajectory(Arc::clone(&scene), &path, Priority::Low)
+            .unwrap();
+        assert_eq!(handle.cancel_remaining(), 3, "all frames still queued");
+        engine.resume();
+        let outputs = handle.wait_all();
+        assert_eq!(outputs.len(), 3);
+        for frame in outputs {
+            assert_eq!(frame.unwrap_err(), RenderError::Cancelled);
+        }
+    }
+
+    #[test]
+    fn trajectory_frames_refused_by_admission_keep_their_slot() {
+        // Capacity-1 reject-when-full queue, paused: only the first frame
+        // is admitted, the rest are refused — and still delivered as
+        // in-order errors.
+        let engine = Engine::builder()
+            .admission(AdmissionPolicy::RejectWhenFull)
+            .queue_capacity(1)
+            .start_paused(true)
+            .build()
+            .unwrap();
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let path = trajectory(3);
+        let handle = engine
+            .submit_trajectory(Arc::clone(&scene), &path, Priority::Normal)
+            .unwrap();
+        engine.resume();
+        let outputs = handle.wait_all();
+        assert!(outputs[0].is_ok());
+        for frame in &outputs[1..] {
+            assert!(matches!(
+                frame.as_ref().unwrap_err(),
+                RenderError::Overloaded { .. }
+            ));
+        }
     }
 
     #[test]

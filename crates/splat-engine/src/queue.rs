@@ -294,7 +294,8 @@ impl JobQueue {
         }
     }
 
-    /// A point-in-time snapshot of the serving counters.
+    /// A point-in-time snapshot of the job-queue serving counters (the
+    /// engine overlays the scene-registry counters on top).
     pub(crate) fn stats(&self) -> EngineStats {
         let inner = self.lock();
         EngineStats {
@@ -305,6 +306,7 @@ impl JobQueue {
             queued: inner.jobs.len(),
             active: inner.counters.active,
             queue_high_water: inner.counters.high_water,
+            ..EngineStats::default()
         }
     }
 }

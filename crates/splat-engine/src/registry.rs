@@ -1,0 +1,641 @@
+//! The scene registry: the slow-timescale half of the serving control
+//! loop.
+//!
+//! Per-job admission control (the [`AdmissionPolicy`](crate::AdmissionPolicy)
+//! applied by [`Engine::submit`](crate::Engine::submit)) decides on the
+//! *fast* timescale — job by job. A multi-tenant deployment also needs the
+//! *slow* timescale: which scenes are resident at all, and which get
+//! deflated when memory pressure exceeds the configured budget. That is
+//! this module:
+//!
+//! * [`Engine::register_scene`](crate::Engine::register_scene) prepares a
+//!   scene once — footprint, bounds, centroid and cost statistics are
+//!   precomputed into a [`PreparedScene`] — and returns a
+//!   [`SceneId`] handle many jobs can reuse, so a `SubmitRequest` no longer
+//!   has to ship an `Arc<Scene>` per job.
+//! * A [`ResidencyPolicy`] bounds the resident set (bytes and scene count).
+//!   Registration deflates over-budget residency deterministically: the
+//!   least-recently-served scene goes first, never-served scenes before
+//!   served ones, ties broken by the smallest [`SceneId`].
+//! * Misses are typed: a handle this engine never issued resolves to
+//!   [`RenderError::UnknownScene`]; a handle whose scene was deflated (or
+//!   explicitly evicted via
+//!   [`Engine::evict_scene`](crate::Engine::evict_scene)) resolves to
+//!   [`RenderError::Evicted`].
+//!
+//! Eviction frees the registry slot immediately, but memory is shared:
+//! jobs already holding the scene's `Arc` keep rendering unaffected, and
+//! the bytes are released when the last holder drops.
+
+use splat_scene::Scene;
+use splat_types::{RenderError, SceneId, Vec3};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The slow-timescale residency budget of a serving engine's scene
+/// registry.
+///
+/// The default is unbounded on both axes; tighten either with the
+/// `with_*` methods. Deflation keeps the resident set within **both**
+/// limits after every registration.
+///
+/// # Examples
+///
+/// ```
+/// use splat_engine::ResidencyPolicy;
+///
+/// let policy = ResidencyPolicy::unlimited()
+///     .with_max_resident_scenes(8)
+///     .with_max_resident_bytes(64 << 20);
+/// assert_eq!(policy.max_resident_scenes, 8);
+/// assert!(policy.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ResidencyPolicy {
+    /// Maximum total [`Scene::footprint_bytes`] the registry keeps
+    /// resident.
+    pub max_resident_bytes: usize,
+    /// Maximum number of scenes the registry keeps resident.
+    pub max_resident_scenes: usize,
+}
+
+impl Default for ResidencyPolicy {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl ResidencyPolicy {
+    /// No residency bound on either axis (the default).
+    pub fn unlimited() -> Self {
+        Self {
+            max_resident_bytes: usize::MAX,
+            max_resident_scenes: usize::MAX,
+        }
+    }
+
+    /// Bounds the total resident scene footprint in bytes.
+    pub fn with_max_resident_bytes(mut self, bytes: usize) -> Self {
+        self.max_resident_bytes = bytes;
+        self
+    }
+
+    /// Bounds the number of resident scenes.
+    pub fn with_max_resident_scenes(mut self, scenes: usize) -> Self {
+        self.max_resident_scenes = scenes;
+        self
+    }
+
+    /// Validates the policy (checked by `Engine::build`, and re-checked
+    /// here so a hand-mutated policy errors instead of wedging the
+    /// registry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidConfiguration`] when either bound is
+    /// zero — a registry that can hold nothing cannot serve anything.
+    pub fn validate(&self) -> Result<(), RenderError> {
+        if self.max_resident_scenes == 0 {
+            return Err(RenderError::InvalidConfiguration {
+                reason: "residency policy allows zero resident scenes".to_owned(),
+            });
+        }
+        if self.max_resident_bytes == 0 {
+            return Err(RenderError::InvalidConfiguration {
+                reason: "residency policy allows zero resident bytes".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A registered scene plus everything the engine precomputed at
+/// registration, ready for reuse across jobs.
+///
+/// Cloning is cheap (the scene is shared through an `Arc`); the derived
+/// statistics are frozen at registration time.
+#[derive(Debug, Clone)]
+pub struct PreparedScene {
+    scene: Arc<Scene>,
+    id: SceneId,
+    footprint_bytes: usize,
+    splat_count: usize,
+    bounds: (Vec3, Vec3),
+    centroid: Vec3,
+}
+
+impl PreparedScene {
+    /// Runs the O(n) preparation scans. Called *before* the registry lock
+    /// is taken (the id is assigned under the lock via
+    /// [`PreparedScene::with_id`]), so registering a huge scene never
+    /// stalls concurrent resolves.
+    fn prepare(scene: Arc<Scene>) -> Result<Self, RenderError> {
+        // An empty scene can never render (`RenderError::EmptyScene` at
+        // every serve) and has no bounds; refuse it at registration so a
+        // handle always points at servable work.
+        let bounds = scene.bounds().ok_or(RenderError::EmptyScene)?;
+        Ok(Self {
+            footprint_bytes: scene.footprint_bytes(),
+            splat_count: scene.len(),
+            centroid: scene.centroid(),
+            bounds,
+            scene,
+            id: SceneId::from_raw(u64::MAX),
+        })
+    }
+
+    /// Stamps the registry-issued id (the only field not computable
+    /// outside the lock).
+    fn with_id(mut self, id: SceneId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The registered scene.
+    pub fn scene(&self) -> &Arc<Scene> {
+        &self.scene
+    }
+
+    /// The handle this engine issued for the scene.
+    pub fn id(&self) -> SceneId {
+        self.id
+    }
+
+    /// Resident footprint ([`Scene::footprint_bytes`]) charged against the
+    /// [`ResidencyPolicy`] byte budget.
+    pub fn footprint_bytes(&self) -> usize {
+        self.footprint_bytes
+    }
+
+    /// Number of splats (the scene-dependent half of every job's cost
+    /// hint).
+    pub fn splat_count(&self) -> usize {
+        self.splat_count
+    }
+
+    /// Axis-aligned bounds of the splat centers (registration rejects
+    /// empty scenes, so bounds always exist).
+    pub fn bounds(&self) -> (Vec3, Vec3) {
+        self.bounds
+    }
+
+    /// Centroid of the splat centers.
+    pub fn centroid(&self) -> Vec3 {
+        self.centroid
+    }
+
+    /// The admission-control cost estimate of serving this scene at the
+    /// given output resolution — the same splats-plus-pixels figure as
+    /// `RenderRequest::cost_hint` (one shared formula,
+    /// [`splat_core::request_cost_hint`]), computable without touching the
+    /// scene data again.
+    pub fn cost_hint(&self, width: u32, height: u32) -> u64 {
+        splat_core::request_cost_hint(self.splat_count, width, height)
+    }
+}
+
+/// Point-in-time registry counters, merged into `EngineStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RegistryStats {
+    pub registered: u64,
+    pub evicted: u64,
+    pub scene_hits: u64,
+    pub scene_misses: u64,
+    pub resident_scenes: usize,
+    pub resident_bytes: usize,
+}
+
+/// One resident scene plus its recency stamp: `Some(tick)` of the last
+/// job resolved against it, `None` while never served. `None` orders
+/// before every `Some`, so never-served scenes deflate first; `Some` ticks
+/// are unique, so the only possible tie is between two never-served
+/// scenes — broken by the smaller (older) [`SceneId`].
+#[derive(Debug)]
+struct Resident {
+    prepared: PreparedScene,
+    last_served: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// Resident scenes in registration order (ids are monotonic, so this
+    /// stays sorted by id). Linear scans keep eviction a pure, obviously
+    /// deterministic function of the contents.
+    scenes: Vec<Resident>,
+    /// Next [`SceneId`] to issue; doubles as the "was this id ever
+    /// issued?" watermark distinguishing `UnknownScene` from `Evicted`.
+    next_id: u64,
+    /// Monotonic stamp handed to each resolve (one per served job).
+    serve_tick: u64,
+    resident_bytes: usize,
+    registered: u64,
+    evicted: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The engine's scene registry: a budgeted, LRU-deflated map from
+/// [`SceneId`] to [`PreparedScene`].
+///
+/// All state sits behind one mutex; every mutation completes before the
+/// guard drops, and eviction is a pure function of the resident set, so a
+/// fixed interleaving of registry operations always produces the same
+/// eviction sequence.
+#[derive(Debug)]
+pub(crate) struct SceneRegistry {
+    policy: ResidencyPolicy,
+    inner: Mutex<RegistryInner>,
+}
+
+impl SceneRegistry {
+    pub(crate) fn new(policy: ResidencyPolicy) -> Self {
+        Self {
+            policy,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> ResidencyPolicy {
+        self.policy
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        // Registry state is always consistent at guard drop; recover a
+        // poisoned lock rather than wedging the serving engine.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Registers a scene, deflating the resident set to stay within the
+    /// residency budget. The freshly registered scene is never its own
+    /// deflation victim.
+    ///
+    /// The O(n) preparation scans (footprint, bounds, centroid) run
+    /// *before* the registry lock is taken, and evicted scenes' `Arc`s are
+    /// dropped *after* it is released, so the fast-timescale serving path
+    /// ([`SceneRegistry::resolve`]) never waits on a large registration or
+    /// a large deallocation.
+    pub(crate) fn register(&self, scene: Arc<Scene>) -> Result<SceneId, RenderError> {
+        self.policy.validate()?;
+        let prepared = PreparedScene::prepare(scene)?;
+        if prepared.footprint_bytes() > self.policy.max_resident_bytes {
+            return Err(RenderError::InvalidConfiguration {
+                reason: format!(
+                    "scene `{}` footprint {} bytes exceeds the residency budget of {} bytes",
+                    prepared.scene().name(),
+                    prepared.footprint_bytes(),
+                    self.policy.max_resident_bytes
+                ),
+            });
+        }
+        let mut inner = self.lock();
+        let id = SceneId::from_raw(inner.next_id);
+        inner.next_id += 1;
+        inner.registered += 1;
+        inner.resident_bytes += prepared.footprint_bytes();
+        inner.scenes.push(Resident {
+            prepared: prepared.with_id(id),
+            last_served: None,
+        });
+        let victims = Self::deflate(&self.policy, &mut inner, id);
+        drop(inner);
+        drop(victims);
+        Ok(id)
+    }
+
+    /// Evicts least-recently-served scenes (protecting `keep`, the scene
+    /// whose registration triggered the pass) until the resident set fits
+    /// the policy again. Returns the victims so the caller can drop their
+    /// `Arc`s outside the lock.
+    fn deflate(
+        policy: &ResidencyPolicy,
+        inner: &mut RegistryInner,
+        keep: SceneId,
+    ) -> Vec<Resident> {
+        let mut victims = Vec::new();
+        while inner.scenes.len() > policy.max_resident_scenes
+            || inner.resident_bytes > policy.max_resident_bytes
+        {
+            let victim_index = inner
+                .scenes
+                .iter()
+                .enumerate()
+                .filter(|(_, resident)| resident.prepared.id() != keep)
+                .min_by_key(|(_, resident)| (resident.last_served, resident.prepared.id()))
+                .map(|(index, _)| index);
+            let Some(victim_index) = victim_index else {
+                // Only the protected scene remains; `register` pre-checked
+                // it against the byte budget and the scene budget is >= 1,
+                // so the set already fits.
+                break;
+            };
+            let victim = inner.scenes.remove(victim_index);
+            inner.resident_bytes -= victim.prepared.footprint_bytes();
+            inner.evicted += 1;
+            victims.push(victim);
+        }
+        victims
+    }
+
+    /// Removes a scene from the resident set.
+    pub(crate) fn evict(&self, id: SceneId) -> Result<(), RenderError> {
+        let mut inner = self.lock();
+        match inner
+            .scenes
+            .iter()
+            .position(|resident| resident.prepared.id() == id)
+        {
+            Some(index) => {
+                let victim = inner.scenes.remove(index);
+                inner.resident_bytes -= victim.prepared.footprint_bytes();
+                inner.evicted += 1;
+                drop(inner);
+                // The victim's Arc (possibly the last holder of a large
+                // scene) is released outside the lock.
+                drop(victim);
+                Ok(())
+            }
+            None => Err(self.miss_error(&inner, id)),
+        }
+    }
+
+    /// Resolves a handle to its shared scene **without** counting a hit or
+    /// stamping recency — at resolution time the job has not been admitted
+    /// yet, and a submission later refused by validation or admission
+    /// control must not perturb the LRU order or the hit counter (pair
+    /// with [`SceneRegistry::commit_serve`] once the job is in). A miss is
+    /// counted immediately: the job is refused at the door either way.
+    pub(crate) fn resolve(&self, id: SceneId) -> Result<Arc<Scene>, RenderError> {
+        let mut inner = self.lock();
+        match inner
+            .scenes
+            .iter()
+            .find(|resident| resident.prepared.id() == id)
+        {
+            Some(resident) => Ok(Arc::clone(resident.prepared.scene())),
+            None => {
+                inner.misses += 1;
+                Err(self.miss_error(&inner, id))
+            }
+        }
+    }
+
+    /// Records that a resolved handle's job was actually admitted or
+    /// served: counts the hit and stamps the scene most recently served.
+    /// If the scene was evicted between resolution and admission the hit
+    /// still counts (the job serves off its pinned `Arc`) but there is no
+    /// recency to stamp.
+    pub(crate) fn commit_serve(&self, id: SceneId) {
+        let mut inner = self.lock();
+        inner.hits += 1;
+        let tick = inner.serve_tick;
+        if let Some(resident) = inner
+            .scenes
+            .iter_mut()
+            .find(|resident| resident.prepared.id() == id)
+        {
+            resident.last_served = Some(tick);
+        }
+        inner.serve_tick += 1;
+    }
+
+    /// `UnknownScene` for ids this registry never issued, `Evicted` for
+    /// ids that were registered and later removed.
+    fn miss_error(&self, inner: &RegistryInner, id: SceneId) -> RenderError {
+        if id.raw() < inner.next_id {
+            RenderError::Evicted { id }
+        } else {
+            RenderError::UnknownScene { id }
+        }
+    }
+
+    /// A read-only snapshot of a resident scene's prepared statistics.
+    /// Does **not** touch recency or the hit/miss counters, so tests and
+    /// dashboards can inspect residency without perturbing eviction order.
+    pub(crate) fn prepared(&self, id: SceneId) -> Option<PreparedScene> {
+        self.lock()
+            .scenes
+            .iter()
+            .find(|resident| resident.prepared.id() == id)
+            .map(|resident| resident.prepared.clone())
+    }
+
+    /// Ids of the currently resident scenes, in registration order.
+    /// Read-only: no recency or counter side effects.
+    pub(crate) fn resident(&self) -> Vec<SceneId> {
+        self.lock()
+            .scenes
+            .iter()
+            .map(|resident| resident.prepared.id())
+            .collect()
+    }
+
+    pub(crate) fn stats(&self) -> RegistryStats {
+        let inner = self.lock();
+        RegistryStats {
+            registered: inner.registered,
+            evicted: inner.evicted,
+            scene_hits: inner.hits,
+            scene_misses: inner.misses,
+            resident_scenes: inner.scenes.len(),
+            resident_bytes: inner.resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splat_scene::{PaperScene, SceneScale};
+
+    fn scene(seed: u64) -> Arc<Scene> {
+        Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, seed))
+    }
+
+    fn registry(policy: ResidencyPolicy) -> SceneRegistry {
+        SceneRegistry::new(policy)
+    }
+
+    /// Resolve + commit, the way the engine serves a job off a handle.
+    fn serve(registry: &SceneRegistry, id: SceneId) -> Arc<Scene> {
+        let scene = registry.resolve(id).expect("resident");
+        registry.commit_serve(id);
+        scene
+    }
+
+    #[test]
+    fn register_issues_monotonic_ids_and_precomputes_statistics() {
+        let registry = registry(ResidencyPolicy::unlimited());
+        let a = registry.register(scene(0)).unwrap();
+        let b = registry.register(scene(1)).unwrap();
+        assert!(a < b);
+        let prepared = registry.prepared(a).expect("resident");
+        assert_eq!(prepared.id(), a);
+        assert!(prepared.splat_count() > 0);
+        assert!(prepared.footprint_bytes() > 0);
+        let (lo, hi) = prepared.bounds();
+        assert!(lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z);
+        assert!(prepared.centroid().is_finite());
+        assert_eq!(
+            prepared.cost_hint(64, 48),
+            prepared.splat_count() as u64 + 64 * 48
+        );
+        let stats = registry.stats();
+        assert_eq!(stats.registered, 2);
+        assert_eq!(stats.resident_scenes, 2);
+        assert_eq!(
+            stats.resident_bytes,
+            2 * prepared.footprint_bytes(),
+            "same profile, same footprint"
+        );
+    }
+
+    #[test]
+    fn empty_scenes_are_refused_at_registration() {
+        let registry = registry(ResidencyPolicy::unlimited());
+        let empty = Arc::new(Scene::new("empty", 8, 8, Vec::new()));
+        assert_eq!(registry.register(empty), Err(RenderError::EmptyScene));
+        assert_eq!(registry.stats().registered, 0);
+    }
+
+    #[test]
+    fn unknown_and_evicted_misses_are_distinguished() {
+        let registry = registry(ResidencyPolicy::unlimited());
+        let id = registry.register(scene(0)).unwrap();
+        let bogus = SceneId::from_raw(99);
+        assert_eq!(
+            registry.resolve(bogus),
+            Err(RenderError::UnknownScene { id: bogus })
+        );
+        registry.evict(id).unwrap();
+        assert_eq!(registry.resolve(id), Err(RenderError::Evicted { id }));
+        assert_eq!(registry.evict(id), Err(RenderError::Evicted { id }));
+        assert_eq!(
+            registry.evict(bogus),
+            Err(RenderError::UnknownScene { id: bogus })
+        );
+        let stats = registry.stats();
+        assert_eq!(stats.scene_misses, 2);
+        assert_eq!(stats.evicted, 1);
+    }
+
+    #[test]
+    fn scene_count_budget_deflates_least_recently_served_first() {
+        let registry = registry(ResidencyPolicy::unlimited().with_max_resident_scenes(2));
+        let a = registry.register(scene(0)).unwrap();
+        let b = registry.register(scene(1)).unwrap();
+        // Serve `a`, making `b` the least recently served.
+        serve(&registry, a);
+        let c = registry.register(scene(2)).unwrap();
+        assert_eq!(registry.resident(), vec![a, c]);
+        assert_eq!(registry.resolve(b), Err(RenderError::Evicted { id: b }));
+        let stats = registry.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.registered, 3);
+        assert_eq!(
+            stats.registered,
+            stats.resident_scenes as u64 + stats.evicted,
+            "registered scenes are either resident or evicted"
+        );
+    }
+
+    #[test]
+    fn never_served_scenes_deflate_before_served_ones_ties_by_smallest_id() {
+        let registry = registry(ResidencyPolicy::unlimited().with_max_resident_scenes(3));
+        let a = registry.register(scene(0)).unwrap();
+        let _b = registry.register(scene(1)).unwrap();
+        let c = registry.register(scene(2)).unwrap();
+        // `a` has been served; `b` and `c` never — they tie on recency and
+        // the smaller id (`b`) must go first.
+        serve(&registry, a);
+        let d = registry.register(scene(3)).unwrap();
+        assert_eq!(registry.resident(), vec![a, c, d]);
+        let e = registry.register(scene(4)).unwrap();
+        assert_eq!(registry.resident(), vec![a, d, e], "then `c`");
+    }
+
+    #[test]
+    fn byte_budget_deflates_and_is_never_exceeded() {
+        let footprint = scene(0).footprint_bytes();
+        let registry =
+            registry(ResidencyPolicy::unlimited().with_max_resident_bytes(2 * footprint));
+        let _a = registry.register(scene(0)).unwrap();
+        let b = registry.register(scene(1)).unwrap();
+        assert_eq!(registry.stats().resident_bytes, 2 * footprint);
+        let c = registry.register(scene(2)).unwrap();
+        assert!(registry.stats().resident_bytes <= 2 * footprint);
+        assert_eq!(registry.resident(), vec![b, c], "oldest never-served shed");
+    }
+
+    #[test]
+    fn a_scene_larger_than_the_byte_budget_is_rejected_not_registered() {
+        let footprint = scene(0).footprint_bytes();
+        let registry =
+            registry(ResidencyPolicy::unlimited().with_max_resident_bytes(footprint - 1));
+        let error = registry.register(scene(0)).expect_err("cannot ever fit");
+        assert!(matches!(error, RenderError::InvalidConfiguration { .. }));
+        assert!(error.to_string().contains("residency budget"));
+        let stats = registry.stats();
+        assert_eq!(stats.registered, 0);
+        assert_eq!(stats.resident_bytes, 0);
+    }
+
+    #[test]
+    fn the_freshly_registered_scene_is_never_its_own_victim() {
+        let registry = registry(ResidencyPolicy::unlimited().with_max_resident_scenes(1));
+        let a = registry.register(scene(0)).unwrap();
+        // `a` was just served, yet the incoming registration still evicts
+        // it: the newcomer is protected, not the most recently used.
+        serve(&registry, a);
+        let b = registry.register(scene(1)).unwrap();
+        assert_eq!(registry.resident(), vec![b]);
+    }
+
+    #[test]
+    fn zero_budgets_are_invalid() {
+        assert!(ResidencyPolicy::unlimited()
+            .with_max_resident_scenes(0)
+            .validate()
+            .is_err());
+        assert!(ResidencyPolicy::unlimited()
+            .with_max_resident_bytes(0)
+            .validate()
+            .is_err());
+        assert!(ResidencyPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn hits_count_on_commit_not_on_resolve() {
+        let registry = registry(ResidencyPolicy::unlimited());
+        let a = registry.register(scene(0)).unwrap();
+        // Resolution alone is not a serve: a submission refused by
+        // validation or admission control must not inflate the hit
+        // counter or refresh the scene's recency.
+        for _ in 0..3 {
+            let resolved = registry.resolve(a).unwrap();
+            assert!(!resolved.is_empty());
+        }
+        assert_eq!(registry.stats().scene_hits, 0);
+        for _ in 0..3 {
+            serve(&registry, a);
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.scene_hits, 3);
+        assert_eq!(stats.scene_misses, 0);
+    }
+
+    #[test]
+    fn refused_resolutions_do_not_perturb_lru_order() {
+        let registry = registry(ResidencyPolicy::unlimited().with_max_resident_scenes(2));
+        let a = registry.register(scene(0)).unwrap();
+        let b = registry.register(scene(1)).unwrap();
+        serve(&registry, a);
+        serve(&registry, b);
+        // `a` is resolved again but the job is never admitted (no commit):
+        // `a` must remain the least recently *served* scene and deflate.
+        let _ = registry.resolve(a).unwrap();
+        let c = registry.register(scene(2)).unwrap();
+        assert_eq!(registry.resident(), vec![b, c]);
+    }
+}

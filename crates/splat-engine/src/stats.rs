@@ -3,12 +3,19 @@
 /// A point-in-time snapshot of the engine's serving counters, taken with
 /// [`Engine::stats`](crate::Engine::stats).
 ///
-/// Counters are cumulative over the engine's lifetime; `queued` and
-/// `active` are instantaneous gauges. The bookkeeping identity is
-/// `submitted == completed + cancelled + shed + queued + active`, where
-/// `shed` is the part of `rejected` that was admitted first and deflated
-/// later (`rejected` also counts submissions turned away at the door,
-/// which were never `submitted`).
+/// Counters are cumulative over the engine's lifetime; `queued`, `active`,
+/// `resident_scenes` and `resident_bytes` are instantaneous gauges. Two
+/// bookkeeping identities hold at every snapshot:
+///
+/// * **Jobs (fast timescale):**
+///   `submitted == completed + cancelled + shed + queued + active`, where
+///   `shed` is the part of `rejected` that was admitted first and deflated
+///   later (`rejected` also counts submissions turned away at the door,
+///   which were never `submitted`).
+/// * **Scenes (slow timescale):** `registered == resident_scenes +
+///   evicted` — every scene ever registered is either still resident or
+///   has been deflated/evicted (the `engine_submit --registry` bench
+///   exits non-zero if this drifts).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub struct EngineStats {
@@ -31,6 +38,24 @@ pub struct EngineStats {
     /// The largest queue length ever observed — how close the engine came
     /// to its admission capacity.
     pub queue_high_water: usize,
+    /// Scenes ever registered through `Engine::register_scene`.
+    pub registered: u64,
+    /// Scenes removed from the resident set: deflated by the
+    /// `ResidencyPolicy` or explicitly evicted via `Engine::evict_scene`.
+    pub evicted: u64,
+    /// `SceneRef::Id` resolutions that led to an admitted job or a served
+    /// render. A resolution whose job was then refused (validation or
+    /// admission control) counts neither a hit nor a recency touch, so
+    /// rejected traffic cannot distort the LRU eviction order.
+    pub scene_hits: u64,
+    /// `SceneRef::Id` resolutions that missed (`RenderError::UnknownScene`
+    /// or `RenderError::Evicted`).
+    pub scene_misses: u64,
+    /// Scenes currently resident in the registry.
+    pub resident_scenes: usize,
+    /// Total `Scene::footprint_bytes` of the resident scenes — bounded by
+    /// the `ResidencyPolicy` byte budget.
+    pub resident_bytes: usize,
 }
 
 impl EngineStats {
@@ -44,7 +69,9 @@ impl EngineStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"cancelled\":{},\
-             \"queued\":{},\"active\":{},\"queue_high_water\":{}}}",
+             \"queued\":{},\"active\":{},\"queue_high_water\":{},\
+             \"registered\":{},\"evicted\":{},\"scene_hits\":{},\"scene_misses\":{},\
+             \"resident_scenes\":{},\"resident_bytes\":{}}}",
             self.submitted,
             self.completed,
             self.rejected,
@@ -52,6 +79,12 @@ impl EngineStats {
             self.queued,
             self.active,
             self.queue_high_water,
+            self.registered,
+            self.evicted,
+            self.scene_hits,
+            self.scene_misses,
+            self.resident_scenes,
+            self.resident_bytes,
         )
     }
 }
@@ -61,7 +94,8 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "submitted {} / completed {} / rejected {} / cancelled {} / \
-             queued {} / active {} / high water {}",
+             queued {} / active {} / high water {} / scenes {} resident \
+             ({} B, {} evicted, {} hits, {} misses)",
             self.submitted,
             self.completed,
             self.rejected,
@@ -69,6 +103,11 @@ impl std::fmt::Display for EngineStats {
             self.queued,
             self.active,
             self.queue_high_water,
+            self.resident_scenes,
+            self.resident_bytes,
+            self.evicted,
+            self.scene_hits,
+            self.scene_misses,
         )
     }
 }
@@ -97,6 +136,12 @@ mod tests {
             queued: 1,
             active: 0,
             queue_high_water: 4,
+            registered: 3,
+            evicted: 1,
+            scene_hits: 9,
+            scene_misses: 2,
+            resident_scenes: 2,
+            resident_bytes: 4096,
         };
         let json = stats.to_json();
         for field in [
@@ -107,9 +152,31 @@ mod tests {
             "\"queued\":1",
             "\"active\":0",
             "\"queue_high_water\":4",
+            "\"registered\":3",
+            "\"evicted\":1",
+            "\"scene_hits\":9",
+            "\"scene_misses\":2",
+            "\"resident_scenes\":2",
+            "\"resident_bytes\":4096",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
         assert!(stats.to_string().contains("high water 4"));
+        assert!(stats.to_string().contains("2 resident"));
+        assert!(stats.to_string().contains("1 evicted"));
+    }
+
+    #[test]
+    fn registry_identity_reconciles_in_the_documented_way() {
+        let stats = EngineStats {
+            registered: 5,
+            evicted: 3,
+            resident_scenes: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            stats.registered,
+            stats.resident_scenes as u64 + stats.evicted
+        );
     }
 }

@@ -25,6 +25,11 @@ pub enum DecodeError {
     UnexpectedEof,
     /// A decoded field failed validation (e.g. opacity out of range).
     InvalidField(&'static str),
+    /// A decoded splat parameter is NaN or infinite. Rejected at the
+    /// loader boundary so non-finite geometry can never reach the
+    /// renderers, where a NaN position or scale would poison depth sorting
+    /// and blending.
+    NonFinite(&'static str),
 }
 
 impl fmt::Display for DecodeError {
@@ -34,6 +39,9 @@ impl fmt::Display for DecodeError {
             DecodeError::UnsupportedVersion(v) => write!(f, "unsupported scene format version {v}"),
             DecodeError::UnexpectedEof => write!(f, "scene buffer ended unexpectedly"),
             DecodeError::InvalidField(name) => write!(f, "invalid field `{name}` in scene buffer"),
+            DecodeError::NonFinite(name) => {
+                write!(f, "non-finite `{name}` in scene buffer (NaN or infinity)")
+            }
         }
     }
 }
@@ -96,22 +104,42 @@ pub fn decode_scene(buf: &[u8]) -> Result<Scene, DecodeError> {
     let mut gaussians = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         let position = get_vec3(&mut reader)?;
+        if !position.is_finite() {
+            return Err(DecodeError::NonFinite("position"));
+        }
         let scale = get_vec3(&mut reader)?;
+        if !scale.is_finite() {
+            return Err(DecodeError::NonFinite("scale"));
+        }
         let rotation = Quat::new(
             reader.get_f32_le()?,
             reader.get_f32_le()?,
             reader.get_f32_le()?,
             reader.get_f32_le()?,
         );
+        if !(rotation.w.is_finite()
+            && rotation.x.is_finite()
+            && rotation.y.is_finite()
+            && rotation.z.is_finite())
+        {
+            return Err(DecodeError::NonFinite("rotation"));
+        }
         let opacity = reader.get_f32_le()?;
+        if !opacity.is_finite() {
+            return Err(DecodeError::NonFinite("opacity"));
+        }
         let coeff_count = reader.get_u8()? as usize;
         let mut coeffs = Vec::with_capacity(coeff_count);
         for _ in 0..coeff_count {
-            coeffs.push(Rgb::new(
+            let coeff = Rgb::new(
                 reader.get_f32_le()?,
                 reader.get_f32_le()?,
                 reader.get_f32_le()?,
-            ));
+            );
+            if !(coeff.r.is_finite() && coeff.g.is_finite() && coeff.b.is_finite()) {
+                return Err(DecodeError::NonFinite("sh"));
+            }
+            coeffs.push(coeff);
         }
         let sh = ShCoefficients::from_coefficients(coeffs)
             .map_err(|_| DecodeError::InvalidField("sh"))?;
@@ -251,5 +279,44 @@ mod tests {
     fn decode_error_display_is_informative() {
         assert!(DecodeError::BadMagic.to_string().contains("GSTG"));
         assert!(DecodeError::InvalidField("sh").to_string().contains("sh"));
+        assert!(DecodeError::NonFinite("scale")
+            .to_string()
+            .contains("non-finite `scale`"));
+    }
+
+    /// Byte offset of the first splat's parameters in an encoded buffer:
+    /// magic (4) + version (2) + name length (2) + name + width (4) +
+    /// height (4) + count (4).
+    fn first_splat_offset(scene: &Scene) -> usize {
+        4 + 2 + 2 + scene.name().len() + 4 + 4 + 4
+    }
+
+    fn patch_f32(bytes: &mut [u8], offset: usize, value: f32) {
+        bytes[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    #[test]
+    fn non_finite_parameters_are_rejected_with_the_offending_field() {
+        let scene = sample_scene();
+        let base = first_splat_offset(&scene);
+        // (field name, byte offset within the splat record, poison value):
+        // position (12 B), scale (12 B), rotation (16 B), opacity (4 B),
+        // SH count (1 B), then the SH coefficients.
+        let cases = [
+            ("position", 0, f32::NAN),
+            ("scale", 12, f32::INFINITY),
+            ("rotation", 24, f32::NEG_INFINITY),
+            ("opacity", 40, f32::NAN),
+            ("sh", 45, f32::NAN),
+        ];
+        for (field, offset, poison) in cases {
+            let mut bytes = encode_scene(&scene);
+            patch_f32(&mut bytes, base + offset, poison);
+            assert_eq!(
+                decode_scene(&bytes),
+                Err(DecodeError::NonFinite(field)),
+                "poisoned {field} must be rejected as non-finite"
+            );
+        }
     }
 }

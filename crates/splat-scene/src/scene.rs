@@ -120,6 +120,20 @@ impl Scene {
         SceneStats::from_scene(self)
     }
 
+    /// Resident-memory estimate of the scene in bytes: every stored
+    /// parameter scalar ([`Gaussian3d::parameter_count`]) at 4 bytes, plus
+    /// the name. This is the figure the serving engine's residency policy
+    /// budgets against, so it is deterministic for a given scene — it does
+    /// not try to account for allocator or container overhead.
+    pub fn footprint_bytes(&self) -> usize {
+        let splat_bytes: usize = self
+            .gaussians
+            .iter()
+            .map(|g| g.parameter_count() * std::mem::size_of::<f32>())
+            .sum();
+        splat_bytes + self.name.len()
+    }
+
     /// Returns a scene containing only the first `n` splats, preserving
     /// name and resolution. Useful for scaled-down smoke tests.
     pub fn truncated(&self, n: usize) -> Self {
@@ -222,6 +236,17 @@ mod tests {
         let half = scene.to_precision(Precision::Half);
         assert_eq!(half.len(), scene.len());
         assert_eq!(half.name(), "test");
+    }
+
+    #[test]
+    fn footprint_scales_with_splats_and_counts_all_parameters() {
+        let empty = Scene::new("e", 8, 8, vec![]);
+        assert_eq!(empty.footprint_bytes(), 1, "just the name");
+        let one = Scene::new("e", 8, 8, vec![splat_at(Vec3::ZERO)]);
+        // Degree-0 SH splat: 3+3+4+1+3 = 14 scalars at 4 bytes.
+        assert_eq!(one.footprint_bytes(), 1 + 14 * 4);
+        let ten = Scene::new("e", 8, 8, (0..10).map(|_| splat_at(Vec3::ZERO)).collect());
+        assert_eq!(ten.footprint_bytes(), 1 + 10 * 14 * 4);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type shared by the math and data-model layer.
 
+use crate::id::SceneId;
 use std::fmt;
 
 /// Convenience alias for results produced by this crate.
@@ -121,6 +122,20 @@ pub enum RenderError {
     Cancelled,
     /// The engine was shut down before the job could be served.
     ShutDown,
+    /// A scene handle that this engine never issued: the [`SceneId`] is
+    /// from another engine, fabricated, or ahead of the registration
+    /// counter.
+    UnknownScene {
+        /// The unresolvable handle.
+        id: SceneId,
+    },
+    /// A scene handle that *was* registered but has since left the
+    /// resident set — deflated by the residency policy or explicitly
+    /// evicted. Re-register the scene to serve it again.
+    Evicted {
+        /// The handle of the no-longer-resident scene.
+        id: SceneId,
+    },
 }
 
 impl fmt::Display for RenderError {
@@ -153,6 +168,12 @@ impl fmt::Display for RenderError {
             }
             RenderError::Cancelled => write!(f, "job cancelled before execution"),
             RenderError::ShutDown => write!(f, "engine shut down before the job was served"),
+            RenderError::UnknownScene { id } => {
+                write!(f, "unknown scene {id}: never registered with this engine")
+            }
+            RenderError::Evicted { id } => {
+                write!(f, "{id} evicted from the resident set; register it again")
+            }
         }
     }
 }
@@ -214,6 +235,17 @@ mod tests {
         assert!(e.to_string().contains("capacity 8"));
         assert!(RenderError::Cancelled.to_string().contains("cancelled"));
         assert!(RenderError::ShutDown.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn registry_errors_name_the_scene_id() {
+        let id = SceneId::from_raw(3);
+        let unknown = RenderError::UnknownScene { id };
+        assert!(unknown.to_string().contains("scene#3"));
+        assert!(unknown.to_string().contains("never registered"));
+        let evicted = RenderError::Evicted { id };
+        assert!(evicted.to_string().contains("scene#3"));
+        assert!(evicted.to_string().contains("evicted"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod color;
 pub mod error;
 pub mod gaussian;
 pub mod half;
+pub mod id;
 pub mod mat;
 pub mod priority;
 pub mod quat;
@@ -52,6 +53,7 @@ pub use color::Rgb;
 pub use error::{Error, RenderError, Result};
 pub use gaussian::{Gaussian3d, Gaussian3dBuilder, Precision};
 pub use half::F16;
+pub use id::SceneId;
 pub use mat::{Mat2, Mat3, Mat4};
 pub use priority::Priority;
 pub use quat::Quat;

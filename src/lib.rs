@@ -19,7 +19,10 @@
 //!   [`RenderRequest`](core::RenderRequest)s one at a time, as
 //!   deterministic batches, or asynchronously through a bounded
 //!   admission-controlled job queue
-//!   ([`Engine::submit`](engine::Engine::submit)),
+//!   ([`Engine::submit`](engine::Engine::submit)); scenes can be
+//!   registered once into a budgeted, LRU-deflated registry
+//!   ([`Engine::register_scene`](engine::Engine::register_scene)) and
+//!   served by [`SceneId`](types::SceneId) handle,
 //! * [`accel`] — the cycle-level accelerator simulator,
 //! * [`metrics`] — summary statistics and table output.
 //!
@@ -82,13 +85,13 @@ pub mod prelude {
     };
     pub use splat_engine::{
         AdmissionPolicy, Backend, Engine, EngineBuilder, EngineStats, JobHandle, JobStatus,
-        ShutdownMode, SubmitRequest,
+        PreparedScene, ResidencyPolicy, SceneRef, ShutdownMode, SubmitRequest, TrajectoryHandle,
     };
     pub use splat_metrics::{geometric_mean, Table};
     pub use splat_render::{BoundaryMethod, RenderConfig, RenderSession, Renderer};
     pub use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
     pub use splat_types::{
-        Camera, CameraIntrinsics, Gaussian3d, Priority, Quat, RenderError, Rgb, Vec3,
+        Camera, CameraIntrinsics, Gaussian3d, Priority, Quat, RenderError, Rgb, SceneId, Vec3,
     };
 }
 

@@ -1,0 +1,188 @@
+//! Integration tests for handle-based serving: a registered `SceneRef::Id`
+//! must be invisible in the pixels — bit-identical to `SceneRef::Inline`
+//! submissions and to `render_batch` — for both pipelines at batch thread
+//! counts 1 and 4, and eviction must follow the pinned deterministic order
+//! under a fixed interleaving.
+
+use gs_tg::prelude::*;
+use std::sync::Arc;
+
+fn trajectory(views: usize) -> CameraTrajectory {
+    CameraTrajectory::orbit(
+        CameraIntrinsics::from_fov_y(1.0, 96, 64),
+        Vec3::new(0.0, 0.0, 6.0),
+        4.0,
+        0.6,
+        views,
+    )
+}
+
+/// Acceptance: `submit(SceneRef::Id)`, `submit(SceneRef::Inline)`,
+/// `render_batch` and `render_batch_registered` all produce bit-identical
+/// framebuffers and `StageCounts` — both pipelines, threads 1 and 4.
+#[test]
+fn handle_based_serving_is_bit_identical_to_inline_and_batch() {
+    for backend in [Backend::Baseline, Backend::Gstg] {
+        for threads in [1usize, 4] {
+            let scene = Arc::new(PaperScene::Train.build(SceneScale::Tiny, 11));
+            let cameras: Vec<Camera> = trajectory(5).cameras().collect();
+
+            let engine = Engine::builder()
+                .backend(backend)
+                .threads(threads)
+                .build()
+                .unwrap();
+            let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+
+            // Reference: the synchronous inline batch.
+            let requests: Vec<RenderRequest<'_>> = cameras
+                .iter()
+                .map(|camera| RenderRequest::new(&scene, *camera))
+                .collect();
+            let batch = engine.render_batch(&requests);
+
+            // Handle-based synchronous batch.
+            let registered_requests: Vec<(SceneId, Camera)> =
+                cameras.iter().map(|camera| (id, *camera)).collect();
+            let registered_batch = engine.render_batch_registered(&registered_requests);
+
+            // Asynchronous: one burst by handle, one inline.
+            let by_id: Vec<JobHandle> = cameras
+                .iter()
+                .map(|camera| {
+                    engine
+                        .submit(SubmitRequest::new(id, *camera))
+                        .expect("registered handle resolves")
+                })
+                .collect();
+            let by_id: Vec<_> = by_id.into_iter().map(|handle| handle.wait()).collect();
+            let inline: Vec<JobHandle> = cameras
+                .iter()
+                .map(|camera| {
+                    engine
+                        .submit(SubmitRequest::new(Arc::clone(&scene), *camera))
+                        .expect("inline submission admitted")
+                })
+                .collect();
+            let inline: Vec<_> = inline.into_iter().map(|handle| handle.wait()).collect();
+
+            for index in 0..cameras.len() {
+                let reference = batch[index].as_ref().expect("valid request");
+                for (label, candidate) in [
+                    ("render_batch_registered", &registered_batch[index]),
+                    ("submit(SceneRef::Id)", &by_id[index]),
+                    ("submit(SceneRef::Inline)", &inline[index]),
+                ] {
+                    let output = candidate.as_ref().unwrap_or_else(|error| {
+                        panic!("{backend} t={threads} {label} frame {index}: {error}")
+                    });
+                    assert_eq!(
+                        output.image.max_abs_diff(&reference.image),
+                        0.0,
+                        "{backend} t={threads}: {label} frame {index} diverged from render_batch"
+                    );
+                    assert_eq!(
+                        output.stats.counts, reference.stats.counts,
+                        "{backend} t={threads}: {label} frame {index} counted differently"
+                    );
+                }
+            }
+
+            // Registry accounting: every Id-path serve was a hit, and the
+            // registered = resident + evicted identity holds.
+            let stats = engine.stats();
+            assert_eq!(stats.scene_hits, 2 * cameras.len() as u64);
+            assert_eq!(stats.scene_misses, 0);
+            assert_eq!(stats.registered, 1);
+            assert_eq!(
+                stats.registered,
+                stats.resident_scenes as u64 + stats.evicted
+            );
+        }
+    }
+}
+
+/// Acceptance: under a fixed interleaving of register/serve operations the
+/// eviction order is deterministic — least-recently-served first,
+/// never-served before served, ties by smallest `SceneId` — and identical
+/// across engines.
+#[test]
+fn eviction_order_is_deterministic_under_a_fixed_interleaving() {
+    let camera = trajectory(1).camera(0);
+    let run = || {
+        let engine = Engine::builder()
+            .residency(ResidencyPolicy::unlimited().with_max_resident_scenes(3))
+            .build()
+            .unwrap();
+        let scenes: Vec<Arc<Scene>> = (0..6)
+            .map(|seed| Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, seed)))
+            .collect();
+        let mut log: Vec<Vec<u64>> = Vec::new();
+        let a = engine.register_scene(Arc::clone(&scenes[0])).unwrap();
+        let b = engine.register_scene(Arc::clone(&scenes[1])).unwrap();
+        let _c = engine.register_scene(Arc::clone(&scenes[2])).unwrap();
+        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        // Serve b then a: c is now the only never-served resident.
+        engine.render_one_registered(b, camera).unwrap();
+        engine.render_one_registered(a, camera).unwrap();
+        // d evicts c (never served).
+        let _d = engine.register_scene(Arc::clone(&scenes[3])).unwrap();
+        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        // e evicts d: newcomer protection only covers a scene's own
+        // registration, so the never-served d is the LRU victim next time.
+        let _e = engine.register_scene(Arc::clone(&scenes[4])).unwrap();
+        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        let _f = engine.register_scene(Arc::clone(&scenes[5])).unwrap();
+        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        (log, engine.stats())
+    };
+
+    let (log_a, stats_a) = run();
+    let (log_b, stats_b) = run();
+    assert_eq!(log_a, log_b, "the interleaving must replay identically");
+    // Pinned expectations: ids are issued 0,1,2,3,4,5 in registration
+    // order. After registering 0,1,2 all three are resident. Serving 1
+    // then 0 leaves 2 never-served, so registering 3 evicts 2. Registering
+    // 4 evicts 3 (never-served, no longer protected). Registering 5
+    // evicts 4 for the same reason.
+    assert_eq!(
+        log_a,
+        vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 1, 4], vec![0, 1, 5]]
+    );
+    assert_eq!(stats_a.evicted, 3);
+    assert_eq!(stats_a.registered, 6);
+    assert_eq!(
+        stats_a.registered,
+        stats_a.resident_scenes as u64 + stats_a.evicted
+    );
+    assert_eq!(stats_a, stats_b);
+}
+
+/// `submit_trajectory` delivers in path order even when later frames
+/// finish first (several workers racing), and the whole path costs one
+/// registry hit.
+#[test]
+fn trajectory_frames_arrive_in_path_order_across_workers() {
+    let scene = Arc::new(PaperScene::Drjohnson.build(SceneScale::Tiny, 4));
+    let engine = Engine::builder().workers(4).build().unwrap();
+    let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+    let path = trajectory(8);
+    let outputs = engine
+        .submit_trajectory(id, &path, Priority::High)
+        .unwrap()
+        .wait_all();
+    assert_eq!(outputs.len(), path.len());
+    for (index, output) in outputs.iter().enumerate() {
+        let frame = output.as_ref().expect("valid render");
+        let fresh =
+            GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &path.camera(index));
+        assert_eq!(
+            frame.image.max_abs_diff(&fresh.image),
+            0.0,
+            "frame {index} delivered out of order"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.scene_hits, 1, "one resolve for the whole path");
+    assert_eq!(stats.completed, path.len() as u64);
+}

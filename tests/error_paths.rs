@@ -36,6 +36,8 @@ fn variant_name(error: &RenderError) -> &'static str {
         RenderError::Overloaded { .. } => "Overloaded",
         RenderError::Cancelled => "Cancelled",
         RenderError::ShutDown => "ShutDown",
+        RenderError::UnknownScene { .. } => "UnknownScene",
+        RenderError::Evicted { .. } => "Evicted",
         other => panic!("new RenderError variant {other:?}: extend tests/error_paths.rs"),
     }
 }
@@ -179,6 +181,30 @@ fn all_variants_via_public_api() -> Vec<(RenderError, &'static str)> {
         "shut down",
     ));
 
+    // UnknownScene: a handle this engine never issued.
+    let registry_engine = Engine::builder().build().expect("valid engine");
+    specimens.push((
+        registry_engine
+            .render_one_registered(SceneId::from_raw(42), valid_camera())
+            .expect_err("fabricated handles must not resolve"),
+        "unknown scene scene#42",
+    ));
+
+    // Evicted: a registered handle served after its scene left the
+    // resident set.
+    let evicted_id = registry_engine
+        .register_scene(Arc::clone(&shared_scene))
+        .expect("valid scene registers");
+    registry_engine
+        .evict_scene(evicted_id)
+        .expect("resident scene evicts");
+    specimens.push((
+        registry_engine
+            .submit(SubmitRequest::new(evicted_id, valid_camera()))
+            .expect_err("evicted handles must not resolve"),
+        "evicted from the resident set",
+    ));
+
     specimens
 }
 
@@ -197,12 +223,14 @@ fn every_variant_is_reachable_through_the_public_api() {
             "Cancelled",
             "DegenerateCamera",
             "EmptyScene",
+            "Evicted",
             "InvalidConfiguration",
             "InvalidIntrinsics",
             "InvalidResolution",
             "InvalidTileSize",
             "Overloaded",
             "ShutDown",
+            "UnknownScene",
         ],
         "one specimen of every RenderError variant"
     );

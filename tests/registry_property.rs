@@ -1,0 +1,224 @@
+//! Property sweep for the scene registry's residency control: randomized
+//! register/serve/evict interleavings (driven by the workspace's local
+//! deterministic PRNG — the dependency policy forbids proptest) must keep
+//! resident bytes within the budget at every step, evict in the pinned LRU
+//! order, and replay identically across runs.
+//!
+//! The oracle is a shadow model: a plain `Vec` of (id, footprint,
+//! last-served tick) mutated by the same deterministic rules the registry
+//! documents. After every operation the engine's resident set, resident
+//! bytes and counters must match the model exactly.
+
+use gs_tg::prelude::*;
+use gs_tg::scene::rng::Rng;
+use std::sync::Arc;
+
+const BYTE_BUDGET_SCENES: usize = 3;
+const MAX_SCENES: usize = 4;
+const OPS: usize = 200;
+
+fn camera() -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, 64, 48),
+    )
+}
+
+/// The shadow model's view of one resident scene.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelScene {
+    id: u64,
+    footprint: usize,
+    last_served: Option<u64>,
+}
+
+/// A pure re-statement of the documented residency rules.
+#[derive(Debug, Default)]
+struct Model {
+    resident: Vec<ModelScene>,
+    next_id: u64,
+    serve_tick: u64,
+    registered: u64,
+    evicted: u64,
+    hits: u64,
+    misses: u64,
+    max_bytes: usize,
+    max_scenes: usize,
+}
+
+impl Model {
+    fn resident_bytes(&self) -> usize {
+        self.resident.iter().map(|scene| scene.footprint).sum()
+    }
+
+    fn register(&mut self, footprint: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.registered += 1;
+        self.resident.push(ModelScene {
+            id,
+            footprint,
+            last_served: None,
+        });
+        while self.resident.len() > self.max_scenes || self.resident_bytes() > self.max_bytes {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|scene| scene.id != id)
+                .min_by_key(|scene| (scene.last_served, scene.id))
+                .map(|scene| scene.id)
+                .expect("over budget with more than the protected scene resident");
+            self.resident.retain(|scene| scene.id != victim);
+            self.evicted += 1;
+        }
+        id
+    }
+
+    fn serve(&mut self, id: u64) -> bool {
+        if let Some(scene) = self.resident.iter_mut().find(|scene| scene.id == id) {
+            scene.last_served = Some(self.serve_tick);
+            self.serve_tick += 1;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    fn evict(&mut self, id: u64) -> bool {
+        let before = self.resident.len();
+        self.resident.retain(|scene| scene.id != id);
+        if self.resident.len() < before {
+            self.evicted += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One randomized interleaving; returns an event log so determinism across
+/// runs can be asserted by comparing whole logs.
+fn run_interleaving(seed: u64) -> Vec<String> {
+    // Two scene sizes so both budget axes bind: a run of large scenes
+    // trips the byte budget below the scene cap, a run of small ones
+    // trips the scene cap below the byte budget.
+    let large = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, seed));
+    let small = Arc::new(large.truncated(large.len() / 2));
+    let footprint = large.footprint_bytes();
+    let max_bytes = BYTE_BUDGET_SCENES * footprint;
+    let engine = Engine::builder()
+        .residency(
+            ResidencyPolicy::unlimited()
+                .with_max_resident_bytes(max_bytes)
+                .with_max_resident_scenes(MAX_SCENES),
+        )
+        .build()
+        .expect("valid residency policy");
+    let mut model = Model {
+        max_bytes,
+        max_scenes: MAX_SCENES,
+        ..Model::default()
+    };
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let camera = camera();
+    let mut log = Vec::with_capacity(OPS);
+
+    for op in 0..OPS {
+        let issued = model.next_id;
+        match rng.next_u64() % 10 {
+            // Register a large or small scene (weight 4).
+            0..=3 => {
+                let scene = if rng.next_u64() % 2 == 0 {
+                    &large
+                } else {
+                    &small
+                };
+                let expected = model.register(scene.footprint_bytes());
+                let id = engine
+                    .register_scene(Arc::clone(scene))
+                    .expect("scene fits the budget");
+                assert_eq!(id.raw(), expected, "op {op}: id sequence diverged");
+                log.push(format!("register {} -> {expected}", scene.len()));
+            }
+            // Serve a random id, usually an issued one (weight 4).
+            4..=7 => {
+                if issued == 0 {
+                    log.push("serve skipped".to_owned());
+                    continue;
+                }
+                let id = rng.next_u64() % issued;
+                let expect_hit = model.serve(id);
+                let result = engine.render_one_registered(SceneId::from_raw(id), camera);
+                match (expect_hit, &result) {
+                    (true, Ok(_)) => {}
+                    (false, Err(RenderError::Evicted { .. })) => {}
+                    other => panic!("op {op}: serve({id}) mismatch: {other:?}"),
+                }
+                log.push(format!("serve {id} hit={expect_hit}"));
+            }
+            // Explicit eviction of a random issued id (weight 2).
+            _ => {
+                if issued == 0 {
+                    log.push("evict skipped".to_owned());
+                    continue;
+                }
+                let id = rng.next_u64() % issued;
+                let expect_resident = model.evict(id);
+                let result = engine.evict_scene(SceneId::from_raw(id));
+                match (expect_resident, &result) {
+                    (true, Ok(())) => {}
+                    (false, Err(RenderError::Evicted { .. })) => {}
+                    other => panic!("op {op}: evict({id}) mismatch: {other:?}"),
+                }
+                log.push(format!("evict {id} resident={expect_resident}"));
+            }
+        }
+
+        // Invariants after every operation.
+        let stats = engine.stats();
+        assert!(
+            stats.resident_bytes <= max_bytes,
+            "op {op}: resident bytes {} exceed the budget {max_bytes}",
+            stats.resident_bytes
+        );
+        assert!(
+            stats.resident_scenes <= MAX_SCENES,
+            "op {op}: {} scenes resident, budget {MAX_SCENES}",
+            stats.resident_scenes
+        );
+        assert_eq!(
+            stats.registered,
+            stats.resident_scenes as u64 + stats.evicted,
+            "op {op}: registered != resident + evicted"
+        );
+        // Exact agreement with the shadow model, including eviction order
+        // (the resident id set only matches if every victim matched).
+        let resident: Vec<u64> = engine.resident_scenes().iter().map(|id| id.raw()).collect();
+        let model_resident: Vec<u64> = model.resident.iter().map(|scene| scene.id).collect();
+        assert_eq!(resident, model_resident, "op {op}: resident set diverged");
+        assert_eq!(stats.resident_bytes, model.resident_bytes(), "op {op}");
+        assert_eq!(stats.registered, model.registered, "op {op}");
+        assert_eq!(stats.evicted, model.evicted, "op {op}");
+        assert_eq!(stats.scene_hits, model.hits, "op {op}");
+        assert_eq!(stats.scene_misses, model.misses, "op {op}");
+    }
+    log
+}
+
+#[test]
+fn randomized_interleavings_respect_the_budget_and_pinned_lru_order() {
+    for seed in 0..4 {
+        run_interleaving(seed);
+    }
+}
+
+#[test]
+fn interleavings_are_deterministic_across_runs() {
+    let first = run_interleaving(9);
+    let second = run_interleaving(9);
+    assert_eq!(first, second, "same seed must replay the same event log");
+}
