@@ -3,7 +3,7 @@
 pub use splat_core::ExecutionModel;
 
 use splat_core::{ExecutionConfig, HasExecution};
-use splat_render::BoundaryMethod;
+use splat_render::{BoundaryMethod, PrepassMode};
 use splat_types::{Precision, RenderError};
 use std::fmt;
 
@@ -102,6 +102,12 @@ pub struct GstgConfig {
     pub bitmask_boundary: BoundaryMethod,
     /// Storage precision applied to splat parameters.
     pub precision: Precision,
+    /// Intersection-prepass mode applied during bitmask generation: with
+    /// [`PrepassMode::Exact`], conservatively marked small tiles are
+    /// re-tested with the exact ellipse test and trimmed when the splat
+    /// cannot contribute — pixels are unchanged, sort keys and blend work
+    /// shrink.
+    pub prepass: PrepassMode,
     /// Shared execution parameters (worker threads, scheduling model for
     /// bitmask generation). Use [`HasExecution::with_threads`] /
     /// [`HasExecution::with_execution`] to change them.
@@ -140,6 +146,7 @@ impl GstgConfig {
             group_boundary,
             bitmask_boundary,
             precision: Precision::Full,
+            prepass: PrepassMode::Conservative,
             exec: ExecutionConfig::sequential(),
         };
         config.validate()?;
@@ -225,12 +232,19 @@ impl GstgConfig {
         self
     }
 
+    /// Returns a copy with the intersection-prepass mode replaced.
+    pub fn with_prepass(mut self, prepass: PrepassMode) -> Self {
+        self.prepass = prepass;
+        self
+    }
+
     /// The baseline configuration this GS-TG configuration is compared
     /// against (same tile size, the bitmask boundary used for tile
-    /// identification).
+    /// identification, the same prepass mode).
     pub fn equivalent_baseline(&self) -> splat_render::RenderConfig {
         let mut config = splat_render::RenderConfig::new(self.tile_size, self.bitmask_boundary);
         config.precision = self.precision;
+        config.prepass = self.prepass;
         config.exec = self.exec;
         config
     }
@@ -276,6 +290,13 @@ impl GstgConfigBuilder {
     /// Sets the storage precision applied to splat parameters.
     pub fn precision(mut self, precision: Precision) -> Self {
         self.config.precision = precision;
+        self
+    }
+
+    /// Sets the intersection-prepass mode applied during bitmask
+    /// generation.
+    pub fn prepass(mut self, prepass: PrepassMode) -> Self {
+        self.config.prepass = prepass;
         self
     }
 
@@ -396,6 +417,27 @@ mod tests {
         assert_eq!(baseline.tile_size, 16);
         assert_eq!(baseline.boundary, BoundaryMethod::Obb);
         assert_eq!(baseline.exec, c.exec);
+        assert_eq!(baseline.prepass, PrepassMode::Conservative);
+    }
+
+    #[test]
+    fn prepass_knob_propagates_to_the_equivalent_baseline() {
+        let c = GstgConfig::builder()
+            .prepass(PrepassMode::Exact)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(c.prepass, PrepassMode::Exact);
+        assert_eq!(c.equivalent_baseline().prepass, PrepassMode::Exact);
+        assert_eq!(
+            GstgConfig::paper_default()
+                .with_prepass(PrepassMode::Exact)
+                .prepass,
+            PrepassMode::Exact
+        );
+        assert_eq!(
+            GstgConfig::paper_default().prepass,
+            PrepassMode::Conservative
+        );
     }
 
     #[test]

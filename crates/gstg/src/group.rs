@@ -15,6 +15,7 @@ use splat_render::bounds::GaussianFootprint;
 use splat_render::preprocess::ProjectedGaussian;
 use splat_render::stats::StageCounts;
 use splat_render::tiling::TileGrid;
+use splat_render::{BoundaryMethod, PrepassMode};
 
 /// One splat's membership in one group: which projected splat it is and
 /// which small tiles of the group it touches.
@@ -147,7 +148,14 @@ impl GroupAssignments {
 /// `counts.tile_tests` / `counts.tile_intersections` are charged for the
 /// group-level tests (they play the role the tile tests play in the
 /// baseline), and `counts.bitmask_tests` for the per-small-tile tests that
-/// build the bitmasks.
+/// build the bitmasks. The prepass reconciliation counters mirror the
+/// baseline's at small-tile granularity: `tiles_tested` counts every
+/// geometric small-tile test (including exact refinements under
+/// [`PrepassMode::Exact`]), `tiles_hit` the bits finally set, and
+/// `prepass_overcount_trimmed` the conservatively marked bits the exact
+/// ellipse test cleared. Under [`PrepassMode::Exact`] a group entry whose
+/// bitmask ends up empty is dropped entirely — it could never contribute a
+/// pixel, so removing its sort key is lossless.
 pub fn identify_groups(
     projected: &[ProjectedGaussian],
     image_width: u32,
@@ -194,6 +202,11 @@ pub fn identify_groups_into(
     out.groups_per_gaussian.resize(projected.len(), 0);
     scratch.clear();
 
+    let exact = config.prepass == PrepassMode::Exact;
+    // The exact ellipse test only refines bits the conservative boundary
+    // marked; with the ellipse boundary already in use it adds nothing.
+    let refine = exact && config.bitmask_boundary != BoundaryMethod::Ellipse;
+
     for (slot, splat) in projected.iter().enumerate() {
         let Some(footprint) = GaussianFootprint::from_covariance(splat.mean, splat.cov) else {
             continue;
@@ -212,8 +225,6 @@ pub fn identify_groups_into(
                 if !footprint.intersects(&group_rect, config.group_boundary) {
                     continue;
                 }
-                counts.tile_intersections += 1;
-                out.groups_per_gaussian[slot] += 1;
 
                 // Bitmask generation: test the splat against the candidate
                 // small tiles of this group that lie inside the image.
@@ -226,12 +237,28 @@ pub fn identify_groups_into(
                 for ty in ty_lo..ty_hi {
                     for tx in tx_lo..tx_hi {
                         counts.bitmask_tests += 1;
+                        counts.tiles_tested += 1;
                         let tile_rect = tile_grid.tile_rect_unclipped(tx, ty);
-                        if footprint.intersects(&tile_rect, config.bitmask_boundary) {
-                            bitmask.set(layout.bit_index(tx - gx * side, ty - gy * side));
+                        if !footprint.intersects(&tile_rect, config.bitmask_boundary) {
+                            continue;
                         }
+                        if refine {
+                            counts.tiles_tested += 1;
+                            if !footprint.intersects(&tile_rect, BoundaryMethod::Ellipse) {
+                                counts.prepass_overcount_trimmed += 1;
+                                continue;
+                            }
+                        }
+                        counts.tiles_hit += 1;
+                        bitmask.set(layout.bit_index(tx - gx * side, ty - gy * side));
                     }
                 }
+
+                if exact && bitmask.is_empty() {
+                    continue;
+                }
+                counts.tile_intersections += 1;
+                out.groups_per_gaussian[slot] += 1;
 
                 scratch.stage(
                     group_grid.tile_index(gx, gy) as u32,
@@ -442,6 +469,102 @@ mod tests {
             footprint,
             "steady-state rebuild must not grow the buffers"
         );
+    }
+
+    #[test]
+    fn exact_prepass_trims_aabb_bitmask_bits_to_the_ellipse_set() {
+        // Anisotropic splats: the AABB marks corner tiles the ellipse never
+        // touches; the exact prepass must clear precisely those bits.
+        let base = GstgConfig::new(16, 64, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap();
+        let exact = base.with_prepass(PrepassMode::Exact);
+        let ellipse = config(16, 64);
+        let splats: Vec<ProjectedGaussian> = (0..6)
+            .map(|i| {
+                let a2 = 400.0 + 40.0 * i as f32;
+                let b2 = 4.0;
+                let cov = Mat2::from_symmetric(0.5 * (a2 + b2), 0.5 * (a2 - b2), 0.5 * (a2 + b2));
+                ProjectedGaussian {
+                    index: i,
+                    depth: 1.0 + i as f32,
+                    mean: Vec2::new(60.0 + 25.0 * i as f32, 50.0 + 30.0 * i as f32),
+                    cov,
+                    inv_cov: cov.inverse().unwrap(),
+                    opacity: 0.9,
+                    color: Rgb::WHITE,
+                }
+            })
+            .collect();
+
+        let mut conservative_counts = StageCounts::new();
+        let conservative = identify_groups(&splats, 256, 256, &base, &mut conservative_counts);
+        let mut exact_counts = StageCounts::new();
+        let trimmed = identify_groups(&splats, 256, 256, &exact, &mut exact_counts);
+        let mut ellipse_counts = StageCounts::new();
+        let reference = identify_groups(&splats, 256, 256, &ellipse, &mut ellipse_counts);
+
+        let tile_set = |groups: &GroupAssignments| {
+            let mut set: Vec<(u32, u32, u32)> = Vec::new();
+            for (group_idx, entries) in groups.iter() {
+                let (gx, gy) = groups.group_grid().tile_coords(group_idx);
+                for entry in entries {
+                    for bit in entry.bitmask.iter_set() {
+                        if let Some((tx, ty)) = groups.global_tile_of_bit(gx, gy, bit) {
+                            set.push((tx, ty, entry.slot));
+                        }
+                    }
+                }
+            }
+            set.sort_unstable();
+            set
+        };
+
+        let conservative_set = tile_set(&conservative);
+        let trimmed_set = tile_set(&trimmed);
+        // Exact-trimmed bits are a subset of the conservative bits and equal
+        // the bits the ellipse boundary marks directly.
+        assert!(trimmed_set.iter().all(|t| conservative_set.contains(t)));
+        assert_eq!(trimmed_set, tile_set(&reference));
+        assert!(trimmed_set.len() < conservative_set.len());
+
+        // Counter reconciliation.
+        assert_eq!(exact_counts.tiles_hit, trimmed_set.len() as u64);
+        assert_eq!(
+            exact_counts.tiles_hit + exact_counts.prepass_overcount_trimmed,
+            conservative_counts.tiles_hit
+        );
+        assert!(exact_counts.tiles_tested > conservative_counts.tiles_tested);
+        assert_eq!(
+            conservative_counts.tiles_tested,
+            conservative_counts.bitmask_tests
+        );
+        assert_eq!(conservative_counts.prepass_overcount_trimmed, 0);
+        assert!(trimmed.total_entries() <= conservative.total_entries());
+    }
+
+    #[test]
+    fn exact_prepass_with_ellipse_boundaries_only_drops_empty_entries() {
+        let base = config(16, 64);
+        let exact = base.with_prepass(PrepassMode::Exact);
+        let splats = vec![
+            projected(Vec2::new(60.0, 60.0), 9.0, 0, 1.0),
+            projected(Vec2::new(130.0, 70.0), 4.0, 1, 2.0),
+        ];
+        let mut base_counts = StageCounts::new();
+        let conservative = identify_groups(&splats, 256, 256, &base, &mut base_counts);
+        let mut exact_counts = StageCounts::new();
+        let trimmed = identify_groups(&splats, 256, 256, &exact, &mut exact_counts);
+        // The ellipse boundary is already exact per tile, so no bits are
+        // trimmed and the same tests run; only entries with no set bit (a
+        // group hit whose tiles all miss) may disappear.
+        assert_eq!(exact_counts.prepass_overcount_trimmed, 0);
+        assert_eq!(exact_counts.tiles_tested, base_counts.tiles_tested);
+        assert_eq!(exact_counts.tiles_hit, base_counts.tiles_hit);
+        assert!(trimmed.total_entries() <= conservative.total_entries());
+        for (group_idx, entries) in trimmed.iter() {
+            for entry in entries {
+                assert!(!entry.bitmask.is_empty(), "group {group_idx}");
+            }
+        }
     }
 
     #[test]

@@ -65,5 +65,10 @@ pub use config::{ConfigError, ExecutionModel, GstgConfig, GstgConfigBuilder};
 pub use group::{identify_groups, identify_groups_into, GroupAssignments, GroupEntry};
 pub use lossless::{verify_lossless, LosslessReport};
 pub use pipeline::{GstgRenderer, RenderOutput};
+pub use raster::{
+    filter_tile_list, filter_tile_list_into, rasterize_groups, rasterize_groups_into,
+    rasterize_groups_into_with, rasterize_groups_with,
+};
 pub use session::GstgSession;
-pub use splat_core::{HasExecution, RenderBackend, RenderRequest};
+pub use splat_core::{HasExecution, RenderBackend, RenderRequest, SimdMode};
+pub use splat_render::PrepassMode;

@@ -9,7 +9,7 @@
 
 use crate::config::GstgConfig;
 use crate::group::{identify_groups, GroupAssignments};
-use crate::raster::rasterize_groups;
+use crate::raster::rasterize_groups_with;
 use crate::sort::sort_groups;
 use splat_core::{
     run_timed, Framebuffer, HasExecution, PipelineStage, ProjectedGaussian, RenderBackend,
@@ -91,6 +91,7 @@ struct RasterStage<'a> {
     camera: &'a Camera,
     background: Rgb,
     threads: usize,
+    simd: splat_core::SimdMode,
 }
 
 impl PipelineStage for RasterStage<'_> {
@@ -101,13 +102,14 @@ impl PipelineStage for RasterStage<'_> {
     }
 
     fn run(self, counts: &mut StageCounts) -> Framebuffer {
-        let (image, raster_counts) = rasterize_groups(
+        let (image, raster_counts) = rasterize_groups_with(
             self.projected,
             self.assignments,
             self.camera.width(),
             self.camera.height(),
             self.background,
             self.threads,
+            self.simd,
         );
         *counts += raster_counts;
         image
@@ -196,6 +198,7 @@ impl GstgRenderer {
                 camera,
                 background: self.background,
                 threads: self.config.threads(),
+                simd: self.config.simd(),
             },
             &mut counts,
         );
@@ -205,6 +208,7 @@ impl GstgRenderer {
             stats: RenderStats {
                 counts,
                 preprocess_time,
+                identify_time: std::time::Duration::ZERO,
                 sort_time,
                 raster_time,
             },
@@ -223,6 +227,11 @@ impl RenderBackend for GstgRenderer {
     fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
         self.config.validate()?;
         request.validate()?;
+        splat_render::TileGrid::try_new(
+            request.camera.width(),
+            request.camera.height(),
+            self.config.tile_size,
+        )?;
         Ok(GstgRenderer::render(self, request.scene, &request.camera))
     }
 }
@@ -354,6 +363,51 @@ mod tests {
         let mut bad = GstgRenderer::new(GstgConfig::paper_default());
         bad.config.group_size = 40;
         assert!(RenderBackend::render(&mut bad, &RenderRequest::new(&scene, camera)).is_err());
+    }
+
+    #[test]
+    fn exact_prepass_is_lossless_and_never_adds_sort_keys() {
+        // AABB bitmasks overcount; the exact prepass trims them without
+        // changing a single pixel relative to the conservative run.
+        let scene = PaperScene::Train.build(SceneScale::Tiny, 1);
+        let camera = small_camera(&scene);
+        let config = GstgConfig::new(16, 64, BoundaryMethod::Aabb, BoundaryMethod::Aabb).unwrap();
+        let conservative = GstgRenderer::new(config).render(&scene, &camera);
+        let exact = GstgRenderer::new(config.with_prepass(splat_render::PrepassMode::Exact))
+            .render(&scene, &camera);
+        assert_eq!(exact.image.max_abs_diff(&conservative.image), 0.0);
+        assert!(exact.stats.counts.prepass_overcount_trimmed > 0);
+        assert_eq!(
+            exact.stats.counts.tiles_hit + exact.stats.counts.prepass_overcount_trimmed,
+            conservative.stats.counts.tiles_hit
+        );
+        assert!(
+            exact.stats.counts.tile_intersections <= conservative.stats.counts.tile_intersections
+        );
+        assert!(
+            exact.stats.counts.alpha_computations <= conservative.stats.counts.alpha_computations
+        );
+    }
+
+    #[test]
+    fn simd_modes_render_bit_identical_gstg_images() {
+        let scene = PaperScene::Playroom.build(SceneScale::Tiny, 4);
+        let camera = small_camera(&scene);
+        let reference = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        for simd in splat_core::SimdMode::ALL {
+            for threads in [1, 4] {
+                let config = GstgConfig::paper_default()
+                    .with_threads(threads)
+                    .with_simd(simd);
+                let out = GstgRenderer::new(config).render(&scene, &camera);
+                assert_eq!(
+                    out.image.max_abs_diff(&reference.image),
+                    0.0,
+                    "{simd:?} x{threads} diverged"
+                );
+                assert_eq!(out.stats.counts, reference.stats.counts);
+            }
+        }
     }
 
     #[test]

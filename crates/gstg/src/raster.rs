@@ -12,7 +12,8 @@
 use crate::bitmask::TileBitmask;
 use crate::group::{GroupAssignments, GroupEntry};
 use splat_core::{
-    rasterize_tile, rasterize_tile_into, Framebuffer, ProjectedGaussian, StageCounts, TileScheduler,
+    rasterize_tile_into_with, rasterize_tile_with, Framebuffer, ProjectedGaussian, SimdMode,
+    StageCounts, TileScheduler,
 };
 use splat_types::Rgb;
 
@@ -58,17 +59,41 @@ pub fn rasterize_groups(
     background: Rgb,
     threads: usize,
 ) -> (Framebuffer, StageCounts) {
-    // Start from an empty framebuffer: rasterize_groups_into's reset
-    // performs the one-and-only background fill.
-    let mut image = Framebuffer::new(0, 0, background);
-    let mut tile_list = Vec::new();
-    let counts = rasterize_groups_into(
+    rasterize_groups_with(
         projected,
         assignments,
         image_width,
         image_height,
         background,
         threads,
+        SimdMode::Scalar,
+    )
+}
+
+/// [`rasterize_groups`] with an explicit [`SimdMode`] for the shared
+/// blending kernel. Every mode produces bit-identical pixels and counters.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_groups_with(
+    projected: &[ProjectedGaussian],
+    assignments: &GroupAssignments,
+    image_width: u32,
+    image_height: u32,
+    background: Rgb,
+    threads: usize,
+    simd: SimdMode,
+) -> (Framebuffer, StageCounts) {
+    // Start from an empty framebuffer: rasterize_groups_into's reset
+    // performs the one-and-only background fill.
+    let mut image = Framebuffer::new(0, 0, background);
+    let mut tile_list = Vec::new();
+    let counts = rasterize_groups_into_with(
+        projected,
+        assignments,
+        image_width,
+        image_height,
+        background,
+        threads,
+        simd,
         &mut image,
         &mut tile_list,
     );
@@ -93,6 +118,33 @@ pub fn rasterize_groups_into(
     image: &mut Framebuffer,
     tile_list: &mut Vec<u32>,
 ) -> StageCounts {
+    rasterize_groups_into_with(
+        projected,
+        assignments,
+        image_width,
+        image_height,
+        background,
+        threads,
+        SimdMode::Scalar,
+        image,
+        tile_list,
+    )
+}
+
+/// [`rasterize_groups_into`] with an explicit [`SimdMode`] for the shared
+/// blending kernel. Every mode produces bit-identical pixels and counters.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_groups_into_with(
+    projected: &[ProjectedGaussian],
+    assignments: &GroupAssignments,
+    image_width: u32,
+    image_height: u32,
+    background: Rgb,
+    threads: usize,
+    simd: SimdMode,
+    image: &mut Framebuffer,
+    tile_list: &mut Vec<u32>,
+) -> StageCounts {
     image.reset(image_width, image_height, background);
     let mut counts = StageCounts::new();
 
@@ -108,7 +160,15 @@ pub fn rasterize_groups_into(
                 };
                 let rect = tile_grid.tile_rect(tx, ty);
                 filter_tile_list_into(entries, bit, &mut counts, tile_list);
-                rasterize_tile_into(tile_list, projected, &rect, background, image, &mut counts);
+                rasterize_tile_into_with(
+                    tile_list,
+                    projected,
+                    &rect,
+                    background,
+                    simd,
+                    image,
+                    &mut counts,
+                );
             }
         }
         return counts;
@@ -123,6 +183,7 @@ pub fn rasterize_groups_into(
             assignments,
             group,
             background,
+            simd,
             &mut regions,
             &mut local_counts,
         );
@@ -145,6 +206,7 @@ fn collect_group_regions(
     assignments: &GroupAssignments,
     group: usize,
     background: Rgb,
+    simd: SimdMode,
     regions: &mut Vec<Region>,
     counts: &mut StageCounts,
 ) {
@@ -159,7 +221,7 @@ fn collect_group_regions(
         };
         let rect = tile_grid.tile_rect(tx, ty);
         let tile_list = filter_tile_list(entries, bit, counts);
-        let out = rasterize_tile(&tile_list, projected, &rect, background);
+        let out = rasterize_tile_with(&tile_list, projected, &rect, background, simd);
         *counts += out.counts;
         regions.push((rect.x0 as u32, rect.y0 as u32, out.width, out.pixels));
     }

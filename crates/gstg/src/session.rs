@@ -10,7 +10,7 @@
 
 use crate::group::{identify_groups_into, GroupAssignments, GroupEntry};
 use crate::pipeline::GstgRenderer;
-use crate::raster::rasterize_groups_into;
+use crate::raster::rasterize_groups_into_with;
 use crate::sort::sort_groups_with;
 use splat_core::{
     FrameArena, HasExecution, RenderBackend, RenderOutput, RenderRequest, RenderStats,
@@ -80,6 +80,9 @@ impl GstgSession {
             &mut counts,
             &mut self.arena.projected,
         );
+        let preprocess_time = start.elapsed();
+
+        let start = Instant::now();
         identify_groups_into(
             &self.arena.projected,
             camera.width(),
@@ -89,7 +92,7 @@ impl GstgSession {
             &mut self.arena.csr,
             &mut self.assignments,
         );
-        let preprocess_time = start.elapsed();
+        let identify_time = start.elapsed();
 
         let start = Instant::now();
         sort_groups_with(
@@ -101,13 +104,14 @@ impl GstgSession {
         let sort_time = start.elapsed();
 
         let start = Instant::now();
-        counts += rasterize_groups_into(
+        counts += rasterize_groups_into_with(
             &self.arena.projected,
             &self.assignments,
             camera.width(),
             camera.height(),
             self.renderer.background(),
             config.threads(),
+            config.simd(),
             &mut self.arena.framebuffer,
             &mut self.tile_list,
         );
@@ -118,6 +122,7 @@ impl GstgSession {
             stats: RenderStats {
                 counts,
                 preprocess_time,
+                identify_time,
                 sort_time,
                 raster_time,
             },
@@ -137,6 +142,11 @@ impl RenderBackend for GstgSession {
     fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
         self.renderer.config().validate()?;
         request.validate()?;
+        splat_render::TileGrid::try_new(
+            request.camera.width(),
+            request.camera.height(),
+            self.renderer.config().tile_size,
+        )?;
         let stats = {
             let frame = GstgSession::render(self, request.scene, &request.camera);
             frame.stats

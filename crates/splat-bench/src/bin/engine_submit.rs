@@ -80,11 +80,11 @@ fn main() {
     for backend in [Backend::Baseline, Backend::Gstg] {
         for workers in [1usize, 4] {
             let run = if registry_mode {
-                run_engine_submit_registry(backend, workers, &scene, &cameras)
+                run_engine_submit_registry(backend, workers, &scene, &cameras, &options)
             } else {
-                run_engine_submit(backend, workers, &scene, &cameras)
+                run_engine_submit(backend, workers, &scene, &cameras, &options)
             };
-            let batch = run_engine_batch(backend, workers, &scene, &cameras);
+            let batch = run_engine_batch(backend, workers, &scene, &cameras, &options);
             if options.json {
                 println!(
                     "{}",
@@ -102,11 +102,14 @@ fn main() {
             } else {
                 println!(
                     "submit {:<9} w={} : {:>7.1} jobs/s burst, round trip {:.2} ms mean \
-                     / {:.2} ms max, batch {:.1} frames/s, checksum {:.4}",
+                     / {:.2} ms p50 / {:.2} ms p99 / {:.2} ms max, batch {:.1} frames/s, \
+                     checksum {:.4}",
                     run.backend.label(),
                     run.workers,
                     run.jobs_per_second(),
                     run.round_trip_mean.as_secs_f64() * 1e3,
+                    run.round_trip_p50.as_secs_f64() * 1e3,
+                    run.round_trip_p99.as_secs_f64() * 1e3,
                     run.round_trip_max.as_secs_f64() * 1e3,
                     batch.fps(),
                     run.checksum,
@@ -127,7 +130,8 @@ fn main() {
             // Serving accounting: the engine must have served exactly the
             // submitted work — two bursts of `frames` plus the round trips
             // — and never shed or cancelled anything under Block admission.
-            let expected = 2 * run.frames as u64 + 5.min(run.frames) as u64;
+            let expected =
+                2 * run.frames as u64 + splat_bench::ROUND_TRIP_SAMPLES.min(run.frames) as u64;
             if run.stats.completed != expected
                 || run.stats.rejected != 0
                 || run.stats.cancelled != 0

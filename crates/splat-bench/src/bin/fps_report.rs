@@ -72,14 +72,17 @@ fn main() {
         // Measured software throughput of the same views, served as one
         // warmed-up `Engine::render_batch` on the GS-TG backend.
         let cameras: Vec<Camera> = trajectory.cameras().collect();
-        let batch = run_engine_batch(Backend::Gstg, batch_threads, &scene, &cameras);
+        let batch = run_engine_batch(Backend::Gstg, batch_threads, &scene, &cameras, &options);
         if options.json {
             println!(
-                "{{\"bench\":\"fps_report\",\"scene\":\"{}\",\"scale\":\"{:?}\",\"views\":{},\
+                "{{\"bench\":\"fps_report\",\"scene\":\"{}\",\"scale\":\"{:?}\",\
+                 \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"views\":{},\
                  \"baseline_fps\":{:.3},\"gscore_fps\":{:.3},\"gstg_fps\":{:.3},\
                  \"gstg_gain\":{:.4},\"sw_batch_fps\":{:.3},\"sw_batch_threads\":{}}}",
                 scene_id.name(),
                 options.scale,
+                options.prepass,
+                options.simd,
                 view_count,
                 fps[0],
                 fps[1],

@@ -19,11 +19,17 @@
 //! ```
 //!
 //! `--json` emits one machine-readable object per pipeline for
-//! `BENCH_*.json` capture; the shared `--scale` / `--resolution-divisor` /
-//! `--seed-offset` knobs of the experiment harness apply.
+//! `BENCH_*.json` capture — including measured per-stage wall-clock
+//! attribution (preprocess / identify / sort / raster) and the prepass
+//! accounting counters; the shared `--scale` / `--resolution-divisor` /
+//! `--seed-offset` / `--exact-prepass` / `--simd` knobs of the experiment
+//! harness apply. The binary exits non-zero if the prepass accounting
+//! drifts (a hit without a test, or baseline hits that disagree with the
+//! intersection-list entries) or the two pipelines' checksums diverge.
 
 use gstg::{GstgConfig, GstgSession};
 use splat_bench::{run_engine_batch, HarnessOptions};
+use splat_core::{RenderStats, StageCounts};
 use splat_engine::Backend;
 use splat_render::{BoundaryMethod, RenderConfig, RenderSession};
 use splat_scene::{CameraTrajectory, PaperScene};
@@ -71,6 +77,14 @@ struct PassStats {
     frames: u64,
     /// Mean-luminance checksum keeping the rendered pixels observable.
     checksum: f64,
+    /// Per-stage wall-clock attribution summed over the pass, from the
+    /// sessions' measured `RenderStats` windows.
+    preprocess: Duration,
+    identify: Duration,
+    sort: Duration,
+    raster: Duration,
+    /// Operation counts summed over the pass, for the accounting check.
+    counts: StageCounts,
 }
 
 impl PassStats {
@@ -92,20 +106,20 @@ impl PassStats {
 }
 
 /// Runs one pass over the trajectory. The `render` closure times the
-/// session's `render` call itself and returns `(render_time, luminance)`,
-/// so the checksum's framebuffer scan stays outside the timed window; the
-/// allocation window spans the whole closure (the scan allocates nothing,
-/// and any stray allocation should be caught).
+/// session's `render` call itself and returns `(render_time, luminance,
+/// stats)`, so the checksum's framebuffer scan stays outside the timed
+/// window; the allocation window spans the whole closure (the scan
+/// allocates nothing, and any stray allocation should be caught).
 fn run_pass(
     trajectory: &CameraTrajectory,
-    mut render: impl FnMut(&Camera) -> (Duration, f64),
+    mut render: impl FnMut(&Camera) -> (Duration, f64, RenderStats),
 ) -> PassStats {
     let mut stats = PassStats::default();
     for index in 0..trajectory.len() {
         let camera = trajectory.camera(index);
         let bytes_before = BYTES_ALLOCATED.load(Ordering::Relaxed);
         let calls_before = ALLOCATION_CALLS.load(Ordering::Relaxed);
-        let (render_time, luminance) = render(&camera);
+        let (render_time, luminance, frame_stats) = render(&camera);
         stats.time += render_time;
         let frame_bytes = BYTES_ALLOCATED.load(Ordering::Relaxed) - bytes_before;
         stats.bytes += frame_bytes;
@@ -113,6 +127,11 @@ fn run_pass(
         stats.max_frame_bytes = stats.max_frame_bytes.max(frame_bytes);
         stats.frames += 1;
         stats.checksum += luminance;
+        stats.preprocess += frame_stats.preprocess_time;
+        stats.identify += frame_stats.identify_time;
+        stats.sort += frame_stats.sort_time;
+        stats.raster += frame_stats.raster_time;
+        stats.counts += frame_stats.counts;
     }
     stats
 }
@@ -124,7 +143,9 @@ macro_rules! timed_frame {
         let start = Instant::now();
         let frame = $session.render($scene, $camera);
         let render_time = start.elapsed();
-        (render_time, f64::from(frame.image.mean_luminance()))
+        let luminance = f64::from(frame.image.mean_luminance());
+        let stats = frame.stats.clone();
+        (render_time, luminance, stats)
     }};
 }
 
@@ -150,28 +171,57 @@ fn report_human(report: &PipelineReport) {
         report.footprint_bytes,
         report.steady.checksum,
     );
+    let steady = &report.steady;
+    println!(
+        "          stages: preprocess {:.3} ms, identify {:.3} ms, sort {:.3} ms, \
+         raster {:.3} ms | tiles tested {}, hit {}, trimmed {}",
+        steady.preprocess.as_secs_f64() * 1e3,
+        steady.identify.as_secs_f64() * 1e3,
+        steady.sort.as_secs_f64() * 1e3,
+        steady.raster.as_secs_f64() * 1e3,
+        steady.counts.tiles_tested,
+        steady.counts.tiles_hit,
+        steady.counts.prepass_overcount_trimmed,
+    );
 }
 
 fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, height: u32) {
+    let steady = &report.steady;
     println!(
         "{{\"bench\":\"trajectory_throughput\",\"pipeline\":\"{}\",\"scale\":\"{:?}\",\
+         \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\
          \"width\":{},\"height\":{},\"frames\":{},\"steady_fps\":{:.3},\
+         \"preprocess_ms\":{:.3},\"identify_ms\":{:.3},\"sort_ms\":{:.3},\"raster_ms\":{:.3},\
+         \"tiles_tested\":{},\"tiles_hit\":{},\"prepass_overcount_trimmed\":{},\
+         \"tile_intersections\":{},\"sort_keys\":{},\"alpha_computations\":{},\
          \"warmup_bytes\":{},\"steady_bytes_total\":{},\"steady_bytes_per_frame\":{:.3},\
          \"steady_max_frame_bytes\":{},\"steady_allocation_calls\":{},\
          \"arena_footprint_bytes\":{},\"checksum_luminance\":{:.6}}}",
         report.name,
         options.scale,
+        options.prepass,
+        options.simd,
         width,
         height,
-        report.steady.frames,
-        report.steady.fps(),
+        steady.frames,
+        steady.fps(),
+        steady.preprocess.as_secs_f64() * 1e3,
+        steady.identify.as_secs_f64() * 1e3,
+        steady.sort.as_secs_f64() * 1e3,
+        steady.raster.as_secs_f64() * 1e3,
+        steady.counts.tiles_tested,
+        steady.counts.tiles_hit,
+        steady.counts.prepass_overcount_trimmed,
+        steady.counts.tile_intersections,
+        steady.counts.sort_keys,
+        steady.counts.alpha_computations,
         report.warmup.bytes,
-        report.steady.bytes,
-        report.steady.bytes_per_frame(),
-        report.steady.max_frame_bytes,
-        report.steady.allocation_calls,
+        steady.bytes,
+        steady.bytes_per_frame(),
+        steady.max_frame_bytes,
+        steady.allocation_calls,
         report.footprint_bytes,
-        report.steady.checksum,
+        steady.checksum,
     );
 }
 
@@ -207,7 +257,11 @@ fn main() {
         println!();
     }
 
-    let mut baseline = RenderSession::from_config(RenderConfig::new(16, BoundaryMethod::Ellipse));
+    // The baseline session runs the original 3D-GS configuration (AABB
+    // boundary) — exactly the conservative overcount the exact prepass is
+    // built to trim, so the conservative/exact stage times are comparable.
+    let baseline_config = options.tuned_render_config(RenderConfig::new(16, BoundaryMethod::Aabb));
+    let mut baseline = RenderSession::from_config(baseline_config);
     let baseline_report = PipelineReport {
         name: "baseline",
         warmup: run_pass(&trajectory, |camera| timed_frame!(baseline, &scene, camera)),
@@ -215,7 +269,8 @@ fn main() {
         footprint_bytes: baseline.footprint_bytes(),
     };
 
-    let mut grouped = GstgSession::from_config(GstgConfig::paper_default());
+    let mut grouped =
+        GstgSession::from_config(options.tuned_gstg_config(GstgConfig::paper_default()));
     let gstg_report = PipelineReport {
         name: "gstg",
         warmup: run_pass(&trajectory, |camera| timed_frame!(grouped, &scene, camera)),
@@ -224,6 +279,7 @@ fn main() {
     };
 
     let mut steady_state_clean = true;
+    let mut accounting_clean = true;
     for report in [&baseline_report, &gstg_report] {
         if options.json {
             report_json(report, &options, reference.width(), reference.height());
@@ -233,6 +289,43 @@ fn main() {
         if report.steady.bytes > 0 {
             steady_state_clean = false;
         }
+        // Prepass accounting: a hit can only come from a test, and in the
+        // baseline pipeline every accepted tile becomes exactly one CSR
+        // intersection entry (the GS-TG pipeline counts hits at small-tile
+        // granularity and entries at group granularity, so only the
+        // test-vs-hit bound applies there).
+        let counts = &report.steady.counts;
+        if counts.tiles_hit > counts.tiles_tested {
+            eprintln!(
+                "error: {}: tiles_hit {} exceeds tiles_tested {}",
+                report.name, counts.tiles_hit, counts.tiles_tested
+            );
+            accounting_clean = false;
+        }
+        if report.name == "baseline" && counts.tiles_hit != counts.tile_intersections {
+            eprintln!(
+                "error: {}: tiles_hit {} diverged from the {} intersection-list entries",
+                report.name, counts.tiles_hit, counts.tile_intersections
+            );
+            accounting_clean = false;
+        }
+    }
+    // Both pipelines rendered the same poses from the same scene: the
+    // checksums must agree bit-for-bit (losslessness), and with the
+    // conservative prepass nothing may be trimmed.
+    if (baseline_report.steady.checksum - gstg_report.steady.checksum).abs() > 0.0 {
+        eprintln!(
+            "error: baseline checksum {:.9} != gstg checksum {:.9}",
+            baseline_report.steady.checksum, gstg_report.steady.checksum
+        );
+        accounting_clean = false;
+    }
+    if options.prepass == splat_render::PrepassMode::Conservative
+        && (baseline_report.steady.counts.prepass_overcount_trimmed != 0
+            || gstg_report.steady.counts.prepass_overcount_trimmed != 0)
+    {
+        eprintln!("error: conservative prepass must trim nothing");
+        accounting_clean = false;
     }
 
     // Batch-serving engine throughput over the same trajectory: one
@@ -243,7 +336,7 @@ fn main() {
     let cameras: Vec<Camera> = trajectory.cameras().collect();
     for backend in [Backend::Baseline, Backend::Gstg] {
         for threads in [1usize, 4] {
-            let run = run_engine_batch(backend, threads, &scene, &cameras);
+            let run = run_engine_batch(backend, threads, &scene, &cameras, &options);
             if options.json {
                 println!(
                     "{}",
@@ -282,6 +375,9 @@ fn main() {
     }
     if !steady_state_clean {
         eprintln!("error: steady-state frames allocated memory; the frame arena must recycle every buffer");
+        std::process::exit(1);
+    }
+    if !accounting_clean {
         std::process::exit(1);
     }
 }

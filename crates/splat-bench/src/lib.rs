@@ -22,9 +22,11 @@
 #![warn(missing_docs)]
 
 use gstg::{ExecutionModel, GstgConfig};
-use splat_core::RenderRequest;
+use splat_core::{HasExecution, RenderRequest, SimdMode};
 use splat_engine::{Backend, Engine, SceneRef, SubmitRequest};
-use splat_render::{BoundaryMethod, CostModel, RenderConfig, Renderer, StageCounts, StageTimes};
+use splat_render::{
+    BoundaryMethod, CostModel, PrepassMode, RenderConfig, Renderer, StageCounts, StageTimes,
+};
 use splat_scene::{PaperScene, Scene, SceneScale};
 use splat_types::{Camera, CameraIntrinsics, RenderError, Vec3};
 use std::sync::Arc;
@@ -46,6 +48,12 @@ pub struct HarnessOptions {
     /// Frame/view count override for trajectory-driven binaries; `None`
     /// keeps each binary's default.
     pub frames: Option<usize>,
+    /// Tile-intersection prepass mode applied to both pipelines
+    /// (`--exact-prepass` switches to [`PrepassMode::Exact`]).
+    pub prepass: PrepassMode,
+    /// SIMD lane width of the projection/blending kernels
+    /// (`--simd {scalar|wide4|wide8}`).
+    pub simd: SimdMode,
 }
 
 impl Default for HarnessOptions {
@@ -56,6 +64,8 @@ impl Default for HarnessOptions {
             seed_offset: 0,
             json: false,
             frames: None,
+            prepass: PrepassMode::Conservative,
+            simd: SimdMode::Scalar,
         }
     }
 }
@@ -106,6 +116,21 @@ impl HarnessOptions {
                     options.frames = args[i + 1].parse().ok().map(|n: usize| n.max(1));
                     i += 1;
                 }
+                "--exact-prepass" => {
+                    options.prepass = PrepassMode::Exact;
+                }
+                "--simd" if i + 1 < args.len() => {
+                    options.simd = match args[i + 1].to_lowercase().as_str() {
+                        "scalar" => SimdMode::Scalar,
+                        "wide4" => SimdMode::Wide4,
+                        "wide8" => SimdMode::Wide8,
+                        other => {
+                            eprintln!("unknown simd mode `{other}`, using scalar");
+                            SimdMode::Scalar
+                        }
+                    };
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -147,7 +172,25 @@ impl HarnessOptions {
         if let Some(frames) = self.frames {
             description.push_str(&format!(", frames={frames}"));
         }
+        if self.prepass != PrepassMode::Conservative {
+            description.push_str(&format!(", prepass={:?}", self.prepass));
+        }
+        if self.simd != SimdMode::Scalar {
+            description.push_str(&format!(", simd={:?}", self.simd));
+        }
         description
+    }
+
+    /// Applies the shared `--exact-prepass` / `--simd` knobs to a baseline
+    /// pipeline configuration.
+    pub fn tuned_render_config(&self, config: RenderConfig) -> RenderConfig {
+        config.with_prepass(self.prepass).with_simd(self.simd)
+    }
+
+    /// Applies the shared `--exact-prepass` / `--simd` knobs to a GS-TG
+    /// pipeline configuration.
+    pub fn tuned_gstg_config(&self, config: GstgConfig) -> GstgConfig {
+        config.with_prepass(self.prepass).with_simd(self.simd)
     }
 }
 
@@ -243,11 +286,14 @@ impl BatchRun {
     ) -> String {
         format!(
             "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-{}\",\"scale\":\"{:?}\",\
+             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\
              \"width\":{width},\"height\":{height},\"threads\":{},\"frames\":{},\
              \"batch_fps\":{:.3},\"batch_ms\":{:.3},\"engine_footprint_bytes\":{},\
              \"checksum_luminance\":{:.6}}}",
             self.backend,
             options.scale,
+            options.prepass,
+            options.simd,
             self.threads,
             self.frames,
             self.fps(),
@@ -271,10 +317,13 @@ pub fn run_engine_batch(
     threads: usize,
     scene: &Scene,
     cameras: &[Camera],
+    options: &HarnessOptions,
 ) -> BatchRun {
     let engine = Engine::builder()
         .backend(backend)
         .threads(threads)
+        .render_config(options.tuned_render_config(RenderConfig::default()))
+        .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
         .expect("default pipeline configurations are valid");
     let requests: Vec<RenderRequest<'_>> = cameras
@@ -316,6 +365,11 @@ pub struct SubmitRun {
     pub elapsed: Duration,
     /// Mean single-job submit→wait round-trip time on an idle engine.
     pub round_trip_mean: Duration,
+    /// Median (nearest-rank p50) single-job round trip.
+    pub round_trip_p50: Duration,
+    /// Nearest-rank p99 single-job round trip (the tail a latency SLO
+    /// watches; with few samples this degenerates to the maximum).
+    pub round_trip_p99: Duration,
     /// Worst single-job round trip observed.
     pub round_trip_max: Duration,
     /// Mean-luminance checksum keeping the rendered pixels observable.
@@ -345,17 +399,23 @@ impl SubmitRun {
     ) -> String {
         format!(
             "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-submit-{}\",\"scale\":\"{:?}\",\
+             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\
              \"width\":{width},\"height\":{height},\"workers\":{},\"frames\":{},\
              \"submit_jobs_per_s\":{:.3},\"burst_ms\":{:.3},\
-             \"round_trip_mean_ms\":{:.3},\"round_trip_max_ms\":{:.3},\
+             \"round_trip_mean_ms\":{:.3},\"round_trip_p50_ms\":{:.3},\
+             \"round_trip_p99_ms\":{:.3},\"round_trip_max_ms\":{:.3},\
              \"checksum_luminance\":{:.6},\"engine_stats\":{}}}",
             self.backend,
             options.scale,
+            options.prepass,
+            options.simd,
             self.workers,
             self.frames,
             self.jobs_per_second(),
             self.elapsed.as_secs_f64() * 1e3,
             self.round_trip_mean.as_secs_f64() * 1e3,
+            self.round_trip_p50.as_secs_f64() * 1e3,
+            self.round_trip_p99.as_secs_f64() * 1e3,
             self.round_trip_max.as_secs_f64() * 1e3,
             self.checksum,
             self.stats.to_json(),
@@ -378,10 +438,13 @@ pub fn run_engine_submit(
     workers: usize,
     scene: &Arc<splat_scene::Scene>,
     cameras: &[Camera],
+    options: &HarnessOptions,
 ) -> SubmitRun {
     let engine = Engine::builder()
         .backend(backend)
         .workers(workers)
+        .render_config(options.tuned_render_config(RenderConfig::default()))
+        .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
         .expect("default pipeline configurations are valid");
     run_submit_on(engine, backend, workers, scene, None, cameras)
@@ -404,10 +467,13 @@ pub fn run_engine_submit_registry(
     workers: usize,
     scene: &Arc<splat_scene::Scene>,
     cameras: &[Camera],
+    options: &HarnessOptions,
 ) -> SubmitRun {
     let engine = Engine::builder()
         .backend(backend)
         .workers(workers)
+        .render_config(options.tuned_render_config(RenderConfig::default()))
+        .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
         .expect("default pipeline configurations are valid");
     let id = engine
@@ -457,9 +523,9 @@ fn run_submit_on(
     let checksum = submit_all(&engine);
     let elapsed = start.elapsed();
 
-    let round_trips = 5.min(cameras.len());
+    let round_trips = ROUND_TRIP_SAMPLES.min(cameras.len());
     let mut total = Duration::ZERO;
-    let mut worst = Duration::ZERO;
+    let mut samples: Vec<Duration> = Vec::with_capacity(round_trips);
     for camera in &cameras[..round_trips] {
         let start = Instant::now();
         let output = engine
@@ -470,8 +536,19 @@ fn run_submit_on(
         let trip = start.elapsed();
         assert!(output.image.pixel_count() > 0);
         total += trip;
-        worst = worst.max(trip);
+        samples.push(trip);
     }
+    samples.sort_unstable();
+    let percentile = |pct: f64| -> Duration {
+        match samples.len() {
+            0 => Duration::ZERO,
+            n => {
+                // Nearest-rank percentile over the sorted samples.
+                let rank = ((pct / 100.0) * n as f64).ceil() as usize;
+                samples[rank.clamp(1, n) - 1]
+            }
+        }
+    };
 
     // Registry mode: exercise the slow-timescale controls so the counters
     // in the JSON output are non-trivial (and checkable).
@@ -496,11 +573,18 @@ fn run_submit_on(
         frames: cameras.len(),
         elapsed,
         round_trip_mean: total.div_f64(round_trips.max(1) as f64),
-        round_trip_max: worst,
+        round_trip_p50: percentile(50.0),
+        round_trip_p99: percentile(99.0),
+        round_trip_max: samples.last().copied().unwrap_or(Duration::ZERO),
         checksum,
         stats: engine.stats(),
     }
 }
+
+/// Round-trip latency samples taken by [`run_engine_submit`] after the
+/// timed burst (capped by the view count). Enough samples that the
+/// nearest-rank p50/p99 are distinct on the default 12-frame trajectory.
+pub const ROUND_TRIP_SAMPLES: usize = 16;
 
 /// The tile sizes swept by the motivation figures (Figs. 3, 5, 7, Table I).
 pub const TILE_SIZE_SWEEP: [u32; 4] = [8, 16, 32, 64];
@@ -532,24 +616,60 @@ mod tests {
             "--json",
             "--frames",
             "7",
+            "--exact-prepass",
+            "--simd",
+            "wide8",
         ]);
         assert_eq!(o.scale, SceneScale::Tiny);
         assert_eq!(o.resolution_divisor, 8);
         assert_eq!(o.seed_offset, 3);
         assert!(o.json);
         assert_eq!(o.frames, Some(7));
+        assert_eq!(o.prepass, PrepassMode::Exact);
+        assert_eq!(o.simd, SimdMode::Wide8);
         assert!(o.describe().contains("frames=7"));
+        assert!(o.describe().contains("prepass=Exact"));
+        assert!(o.describe().contains("simd=Wide8"));
         let d = HarnessOptions::default();
         assert!(!d.json);
         assert_eq!(d.frames, None);
+        assert_eq!(d.prepass, PrepassMode::Conservative);
+        assert_eq!(d.simd, SimdMode::Scalar);
         assert!(!d.describe().contains("frames="));
+        assert!(!d.describe().contains("prepass="));
+        assert!(!d.describe().contains("simd="));
     }
 
     #[test]
     fn parse_falls_back_on_bad_values() {
-        let o = HarnessOptions::parse(["--scale", "bogus", "--resolution-divisor", "zero"]);
+        let o = HarnessOptions::parse([
+            "--scale",
+            "bogus",
+            "--resolution-divisor",
+            "zero",
+            "--simd",
+            "avx512",
+        ]);
         assert_eq!(o.scale, SceneScale::Small);
         assert_eq!(o.resolution_divisor, 4);
+        assert_eq!(o.simd, SimdMode::Scalar);
+    }
+
+    #[test]
+    fn tuned_configs_carry_the_prepass_and_simd_knobs() {
+        let o = HarnessOptions::parse(["--exact-prepass", "--simd", "wide4"]);
+        let render = o.tuned_render_config(RenderConfig::default());
+        assert_eq!(render.prepass, PrepassMode::Exact);
+        assert_eq!(render.simd(), SimdMode::Wide4);
+        let grouped = o.tuned_gstg_config(GstgConfig::paper_default());
+        assert_eq!(grouped.prepass, PrepassMode::Exact);
+        assert_eq!(grouped.simd(), SimdMode::Wide4);
+        // Default knobs leave the configurations untouched.
+        let d = HarnessOptions::default();
+        assert_eq!(
+            d.tuned_render_config(RenderConfig::default()),
+            RenderConfig::default()
+        );
     }
 
     #[test]
@@ -557,9 +677,7 @@ mod tests {
         let o = HarnessOptions {
             scale: SceneScale::Tiny,
             resolution_divisor: 4,
-            seed_offset: 0,
-            json: false,
-            frames: None,
+            ..HarnessOptions::default()
         };
         let cam = o.camera(PaperScene::Train);
         assert_eq!(cam.width(), 1959 / 4);
@@ -571,20 +689,21 @@ mod tests {
         let o = HarnessOptions {
             scale: SceneScale::Tiny,
             resolution_divisor: 16,
-            seed_offset: 0,
             json: true,
-            frames: None,
+            ..HarnessOptions::default()
         };
         let scene = o.scene(PaperScene::Playroom);
         let camera = o.camera(PaperScene::Playroom);
         let cameras = vec![camera; 3];
-        let run = run_engine_batch(Backend::Gstg, 2, &scene, &cameras);
+        let run = run_engine_batch(Backend::Gstg, 2, &scene, &cameras, &o);
         assert_eq!(run.frames, 3);
         assert!(run.fps() > 0.0);
         assert!(run.footprint_bytes > 0);
         let json = run.to_json("trajectory_throughput", &o, camera.width(), camera.height());
         assert!(json.contains("\"pipeline\":\"engine-gstg\""));
         assert!(json.contains("\"threads\":2"));
+        assert!(json.contains("\"prepass\":\"Conservative\""));
+        assert!(json.contains("\"simd\":\"Scalar\""));
     }
 
     #[test]
@@ -592,17 +711,18 @@ mod tests {
         let o = HarnessOptions {
             scale: SceneScale::Tiny,
             resolution_divisor: 16,
-            seed_offset: 0,
             json: true,
-            frames: None,
+            ..HarnessOptions::default()
         };
         let scene = Arc::new(o.scene(PaperScene::Playroom));
         let camera = o.camera(PaperScene::Playroom);
         let cameras = vec![camera; 3];
-        let run = run_engine_submit(Backend::Gstg, 2, &scene, &cameras);
+        let run = run_engine_submit(Backend::Gstg, 2, &scene, &cameras, &o);
         assert_eq!(run.frames, 3);
         assert!(run.jobs_per_second() > 0.0);
         assert!(run.round_trip_mean > Duration::ZERO);
+        assert!(run.round_trip_p50 <= run.round_trip_p99);
+        assert!(run.round_trip_p99 <= run.round_trip_max);
         assert!(run.round_trip_max >= run.round_trip_mean);
         // Two bursts of 3 plus 3 round trips, nothing shed.
         assert_eq!(run.stats.completed, 9);
@@ -610,6 +730,8 @@ mod tests {
         let json = run.to_json("engine_submit", &o, camera.width(), camera.height());
         assert!(json.contains("\"pipeline\":\"engine-submit-gstg\""));
         assert!(json.contains("\"workers\":2"));
+        assert!(json.contains("\"round_trip_p50_ms\""));
+        assert!(json.contains("\"round_trip_p99_ms\""));
         assert!(json.contains("\"engine_stats\":{\"submitted\":9"));
     }
 
@@ -618,15 +740,14 @@ mod tests {
         let o = HarnessOptions {
             scale: SceneScale::Tiny,
             resolution_divisor: 16,
-            seed_offset: 0,
             json: true,
-            frames: None,
+            ..HarnessOptions::default()
         };
         let scene = Arc::new(o.scene(PaperScene::Playroom));
         let camera = o.camera(PaperScene::Playroom);
         let cameras = vec![camera; 3];
-        let inline = run_engine_submit(Backend::Gstg, 2, &scene, &cameras);
-        let registry = run_engine_submit_registry(Backend::Gstg, 2, &scene, &cameras);
+        let inline = run_engine_submit(Backend::Gstg, 2, &scene, &cameras, &o);
+        let registry = run_engine_submit_registry(Backend::Gstg, 2, &scene, &cameras, &o);
         // Same jobs, same pixels: the handle is invisible in the output.
         assert_eq!(registry.stats.completed, inline.stats.completed);
         assert!((registry.checksum - inline.checksum).abs() < 1e-12);
@@ -654,9 +775,7 @@ mod tests {
         let o = HarnessOptions {
             scale: SceneScale::Tiny,
             resolution_divisor: 8,
-            seed_offset: 0,
-            json: false,
-            frames: None,
+            ..HarnessOptions::default()
         };
         let scene = o.scene(PaperScene::Playroom);
         let camera = o.camera(PaperScene::Playroom);

@@ -7,6 +7,7 @@
 //! and the GS-TG renderer rasterize through [`rasterize_tile`] — GS-TG
 //! merely filters the splat list with its bitmasks first.
 
+use crate::exec::SimdMode;
 use crate::rect::{TileRect, MAHALANOBIS_CUTOFF};
 use crate::splat::ProjectedGaussian;
 use crate::stats::StageCounts;
@@ -52,27 +53,42 @@ pub fn rasterize_tile(
     rect: &TileRect,
     background: Rgb,
 ) -> TileRaster {
+    rasterize_tile_with(sorted, projected, rect, background, SimdMode::Scalar)
+}
+
+/// [`rasterize_tile`] with an explicit [`SimdMode`]. The wide modes shade
+/// the row in fixed-width pixel chunks (scalar tail) whose per-lane
+/// arithmetic replicates [`shade_pixel`] operation for operation, so every
+/// mode produces bit-identical pixels and identical counters.
+pub fn rasterize_tile_with(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    rect: &TileRect,
+    background: Rgb,
+    simd: SimdMode,
+) -> TileRaster {
     let x0 = rect.x0 as u32;
     let y0 = rect.y0 as u32;
     let x1 = rect.x1 as u32;
     let y1 = rect.y1 as u32;
     let width = x1.saturating_sub(x0);
     let height = y1.saturating_sub(y0);
-    let mut pixels = Vec::with_capacity((width * height) as usize);
+    let mut pixels = vec![Rgb::BLACK; (width * height) as usize];
     let mut counts = StageCounts::new();
 
     for py in y0..y1 {
-        for px in x0..x1 {
-            counts.pixels += 1;
-            let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
-            pixels.push(shade_pixel(
-                sorted,
-                projected,
-                pixel_center,
-                background,
-                &mut counts,
-            ));
-        }
+        let row_start = ((py - y0) * width) as usize;
+        let row = &mut pixels[row_start..row_start + width as usize];
+        shade_row(
+            sorted,
+            projected,
+            x0,
+            py,
+            background,
+            simd,
+            row,
+            &mut counts,
+        );
     }
 
     TileRaster {
@@ -100,17 +116,226 @@ pub fn rasterize_tile_into(
     image: &mut crate::Framebuffer,
     counts: &mut StageCounts,
 ) {
+    rasterize_tile_into_with(
+        sorted,
+        projected,
+        rect,
+        background,
+        SimdMode::Scalar,
+        image,
+        counts,
+    );
+}
+
+/// [`rasterize_tile_into`] with an explicit [`SimdMode`]. Allocation-free
+/// in every mode (the chunked kernels shade into stack buffers), and
+/// bit-identical to the scalar path with identical counters.
+pub fn rasterize_tile_into_with(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    rect: &TileRect,
+    background: Rgb,
+    simd: SimdMode,
+    image: &mut crate::Framebuffer,
+    counts: &mut StageCounts,
+) {
     let x0 = rect.x0 as u32;
     let y0 = rect.y0 as u32;
     let x1 = rect.x1 as u32;
     let y1 = rect.y1 as u32;
     for py in y0..y1 {
-        for px in x0..x1 {
-            counts.pixels += 1;
-            let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
-            let color = shade_pixel(sorted, projected, pixel_center, background, counts);
-            image.set_pixel(px, py, color);
+        match simd {
+            SimdMode::Scalar => {
+                for px in x0..x1 {
+                    counts.pixels += 1;
+                    let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+                    let color = shade_pixel(sorted, projected, pixel_center, background, counts);
+                    image.set_pixel(px, py, color);
+                }
+            }
+            SimdMode::Wide4 => {
+                shade_row_into::<4>(sorted, projected, x0, x1, py, background, image, counts);
+            }
+            SimdMode::Wide8 => {
+                shade_row_into::<8>(sorted, projected, x0, x1, py, background, image, counts);
+            }
         }
+    }
+}
+
+/// Shades one framebuffer row in `W`-pixel chunks with a scalar tail.
+#[allow(clippy::too_many_arguments)]
+fn shade_row_into<const W: usize>(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    x0: u32,
+    x1: u32,
+    py: u32,
+    background: Rgb,
+    image: &mut crate::Framebuffer,
+    counts: &mut StageCounts,
+) {
+    let mut px = x0;
+    while px + W as u32 <= x1 {
+        counts.pixels += W as u64;
+        let mut out = [Rgb::BLACK; W];
+        shade_chunk::<W>(sorted, projected, px, py, background, &mut out, counts);
+        for (lane, color) in out.iter().enumerate() {
+            image.set_pixel(px + lane as u32, py, *color);
+        }
+        px += W as u32;
+    }
+    while px < x1 {
+        counts.pixels += 1;
+        let pixel_center = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+        let color = shade_pixel(sorted, projected, pixel_center, background, counts);
+        image.set_pixel(px, py, color);
+        px += 1;
+    }
+}
+
+/// Shades one buffered row in `W`-pixel chunks with a scalar tail.
+#[allow(clippy::too_many_arguments)]
+fn shade_row(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    x0: u32,
+    py: u32,
+    background: Rgb,
+    simd: SimdMode,
+    row: &mut [Rgb],
+    counts: &mut StageCounts,
+) {
+    match simd {
+        SimdMode::Scalar => {
+            for (i, out) in row.iter_mut().enumerate() {
+                counts.pixels += 1;
+                let pixel_center = Vec2::new((x0 + i as u32) as f32 + 0.5, py as f32 + 0.5);
+                *out = shade_pixel(sorted, projected, pixel_center, background, counts);
+            }
+        }
+        SimdMode::Wide4 => {
+            shade_row_buffered::<4>(sorted, projected, x0, py, background, row, counts)
+        }
+        SimdMode::Wide8 => {
+            shade_row_buffered::<8>(sorted, projected, x0, py, background, row, counts)
+        }
+    }
+}
+
+fn shade_row_buffered<const W: usize>(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    x0: u32,
+    py: u32,
+    background: Rgb,
+    row: &mut [Rgb],
+    counts: &mut StageCounts,
+) {
+    let width = row.len();
+    let mut i = 0usize;
+    while i + W <= width {
+        counts.pixels += W as u64;
+        let mut out = [Rgb::BLACK; W];
+        shade_chunk::<W>(
+            sorted,
+            projected,
+            x0 + i as u32,
+            py,
+            background,
+            &mut out,
+            counts,
+        );
+        row[i..i + W].copy_from_slice(&out);
+        i += W;
+    }
+    while i < width {
+        counts.pixels += 1;
+        let pixel_center = Vec2::new((x0 + i as u32) as f32 + 0.5, py as f32 + 0.5);
+        row[i] = shade_pixel(sorted, projected, pixel_center, background, counts);
+        i += 1;
+    }
+}
+
+/// Walks the sorted splat list front-to-back for `W` adjacent pixels of one
+/// row at once — the splat-outer dual of [`shade_pixel`]'s pixel-outer
+/// loop.
+///
+/// The Mahalanobis form is evaluated branch-free across the whole chunk
+/// (the loop the auto-vectorizer targets); α-evaluation and blending then
+/// run per *active* lane with exactly the scalar path's operations and
+/// operand order (no fused multiply-add), so pixels are bit-identical and
+/// `alpha_computations` / `blend_operations` / `early_exits` charge
+/// identically: a lane stops being charged once its transmittance
+/// early-exit fires, just as the scalar loop breaks.
+fn shade_chunk<const W: usize>(
+    sorted: &[u32],
+    projected: &[ProjectedGaussian],
+    px0: u32,
+    py: u32,
+    background: Rgb,
+    out: &mut [Rgb; W],
+    counts: &mut StageCounts,
+) {
+    let y = py as f32 + 0.5;
+    let mut xs = [0.0f32; W];
+    for (lane, x) in xs.iter_mut().enumerate() {
+        *x = (px0 + lane as u32) as f32 + 0.5;
+    }
+    let mut trans = [1.0f32; W];
+    let mut acc_r = [0.0f32; W];
+    let mut acc_g = [0.0f32; W];
+    let mut acc_b = [0.0f32; W];
+    let mut active = [true; W];
+    let mut live = W;
+    let mut m = [0.0f32; W];
+
+    for &slot in sorted {
+        let splat = &projected[slot as usize];
+        let m00 = splat.inv_cov.at(0, 0);
+        let m01 = splat.inv_cov.at(0, 1);
+        let m10 = splat.inv_cov.at(1, 0);
+        let m11 = splat.inv_cov.at(1, 1);
+        let mean_x = splat.mean.x;
+        let dy = y - splat.mean.y;
+        for lane in 0..W {
+            let dx = xs[lane] - mean_x;
+            let vx = m00 * dx + m01 * dy;
+            let vy = m10 * dx + m11 * dy;
+            m[lane] = dx * vx + dy * vy;
+        }
+        counts.alpha_computations += live as u64;
+        for lane in 0..W {
+            if !active[lane] {
+                continue;
+            }
+            let alpha = if (0.0..=MAHALANOBIS_CUTOFF).contains(&m[lane]) {
+                (splat.opacity * (-0.5 * m[lane]).exp()).min(ALPHA_MAX)
+            } else {
+                0.0
+            };
+            if alpha < ALPHA_CULL_THRESHOLD {
+                continue;
+            }
+            let weight = alpha * trans[lane];
+            acc_r[lane] += splat.color.r * weight;
+            acc_g[lane] += splat.color.g * weight;
+            acc_b[lane] += splat.color.b * weight;
+            trans[lane] *= 1.0 - alpha;
+            counts.blend_operations += 1;
+            if trans[lane] < TRANSMITTANCE_EPSILON {
+                counts.early_exits += 1;
+                active[lane] = false;
+                live -= 1;
+            }
+        }
+        if live == 0 {
+            break;
+        }
+    }
+
+    for lane in 0..W {
+        out[lane] = Rgb::new(acc_r[lane], acc_g[lane], acc_b[lane]) + background * trans[lane];
     }
 }
 
@@ -374,6 +599,106 @@ mod tests {
                     "pixel ({x},{y})"
                 );
             }
+        }
+    }
+
+    /// A varied splat population: an opaque stack (drives the early-exit),
+    /// faint splats (α-cull), an off-tile splat (cutoff) and ordinary
+    /// semi-transparent ones.
+    fn mixed_splats() -> (Vec<ProjectedGaussian>, Vec<u32>) {
+        let mut projected = Vec::new();
+        for i in 0..4u32 {
+            projected.push(splat(
+                Vec2::new(4.0 + i as f32, 6.0),
+                5.0,
+                0.97,
+                Rgb::new(0.9, 0.1 * i as f32, 0.3),
+                1.0 + i as f32,
+                i,
+            ));
+        }
+        projected.push(splat(Vec2::new(10.0, 3.0), 4.0, 0.002, Rgb::WHITE, 5.0, 4));
+        projected.push(splat(Vec2::new(60.0, 60.0), 1.0, 0.9, Rgb::WHITE, 6.0, 5));
+        for i in 6..11u32 {
+            projected.push(splat(
+                Vec2::new(1.3 * i as f32, 12.0 - i as f32),
+                2.5,
+                0.4,
+                Rgb::new(0.1, 0.8, 0.2 + 0.05 * i as f32),
+                i as f32,
+                i,
+            ));
+        }
+        let order: Vec<u32> = (0..projected.len() as u32).collect();
+        (projected, order)
+    }
+
+    #[test]
+    fn wide_modes_are_bit_identical_to_scalar_with_identical_counters() {
+        let (projected, order) = mixed_splats();
+        let background = Rgb::new(0.2, 0.3, 0.4);
+        // Widths exercise full chunks, scalar tails and rows narrower than
+        // a single chunk.
+        for (w, h) in [(16.0, 16.0), (10.0, 7.0), (3.0, 5.0), (17.0, 9.0)] {
+            let rect = TileRect::new(0.0, 0.0, w, h);
+            let scalar =
+                rasterize_tile_with(&order, &projected, &rect, background, SimdMode::Scalar);
+            for mode in [SimdMode::Wide4, SimdMode::Wide8] {
+                let wide = rasterize_tile_with(&order, &projected, &rect, background, mode);
+                assert_eq!(wide.counts, scalar.counts, "{mode:?} counters at {w}x{h}");
+                for (i, (a, b)) in scalar.pixels.iter().zip(&wide.pixels).enumerate() {
+                    assert_eq!(
+                        [a.r.to_bits(), a.g.to_bits(), a.b.to_bits()],
+                        [b.r.to_bits(), b.g.to_bits(), b.b.to_bits()],
+                        "{mode:?} pixel {i} at {w}x{h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_in_place_rasterization_matches_buffered_and_charges_identically() {
+        let (projected, order) = mixed_splats();
+        let background = Rgb::splat(0.15);
+        let rect = TileRect::new(2.0, 1.0, 15.0, 12.0);
+        for mode in [SimdMode::Wide4, SimdMode::Wide8] {
+            let buffered = rasterize_tile_with(&order, &projected, &rect, background, mode);
+            let mut image = crate::Framebuffer::new(16, 16, Rgb::BLACK);
+            let mut counts = StageCounts::new();
+            rasterize_tile_into_with(
+                &order,
+                &projected,
+                &rect,
+                background,
+                mode,
+                &mut image,
+                &mut counts,
+            );
+            assert_eq!(counts, buffered.counts, "{mode:?}");
+            for y in 1..12u32 {
+                for x in 2..15u32 {
+                    assert_eq!(
+                        image.pixel(x, y),
+                        buffered.pixels[((y - 1) * 13 + (x - 2)) as usize],
+                        "{mode:?} pixel ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_stack_charges_identically_across_lane_widths() {
+        let projected: Vec<ProjectedGaussian> = (0..50)
+            .map(|i| splat(Vec2::new(8.0, 8.0), 20.0, 0.99, Rgb::WHITE, i as f32, i))
+            .collect();
+        let order: Vec<u32> = (0..50).collect();
+        let scalar = rasterize_tile(&order, &projected, &tile(), Rgb::BLACK);
+        for mode in [SimdMode::Wide4, SimdMode::Wide8] {
+            let wide = rasterize_tile_with(&order, &projected, &tile(), Rgb::BLACK, mode);
+            assert_eq!(wide.counts, scalar.counts, "{mode:?}");
+            assert_eq!(wide.pixels, scalar.pixels, "{mode:?}");
         }
     }
 

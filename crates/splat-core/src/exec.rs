@@ -20,6 +20,49 @@ pub enum ExecutionModel {
     AcceleratorOverlapped,
 }
 
+/// Lane width of the chunked (SIMD-shaped) kernels used by the projection
+/// transform and the tile blending inner loop.
+///
+/// The wide modes process fixed-size `[f32; W]` chunks whose per-lane
+/// operations are the *same scalar operations in the same order* as the
+/// scalar path (no fused multiply-add), so every mode produces bit-identical
+/// images and identical operation counts — the knob only changes how the
+/// work is laid out for the compiler's auto-vectorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimdMode {
+    /// One splat / pixel at a time (the reference path).
+    #[default]
+    Scalar,
+    /// 4-wide chunked kernels.
+    Wide4,
+    /// 8-wide chunked kernels.
+    Wide8,
+}
+
+impl SimdMode {
+    /// Every mode, scalar first.
+    pub const ALL: [SimdMode; 3] = [SimdMode::Scalar, SimdMode::Wide4, SimdMode::Wide8];
+
+    /// Lane width of the chunked kernels (1 for the scalar path).
+    #[inline]
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdMode::Scalar => 1,
+            SimdMode::Wide4 => 4,
+            SimdMode::Wide8 => 8,
+        }
+    }
+
+    /// Stable human-readable label (used by benches and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdMode::Scalar => "scalar",
+            SimdMode::Wide4 => "wide4",
+            SimdMode::Wide8 => "wide8",
+        }
+    }
+}
+
 /// Execution parameters shared by every pipeline configuration.
 ///
 /// The struct is `#[non_exhaustive]`: construct it through
@@ -34,6 +77,9 @@ pub struct ExecutionConfig {
     pub threads: usize,
     /// Scheduling model for hideable side work.
     pub model: ExecutionModel,
+    /// Lane width of the chunked projection/blending kernels. Every mode is
+    /// bit-identical; see [`SimdMode`].
+    pub simd: SimdMode,
 }
 
 impl Default for ExecutionConfig {
@@ -48,6 +94,7 @@ impl ExecutionConfig {
         Self {
             threads: 1,
             model: ExecutionModel::default(),
+            simd: SimdMode::default(),
         }
     }
 
@@ -57,6 +104,7 @@ impl ExecutionConfig {
         Self {
             threads: threads.max(1),
             model: ExecutionModel::default(),
+            simd: SimdMode::default(),
         }
     }
 
@@ -99,6 +147,12 @@ impl ExecutionConfigBuilder {
         self
     }
 
+    /// Sets the SIMD lane-width mode of the chunked kernels.
+    pub fn simd(mut self, simd: SimdMode) -> Self {
+        self.config.simd = simd;
+        self
+    }
+
     /// Finishes the builder. Infallible: every field is clamped to its
     /// domain as it is set.
     pub fn build(self) -> ExecutionConfig {
@@ -135,9 +189,20 @@ pub trait HasExecution: Sized {
         self.with_execution(ExecutionModel::AcceleratorOverlapped)
     }
 
+    /// Returns a copy with the SIMD lane-width mode replaced.
+    fn with_simd(mut self, simd: SimdMode) -> Self {
+        self.execution_mut().simd = simd;
+        self
+    }
+
     /// Shorthand for the configured worker thread count.
     fn threads(&self) -> usize {
         self.execution().threads
+    }
+
+    /// Shorthand for the configured SIMD mode.
+    fn simd(&self) -> SimdMode {
+        self.execution().simd
     }
 }
 
@@ -180,13 +245,32 @@ mod tests {
         let exec = ExecutionConfig::builder()
             .threads(0)
             .model(ExecutionModel::AcceleratorOverlapped)
+            .simd(SimdMode::Wide8)
             .build();
         assert_eq!(exec.threads, 1);
         assert_eq!(exec.model, ExecutionModel::AcceleratorOverlapped);
+        assert_eq!(exec.simd, SimdMode::Wide8);
         assert_eq!(
             ExecutionConfig::builder().build(),
             ExecutionConfig::default()
         );
+    }
+
+    #[test]
+    fn simd_modes_expose_lane_widths_and_labels() {
+        assert_eq!(SimdMode::default(), SimdMode::Scalar);
+        assert_eq!(
+            SimdMode::ALL.map(SimdMode::lanes),
+            [1, 4, 8],
+            "lane widths are pinned"
+        );
+        assert_eq!(
+            SimdMode::ALL.map(SimdMode::label),
+            ["scalar", "wide4", "wide8"]
+        );
+        let exec = ExecutionConfig::sequential().with_simd(SimdMode::Wide4);
+        assert_eq!(exec.simd(), SimdMode::Wide4);
+        assert_eq!(ExecutionConfig::default().simd, SimdMode::Scalar);
     }
 
     #[test]

@@ -54,11 +54,11 @@ pub mod stats;
 pub use arena::{FrameArena, SessionFrame};
 pub use backend::{request_cost_hint, RenderBackend, RenderOutput, RenderRequest};
 pub use blend::{
-    alpha_at, rasterize_tile, rasterize_tile_into, shade_pixel, TileRaster, ALPHA_CULL_THRESHOLD,
-    ALPHA_MAX, TRANSMITTANCE_EPSILON,
+    alpha_at, rasterize_tile, rasterize_tile_into, rasterize_tile_into_with, rasterize_tile_with,
+    shade_pixel, TileRaster, ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON,
 };
 pub use csr::{CsrAssignments, CsrScratch};
-pub use exec::{ExecutionConfig, ExecutionConfigBuilder, ExecutionModel, HasExecution};
+pub use exec::{ExecutionConfig, ExecutionConfigBuilder, ExecutionModel, HasExecution, SimdMode};
 pub use image::Framebuffer;
 pub use keysort::{depth_key, modeled_merge_comparisons, splat_key, KeySortRun, KeySortScratch};
 pub use rect::{TileRect, MAHALANOBIS_CUTOFF, SIGMA_EXTENT};

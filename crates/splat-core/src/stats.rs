@@ -24,6 +24,17 @@ pub struct StageCounts {
     /// Positive tile/group intersections, i.e. entries appended to per-tile
     /// (or per-group) lists. Each of these implies one sorting key later.
     pub tile_intersections: u64,
+    /// Geometric tests performed by the intersection prepass (boundary
+    /// tests plus, in exact mode, the extra ellipse-vs-tile refinements).
+    pub tiles_tested: u64,
+    /// Tiles (or groups) accepted by the prepass — the length of the flat
+    /// intersection list handed to the sorter. Always equal to
+    /// [`tile_intersections`](Self::tile_intersections).
+    pub tiles_hit: u64,
+    /// Candidates accepted by the conservative bounding-rect test but
+    /// rejected by the exact ellipse-vs-tile refinement. Zero in
+    /// conservative mode.
+    pub prepass_overcount_trimmed: u64,
     /// Bitmask tile tests performed (GS-TG only: per-Gaussian small-tile
     /// tests inside its groups).
     pub bitmask_tests: u64,
@@ -100,6 +111,10 @@ impl Add for StageCounts {
             visible_gaussians: self.visible_gaussians + rhs.visible_gaussians,
             tile_tests: self.tile_tests + rhs.tile_tests,
             tile_intersections: self.tile_intersections + rhs.tile_intersections,
+            tiles_tested: self.tiles_tested + rhs.tiles_tested,
+            tiles_hit: self.tiles_hit + rhs.tiles_hit,
+            prepass_overcount_trimmed: self.prepass_overcount_trimmed
+                + rhs.prepass_overcount_trimmed,
             bitmask_tests: self.bitmask_tests + rhs.bitmask_tests,
             sort_comparisons: self.sort_comparisons + rhs.sort_comparisons,
             sort_keys: self.sort_keys + rhs.sort_keys,
@@ -125,9 +140,14 @@ impl AddAssign for StageCounts {
 pub struct RenderStats {
     /// Operation counts.
     pub counts: StageCounts,
-    /// Wall-clock time of the preprocessing stage (feature computation,
-    /// culling and tile/group identification).
+    /// Wall-clock time of the preprocessing stage (feature computation and
+    /// culling). Session-based renderers report tile/group identification
+    /// separately in [`identify_time`](Self::identify_time); one-shot
+    /// renderers fold it into this window and leave that field zero.
     pub preprocess_time: Duration,
+    /// Wall-clock time of the tile/group identification prepass, when the
+    /// renderer attributes it separately (zero otherwise).
+    pub identify_time: Duration,
     /// Wall-clock time of the sorting stage.
     pub sort_time: Duration,
     /// Wall-clock time of the rasterization stage.
@@ -137,7 +157,7 @@ pub struct RenderStats {
 impl RenderStats {
     /// Total measured wall-clock time.
     pub fn total_time(&self) -> Duration {
-        self.preprocess_time + self.sort_time + self.raster_time
+        self.preprocess_time + self.identify_time + self.sort_time + self.raster_time
     }
 }
 
@@ -191,6 +211,9 @@ mod tests {
             visible_gaussians: 3,
             tile_tests: 4,
             tile_intersections: 5,
+            tiles_tested: 15,
+            tiles_hit: 16,
+            prepass_overcount_trimmed: 17,
             bitmask_tests: 6,
             sort_comparisons: 7,
             sort_keys: 13,
@@ -208,16 +231,20 @@ mod tests {
         assert_eq!(b.sort_comparisons, 14);
         assert_eq!(b.sort_keys, 26);
         assert_eq!(b.radix_passes, 28);
+        assert_eq!(b.tiles_tested, 30);
+        assert_eq!(b.tiles_hit, 32);
+        assert_eq!(b.prepass_overcount_trimmed, 34);
     }
 
     #[test]
     fn total_time_sums_stages() {
         let stats = RenderStats {
             preprocess_time: Duration::from_millis(2),
+            identify_time: Duration::from_millis(1),
             sort_time: Duration::from_millis(3),
             raster_time: Duration::from_millis(5),
             ..RenderStats::default()
         };
-        assert_eq!(stats.total_time(), Duration::from_millis(10));
+        assert_eq!(stats.total_time(), Duration::from_millis(11));
     }
 }

@@ -186,8 +186,9 @@ enum JobPhase {
     Queued,
     Active,
     /// `Some` until [`JobHandle::wait`] takes the result; `try_poll`
-    /// clones instead of taking, so polling never loses the result.
-    Finished(Option<Result<RenderOutput, RenderError>>),
+    /// clones instead of taking, so polling never loses the result. Boxed
+    /// so the queued/active phases don't carry a framebuffer-sized slot.
+    Finished(Box<Option<Result<RenderOutput, RenderError>>>),
 }
 
 impl JobShared {
@@ -219,7 +220,7 @@ impl JobShared {
     /// shed, cancelled or aborted.
     pub(crate) fn finish(&self, result: Result<RenderOutput, RenderError>) {
         let mut phase = self.lock();
-        *phase = JobPhase::Finished(Some(result));
+        *phase = JobPhase::Finished(Box::new(Some(result)));
         drop(phase);
         self.ready.notify_all();
     }
@@ -234,7 +235,7 @@ impl JobShared {
 
     fn try_clone_result(&self) -> Option<Result<RenderOutput, RenderError>> {
         match &*self.lock() {
-            JobPhase::Finished(result) => result.clone(),
+            JobPhase::Finished(result) => (**result).clone(),
             _ => None,
         }
     }

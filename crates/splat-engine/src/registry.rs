@@ -119,6 +119,7 @@ pub struct PreparedScene {
     scene: Arc<Scene>,
     id: SceneId,
     footprint_bytes: usize,
+    soa_footprint_bytes: usize,
     splat_count: usize,
     bounds: (Vec3, Vec3),
     centroid: Vec3,
@@ -134,8 +135,14 @@ impl PreparedScene {
         // every serve) and has no bounds; refuse it at registration so a
         // handle always points at servable work.
         let bounds = scene.bounds().ok_or(RenderError::EmptyScene)?;
+        // Force the SoA projection view here, off the registry lock, so
+        // the first frame served against the handle never pays the O(n)
+        // build (and the allocation lands outside any render session's
+        // steady state).
+        let soa_footprint_bytes = scene.soa().footprint_bytes();
         Ok(Self {
             footprint_bytes: scene.footprint_bytes(),
+            soa_footprint_bytes,
             splat_count: scene.len(),
             centroid: scene.centroid(),
             bounds,
@@ -165,6 +172,14 @@ impl PreparedScene {
     /// [`ResidencyPolicy`] byte budget.
     pub fn footprint_bytes(&self) -> usize {
         self.footprint_bytes
+    }
+
+    /// Bytes of the prebuilt structure-of-arrays projection view
+    /// ([`splat_scene::SceneSoA::footprint_bytes`]). Reported for
+    /// observability; the residency budget charges the canonical storage
+    /// only, keeping historical budget semantics.
+    pub fn soa_footprint_bytes(&self) -> usize {
+        self.soa_footprint_bytes
     }
 
     /// Number of splats (the scene-dependent half of every job's cost
@@ -488,6 +503,26 @@ mod tests {
             stats.resident_bytes,
             2 * prepared.footprint_bytes(),
             "same profile, same footprint"
+        );
+    }
+
+    #[test]
+    fn register_prebuilds_the_soa_view_without_charging_the_budget() {
+        let registry = registry(ResidencyPolicy::unlimited());
+        let shared = scene(0);
+        let id = registry.register(Arc::clone(&shared)).unwrap();
+        let prepared = registry.prepared(id).expect("resident");
+        // The SoA view was built at registration (shared Arc → same cache),
+        // and its size is visible but not part of the residency charge.
+        assert_eq!(
+            prepared.soa_footprint_bytes(),
+            shared.soa().footprint_bytes()
+        );
+        assert!(prepared.soa_footprint_bytes() > 0);
+        assert_eq!(
+            registry.stats().resident_bytes,
+            prepared.footprint_bytes(),
+            "budget keeps charging the canonical storage only"
         );
     }
 

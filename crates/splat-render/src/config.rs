@@ -57,6 +57,41 @@ impl std::fmt::Display for BoundaryMethod {
     }
 }
 
+/// How far the tile-intersection prepass refines the candidate set before
+/// handing it to sorting and rasterization.
+///
+/// Because the blending kernel defines contributions outside the 3σ
+/// Mahalanobis cutoff to be exactly zero, trimming conservatively-accepted
+/// tiles with the exact ellipse-vs-tile test never changes a pixel — it
+/// only removes sort keys and α-computations that were guaranteed to be
+/// wasted. The modes therefore render bit-identical images; only the
+/// [`StageCounts`](splat_core::StageCounts) work accounting differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrepassMode {
+    /// Keep every candidate the configured boundary method accepts (the
+    /// reference behavior, and the historical work accounting).
+    #[default]
+    Conservative,
+    /// After the configured boundary test accepts a candidate, re-test it
+    /// with the exact ellipse-vs-tile intersection and drop false
+    /// positives. Trimmed candidates are charged to
+    /// `prepass_overcount_trimmed`.
+    Exact,
+}
+
+impl PrepassMode {
+    /// Both modes, conservative first.
+    pub const ALL: [PrepassMode; 2] = [PrepassMode::Conservative, PrepassMode::Exact];
+
+    /// Stable human-readable label (used by benches and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            PrepassMode::Conservative => "conservative",
+            PrepassMode::Exact => "exact",
+        }
+    }
+}
+
 /// Full configuration of the baseline rendering pipeline.
 ///
 /// The struct is `#[non_exhaustive]`: construct it through
@@ -72,6 +107,9 @@ pub struct RenderConfig {
     pub tile_size: u32,
     /// Boundary method used in tile identification.
     pub boundary: BoundaryMethod,
+    /// Refinement level of the tile-intersection prepass. Exact mode trims
+    /// conservative overcount without changing any pixel.
+    pub prepass: PrepassMode,
     /// Storage precision applied to the splat parameters before rendering.
     pub precision: Precision,
     /// Shared execution parameters (worker threads, scheduling model).
@@ -84,6 +122,7 @@ impl Default for RenderConfig {
         Self {
             tile_size: 16,
             boundary: BoundaryMethod::Aabb,
+            prepass: PrepassMode::Conservative,
             precision: Precision::Full,
             exec: ExecutionConfig::sequential(),
         }
@@ -162,6 +201,12 @@ impl RenderConfig {
         self.precision = precision;
         self
     }
+
+    /// Returns a copy with the prepass refinement mode replaced.
+    pub fn with_prepass(mut self, prepass: PrepassMode) -> Self {
+        self.prepass = prepass;
+        self
+    }
 }
 
 /// Builder for [`RenderConfig`] (see [`RenderConfig::builder`]).
@@ -186,6 +231,12 @@ impl RenderConfigBuilder {
     /// Sets the storage precision applied to splat parameters.
     pub fn precision(mut self, precision: Precision) -> Self {
         self.config.precision = precision;
+        self
+    }
+
+    /// Sets the prepass refinement mode.
+    pub fn prepass(mut self, prepass: PrepassMode) -> Self {
+        self.config.prepass = prepass;
         self
     }
 
@@ -232,7 +283,27 @@ mod tests {
         let c = RenderConfig::default();
         assert_eq!(c.tile_size, 16);
         assert_eq!(c.boundary, BoundaryMethod::Aabb);
+        assert_eq!(c.prepass, PrepassMode::Conservative);
         assert_eq!(c.exec.threads, 1);
+    }
+
+    #[test]
+    fn prepass_knob_is_settable_through_builder_and_with() {
+        let built = RenderConfig::builder()
+            .prepass(PrepassMode::Exact)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(built.prepass, PrepassMode::Exact);
+        assert_eq!(
+            RenderConfig::default()
+                .with_prepass(PrepassMode::Exact)
+                .prepass,
+            PrepassMode::Exact
+        );
+        assert_eq!(
+            PrepassMode::ALL.map(PrepassMode::label),
+            ["conservative", "exact"]
+        );
     }
 
     #[test]

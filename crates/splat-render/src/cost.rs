@@ -195,6 +195,9 @@ mod tests {
             culled_gaussians: 200,
             visible_gaussians: 800,
             tile_tests: 6000,
+            tiles_tested: 6000,
+            tiles_hit: 3000,
+            prepass_overcount_trimmed: 0,
             tile_intersections: 3000,
             bitmask_tests: 2000,
             sort_comparisons: 20_000,

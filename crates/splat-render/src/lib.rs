@@ -63,7 +63,8 @@ pub use splat_core::stats;
 
 pub use bounds::{GaussianFootprint, TileRect};
 pub use config::{
-    BoundaryMethod, RenderConfig, RenderConfigBuilder, ALPHA_CULL_THRESHOLD, TRANSMITTANCE_EPSILON,
+    BoundaryMethod, PrepassMode, RenderConfig, RenderConfigBuilder, ALPHA_CULL_THRESHOLD,
+    TRANSMITTANCE_EPSILON,
 };
 pub use cost::{CostModel, StageTimes};
 pub use pipeline::{RenderOutput, Renderer};
@@ -71,6 +72,8 @@ pub use preprocess::{preprocess, preprocess_into, ProjectedGaussian};
 pub use session::RenderSession;
 pub use splat_core::{
     ExecutionConfig, FrameArena, Framebuffer, HasExecution, RenderBackend, RenderRequest,
-    RenderStats, SessionFrame, StageCounts, TileScheduler,
+    RenderStats, SessionFrame, SimdMode, StageCounts, TileScheduler,
 };
-pub use tiling::{TileAssignments, TileGrid};
+pub use tiling::{
+    identify_tiles, identify_tiles_into, identify_tiles_with, TileAssignments, TileGrid,
+};

@@ -11,9 +11,9 @@
 use crate::config::RenderConfig;
 use crate::preprocess::{preprocess, ProjectedGaussian};
 use crate::sort::sort_tiles;
-use crate::tiling::{identify_tiles, TileAssignments, TileGrid};
+use crate::tiling::{identify_tiles_with, TileAssignments, TileGrid};
 use splat_core::{
-    rasterize_tile, run_timed, Framebuffer, HasExecution, PipelineStage, RenderBackend,
+    rasterize_tile_with, run_timed, Framebuffer, HasExecution, PipelineStage, RenderBackend,
     RenderRequest, RenderStats, StageCounts, TileScheduler,
 };
 use splat_scene::Scene;
@@ -55,7 +55,13 @@ impl PipelineStage for PrepareStage<'_> {
             self.camera.height(),
             self.config.tile_size,
         );
-        let assignments = identify_tiles(&projected, grid, self.config.boundary, counts);
+        let assignments = identify_tiles_with(
+            &projected,
+            grid,
+            self.config.boundary,
+            self.config.prepass,
+            counts,
+        );
         (projected, assignments)
     }
 }
@@ -197,6 +203,7 @@ impl Renderer {
             stats: RenderStats {
                 counts,
                 preprocess_time,
+                identify_time: std::time::Duration::ZERO,
                 sort_time,
                 raster_time,
             },
@@ -245,11 +252,12 @@ impl Renderer {
             for tile in 0..grid.tile_count() {
                 let (tx, ty) = grid.tile_coords(tile);
                 let rect = grid.tile_rect(tx, ty);
-                splat_core::rasterize_tile_into(
+                splat_core::rasterize_tile_into_with(
                     assignments.tile(tile),
                     projected,
                     &rect,
                     self.background,
+                    self.config.simd(),
                     image,
                     &mut counts,
                 );
@@ -261,7 +269,13 @@ impl Renderer {
         let tiles = scheduler.run(grid.tile_count(), |tile| {
             let (tx, ty) = grid.tile_coords(tile);
             let rect = grid.tile_rect(tx, ty);
-            let out = rasterize_tile(assignments.tile(tile), projected, &rect, self.background);
+            let out = rasterize_tile_with(
+                assignments.tile(tile),
+                projected,
+                &rect,
+                self.background,
+                self.config.simd(),
+            );
             (rect, out)
         });
 
@@ -284,6 +298,11 @@ impl RenderBackend for Renderer {
     fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
         self.config.validate()?;
         request.validate()?;
+        TileGrid::try_new(
+            request.camera.width(),
+            request.camera.height(),
+            self.config.tile_size,
+        )?;
         Ok(Renderer::render(self, request.scene, &request.camera))
     }
 }
@@ -454,6 +473,49 @@ mod tests {
         let mut bad = Renderer::new(RenderConfig::default());
         bad.config.tile_size = 0;
         assert!(RenderBackend::render(&mut bad, &RenderRequest::new(&scene, camera)).is_err());
+    }
+
+    #[test]
+    fn exact_prepass_renders_identical_pixels_with_fewer_intersections() {
+        let (scene, camera) = small_scene();
+        let conservative =
+            Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb)).render(&scene, &camera);
+        let exact = Renderer::new(
+            RenderConfig::new(16, BoundaryMethod::Aabb)
+                .with_prepass(crate::config::PrepassMode::Exact),
+        )
+        .render(&scene, &camera);
+        assert_eq!(exact.image.max_abs_diff(&conservative.image), 0.0);
+        assert!(
+            exact.stats.counts.tile_intersections <= conservative.stats.counts.tile_intersections
+        );
+        assert_eq!(
+            exact.stats.counts.tile_intersections + exact.stats.counts.prepass_overcount_trimmed,
+            conservative.stats.counts.tile_intersections
+        );
+    }
+
+    #[test]
+    fn simd_modes_render_bit_identical_images() {
+        let (scene, camera) = small_scene();
+        let reference =
+            Renderer::new(RenderConfig::new(16, BoundaryMethod::Aabb)).render(&scene, &camera);
+        for simd in splat_core::SimdMode::ALL {
+            for threads in [1, 4] {
+                let out = Renderer::new(
+                    RenderConfig::new(16, BoundaryMethod::Aabb)
+                        .with_threads(threads)
+                        .with_simd(simd),
+                )
+                .render(&scene, &camera);
+                assert_eq!(
+                    out.image.max_abs_diff(&reference.image),
+                    0.0,
+                    "{simd:?} x{threads} diverged"
+                );
+                assert_eq!(out.stats.counts, reference.stats.counts);
+            }
+        }
     }
 
     #[test]

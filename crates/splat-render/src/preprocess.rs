@@ -14,8 +14,9 @@
 
 use crate::config::{RenderConfig, ALPHA_CULL_THRESHOLD};
 use crate::stats::StageCounts;
-use splat_scene::Scene;
-use splat_types::{Camera, Mat2};
+use splat_core::SimdMode;
+use splat_scene::{Scene, SceneSoA};
+use splat_types::{eval_color, Camera, Gaussian3d, Mat2, Vec3};
 
 pub use splat_core::ProjectedGaussian;
 
@@ -43,6 +44,14 @@ pub fn preprocess(
 /// In-place variant of [`preprocess`] used by the render sessions: `out` is
 /// cleared and refilled, retaining its allocation. The capacity is reserved
 /// for the full scene up front, so a reused buffer never grows again.
+///
+/// At full precision the loop iterates the scene's [`SceneSoA`] component
+/// arrays (built once per scene, lazily) rather than the AoS records; with
+/// a wide [`SimdMode`] the view transform additionally runs over fixed-size
+/// lane chunks. Both choices are bit-identical to the record-wise scalar
+/// loop — the SoA view holds the same values and the lane kernels perform
+/// the same scalar operations in the same order — so precision, SIMD mode
+/// and storage layout never change a projected splat or a counter.
 pub fn preprocess_into(
     scene: &Scene,
     camera: &Camera,
@@ -52,21 +61,19 @@ pub fn preprocess_into(
 ) {
     out.clear();
     out.reserve(scene.len());
-    let projected = out;
     let precision = config.precision;
+    if precision == splat_types::Precision::Full {
+        preprocess_soa_into(scene.soa(), camera, config.exec.simd, counts, out);
+        return;
+    }
+    let projected = out;
     for (index, gaussian_ref) in scene.iter().enumerate() {
         counts.input_gaussians += 1;
-        // At full precision the splat is used as stored — cloning it would
-        // allocate (SH coefficients live on the heap) once per splat per
-        // frame, which the allocation-free session contract forbids.
-        let storage;
-        let gaussian = match precision {
-            splat_types::Precision::Full => gaussian_ref,
-            _ => {
-                storage = gaussian_ref.to_precision(precision);
-                &storage
-            }
-        };
+        // Reduced precision re-quantizes every parameter, so the splat is
+        // converted into a stack temporary first (the SoA fast path above
+        // keeps full-precision rendering allocation-free).
+        let storage = gaussian_ref.to_precision(precision);
+        let gaussian = &storage;
 
         // Opacity culling: fully transparent splats can never contribute.
         if gaussian.opacity() < ALPHA_CULL_THRESHOLD {
@@ -80,63 +87,200 @@ pub fn preprocess_into(
         }
 
         let view = camera.to_view(gaussian.position());
-        let depth = -view.z;
-        // Non-finite depths (NaN/∞ positions that slip past the frustum
-        // test, whose rejecting comparisons are all false for NaN) are
-        // culled here: every depth reaching the sort stage is finite, which
-        // is what lets the key sort order splats without a NaN branch and
-        // keeps `is_sorted_by_depth` consistent with the sort.
-        if !depth.is_finite() || depth <= camera.near() {
-            counts.culled_gaussians += 1;
-            continue;
-        }
-
-        let Some(mean) = camera.view_to_pixel(view) else {
-            counts.culled_gaussians += 1;
-            continue;
-        };
-
-        // EWA covariance projection with the reference implementation's
-        // tangent clamp on the Jacobian evaluation point.
-        let intr = camera.intrinsics();
-        let limit_x = JACOBIAN_TANGENT_GUARD * (0.5 * intr.fov_x()).tan();
-        let limit_y = JACOBIAN_TANGENT_GUARD * (0.5 * intr.fov_y()).tan();
-        let clamped_view = splat_types::Vec3::new(
-            (view.x / depth).clamp(-limit_x, limit_x) * depth,
-            (view.y / depth).clamp(-limit_y, limit_y) * depth,
-            view.z,
+        let splat = project_visible_splat(
+            camera,
+            index as u32,
+            view,
+            gaussian.position(),
+            gaussian.scale(),
+            gaussian.rotation(),
+            gaussian.opacity(),
+            gaussian.sh().degree(),
+            gaussian.sh().coefficients(),
+            counts,
         );
-        let jacobian = camera.projection_jacobian(clamped_view);
-        let view_rot = camera.view_rotation();
-        let t = jacobian * view_rot;
-        let cov3d = gaussian.covariance();
-        let cov2d_full = t * cov3d * t.transpose();
-        // Low-pass filter: guarantee a minimum footprint of ~0.3 px so
-        // sub-pixel splats still contribute (as in the reference code).
-        let cov = cov2d_full.upper_left_2x2() + Mat2::from_symmetric(0.3, 0.0, 0.3);
-
-        let Ok(inv_cov) = cov.inverse() else {
-            counts.culled_gaussians += 1;
-            continue;
-        };
-        if cov.determinant() <= 0.0 {
-            counts.culled_gaussians += 1;
-            continue;
+        if let Some(splat) = splat {
+            projected.push(splat);
         }
-
-        let color = gaussian.color_toward(camera.position());
-
-        counts.visible_gaussians += 1;
-        projected.push(ProjectedGaussian {
-            index: index as u32,
-            depth,
-            mean,
-            cov,
-            inv_cov,
-            opacity: gaussian.opacity(),
-            color,
-        });
     }
+}
+
+/// Projects every splat of a SoA view, dispatching on the SIMD mode.
+fn preprocess_soa_into(
+    soa: &SceneSoA,
+    camera: &Camera,
+    simd: SimdMode,
+    counts: &mut StageCounts,
+    out: &mut Vec<ProjectedGaussian>,
+) {
+    match simd {
+        SimdMode::Scalar => {
+            for i in 0..soa.len() {
+                counts.input_gaussians += 1;
+                project_soa_splat(soa, i, None, camera, counts, out);
+            }
+        }
+        SimdMode::Wide4 => preprocess_soa_chunked::<4>(soa, camera, counts, out),
+        SimdMode::Wide8 => preprocess_soa_chunked::<8>(soa, camera, counts, out),
+    }
+}
+
+/// The chunked projection loop: the view transform runs `W` lanes at a
+/// time straight from the SoA position arrays
+/// ([`Camera::to_view_lanes`], bit-identical to [`Camera::to_view`]); the
+/// branchy per-splat culls and covariance math then consume the
+/// precomputed view per lane. The trailing `len % W` splats take the
+/// scalar path.
+fn preprocess_soa_chunked<const W: usize>(
+    soa: &SceneSoA,
+    camera: &Camera,
+    counts: &mut StageCounts,
+    out: &mut Vec<ProjectedGaussian>,
+) {
+    let n = soa.len();
+    let mut xs = [0.0f32; W];
+    let mut ys = [0.0f32; W];
+    let mut zs = [0.0f32; W];
+    let mut base = 0usize;
+    while base + W <= n {
+        xs.copy_from_slice(&soa.pos_x()[base..base + W]);
+        ys.copy_from_slice(&soa.pos_y()[base..base + W]);
+        zs.copy_from_slice(&soa.pos_z()[base..base + W]);
+        let (vx, vy, vz) = camera.to_view_lanes(&xs, &ys, &zs);
+        for lane in 0..W {
+            counts.input_gaussians += 1;
+            let view = Vec3::new(vx[lane], vy[lane], vz[lane]);
+            project_soa_splat(soa, base + lane, Some(view), camera, counts, out);
+        }
+        base += W;
+    }
+    for i in base..n {
+        counts.input_gaussians += 1;
+        project_soa_splat(soa, i, None, camera, counts, out);
+    }
+}
+
+/// Culls and projects one splat read out of the SoA arrays. `view_hint`
+/// carries a chunk-precomputed view-space position (bit-identical to
+/// computing it here).
+#[inline]
+fn project_soa_splat(
+    soa: &SceneSoA,
+    i: usize,
+    view_hint: Option<Vec3>,
+    camera: &Camera,
+    counts: &mut StageCounts,
+    out: &mut Vec<ProjectedGaussian>,
+) {
+    let opacity = soa.opacity()[i];
+    // Opacity culling: fully transparent splats can never contribute.
+    if opacity < ALPHA_CULL_THRESHOLD {
+        counts.culled_gaussians += 1;
+        return;
+    }
+    let position = soa.position(i);
+    let scale = soa.scale(i);
+    // Frustum culling with the splat's 3σ bounding sphere.
+    if !camera.is_in_frustum(position, Gaussian3d::bounding_radius_of(scale)) {
+        counts.culled_gaussians += 1;
+        return;
+    }
+    let view = view_hint.unwrap_or_else(|| camera.to_view(position));
+    let splat = project_visible_splat(
+        camera,
+        i as u32,
+        view,
+        position,
+        scale,
+        soa.rotation(i),
+        opacity,
+        soa.sh_degree(i),
+        soa.sh_coefficients(i),
+        counts,
+    );
+    if let Some(splat) = splat {
+        out.push(splat);
+    }
+}
+
+/// The shared post-cull projection tail: depth/pixel mapping, the EWA
+/// covariance projection and SH color evaluation. Every caller reaches
+/// this with the same scalar values, so the AoS and SoA paths agree
+/// bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn project_visible_splat(
+    camera: &Camera,
+    index: u32,
+    view: Vec3,
+    position: Vec3,
+    scale: Vec3,
+    rotation: splat_types::Quat,
+    opacity: f32,
+    sh_degree: usize,
+    sh_coefficients: &[splat_types::Rgb],
+    counts: &mut StageCounts,
+) -> Option<ProjectedGaussian> {
+    let depth = -view.z;
+    // Non-finite depths (NaN/∞ positions that slip past the frustum
+    // test, whose rejecting comparisons are all false for NaN) are
+    // culled here: every depth reaching the sort stage is finite, which
+    // is what lets the key sort order splats without a NaN branch and
+    // keeps `is_sorted_by_depth` consistent with the sort.
+    if !depth.is_finite() || depth <= camera.near() {
+        counts.culled_gaussians += 1;
+        return None;
+    }
+
+    let Some(mean) = camera.view_to_pixel(view) else {
+        counts.culled_gaussians += 1;
+        return None;
+    };
+
+    // EWA covariance projection with the reference implementation's
+    // tangent clamp on the Jacobian evaluation point.
+    let intr = camera.intrinsics();
+    let limit_x = JACOBIAN_TANGENT_GUARD * (0.5 * intr.fov_x()).tan();
+    let limit_y = JACOBIAN_TANGENT_GUARD * (0.5 * intr.fov_y()).tan();
+    let clamped_view = Vec3::new(
+        (view.x / depth).clamp(-limit_x, limit_x) * depth,
+        (view.y / depth).clamp(-limit_y, limit_y) * depth,
+        view.z,
+    );
+    let jacobian = camera.projection_jacobian(clamped_view);
+    let view_rot = camera.view_rotation();
+    let t = jacobian * view_rot;
+    let cov3d = Gaussian3d::covariance_of(scale, rotation);
+    let cov2d_full = t * cov3d * t.transpose();
+    // Low-pass filter: guarantee a minimum footprint of ~0.3 px so
+    // sub-pixel splats still contribute (as in the reference code).
+    let cov = cov2d_full.upper_left_2x2() + Mat2::from_symmetric(0.3, 0.0, 0.3);
+
+    let Ok(inv_cov) = cov.inverse() else {
+        counts.culled_gaussians += 1;
+        return None;
+    };
+    if cov.determinant() <= 0.0 {
+        counts.culled_gaussians += 1;
+        return None;
+    }
+
+    let color = eval_color(
+        sh_degree,
+        sh_coefficients,
+        (position - camera.position()).normalized(),
+    );
+
+    counts.visible_gaussians += 1;
+    Some(ProjectedGaussian {
+        index,
+        depth,
+        mean,
+        cov,
+        inv_cov,
+        opacity,
+        color,
+    })
 }
 
 #[cfg(test)]
@@ -331,6 +475,50 @@ mod tests {
             assert_eq!(c, counts);
         }
         assert!(reused.capacity() >= scene.len());
+    }
+
+    #[test]
+    fn simd_projection_is_bit_identical_to_scalar_projection() {
+        // 21 splats: two full 8-lane chunks + a 5-splat tail for Wide8,
+        // five 4-lane chunks + 1 tail for Wide4. Includes culled splats so
+        // lane bookkeeping around rejected candidates is exercised.
+        let mut gaussians = Vec::new();
+        for i in 0..21 {
+            let angle = i as f32 * 0.37;
+            let pos = match i % 5 {
+                4 => Vec3::new(0.0, 0.0, -4.0), // behind the camera
+                _ => Vec3::new(angle.sin() * 1.5, angle.cos(), 3.0 + 0.4 * i as f32),
+            };
+            gaussians.push(
+                Gaussian3d::builder()
+                    .position(pos)
+                    .scale(Vec3::new(0.1 + 0.01 * i as f32, 0.2, 0.15))
+                    .rotation(Quat::from_axis_angle(Vec3::Y, angle))
+                    .opacity(if i == 7 {
+                        0.0001
+                    } else {
+                        0.5 + 0.02 * i as f32
+                    })
+                    .base_color([0.4, 0.5, 0.6])
+                    .build(),
+            );
+        }
+        let scene = Scene::new("simd", 640, 480, gaussians);
+        let base = RenderConfig::new(16, BoundaryMethod::Aabb);
+
+        let mut scalar_counts = StageCounts::new();
+        let scalar = preprocess(&scene, &camera(), &base, &mut scalar_counts);
+        assert!(!scalar.is_empty());
+        assert!(scalar_counts.culled_gaussians > 0);
+
+        for simd in [splat_core::SimdMode::Wide4, splat_core::SimdMode::Wide8] {
+            let mut config = base;
+            config.exec.simd = simd;
+            let mut counts = StageCounts::new();
+            let wide = preprocess(&scene, &camera(), &config, &mut counts);
+            assert_eq!(counts, scalar_counts, "{simd:?}");
+            assert_eq!(wide, scalar, "{simd:?}");
+        }
     }
 
     #[test]

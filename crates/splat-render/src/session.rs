@@ -76,16 +76,20 @@ impl RenderSession {
             &mut counts,
             &mut self.arena.projected,
         );
+        let preprocess_time = start.elapsed();
+
+        let start = Instant::now();
         let grid = TileGrid::new(camera.width(), camera.height(), config.tile_size);
         identify_tiles_into(
             &self.arena.projected,
             grid,
             config.boundary,
+            config.prepass,
             &mut counts,
             &mut self.arena.csr,
             &mut self.assignments,
         );
-        let preprocess_time = start.elapsed();
+        let identify_time = start.elapsed();
 
         let start = Instant::now();
         sort_tiles_with(
@@ -110,6 +114,7 @@ impl RenderSession {
             stats: RenderStats {
                 counts,
                 preprocess_time,
+                identify_time,
                 sort_time,
                 raster_time,
             },
@@ -129,6 +134,11 @@ impl RenderBackend for RenderSession {
     fn render(&mut self, request: &RenderRequest<'_>) -> Result<RenderOutput, RenderError> {
         self.renderer.config().validate()?;
         request.validate()?;
+        TileGrid::try_new(
+            request.camera.width(),
+            request.camera.height(),
+            self.renderer.config().tile_size,
+        )?;
         let stats = {
             let frame = RenderSession::render(self, request.scene, &request.camera);
             frame.stats

@@ -6,11 +6,11 @@
 //! group is simply a grid with a larger tile size).
 
 use crate::bounds::{GaussianFootprint, TileRect};
-use crate::config::BoundaryMethod;
+use crate::config::{BoundaryMethod, PrepassMode};
 use crate::preprocess::ProjectedGaussian;
 use crate::stats::StageCounts;
 use splat_core::{CsrAssignments, CsrScratch};
-use splat_types::Vec2;
+use splat_types::{RenderError, Vec2};
 
 /// A regular grid of square tiles covering the output image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +40,24 @@ impl TileGrid {
             tiles_x: width.div_ceil(tile_size),
             tiles_y: height.div_ceil(tile_size),
         }
+    }
+
+    /// Fallible variant of [`TileGrid::new`] for the panic-free serving
+    /// path: malformed grid parameters become typed errors instead of
+    /// panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidTileSize`] when `tile_size` is zero
+    /// and [`RenderError::InvalidResolution`] when the image is empty.
+    pub fn try_new(width: u32, height: u32, tile_size: u32) -> Result<Self, RenderError> {
+        if tile_size == 0 {
+            return Err(RenderError::InvalidTileSize { tile_size });
+        }
+        if width == 0 || height == 0 {
+            return Err(RenderError::InvalidResolution { width, height });
+        }
+        Ok(Self::new(width, height, tile_size))
     }
 
     /// Edge length of a tile in pixels.
@@ -225,16 +243,36 @@ impl TileAssignments {
 }
 
 /// Runs tile identification for all projected splats against a grid using
-/// the given boundary method. Counters are accumulated into `counts`.
+/// the given boundary method and the conservative prepass. Counters are
+/// accumulated into `counts`.
 pub fn identify_tiles(
     projected: &[ProjectedGaussian],
     grid: TileGrid,
     boundary: BoundaryMethod,
     counts: &mut StageCounts,
 ) -> TileAssignments {
+    identify_tiles_with(projected, grid, boundary, PrepassMode::Conservative, counts)
+}
+
+/// [`identify_tiles`] with an explicit [`PrepassMode`].
+pub fn identify_tiles_with(
+    projected: &[ProjectedGaussian],
+    grid: TileGrid,
+    boundary: BoundaryMethod,
+    prepass: PrepassMode,
+    counts: &mut StageCounts,
+) -> TileAssignments {
     let mut scratch = CsrScratch::new();
     let mut out = TileAssignments::empty();
-    identify_tiles_into(projected, grid, boundary, counts, &mut scratch, &mut out);
+    identify_tiles_into(
+        projected,
+        grid,
+        boundary,
+        prepass,
+        counts,
+        &mut scratch,
+        &mut out,
+    );
     out
 }
 
@@ -242,11 +280,21 @@ pub fn identify_tiles(
 /// `out` is rebuilt through `scratch`, retaining both allocations across
 /// frames. Every intersection test is performed (and charged) exactly once;
 /// the staged `(tile, slot)` pairs are then counting-sorted into the CSR
-/// layout, preserving scene order within each tile.
+/// layout (counting prepass → prefix-sum offsets → stable scatter),
+/// preserving scene order within each tile.
+///
+/// Prepass accounting: `tiles_tested` counts every geometric test the
+/// prepass performs (the boundary tests, plus the exact ellipse refinements
+/// in [`PrepassMode::Exact`]); `tiles_hit` counts accepted candidates and
+/// always equals `tile_intersections` (the flat intersection-list length);
+/// `prepass_overcount_trimmed` counts conservative acceptances the exact
+/// refinement rejected.
+#[allow(clippy::too_many_arguments)]
 pub fn identify_tiles_into(
     projected: &[ProjectedGaussian],
     grid: TileGrid,
     boundary: BoundaryMethod,
+    prepass: PrepassMode,
     counts: &mut StageCounts,
     scratch: &mut CsrScratch<u32>,
     out: &mut TileAssignments,
@@ -255,6 +303,10 @@ pub fn identify_tiles_into(
     out.tiles_per_gaussian.clear();
     out.tiles_per_gaussian.resize(projected.len(), 0);
     scratch.clear();
+
+    // The exact refinement only adds information when the configured
+    // boundary test is itself not already the exact ellipse test.
+    let refine = prepass == PrepassMode::Exact && boundary != BoundaryMethod::Ellipse;
 
     for (slot, splat) in projected.iter().enumerate() {
         let Some(footprint) = GaussianFootprint::from_covariance(splat.mean, splat.cov) else {
@@ -265,9 +317,18 @@ pub fn identify_tiles_into(
         for ty in ty0..ty1 {
             for tx in tx0..tx1 {
                 counts.tile_tests += 1;
+                counts.tiles_tested += 1;
                 let rect = grid.tile_rect_unclipped(tx, ty);
                 if footprint.intersects(&rect, boundary) {
+                    if refine {
+                        counts.tiles_tested += 1;
+                        if !footprint.intersects(&rect, BoundaryMethod::Ellipse) {
+                            counts.prepass_overcount_trimmed += 1;
+                            continue;
+                        }
+                    }
                     counts.tile_intersections += 1;
+                    counts.tiles_hit += 1;
                     scratch.stage(grid.tile_index(tx, ty) as u32, slot as u32);
                     out.tiles_per_gaussian[slot] += 1;
                 }
@@ -440,6 +501,154 @@ mod tests {
     }
 
     #[test]
+    fn try_new_returns_typed_errors_instead_of_panicking() {
+        assert_eq!(
+            TileGrid::try_new(64, 64, 0),
+            Err(RenderError::InvalidTileSize { tile_size: 0 })
+        );
+        assert_eq!(
+            TileGrid::try_new(0, 64, 16),
+            Err(RenderError::InvalidResolution {
+                width: 0,
+                height: 64
+            })
+        );
+        assert_eq!(
+            TileGrid::try_new(64, 0, 16),
+            Err(RenderError::InvalidResolution {
+                width: 64,
+                height: 0
+            })
+        );
+        assert_eq!(TileGrid::try_new(64, 64, 16), Ok(TileGrid::new(64, 64, 16)));
+    }
+
+    /// An anisotropic splat population whose AABB candidate rects contain
+    /// plenty of exact-test false positives.
+    fn anisotropic_splats() -> Vec<ProjectedGaussian> {
+        (0..12)
+            .map(|i| {
+                let a2 = 120.0f32 + 5.0 * i as f32;
+                let b2 = 3.0f32;
+                let cov = Mat2::from_symmetric(0.5 * (a2 + b2), 0.5 * (a2 - b2), 0.5 * (a2 + b2));
+                ProjectedGaussian {
+                    index: i,
+                    depth: 1.0 + i as f32,
+                    mean: Vec2::new(40.0 + 15.0 * i as f32, 30.0 + 11.0 * i as f32),
+                    cov,
+                    inv_cov: cov.inverse().unwrap(),
+                    opacity: 0.9,
+                    color: Rgb::WHITE,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_prepass_tile_sets_are_subsets_of_conservative_ones() {
+        let grid = TileGrid::new(256, 256, 16);
+        let splats = anisotropic_splats();
+        let mut conservative_counts = StageCounts::new();
+        let conservative = identify_tiles(
+            &splats,
+            grid,
+            BoundaryMethod::Aabb,
+            &mut conservative_counts,
+        );
+        let mut exact_counts = StageCounts::new();
+        let exact = identify_tiles_with(
+            &splats,
+            grid,
+            BoundaryMethod::Aabb,
+            PrepassMode::Exact,
+            &mut exact_counts,
+        );
+
+        for (tile, exact_list) in exact.iter() {
+            let conservative_list = conservative.tile(tile);
+            for slot in exact_list {
+                assert!(
+                    conservative_list.contains(slot),
+                    "tile {tile}: exact accepted slot {slot} the conservative pass did not"
+                );
+            }
+        }
+        assert!(
+            exact_counts.tile_intersections < conservative_counts.tile_intersections,
+            "exact mode must trim overcount on anisotropic splats"
+        );
+        assert_eq!(
+            exact_counts.prepass_overcount_trimmed,
+            conservative_counts.tile_intersections - exact_counts.tile_intersections
+        );
+    }
+
+    #[test]
+    fn prepass_counters_reconcile_in_both_modes() {
+        let grid = TileGrid::new(256, 256, 16);
+        let splats = anisotropic_splats();
+        for prepass in PrepassMode::ALL {
+            let mut counts = StageCounts::new();
+            let assignments =
+                identify_tiles_with(&splats, grid, BoundaryMethod::Aabb, prepass, &mut counts);
+            assert_eq!(counts.tiles_hit, counts.tile_intersections);
+            assert_eq!(counts.tiles_hit, assignments.total_entries());
+            assert!(counts.tiles_hit <= counts.tiles_tested);
+            match prepass {
+                PrepassMode::Conservative => {
+                    assert_eq!(counts.tiles_tested, counts.tile_tests);
+                    assert_eq!(counts.prepass_overcount_trimmed, 0);
+                }
+                PrepassMode::Exact => {
+                    assert!(counts.tiles_tested > counts.tile_tests);
+                    assert!(counts.prepass_overcount_trimmed > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_prepass_with_ellipse_boundary_changes_nothing() {
+        // The ellipse boundary is already exact, so exact mode must not
+        // re-test (or trim) anything.
+        let grid = TileGrid::new(256, 256, 16);
+        let splats = anisotropic_splats();
+        let mut conservative_counts = StageCounts::new();
+        let conservative = identify_tiles(
+            &splats,
+            grid,
+            BoundaryMethod::Ellipse,
+            &mut conservative_counts,
+        );
+        let mut exact_counts = StageCounts::new();
+        let exact = identify_tiles_with(
+            &splats,
+            grid,
+            BoundaryMethod::Ellipse,
+            PrepassMode::Exact,
+            &mut exact_counts,
+        );
+        assert_eq!(exact, conservative);
+        assert_eq!(exact_counts, conservative_counts);
+        // And exact-trimmed AABB agrees with the ellipse boundary's sets.
+        let mut trimmed_counts = StageCounts::new();
+        let trimmed = identify_tiles_with(
+            &splats,
+            grid,
+            BoundaryMethod::Aabb,
+            PrepassMode::Exact,
+            &mut trimmed_counts,
+        );
+        assert_eq!(
+            trimmed_counts.tile_intersections,
+            conservative_counts.tile_intersections
+        );
+        for (tile, list) in trimmed.iter() {
+            assert_eq!(list, conservative.tile(tile), "tile {tile}");
+        }
+    }
+
+    #[test]
     fn in_place_identification_matches_fresh_and_reuses_capacity() {
         let grid = TileGrid::new(128, 128, 16);
         let splats: Vec<ProjectedGaussian> = (0..10)
@@ -456,6 +665,7 @@ mod tests {
                 &splats,
                 grid,
                 BoundaryMethod::Aabb,
+                PrepassMode::Conservative,
                 &mut counts,
                 &mut scratch,
                 &mut reused,
@@ -469,6 +679,7 @@ mod tests {
             &splats,
             grid,
             BoundaryMethod::Aabb,
+            PrepassMode::Conservative,
             &mut counts,
             &mut scratch,
             &mut reused,

@@ -34,7 +34,7 @@ pub mod synth;
 pub mod trajectory;
 
 pub use datasets::{PaperScene, SceneScale, SceneType};
-pub use scene::Scene;
+pub use scene::{Scene, SceneSoA};
 pub use stats::SceneStats;
 pub use synth::{SceneGenerator, SynthProfile};
 pub use trajectory::CameraTrajectory;

@@ -283,6 +283,54 @@ impl Camera {
         self.view.transform_point(world).truncate()
     }
 
+    /// Lane-chunked variant of [`Camera::to_view`]: transforms `W`
+    /// world-space points given as coordinate lanes and returns the view
+    /// coordinates as lanes.
+    ///
+    /// Each lane performs exactly the floating-point operations of
+    /// [`Camera::to_view`] in the same order (no fused multiply-add), so
+    /// every lane is bit-identical to the scalar transform — the chunked
+    /// projection path is pinned against this property. The fixed lane
+    /// count `W` lets the compiler unroll and vectorize the loop.
+    pub fn to_view_lanes<const W: usize>(
+        &self,
+        xs: &[f32; W],
+        ys: &[f32; W],
+        zs: &[f32; W],
+    ) -> ([f32; W], [f32; W], [f32; W]) {
+        // The same coefficients `Mat4::mul_vec` reads, hoisted out of the
+        // lane loop; `w = 1` makes the fourth column a plain translation
+        // (`t * 1.0` is bit-exact).
+        let (m00, m01, m02, m03) = (
+            self.view.at(0, 0),
+            self.view.at(0, 1),
+            self.view.at(0, 2),
+            self.view.at(0, 3),
+        );
+        let (m10, m11, m12, m13) = (
+            self.view.at(1, 0),
+            self.view.at(1, 1),
+            self.view.at(1, 2),
+            self.view.at(1, 3),
+        );
+        let (m20, m21, m22, m23) = (
+            self.view.at(2, 0),
+            self.view.at(2, 1),
+            self.view.at(2, 2),
+            self.view.at(2, 3),
+        );
+        let mut vx = [0.0f32; W];
+        let mut vy = [0.0f32; W];
+        let mut vz = [0.0f32; W];
+        for lane in 0..W {
+            let (x, y, z) = (xs[lane], ys[lane], zs[lane]);
+            vx[lane] = ((m00 * x + m01 * y) + m02 * z) + m03 * 1.0;
+            vy[lane] = ((m10 * x + m11 * y) + m12 * z) + m13 * 1.0;
+            vz[lane] = ((m20 * x + m21 * y) + m22 * z) + m23 * 1.0;
+        }
+        (vx, vy, vz)
+    }
+
     /// Depth of a world-space point along the viewing direction
     /// (positive in front of the camera). This is the `D` value used for
     /// tile-wise sorting.
@@ -421,6 +469,26 @@ mod tests {
         // and on opposite sides of it.
         assert!((left.x - 400.0).abs() > 1.0);
         assert!(((left.x - 400.0) + (right.x - 400.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn to_view_lanes_is_bit_identical_to_the_scalar_transform() {
+        let cam = Camera::look_at(
+            Vec3::new(3.0, -2.0, 4.5),
+            Vec3::new(0.3, 1.0, 0.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 640, 480),
+        );
+        let xs = [0.1f32, -3.7, 12.5, 0.0, 8.25, -0.001, 4.0, 1e3];
+        let ys = [2.0f32, 0.5, -9.25, 1.0, -2.5, 7.125, 0.0, -1e3];
+        let zs = [5.0f32, 1.25, 3.0, -4.0, 0.75, 2.5, -8.0, 0.5];
+        let (vx, vy, vz) = cam.to_view_lanes(&xs, &ys, &zs);
+        for lane in 0..8 {
+            let scalar = cam.to_view(Vec3::new(xs[lane], ys[lane], zs[lane]));
+            assert_eq!(scalar.x.to_bits(), vx[lane].to_bits(), "lane {lane} x");
+            assert_eq!(scalar.y.to_bits(), vy[lane].to_bits(), "lane {lane} y");
+            assert_eq!(scalar.z.to_bits(), vz[lane].to_bits(), "lane {lane} z");
+        }
     }
 
     #[test]

@@ -75,11 +75,18 @@ impl Gaussian3d {
 
     /// The 3×3 world-space covariance `Σ = R S Sᵀ Rᵀ` (`3D_Cov`).
     pub fn covariance(&self) -> Mat3 {
-        let r = self.rotation.to_rotation_matrix();
+        Self::covariance_of(self.scale, self.rotation)
+    }
+
+    /// [`Gaussian3d::covariance`] from raw parameters, shared with the
+    /// structure-of-arrays scene storage (`SceneSoA`) so both layouts run
+    /// the exact same floating-point operations.
+    pub fn covariance_of(scale: Vec3, rotation: Quat) -> Mat3 {
+        let r = rotation.to_rotation_matrix();
         let s = Mat3::from_diagonal(Vec3::new(
-            self.scale.x * self.scale.x,
-            self.scale.y * self.scale.y,
-            self.scale.z * self.scale.z,
+            scale.x * scale.x,
+            scale.y * scale.y,
+            scale.z * scale.z,
         ));
         r * s * r.transpose()
     }
@@ -88,7 +95,14 @@ impl Gaussian3d {
     /// used for conservative frustum culling.
     #[inline]
     pub fn bounding_radius(&self) -> f32 {
-        3.0 * self.scale.max_component()
+        Self::bounding_radius_of(self.scale)
+    }
+
+    /// [`Gaussian3d::bounding_radius`] from a raw scale, shared with the
+    /// structure-of-arrays scene storage.
+    #[inline]
+    pub fn bounding_radius_of(scale: Vec3) -> f32 {
+        3.0 * scale.max_component()
     }
 
     /// Evaluates the view-dependent color for a camera at `camera_position`.

@@ -57,5 +57,5 @@ pub use id::SceneId;
 pub use mat::{Mat2, Mat3, Mat4};
 pub use priority::Priority;
 pub use quat::Quat;
-pub use sh::{ShCoefficients, SH_DEGREE_MAX};
+pub use sh::{eval_color, ShCoefficients, SH_DEGREE_MAX};
 pub use vec::{Vec2, Vec3, Vec4};

@@ -102,6 +102,28 @@ pub fn eval_basis_into(
     Ok(coefficient_count(degree))
 }
 
+/// Evaluates the view-dependent color of a basis-major coefficient slice
+/// in direction `dir` (normalized camera→splat direction), clamped to
+/// non-negative values as in the 3D-GS reference renderer.
+///
+/// This is the shared kernel behind [`ShCoefficients::eval`] and the
+/// structure-of-arrays scene storage (`SceneSoA`), which stores all
+/// coefficients in one flat slice: both paths run bit-identical floating
+/// point because they run *this* code.
+///
+/// `degree` must be at most [`SH_DEGREE_MAX`] and `coeffs` must hold
+/// `coefficient_count(degree)` entries; extra entries are ignored.
+#[inline]
+pub fn eval_color(degree: usize, coeffs: &[Rgb], dir: Vec3) -> Rgb {
+    let mut basis = [0.0f32; coefficient_count(SH_DEGREE_MAX)];
+    let count = eval_basis_into(degree, dir, &mut basis).expect("degree validated at construction");
+    let mut color = Rgb::new(0.5, 0.5, 0.5);
+    for (w, c) in basis[..count].iter().zip(coeffs) {
+        color += *c * *w;
+    }
+    Rgb::new(color.r.max(0.0), color.g.max(0.0), color.b.max(0.0))
+}
+
 /// Per-Gaussian RGB spherical-harmonics coefficients.
 ///
 /// Coefficients are stored interleaved per basis function:
@@ -168,14 +190,7 @@ impl ShCoefficients {
     /// camera→splat direction), clamped to non-negative values as in the
     /// 3D-GS reference renderer.
     pub fn eval(&self, dir: Vec3) -> Rgb {
-        let mut basis = [0.0f32; coefficient_count(SH_DEGREE_MAX)];
-        let count = eval_basis_into(self.degree, dir, &mut basis)
-            .expect("degree validated at construction");
-        let mut color = Rgb::new(0.5, 0.5, 0.5);
-        for (w, c) in basis[..count].iter().zip(&self.coeffs) {
-            color += *c * *w;
-        }
-        Rgb::new(color.r.max(0.0), color.g.max(0.0), color.b.max(0.0))
+        eval_color(self.degree, &self.coeffs, dir)
     }
 
     /// Number of floating-point values stored (3 per basis function), used
@@ -256,6 +271,28 @@ mod tests {
         let from_front = sh.eval(Vec3::Z);
         let from_back = sh.eval(-Vec3::Z);
         assert!(from_front.r > from_back.r);
+    }
+
+    #[test]
+    fn eval_color_slice_matches_owned_eval_bit_exactly() {
+        let mut rng = Rng::seed_from_u64(0x5EED_C0DE);
+        for _ in 0..64 {
+            let coeffs: Vec<Rgb> = (0..16)
+                .map(|_| Rgb::splat(rng.range_f32(-1.0, 1.0)))
+                .collect();
+            let sh = ShCoefficients::from_coefficients(coeffs.clone()).unwrap();
+            let dir = Vec3::new(
+                rng.range_f32(-1.0, 1.0),
+                rng.range_f32(-1.0, 1.0),
+                rng.range_f32(0.1, 1.0),
+            )
+            .normalized();
+            let owned = sh.eval(dir);
+            let slice = eval_color(3, &coeffs, dir);
+            assert_eq!(owned.r.to_bits(), slice.r.to_bits());
+            assert_eq!(owned.g.to_bits(), slice.g.to_bits());
+            assert_eq!(owned.b.to_bits(), slice.b.to_bits());
+        }
     }
 
     #[test]

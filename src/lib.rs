@@ -81,14 +81,14 @@ pub mod prelude {
     pub use splat_accel::{AccelConfig, PipelineVariant, Simulator};
     pub use splat_core::{
         ExecutionConfig, ExecutionModel, FrameArena, HasExecution, RenderBackend, RenderOutput,
-        RenderRequest, SessionFrame, StageCounts,
+        RenderRequest, SessionFrame, SimdMode, StageCounts,
     };
     pub use splat_engine::{
         AdmissionPolicy, Backend, Engine, EngineBuilder, EngineStats, JobHandle, JobStatus,
         PreparedScene, ResidencyPolicy, SceneRef, ShutdownMode, SubmitRequest, TrajectoryHandle,
     };
     pub use splat_metrics::{geometric_mean, Table};
-    pub use splat_render::{BoundaryMethod, RenderConfig, RenderSession, Renderer};
+    pub use splat_render::{BoundaryMethod, PrepassMode, RenderConfig, RenderSession, Renderer};
     pub use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
     pub use splat_types::{
         Camera, CameraIntrinsics, Gaussian3d, Priority, Quat, RenderError, Rgb, SceneId, Vec3,

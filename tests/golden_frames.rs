@@ -70,6 +70,46 @@ fn golden_digests_hold_for_both_pipelines_at_one_and_four_threads() {
 }
 
 #[test]
+fn golden_digests_hold_across_simd_modes_and_exact_prepass() {
+    // The SIMD blending kernels and the exact intersection prepass are
+    // pure performance knobs: every combination of lane width, prepass
+    // mode, thread count and pipeline must land on the same pinned digest
+    // the scalar conservative path produces.
+    for (paper_scene, golden) in GOLDEN {
+        let scene = paper_scene.build(SceneScale::Tiny, 0);
+        let camera = camera();
+        for simd in SimdMode::ALL {
+            for prepass in [PrepassMode::Conservative, PrepassMode::Exact] {
+                for threads in [1usize, 4] {
+                    let baseline = Renderer::new(
+                        RenderConfig::default()
+                            .with_threads(threads)
+                            .with_simd(simd)
+                            .with_prepass(prepass),
+                    )
+                    .render(&scene, &camera);
+                    let grouped = GstgRenderer::new(
+                        GstgConfig::paper_default()
+                            .with_threads(threads)
+                            .with_simd(simd)
+                            .with_prepass(prepass),
+                    )
+                    .render(&scene, &camera);
+                    for (pipeline, output) in [("baseline", &baseline), ("gstg", &grouped)] {
+                        let digest = frame_digest(&output.image);
+                        assert_eq!(
+                            digest, golden,
+                            "{paper_scene:?}/{pipeline}/{simd:?}/{prepass:?}/threads={threads}: \
+                             raster drift! expected {golden:#018x}, actual {digest:#018x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn digest_is_sensitive_to_a_single_pixel_bit() {
     let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
     let camera = camera();
