@@ -306,6 +306,13 @@ impl GstgConfigBuilder {
         self
     }
 
+    /// Sets the rasterization span mode (full tile walk or conservative
+    /// per-row intervals).
+    pub fn span(mut self, span: splat_core::SpanMode) -> Self {
+        self.config = self.config.with_span(span);
+        self
+    }
+
     /// Replaces the whole execution configuration.
     pub fn execution(mut self, exec: ExecutionConfig) -> Self {
         self.config.exec = exec;
@@ -437,6 +444,24 @@ mod tests {
         assert_eq!(
             GstgConfig::paper_default().prepass,
             PrepassMode::Conservative
+        );
+    }
+
+    #[test]
+    fn span_knob_propagates_to_the_equivalent_baseline() {
+        use splat_core::SpanMode;
+        let c = GstgConfig::builder()
+            .span(SpanMode::RowSpans)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(c.span(), SpanMode::RowSpans);
+        assert_eq!(c.equivalent_baseline().span(), SpanMode::RowSpans);
+        assert_eq!(GstgConfig::paper_default().span(), SpanMode::Full);
+        assert_eq!(
+            GstgConfig::paper_default()
+                .with_span(SpanMode::RowSpans)
+                .span(),
+            SpanMode::RowSpans
         );
     }
 

@@ -92,16 +92,18 @@ struct RasterStage<'a> {
     background: Rgb,
     threads: usize,
     simd: splat_core::SimdMode,
+    span: splat_core::SpanMode,
 }
 
 impl PipelineStage for RasterStage<'_> {
-    type Output = Framebuffer;
+    type Output = (Framebuffer, std::time::Duration);
 
     fn name(&self) -> &'static str {
         "raster"
     }
 
-    fn run(self, counts: &mut StageCounts) -> Framebuffer {
+    fn run(self, counts: &mut StageCounts) -> Self::Output {
+        let mut scratch = splat_core::SpanScratch::new();
         let (image, raster_counts) = rasterize_groups_with(
             self.projected,
             self.assignments,
@@ -110,9 +112,11 @@ impl PipelineStage for RasterStage<'_> {
             self.background,
             self.threads,
             self.simd,
+            self.span,
+            &mut scratch,
         );
         *counts += raster_counts;
-        image
+        (image, scratch.take_build_time())
     }
 }
 
@@ -191,7 +195,7 @@ impl GstgRenderer {
             },
             &mut counts,
         );
-        let (image, raster_time) = run_timed(
+        let ((image, span_build_time), raster_time) = run_timed(
             RasterStage {
                 projected: &projected,
                 assignments: &assignments,
@@ -199,6 +203,7 @@ impl GstgRenderer {
                 background: self.background,
                 threads: self.config.threads(),
                 simd: self.config.simd(),
+                span: self.config.span(),
             },
             &mut counts,
         );
@@ -211,6 +216,7 @@ impl GstgRenderer {
                 identify_time: std::time::Duration::ZERO,
                 sort_time,
                 raster_time,
+                span_build_time,
             },
         }
     }
@@ -406,6 +412,43 @@ mod tests {
                     "{simd:?} x{threads} diverged"
                 );
                 assert_eq!(out.stats.counts, reference.stats.counts);
+            }
+        }
+    }
+
+    #[test]
+    fn span_modes_render_bit_identical_gstg_images() {
+        use splat_core::{SimdMode, SpanMode};
+        let scene = PaperScene::Train.build(SceneScale::Tiny, 5);
+        let camera = small_camera(&scene);
+        let reference = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &camera);
+        assert!(reference.stats.counts.alpha_computations > 0);
+        for simd in SimdMode::ALL {
+            for threads in [1, 4] {
+                let config = GstgConfig::paper_default()
+                    .with_threads(threads)
+                    .with_simd(simd)
+                    .with_span(SpanMode::RowSpans);
+                let out = GstgRenderer::new(config).render(&scene, &camera);
+                assert_eq!(
+                    out.image.max_abs_diff(&reference.image),
+                    0.0,
+                    "{simd:?} x{threads} spans diverged"
+                );
+                // The span walk eliminates α-computations but accounts for
+                // every one it skips.
+                assert!(
+                    out.stats.counts.alpha_computations < reference.stats.counts.alpha_computations
+                );
+                assert_eq!(
+                    out.stats.counts.alpha_computations + out.stats.counts.span_skipped_alpha,
+                    reference.stats.counts.alpha_computations,
+                    "{simd:?} x{threads} span accounting drifted"
+                );
+                assert_eq!(
+                    out.stats.counts.blend_operations,
+                    reference.stats.counts.blend_operations
+                );
             }
         }
     }

@@ -12,10 +12,12 @@
 use crate::bitmask::TileBitmask;
 use crate::group::{GroupAssignments, GroupEntry};
 use splat_core::{
-    rasterize_tile_into_with, rasterize_tile_with, Framebuffer, ProjectedGaussian, SimdMode,
+    rasterize_tile_into_with, rasterize_tile_spans_into_with, rasterize_tile_spans_with,
+    rasterize_tile_with, Framebuffer, ProjectedGaussian, SimdMode, SpanMode, SpanScratch,
     StageCounts, TileScheduler,
 };
 use splat_types::Rgb;
+use std::time::Duration;
 
 /// Filters a group-sorted entry list down to the splats that touch the tile
 /// at bitmask position `bit`, preserving order. Each entry costs one
@@ -59,6 +61,7 @@ pub fn rasterize_groups(
     background: Rgb,
     threads: usize,
 ) -> (Framebuffer, StageCounts) {
+    let mut scratch = SpanScratch::new();
     rasterize_groups_with(
         projected,
         assignments,
@@ -67,11 +70,15 @@ pub fn rasterize_groups(
         background,
         threads,
         SimdMode::Scalar,
+        SpanMode::Full,
+        &mut scratch,
     )
 }
 
-/// [`rasterize_groups`] with an explicit [`SimdMode`] for the shared
-/// blending kernel. Every mode produces bit-identical pixels and counters.
+/// [`rasterize_groups`] with an explicit [`SimdMode`] and [`SpanMode`] for
+/// the shared blending kernel. Every mode produces bit-identical pixels and
+/// counters; `scratch` carries the span walker's recycled buffers and
+/// accumulates its interval-build time.
 #[allow(clippy::too_many_arguments)]
 pub fn rasterize_groups_with(
     projected: &[ProjectedGaussian],
@@ -81,6 +88,8 @@ pub fn rasterize_groups_with(
     background: Rgb,
     threads: usize,
     simd: SimdMode,
+    span: SpanMode,
+    scratch: &mut SpanScratch,
 ) -> (Framebuffer, StageCounts) {
     // Start from an empty framebuffer: rasterize_groups_into's reset
     // performs the one-and-only background fill.
@@ -94,8 +103,10 @@ pub fn rasterize_groups_with(
         background,
         threads,
         simd,
+        span,
         &mut image,
         &mut tile_list,
+        scratch,
     );
     (image, counts)
 }
@@ -118,6 +129,7 @@ pub fn rasterize_groups_into(
     image: &mut Framebuffer,
     tile_list: &mut Vec<u32>,
 ) -> StageCounts {
+    let mut scratch = SpanScratch::new();
     rasterize_groups_into_with(
         projected,
         assignments,
@@ -126,13 +138,19 @@ pub fn rasterize_groups_into(
         background,
         threads,
         SimdMode::Scalar,
+        SpanMode::Full,
         image,
         tile_list,
+        &mut scratch,
     )
 }
 
-/// [`rasterize_groups_into`] with an explicit [`SimdMode`] for the shared
-/// blending kernel. Every mode produces bit-identical pixels and counters.
+/// [`rasterize_groups_into`] with an explicit [`SimdMode`] and [`SpanMode`]
+/// for the shared blending kernel. Every mode produces bit-identical pixels
+/// and counters. With [`SpanMode::RowSpans`] the sequential path shades
+/// through `scratch` and the parallel path folds each worker's
+/// interval-build time back into it; drain it with
+/// [`SpanScratch::take_build_time`] after the call.
 #[allow(clippy::too_many_arguments)]
 pub fn rasterize_groups_into_with(
     projected: &[ProjectedGaussian],
@@ -142,8 +160,10 @@ pub fn rasterize_groups_into_with(
     background: Rgb,
     threads: usize,
     simd: SimdMode,
+    span: SpanMode,
     image: &mut Framebuffer,
     tile_list: &mut Vec<u32>,
+    scratch: &mut SpanScratch,
 ) -> StageCounts {
     image.reset(image_width, image_height, background);
     let mut counts = StageCounts::new();
@@ -160,15 +180,27 @@ pub fn rasterize_groups_into_with(
                 };
                 let rect = tile_grid.tile_rect(tx, ty);
                 filter_tile_list_into(entries, bit, &mut counts, tile_list);
-                rasterize_tile_into_with(
-                    tile_list,
-                    projected,
-                    &rect,
-                    background,
-                    simd,
-                    image,
-                    &mut counts,
-                );
+                match span {
+                    SpanMode::Full => rasterize_tile_into_with(
+                        tile_list,
+                        projected,
+                        &rect,
+                        background,
+                        simd,
+                        image,
+                        &mut counts,
+                    ),
+                    SpanMode::RowSpans => rasterize_tile_spans_into_with(
+                        tile_list,
+                        projected,
+                        &rect,
+                        background,
+                        simd,
+                        image,
+                        &mut counts,
+                        scratch,
+                    ),
+                }
             }
         }
         return counts;
@@ -178,20 +210,22 @@ pub fn rasterize_groups_into_with(
     let groups = scheduler.run(assignments.group_count(), |group| {
         let mut local_counts = StageCounts::new();
         let mut regions = Vec::new();
-        collect_group_regions(
+        let built = collect_group_regions(
             projected,
             assignments,
             group,
             background,
             simd,
+            span,
             &mut regions,
             &mut local_counts,
         );
-        (regions, local_counts)
+        (regions, local_counts, built)
     });
 
-    for (regions, local_counts) in groups {
+    for (regions, local_counts, built) in groups {
         counts += local_counts;
+        scratch.add_build_time(built);
         for (x0, y0, width, pixels) in regions {
             image.write_region(x0, y0, width, &pixels);
         }
@@ -201,19 +235,25 @@ pub fn rasterize_groups_into_with(
 
 type Region = (u32, u32, u32, Vec<Rgb>);
 
+/// Shades every tile of one group into per-tile regions, returning the
+/// time the span walker spent building row intervals
+/// ([`Duration::ZERO`] under [`SpanMode::Full`]).
+#[allow(clippy::too_many_arguments)]
 fn collect_group_regions(
     projected: &[ProjectedGaussian],
     assignments: &GroupAssignments,
     group: usize,
     background: Rgb,
     simd: SimdMode,
+    span: SpanMode,
     regions: &mut Vec<Region>,
     counts: &mut StageCounts,
-) {
+) -> Duration {
     let entries = assignments.group(group);
     let (gx, gy) = assignments.group_grid().tile_coords(group);
     let layout = assignments.layout();
     let tile_grid = assignments.tile_grid();
+    let mut scratch = SpanScratch::new();
 
     for bit in 0..layout.tiles_per_group() {
         let Some((tx, ty)) = assignments.global_tile_of_bit(gx, gy, bit) else {
@@ -221,10 +261,21 @@ fn collect_group_regions(
         };
         let rect = tile_grid.tile_rect(tx, ty);
         let tile_list = filter_tile_list(entries, bit, counts);
-        let out = rasterize_tile_with(&tile_list, projected, &rect, background, simd);
+        let out = match span {
+            SpanMode::Full => rasterize_tile_with(&tile_list, projected, &rect, background, simd),
+            SpanMode::RowSpans => rasterize_tile_spans_with(
+                &tile_list,
+                projected,
+                &rect,
+                background,
+                simd,
+                &mut scratch,
+            ),
+        };
         *counts += out.counts;
         regions.push((rect.x0 as u32, rect.y0 as u32, out.width, out.pixels));
     }
+    scratch.take_build_time()
 }
 
 #[cfg(test)]

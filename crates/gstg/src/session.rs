@@ -112,10 +112,13 @@ impl GstgSession {
             self.renderer.background(),
             config.threads(),
             config.simd(),
+            config.span(),
             &mut self.arena.framebuffer,
             &mut self.tile_list,
+            &mut self.arena.span,
         );
         let raster_time = start.elapsed();
+        let span_build_time = self.arena.span.take_build_time();
 
         SessionFrame {
             image: &self.arena.framebuffer,
@@ -125,6 +128,7 @@ impl GstgSession {
                 identify_time,
                 sort_time,
                 raster_time,
+                span_build_time,
             },
         }
     }

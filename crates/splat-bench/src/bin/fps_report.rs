@@ -76,13 +76,14 @@ fn main() {
         if options.json {
             println!(
                 "{{\"bench\":\"fps_report\",\"scene\":\"{}\",\"scale\":\"{:?}\",\
-                 \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"views\":{},\
+                 \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\"views\":{},\
                  \"baseline_fps\":{:.3},\"gscore_fps\":{:.3},\"gstg_fps\":{:.3},\
                  \"gstg_gain\":{:.4},\"sw_batch_fps\":{:.3},\"sw_batch_threads\":{}}}",
                 scene_id.name(),
                 options.scale,
                 options.prepass,
                 options.simd,
+                options.span,
                 view_count,
                 fps[0],
                 fps[1],

@@ -20,16 +20,21 @@
 //!
 //! `--json` emits one machine-readable object per pipeline for
 //! `BENCH_*.json` capture — including measured per-stage wall-clock
-//! attribution (preprocess / identify / sort / raster) and the prepass
-//! accounting counters; the shared `--scale` / `--resolution-divisor` /
-//! `--seed-offset` / `--exact-prepass` / `--simd` knobs of the experiment
-//! harness apply. The binary exits non-zero if the prepass accounting
-//! drifts (a hit without a test, or baseline hits that disagree with the
-//! intersection-list entries) or the two pipelines' checksums diverge.
+//! attribution (preprocess / identify / sort / raster), the prepass
+//! accounting counters and the span-walk counters; the shared `--scale` /
+//! `--resolution-divisor` / `--seed-offset` / `--exact-prepass` /
+//! `--simd` / `--span` knobs of the experiment harness apply. The binary
+//! exits non-zero if the prepass accounting drifts (a hit without a test,
+//! or baseline hits that disagree with the intersection-list entries),
+//! the two pipelines' checksums diverge, or the span-walk cross-check
+//! fails: both pipelines are re-rendered under `SpanMode::Full` and
+//! `SpanMode::RowSpans`, and the checksums must match bit-for-bit while
+//! `alpha_computations + span_skipped_alpha` reconciles exactly against
+//! the full walk's brute-force count.
 
 use gstg::{GstgConfig, GstgSession};
 use splat_bench::{run_engine_batch, HarnessOptions};
-use splat_core::{RenderStats, StageCounts};
+use splat_core::{HasExecution, RenderStats, SpanMode, StageCounts};
 use splat_engine::Backend;
 use splat_render::{BoundaryMethod, RenderConfig, RenderSession};
 use splat_scene::{CameraTrajectory, PaperScene};
@@ -183,17 +188,24 @@ fn report_human(report: &PipelineReport) {
         steady.counts.tiles_hit,
         steady.counts.prepass_overcount_trimmed,
     );
+    println!(
+        "          spans: {} rows built, {} alpha skipped, {} saturation exits",
+        steady.counts.span_rows_built,
+        steady.counts.span_skipped_alpha,
+        steady.counts.tile_saturation_exits,
+    );
 }
 
 fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, height: u32) {
     let steady = &report.steady;
     println!(
         "{{\"bench\":\"trajectory_throughput\",\"pipeline\":\"{}\",\"scale\":\"{:?}\",\
-         \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\
+         \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\
          \"width\":{},\"height\":{},\"frames\":{},\"steady_fps\":{:.3},\
          \"preprocess_ms\":{:.3},\"identify_ms\":{:.3},\"sort_ms\":{:.3},\"raster_ms\":{:.3},\
          \"tiles_tested\":{},\"tiles_hit\":{},\"prepass_overcount_trimmed\":{},\
          \"tile_intersections\":{},\"sort_keys\":{},\"alpha_computations\":{},\
+         \"span_rows_built\":{},\"span_skipped_alpha\":{},\"tile_saturation_exits\":{},\
          \"warmup_bytes\":{},\"steady_bytes_total\":{},\"steady_bytes_per_frame\":{:.3},\
          \"steady_max_frame_bytes\":{},\"steady_allocation_calls\":{},\
          \"arena_footprint_bytes\":{},\"checksum_luminance\":{:.6}}}",
@@ -201,6 +213,7 @@ fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, he
         options.scale,
         options.prepass,
         options.simd,
+        options.span,
         width,
         height,
         steady.frames,
@@ -215,6 +228,9 @@ fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, he
         steady.counts.tile_intersections,
         steady.counts.sort_keys,
         steady.counts.alpha_computations,
+        steady.counts.span_rows_built,
+        steady.counts.span_skipped_alpha,
+        steady.counts.tile_saturation_exits,
         report.warmup.bytes,
         steady.bytes,
         steady.bytes_per_frame(),
@@ -326,6 +342,92 @@ fn main() {
     {
         eprintln!("error: conservative prepass must trim nothing");
         accounting_clean = false;
+    }
+
+    // Span-walk cross-check: render the trajectory once per span mode
+    // through both pipelines and prove the row-interval walk is lossless
+    // (bit-identical checksums) and its accounting reconciles exactly —
+    // the α evaluations it performs plus the ones it skips equal the full
+    // walk's brute-force count, and the full walk reports no span
+    // activity. This is CI's mechanical guard against the span math
+    // drifting out from under the pinned golden digests.
+    for name in ["baseline", "gstg"] {
+        let mut per_mode: Vec<(f64, StageCounts)> = Vec::new();
+        for span in SpanMode::ALL {
+            let pass = if name == "baseline" {
+                let config = options
+                    .tuned_render_config(RenderConfig::new(16, BoundaryMethod::Aabb))
+                    .with_span(span);
+                let mut session = RenderSession::from_config(config);
+                run_pass(&trajectory, |camera| timed_frame!(session, &scene, camera))
+            } else {
+                let config = options
+                    .tuned_gstg_config(GstgConfig::paper_default())
+                    .with_span(span);
+                let mut session = GstgSession::from_config(config);
+                run_pass(&trajectory, |camera| timed_frame!(session, &scene, camera))
+            };
+            per_mode.push((pass.checksum, pass.counts));
+        }
+        let (full_checksum, full_counts) = &per_mode[0];
+        let (rows_checksum, rows_counts) = &per_mode[1];
+        if (full_checksum - rows_checksum).abs() > 0.0 {
+            eprintln!(
+                "error: {name}: span checksum {rows_checksum:.9} diverged from \
+                 full-walk checksum {full_checksum:.9}"
+            );
+            accounting_clean = false;
+        }
+        if rows_counts.alpha_computations + rows_counts.span_skipped_alpha
+            != full_counts.alpha_computations
+        {
+            eprintln!(
+                "error: {name}: span accounting drifted — {} computed + {} skipped != {} full",
+                rows_counts.alpha_computations,
+                rows_counts.span_skipped_alpha,
+                full_counts.alpha_computations
+            );
+            accounting_clean = false;
+        }
+        if rows_counts.blend_operations != full_counts.blend_operations {
+            eprintln!(
+                "error: {name}: span walk changed blend count {} vs {}",
+                rows_counts.blend_operations, full_counts.blend_operations
+            );
+            accounting_clean = false;
+        }
+        if full_counts.span_rows_built != 0
+            || full_counts.span_skipped_alpha != 0
+            || full_counts.tile_saturation_exits != 0
+        {
+            eprintln!("error: {name}: full walk reported span activity");
+            accounting_clean = false;
+        }
+        if options.json {
+            println!(
+                "{{\"bench\":\"trajectory_throughput\",\"check\":\"span_reconciliation\",\
+                 \"pipeline\":\"{name}\",\"full_alpha_computations\":{},\
+                 \"rows_alpha_computations\":{},\"span_skipped_alpha\":{},\
+                 \"span_rows_built\":{},\"tile_saturation_exits\":{},\
+                 \"checksum_luminance\":{:.6}}}",
+                full_counts.alpha_computations,
+                rows_counts.alpha_computations,
+                rows_counts.span_skipped_alpha,
+                rows_counts.span_rows_built,
+                rows_counts.tile_saturation_exits,
+                rows_checksum,
+            );
+        } else {
+            println!(
+                "span check {name:<9}: full {} α, rows {} α + {} skipped \
+                 ({} rows built, {} saturation exits) — reconciled",
+                full_counts.alpha_computations,
+                rows_counts.alpha_computations,
+                rows_counts.span_skipped_alpha,
+                rows_counts.span_rows_built,
+                rows_counts.tile_saturation_exits,
+            );
+        }
     }
 
     // Batch-serving engine throughput over the same trajectory: one

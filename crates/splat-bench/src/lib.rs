@@ -22,7 +22,7 @@
 #![warn(missing_docs)]
 
 use gstg::{ExecutionModel, GstgConfig};
-use splat_core::{HasExecution, RenderRequest, SimdMode};
+use splat_core::{HasExecution, RenderRequest, SimdMode, SpanMode};
 use splat_engine::{Backend, Engine, SceneRef, SubmitRequest};
 use splat_render::{
     BoundaryMethod, CostModel, PrepassMode, RenderConfig, Renderer, StageCounts, StageTimes,
@@ -54,6 +54,10 @@ pub struct HarnessOptions {
     /// SIMD lane width of the projection/blending kernels
     /// (`--simd {scalar|wide4|wide8}`).
     pub simd: SimdMode,
+    /// Rasterization span mode (`--span {full|rows}`): the full tile walk
+    /// or conservative per-row ellipse intervals with the tile-saturation
+    /// early-out.
+    pub span: SpanMode,
 }
 
 impl Default for HarnessOptions {
@@ -66,6 +70,7 @@ impl Default for HarnessOptions {
             frames: None,
             prepass: PrepassMode::Conservative,
             simd: SimdMode::Scalar,
+            span: SpanMode::Full,
         }
     }
 }
@@ -131,6 +136,17 @@ impl HarnessOptions {
                     };
                     i += 1;
                 }
+                "--span" if i + 1 < args.len() => {
+                    options.span = match args[i + 1].to_lowercase().as_str() {
+                        "full" => SpanMode::Full,
+                        "rows" => SpanMode::RowSpans,
+                        other => {
+                            eprintln!("unknown span mode `{other}`, using full");
+                            SpanMode::Full
+                        }
+                    };
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -178,19 +194,28 @@ impl HarnessOptions {
         if self.simd != SimdMode::Scalar {
             description.push_str(&format!(", simd={:?}", self.simd));
         }
+        if self.span != SpanMode::Full {
+            description.push_str(&format!(", span={:?}", self.span));
+        }
         description
     }
 
-    /// Applies the shared `--exact-prepass` / `--simd` knobs to a baseline
-    /// pipeline configuration.
+    /// Applies the shared `--exact-prepass` / `--simd` / `--span` knobs to
+    /// a baseline pipeline configuration.
     pub fn tuned_render_config(&self, config: RenderConfig) -> RenderConfig {
-        config.with_prepass(self.prepass).with_simd(self.simd)
+        config
+            .with_prepass(self.prepass)
+            .with_simd(self.simd)
+            .with_span(self.span)
     }
 
-    /// Applies the shared `--exact-prepass` / `--simd` knobs to a GS-TG
-    /// pipeline configuration.
+    /// Applies the shared `--exact-prepass` / `--simd` / `--span` knobs to
+    /// a GS-TG pipeline configuration.
     pub fn tuned_gstg_config(&self, config: GstgConfig) -> GstgConfig {
-        config.with_prepass(self.prepass).with_simd(self.simd)
+        config
+            .with_prepass(self.prepass)
+            .with_simd(self.simd)
+            .with_span(self.span)
     }
 }
 
@@ -286,7 +311,7 @@ impl BatchRun {
     ) -> String {
         format!(
             "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-{}\",\"scale\":\"{:?}\",\
-             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\
+             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\
              \"width\":{width},\"height\":{height},\"threads\":{},\"frames\":{},\
              \"batch_fps\":{:.3},\"batch_ms\":{:.3},\"engine_footprint_bytes\":{},\
              \"checksum_luminance\":{:.6}}}",
@@ -294,6 +319,7 @@ impl BatchRun {
             options.scale,
             options.prepass,
             options.simd,
+            options.span,
             self.threads,
             self.frames,
             self.fps(),
@@ -399,7 +425,7 @@ impl SubmitRun {
     ) -> String {
         format!(
             "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-submit-{}\",\"scale\":\"{:?}\",\
-             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\
+             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\
              \"width\":{width},\"height\":{height},\"workers\":{},\"frames\":{},\
              \"submit_jobs_per_s\":{:.3},\"burst_ms\":{:.3},\
              \"round_trip_mean_ms\":{:.3},\"round_trip_p50_ms\":{:.3},\
@@ -409,6 +435,7 @@ impl SubmitRun {
             options.scale,
             options.prepass,
             options.simd,
+            options.span,
             self.workers,
             self.frames,
             self.jobs_per_second(),
@@ -619,6 +646,8 @@ mod tests {
             "--exact-prepass",
             "--simd",
             "wide8",
+            "--span",
+            "rows",
         ]);
         assert_eq!(o.scale, SceneScale::Tiny);
         assert_eq!(o.resolution_divisor, 8);
@@ -627,17 +656,21 @@ mod tests {
         assert_eq!(o.frames, Some(7));
         assert_eq!(o.prepass, PrepassMode::Exact);
         assert_eq!(o.simd, SimdMode::Wide8);
+        assert_eq!(o.span, SpanMode::RowSpans);
         assert!(o.describe().contains("frames=7"));
         assert!(o.describe().contains("prepass=Exact"));
         assert!(o.describe().contains("simd=Wide8"));
+        assert!(o.describe().contains("span=RowSpans"));
         let d = HarnessOptions::default();
         assert!(!d.json);
         assert_eq!(d.frames, None);
         assert_eq!(d.prepass, PrepassMode::Conservative);
         assert_eq!(d.simd, SimdMode::Scalar);
+        assert_eq!(d.span, SpanMode::Full);
         assert!(!d.describe().contains("frames="));
         assert!(!d.describe().contains("prepass="));
         assert!(!d.describe().contains("simd="));
+        assert!(!d.describe().contains("span="));
     }
 
     #[test]
@@ -649,21 +682,26 @@ mod tests {
             "zero",
             "--simd",
             "avx512",
+            "--span",
+            "diagonal",
         ]);
         assert_eq!(o.scale, SceneScale::Small);
         assert_eq!(o.resolution_divisor, 4);
         assert_eq!(o.simd, SimdMode::Scalar);
+        assert_eq!(o.span, SpanMode::Full);
     }
 
     #[test]
     fn tuned_configs_carry_the_prepass_and_simd_knobs() {
-        let o = HarnessOptions::parse(["--exact-prepass", "--simd", "wide4"]);
+        let o = HarnessOptions::parse(["--exact-prepass", "--simd", "wide4", "--span", "rows"]);
         let render = o.tuned_render_config(RenderConfig::default());
         assert_eq!(render.prepass, PrepassMode::Exact);
         assert_eq!(render.simd(), SimdMode::Wide4);
+        assert_eq!(render.span(), SpanMode::RowSpans);
         let grouped = o.tuned_gstg_config(GstgConfig::paper_default());
         assert_eq!(grouped.prepass, PrepassMode::Exact);
         assert_eq!(grouped.simd(), SimdMode::Wide4);
+        assert_eq!(grouped.span(), SpanMode::RowSpans);
         // Default knobs leave the configurations untouched.
         let d = HarnessOptions::default();
         assert_eq!(

@@ -16,6 +16,7 @@
 use crate::csr::CsrScratch;
 use crate::image::Framebuffer;
 use crate::keysort::KeySortScratch;
+use crate::span::SpanScratch;
 use crate::splat::ProjectedGaussian;
 use crate::stats::RenderStats;
 use splat_types::Rgb;
@@ -35,6 +36,9 @@ pub struct FrameArena<T> {
     pub keys: KeySortScratch<T>,
     /// The recycled framebuffer frames are rasterized into.
     pub framebuffer: Framebuffer,
+    /// Scratch for the span-walk rasterizer (per-pixel blending state and
+    /// row-interval tables; empty while `SpanMode::Full` is in use).
+    pub span: SpanScratch,
 }
 
 impl<T: Copy> FrameArena<T> {
@@ -46,6 +50,7 @@ impl<T: Copy> FrameArena<T> {
             csr: CsrScratch::new(),
             keys: KeySortScratch::new(),
             framebuffer: Framebuffer::new(0, 0, Rgb::BLACK),
+            span: SpanScratch::new(),
         }
     }
 
@@ -57,6 +62,7 @@ impl<T: Copy> FrameArena<T> {
             + self.csr.footprint_bytes()
             + self.keys.footprint_bytes()
             + self.framebuffer.footprint_bytes()
+            + self.span.footprint_bytes()
     }
 }
 

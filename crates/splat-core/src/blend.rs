@@ -67,12 +67,26 @@ pub fn rasterize_tile_with(
     background: Rgb,
     simd: SimdMode,
 ) -> TileRaster {
+    debug_assert!(
+        rect.x1 >= rect.x0 && rect.y1 >= rect.y0,
+        "inverted tile rect {rect:?}"
+    );
     let x0 = rect.x0 as u32;
     let y0 = rect.y0 as u32;
     let x1 = rect.x1 as u32;
     let y1 = rect.y1 as u32;
     let width = x1.saturating_sub(x0);
     let height = y1.saturating_sub(y0);
+    if width == 0 || height == 0 {
+        // Degenerate rects rasterize nothing; return explicitly instead of
+        // silently looping over a zero-pixel region.
+        return TileRaster {
+            width,
+            height,
+            pixels: Vec::new(),
+            counts: StageCounts::new(),
+        };
+    }
     let mut pixels = vec![Rgb::BLACK; (width * height) as usize];
     let mut counts = StageCounts::new();
 
@@ -139,10 +153,17 @@ pub fn rasterize_tile_into_with(
     image: &mut crate::Framebuffer,
     counts: &mut StageCounts,
 ) {
+    debug_assert!(
+        rect.x1 >= rect.x0 && rect.y1 >= rect.y0,
+        "inverted tile rect {rect:?}"
+    );
     let x0 = rect.x0 as u32;
     let y0 = rect.y0 as u32;
     let x1 = rect.x1 as u32;
     let y1 = rect.y1 as u32;
+    if x1 <= x0 || y1 <= y0 {
+        return;
+    }
     for py in y0..y1 {
         match simd {
             SimdMode::Scalar => {
@@ -700,6 +721,44 @@ mod tests {
             assert_eq!(wide.counts, scalar.counts, "{mode:?}");
             assert_eq!(wide.pixels, scalar.pixels, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn degenerate_rects_rasterize_nothing() {
+        let (projected, order) = mixed_splats();
+        // Zero-width, zero-height and fully empty rects return an empty
+        // raster without charging any work.
+        for rect in [
+            TileRect::new(4.0, 2.0, 4.0, 9.0),
+            TileRect::new(3.0, 5.0, 11.0, 5.0),
+            TileRect::new(7.0, 7.0, 7.0, 7.0),
+        ] {
+            let out = rasterize_tile(&order, &projected, &rect, Rgb::WHITE);
+            assert_eq!(out.width * out.height, 0, "{rect:?}");
+            assert!(out.pixels.is_empty(), "{rect:?}");
+            assert_eq!(out.counts, StageCounts::new(), "{rect:?}");
+
+            let mut image = crate::Framebuffer::new(16, 16, Rgb::BLACK);
+            let mut counts = StageCounts::new();
+            rasterize_tile_into(
+                &order,
+                &projected,
+                &rect,
+                Rgb::WHITE,
+                &mut image,
+                &mut counts,
+            );
+            assert_eq!(counts, StageCounts::new(), "{rect:?}");
+            assert!(image.pixel(7, 7).max_abs_diff(Rgb::BLACK) < 1e-9);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inverted tile rect")]
+    fn inverted_rects_are_rejected_in_debug_builds() {
+        let rect = TileRect::new(10.0, 0.0, 2.0, 16.0);
+        let _ = rasterize_tile(&[], &[], &rect, Rgb::BLACK);
     }
 
     #[test]

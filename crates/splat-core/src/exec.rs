@@ -63,6 +63,38 @@ impl SimdMode {
     }
 }
 
+/// Pixel coverage strategy of the tile blending inner loop.
+///
+/// `RowSpans` walks, for every splat, only the per-row x-interval where the
+/// splat's α can reach the 1/255 cull threshold (solved analytically from
+/// the conic), and stops consuming a tile's sorted list once every pixel
+/// has fired its transmittance early-exit. Skipped work is exactly work the
+/// α-cull would have discarded, so both modes produce bit-identical pixels;
+/// only `StageCounts::alpha_computations` (and the span counters) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpanMode {
+    /// Every (pixel, splat) pair of the tile is evaluated (the reference
+    /// path).
+    #[default]
+    Full,
+    /// Per-splat conservative row intervals plus the tile-saturation
+    /// early-out.
+    RowSpans,
+}
+
+impl SpanMode {
+    /// Every mode, full walk first.
+    pub const ALL: [SpanMode; 2] = [SpanMode::Full, SpanMode::RowSpans];
+
+    /// Stable human-readable label (used by benches and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanMode::Full => "full",
+            SpanMode::RowSpans => "rows",
+        }
+    }
+}
+
 /// Execution parameters shared by every pipeline configuration.
 ///
 /// The struct is `#[non_exhaustive]`: construct it through
@@ -80,6 +112,9 @@ pub struct ExecutionConfig {
     /// Lane width of the chunked projection/blending kernels. Every mode is
     /// bit-identical; see [`SimdMode`].
     pub simd: SimdMode,
+    /// Pixel coverage strategy of the blending loop. Every mode is
+    /// bit-identical; see [`SpanMode`].
+    pub span: SpanMode,
 }
 
 impl Default for ExecutionConfig {
@@ -95,6 +130,7 @@ impl ExecutionConfig {
             threads: 1,
             model: ExecutionModel::default(),
             simd: SimdMode::default(),
+            span: SpanMode::default(),
         }
     }
 
@@ -105,6 +141,7 @@ impl ExecutionConfig {
             threads: threads.max(1),
             model: ExecutionModel::default(),
             simd: SimdMode::default(),
+            span: SpanMode::default(),
         }
     }
 
@@ -153,6 +190,12 @@ impl ExecutionConfigBuilder {
         self
     }
 
+    /// Sets the pixel coverage strategy of the blending loop.
+    pub fn span(mut self, span: SpanMode) -> Self {
+        self.config.span = span;
+        self
+    }
+
     /// Finishes the builder. Infallible: every field is clamped to its
     /// domain as it is set.
     pub fn build(self) -> ExecutionConfig {
@@ -195,6 +238,12 @@ pub trait HasExecution: Sized {
         self
     }
 
+    /// Returns a copy with the pixel coverage strategy replaced.
+    fn with_span(mut self, span: SpanMode) -> Self {
+        self.execution_mut().span = span;
+        self
+    }
+
     /// Shorthand for the configured worker thread count.
     fn threads(&self) -> usize {
         self.execution().threads
@@ -203,6 +252,11 @@ pub trait HasExecution: Sized {
     /// Shorthand for the configured SIMD mode.
     fn simd(&self) -> SimdMode {
         self.execution().simd
+    }
+
+    /// Shorthand for the configured span mode.
+    fn span(&self) -> SpanMode {
+        self.execution().span
     }
 }
 
@@ -271,6 +325,17 @@ mod tests {
         let exec = ExecutionConfig::sequential().with_simd(SimdMode::Wide4);
         assert_eq!(exec.simd(), SimdMode::Wide4);
         assert_eq!(ExecutionConfig::default().simd, SimdMode::Scalar);
+    }
+
+    #[test]
+    fn span_modes_expose_labels_and_the_builder_knob() {
+        assert_eq!(SpanMode::default(), SpanMode::Full);
+        assert_eq!(SpanMode::ALL.map(SpanMode::label), ["full", "rows"]);
+        let exec = ExecutionConfig::builder().span(SpanMode::RowSpans).build();
+        assert_eq!(exec.span, SpanMode::RowSpans);
+        let exec = ExecutionConfig::sequential().with_span(SpanMode::RowSpans);
+        assert_eq!(exec.span(), SpanMode::RowSpans);
+        assert_eq!(ExecutionConfig::default().span, SpanMode::Full);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod image;
 pub mod keysort;
 pub mod rect;
 pub mod schedule;
+pub mod span;
 pub mod splat;
 pub mod stage;
 pub mod stats;
@@ -58,11 +59,17 @@ pub use blend::{
     shade_pixel, TileRaster, ALPHA_CULL_THRESHOLD, ALPHA_MAX, TRANSMITTANCE_EPSILON,
 };
 pub use csr::{CsrAssignments, CsrScratch};
-pub use exec::{ExecutionConfig, ExecutionConfigBuilder, ExecutionModel, HasExecution, SimdMode};
+pub use exec::{
+    ExecutionConfig, ExecutionConfigBuilder, ExecutionModel, HasExecution, SimdMode, SpanMode,
+};
 pub use image::Framebuffer;
 pub use keysort::{depth_key, modeled_merge_comparisons, splat_key, KeySortRun, KeySortScratch};
 pub use rect::{TileRect, MAHALANOBIS_CUTOFF, SIGMA_EXTENT};
 pub use schedule::TileScheduler;
+pub use span::{
+    conservative_row_interval, rasterize_tile_spans_into_with, rasterize_tile_spans_with,
+    SpanScratch,
+};
 pub use splat::ProjectedGaussian;
 pub use stage::{run_timed, PipelineStage};
 pub use stats::{RenderStats, StageCounts};

@@ -63,6 +63,18 @@ pub struct StageCounts {
     pub early_exits: u64,
     /// Number of pixels rasterized.
     pub pixels: u64,
+    /// Conservative row intervals solved by the span-walk rasterizer
+    /// (one per (splat, still-live tile row) in `SpanMode::RowSpans`;
+    /// zero in `SpanMode::Full`).
+    pub span_rows_built: u64,
+    /// α-computations the span walk skipped because the pixel lay outside
+    /// its splat's conservative row interval. The reconciliation invariant
+    /// is `full.alpha_computations ==
+    /// span.alpha_computations + span.span_skipped_alpha`.
+    pub span_skipped_alpha: u64,
+    /// Tiles whose sorted list was abandoned early because every pixel had
+    /// already fired its transmittance exit (span mode only).
+    pub tile_saturation_exits: u64,
 }
 
 impl StageCounts {
@@ -124,6 +136,9 @@ impl Add for StageCounts {
             blend_operations: self.blend_operations + rhs.blend_operations,
             early_exits: self.early_exits + rhs.early_exits,
             pixels: self.pixels + rhs.pixels,
+            span_rows_built: self.span_rows_built + rhs.span_rows_built,
+            span_skipped_alpha: self.span_skipped_alpha + rhs.span_skipped_alpha,
+            tile_saturation_exits: self.tile_saturation_exits + rhs.tile_saturation_exits,
         }
     }
 }
@@ -152,10 +167,17 @@ pub struct RenderStats {
     pub sort_time: Duration,
     /// Wall-clock time of the rasterization stage.
     pub raster_time: Duration,
+    /// Wall-clock time spent building conservative row-interval tables
+    /// inside the rasterization stage (zero in `SpanMode::Full`). This is a
+    /// *portion* of [`raster_time`](Self::raster_time), not an additional
+    /// stage, so [`total_time`](Self::total_time) does not add it again.
+    pub span_build_time: Duration,
 }
 
 impl RenderStats {
-    /// Total measured wall-clock time.
+    /// Total measured wall-clock time. Excludes
+    /// [`span_build_time`](Self::span_build_time), which is already
+    /// contained in the rasterization window.
     pub fn total_time(&self) -> Duration {
         self.preprocess_time + self.identify_time + self.sort_time + self.raster_time
     }
@@ -223,6 +245,9 @@ mod tests {
             blend_operations: 10,
             early_exits: 11,
             pixels: 12,
+            span_rows_built: 18,
+            span_skipped_alpha: 19,
+            tile_saturation_exits: 20,
         };
         let mut b = a;
         b += a;
@@ -234,6 +259,9 @@ mod tests {
         assert_eq!(b.tiles_tested, 30);
         assert_eq!(b.tiles_hit, 32);
         assert_eq!(b.prepass_overcount_trimmed, 34);
+        assert_eq!(b.span_rows_built, 36);
+        assert_eq!(b.span_skipped_alpha, 38);
+        assert_eq!(b.tile_saturation_exits, 40);
     }
 
     #[test]

@@ -519,6 +519,14 @@ mod tests {
             shared.soa().footprint_bytes()
         );
         assert!(prepared.soa_footprint_bytes() > 0);
+        // Regression guard for the cached 3D covariances: the measured SoA
+        // footprint must account for at least the 20 f32 component arrays
+        // per splat (11 parameters + 9 covariance entries).
+        assert!(
+            prepared.soa_footprint_bytes()
+                >= prepared.splat_count() * 20 * std::mem::size_of::<f32>(),
+            "SoA footprint must include the cached covariance arrays"
+        );
         assert_eq!(
             registry.stats().resident_bytes,
             prepared.footprint_bytes(),

@@ -240,6 +240,12 @@ impl RenderConfigBuilder {
         self
     }
 
+    /// Sets the pixel coverage strategy of the blending loop.
+    pub fn span(mut self, span: splat_core::SpanMode) -> Self {
+        self.config = self.config.with_span(span);
+        self
+    }
+
     /// Sets the worker thread count (clamped to at least one).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config = self.config.with_threads(threads);
@@ -304,6 +310,21 @@ mod tests {
             PrepassMode::ALL.map(PrepassMode::label),
             ["conservative", "exact"]
         );
+    }
+
+    #[test]
+    fn span_knob_is_settable_through_builder_and_with() {
+        use splat_core::SpanMode;
+        let built = RenderConfig::builder()
+            .span(SpanMode::RowSpans)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(built.span(), SpanMode::RowSpans);
+        assert_eq!(
+            RenderConfig::default().with_span(SpanMode::RowSpans).span(),
+            SpanMode::RowSpans
+        );
+        assert_eq!(RenderConfig::default().span(), SpanMode::Full);
     }
 
     #[test]

@@ -208,6 +208,9 @@ mod tests {
             blend_operations: 200_000,
             early_exits: 100,
             pixels: 65_536,
+            span_rows_built: 0,
+            span_skipped_alpha: 0,
+            tile_saturation_exits: 0,
         }
     }
 

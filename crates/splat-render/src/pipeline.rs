@@ -13,8 +13,9 @@ use crate::preprocess::{preprocess, ProjectedGaussian};
 use crate::sort::sort_tiles;
 use crate::tiling::{identify_tiles_with, TileAssignments, TileGrid};
 use splat_core::{
-    rasterize_tile_with, run_timed, Framebuffer, HasExecution, PipelineStage, RenderBackend,
-    RenderRequest, RenderStats, StageCounts, TileScheduler,
+    rasterize_tile_spans_with, rasterize_tile_with, run_timed, Framebuffer, HasExecution,
+    PipelineStage, RenderBackend, RenderRequest, RenderStats, SpanMode, SpanScratch, StageCounts,
+    TileScheduler,
 };
 use splat_scene::Scene;
 use splat_types::{Camera, RenderError, Rgb};
@@ -94,18 +95,25 @@ struct RasterStage<'a> {
 }
 
 impl PipelineStage for RasterStage<'_> {
-    type Output = Framebuffer;
+    /// The rendered framebuffer plus the span-table build time spent inside
+    /// the raster window (zero in `SpanMode::Full`).
+    type Output = (Framebuffer, std::time::Duration);
 
     fn name(&self) -> &'static str {
         "raster"
     }
 
-    fn run(self, counts: &mut StageCounts) -> Framebuffer {
-        let (image, raster_counts) =
-            self.renderer
-                .rasterize(self.projected, self.assignments, self.camera);
-        *counts += raster_counts;
-        image
+    fn run(self, counts: &mut StageCounts) -> Self::Output {
+        let mut image = Framebuffer::new(0, 0, self.renderer.background);
+        let mut span = SpanScratch::new();
+        *counts += self.renderer.rasterize_into(
+            self.projected,
+            self.assignments,
+            self.camera,
+            &mut image,
+            &mut span,
+        );
+        (image, span.take_build_time())
     }
 }
 
@@ -188,7 +196,7 @@ impl Renderer {
             },
             &mut counts,
         );
-        let (image, raster_time) = run_timed(
+        let ((image, span_build_time), raster_time) = run_timed(
             RasterStage {
                 renderer: self,
                 projected: &projected,
@@ -206,6 +214,7 @@ impl Renderer {
                 identify_time: std::time::Duration::ZERO,
                 sort_time,
                 raster_time,
+                span_build_time,
             },
         }
     }
@@ -225,7 +234,8 @@ impl Renderer {
         // Start from an empty framebuffer: rasterize_into's reset performs
         // the one-and-only background fill.
         let mut image = Framebuffer::new(0, 0, self.background);
-        let counts = self.rasterize_into(projected, assignments, camera, &mut image);
+        let mut span = SpanScratch::new();
+        let counts = self.rasterize_into(projected, assignments, camera, &mut image, &mut span);
         (image, counts)
     }
 
@@ -243,6 +253,7 @@ impl Renderer {
         assignments: &TileAssignments,
         camera: &Camera,
         image: &mut Framebuffer,
+        span: &mut SpanScratch,
     ) -> StageCounts {
         let grid = *assignments.grid();
         image.reset(camera.width(), camera.height(), self.background);
@@ -252,15 +263,27 @@ impl Renderer {
             for tile in 0..grid.tile_count() {
                 let (tx, ty) = grid.tile_coords(tile);
                 let rect = grid.tile_rect(tx, ty);
-                splat_core::rasterize_tile_into_with(
-                    assignments.tile(tile),
-                    projected,
-                    &rect,
-                    self.background,
-                    self.config.simd(),
-                    image,
-                    &mut counts,
-                );
+                match self.config.span() {
+                    SpanMode::Full => splat_core::rasterize_tile_into_with(
+                        assignments.tile(tile),
+                        projected,
+                        &rect,
+                        self.background,
+                        self.config.simd(),
+                        image,
+                        &mut counts,
+                    ),
+                    SpanMode::RowSpans => splat_core::rasterize_tile_spans_into_with(
+                        assignments.tile(tile),
+                        projected,
+                        &rect,
+                        self.background,
+                        self.config.simd(),
+                        image,
+                        &mut counts,
+                        span,
+                    ),
+                }
             }
             return counts;
         }
@@ -269,18 +292,36 @@ impl Renderer {
         let tiles = scheduler.run(grid.tile_count(), |tile| {
             let (tx, ty) = grid.tile_coords(tile);
             let rect = grid.tile_rect(tx, ty);
-            let out = rasterize_tile_with(
-                assignments.tile(tile),
-                projected,
-                &rect,
-                self.background,
-                self.config.simd(),
-            );
-            (rect, out)
+            match self.config.span() {
+                SpanMode::Full => (
+                    rect,
+                    rasterize_tile_with(
+                        assignments.tile(tile),
+                        projected,
+                        &rect,
+                        self.background,
+                        self.config.simd(),
+                    ),
+                    std::time::Duration::ZERO,
+                ),
+                SpanMode::RowSpans => {
+                    let mut local = SpanScratch::new();
+                    let out = rasterize_tile_spans_with(
+                        assignments.tile(tile),
+                        projected,
+                        &rect,
+                        self.background,
+                        self.config.simd(),
+                        &mut local,
+                    );
+                    (rect, out, local.take_build_time())
+                }
+            }
         });
 
-        for (rect, out) in tiles {
+        for (rect, out, built) in tiles {
             counts += out.counts;
+            span.add_build_time(built);
             image.write_region(rect.x0 as u32, rect.y0 as u32, out.width, &out.pixels);
         }
         counts

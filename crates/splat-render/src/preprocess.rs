@@ -16,7 +16,7 @@ use crate::config::{RenderConfig, ALPHA_CULL_THRESHOLD};
 use crate::stats::StageCounts;
 use splat_core::SimdMode;
 use splat_scene::{Scene, SceneSoA};
-use splat_types::{eval_color, Camera, Gaussian3d, Mat2, Vec3};
+use splat_types::{eval_color, Camera, Gaussian3d, Mat2, Mat3, Vec3};
 
 pub use splat_core::ProjectedGaussian;
 
@@ -87,6 +87,8 @@ pub fn preprocess_into(
         }
 
         let view = camera.to_view(gaussian.position());
+        // No cached covariance here: re-quantized parameters differ from
+        // the full-precision splat the scene's SoA cache was built from.
         let splat = project_visible_splat(
             camera,
             index as u32,
@@ -94,6 +96,7 @@ pub fn preprocess_into(
             gaussian.position(),
             gaussian.scale(),
             gaussian.rotation(),
+            None,
             gaussian.opacity(),
             gaussian.sh().degree(),
             gaussian.sh().coefficients(),
@@ -193,6 +196,7 @@ fn project_soa_splat(
         position,
         scale,
         soa.rotation(i),
+        Some(soa.covariance(i)),
         opacity,
         soa.sh_degree(i),
         soa.sh_coefficients(i),
@@ -207,6 +211,11 @@ fn project_soa_splat(
 /// covariance projection and SH color evaluation. Every caller reaches
 /// this with the same scalar values, so the AoS and SoA paths agree
 /// bit-for-bit.
+///
+/// `cov3d_hint` carries the scene's cached view-independent 3D covariance
+/// ([`SceneSoA::covariance`]); `None` recomputes it from `scale` and
+/// `rotation`, which the cache stores bit-exactly, so the hint never
+/// changes a projected splat.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn project_visible_splat(
@@ -216,6 +225,7 @@ fn project_visible_splat(
     position: Vec3,
     scale: Vec3,
     rotation: splat_types::Quat,
+    cov3d_hint: Option<Mat3>,
     opacity: f32,
     sh_degree: usize,
     sh_coefficients: &[splat_types::Rgb],
@@ -250,7 +260,7 @@ fn project_visible_splat(
     let jacobian = camera.projection_jacobian(clamped_view);
     let view_rot = camera.view_rotation();
     let t = jacobian * view_rot;
-    let cov3d = Gaussian3d::covariance_of(scale, rotation);
+    let cov3d = cov3d_hint.unwrap_or_else(|| Gaussian3d::covariance_of(scale, rotation));
     let cov2d_full = t * cov3d * t.transpose();
     // Low-pass filter: guarantee a minimum footprint of ~0.3 px so
     // sub-pixel splats still contribute (as in the reference code).

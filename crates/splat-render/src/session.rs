@@ -106,8 +106,10 @@ impl RenderSession {
             &self.assignments,
             camera,
             &mut self.arena.framebuffer,
+            &mut self.arena.span,
         );
         let raster_time = start.elapsed();
+        let span_build_time = self.arena.span.take_build_time();
 
         SessionFrame {
             image: &self.arena.framebuffer,
@@ -117,6 +119,7 @@ impl RenderSession {
                 identify_time,
                 sort_time,
                 raster_time,
+                span_build_time,
             },
         }
     }

@@ -1,7 +1,7 @@
 //! The [`Scene`] container holding a cloud of 3D Gaussian splats.
 
 use crate::stats::SceneStats;
-use splat_types::{Gaussian3d, Precision, Quat, Rgb, Vec3};
+use splat_types::{Gaussian3d, Mat3, Precision, Quat, Rgb, Vec3};
 use std::sync::{Arc, OnceLock};
 
 /// Structure-of-arrays view of a scene's splat parameters.
@@ -15,6 +15,14 @@ use std::sync::{Arc, OnceLock};
 /// The view is derived data: it is built lazily from the AoS storage via
 /// [`Scene::soa`] and holds exactly the same values, so any kernel
 /// consuming it is bit-identical to one reading the records directly.
+///
+/// Besides the raw splat parameters the view caches each splat's
+/// view-independent 3D covariance `R·S·Sᵀ·Rᵀ`
+/// ([`Gaussian3d::covariance_of`]), so per-frame preprocessing does not
+/// recompute the rotation-matrix products for every camera pose. All nine
+/// entries are stored — f32 matrix products are not guaranteed to round
+/// symmetrically, and [`SceneSoA::covariance`] must reproduce the original
+/// matrix bit-exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SceneSoA {
     pos_x: Vec<f32>,
@@ -28,6 +36,7 @@ pub struct SceneSoA {
     rot_y: Vec<f32>,
     rot_z: Vec<f32>,
     opacity: Vec<f32>,
+    cov: [Vec<f32>; 9],
     sh_degree: Vec<u8>,
     sh_coeffs: Vec<Rgb>,
     sh_offsets: Vec<u32>,
@@ -49,6 +58,7 @@ impl SceneSoA {
             rot_y: Vec::with_capacity(n),
             rot_z: Vec::with_capacity(n),
             opacity: Vec::with_capacity(n),
+            cov: std::array::from_fn(|_| Vec::with_capacity(n)),
             sh_degree: Vec::with_capacity(n),
             sh_coeffs: Vec::new(),
             sh_offsets: Vec::with_capacity(n + 1),
@@ -69,6 +79,12 @@ impl SceneSoA {
             soa.rot_y.push(q.y);
             soa.rot_z.push(q.z);
             soa.opacity.push(g.opacity());
+            let cov = Gaussian3d::covariance_of(s, q);
+            for (r, row) in soa.cov.chunks_exact_mut(3).enumerate() {
+                for (c, column) in row.iter_mut().enumerate() {
+                    column.push(cov.at(r, c));
+                }
+            }
             soa.sh_degree.push(g.sh().degree() as u8);
             soa.sh_coeffs.extend_from_slice(g.sh().coefficients());
             soa.sh_offsets.push(soa.sh_coeffs.len() as u32);
@@ -130,6 +146,24 @@ impl SceneSoA {
         &self.opacity
     }
 
+    /// Cached view-independent 3D covariance of splat `i`, bit-identical
+    /// to recomputing [`Gaussian3d::covariance_of`] from the splat's scale
+    /// and rotation.
+    #[inline]
+    pub fn covariance(&self, i: usize) -> Mat3 {
+        Mat3::from_rows(
+            self.cov[0][i],
+            self.cov[1][i],
+            self.cov[2][i],
+            self.cov[3][i],
+            self.cov[4][i],
+            self.cov[5][i],
+            self.cov[6][i],
+            self.cov[7][i],
+            self.cov[8][i],
+        )
+    }
+
     /// SH degree of splat `i`.
     #[inline]
     pub fn sh_degree(&self, i: usize) -> usize {
@@ -147,7 +181,8 @@ impl SceneSoA {
     /// serving engine reports it separately so residency budgets keep
     /// their historical meaning.
     pub fn footprint_bytes(&self) -> usize {
-        let f32s = self.pos_x.len() * 11; // 3 pos + 3 scale + 4 rot + 1 opacity
+        // 3 pos + 3 scale + 4 rot + 1 opacity + 9 cached covariance.
+        let f32s = self.pos_x.len() * 20;
         f32s * std::mem::size_of::<f32>()
             + self.sh_degree.len()
             + self.sh_coeffs.len() * std::mem::size_of::<Rgb>()
@@ -447,6 +482,17 @@ mod tests {
             assert_eq!(soa.opacity()[i].to_bits(), g.opacity().to_bits());
             assert_eq!(soa.sh_degree(i), g.sh().degree());
             assert_eq!(soa.sh_coefficients(i), g.sh().coefficients());
+            let fresh = Gaussian3d::covariance_of(g.scale(), g.rotation());
+            let cached = soa.covariance(i);
+            for r in 0..3 {
+                for c in 0..3 {
+                    assert_eq!(
+                        cached.at(r, c).to_bits(),
+                        fresh.at(r, c).to_bits(),
+                        "covariance entry ({r},{c}) of splat {i} must be cached bit-exactly"
+                    );
+                }
+            }
         }
     }
 
@@ -464,10 +510,10 @@ mod tests {
     #[test]
     fn soa_footprint_counts_every_component_array() {
         let scene = Scene::new("e", 8, 8, (0..10).map(|_| splat_at(Vec3::ZERO)).collect());
-        // Degree-0: 11 f32 components + 1 degree byte + 1 Rgb coefficient
-        // per splat, plus the 11-entry u32 offset table (len + 1) and its
-        // leading zero.
-        let expected = 10 * (11 * 4 + 1 + 12) + 11 * 4;
+        // Degree-0: 11 parameter f32s + 9 cached covariance f32s + 1
+        // degree byte + 1 Rgb coefficient per splat, plus the 11-entry u32
+        // offset table (len + 1) and its leading zero.
+        let expected = 10 * (20 * 4 + 1 + 12) + 11 * 4;
         assert_eq!(scene.soa().footprint_bytes(), expected);
     }
 

@@ -81,7 +81,7 @@ pub mod prelude {
     pub use splat_accel::{AccelConfig, PipelineVariant, Simulator};
     pub use splat_core::{
         ExecutionConfig, ExecutionModel, FrameArena, HasExecution, RenderBackend, RenderOutput,
-        RenderRequest, SessionFrame, SimdMode, StageCounts,
+        RenderRequest, SessionFrame, SimdMode, SpanMode, StageCounts,
     };
     pub use splat_engine::{
         AdmissionPolicy, Backend, Engine, EngineBuilder, EngineStats, JobHandle, JobStatus,

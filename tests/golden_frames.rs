@@ -110,6 +110,46 @@ fn golden_digests_hold_across_simd_modes_and_exact_prepass() {
 }
 
 #[test]
+fn golden_digests_hold_across_span_modes() {
+    // The span walk is a raster work-elimination knob: conservative
+    // per-row intervals plus the tile-saturation early-out must not move a
+    // single bit relative to the pinned full-walk digests, for either
+    // pipeline, any SIMD width or thread count.
+    for (paper_scene, golden) in GOLDEN {
+        let scene = paper_scene.build(SceneScale::Tiny, 0);
+        let camera = camera();
+        for span in SpanMode::ALL {
+            for simd in SimdMode::ALL {
+                for threads in [1usize, 4] {
+                    let baseline = Renderer::new(
+                        RenderConfig::default()
+                            .with_threads(threads)
+                            .with_simd(simd)
+                            .with_span(span),
+                    )
+                    .render(&scene, &camera);
+                    let grouped = GstgRenderer::new(
+                        GstgConfig::paper_default()
+                            .with_threads(threads)
+                            .with_simd(simd)
+                            .with_span(span),
+                    )
+                    .render(&scene, &camera);
+                    for (pipeline, output) in [("baseline", &baseline), ("gstg", &grouped)] {
+                        let digest = frame_digest(&output.image);
+                        assert_eq!(
+                            digest, golden,
+                            "{paper_scene:?}/{pipeline}/{span:?}/{simd:?}/threads={threads}: \
+                             raster drift! expected {golden:#018x}, actual {digest:#018x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn digest_is_sensitive_to_a_single_pixel_bit() {
     let scene = PaperScene::Train.build(SceneScale::Tiny, 0);
     let camera = camera();
