@@ -124,6 +124,7 @@ impl GstgConfig {
     /// both group identification and bitmask generation.
     pub fn paper_default() -> Self {
         Self::new(16, 64, BoundaryMethod::Ellipse, BoundaryMethod::Ellipse)
+            // lint:allow(no-panic-paths): constant literal configuration, pinned by construction tests
             .expect("paper configuration is valid")
     }
 

@@ -58,5 +58,6 @@ pub mod sim;
 pub use config::{AccelConfig, AccelConfigBuilder};
 pub use dram::{DramModel, DramTraffic};
 pub use energy::{EnergyBreakdown, PowerTable};
+pub use gscore::GscoreConfig;
 pub use report::{ComparisonReport, SimReport, StageCycles};
 pub use sim::{PipelineVariant, Simulator};

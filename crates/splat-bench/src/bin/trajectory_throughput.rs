@@ -50,6 +50,11 @@ struct CountingAllocator;
 static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
 static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// The one justified `unsafe` in the workspace (`unsafe_code` is denied
+// crate-wide and forbidden everywhere else): a `GlobalAlloc` impl cannot
+// be written without it, and the counting allocator is what lets the
+// steady-state zero-allocation invariant fail loudly.
+#[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
@@ -208,7 +213,7 @@ fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, he
          \"span_rows_built\":{},\"span_skipped_alpha\":{},\"tile_saturation_exits\":{},\
          \"warmup_bytes\":{},\"steady_bytes_total\":{},\"steady_bytes_per_frame\":{:.3},\
          \"steady_max_frame_bytes\":{},\"steady_allocation_calls\":{},\
-         \"arena_footprint_bytes\":{},\"checksum_luminance\":{:.6}}}",
+         \"arena_footprint_bytes\":{},\"checksum_luminance\":{:.6},\"counts\":{}}}",
         report.name,
         options.scale,
         options.prepass,
@@ -238,6 +243,7 @@ fn report_json(report: &PipelineReport, options: &HarnessOptions, width: u32, he
         steady.allocation_calls,
         report.footprint_bytes,
         steady.checksum,
+        steady.counts.to_json(),
     );
 }
 

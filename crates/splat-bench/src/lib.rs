@@ -351,6 +351,7 @@ pub fn run_engine_batch(
         .render_config(options.tuned_render_config(RenderConfig::default()))
         .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
+        // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
         .expect("default pipeline configurations are valid");
     let requests: Vec<RenderRequest<'_>> = cameras
         .iter()
@@ -364,6 +365,7 @@ pub fn run_engine_batch(
     for result in &results {
         let output = result
             .as_ref()
+            // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             .unwrap_or_else(|error| panic!("engine rejected a harness request: {error}"));
         checksum += f64::from(output.image.mean_luminance());
     }
@@ -473,6 +475,7 @@ pub fn run_engine_submit(
         .render_config(options.tuned_render_config(RenderConfig::default()))
         .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
+        // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
         .expect("default pipeline configurations are valid");
     run_submit_on(engine, backend, workers, scene, None, cameras)
 }
@@ -502,9 +505,11 @@ pub fn run_engine_submit_registry(
         .render_config(options.tuned_render_config(RenderConfig::default()))
         .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
+        // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
         .expect("default pipeline configurations are valid");
     let id = engine
         .register_scene(Arc::clone(scene))
+        // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
         .expect("harness scenes are non-empty");
     run_submit_on(engine, backend, workers, scene, Some(id), cameras)
 }
@@ -531,6 +536,7 @@ fn run_submit_on(
             .map(|camera| {
                 engine
                     .submit(SubmitRequest::new(scene_ref.clone(), *camera))
+                    // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
                     .expect("blocking admission never rejects")
             })
             .collect();
@@ -538,6 +544,7 @@ fn run_submit_on(
         for handle in handles {
             let output = handle
                 .wait()
+                // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
                 .unwrap_or_else(|error| panic!("engine rejected a harness request: {error}"));
             checksum += f64::from(output.image.mean_luminance());
         }
@@ -557,8 +564,10 @@ fn run_submit_on(
         let start = Instant::now();
         let output = engine
             .submit(SubmitRequest::new(scene_ref.clone(), *camera))
+            // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             .expect("blocking admission never rejects")
             .wait()
+            // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             .expect("valid request");
         let trip = start.elapsed();
         assert!(output.image.pixel_count() > 0);
@@ -580,16 +589,20 @@ fn run_submit_on(
     // Registry mode: exercise the slow-timescale controls so the counters
     // in the JSON output are non-trivial (and checkable).
     if let Some(id) = id {
+        // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
         engine.evict_scene(id).expect("scene is resident");
         match engine.submit(SubmitRequest::new(id, cameras[0])) {
             Err(RenderError::Evicted { id: missed }) if missed == id => {}
+            // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             other => panic!("evicted handle must miss with Evicted, got {other:?}"),
         }
         let again = engine
             .register_scene(Arc::clone(scene))
+            // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             .expect("re-registration succeeds");
         let prepared = engine
             .prepared_scene(again)
+            // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             .expect("re-registered scene is resident");
         assert!(prepared.footprint_bytes() > 0);
     }

@@ -71,6 +71,7 @@ impl TileScheduler {
                 .collect();
             let mut results = Vec::with_capacity(job_count);
             for handle in handles {
+                // lint:allow(no-panic-paths): re-raising a worker panic is the only sound option
                 results.extend(handle.join().expect("scheduler worker panicked"));
             }
             results

@@ -6,6 +6,7 @@
 //! increments the counters defined here, and the cost model converts them
 //! into normalized stage times.
 
+use std::fmt;
 use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
@@ -111,6 +112,86 @@ impl StageCounts {
         } else {
             1.0 - self.blend_operations as f64 / self.alpha_computations as f64
         }
+    }
+
+    /// One machine-readable JSON object covering **every** counter field.
+    /// The bench binaries embed this under their `"counts"` key, so a field
+    /// added here is automatically visible to the drift checks (and
+    /// `splat-lint`'s `counter-coverage` rule fails the build if a new
+    /// field is left out of this emitter).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"input_gaussians\":{},\"culled_gaussians\":{},\"visible_gaussians\":{},\
+             \"tile_tests\":{},\"tile_intersections\":{},\"tiles_tested\":{},\
+             \"tiles_hit\":{},\"prepass_overcount_trimmed\":{},\"bitmask_tests\":{},\
+             \"sort_comparisons\":{},\"sort_keys\":{},\"radix_passes\":{},\
+             \"bitmask_filter_ops\":{},\"alpha_computations\":{},\"blend_operations\":{},\
+             \"early_exits\":{},\"pixels\":{},\"span_rows_built\":{},\
+             \"span_skipped_alpha\":{},\"tile_saturation_exits\":{}}}",
+            self.input_gaussians,
+            self.culled_gaussians,
+            self.visible_gaussians,
+            self.tile_tests,
+            self.tile_intersections,
+            self.tiles_tested,
+            self.tiles_hit,
+            self.prepass_overcount_trimmed,
+            self.bitmask_tests,
+            self.sort_comparisons,
+            self.sort_keys,
+            self.radix_passes,
+            self.bitmask_filter_ops,
+            self.alpha_computations,
+            self.blend_operations,
+            self.early_exits,
+            self.pixels,
+            self.span_rows_built,
+            self.span_skipped_alpha,
+            self.tile_saturation_exits,
+        )
+    }
+}
+
+impl fmt::Display for StageCounts {
+    /// Human-readable stage-by-stage report, one counter per line, in
+    /// pipeline order. Like [`to_json`](Self::to_json) this covers every
+    /// field — `counter-coverage` pins the invariant.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "preprocess: {} input, {} culled, {} visible",
+            self.input_gaussians, self.culled_gaussians, self.visible_gaussians
+        )?;
+        writeln!(
+            f,
+            "identify:   {} tile_tests, {} tiles_tested, {} tiles_hit, \
+             {} tile_intersections, {} prepass_overcount_trimmed, {} bitmask_tests",
+            self.tile_tests,
+            self.tiles_tested,
+            self.tiles_hit,
+            self.tile_intersections,
+            self.prepass_overcount_trimmed,
+            self.bitmask_tests
+        )?;
+        writeln!(
+            f,
+            "sort:       {} sort_keys, {} radix_passes, {} sort_comparisons (modeled)",
+            self.sort_keys, self.radix_passes, self.sort_comparisons
+        )?;
+        write!(
+            f,
+            "raster:     {} pixels, {} alpha_computations, {} blend_operations, \
+             {} early_exits, {} bitmask_filter_ops, {} span_rows_built, \
+             {} span_skipped_alpha, {} tile_saturation_exits",
+            self.pixels,
+            self.alpha_computations,
+            self.blend_operations,
+            self.early_exits,
+            self.bitmask_filter_ops,
+            self.span_rows_built,
+            self.span_skipped_alpha,
+            self.tile_saturation_exits
+        )
     }
 }
 
@@ -262,6 +343,69 @@ mod tests {
         assert_eq!(b.span_rows_built, 36);
         assert_eq!(b.span_skipped_alpha, 38);
         assert_eq!(b.tile_saturation_exits, 40);
+    }
+
+    #[test]
+    fn json_and_display_cover_every_counter() {
+        let c = StageCounts {
+            input_gaussians: 1,
+            culled_gaussians: 2,
+            visible_gaussians: 3,
+            tile_tests: 4,
+            tile_intersections: 5,
+            tiles_tested: 6,
+            tiles_hit: 7,
+            prepass_overcount_trimmed: 8,
+            bitmask_tests: 9,
+            sort_comparisons: 10,
+            sort_keys: 11,
+            radix_passes: 12,
+            bitmask_filter_ops: 13,
+            alpha_computations: 14,
+            blend_operations: 15,
+            early_exits: 16,
+            pixels: 17,
+            span_rows_built: 18,
+            span_skipped_alpha: 19,
+            tile_saturation_exits: 20,
+        };
+        let json = c.to_json();
+        let text = c.to_string();
+        for (key, value) in [
+            ("input_gaussians", 1u64),
+            ("culled_gaussians", 2),
+            ("visible_gaussians", 3),
+            ("tile_tests", 4),
+            ("tile_intersections", 5),
+            ("tiles_tested", 6),
+            ("tiles_hit", 7),
+            ("prepass_overcount_trimmed", 8),
+            ("bitmask_tests", 9),
+            ("sort_comparisons", 10),
+            ("sort_keys", 11),
+            ("radix_passes", 12),
+            ("bitmask_filter_ops", 13),
+            ("alpha_computations", 14),
+            ("blend_operations", 15),
+            ("early_exits", 16),
+            ("pixels", 17),
+            ("span_rows_built", 18),
+            ("span_skipped_alpha", 19),
+            ("tile_saturation_exits", 20),
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":{value}")),
+                "missing {key} in {json}"
+            );
+            // Display names every non-preprocess counter explicitly.
+            if !["input_gaussians", "culled_gaussians", "visible_gaussians"].contains(&key) {
+                assert!(
+                    text.contains(&format!("{value} {key}")),
+                    "missing {key} in {text}"
+                );
+            }
+        }
+        assert!(text.contains("1 input, 2 culled, 3 visible"));
     }
 
     #[test]

@@ -149,13 +149,17 @@ impl JobQueue {
                 AdmissionPolicy::ShedLowPriority { .. } => {
                     // The incoming job is by definition the latest arrival,
                     // so on a full (priority, cost) tie it is the one shed.
-                    let victim_index = inner
+                    let Some(victim_index) = inner
                         .jobs
                         .iter()
                         .enumerate()
                         .min_by_key(|(_, job)| job.shed_key())
                         .map(|(index, _)| index)
-                        .expect("queue is full, so at least one job is queued");
+                    else {
+                        // An empty queue cannot be full: there is room, so
+                        // fall through to admission.
+                        break;
+                    };
                     let victim = &inner.jobs[victim_index];
                     let incoming_key = (priority, Reverse(cost), Reverse(u64::MAX));
                     if incoming_key <= victim.shed_key() {
@@ -198,12 +202,20 @@ impl JobQueue {
     /// when the queue shut down (drained empty, or aborted).
     pub(crate) fn pop(&self) -> Option<Job> {
         let mut inner = self.lock();
-        loop {
+        let index = loop {
             if inner.aborted {
                 return None;
             }
-            if !inner.paused && !inner.jobs.is_empty() {
-                break;
+            if !inner.paused {
+                if let Some(index) = inner
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, job)| job.dispatch_key())
+                    .map(|(index, _)| index)
+                {
+                    break index;
+                }
             }
             if inner.draining && inner.jobs.is_empty() {
                 return None;
@@ -212,14 +224,7 @@ impl JobQueue {
                 .not_empty
                 .wait(inner)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
-        }
-        let index = inner
-            .jobs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, job)| job.dispatch_key())
-            .map(|(index, _)| index)
-            .expect("loop breaks only on a non-empty queue");
+        };
         let job = inner.jobs.swap_remove(index);
         inner.counters.active += 1;
         drop(inner);

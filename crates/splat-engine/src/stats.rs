@@ -94,8 +94,8 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "submitted {} / completed {} / rejected {} / cancelled {} / \
-             queued {} / active {} / high water {} / scenes {} resident \
-             ({} B, {} evicted, {} hits, {} misses)",
+             queued {} / active {} / high water {} / scenes {} registered, \
+             {} resident ({} B, {} evicted, {} hits, {} misses)",
             self.submitted,
             self.completed,
             self.rejected,
@@ -103,6 +103,7 @@ impl std::fmt::Display for EngineStats {
             self.queued,
             self.active,
             self.queue_high_water,
+            self.registered,
             self.resident_scenes,
             self.resident_bytes,
             self.evicted,
@@ -162,6 +163,7 @@ mod tests {
             assert!(json.contains(field), "missing {field} in {json}");
         }
         assert!(stats.to_string().contains("high water 4"));
+        assert!(stats.to_string().contains("3 registered"));
         assert!(stats.to_string().contains("2 resident"));
         assert!(stats.to_string().contains("1 evicted"));
     }

@@ -1,0 +1,398 @@
+//! A small Rust lexer: just enough tokenization that rules match real
+//! code, never text inside comments or string literals.
+//!
+//! The lexer understands line comments (`//`, `///`, `//!`), block
+//! comments with nesting (`/* /* */ */`), string/char/byte literals with
+//! escapes, raw (byte) strings with arbitrary `#` fences, lifetimes vs
+//! char literals, numbers, identifiers and single-character punctuation.
+//! It deliberately does *not* build multi-character operators: rules that
+//! need `::` or `![` inspect adjacent tokens instead.
+
+/// What a token is. Comments are kept (the waiver syntax lives in them);
+/// whitespace is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `let`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — not a char literal.
+    Lifetime,
+    /// A string, raw-string, byte-string, char or numeric literal.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+    /// A line or block comment, delimiters included.
+    Comment,
+}
+
+/// One token, with its byte span and 1-based source position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == word
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+}
+
+/// Tokenizes `src`. The lexer is total: any byte sequence produces a
+/// token stream (unknown bytes become punctuation), so a half-written
+/// file still lints instead of crashing the linter.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if let Some(b) = self.bytes.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Comment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::Comment, start, line, col);
+                }
+                b'r' | b'b' if self.raw_string_fence().is_some() => {
+                    let hashes = self.raw_string_fence().unwrap_or(0);
+                    self.raw_string(hashes);
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump();
+                    self.quoted_string(b'"');
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump();
+                    self.quoted_string(b'\'');
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'"' => {
+                    self.quoted_string(b'"');
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'\'' => self.lifetime_or_char(start, line, col),
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    // `r#ident` raw identifiers: the `r#` is consumed as
+                    // part of the identifier so `r#match` is one token.
+                    if (b == b'r')
+                        && self.peek(1) == Some(b'#')
+                        && self.peek(2).is_some_and(is_ident_continue)
+                    {
+                        self.bump_n(2);
+                    }
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    // Multi-byte UTF-8 scalars (only legal in comments,
+                    // strings and idents, all handled above) and ASCII
+                    // punctuation both land here; consume one scalar.
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    self.bump_n(ch.len_utf8());
+                    self.push(TokenKind::Punct(ch), start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// `/* ... */` with nesting; consumes through the closing `*/` (or to
+    /// EOF for an unterminated comment).
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw (byte) string opener (`r"`, `r#"`,
+    /// `br##"`, …), returns the number of `#`s in the fence.
+    fn raw_string_fence(&self) -> Option<usize> {
+        let mut ahead = 1; // past the `r` / `b`
+        if self.peek(0) == Some(b'b') {
+            if self.peek(1) != Some(b'r') {
+                return None;
+            }
+            ahead = 2;
+        }
+        let mut hashes = 0;
+        while self.peek(ahead) == Some(b'#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        (self.peek(ahead) == Some(b'"')).then_some(hashes)
+    }
+
+    /// Consumes a raw string with `hashes` `#`s in its fence, opener and
+    /// closer included. Escapes are inert inside raw strings.
+    fn raw_string(&mut self, hashes: usize) {
+        while matches!(self.peek(0), Some(b) if b != b'"') {
+            self.bump();
+        }
+        if self.peek(0).is_none() {
+            return;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    let closed = (0..hashes).all(|i| self.peek(1 + i) == Some(b'#'));
+                    self.bump();
+                    if closed {
+                        self.bump_n(hashes);
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a `"…"` or `'…'` literal starting at the opening quote,
+    /// honouring `\` escapes.
+    fn quoted_string(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => self.bump_n(2),
+                Some(b) if b == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// A `'` starts either a lifetime (`'a`) or a char literal (`'a'`,
+    /// `'\n'`). A lifetime is `'` + ident with no closing quote.
+    fn lifetime_or_char(&mut self, start: usize, line: u32, col: u32) {
+        if self.peek(1) == Some(b'\\') {
+            self.quoted_string(b'\'');
+            self.push(TokenKind::Literal, start, line, col);
+            return;
+        }
+        // `'a'` is a char, `'a` / `'ab` a lifetime: scan the ident run
+        // after the quote and look for a closing quote right behind it.
+        let mut ahead = 1;
+        while self.peek(ahead).is_some_and(is_ident_continue) {
+            ahead += 1;
+        }
+        if ahead > 1 && self.peek(ahead) != Some(b'\'') {
+            self.bump_n(ahead);
+            self.push(TokenKind::Lifetime, start, line, col);
+        } else {
+            self.quoted_string(b'\'');
+            self.push(TokenKind::Literal, start, line, col);
+        }
+    }
+
+    /// Numeric literal: digits, `_`, radix prefixes, a fractional part
+    /// when followed by a digit (so `0..10` stays three tokens), and
+    /// exponent/suffix letters.
+    fn number(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still */");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes() {
+        let src = r####"let s = r#"she said "unwrap()" loudly"#;"####;
+        let toks = kinds(src);
+        let lit = toks.iter().find(|(k, _)| *k == TokenKind::Literal).unwrap();
+        assert!(lit.1.contains("unwrap()"));
+        // No Ident token `unwrap` escaped the literal.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let toks = kinds(r#"x("a \" panic!() \\", y)"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Literal && t.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_and_column_positions_are_one_based() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn floats_and_ranges_lex_apart() {
+        let toks = kinds("1.5 0..10 0xFF 1e-3 2u64");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lits, ["1.5", "0", "10", "0xFF", "1e", "3", "2u64"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"let b = b"expect("; let rb = br#"panic!"#;"##);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "expect" || t == "panic")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+}

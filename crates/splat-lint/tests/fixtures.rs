@@ -1,0 +1,156 @@
+//! End-to-end fixture tests: each rule fires on its fixture tree with the
+//! exact `file:line` the violation sits on, waivers suppress exactly once,
+//! and the CLI exits non-zero on a dirty tree (zero on a waived one).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use splat_lint::{check_workspace, Severity};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// `(rule, file, line)` triples reported for a fixture root.
+fn findings(name: &str) -> Vec<(String, String, u32)> {
+    check_workspace(&fixture(name))
+        .expect("fixture walks cleanly")
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.rule, d.file, d.line))
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_dirty_fixture_at_the_right_location() {
+    let found = findings("dirty");
+    let expect = |rule: &str, file: &str, line: u32| {
+        assert!(
+            found
+                .iter()
+                .any(|(r, f, l)| r == rule && f == file && *l == line),
+            "missing {rule} at {file}:{line} in {found:#?}"
+        );
+    };
+
+    // no-panic-paths: the unwrap and the todo!.
+    expect("no-panic-paths", "crates/gstg/src/lib.rs", 2);
+    expect("no-panic-paths", "crates/gstg/src/lib.rs", 6);
+
+    // no-nondeterminism: HashMap (use + type + constructor) and
+    // Instant::now.
+    expect("no-nondeterminism", "crates/splat-render/src/lib.rs", 1);
+    expect("no-nondeterminism", "crates/splat-render/src/lib.rs", 5);
+    expect("no-nondeterminism", "crates/splat-render/src/lib.rs", 6);
+
+    // lock-discipline: the nested queue lock under the registry guard,
+    // and the heavy `prepare` call under a guard.
+    expect("lock-discipline", "crates/splat-engine/src/lib.rs", 11);
+    expect("lock-discipline", "crates/splat-engine/src/lib.rs", 17);
+
+    // counter-coverage: `phantom_ops` misses JSON, Display and tests/ —
+    // three findings on the field's line.
+    let phantom = found
+        .iter()
+        .filter(|(r, f, l)| {
+            r == "counter-coverage" && f == "crates/splat-core/src/stats.rs" && *l == 2
+        })
+        .count();
+    assert_eq!(phantom, 3, "JSON + Display + tests findings: {found:#?}");
+
+    // error-coverage: `Overloaded` is absent from tests/error_paths.rs.
+    expect("error-coverage", "crates/splat-types/src/error.rs", 3);
+
+    // prelude-coverage: `SkewConfig` is not re-exported.
+    expect("prelude-coverage", "crates/splat-render/src/lib.rs", 10);
+
+    // No rule misfires on the covered `EmptyScene` variant.
+    assert!(
+        !found.iter().any(|(r, f, l)| r == "error-coverage"
+            && f == "crates/splat-types/src/error.rs"
+            && *l == 2),
+        "EmptyScene is exercised and must not be reported"
+    );
+}
+
+#[test]
+fn waived_fixture_is_clean_and_stale_waivers_are_errors() {
+    assert_eq!(findings("waived"), Vec::<(String, String, u32)>::new());
+
+    let stale = findings("stale");
+    assert!(
+        stale
+            .iter()
+            .any(|(r, f, l)| r == "unused-waiver" && f == "crates/gstg/src/lib.rs" && *l == 1),
+        "{stale:#?}"
+    );
+    assert!(
+        stale
+            .iter()
+            .any(|(r, _, l)| r == "waiver-syntax" && *l == 3),
+        "unknown rule name: {stale:#?}"
+    );
+    assert!(
+        stale
+            .iter()
+            .any(|(r, _, l)| r == "waiver-syntax" && *l == 4),
+        "missing reason: {stale:#?}"
+    );
+    // All meta-findings are errors: the CLI must fail on them.
+    let report = check_workspace(&fixture("stale")).expect("fixture walks cleanly");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn cli_exits_nonzero_on_dirty_trees_with_machine_readable_locations() {
+    let bin = env!("CARGO_BIN_EXE_splat-lint");
+
+    let dirty = Command::new(bin)
+        .args(["check", "--json", "--root"])
+        .arg(fixture("dirty"))
+        .output()
+        .expect("CLI runs");
+    assert!(!dirty.status.success(), "dirty fixture must fail the check");
+    let json = String::from_utf8(dirty.stdout).expect("UTF-8 JSON");
+    for fragment in [
+        "\"file\":\"crates/gstg/src/lib.rs\",\"line\":2",
+        "\"rule\":\"no-panic-paths\"",
+        "\"rule\":\"lock-discipline\"",
+        "\"rule\":\"counter-coverage\"",
+    ] {
+        assert!(json.contains(fragment), "missing {fragment} in {json}");
+    }
+
+    let waived = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(fixture("waived"))
+        .output()
+        .expect("CLI runs");
+    assert!(
+        waived.status.success(),
+        "waived fixture must pass: {}",
+        String::from_utf8_lossy(&waived.stdout)
+    );
+}
+
+/// The acceptance-criteria scenario, end to end on a real tree: adding a
+/// `StageCounts` field without emitter/Display/test coverage makes the
+/// check fail.
+#[test]
+fn an_uncovered_scratch_counter_field_fails_the_check() {
+    let report = check_workspace(&fixture("dirty")).expect("fixture walks cleanly");
+    let uncovered: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "counter-coverage")
+        .collect();
+    assert_eq!(uncovered.len(), 3);
+    assert!(uncovered.iter().all(|d| d.severity == Severity::Error));
+    assert!(uncovered.iter().any(|d| d.message.contains("JSON emitter")));
+    assert!(uncovered.iter().any(|d| d.message.contains("Display")));
+    assert!(uncovered
+        .iter()
+        .any(|d| d.message.contains("reconciliation test")));
+}

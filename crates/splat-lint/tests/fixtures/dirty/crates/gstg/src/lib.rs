@@ -1,0 +1,7 @@
+pub fn boom(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,3 @@
+pub struct StageCounts {
+    pub phantom_ops: u64,
+}

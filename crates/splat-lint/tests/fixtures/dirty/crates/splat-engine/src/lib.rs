@@ -1,0 +1,23 @@
+use std::sync::Mutex;
+
+pub struct Engine {
+    registry: Mutex<u32>,
+    queue: Mutex<u32>,
+}
+
+impl Engine {
+    pub fn nested(&self) -> u32 {
+        let registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        *registry + *queue
+    }
+
+    pub fn heavy(&self) -> u32 {
+        let guard = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        prepare(*guard)
+    }
+}
+
+fn prepare(x: u32) -> u32 {
+    x + 1
+}

@@ -1,0 +1,3 @@
+fn exercise() {
+    let _ = RenderError::EmptyScene;
+}

@@ -1,0 +1,4 @@
+// lint:allow(no-panic-paths): nothing to suppress here
+pub fn fine() {}
+// lint:allow(not-a-rule): names a rule that does not exist
+// lint:allow(no-panic-paths)

@@ -1,0 +1,4 @@
+pub fn boom(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic-paths): fixture demonstrates waiver suppression
+    x.unwrap()
+}

@@ -59,14 +59,11 @@ pub struct Summary {
 impl Summary {
     /// Builds a summary from samples, or `None` for an empty slice.
     pub fn from_values(values: &[f64]) -> Option<Self> {
-        if values.is_empty() {
-            return None;
-        }
         Some(Self {
             count: values.len(),
             min: values.iter().copied().fold(f64::INFINITY, f64::min),
             max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            mean: mean(values).expect("non-empty"),
+            mean: mean(values)?,
             geomean: geometric_mean(values).unwrap_or(f64::NAN),
         })
     }

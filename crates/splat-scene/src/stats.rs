@@ -43,7 +43,7 @@ impl SceneStats {
         }
         let n = scene.len() as f32;
         let mut max_scales: Vec<f32> = scene.iter().map(|g| g.scale().max_component()).collect();
-        max_scales.sort_by(|a, b| a.partial_cmp(b).expect("finite scales"));
+        max_scales.sort_by(f32::total_cmp);
         let mean_max_scale = max_scales.iter().sum::<f32>() / n;
         let median_max_scale = percentile(&max_scales, 0.5);
         let p95_max_scale = percentile(&max_scales, 0.95);

@@ -212,6 +212,7 @@ fn random_sh(rng: &mut Rng, degree: usize) -> ShCoefficients {
             (rng.gen_f32() - 0.5) * falloff,
         ));
     }
+    // lint:allow(no-panic-paths): the loop above pushes exactly coefficient_count(degree) entries
     ShCoefficients::from_coefficients(coeffs).expect("complete coefficient count")
 }
 

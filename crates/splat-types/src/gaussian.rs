@@ -137,6 +137,7 @@ impl Gaussian3d {
                     .normalized(),
                     opacity: q(self.opacity),
                     sh: ShCoefficients::from_coefficients(coeffs)
+                        // lint:allow(no-panic-paths): quantization preserves the validated count
                         .expect("coefficient count preserved"),
                 }
             }
@@ -219,6 +220,7 @@ impl Gaussian3dBuilder {
     /// Panics if a set parameter is invalid; use [`Self::try_build`] for a
     /// fallible variant.
     pub fn build(self) -> Gaussian3d {
+        // lint:allow(no-panic-paths): documented panicking builder; try_build is the typed path
         self.try_build().expect("invalid Gaussian3d parameters")
     }
 

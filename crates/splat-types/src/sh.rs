@@ -116,6 +116,7 @@ pub fn eval_basis_into(
 #[inline]
 pub fn eval_color(degree: usize, coeffs: &[Rgb], dir: Vec3) -> Rgb {
     let mut basis = [0.0f32; coefficient_count(SH_DEGREE_MAX)];
+    // lint:allow(no-panic-paths): degree <= SH_DEGREE_MAX is enforced at ShCoefficients construction
     let count = eval_basis_into(degree, dir, &mut basis).expect("degree validated at construction");
     let mut color = Rgb::new(0.5, 0.5, 0.5);
     for (w, c) in basis[..count].iter().zip(coeffs) {

@@ -356,6 +356,7 @@ macro_rules! impl_index {
             fn index(&self, index: usize) -> &f32 {
                 match index {
                     $($idx => &self.$comp,)+
+                    // lint:allow(no-panic-paths): std's Index contract is to panic out of bounds
                     _ => panic!("index {index} out of bounds for {}", stringify!($ty)),
                 }
             }
@@ -365,6 +366,7 @@ macro_rules! impl_index {
             fn index_mut(&mut self, index: usize) -> &mut f32 {
                 match index {
                     $($idx => &mut self.$comp,)+
+                    // lint:allow(no-panic-paths): std's Index contract is to panic out of bounds
                     _ => panic!("index {index} out of bounds for {}", stringify!($ty)),
                 }
             }

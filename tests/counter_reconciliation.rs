@@ -1,0 +1,203 @@
+//! Counter reconciliation: every `StageCounts` and `EngineStats` field is
+//! asserted against a bookkeeping identity (or an explicit bound) from a
+//! real render / serving run, so no counter can silently drift or rot.
+//!
+//! `splat-lint`'s `counter-coverage` rule requires every field of both
+//! structs to appear in at least one `tests/` file — this test is that
+//! surface, deliberately exhaustive: the field lists below are checked
+//! against the struct definitions by the lint, so adding a counter without
+//! extending this file fails `tests/lint_clean.rs`.
+
+use gs_tg::prelude::*;
+use std::sync::Arc;
+
+fn camera(width: u32, height: u32) -> Camera {
+    Camera::look_at(
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(1.0, width, height),
+    )
+}
+
+fn render_counts(config: RenderConfig, scene: &Scene, cam: &Camera) -> StageCounts {
+    Renderer::new(config).render(scene, cam).stats.counts
+}
+
+/// Every preprocessing / identification / sort / raster counter of the
+/// baseline pipeline reconciles against the documented identities.
+#[test]
+fn baseline_stage_counts_reconcile() {
+    let scene = PaperScene::Truck.build(SceneScale::Tiny, 3);
+    let cam = camera(160, 120);
+    let config = RenderConfig::builder()
+        .tile_size(16)
+        .boundary(BoundaryMethod::Ellipse)
+        .build()
+        .expect("valid configuration");
+    let c = render_counts(config, &scene, &cam);
+
+    // Preprocess: every submitted splat is either culled or visible.
+    assert_eq!(c.input_gaussians, scene.len() as u64);
+    assert_eq!(c.input_gaussians, c.culled_gaussians + c.visible_gaussians);
+    assert!(c.visible_gaussians > 0);
+
+    // Identification: every accepted candidate is one sorting key, and the
+    // prepass never accepts more than it tested.
+    assert_eq!(c.tiles_hit, c.tile_intersections);
+    assert!(c.tile_tests > 0);
+    assert!(c.tiles_tested >= c.tiles_hit);
+    assert_eq!(
+        c.prepass_overcount_trimmed, 0,
+        "conservative prepass never trims"
+    );
+    assert_eq!(c.bitmask_tests, 0, "baseline pipeline has no bitmasks");
+    assert_eq!(c.bitmask_filter_ops, 0, "baseline pipeline has no bitmasks");
+
+    // Sort: only lists of length >= 2 contribute keys, the modeled
+    // n·⌈log₂ n⌉ comparison bound dominates the key count, and a sorted
+    // key implies at least one radix digit pass.
+    assert!(c.sort_keys <= c.tile_intersections);
+    assert!(c.sort_comparisons >= c.sort_keys);
+    assert!(c.radix_passes > 0);
+
+    // Raster: one shaded pixel per framebuffer slot, a blend requires an
+    // α-computation first, and an early exit requires a pixel.
+    assert_eq!(c.pixels, 160 * 120);
+    assert!(c.alpha_computations >= c.blend_operations);
+    assert!(c.blend_operations > 0);
+    assert!(c.early_exits <= c.pixels);
+
+    // Span-walk counters are exactly zero in `SpanMode::Full`.
+    assert_eq!(c.span_rows_built, 0);
+    assert_eq!(c.span_skipped_alpha, 0);
+    assert_eq!(c.tile_saturation_exits, 0);
+}
+
+/// The exact prepass only removes conservative overcounts, and reports
+/// exactly how many it trimmed.
+#[test]
+fn exact_prepass_trim_counter_reconciles() {
+    let scene = PaperScene::Playroom.build(SceneScale::Tiny, 5);
+    let cam = camera(128, 96);
+    let base = RenderConfig::builder()
+        .tile_size(16)
+        .boundary(BoundaryMethod::Ellipse)
+        .build()
+        .expect("valid configuration");
+    let conservative = render_counts(base.with_prepass(PrepassMode::Conservative), &scene, &cam);
+    let exact = render_counts(base.with_prepass(PrepassMode::Exact), &scene, &cam);
+    assert_eq!(
+        exact.tile_intersections + exact.prepass_overcount_trimmed,
+        conservative.tile_intersections,
+        "every trimmed candidate was a conservative acceptance"
+    );
+}
+
+/// Span-walk rasterization skips α-computations but must account for every
+/// one of them: full = span + skipped, with identical blends and pixels.
+#[test]
+fn span_walk_alpha_accounting_reconciles() {
+    let scene = PaperScene::Train.build(SceneScale::Tiny, 9);
+    let cam = camera(128, 96);
+    let base = RenderConfig::builder()
+        .tile_size(16)
+        .boundary(BoundaryMethod::Ellipse)
+        .build()
+        .expect("valid configuration");
+    let full = render_counts(base.with_span(SpanMode::Full), &scene, &cam);
+    let span = render_counts(base.with_span(SpanMode::RowSpans), &scene, &cam);
+    assert_eq!(
+        full.alpha_computations,
+        span.alpha_computations + span.span_skipped_alpha
+    );
+    assert_eq!(full.blend_operations, span.blend_operations);
+    assert_eq!(full.early_exits, span.early_exits);
+    assert_eq!(full.pixels, span.pixels);
+    assert!(span.span_rows_built > 0);
+    assert!(span.tile_saturation_exits <= span.tiles_hit);
+}
+
+/// The GS-TG pipeline exercises the bitmask counters the baseline leaves
+/// at zero, with the same bookkeeping shape.
+#[test]
+fn gstg_bitmask_counters_reconcile() {
+    let scene = PaperScene::Truck.build(SceneScale::Tiny, 3);
+    let cam = camera(160, 120);
+    let out = GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &cam);
+    let c = out.stats.counts;
+    assert_eq!(c.input_gaussians, c.culled_gaussians + c.visible_gaussians);
+    assert!(
+        c.bitmask_tests > 0,
+        "GS-TG tests small tiles through bitmasks"
+    );
+    assert!(
+        c.bitmask_filter_ops > 0,
+        "GS-TG rasterization front-end filters through bitmasks"
+    );
+    // GS-TG counts hits at small-tile granularity inside each hit group,
+    // so tiles_hit can exceed the per-group intersection-list length but
+    // never the number of small-tile tests.
+    assert!(c.tiles_hit >= c.tile_intersections);
+    assert!(c.tiles_hit <= c.tiles_tested);
+    assert!(c.tiles_tested <= c.bitmask_tests + c.tile_tests);
+}
+
+/// Engine serving counters reconcile after a drain: the job identity
+/// `submitted == completed + cancelled + queued + active` (no rejections
+/// here), and the scene identity `registered == resident_scenes + evicted`.
+#[test]
+fn engine_stats_reconcile_after_drain() {
+    let scene = Arc::new(PaperScene::Train.build(SceneScale::Tiny, 7));
+    let engine = Engine::builder()
+        .threads(1)
+        .admission(AdmissionPolicy::Block)
+        .build()
+        .expect("valid engine configuration");
+
+    let id = engine
+        .register_scene(Arc::clone(&scene))
+        .expect("registered");
+    let cam = camera(96, 64);
+    let handles: Vec<JobHandle> = (0..4)
+        .map(|_| {
+            engine
+                .submit(SubmitRequest::new(id, cam))
+                .expect("blocking admission admits")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("render succeeds");
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.queued, 0, "drained queue is empty");
+    assert_eq!(stats.active, 0, "no job still rendering after wait()");
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.cancelled + stats.queued as u64 + stats.active as u64
+    );
+    assert!(stats.queue_high_water >= 1, "jobs passed through the queue");
+    assert_eq!(stats.scene_hits, 4, "one recency touch per admitted job");
+    assert_eq!(stats.scene_misses, 0);
+
+    // Scene timescale: registered == resident + evicted, before and after
+    // an explicit eviction; resident bytes track the scene footprints.
+    assert_eq!(stats.registered, 1);
+    assert_eq!(stats.resident_scenes, 1);
+    assert_eq!(stats.evicted, 0);
+    assert_eq!(stats.resident_bytes, scene.footprint_bytes());
+    engine.evict_scene(id).expect("scene is resident");
+    let after = engine.stats();
+    assert_eq!(after.evicted, 1);
+    assert_eq!(after.resident_scenes, 0);
+    assert_eq!(after.resident_bytes, 0);
+    assert_eq!(
+        after.registered,
+        after.resident_scenes as u64 + after.evicted
+    );
+}

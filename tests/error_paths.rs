@@ -296,3 +296,73 @@ fn render_errors_implement_the_error_trait() {
         assert!(!dynamic.to_string().is_empty());
     }
 }
+
+/// Every `DecodeError` variant is reachable by corrupting a buffer that
+/// `encode_scene` itself produced — the decoder's failure modes are part
+/// of the public serving surface (scene upload rejects must be typed).
+#[test]
+fn every_decode_error_variant_is_reachable_from_a_corrupted_buffer() {
+    use gs_tg::scene::io::{decode_scene, encode_scene, DecodeError};
+
+    let good = encode_scene(&scene());
+    assert!(decode_scene(&good).is_ok(), "round-trip baseline");
+
+    // BadMagic: first four bytes are not `GSTG`.
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert_eq!(decode_scene(&bad_magic), Err(DecodeError::BadMagic));
+
+    // UnsupportedVersion: version word (offset 4) bumped past the writer's.
+    let mut bad_version = good.clone();
+    bad_version[4] = 0x63; // version 99
+    bad_version[5] = 0x00;
+    assert_eq!(
+        decode_scene(&bad_version),
+        Err(DecodeError::UnsupportedVersion(99))
+    );
+
+    // UnexpectedEof: any truncation after the header.
+    let truncated = &good[..good.len() - 1];
+    assert_eq!(decode_scene(truncated), Err(DecodeError::UnexpectedEof));
+
+    // InvalidField: the scene-name bytes are not UTF-8.
+    let name_len = u16::from_le_bytes([good[6], good[7]]) as usize;
+    assert!(name_len > 0, "paper scenes have names");
+    let mut bad_name = good.clone();
+    bad_name[8] = 0xFF;
+    bad_name[8..8 + name_len].fill(0xFF);
+    assert_eq!(
+        decode_scene(&bad_name),
+        Err(DecodeError::InvalidField("name"))
+    );
+
+    // NonFinite: first position float (right after name/width/height/count)
+    // replaced by a NaN bit pattern.
+    let first_position = 8 + name_len + 4 + 4 + 4;
+    let mut non_finite = good.clone();
+    non_finite[first_position..first_position + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+    assert_eq!(
+        decode_scene(&non_finite),
+        Err(DecodeError::NonFinite("position"))
+    );
+
+    // Display messages are pinned like the RenderError ones above.
+    assert_eq!(
+        DecodeError::BadMagic.to_string(),
+        "buffer is not a GSTG scene"
+    );
+    assert_eq!(
+        DecodeError::UnexpectedEof.to_string(),
+        "scene buffer ended unexpectedly"
+    );
+    for error in [
+        DecodeError::BadMagic,
+        DecodeError::UnsupportedVersion(99),
+        DecodeError::UnexpectedEof,
+        DecodeError::InvalidField("name"),
+        DecodeError::NonFinite("position"),
+    ] {
+        let dynamic: &dyn std::error::Error = &error;
+        assert!(!dynamic.to_string().is_empty());
+    }
+}
