@@ -1,0 +1,7 @@
+use splat_lint::source::SourceFile;
+
+#[test]
+fn malformed_attribute_does_not_panic() {
+    // Stray `)` before any `(` inside an attribute: `#[a)]`
+    let _ = SourceFile::new("crates/gstg/src/x.rs", "#[a)]\nfn f() {}\n");
+}
