@@ -144,11 +144,38 @@ fn main() {
                 );
                 accounting_clean = false;
             }
-            // The same pixels must come out of both serving paths.
+            // The same pixels must come out of both serving paths at every
+            // quality tier: `run_engine_batch` degrades exactly like the
+            // engine's async path, so the checksums cross-check the ladder.
             if (run.checksum - batch.checksum).abs() > 1e-12 {
                 eprintln!(
                     "error: {backend} w={workers}: submit checksum {:.9} != batch checksum {:.9}",
                     run.checksum, batch.checksum
+                );
+                accounting_clean = false;
+            }
+            // Quality accounting: completions split exactly into full and
+            // degraded serves, and a pinned tier degrades everything (a
+            // full-quality engine, nothing).
+            let stats = run.stats;
+            if stats.completed != stats.full_quality + stats.degraded
+                || stats.degraded != stats.degraded_t1 + stats.degraded_t2 + stats.degraded_t3
+            {
+                eprintln!(
+                    "error: {backend} w={workers}: quality counters do not reconcile: {stats}"
+                );
+                accounting_clean = false;
+            }
+            let expected_degraded = if options.quality.is_degraded() {
+                expected
+            } else {
+                0
+            };
+            if stats.degraded != expected_degraded {
+                eprintln!(
+                    "error: {backend} w={workers}: expected {expected_degraded} degraded \
+                     serves at quality {}, got counters {stats}",
+                    options.quality
                 );
                 accounting_clean = false;
             }

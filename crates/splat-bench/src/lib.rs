@@ -23,7 +23,7 @@
 
 use gstg::{ExecutionModel, GstgConfig};
 use splat_core::{HasExecution, RenderRequest, SimdMode, SpanMode};
-use splat_engine::{Backend, Engine, SceneRef, SubmitRequest};
+use splat_engine::{Backend, Engine, QualityPolicy, QualityTier, SceneRef, SubmitRequest};
 use splat_render::{
     BoundaryMethod, CostModel, PrepassMode, RenderConfig, Renderer, StageCounts, StageTimes,
 };
@@ -58,6 +58,12 @@ pub struct HarnessOptions {
     /// or conservative per-row ellipse intervals with the tile-saturation
     /// early-out.
     pub span: SpanMode,
+    /// Quality tier pinned on the serving engine
+    /// (`--quality {full|t1|t2|t3}`): `full` leaves the engine on
+    /// [`QualityPolicy::FullOnly`], any other tier pins every submitted job
+    /// to that rung of the LOD ladder so the degraded serving path can be
+    /// benchmarked and smoke-tested.
+    pub quality: QualityTier,
 }
 
 impl Default for HarnessOptions {
@@ -71,6 +77,7 @@ impl Default for HarnessOptions {
             prepass: PrepassMode::Conservative,
             simd: SimdMode::Scalar,
             span: SpanMode::Full,
+            quality: QualityTier::Full,
         }
     }
 }
@@ -147,6 +154,14 @@ impl HarnessOptions {
                     };
                     i += 1;
                 }
+                "--quality" if i + 1 < args.len() => {
+                    options.quality = QualityTier::from_label(args[i + 1].to_lowercase().as_str())
+                        .unwrap_or_else(|| {
+                            eprintln!("unknown quality tier `{}`, using full", args[i + 1]);
+                            QualityTier::Full
+                        });
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -197,7 +212,21 @@ impl HarnessOptions {
         if self.span != SpanMode::Full {
             description.push_str(&format!(", span={:?}", self.span));
         }
+        if self.quality != QualityTier::Full {
+            description.push_str(&format!(", quality={}", self.quality));
+        }
         description
+    }
+
+    /// The engine [`QualityPolicy`] implied by `--quality`: `full` keeps
+    /// the default [`QualityPolicy::FullOnly`] engine, any other tier is
+    /// pinned so every submitted job serves at exactly that rung.
+    pub fn quality_policy(&self) -> QualityPolicy {
+        if self.quality == QualityTier::Full {
+            QualityPolicy::FullOnly
+        } else {
+            QualityPolicy::Pinned(self.quality)
+        }
     }
 
     /// Applies the shared `--exact-prepass` / `--simd` / `--span` knobs to
@@ -311,7 +340,7 @@ impl BatchRun {
     ) -> String {
         format!(
             "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-{}\",\"scale\":\"{:?}\",\
-             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\
+             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\"quality\":\"{}\",\
              \"width\":{width},\"height\":{height},\"threads\":{},\"frames\":{},\
              \"batch_fps\":{:.3},\"batch_ms\":{:.3},\"engine_footprint_bytes\":{},\
              \"checksum_luminance\":{:.6}}}",
@@ -320,6 +349,7 @@ impl BatchRun {
             options.prepass,
             options.simd,
             options.span,
+            options.quality,
             self.threads,
             self.frames,
             self.fps(),
@@ -348,26 +378,56 @@ pub fn run_engine_batch(
     let engine = Engine::builder()
         .backend(backend)
         .threads(threads)
+        .quality(options.quality_policy())
         .render_config(options.tuned_render_config(RenderConfig::default()))
         .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
         // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
         .expect("default pipeline configurations are valid");
-    let requests: Vec<RenderRequest<'_>> = cameras
+    // A degraded `--quality` serves the tier exactly the way the engine's
+    // async path does — the derived tier scene, rendered at half
+    // resolution and upsampled back for tiers that call for it — so
+    // submit-vs-batch checksums stay comparable at every rung.
+    let tier = options.quality;
+    let derived;
+    let serve_scene: &Scene = if tier.is_degraded() {
+        derived = tier.apply(scene);
+        &derived
+    } else {
+        scene
+    };
+    let render_cameras: Vec<Camera> = if tier.half_resolution() {
+        cameras
+            .iter()
+            .map(|camera| camera.half_resolution())
+            .collect()
+    } else {
+        cameras.to_vec()
+    };
+    let requests: Vec<RenderRequest<'_>> = render_cameras
         .iter()
-        .map(|camera| RenderRequest::new(scene, *camera))
+        .map(|camera| RenderRequest::new(serve_scene, *camera))
         .collect();
     let _ = engine.render_batch(&requests);
     let start = Instant::now();
     let results = engine.render_batch(&requests);
     let elapsed = start.elapsed();
     let mut checksum = 0.0;
-    for result in &results {
+    for (result, camera) in results.iter().zip(cameras) {
         let output = result
             .as_ref()
             // lint:allow(no-panic-paths): bench harness invariant; aborting loudly beats timing a lie
             .unwrap_or_else(|error| panic!("engine rejected a harness request: {error}"));
-        checksum += f64::from(output.image.mean_luminance());
+        checksum += if tier.half_resolution() {
+            f64::from(
+                output
+                    .image
+                    .upsample_nearest(camera.width(), camera.height())
+                    .mean_luminance(),
+            )
+        } else {
+            f64::from(output.image.mean_luminance())
+        };
     }
     BatchRun {
         backend,
@@ -427,7 +487,7 @@ impl SubmitRun {
     ) -> String {
         format!(
             "{{\"bench\":\"{bench}\",\"pipeline\":\"engine-submit-{}\",\"scale\":\"{:?}\",\
-             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\
+             \"prepass\":\"{:?}\",\"simd\":\"{:?}\",\"span\":\"{:?}\",\"quality\":\"{}\",\
              \"width\":{width},\"height\":{height},\"workers\":{},\"frames\":{},\
              \"submit_jobs_per_s\":{:.3},\"burst_ms\":{:.3},\
              \"round_trip_mean_ms\":{:.3},\"round_trip_p50_ms\":{:.3},\
@@ -438,6 +498,7 @@ impl SubmitRun {
             options.prepass,
             options.simd,
             options.span,
+            options.quality,
             self.workers,
             self.frames,
             self.jobs_per_second(),
@@ -472,6 +533,7 @@ pub fn run_engine_submit(
     let engine = Engine::builder()
         .backend(backend)
         .workers(workers)
+        .quality(options.quality_policy())
         .render_config(options.tuned_render_config(RenderConfig::default()))
         .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
@@ -502,6 +564,7 @@ pub fn run_engine_submit_registry(
     let engine = Engine::builder()
         .backend(backend)
         .workers(workers)
+        .quality(options.quality_policy())
         .render_config(options.tuned_render_config(RenderConfig::default()))
         .gstg_config(options.tuned_gstg_config(GstgConfig::paper_default()))
         .build()
@@ -661,6 +724,8 @@ mod tests {
             "wide8",
             "--span",
             "rows",
+            "--quality",
+            "t2",
         ]);
         assert_eq!(o.scale, SceneScale::Tiny);
         assert_eq!(o.resolution_divisor, 8);
@@ -670,20 +735,29 @@ mod tests {
         assert_eq!(o.prepass, PrepassMode::Exact);
         assert_eq!(o.simd, SimdMode::Wide8);
         assert_eq!(o.span, SpanMode::RowSpans);
+        assert_eq!(o.quality, QualityTier::Tier2);
+        assert_eq!(
+            o.quality_policy(),
+            QualityPolicy::Pinned(QualityTier::Tier2)
+        );
         assert!(o.describe().contains("frames=7"));
         assert!(o.describe().contains("prepass=Exact"));
         assert!(o.describe().contains("simd=Wide8"));
         assert!(o.describe().contains("span=RowSpans"));
+        assert!(o.describe().contains("quality=t2"));
         let d = HarnessOptions::default();
         assert!(!d.json);
         assert_eq!(d.frames, None);
         assert_eq!(d.prepass, PrepassMode::Conservative);
         assert_eq!(d.simd, SimdMode::Scalar);
         assert_eq!(d.span, SpanMode::Full);
+        assert_eq!(d.quality, QualityTier::Full);
+        assert_eq!(d.quality_policy(), QualityPolicy::FullOnly);
         assert!(!d.describe().contains("frames="));
         assert!(!d.describe().contains("prepass="));
         assert!(!d.describe().contains("simd="));
         assert!(!d.describe().contains("span="));
+        assert!(!d.describe().contains("quality="));
     }
 
     #[test]
@@ -697,11 +771,14 @@ mod tests {
             "avx512",
             "--span",
             "diagonal",
+            "--quality",
+            "t9",
         ]);
         assert_eq!(o.scale, SceneScale::Small);
         assert_eq!(o.resolution_divisor, 4);
         assert_eq!(o.simd, SimdMode::Scalar);
         assert_eq!(o.span, SpanMode::Full);
+        assert_eq!(o.quality, QualityTier::Full);
     }
 
     #[test]
@@ -819,6 +896,35 @@ mod tests {
         // The inline run keeps zeroed registry counters.
         assert_eq!(inline.stats.registered, 0);
         assert_eq!(inline.stats.scene_hits, 0);
+    }
+
+    #[test]
+    fn pinned_quality_serves_every_submitted_job_degraded() {
+        // The degraded smoke run: a `--quality t1` engine must serve every
+        // job below full quality and report it in the per-tier counters.
+        let o = HarnessOptions {
+            scale: SceneScale::Tiny,
+            resolution_divisor: 16,
+            json: true,
+            quality: QualityTier::Tier1,
+            ..HarnessOptions::default()
+        };
+        let scene = Arc::new(o.scene(PaperScene::Playroom));
+        let camera = o.camera(PaperScene::Playroom);
+        let cameras = vec![camera; 3];
+        let run = run_engine_submit(Backend::Gstg, 2, &scene, &cameras, &o);
+        assert_eq!(run.stats.completed, 9);
+        assert_eq!(run.stats.full_quality, 0);
+        assert_eq!(run.stats.degraded, 9);
+        assert_eq!(run.stats.degraded_t1, 9);
+        assert_eq!(
+            run.stats.completed,
+            run.stats.full_quality + run.stats.degraded
+        );
+        let json = run.to_json("engine_submit", &o, camera.width(), camera.height());
+        assert!(json.contains("\"quality\":\"t1\""));
+        assert!(json.contains("\"degraded\":9"));
+        assert!(json.contains("\"degraded_t1\":9"));
     }
 
     #[test]

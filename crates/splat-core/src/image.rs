@@ -114,6 +114,41 @@ impl Framebuffer {
         }
     }
 
+    /// Upsamples this framebuffer to `(width, height)` by nearest-neighbor
+    /// replication: destination pixel `(x, y)` copies source pixel
+    /// `(x / 2, y / 2)` bit-exactly, so the operation is deterministic and
+    /// reproducible — no filtering, no arithmetic on the pixel values.
+    ///
+    /// This is the delivery half of the half-resolution quality tier: the
+    /// renderer draws at `ceil(width / 2) × ceil(height / 2)` (odd target
+    /// dimensions round *outward* at render time), and this method restores
+    /// the requested dimensions. Because of the outward rounding,
+    /// `x / 2 < self.width` and `y / 2 < self.height` for every destination
+    /// pixel — the lookup can never leave the source frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the source is not exactly the outward-rounded half of
+    /// the requested dimensions.
+    pub fn upsample_nearest(&self, width: u32, height: u32) -> Self {
+        assert_eq!(
+            (self.width, self.height),
+            (width.div_ceil(2), height.div_ceil(2)),
+            "source must be the outward-rounded half of {width}x{height}"
+        );
+        let mut pixels = Vec::with_capacity((width as usize) * (height as usize));
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(self.pixel(x / 2, y / 2));
+            }
+        }
+        Self {
+            width,
+            height,
+            pixels,
+        }
+    }
+
     /// Maximum absolute per-channel difference to another framebuffer.
     ///
     /// # Panics
@@ -228,6 +263,45 @@ mod tests {
         assert_eq!((fb.width(), fb.height()), (4, 4));
         assert_eq!(fb.pixel(1, 1), Rgb::splat(0.5));
         assert_eq!(fb.footprint_bytes(), footprint);
+    }
+
+    #[test]
+    fn upsample_nearest_replicates_pixels_bit_exactly() {
+        // 3x2 source -> 6x4: every destination pixel equals src(x/2, y/2).
+        let mut src = Framebuffer::black(3, 2);
+        for y in 0..2 {
+            for x in 0..3 {
+                src.set_pixel(x, y, Rgb::new(x as f32, y as f32, 0.125));
+            }
+        }
+        let up = src.upsample_nearest(6, 4);
+        assert_eq!((up.width(), up.height()), (6, 4));
+        for y in 0..4 {
+            for x in 0..6 {
+                assert_eq!(up.pixel(x, y), src.pixel(x / 2, y / 2));
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_nearest_covers_odd_target_dimensions() {
+        // Odd 5x3 target renders at ceil-half 3x2; the last column/row of
+        // the source covers the odd remainder.
+        let mut src = Framebuffer::black(3, 2);
+        src.set_pixel(2, 1, Rgb::WHITE);
+        let up = src.upsample_nearest(5, 3);
+        assert_eq!((up.width(), up.height()), (5, 3));
+        assert_eq!(up.pixel(4, 2), Rgb::WHITE);
+        assert_eq!(up.pixel(0, 0), Rgb::BLACK);
+        // Upsampling is a pure copy: repeating it is bit-identical.
+        assert_eq!(up, src.upsample_nearest(5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outward-rounded half")]
+    fn upsample_nearest_rejects_mismatched_source() {
+        let src = Framebuffer::black(4, 4);
+        let _ = src.upsample_nearest(16, 16);
     }
 
     #[test]

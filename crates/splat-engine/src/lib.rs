@@ -140,8 +140,9 @@ pub mod stats;
 mod queue;
 
 pub use job::{JobHandle, JobStatus, SceneRef, SubmitRequest, TrajectoryHandle};
-pub use policy::{AdmissionPolicy, ShutdownMode};
+pub use policy::{AdmissionPolicy, QualityPolicy, ShutdownMode};
 pub use registry::{PreparedScene, ResidencyPolicy};
+pub use splat_scene::lod::{LodLadder, QualityTier};
 pub use splat_types::{Priority, SceneId};
 pub use stats::EngineStats;
 
@@ -198,6 +199,7 @@ pub struct EngineBuilder {
     exec: ExecutionConfig,
     workers: Option<usize>,
     admission: AdmissionPolicy,
+    quality: QualityPolicy,
     queue_capacity: usize,
     start_paused: bool,
     residency: ResidencyPolicy,
@@ -261,6 +263,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects how [`Engine::submit`] trades quality for admission under
+    /// queue pressure (default [`QualityPolicy::FullOnly`]: every job
+    /// renders at full quality and overload handling falls entirely to the
+    /// admission policy).
+    ///
+    /// With [`QualityPolicy::DegradeUnderPressure`], submissions observe
+    /// the queue depth at admission and are assigned a [`QualityTier`]
+    /// deterministically: the band `[capacity, 2 * capacity)` admits jobs
+    /// at degraded tiers *instead of* shedding them, so degradation
+    /// strictly precedes rejection. Registered scenes get their LOD
+    /// ladders prebuilt at [`Engine::register_scene`] (and charged to the
+    /// [`ResidencyPolicy`] budget); inline submissions derive the tier
+    /// scene on the fly.
+    pub fn quality(mut self, policy: QualityPolicy) -> Self {
+        self.quality = policy;
+        self
+    }
+
     /// Bounds the submission queue for the [`AdmissionPolicy::Block`] and
     /// [`AdmissionPolicy::RejectWhenFull`] policies (clamped to at least
     /// one; default [`DEFAULT_QUEUE_CAPACITY`]).
@@ -311,6 +331,8 @@ impl EngineBuilder {
     /// [`RenderError::InvalidConfiguration`] when the OS refuses to spawn
     /// a worker thread.
     pub fn build(self) -> Result<Engine, RenderError> {
+        self.admission.validate()?;
+        self.quality.validate()?;
         self.residency.validate()?;
         let workers = self
             .workers
@@ -342,10 +364,11 @@ impl EngineBuilder {
             pool,
             queue: Arc::new(JobQueue::new(
                 self.admission,
+                self.quality,
                 self.queue_capacity,
                 self.start_paused,
             )),
-            registry: SceneRegistry::new(self.residency),
+            registry: SceneRegistry::new(self.residency, self.quality.can_degrade()),
         });
         let mut worker_threads = Vec::with_capacity(workers);
         for slot in 0..workers {
@@ -373,6 +396,7 @@ impl EngineBuilder {
             backend: self.backend,
             exec: self.exec,
             admission: self.admission,
+            quality: self.quality,
             shared,
             workers: worker_threads,
             next_worker: AtomicUsize::new(0),
@@ -390,8 +414,8 @@ struct EngineShared {
 }
 
 /// The drain loop of one persistent worker thread: pop a job, render it on
-/// the thread's dedicated pool slot, publish the result, repeat until the
-/// queue shuts down.
+/// the thread's dedicated pool slot at its assigned [`QualityTier`],
+/// publish the result, repeat until the queue shuts down.
 fn worker_loop(shared: &Arc<EngineShared>, slot: usize) {
     while let Some(job) = shared.queue.pop() {
         // A panicking backend (a pipeline bug — the documented contract is
@@ -401,19 +425,57 @@ fn worker_loop(shared: &Arc<EngineShared>, slot: usize) {
         // serving. The slot's poisoned lock is recovered on the next
         // render — sessions rebuild every buffer per frame.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let request = RenderRequest::new(&job.scene, job.camera);
-            let mut backend = shared.pool[slot]
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            backend.render(&request)
+            render_job(&shared.pool[slot], &job)
         }))
         .unwrap_or_else(|_| {
             Err(RenderError::InvalidConfiguration {
                 reason: "backend panicked mid-render (pipeline bug); job aborted".to_owned(),
             })
         });
-        shared.queue.mark_completed();
+        shared.queue.mark_completed(job.tier);
         job.shared.finish(result);
+    }
+}
+
+/// Serves one popped job at its admission-assigned tier: a degraded job
+/// renders the tier scene (the registered scene's prebuilt ladder, or a
+/// deterministic on-the-fly derivation for inline submissions), and the
+/// half-resolution tier renders at the outward-rounded half camera before
+/// a nearest-neighbor upsample restores the requested dimensions — every
+/// step bit-reproducible, so a degraded frame is as deterministic as a
+/// full-quality one.
+fn render_job(
+    pool_slot: &Mutex<Box<dyn RenderBackend>>,
+    job: &queue::Job,
+) -> Result<RenderOutput, RenderError> {
+    let derived;
+    let scene: &Scene = if job.tier.is_degraded() {
+        match job
+            .ladder
+            .as_ref()
+            .and_then(|ladder| ladder.scene(job.tier))
+        {
+            Some(tier_scene) => tier_scene,
+            None => {
+                derived = job.tier.apply(&job.scene);
+                &derived
+            }
+        }
+    } else {
+        &job.scene
+    };
+    let mut backend = pool_slot
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if job.tier.half_resolution() {
+        let half = job.camera.half_resolution();
+        let mut output = backend.render(&RenderRequest::new(scene, half))?;
+        output.image = output
+            .image
+            .upsample_nearest(job.camera.width(), job.camera.height());
+        Ok(output)
+    } else {
+        backend.render(&RenderRequest::new(scene, job.camera))
     }
 }
 
@@ -433,6 +495,7 @@ pub struct Engine {
     backend: Backend,
     exec: ExecutionConfig,
     admission: AdmissionPolicy,
+    quality: QualityPolicy,
     shared: Arc<EngineShared>,
     /// Persistent submit-queue workers; drained (joined) on shutdown/drop.
     workers: Vec<JoinHandle<()>>,
@@ -448,6 +511,7 @@ impl std::fmt::Debug for Engine {
             .field("threads", &self.exec.threads)
             .field("workers", &self.shared.pool.len())
             .field("admission", &self.admission)
+            .field("quality", &self.quality)
             .field("queue_capacity", &self.shared.queue.capacity())
             .finish()
     }
@@ -466,6 +530,7 @@ impl Engine {
             exec: ExecutionConfig::sequential(),
             workers: None,
             admission: AdmissionPolicy::default(),
+            quality: QualityPolicy::default(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             start_paused: false,
             residency: ResidencyPolicy::default(),
@@ -491,6 +556,12 @@ impl Engine {
     /// The admission policy applied by [`Engine::submit`].
     pub fn admission(&self) -> AdmissionPolicy {
         self.admission
+    }
+
+    /// The quality policy applied by [`Engine::submit`] (see
+    /// [`EngineBuilder::quality`]).
+    pub fn quality(&self) -> QualityPolicy {
+        self.quality
     }
 
     /// The submission queue's capacity (maximum queued jobs).
@@ -558,14 +629,19 @@ impl Engine {
         self.shared.registry.prepared(id)
     }
 
-    /// Resolves a [`SceneRef`] to the scene a job will own: inline refs
-    /// pass through untouched, registered handles go through the registry
-    /// (a miss counts immediately; the hit and LRU recency commit only
-    /// once the job is actually admitted or served).
-    fn resolve(&self, scene: &SceneRef) -> Result<Arc<Scene>, RenderError> {
+    /// Resolves a [`SceneRef`] to the scene a job will own, plus the
+    /// prebuilt LOD ladder when one exists: inline refs pass through
+    /// untouched (no ladder — a degraded worker derives the tier scene on
+    /// the fly), registered handles go through the registry (a miss counts
+    /// immediately; the hit and LRU recency commit only once the job is
+    /// actually admitted or served).
+    fn resolve(
+        &self,
+        scene: &SceneRef,
+    ) -> Result<(Arc<Scene>, Option<Arc<LodLadder>>), RenderError> {
         match scene {
-            SceneRef::Inline(scene) => Ok(Arc::clone(scene)),
-            SceneRef::Id(id) => self.shared.registry.resolve(*id),
+            SceneRef::Inline(scene) => Ok((Arc::clone(scene), None)),
+            SceneRef::Id(id) => self.shared.registry.resolve_with_ladder(*id),
         }
     }
 
@@ -626,8 +702,8 @@ impl Engine {
     ///   comparison).
     /// * [`RenderError::ShutDown`] after [`Engine::shutdown`] has begun.
     pub fn submit(&self, request: SubmitRequest) -> Result<JobHandle, RenderError> {
-        let scene = self.resolve(&request.scene)?;
-        let handle = self.submit_resolved(scene, request.camera, request.priority)?;
+        let (scene, ladder) = self.resolve(&request.scene)?;
+        let handle = self.submit_resolved(scene, ladder, request.camera, request.priority)?;
         // Only an *admitted* job counts as serving the scene: a submission
         // refused by validation or admission control must not refresh the
         // scene's LRU recency or the hit counter.
@@ -643,6 +719,7 @@ impl Engine {
     fn submit_resolved(
         &self,
         scene: Arc<Scene>,
+        ladder: Option<Arc<LodLadder>>,
         camera: Camera,
         priority: Priority,
     ) -> Result<JobHandle, RenderError> {
@@ -650,10 +727,10 @@ impl Engine {
         render.validate()?;
         let cost = render.cost_hint();
         let shared = job::JobShared::new();
-        let id = self
-            .shared
-            .queue
-            .push(scene, camera, priority, cost, Arc::clone(&shared))?;
+        let id =
+            self.shared
+                .queue
+                .push(scene, camera, priority, cost, ladder, Arc::clone(&shared))?;
         Ok(JobHandle::new(
             Arc::clone(&self.shared.queue),
             shared,
@@ -688,13 +765,15 @@ impl Engine {
         priority: Priority,
     ) -> Result<TrajectoryHandle, RenderError> {
         let scene_ref = scene.into();
-        let scene = self.resolve(&scene_ref)?;
+        let (scene, ladder) = self.resolve(&scene_ref)?;
         if scene.is_empty() {
             return Err(RenderError::EmptyScene);
         }
         let frames: Vec<Result<JobHandle, RenderError>> = trajectory
             .cameras()
-            .map(|camera| self.submit_resolved(Arc::clone(&scene), camera, priority))
+            .map(|camera| {
+                self.submit_resolved(Arc::clone(&scene), ladder.clone(), camera, priority)
+            })
             .collect();
         // One recency/hit commit for the whole path — and only if at least
         // one frame was actually admitted.

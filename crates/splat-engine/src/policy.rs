@@ -16,6 +16,9 @@
 //! is queued, never on worker timing, so an over-capacity burst deflates
 //! deterministically.
 
+use splat_scene::lod::QualityTier;
+use splat_types::RenderError;
+
 /// What [`Engine::submit`](crate::Engine::submit) does when the job queue
 /// is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,10 +29,8 @@ pub enum AdmissionPolicy {
     /// `render_batch` bit-for-bit, in submission order.
     #[default]
     Block,
-    /// Fail fast: return
-    /// [`RenderError::Overloaded`](splat_types::RenderError::Overloaded)
-    /// to the submitter without queueing. The queue itself is never
-    /// disturbed.
+    /// Fail fast: return [`RenderError::Overloaded`] to the submitter
+    /// without queueing. The queue itself is never disturbed.
     RejectWhenFull,
     /// Deflate: keep at most `capacity` queued jobs, and when a submission
     /// would exceed that, reject the cheapest-to-reject job — the incoming
@@ -48,7 +49,31 @@ impl AdmissionPolicy {
     pub(crate) fn capacity(self, default_capacity: usize) -> usize {
         match self {
             AdmissionPolicy::Block | AdmissionPolicy::RejectWhenFull => default_capacity.max(1),
-            AdmissionPolicy::ShedLowPriority { capacity } => capacity.max(1),
+            // Zero capacity is rejected by `validate` at build time, so no
+            // silent clamping happens here.
+            AdmissionPolicy::ShedLowPriority { capacity } => capacity,
+        }
+    }
+
+    /// Rejects configurations that would otherwise be silently rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidConfiguration`] for
+    /// `ShedLowPriority { capacity: 0 }` — a queue that can hold nothing
+    /// would shed every submission, which is almost certainly a
+    /// misconfiguration; earlier versions clamped it to 1 and silently
+    /// served a different policy than the caller wrote.
+    pub fn validate(self) -> Result<(), RenderError> {
+        match self {
+            AdmissionPolicy::ShedLowPriority { capacity: 0 } => {
+                Err(RenderError::InvalidConfiguration {
+                    reason: "ShedLowPriority capacity must be >= 1 (a zero-capacity queue \
+                             would shed every submission)"
+                        .to_owned(),
+                })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -63,6 +88,157 @@ impl AdmissionPolicy {
 }
 
 impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the engine trades quality for admission under queue pressure.
+///
+/// JPAC-style serving tunes service *quality* jointly with admission
+/// instead of only turning requests away: under load, a cheaper frame
+/// beats an `Overloaded` error. This policy maps the queue state observed
+/// at admission — depth versus configured capacity — to a
+/// [`QualityTier`] for the incoming job, **deterministically**: the same
+/// queue state always picks the same tier, so a replayed burst degrades
+/// identically.
+///
+/// With [`QualityPolicy::DegradeUnderPressure`], the ladder extends the
+/// queue's effective bound: jobs that would have been shed at `capacity`
+/// are admitted at a degraded tier until depth reaches `2 × capacity`,
+/// and only then does the admission policy (shed/reject/block) fire —
+/// degradation strictly precedes shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QualityPolicy {
+    /// Every job renders at full quality; overload handling is left
+    /// entirely to the [`AdmissionPolicy`] (the default, and the exact
+    /// pre-ladder behaviour).
+    #[default]
+    FullOnly,
+    /// Every job renders at the given tier regardless of queue state.
+    /// Useful for capacity planning and for pinning golden tier digests.
+    Pinned(QualityTier),
+    /// Climb down the ladder as the queue fills. Each threshold is a
+    /// percentage of the configured queue capacity; a job admitted while
+    /// `depth * 100 / capacity` is at or above a threshold gets that tier
+    /// (the deepest threshold reached wins). Thresholds must be strictly
+    /// increasing and non-zero — see [`QualityPolicy::validate`].
+    DegradeUnderPressure {
+        /// Depth percentage at or above which jobs serve at
+        /// [`QualityTier::Tier1`].
+        t1_pct: u32,
+        /// Depth percentage at or above which jobs serve at
+        /// [`QualityTier::Tier2`].
+        t2_pct: u32,
+        /// Depth percentage at or above which jobs serve at
+        /// [`QualityTier::Tier3`].
+        t3_pct: u32,
+    },
+}
+
+impl QualityPolicy {
+    /// [`QualityPolicy::DegradeUnderPressure`] with the default thresholds:
+    /// tier 1 at 50% depth, tier 2 at 75%, tier 3 at 100% (i.e. full
+    /// quality below half capacity, deepest degradation once the nominal
+    /// capacity is reached).
+    pub fn degrade_default() -> Self {
+        QualityPolicy::DegradeUnderPressure {
+            t1_pct: 50,
+            t2_pct: 75,
+            t3_pct: 100,
+        }
+    }
+
+    /// Rejects degenerate ladders at build time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError::InvalidConfiguration`] when any
+    /// [`QualityPolicy::DegradeUnderPressure`] threshold is zero (every
+    /// job would degrade, which is [`QualityPolicy::Pinned`] misspelled)
+    /// or the thresholds are not strictly increasing (a deeper tier would
+    /// be unreachable or ambiguous).
+    pub fn validate(self) -> Result<(), RenderError> {
+        if let QualityPolicy::DegradeUnderPressure {
+            t1_pct,
+            t2_pct,
+            t3_pct,
+        } = self
+        {
+            if t1_pct == 0 {
+                return Err(RenderError::InvalidConfiguration {
+                    reason: format!(
+                        "QualityPolicy thresholds must be non-zero, got t1={t1_pct}% \
+                         (an always-degraded engine should use Pinned instead)"
+                    ),
+                });
+            }
+            if !(t1_pct < t2_pct && t2_pct < t3_pct) {
+                return Err(RenderError::InvalidConfiguration {
+                    reason: format!(
+                        "QualityPolicy thresholds must be strictly increasing, \
+                         got t1={t1_pct}% t2={t2_pct}% t3={t3_pct}%"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this policy can ever serve below full quality (and the
+    /// registry should therefore prebuild LOD ladders at registration).
+    pub fn can_degrade(self) -> bool {
+        self != QualityPolicy::FullOnly
+    }
+
+    /// Whether this policy extends the queue bound beyond the admission
+    /// capacity (degrade-before-shed doubles the effective bound).
+    pub(crate) fn extends_queue(self) -> bool {
+        matches!(self, QualityPolicy::DegradeUnderPressure { .. })
+    }
+
+    /// The tier a job admitted at queue `depth` (jobs queued, not yet
+    /// running) serves at, for a queue configured with `capacity`.
+    ///
+    /// Pure integer arithmetic on the queue state — no clocks, no
+    /// randomness — so the mapping is deterministic and replayable.
+    pub fn tier_for(self, depth: usize, capacity: usize) -> QualityTier {
+        match self {
+            QualityPolicy::FullOnly => QualityTier::Full,
+            QualityPolicy::Pinned(tier) => tier,
+            QualityPolicy::DegradeUnderPressure {
+                t1_pct,
+                t2_pct,
+                t3_pct,
+            } => {
+                let pct = (depth as u64).saturating_mul(100) / (capacity.max(1) as u64);
+                if pct >= u64::from(t3_pct) {
+                    QualityTier::Tier3
+                } else if pct >= u64::from(t2_pct) {
+                    QualityTier::Tier2
+                } else if pct >= u64::from(t1_pct) {
+                    QualityTier::Tier1
+                } else {
+                    QualityTier::Full
+                }
+            }
+        }
+    }
+
+    /// Short stable label used in logs and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            QualityPolicy::FullOnly => "full-only",
+            QualityPolicy::Pinned(QualityTier::Full) => "pinned-full",
+            QualityPolicy::Pinned(QualityTier::Tier1) => "pinned-t1",
+            QualityPolicy::Pinned(QualityTier::Tier2) => "pinned-t2",
+            QualityPolicy::Pinned(QualityTier::Tier3) => "pinned-t3",
+            QualityPolicy::DegradeUnderPressure { .. } => "degrade-under-pressure",
+        }
+    }
+}
+
+impl std::fmt::Display for QualityPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
@@ -103,12 +279,20 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacities_are_clamped_to_one() {
+    fn zero_default_capacity_is_clamped_but_zero_shed_capacity_is_rejected() {
         assert_eq!(AdmissionPolicy::Block.capacity(0), 1);
-        assert_eq!(
-            AdmissionPolicy::ShedLowPriority { capacity: 0 }.capacity(64),
-            1
-        );
+        // ShedLowPriority { capacity: 0 } used to be silently clamped to 1;
+        // it is now a typed validation error instead of a rewritten config.
+        assert!(AdmissionPolicy::Block.validate().is_ok());
+        assert!(AdmissionPolicy::RejectWhenFull.validate().is_ok());
+        assert!(AdmissionPolicy::ShedLowPriority { capacity: 1 }
+            .validate()
+            .is_ok());
+        let error = AdmissionPolicy::ShedLowPriority { capacity: 0 }
+            .validate()
+            .expect_err("zero shed capacity must be rejected");
+        assert!(matches!(error, RenderError::InvalidConfiguration { .. }));
+        assert!(error.to_string().contains("capacity must be >= 1"));
     }
 
     #[test]
@@ -117,6 +301,88 @@ mod tests {
         assert_eq!(
             AdmissionPolicy::ShedLowPriority { capacity: 1 }.to_string(),
             "shed-low-priority"
+        );
+        assert_eq!(QualityPolicy::FullOnly.to_string(), "full-only");
+        assert_eq!(
+            QualityPolicy::Pinned(QualityTier::Tier2).to_string(),
+            "pinned-t2"
+        );
+        assert_eq!(
+            QualityPolicy::degrade_default().to_string(),
+            "degrade-under-pressure"
+        );
+    }
+
+    #[test]
+    fn quality_policy_defaults_to_full_only() {
+        assert_eq!(QualityPolicy::default(), QualityPolicy::FullOnly);
+        assert!(!QualityPolicy::FullOnly.can_degrade());
+        assert!(QualityPolicy::Pinned(QualityTier::Tier1).can_degrade());
+        assert!(QualityPolicy::degrade_default().can_degrade());
+        assert!(!QualityPolicy::FullOnly.extends_queue());
+        assert!(!QualityPolicy::Pinned(QualityTier::Tier3).extends_queue());
+        assert!(QualityPolicy::degrade_default().extends_queue());
+    }
+
+    #[test]
+    fn degenerate_quality_ladders_are_rejected() {
+        assert!(QualityPolicy::FullOnly.validate().is_ok());
+        assert!(QualityPolicy::Pinned(QualityTier::Tier3).validate().is_ok());
+        assert!(QualityPolicy::degrade_default().validate().is_ok());
+        let zero = QualityPolicy::DegradeUnderPressure {
+            t1_pct: 0,
+            t2_pct: 50,
+            t3_pct: 100,
+        };
+        assert!(matches!(
+            zero.validate(),
+            Err(RenderError::InvalidConfiguration { .. })
+        ));
+        let non_increasing = QualityPolicy::DegradeUnderPressure {
+            t1_pct: 50,
+            t2_pct: 50,
+            t3_pct: 100,
+        };
+        assert!(matches!(
+            non_increasing.validate(),
+            Err(RenderError::InvalidConfiguration { .. })
+        ));
+        let inverted = QualityPolicy::DegradeUnderPressure {
+            t1_pct: 80,
+            t2_pct: 60,
+            t3_pct: 100,
+        };
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn tier_mapping_is_deterministic_in_queue_state() {
+        let policy = QualityPolicy::degrade_default();
+        // Same state, same tier — and the default thresholds carve the
+        // depth range [0, 2*capacity) into the documented bands.
+        let capacity = 4;
+        let expected = [
+            QualityTier::Full,  // depth 0 ->   0%
+            QualityTier::Full,  // depth 1 ->  25%
+            QualityTier::Tier1, // depth 2 ->  50%
+            QualityTier::Tier2, // depth 3 ->  75%
+            QualityTier::Tier3, // depth 4 -> 100%
+            QualityTier::Tier3, // depth 5 -> 125%
+            QualityTier::Tier3, // depth 6 -> 150%
+            QualityTier::Tier3, // depth 7 -> 175%
+        ];
+        for (depth, want) in expected.iter().enumerate() {
+            assert_eq!(policy.tier_for(depth, capacity), *want, "depth {depth}");
+            assert_eq!(
+                policy.tier_for(depth, capacity),
+                policy.tier_for(depth, capacity),
+                "replay at depth {depth}"
+            );
+        }
+        assert_eq!(QualityPolicy::FullOnly.tier_for(1000, 1), QualityTier::Full);
+        assert_eq!(
+            QualityPolicy::Pinned(QualityTier::Tier2).tier_for(0, 64),
+            QualityTier::Tier2
         );
     }
 }

@@ -15,8 +15,9 @@
 //! resume, shutdown — flips mode flags that the fast path merely reads.
 
 use crate::job::JobShared;
-use crate::policy::{AdmissionPolicy, ShutdownMode};
+use crate::policy::{AdmissionPolicy, QualityPolicy, ShutdownMode};
 use crate::stats::EngineStats;
+use splat_scene::lod::{LodLadder, QualityTier};
 use splat_scene::Scene;
 use splat_types::{Camera, Priority, RenderError};
 use std::cmp::Reverse;
@@ -30,6 +31,14 @@ pub(crate) struct Job {
     pub cost: u64,
     pub scene: Arc<Scene>,
     pub camera: Camera,
+    /// Quality tier assigned at admission by the [`QualityPolicy`] from
+    /// the queue state observed under the lock. Workers serve the job at
+    /// this tier; it never changes after admission.
+    pub tier: QualityTier,
+    /// The prebuilt LOD ladder of a registered scene, when one exists.
+    /// Workers serving a degraded tier take the tier scene from here; an
+    /// inline (unregistered) submission derives it on the fly instead.
+    pub ladder: Option<Arc<LodLadder>>,
     pub shared: Arc<JobShared>,
 }
 
@@ -53,6 +62,11 @@ impl Job {
 struct Counters {
     submitted: u64,
     completed: u64,
+    full_quality: u64,
+    degraded: u64,
+    degraded_t1: u64,
+    degraded_t2: u64,
+    degraded_t3: u64,
     rejected: u64,
     cancelled: u64,
     active: usize,
@@ -75,17 +89,37 @@ struct QueueInner {
 #[derive(Debug)]
 pub(crate) struct JobQueue {
     capacity: usize,
+    /// The depth at which the admission policy actually fires. Equal to
+    /// `capacity` under [`QualityPolicy::FullOnly`] / `Pinned`; doubled
+    /// under `DegradeUnderPressure`, where the band `[capacity, 2*capacity)`
+    /// admits jobs at degraded tiers instead of shedding them — the ladder
+    /// is exhausted, and shedding begins, only at `2 * capacity`.
+    bound: usize,
     policy: AdmissionPolicy,
+    quality: QualityPolicy,
     inner: Mutex<QueueInner>,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
 impl JobQueue {
-    pub(crate) fn new(policy: AdmissionPolicy, default_capacity: usize, paused: bool) -> Self {
+    pub(crate) fn new(
+        policy: AdmissionPolicy,
+        quality: QualityPolicy,
+        default_capacity: usize,
+        paused: bool,
+    ) -> Self {
+        let capacity = policy.capacity(default_capacity);
+        let bound = if quality.extends_queue() {
+            capacity.saturating_mul(2)
+        } else {
+            capacity
+        };
         Self {
-            capacity: policy.capacity(default_capacity),
+            capacity,
+            bound,
             policy,
+            quality,
             inner: Mutex::new(QueueInner {
                 jobs: Vec::new(),
                 next_id: 0,
@@ -99,7 +133,8 @@ impl JobQueue {
         }
     }
 
-    /// The admission capacity (maximum queued jobs).
+    /// The admission capacity (maximum queued jobs before the quality
+    /// ladder — and after it, the admission policy — reacts).
     pub(crate) fn capacity(&self) -> usize {
         self.capacity
     }
@@ -116,12 +151,20 @@ impl JobQueue {
 
     /// Admits one submission under the configured policy, returning its
     /// job id, or the typed rejection.
+    ///
+    /// The job's [`QualityTier`] is decided here, under the queue lock,
+    /// from the depth the submission observes — degradation is an
+    /// admission-time decision, applied *before* the admission policy can
+    /// shed: under [`QualityPolicy::DegradeUnderPressure`] the policy arms
+    /// below only fire once the queue reaches twice its nominal capacity
+    /// (the ladder is exhausted).
     pub(crate) fn push(
         &self,
         scene: Arc<Scene>,
         camera: Camera,
         priority: Priority,
         cost: u64,
+        ladder: Option<Arc<LodLadder>>,
         shared: Arc<JobShared>,
     ) -> Result<u64, RenderError> {
         let mut shed_victim: Option<Job> = None;
@@ -130,7 +173,7 @@ impl JobQueue {
             if inner.draining || inner.aborted {
                 return Err(RenderError::ShutDown);
             }
-            if inner.jobs.len() < self.capacity {
+            if inner.jobs.len() < self.bound {
                 break;
             }
             match self.policy {
@@ -175,6 +218,10 @@ impl JobQueue {
                 }
             }
         }
+        // Tier selection is a pure function of the depth observed under
+        // the lock (jobs queued ahead of this one), so a replayed burst
+        // degrades at exactly the same submissions.
+        let tier = self.quality.tier_for(inner.jobs.len(), self.capacity);
         let id = inner.next_id;
         inner.next_id += 1;
         inner.jobs.push(Job {
@@ -183,6 +230,8 @@ impl JobQueue {
             cost,
             scene,
             camera,
+            tier,
+            ladder,
             shared,
         });
         inner.counters.submitted += 1;
@@ -235,11 +284,29 @@ impl JobQueue {
         Some(job)
     }
 
-    /// Records that a worker finished serving a popped job.
-    pub(crate) fn mark_completed(&self) {
+    /// Records that a worker finished serving a popped job at `tier`,
+    /// maintaining the identity
+    /// `completed == full_quality + degraded` (and `degraded` equal to the
+    /// sum of the per-tier counters).
+    pub(crate) fn mark_completed(&self, tier: QualityTier) {
         let mut inner = self.lock();
         inner.counters.active -= 1;
         inner.counters.completed += 1;
+        match tier {
+            QualityTier::Full => inner.counters.full_quality += 1,
+            QualityTier::Tier1 => {
+                inner.counters.degraded += 1;
+                inner.counters.degraded_t1 += 1;
+            }
+            QualityTier::Tier2 => {
+                inner.counters.degraded += 1;
+                inner.counters.degraded_t2 += 1;
+            }
+            QualityTier::Tier3 => {
+                inner.counters.degraded += 1;
+                inner.counters.degraded_t3 += 1;
+            }
+        }
     }
 
     /// Withdraws a still-queued job; `true` when it was found (its handle
@@ -306,6 +373,11 @@ impl JobQueue {
         EngineStats {
             submitted: inner.counters.submitted,
             completed: inner.counters.completed,
+            full_quality: inner.counters.full_quality,
+            degraded: inner.counters.degraded,
+            degraded_t1: inner.counters.degraded_t1,
+            degraded_t2: inner.counters.degraded_t2,
+            degraded_t3: inner.counters.degraded_t3,
             rejected: inner.counters.rejected,
             cancelled: inner.counters.cancelled,
             queued: inner.jobs.len(),
@@ -336,12 +408,16 @@ mod tests {
     }
 
     fn push(queue: &JobQueue, priority: Priority, cost: u64) -> Result<u64, RenderError> {
-        queue.push(scene(), camera(), priority, cost, JobShared::new())
+        queue.push(scene(), camera(), priority, cost, None, JobShared::new())
+    }
+
+    fn full_only(policy: AdmissionPolicy, default_capacity: usize, paused: bool) -> JobQueue {
+        JobQueue::new(policy, QualityPolicy::FullOnly, default_capacity, paused)
     }
 
     #[test]
     fn dispatch_is_priority_then_fifo() {
-        let queue = JobQueue::new(AdmissionPolicy::Block, 16, false);
+        let queue = full_only(AdmissionPolicy::Block, 16, false);
         push(&queue, Priority::Normal, 1).unwrap();
         push(&queue, Priority::High, 1).unwrap();
         push(&queue, Priority::Normal, 1).unwrap();
@@ -362,7 +438,7 @@ mod tests {
 
     #[test]
     fn reject_when_full_turns_the_incoming_job_away() {
-        let queue = JobQueue::new(AdmissionPolicy::RejectWhenFull, 2, true);
+        let queue = full_only(AdmissionPolicy::RejectWhenFull, 2, true);
         push(&queue, Priority::Critical, 1).unwrap();
         push(&queue, Priority::Low, 1).unwrap();
         assert_eq!(
@@ -380,7 +456,7 @@ mod tests {
     fn shedding_evicts_lowest_priority_then_highest_cost_then_youngest() {
         // No worker threads here: pops are explicit, so the queue need not
         // be paused for the admissions to stage deterministically.
-        let queue = JobQueue::new(AdmissionPolicy::ShedLowPriority { capacity: 3 }, 64, false);
+        let queue = full_only(AdmissionPolicy::ShedLowPriority { capacity: 3 }, 64, false);
         let a = push(&queue, Priority::Low, 10).unwrap();
         let _b = push(&queue, Priority::Low, 30).unwrap(); // shed below
         let c = push(&queue, Priority::Normal, 10).unwrap();
@@ -394,7 +470,7 @@ mod tests {
 
     #[test]
     fn incoming_job_loses_shedding_ties() {
-        let queue = JobQueue::new(AdmissionPolicy::ShedLowPriority { capacity: 2 }, 64, true);
+        let queue = full_only(AdmissionPolicy::ShedLowPriority { capacity: 2 }, 64, true);
         push(&queue, Priority::Normal, 10).unwrap();
         push(&queue, Priority::Normal, 10).unwrap();
         // Same priority, same cost: the incoming job is the latest arrival
@@ -413,7 +489,7 @@ mod tests {
 
     #[test]
     fn cancel_frees_the_slot_and_reports_cancelled() {
-        let queue = JobQueue::new(AdmissionPolicy::Block, 4, true);
+        let queue = full_only(AdmissionPolicy::Block, 4, true);
         let id = push(&queue, Priority::Normal, 1).unwrap();
         assert!(queue.cancel(id));
         assert!(!queue.cancel(id), "second cancel finds nothing");
@@ -424,7 +500,7 @@ mod tests {
 
     #[test]
     fn drain_shutdown_serves_the_backlog_then_stops() {
-        let queue = JobQueue::new(AdmissionPolicy::Block, 4, true);
+        let queue = full_only(AdmissionPolicy::Block, 4, true);
         push(&queue, Priority::Normal, 1).unwrap();
         push(&queue, Priority::Normal, 1).unwrap();
         queue.shutdown(ShutdownMode::Drain);
@@ -439,10 +515,17 @@ mod tests {
 
     #[test]
     fn abort_shutdown_discards_the_backlog() {
-        let queue = JobQueue::new(AdmissionPolicy::Block, 4, true);
+        let queue = full_only(AdmissionPolicy::Block, 4, true);
         let shared = JobShared::new();
         queue
-            .push(scene(), camera(), Priority::Normal, 1, Arc::clone(&shared))
+            .push(
+                scene(),
+                camera(),
+                Priority::Normal,
+                1,
+                None,
+                Arc::clone(&shared),
+            )
             .unwrap();
         queue.shutdown(ShutdownMode::Abort);
         assert!(queue.pop().is_none());
@@ -451,7 +534,7 @@ mod tests {
 
     #[test]
     fn pause_gates_dispatch_without_refusing_admission() {
-        let queue = Arc::new(JobQueue::new(AdmissionPolicy::Block, 4, true));
+        let queue = Arc::new(full_only(AdmissionPolicy::Block, 4, true));
         push(&queue, Priority::Normal, 1).unwrap();
         assert!(queue.is_paused());
         // A popper blocks while paused; resuming releases it.
@@ -466,8 +549,119 @@ mod tests {
     }
 
     #[test]
+    fn degrade_under_pressure_admits_into_the_extended_band_before_shedding() {
+        // Nominal capacity 4, ladder enabled: the band [4, 8) admits at
+        // degraded tiers; shedding only starts at depth 8.
+        let queue = JobQueue::new(
+            AdmissionPolicy::ShedLowPriority { capacity: 4 },
+            QualityPolicy::degrade_default(),
+            64,
+            true,
+        );
+        let mut outcomes = Vec::new();
+        for _ in 0..16 {
+            outcomes.push(push(&queue, Priority::Normal, 10).is_ok());
+        }
+        assert_eq!(
+            outcomes,
+            [
+                true, true, true, true, // full band [0, 4)
+                true, true, true, true, // degraded band [4, 8)
+                false, false, false, false, false, false, false, false,
+            ],
+            "first 2x capacity admissions succeed, the rest shed"
+        );
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.rejected, 8);
+
+        // The identical burst against a FullOnly queue sheds strictly more.
+        let full_only_queue = full_only(AdmissionPolicy::ShedLowPriority { capacity: 4 }, 64, true);
+        for _ in 0..16 {
+            let _ = push(&full_only_queue, Priority::Normal, 10);
+        }
+        assert_eq!(full_only_queue.stats().rejected, 12);
+        assert!(stats.rejected < full_only_queue.stats().rejected);
+
+        // Tier assignment followed the depth bands deterministically
+        // (dispatch is FIFO here: one priority class, ids in order).
+        queue.resume();
+        let tiers: Vec<QualityTier> = (0..8).map(|_| queue.pop().unwrap().tier).collect();
+        assert_eq!(
+            tiers,
+            vec![
+                QualityTier::Full,
+                QualityTier::Full,
+                QualityTier::Tier1,
+                QualityTier::Tier2,
+                QualityTier::Tier3,
+                QualityTier::Tier3,
+                QualityTier::Tier3,
+                QualityTier::Tier3,
+            ]
+        );
+    }
+
+    #[test]
+    fn full_only_and_pinned_policies_keep_the_nominal_bound() {
+        let pinned = JobQueue::new(
+            AdmissionPolicy::RejectWhenFull,
+            QualityPolicy::Pinned(QualityTier::Tier2),
+            2,
+            true,
+        );
+        assert!(push(&pinned, Priority::Normal, 1).is_ok());
+        assert!(push(&pinned, Priority::Normal, 1).is_ok());
+        // Pinned quality does not extend the queue: the third submission
+        // is rejected at the nominal capacity, but every admitted job
+        // carries the pinned tier.
+        assert_eq!(
+            push(&pinned, Priority::Normal, 1),
+            Err(RenderError::Overloaded { capacity: 2 })
+        );
+        pinned.resume();
+        assert_eq!(queue_tiers(&pinned, 2), vec![QualityTier::Tier2; 2]);
+    }
+
+    fn queue_tiers(queue: &JobQueue, n: usize) -> Vec<QualityTier> {
+        (0..n).map(|_| queue.pop().unwrap().tier).collect()
+    }
+
+    #[test]
+    fn completion_counters_split_by_tier_and_reconcile() {
+        let queue = JobQueue::new(
+            AdmissionPolicy::ShedLowPriority { capacity: 2 },
+            QualityPolicy::degrade_default(),
+            64,
+            true,
+        );
+        for _ in 0..4 {
+            push(&queue, Priority::Normal, 1).unwrap();
+        }
+        // Depths 0..3 of capacity 2: 0% -> Full, 50% -> T1, 100% -> T3,
+        // 150% -> T3.
+        queue.resume();
+        for _ in 0..4 {
+            let job = queue.pop().unwrap();
+            queue.mark_completed(job.tier);
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.full_quality, 1);
+        assert_eq!(stats.degraded, 3);
+        assert_eq!(stats.degraded_t1, 1);
+        assert_eq!(stats.degraded_t2, 0);
+        assert_eq!(stats.degraded_t3, 2);
+        assert_eq!(stats.completed, stats.full_quality + stats.degraded);
+        assert_eq!(
+            stats.degraded,
+            stats.degraded_t1 + stats.degraded_t2 + stats.degraded_t3
+        );
+    }
+
+    #[test]
     fn blocked_submitter_wakes_when_a_slot_frees() {
-        let queue = Arc::new(JobQueue::new(AdmissionPolicy::Block, 1, true));
+        let queue = Arc::new(full_only(AdmissionPolicy::Block, 1, true));
         let first = push(&queue, Priority::Normal, 1).unwrap();
         let submitter = {
             let queue = Arc::clone(&queue);

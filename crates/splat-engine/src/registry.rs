@@ -27,9 +27,24 @@
 //! jobs already holding the scene's `Arc` keep rendering unaffected, and
 //! the bytes are released when the last holder drops.
 
+use splat_scene::lod::LodLadder;
 use splat_scene::Scene;
 use splat_types::{RenderError, SceneId, Vec3};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Process-wide source of registry epochs. Every [`SceneRegistry`] takes
+/// one epoch at construction and salts it into the upper bits of each
+/// [`SceneId`] it issues, so a handle minted by one engine can never be
+/// misread by another: a foreign id fails the epoch check and resolves to
+/// [`RenderError::UnknownScene`] instead of a misleading
+/// [`RenderError::Evicted`]. Monotonic and deterministic in construction
+/// order (the first registry of a process is always epoch 1).
+static REGISTRY_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Bits of a raw [`SceneId`] holding the per-registry sequence number;
+/// the epoch occupies the bits above.
+const SCENE_ID_SEQ_BITS: u32 = 32;
 
 /// The slow-timescale residency budget of a serving engine's scene
 /// registry.
@@ -117,6 +132,7 @@ impl ResidencyPolicy {
 #[derive(Debug, Clone)]
 pub struct PreparedScene {
     scene: Arc<Scene>,
+    ladder: Option<Arc<LodLadder>>,
     id: SceneId,
     footprint_bytes: usize,
     soa_footprint_bytes: usize,
@@ -130,7 +146,12 @@ impl PreparedScene {
     /// is taken (the id is assigned under the lock via
     /// [`PreparedScene::with_id`]), so registering a huge scene never
     /// stalls concurrent resolves.
-    fn prepare(scene: Arc<Scene>) -> Result<Self, RenderError> {
+    ///
+    /// When `build_ladder` is set (the engine's `QualityPolicy` can
+    /// degrade), the deterministic LOD ladder is derived here too — once
+    /// per registration, shared by every degraded job via `Arc` — and its
+    /// footprint joins the residency charge.
+    fn prepare(scene: Arc<Scene>, build_ladder: bool) -> Result<Self, RenderError> {
         // An empty scene can never render (`RenderError::EmptyScene` at
         // every serve) and has no bounds; refuse it at registration so a
         // handle always points at servable work.
@@ -140,13 +161,16 @@ impl PreparedScene {
         // build (and the allocation lands outside any render session's
         // steady state).
         let soa_footprint_bytes = scene.soa().footprint_bytes();
+        let ladder = build_ladder.then(|| Arc::new(LodLadder::build(&scene)));
+        let ladder_bytes = ladder.as_ref().map_or(0, |ladder| ladder.footprint_bytes());
         Ok(Self {
-            footprint_bytes: scene.footprint_bytes(),
+            footprint_bytes: scene.footprint_bytes() + ladder_bytes,
             soa_footprint_bytes,
             splat_count: scene.len(),
             centroid: scene.centroid(),
             bounds,
             scene,
+            ladder,
             id: SceneId::from_raw(u64::MAX),
         })
     }
@@ -163,13 +187,22 @@ impl PreparedScene {
         &self.scene
     }
 
+    /// The prebuilt LOD ladder, present when the engine's `QualityPolicy`
+    /// can degrade. Tier scenes are shared: a degraded serve costs one
+    /// `Arc` clone, never a rebuild.
+    pub fn ladder(&self) -> Option<&Arc<LodLadder>> {
+        self.ladder.as_ref()
+    }
+
     /// The handle this engine issued for the scene.
     pub fn id(&self) -> SceneId {
         self.id
     }
 
-    /// Resident footprint ([`Scene::footprint_bytes`]) charged against the
-    /// [`ResidencyPolicy`] byte budget.
+    /// Resident footprint charged against the [`ResidencyPolicy`] byte
+    /// budget: [`Scene::footprint_bytes`] plus, when a LOD ladder was
+    /// prebuilt, [`LodLadder::footprint_bytes`] — the ladder's tier scenes
+    /// are resident memory like the full scene itself.
     pub fn footprint_bytes(&self) -> usize {
         self.footprint_bytes
     }
@@ -237,8 +270,10 @@ struct RegistryInner {
     /// stays sorted by id). Linear scans keep eviction a pure, obviously
     /// deterministic function of the contents.
     scenes: Vec<Resident>,
-    /// Next [`SceneId`] to issue; doubles as the "was this id ever
-    /// issued?" watermark distinguishing `UnknownScene` from `Evicted`.
+    /// Next sequence number to issue (the low half of a raw [`SceneId`];
+    /// the registry's epoch fills the upper bits). Doubles as the "was
+    /// this id ever issued?" watermark distinguishing `UnknownScene` from
+    /// `Evicted` — but only for ids carrying *this* registry's epoch.
     next_id: u64,
     /// Monotonic stamp handed to each resolve (one per served job).
     serve_tick: u64,
@@ -259,13 +294,22 @@ struct RegistryInner {
 #[derive(Debug)]
 pub(crate) struct SceneRegistry {
     policy: ResidencyPolicy,
+    /// This registry's epoch, salted into the upper bits of every issued
+    /// [`SceneId`] so handles from other engines are recognized as
+    /// foreign (see [`REGISTRY_EPOCH`]).
+    epoch: u64,
+    /// Whether registrations prebuild the deterministic LOD ladder (set
+    /// when the engine's `QualityPolicy` can degrade).
+    build_ladders: bool,
     inner: Mutex<RegistryInner>,
 }
 
 impl SceneRegistry {
-    pub(crate) fn new(policy: ResidencyPolicy) -> Self {
+    pub(crate) fn new(policy: ResidencyPolicy, build_ladders: bool) -> Self {
         Self {
             policy,
+            epoch: REGISTRY_EPOCH.fetch_add(1, Ordering::Relaxed),
+            build_ladders,
             inner: Mutex::new(RegistryInner::default()),
         }
     }
@@ -293,7 +337,7 @@ impl SceneRegistry {
     /// a large deallocation.
     pub(crate) fn register(&self, scene: Arc<Scene>) -> Result<SceneId, RenderError> {
         self.policy.validate()?;
-        let prepared = PreparedScene::prepare(scene)?;
+        let prepared = PreparedScene::prepare(scene, self.build_ladders)?;
         if prepared.footprint_bytes() > self.policy.max_resident_bytes {
             return Err(RenderError::InvalidConfiguration {
                 reason: format!(
@@ -305,7 +349,7 @@ impl SceneRegistry {
             });
         }
         let mut inner = self.lock();
-        let id = SceneId::from_raw(inner.next_id);
+        let id = SceneId::from_raw((self.epoch << SCENE_ID_SEQ_BITS) | inner.next_id);
         inner.next_id += 1;
         inner.registered += 1;
         inner.resident_bytes += prepared.footprint_bytes();
@@ -382,13 +426,27 @@ impl SceneRegistry {
     /// with [`SceneRegistry::commit_serve`] once the job is in). A miss is
     /// counted immediately: the job is refused at the door either way.
     pub(crate) fn resolve(&self, id: SceneId) -> Result<Arc<Scene>, RenderError> {
+        self.resolve_with_ladder(id).map(|(scene, _)| scene)
+    }
+
+    /// [`SceneRegistry::resolve`] plus the scene's prebuilt LOD ladder
+    /// (when registrations build one) — the submission path threads the
+    /// ladder into the job so degraded serves reuse the shared tier
+    /// scenes. Same counting rules as `resolve`.
+    pub(crate) fn resolve_with_ladder(
+        &self,
+        id: SceneId,
+    ) -> Result<(Arc<Scene>, Option<Arc<LodLadder>>), RenderError> {
         let mut inner = self.lock();
         match inner
             .scenes
             .iter()
             .find(|resident| resident.prepared.id() == id)
         {
-            Some(resident) => Ok(Arc::clone(resident.prepared.scene())),
+            Some(resident) => Ok((
+                Arc::clone(resident.prepared.scene()),
+                resident.prepared.ladder.clone(),
+            )),
             None => {
                 inner.misses += 1;
                 Err(self.miss_error(&inner, id))
@@ -417,8 +475,16 @@ impl SceneRegistry {
 
     /// `UnknownScene` for ids this registry never issued, `Evicted` for
     /// ids that were registered and later removed.
+    ///
+    /// Both the epoch (upper bits) and the sequence watermark (lower
+    /// bits) must match: an id minted by a *different* engine carries a
+    /// different epoch and is `UnknownScene` even when its sequence
+    /// number happens to fall below this registry's watermark — the old
+    /// `raw < next_id` check misreported exactly that case as `Evicted`.
     fn miss_error(&self, inner: &RegistryInner, id: SceneId) -> RenderError {
-        if id.raw() < inner.next_id {
+        let epoch = id.raw() >> SCENE_ID_SEQ_BITS;
+        let sequence = id.raw() & ((1 << SCENE_ID_SEQ_BITS) - 1);
+        if epoch == self.epoch && sequence < inner.next_id {
             RenderError::Evicted { id }
         } else {
             RenderError::UnknownScene { id }
@@ -469,7 +535,7 @@ mod tests {
     }
 
     fn registry(policy: ResidencyPolicy) -> SceneRegistry {
-        SceneRegistry::new(policy)
+        SceneRegistry::new(policy, false)
     }
 
     /// Resolve + commit, the way the engine serves a job off a handle.
@@ -646,6 +712,62 @@ mod tests {
             .validate()
             .is_err());
         assert!(ResidencyPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn foreign_ids_resolve_to_unknown_scene_not_evicted() {
+        // Two registries, each with its own epoch. Registry B's watermark
+        // is ahead of A's sequence numbers, so before the epoch salt this
+        // misclassified A's handles as B's evicted scenes.
+        let registry_a = registry(ResidencyPolicy::unlimited());
+        let registry_b = registry(ResidencyPolicy::unlimited());
+        let a0 = registry_a.register(scene(0)).unwrap();
+        let b0 = registry_b.register(scene(1)).unwrap();
+        let b1 = registry_b.register(scene(2)).unwrap();
+        assert_ne!(a0, b0, "epoch salt separates the id spaces");
+
+        // A foreign handle is Unknown, never Evicted — even after B has
+        // issued (and could have evicted) ids with larger sequences.
+        registry_b.evict(b0).unwrap();
+        assert_eq!(
+            registry_b.resolve(a0),
+            Err(RenderError::UnknownScene { id: a0 })
+        );
+        assert_eq!(
+            registry_a.resolve(b1),
+            Err(RenderError::UnknownScene { id: b1 })
+        );
+        // The registries' own miss classification still distinguishes
+        // evicted from never-issued.
+        assert_eq!(registry_b.resolve(b0), Err(RenderError::Evicted { id: b0 }));
+    }
+
+    #[test]
+    fn ladders_are_built_only_when_requested_and_join_the_residency_charge() {
+        let shared = scene(0);
+        let plain = registry(ResidencyPolicy::unlimited());
+        let plain_id = plain.register(Arc::clone(&shared)).unwrap();
+        let prepared = plain.prepared(plain_id).expect("resident");
+        assert!(prepared.ladder().is_none(), "FullOnly engines skip ladders");
+        assert_eq!(prepared.footprint_bytes(), shared.footprint_bytes());
+
+        let laddered = SceneRegistry::new(ResidencyPolicy::unlimited(), true);
+        let id = laddered.register(Arc::clone(&shared)).unwrap();
+        let prepared = laddered.prepared(id).expect("resident");
+        let ladder = prepared.ladder().expect("degradable engines prebuild");
+        assert_eq!(
+            prepared.footprint_bytes(),
+            shared.footprint_bytes() + ladder.footprint_bytes(),
+            "the ladder is resident memory and the budget observes it"
+        );
+        assert_eq!(laddered.stats().resident_bytes, prepared.footprint_bytes());
+        // The submission path gets the same shared ladder back.
+        let (resolved, resolved_ladder) = laddered.resolve_with_ladder(id).unwrap();
+        assert!(Arc::ptr_eq(&resolved, &shared));
+        assert!(Arc::ptr_eq(
+            resolved_ladder.as_ref().expect("ladder travels"),
+            ladder
+        ));
     }
 
     #[test]

@@ -22,8 +22,21 @@ pub struct EngineStats {
     /// Jobs admitted into the queue.
     pub submitted: u64,
     /// Jobs fully served by a worker (whether the render succeeded or
-    /// returned a typed error).
+    /// returned a typed error). Splits exactly into
+    /// `full_quality + degraded`.
     pub completed: u64,
+    /// Completed jobs served at [`QualityTier::Full`](splat_scene::lod::QualityTier).
+    pub full_quality: u64,
+    /// Completed jobs served below full quality by the `QualityPolicy`
+    /// ladder: `degraded == degraded_t1 + degraded_t2 + degraded_t3`.
+    pub degraded: u64,
+    /// Completed jobs served at tier 1 (reduced SH degree).
+    pub degraded_t1: u64,
+    /// Completed jobs served at tier 2 (tier 1 + opacity pruning).
+    pub degraded_t2: u64,
+    /// Completed jobs served at tier 3 (tier 2 + decimation, rendered at
+    /// half resolution and upsampled at delivery).
+    pub degraded_t3: u64,
     /// Jobs rejected with `RenderError::Overloaded`: submissions refused at
     /// the door (`RejectWhenFull`, or an incoming job that lost the
     /// shedding comparison) plus queued jobs deflated by `ShedLowPriority`.
@@ -68,12 +81,19 @@ impl EngineStats {
     /// bench and the serving example).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"cancelled\":{},\
+            "{{\"submitted\":{},\"completed\":{},\"full_quality\":{},\"degraded\":{},\
+             \"degraded_t1\":{},\"degraded_t2\":{},\"degraded_t3\":{},\
+             \"rejected\":{},\"cancelled\":{},\
              \"queued\":{},\"active\":{},\"queue_high_water\":{},\
              \"registered\":{},\"evicted\":{},\"scene_hits\":{},\"scene_misses\":{},\
              \"resident_scenes\":{},\"resident_bytes\":{}}}",
             self.submitted,
             self.completed,
+            self.full_quality,
+            self.degraded,
+            self.degraded_t1,
+            self.degraded_t2,
+            self.degraded_t3,
             self.rejected,
             self.cancelled,
             self.queued,
@@ -93,11 +113,18 @@ impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "submitted {} / completed {} / rejected {} / cancelled {} / \
-             queued {} / active {} / high water {} / scenes {} registered, \
-             {} resident ({} B, {} evicted, {} hits, {} misses)",
+            "submitted {} / completed {} ({} full_quality, {} degraded: \
+             {} degraded_t1, {} degraded_t2, {} degraded_t3) / rejected {} / \
+             cancelled {} / queued {} / active {} / high water {} / \
+             scenes {} registered, {} resident ({} B, {} evicted, {} hits, \
+             {} misses)",
             self.submitted,
             self.completed,
+            self.full_quality,
+            self.degraded,
+            self.degraded_t1,
+            self.degraded_t2,
+            self.degraded_t3,
             self.rejected,
             self.cancelled,
             self.queued,
@@ -132,6 +159,11 @@ mod tests {
         let stats = EngineStats {
             submitted: 10,
             completed: 6,
+            full_quality: 4,
+            degraded: 2,
+            degraded_t1: 1,
+            degraded_t2: 0,
+            degraded_t3: 1,
             rejected: 2,
             cancelled: 1,
             queued: 1,
@@ -148,6 +180,11 @@ mod tests {
         for field in [
             "\"submitted\":10",
             "\"completed\":6",
+            "\"full_quality\":4",
+            "\"degraded\":2",
+            "\"degraded_t1\":1",
+            "\"degraded_t2\":0",
+            "\"degraded_t3\":1",
             "\"rejected\":2",
             "\"cancelled\":1",
             "\"queued\":1",
@@ -166,6 +203,29 @@ mod tests {
         assert!(stats.to_string().contains("3 registered"));
         assert!(stats.to_string().contains("2 resident"));
         assert!(stats.to_string().contains("1 evicted"));
+        assert!(stats.to_string().contains("4 full_quality"));
+        assert!(stats.to_string().contains("2 degraded"));
+        assert!(stats.to_string().contains("1 degraded_t1"));
+        assert!(stats.to_string().contains("0 degraded_t2"));
+        assert!(stats.to_string().contains("1 degraded_t3"));
+    }
+
+    #[test]
+    fn quality_identity_reconciles_in_the_documented_way() {
+        let stats = EngineStats {
+            completed: 6,
+            full_quality: 4,
+            degraded: 2,
+            degraded_t1: 1,
+            degraded_t2: 0,
+            degraded_t3: 1,
+            ..Default::default()
+        };
+        assert_eq!(stats.completed, stats.full_quality + stats.degraded);
+        assert_eq!(
+            stats.degraded,
+            stats.degraded_t1 + stats.degraded_t2 + stats.degraded_t3
+        );
     }
 
     #[test]

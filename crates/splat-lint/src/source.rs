@@ -252,11 +252,13 @@ fn find_test_ranges(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
                         group_names.push(std::mem::take(&mut last_ident));
                     }
                     TokenKind::Punct(')') => {
-                        depth -= 1;
+                        // Saturate: a malformed attribute (stray `)`
+                        // before any `(`) must not underflow the scan.
+                        depth = depth.saturating_sub(1);
                         group_names.pop();
                     }
                     TokenKind::Punct(']') => {
-                        depth -= 1;
+                        depth = depth.saturating_sub(1);
                         if depth == 0 {
                             break;
                         }

@@ -111,6 +111,9 @@ pub fn decode_scene(buf: &[u8]) -> Result<Scene, DecodeError> {
         if !scale.is_finite() {
             return Err(DecodeError::NonFinite("scale"));
         }
+        if !(scale.x > 0.0 && scale.y > 0.0 && scale.z > 0.0) {
+            return Err(DecodeError::InvalidField("scale"));
+        }
         let rotation = Quat::new(
             reader.get_f32_le()?,
             reader.get_f32_le()?,
@@ -124,9 +127,19 @@ pub fn decode_scene(buf: &[u8]) -> Result<Scene, DecodeError> {
         {
             return Err(DecodeError::NonFinite("rotation"));
         }
+        // A near-zero quaternion cannot be normalized into a rotation:
+        // downstream it would either divide to NaN or be silently rewritten
+        // to the identity — a different splat than the buffer declared.
+        // Reject it here instead.
+        if rotation.norm() <= f32::EPSILON {
+            return Err(DecodeError::InvalidField("rotation"));
+        }
         let opacity = reader.get_f32_le()?;
         if !opacity.is_finite() {
             return Err(DecodeError::NonFinite("opacity"));
+        }
+        if !(0.0..=1.0).contains(&opacity) {
+            return Err(DecodeError::InvalidField("opacity"));
         }
         let coeff_count = reader.get_u8()? as usize;
         let mut coeffs = Vec::with_capacity(coeff_count);
@@ -293,6 +306,47 @@ mod tests {
 
     fn patch_f32(bytes: &mut [u8], offset: usize, value: f32) {
         bytes[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    #[test]
+    fn out_of_domain_parameters_are_rejected_at_the_loader_boundary() {
+        let scene = sample_scene();
+        let base = first_splat_offset(&scene);
+        // Finite but out-of-domain values must be refused with the
+        // offending field, not the catch-all `gaussian` error (and never
+        // silently rewritten): opacity outside [0, 1], non-positive scale.
+        let cases = [
+            ("opacity", 40, 1.5),
+            ("opacity", 40, -0.25),
+            ("scale", 12, 0.0),
+            ("scale", 16, -1.0),
+        ];
+        for (field, offset, value) in cases {
+            let mut bytes = encode_scene(&scene);
+            patch_f32(&mut bytes, base + offset, value);
+            assert_eq!(
+                decode_scene(&bytes),
+                Err(DecodeError::InvalidField(field)),
+                "out-of-domain {field} = {value} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_quaternion_is_rejected_not_rewritten() {
+        // A zero rotation quaternion cannot be normalized; earlier versions
+        // let it through and the builder silently rewrote it to the
+        // identity — a different splat than the buffer declared.
+        let scene = sample_scene();
+        let base = first_splat_offset(&scene);
+        let mut bytes = encode_scene(&scene);
+        for component in 0..4 {
+            patch_f32(&mut bytes, base + 24 + component * 4, 0.0);
+        }
+        assert_eq!(
+            decode_scene(&bytes),
+            Err(DecodeError::InvalidField("rotation"))
+        );
     }
 
     #[test]

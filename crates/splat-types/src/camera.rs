@@ -234,6 +234,32 @@ impl Camera {
         self
     }
 
+    /// The same pose at half the output resolution.
+    ///
+    /// Focal lengths and the principal point are scaled by exactly 0.5 (a
+    /// power of two, so the scaling is bit-exact); odd dimensions round
+    /// *outward* (`div_ceil`) so every full-resolution pixel has a source
+    /// texel when the half-resolution frame is upsampled 2× at delivery,
+    /// and the tile grid stays consistent with the intrinsics. The pose,
+    /// clip range and field of view are unchanged.
+    pub fn half_resolution(&self) -> Self {
+        let i = &self.intrinsics;
+        Self {
+            intrinsics: CameraIntrinsics {
+                focal_x: i.focal_x * 0.5,
+                focal_y: i.focal_y * 0.5,
+                center_x: i.center_x * 0.5,
+                center_y: i.center_y * 0.5,
+                width: i.width.div_ceil(2),
+                height: i.height.div_ceil(2),
+            },
+            view: self.view,
+            position: self.position,
+            near: self.near,
+            far: self.far,
+        }
+    }
+
     /// The camera intrinsics.
     #[inline]
     pub fn intrinsics(&self) -> &CameraIntrinsics {
@@ -458,6 +484,46 @@ mod tests {
         // keeps points slightly outside.
         assert!(cam.is_in_frustum(Vec3::new(0.0, 11.0, 10.0), 0.0));
         assert!(!cam.is_in_frustum(Vec3::new(0.0, 20.0, 10.0), 0.0));
+    }
+
+    #[test]
+    fn half_resolution_halves_intrinsics_and_rounds_outward() {
+        let cam = test_camera();
+        let half = cam.half_resolution();
+        let (full_i, half_i) = (cam.intrinsics(), half.intrinsics());
+        assert_eq!(half_i.width, 400);
+        assert_eq!(half_i.height, 300);
+        assert_eq!(half_i.focal_x.to_bits(), (full_i.focal_x * 0.5).to_bits());
+        assert_eq!(half_i.focal_y.to_bits(), (full_i.focal_y * 0.5).to_bits());
+        assert_eq!(half_i.center_x.to_bits(), (full_i.center_x * 0.5).to_bits());
+        assert_eq!(half_i.center_y.to_bits(), (full_i.center_y * 0.5).to_bits());
+        // Pose, clip range and field of view are untouched.
+        assert_eq!(half.view_matrix(), cam.view_matrix());
+        assert_eq!(half.position(), cam.position());
+        assert_eq!(half.near(), cam.near());
+        assert_eq!(half.far(), cam.far());
+        assert!((half_i.fov_y() - full_i.fov_y()).abs() < 1e-5);
+        assert!(half.validate().is_ok());
+
+        // Odd dimensions round outward so upsampling 2x always has a
+        // source texel: 97x63 -> 49x32, and 2*49 >= 97, 2*32 >= 63.
+        let odd = Camera::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::Y,
+            CameraIntrinsics::from_fov_y(1.0, 97, 63),
+        )
+        .half_resolution();
+        assert_eq!(odd.intrinsics().width, 49);
+        assert_eq!(odd.intrinsics().height, 32);
+        assert!(odd.validate().is_ok());
+
+        // Half-resolution is idempotent in shape: applying it twice keeps
+        // shrinking without ever hitting zero.
+        let tiny = odd.half_resolution().half_resolution().half_resolution();
+        assert!(tiny.intrinsics().width >= 1);
+        assert!(tiny.intrinsics().height >= 1);
+        assert!(tiny.validate().is_ok());
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl Gaussian3d {
         &self.sh
     }
 
+    /// Returns a copy with the SH coefficients replaced and every other
+    /// parameter preserved bit-exactly — no re-validation and no rotation
+    /// re-normalization, so derived views (LOD tiers) stay geometrically
+    /// identical to their source splat.
+    pub fn with_sh(&self, sh: ShCoefficients) -> Gaussian3d {
+        Gaussian3d { sh, ..self.clone() }
+    }
+
     /// The 3×3 world-space covariance `Σ = R S Sᵀ Rᵀ` (`3D_Cov`).
     pub fn covariance(&self) -> Mat3 {
         Self::covariance_of(self.scale, self.rotation)

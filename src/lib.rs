@@ -85,7 +85,8 @@ pub mod prelude {
     };
     pub use splat_engine::{
         AdmissionPolicy, Backend, Engine, EngineBuilder, EngineStats, JobHandle, JobStatus,
-        PreparedScene, ResidencyPolicy, SceneRef, ShutdownMode, SubmitRequest, TrajectoryHandle,
+        LodLadder, PreparedScene, QualityPolicy, QualityTier, ResidencyPolicy, SceneRef,
+        ShutdownMode, SubmitRequest, TrajectoryHandle,
     };
     pub use splat_metrics::{geometric_mean, Table};
     pub use splat_render::{BoundaryMethod, PrepassMode, RenderConfig, RenderSession, Renderer};

@@ -185,6 +185,16 @@ fn engine_stats_reconcile_after_drain() {
     assert_eq!(stats.scene_hits, 4, "one recency touch per admitted job");
     assert_eq!(stats.scene_misses, 0);
 
+    // Quality timescale: a FullOnly engine serves everything at full
+    // quality, and the completion identity splits exactly.
+    assert_eq!(stats.full_quality, 4);
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.completed, stats.full_quality + stats.degraded);
+    assert_eq!(
+        stats.degraded,
+        stats.degraded_t1 + stats.degraded_t2 + stats.degraded_t3
+    );
+
     // Scene timescale: registered == resident + evicted, before and after
     // an explicit eviction; resident bytes track the scene footprints.
     assert_eq!(stats.registered, 1);
@@ -199,5 +209,66 @@ fn engine_stats_reconcile_after_drain() {
     assert_eq!(
         after.registered,
         after.resident_scenes as u64 + after.evicted
+    );
+}
+
+/// The quality ladder under pressure: a paused engine loaded to twice the
+/// shed capacity admits the nominal band at full quality and the extended
+/// band at deterministic degraded tiers, sheds the rest, and reconciles
+/// `completed == full_quality + degraded` — while rejecting strictly fewer
+/// jobs than a `FullOnly` twin fed the identical burst.
+#[test]
+fn quality_ladder_counters_reconcile_under_pressure() {
+    let scene = Arc::new(PaperScene::Train.build(SceneScale::Tiny, 7));
+    let cam = camera(64, 48);
+    let burst = |quality: QualityPolicy| {
+        let engine = Engine::builder()
+            .threads(1)
+            .admission(AdmissionPolicy::ShedLowPriority { capacity: 4 })
+            .quality(quality)
+            .start_paused(true)
+            .build()
+            .expect("valid engine configuration");
+        // Sixteen submissions against the paused queue: depths — and
+        // therefore tiers — are a pure function of the arrival index.
+        let handles: Vec<JobHandle> = (0..16)
+            .filter_map(|_| {
+                engine
+                    .submit(SubmitRequest::new(Arc::clone(&scene), cam))
+                    .ok()
+            })
+            .collect();
+        engine.resume();
+        let admitted = handles.len();
+        for handle in handles {
+            handle.wait().expect("admitted job completes");
+        }
+        (admitted, engine.stats())
+    };
+
+    let (admitted, stats) = burst(QualityPolicy::degrade_default());
+    // Nominal band [0, 4) at depths 0..4: 0% and 25% stay Full, 50% is
+    // Tier1, 75% is Tier2; the extension band [4, 8) is all Tier3.
+    assert_eq!(admitted, 8, "2x capacity admitted under the ladder");
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.rejected, 8);
+    assert_eq!(stats.full_quality, 2);
+    assert_eq!(stats.degraded, 6);
+    assert_eq!(stats.degraded_t1, 1);
+    assert_eq!(stats.degraded_t2, 1);
+    assert_eq!(stats.degraded_t3, 4);
+    assert_eq!(stats.completed, stats.full_quality + stats.degraded);
+    assert_eq!(
+        stats.degraded,
+        stats.degraded_t1 + stats.degraded_t2 + stats.degraded_t3
+    );
+
+    let (full_admitted, full_stats) = burst(QualityPolicy::FullOnly);
+    assert_eq!(full_admitted, 4, "FullOnly keeps the nominal bound");
+    assert_eq!(full_stats.rejected, 12);
+    assert_eq!(full_stats.degraded, 0);
+    assert!(
+        stats.rejected < full_stats.rejected,
+        "degrading before shedding must reject strictly fewer jobs"
     );
 }

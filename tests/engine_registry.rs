@@ -117,34 +117,53 @@ fn eviction_order_is_deterministic_under_a_fixed_interleaving() {
         let scenes: Vec<Arc<Scene>> = (0..6)
             .map(|seed| Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, seed)))
             .collect();
+        // Ids are epoch-salted per registry, so the log records each
+        // resident scene's *registration position* rather than raw values.
+        let issued: Vec<SceneId> = scenes
+            .iter()
+            .take(3)
+            .map(|scene| engine.register_scene(Arc::clone(scene)).unwrap())
+            .collect();
+        let mut issued = issued;
+        let snapshot = |engine: &Engine, issued: &[SceneId]| -> Vec<u64> {
+            engine
+                .resident_scenes()
+                .iter()
+                .map(|id| {
+                    issued
+                        .iter()
+                        .position(|candidate| candidate == id)
+                        .expect("resident id was issued here") as u64
+                })
+                .collect()
+        };
         let mut log: Vec<Vec<u64>> = Vec::new();
-        let a = engine.register_scene(Arc::clone(&scenes[0])).unwrap();
-        let b = engine.register_scene(Arc::clone(&scenes[1])).unwrap();
-        let _c = engine.register_scene(Arc::clone(&scenes[2])).unwrap();
-        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        let a = issued[0];
+        let b = issued[1];
+        log.push(snapshot(&engine, &issued));
         // Serve b then a: c is now the only never-served resident.
         engine.render_one_registered(b, camera).unwrap();
         engine.render_one_registered(a, camera).unwrap();
         // d evicts c (never served).
-        let _d = engine.register_scene(Arc::clone(&scenes[3])).unwrap();
-        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        issued.push(engine.register_scene(Arc::clone(&scenes[3])).unwrap());
+        log.push(snapshot(&engine, &issued));
         // e evicts d: newcomer protection only covers a scene's own
         // registration, so the never-served d is the LRU victim next time.
-        let _e = engine.register_scene(Arc::clone(&scenes[4])).unwrap();
-        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
-        let _f = engine.register_scene(Arc::clone(&scenes[5])).unwrap();
-        log.push(engine.resident_scenes().iter().map(|id| id.raw()).collect());
+        issued.push(engine.register_scene(Arc::clone(&scenes[4])).unwrap());
+        log.push(snapshot(&engine, &issued));
+        issued.push(engine.register_scene(Arc::clone(&scenes[5])).unwrap());
+        log.push(snapshot(&engine, &issued));
         (log, engine.stats())
     };
 
     let (log_a, stats_a) = run();
     let (log_b, stats_b) = run();
     assert_eq!(log_a, log_b, "the interleaving must replay identically");
-    // Pinned expectations: ids are issued 0,1,2,3,4,5 in registration
-    // order. After registering 0,1,2 all three are resident. Serving 1
-    // then 0 leaves 2 never-served, so registering 3 evicts 2. Registering
-    // 4 evicts 3 (never-served, no longer protected). Registering 5
-    // evicts 4 for the same reason.
+    // Pinned expectations, by registration position 0..6. After
+    // registering 0,1,2 all three are resident. Serving 1 then 0 leaves 2
+    // never-served, so registering 3 evicts 2. Registering 4 evicts 3
+    // (never-served, no longer protected). Registering 5 evicts 4 for the
+    // same reason.
     assert_eq!(
         log_a,
         vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 1, 4], vec![0, 1, 5]]

@@ -149,6 +149,177 @@ fn golden_digests_hold_across_span_modes() {
     }
 }
 
+/// Renders `scene` at `tier` the way the serving engine does: the tier's
+/// derived scene (reduced SH, pruned, decimated), at half resolution for
+/// tiers that call for it, upsampled back to the delivery dimensions with
+/// the bit-reproducible nearest-neighbor kernel.
+fn render_tier(
+    scene: &Scene,
+    tier: QualityTier,
+    render: &dyn Fn(&Scene, &Camera) -> Framebuffer,
+) -> u64 {
+    let cam = camera();
+    let tier_scene = tier.apply(scene);
+    if tier.half_resolution() {
+        let image = render(&tier_scene, &cam.half_resolution());
+        frame_digest(&image.upsample_nearest(cam.width(), cam.height()))
+    } else {
+        frame_digest(&render(&tier_scene, &cam))
+    }
+}
+
+/// The pinned quality-ladder digests: for each canonical scene, the
+/// Tier1/Tier2/Tier3 frames. Like `GOLDEN`, these must hold for both
+/// pipelines, any thread count, SIMD lane width, prepass and span mode —
+/// the ladder degrades the *scene and resolution*, never the determinism.
+const GOLDEN_TIERS: [(PaperScene, [u64; 3]); 3] = [
+    (
+        PaperScene::Train,
+        [
+            0xc0b6_63db_e896_ec99,
+            0x27ba_ece6_b705_1a7e,
+            0x3443_8b60_6574_2be5,
+        ],
+    ),
+    (
+        PaperScene::Playroom,
+        [
+            0x3441_27a9_3a57_6c96,
+            0x0f4c_3f61_5276_1aef,
+            0x1bf4_6b22_7eb4_8a45,
+        ],
+    ),
+    (
+        PaperScene::Drjohnson,
+        [
+            0xf826_9f65_7881_b0eb,
+            0xc8d3_4ebd_fb9e_fc71,
+            0xec0d_1efe_5205_b225,
+        ],
+    ),
+];
+
+const TIERS: [QualityTier; 3] = [QualityTier::Tier1, QualityTier::Tier2, QualityTier::Tier3];
+
+#[test]
+fn golden_tier_digests_hold_for_both_pipelines_at_one_and_four_threads() {
+    for (paper_scene, goldens) in GOLDEN_TIERS {
+        let scene = paper_scene.build(SceneScale::Tiny, 0);
+        for (tier, golden) in TIERS.into_iter().zip(goldens) {
+            for threads in [1usize, 4] {
+                let baseline = |scene: &Scene, cam: &Camera| {
+                    Renderer::new(RenderConfig::default().with_threads(threads))
+                        .render(scene, cam)
+                        .image
+                };
+                let grouped = |scene: &Scene, cam: &Camera| {
+                    GstgRenderer::new(GstgConfig::paper_default().with_threads(threads))
+                        .render(scene, cam)
+                        .image
+                };
+                for (pipeline, render) in [
+                    (
+                        "baseline",
+                        &baseline as &dyn Fn(&Scene, &Camera) -> Framebuffer,
+                    ),
+                    ("gstg", &grouped),
+                ] {
+                    let digest = render_tier(&scene, tier, render);
+                    assert_eq!(
+                        digest, golden,
+                        "{paper_scene:?}/{pipeline}/{tier:?}/threads={threads}: tier raster \
+                         drift! expected {golden:#018x}, actual {digest:#018x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_tier_digests_hold_across_simd_span_and_prepass_modes() {
+    for (paper_scene, goldens) in GOLDEN_TIERS {
+        let scene = paper_scene.build(SceneScale::Tiny, 0);
+        for (tier, golden) in TIERS.into_iter().zip(goldens) {
+            for simd in SimdMode::ALL {
+                for span in SpanMode::ALL {
+                    for prepass in [PrepassMode::Conservative, PrepassMode::Exact] {
+                        let render = |scene: &Scene, cam: &Camera| {
+                            Renderer::new(
+                                RenderConfig::default()
+                                    .with_threads(4)
+                                    .with_simd(simd)
+                                    .with_span(span)
+                                    .with_prepass(prepass),
+                            )
+                            .render(scene, cam)
+                            .image
+                        };
+                        let digest = render_tier(
+                            &scene,
+                            tier,
+                            &render as &dyn Fn(&Scene, &Camera) -> Framebuffer,
+                        );
+                        assert_eq!(
+                            digest, golden,
+                            "{paper_scene:?}/{tier:?}/{simd:?}/{span:?}/{prepass:?}: tier \
+                             raster drift! expected {golden:#018x}, actual {digest:#018x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_pinned_tier_serves_the_golden_tier_digest() {
+    // End-to-end: an engine with the quality pinned to each tier must
+    // deliver, through registration, ladder lookup, half-res render and
+    // upsample, exactly the digest the direct tier construction pins.
+    use std::sync::Arc;
+    for (paper_scene, goldens) in GOLDEN_TIERS {
+        let scene = Arc::new(paper_scene.build(SceneScale::Tiny, 0));
+        for (tier, golden) in TIERS.into_iter().zip(goldens) {
+            let engine = Engine::builder()
+                .backend(Backend::Gstg)
+                .quality(QualityPolicy::Pinned(tier))
+                .build()
+                .expect("valid engine configuration");
+            let id = engine
+                .register_scene(Arc::clone(&scene))
+                .expect("registered");
+            let output = engine
+                .submit(SubmitRequest::new(id, camera()))
+                .expect("admitted")
+                .wait()
+                .expect("render succeeds");
+            let digest = frame_digest(&output.image);
+            assert_eq!(
+                digest, golden,
+                "{paper_scene:?}/{tier:?}: engine serving drifted from the pinned tier \
+                 digest! expected {golden:#018x}, actual {digest:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tier_digests_differ_from_full_and_from_each_other() {
+    // The ladder must actually degrade: every tier's frame differs from
+    // the full-quality golden and from the other tiers (a tier that lands
+    // on the same digest is a no-op rung).
+    let (paper_scene, goldens) = GOLDEN_TIERS[0];
+    let full = GOLDEN[0].1;
+    assert_eq!(paper_scene, GOLDEN[0].0, "tables must line up");
+    for golden in goldens {
+        assert_ne!(golden, full, "{paper_scene:?}: tier collides with full");
+    }
+    assert_ne!(goldens[0], goldens[1]);
+    assert_ne!(goldens[1], goldens[2]);
+    assert_ne!(goldens[0], goldens[2]);
+}
+
 #[test]
 fn digest_is_sensitive_to_a_single_pixel_bit() {
     let scene = PaperScene::Train.build(SceneScale::Tiny, 0);

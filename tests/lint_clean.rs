@@ -46,7 +46,11 @@ fn index_audit_count_is_pinned() {
     // library code, re-audit the new site (bounds established locally?)
     // and bump this number in the same change; if you removed one, lower
     // it so the ratchet only moves down by default.
-    let audited = 146;
+    //
+    // 146 -> 148: the bench harness's `--quality` parse arm indexes
+    // `args[i + 1]` twice, guarded by the same `i + 1 < args.len()` bound
+    // check every other flag arm uses.
+    let audited = 148;
     assert!(
         index_warnings <= audited,
         "no-index-panic count grew past the audited baseline ({index_warnings} > {audited}): \

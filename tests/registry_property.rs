@@ -8,9 +8,26 @@
 //! last-served tick) mutated by the same deterministic rules the registry
 //! documents. After every operation the engine's resident set, resident
 //! bytes and counters must match the model exactly.
+//!
+//! Scene ids are epoch-salted (each registry stamps its epoch into the
+//! upper bits), so the model never predicts raw id values; it tracks the
+//! engine's issued handles positionally and only asserts that issuance is
+//! monotonic and never reuses an id.
+//!
+//! The sweep runs in two serving modes: `Direct` (the synchronous
+//! full-quality `render_one_registered` path) and `Degraded` (the async
+//! submit path with the quality pinned to a ladder tier, so every serve is
+//! a degraded serve and every registration prebuilds — and is charged for
+//! — the LOD ladder). The same shadow model governs both: a degraded serve
+//! must touch the LRU exactly like a full one. Degraded interleavings also
+//! log each served frame's digest, so the replay test pins the tiers'
+//! rasterization bit-for-bit across runs while registration, degraded
+//! serving, eviction and re-registration interleave freely.
 
+use gs_tg::core::Framebuffer;
 use gs_tg::prelude::*;
 use gs_tg::scene::rng::Rng;
+use splat_metrics::Fnv1a64;
 use std::sync::Arc;
 
 const BYTE_BUDGET_SCENES: usize = 3;
@@ -26,7 +43,35 @@ fn camera() -> Camera {
     )
 }
 
-/// The shadow model's view of one resident scene.
+/// FNV-1a digest of a framebuffer: dimensions, then every pixel's channels
+/// in row-major order as `f32` bit patterns (same shape as the golden
+/// suite's digest).
+fn frame_digest(image: &Framebuffer) -> u64 {
+    let mut hasher = Fnv1a64::new();
+    hasher.write_u64(u64::from(image.width()));
+    hasher.write_u64(u64::from(image.height()));
+    for pixel in image.pixels() {
+        hasher.write_f32(pixel.r);
+        hasher.write_f32(pixel.g);
+        hasher.write_f32(pixel.b);
+    }
+    hasher.finish()
+}
+
+/// How an interleaving serves registered scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeMode {
+    /// Synchronous full-quality serving (`render_one_registered`).
+    Direct,
+    /// Asynchronous serving with the engine's quality pinned to a degraded
+    /// tier: `submit(SceneRef::Id)` + `wait`, ladders prebuilt at
+    /// registration.
+    Degraded(QualityTier),
+}
+
+/// The shadow model's view of one resident scene. `id` is the model's own
+/// sequence number — an index into the issued-handle vec, not a raw
+/// `SceneId` value.
 #[derive(Debug, Clone, PartialEq)]
 struct ModelScene {
     id: u64,
@@ -101,23 +146,33 @@ impl Model {
 }
 
 /// One randomized interleaving; returns an event log so determinism across
-/// runs can be asserted by comparing whole logs.
-fn run_interleaving(seed: u64) -> Vec<String> {
+/// runs can be asserted by comparing whole logs (in degraded mode the log
+/// includes each served frame's digest, pinning the tier rasterization).
+fn run_interleaving(seed: u64, mode: ServeMode) -> Vec<String> {
     // Two scene sizes so both budget axes bind: a run of large scenes
     // trips the byte budget below the scene cap, a run of small ones
     // trips the scene cap below the byte budget.
     let large = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, seed));
     let small = Arc::new(large.truncated(large.len() / 2));
-    let footprint = large.footprint_bytes();
-    let max_bytes = BYTE_BUDGET_SCENES * footprint;
-    let engine = Engine::builder()
-        .residency(
-            ResidencyPolicy::unlimited()
-                .with_max_resident_bytes(max_bytes)
-                .with_max_resident_scenes(MAX_SCENES),
-        )
-        .build()
-        .expect("valid residency policy");
+    // The residency charge per scene: the raw footprint, plus the LOD
+    // ladder's tiers when the engine's quality policy can degrade (the
+    // ladder is prebuilt at registration and billed to the byte budget).
+    let charged = |scene: &Scene| match mode {
+        ServeMode::Direct => scene.footprint_bytes(),
+        ServeMode::Degraded(_) => {
+            scene.footprint_bytes() + LodLadder::build(scene).footprint_bytes()
+        }
+    };
+    let max_bytes = BYTE_BUDGET_SCENES * charged(&large);
+    let mut builder = Engine::builder().residency(
+        ResidencyPolicy::unlimited()
+            .with_max_resident_bytes(max_bytes)
+            .with_max_resident_scenes(MAX_SCENES),
+    );
+    if let ServeMode::Degraded(tier) = mode {
+        builder = builder.quality(QualityPolicy::Pinned(tier));
+    }
+    let engine = builder.build().expect("valid engine configuration");
     let mut model = Model {
         max_bytes,
         max_scenes: MAX_SCENES,
@@ -126,9 +181,11 @@ fn run_interleaving(seed: u64) -> Vec<String> {
     let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_CAFE);
     let camera = camera();
     let mut log = Vec::with_capacity(OPS);
+    // The engine's issued handles, in issue order; the model's sequence
+    // ids index into this vec.
+    let mut issued: Vec<SceneId> = Vec::new();
 
     for op in 0..OPS {
-        let issued = model.next_id;
         match rng.next_u64() % 10 {
             // Register a large or small scene (weight 4).
             0..=3 => {
@@ -137,44 +194,71 @@ fn run_interleaving(seed: u64) -> Vec<String> {
                 } else {
                     &small
                 };
-                let expected = model.register(scene.footprint_bytes());
+                let expected = model.register(charged(scene));
                 let id = engine
                     .register_scene(Arc::clone(scene))
                     .expect("scene fits the budget");
-                assert_eq!(id.raw(), expected, "op {op}: id sequence diverged");
+                assert!(!issued.contains(&id), "op {op}: id {id:?} was issued twice");
+                if let Some(previous) = issued.last() {
+                    assert!(
+                        id.raw() > previous.raw(),
+                        "op {op}: ids must be monotonic within one registry"
+                    );
+                }
+                assert_eq!(expected, issued.len() as u64, "op {op}: model desynced");
+                issued.push(id);
                 log.push(format!("register {} -> {expected}", scene.len()));
             }
-            // Serve a random id, usually an issued one (weight 4).
+            // Serve a random issued handle (weight 4).
             4..=7 => {
-                if issued == 0 {
+                if issued.is_empty() {
                     log.push("serve skipped".to_owned());
                     continue;
                 }
-                let id = rng.next_u64() % issued;
-                let expect_hit = model.serve(id);
-                let result = engine.render_one_registered(SceneId::from_raw(id), camera);
-                match (expect_hit, &result) {
-                    (true, Ok(_)) => {}
-                    (false, Err(RenderError::Evicted { .. })) => {}
-                    other => panic!("op {op}: serve({id}) mismatch: {other:?}"),
+                let slot = (rng.next_u64() % issued.len() as u64) as usize;
+                let expect_hit = model.serve(slot as u64);
+                match mode {
+                    ServeMode::Direct => {
+                        let result = engine.render_one_registered(issued[slot], camera);
+                        match (expect_hit, &result) {
+                            (true, Ok(_)) => {}
+                            (false, Err(RenderError::Evicted { .. })) => {}
+                            other => panic!("op {op}: serve({slot}) mismatch: {other:?}"),
+                        }
+                        log.push(format!("serve {slot} hit={expect_hit}"));
+                    }
+                    ServeMode::Degraded(_) => {
+                        let result = engine
+                            .submit(SubmitRequest::new(issued[slot], camera))
+                            .and_then(|handle| handle.wait());
+                        match (expect_hit, &result) {
+                            (true, Ok(output)) => log.push(format!(
+                                "serve {slot} hit=true digest={:016x}",
+                                frame_digest(&output.image)
+                            )),
+                            (false, Err(RenderError::Evicted { .. })) => {
+                                log.push(format!("serve {slot} hit=false"));
+                            }
+                            other => panic!("op {op}: serve({slot}) mismatch: {other:?}"),
+                        }
+                    }
                 }
-                log.push(format!("serve {id} hit={expect_hit}"));
             }
-            // Explicit eviction of a random issued id (weight 2).
+            // Explicit eviction of a random issued handle (weight 2).
             _ => {
-                if issued == 0 {
+                if issued.is_empty() {
                     log.push("evict skipped".to_owned());
                     continue;
                 }
-                let id = rng.next_u64() % issued;
-                let expect_resident = model.evict(id);
-                let result = engine.evict_scene(SceneId::from_raw(id));
+                let slot = (rng.next_u64() % issued.len() as u64) as usize;
+                let expect_resident = model.evict(slot as u64);
+                let result = engine.evict_scene(issued[slot]);
                 match (expect_resident, &result) {
                     (true, Ok(())) => {}
                     (false, Err(RenderError::Evicted { .. })) => {}
-                    other => panic!("op {op}: evict({id}) mismatch: {other:?}"),
+                    other => panic!("op {op}: evict({slot}) mismatch: {other:?}"),
                 }
-                log.push(format!("evict {id} resident={expect_resident}"));
+                log.push(format!("evict {slot} resident={expect_resident}"));
             }
         }
 
@@ -197,8 +281,12 @@ fn run_interleaving(seed: u64) -> Vec<String> {
         );
         // Exact agreement with the shadow model, including eviction order
         // (the resident id set only matches if every victim matched).
-        let resident: Vec<u64> = engine.resident_scenes().iter().map(|id| id.raw()).collect();
-        let model_resident: Vec<u64> = model.resident.iter().map(|scene| scene.id).collect();
+        let resident = engine.resident_scenes();
+        let model_resident: Vec<SceneId> = model
+            .resident
+            .iter()
+            .map(|scene| issued[scene.id as usize])
+            .collect();
         assert_eq!(resident, model_resident, "op {op}: resident set diverged");
         assert_eq!(stats.resident_bytes, model.resident_bytes(), "op {op}");
         assert_eq!(stats.registered, model.registered, "op {op}");
@@ -212,13 +300,101 @@ fn run_interleaving(seed: u64) -> Vec<String> {
 #[test]
 fn randomized_interleavings_respect_the_budget_and_pinned_lru_order() {
     for seed in 0..4 {
-        run_interleaving(seed);
+        run_interleaving(seed, ServeMode::Direct);
     }
 }
 
 #[test]
 fn interleavings_are_deterministic_across_runs() {
-    let first = run_interleaving(9);
-    let second = run_interleaving(9);
+    let first = run_interleaving(9, ServeMode::Direct);
+    let second = run_interleaving(9, ServeMode::Direct);
     assert_eq!(first, second, "same seed must replay the same event log");
+}
+
+#[test]
+fn degraded_interleavings_obey_the_same_residency_model() {
+    // Register → degraded serve → evict → re-register, freely interleaved:
+    // the pinned-tier engine must satisfy the identical shadow model — a
+    // degraded serve refreshes recency, counts a hit and steers eviction
+    // exactly like a full-quality serve, with the ladder charged to the
+    // byte budget.
+    for tier in [QualityTier::Tier1, QualityTier::Tier3] {
+        for seed in 0..2 {
+            run_interleaving(seed, ServeMode::Degraded(tier));
+        }
+    }
+}
+
+#[test]
+fn degraded_interleavings_replay_identical_tier_digests() {
+    // The degraded log embeds each served frame's digest, so log equality
+    // pins the tier rasterization bit-for-bit across whole replayed
+    // interleavings — not just the residency bookkeeping.
+    let first = run_interleaving(11, ServeMode::Degraded(QualityTier::Tier3));
+    let second = run_interleaving(11, ServeMode::Degraded(QualityTier::Tier3));
+    assert_eq!(first, second, "same seed must replay the same digests");
+    assert!(
+        first.iter().any(|line| line.contains("digest=")),
+        "the interleaving must have served at least one degraded frame"
+    );
+}
+
+#[test]
+fn degraded_serves_touch_the_lru_exactly_like_full_serves() {
+    // Two engines, same registration and serve order, count-bounded
+    // residency only (so ladder bytes cannot skew the comparison): the
+    // full-quality engine serves synchronously, the pinned-tier engine
+    // through the degraded submit path. Both must pick the same LRU
+    // victim when a third scene arrives.
+    let build = |seed| Arc::new(PaperScene::Train.build(SceneScale::Tiny, seed));
+    let cam = camera();
+    let full = Engine::builder()
+        .residency(ResidencyPolicy::unlimited().with_max_resident_scenes(2))
+        .build()
+        .expect("valid engine configuration");
+    let degraded = Engine::builder()
+        .residency(ResidencyPolicy::unlimited().with_max_resident_scenes(2))
+        .quality(QualityPolicy::Pinned(QualityTier::Tier3))
+        .build()
+        .expect("valid engine configuration");
+
+    let a_full = full.register_scene(build(1)).expect("registered");
+    let b_full = full.register_scene(build(2)).expect("registered");
+    let a_degraded = degraded.register_scene(build(1)).expect("registered");
+    let b_degraded = degraded.register_scene(build(2)).expect("registered");
+
+    // Serve B then A in both engines: B becomes the LRU victim.
+    full.render_one_registered(b_full, cam).expect("resident");
+    full.render_one_registered(a_full, cam).expect("resident");
+    for id in [b_degraded, a_degraded] {
+        degraded
+            .submit(SubmitRequest::new(id, cam))
+            .expect("resident")
+            .wait()
+            .expect("render succeeds");
+    }
+
+    full.register_scene(build(3)).expect("registered");
+    degraded.register_scene(build(3)).expect("registered");
+
+    assert!(
+        matches!(
+            full.render_one_registered(b_full, cam),
+            Err(RenderError::Evicted { .. })
+        ),
+        "full-quality engine evicted B, the least recently served"
+    );
+    assert!(
+        matches!(
+            degraded.submit(SubmitRequest::new(b_degraded, cam)),
+            Err(RenderError::Evicted { .. })
+        ),
+        "degraded engine must evict the same victim as the full one"
+    );
+    assert!(full.render_one_registered(a_full, cam).is_ok());
+    assert!(degraded
+        .submit(SubmitRequest::new(a_degraded, cam))
+        .expect("A survived in the degraded engine too")
+        .wait()
+        .is_ok());
 }
