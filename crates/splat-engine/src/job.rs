@@ -24,6 +24,7 @@
 
 use crate::queue::JobQueue;
 use splat_core::{RenderOutput, RenderRequest};
+use splat_scene::lod::QualityTier;
 use splat_scene::Scene;
 use splat_types::{Camera, Priority, RenderError, SceneId};
 use std::sync::{Arc, Condvar, Mutex};
@@ -268,6 +269,7 @@ pub struct JobHandle {
     shared: Arc<JobShared>,
     id: u64,
     priority: Priority,
+    tier: QualityTier,
 }
 
 impl JobHandle {
@@ -276,12 +278,14 @@ impl JobHandle {
         shared: Arc<JobShared>,
         id: u64,
         priority: Priority,
+        tier: QualityTier,
     ) -> Self {
         Self {
             queue,
             shared,
             id,
             priority,
+            tier,
         }
     }
 
@@ -293,6 +297,15 @@ impl JobHandle {
     /// The admission priority the job was submitted with.
     pub fn priority(&self) -> Priority {
         self.priority
+    }
+
+    /// The [`QualityTier`] admission control assigned to this job. Decided
+    /// once, under the queue lock, from the depth the submission observed
+    /// (see `EngineBuilder::quality`); it never changes afterwards, so a
+    /// server can stamp the tier on the response before the render even
+    /// starts.
+    pub fn tier(&self) -> QualityTier {
+        self.tier
     }
 
     /// Where the job currently is: queued, rendering or finished.

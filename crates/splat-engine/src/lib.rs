@@ -727,7 +727,7 @@ impl Engine {
         render.validate()?;
         let cost = render.cost_hint();
         let shared = job::JobShared::new();
-        let id =
+        let (id, tier) =
             self.shared
                 .queue
                 .push(scene, camera, priority, cost, ladder, Arc::clone(&shared))?;
@@ -736,6 +736,7 @@ impl Engine {
             shared,
             id,
             priority,
+            tier,
         ))
     }
 
@@ -783,6 +784,57 @@ impl Engine {
             }
         }
         Ok(TrajectoryHandle::new(frames))
+    }
+
+    /// Windowed counterpart of [`Engine::submit_trajectory`] for
+    /// streaming delivery across a connection: instead of fanning the
+    /// whole path into the queue up front, at most `window` frames are in
+    /// flight at a time — submitted lazily as earlier frames are taken
+    /// through [`TrajectoryStream::next_frame`].
+    ///
+    /// This is the backpressure shape a network server needs: a slow
+    /// reader holds at most `window` queue slots and `window` rendered
+    /// framebuffers, instead of pinning the entire path's worth of worker
+    /// output. Delivery is still strictly path order, refused frames still
+    /// occupy their slot and yield their error in order, and the scene
+    /// reference is still resolved once (one registry touch for the whole
+    /// path, committed when the first frame is admitted).
+    ///
+    /// `window` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Engine::submit_trajectory`]'s:
+    /// [`RenderError::UnknownScene`] / [`RenderError::Evicted`] when a
+    /// [`SceneRef::Id`] reference does not resolve, or
+    /// [`RenderError::EmptyScene`] for an inline empty scene.
+    pub fn stream_trajectory(
+        &self,
+        scene: impl Into<SceneRef>,
+        trajectory: &CameraTrajectory,
+        priority: Priority,
+        window: usize,
+    ) -> Result<TrajectoryStream<'_>, RenderError> {
+        let scene_ref = scene.into();
+        let (scene, ladder) = self.resolve(&scene_ref)?;
+        if scene.is_empty() {
+            return Err(RenderError::EmptyScene);
+        }
+        let mut stream = TrajectoryStream {
+            engine: self,
+            scene_ref,
+            scene,
+            ladder,
+            cameras: trajectory.cameras().collect::<Vec<Camera>>().into_iter(),
+            priority,
+            window: window.max(1),
+            pending: std::collections::VecDeque::new(),
+            len: trajectory.len(),
+            delivered: 0,
+            committed: false,
+        };
+        stream.top_up();
+        Ok(stream)
     }
 
     /// Handle-based counterpart of [`Engine::render_one`]: resolves the
@@ -885,12 +937,35 @@ impl Engine {
     /// submissions racing with the shutdown receive
     /// [`RenderError::ShutDown`] and in-flight renders finish normally.
     /// Dropping an engine without calling this is equivalent to an abort.
+    ///
+    /// This consumes the engine. A caller that only holds the engine
+    /// behind a shared `Arc` — a network server fanning one engine out
+    /// across connection threads — cannot consume it; use
+    /// [`Engine::begin_shutdown`] there and let the final `Arc` drop join
+    /// the workers.
     pub fn shutdown(mut self, mode: ShutdownMode) -> EngineStats {
         self.shared.queue.shutdown(mode);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         self.stats()
+    }
+
+    /// Shared-ownership counterpart of [`Engine::shutdown`]: enters
+    /// shutdown through `&self`, so callers holding the engine in an
+    /// `Arc<Engine>` can begin a graceful drain without consuming it.
+    ///
+    /// The queue stops admitting immediately (racing submissions receive
+    /// [`RenderError::ShutDown`]); under [`ShutdownMode::Drain`] the
+    /// workers then serve the backlog, under [`ShutdownMode::Abort`] the
+    /// backlog's handles complete with [`RenderError::ShutDown`]. Worker
+    /// threads exit once the queue empties (or immediately on abort) but
+    /// are only *joined* when the engine drops — poll
+    /// [`Engine::stats`]' [`EngineStats::in_flight`] to observe drain
+    /// progress against a deadline. Idempotent, and safe to combine with
+    /// a later drop (which re-issues an abort as a no-op).
+    pub fn begin_shutdown(&self, mode: ShutdownMode) {
+        self.shared.queue.shutdown(mode);
     }
 
     /// Bytes currently reserved by the pooled sessions' recycled buffers.
@@ -939,6 +1014,120 @@ impl Engine {
             Ok(mut guard) => work(guard.as_mut()),
             Err(poisoned) => work(poisoned.into_inner().as_mut()),
         }
+    }
+}
+
+/// Windowed, in-order streaming of a camera path, created by
+/// [`Engine::stream_trajectory`].
+///
+/// Semantically a [`TrajectoryHandle`] with a bounded in-flight window:
+/// frames are still delivered strictly in path order and refused frames
+/// still yield their error in their slot, but at most `window` frames
+/// occupy queue slots (or sit rendered awaiting delivery) at any moment.
+/// Each [`TrajectoryStream::next_frame`] tops the window back up after
+/// taking a frame, so workers stay busy exactly `window` frames ahead of
+/// the consumer. Dropping the stream abandons undelivered frames without
+/// cancelling submitted ones (like dropping a [`JobHandle`]); frames never
+/// submitted are simply never admitted.
+#[derive(Debug)]
+pub struct TrajectoryStream<'a> {
+    engine: &'a Engine,
+    scene_ref: SceneRef,
+    scene: Arc<Scene>,
+    ladder: Option<Arc<splat_scene::lod::LodLadder>>,
+    cameras: std::vec::IntoIter<Camera>,
+    priority: Priority,
+    window: usize,
+    pending: std::collections::VecDeque<Result<JobHandle, RenderError>>,
+    len: usize,
+    delivered: usize,
+    committed: bool,
+}
+
+impl TrajectoryStream<'_> {
+    /// Total number of frames in the trajectory.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the trajectory has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Frames already taken through [`TrajectoryStream::next_frame`].
+    pub fn frames_delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// The configured in-flight window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Submits frames until the window is full or the path is exhausted.
+    /// A refused submission (admission control, or a shutdown racing the
+    /// stream) occupies its window slot like an admitted one, so delivery
+    /// order is preserved and the refusal surfaces in its frame's turn.
+    fn top_up(&mut self) {
+        while self.pending.len() < self.window {
+            let Some(camera) = self.cameras.next() else {
+                return;
+            };
+            let frame = self.engine.submit_resolved(
+                Arc::clone(&self.scene),
+                self.ladder.clone(),
+                camera,
+                self.priority,
+            );
+            // One recency/hit commit for the whole path, on the first
+            // admitted frame — same accounting as `submit_trajectory`.
+            if frame.is_ok() && !self.committed {
+                if let SceneRef::Id(id) = self.scene_ref {
+                    self.engine.shared.registry.commit_serve(id);
+                }
+                self.committed = true;
+            }
+            self.pending.push_back(frame);
+        }
+    }
+
+    /// Blocks for the next frame **in path order**, returns it along with
+    /// the [`QualityTier`] admission assigned it (`None` for a frame that
+    /// was refused admission), and tops the in-flight window back up.
+    /// Returns `None` once every frame has been delivered.
+    pub fn next_frame_tiered(
+        &mut self,
+    ) -> Option<(Option<QualityTier>, Result<RenderOutput, RenderError>)> {
+        self.top_up();
+        let frame = self.pending.pop_front()?;
+        self.delivered += 1;
+        let delivered = match frame {
+            Ok(handle) => {
+                let tier = handle.tier();
+                (Some(tier), handle.wait())
+            }
+            Err(error) => (None, Err(error)),
+        };
+        // Re-fill before the caller consumes the frame so the window stays
+        // ahead of a slow reader.
+        self.top_up();
+        Some(delivered)
+    }
+
+    /// Blocks for the next frame **in path order** and returns it, or
+    /// `None` once every frame has been delivered.
+    pub fn next_frame(&mut self) -> Option<Result<RenderOutput, RenderError>> {
+        self.next_frame_tiered().map(|(_, result)| result)
+    }
+
+    /// Waits for every remaining frame and returns them in path order.
+    pub fn wait_all(mut self) -> Vec<Result<RenderOutput, RenderError>> {
+        let mut outputs = Vec::with_capacity(self.len - self.delivered);
+        while let Some(frame) = self.next_frame() {
+            outputs.push(frame);
+        }
+        outputs
     }
 }
 
@@ -1546,6 +1735,122 @@ mod tests {
             .unwrap();
         engine.resume();
         let outputs = handle.wait_all();
+        assert!(outputs[0].is_ok());
+        for frame in &outputs[1..] {
+            assert!(matches!(
+                frame.as_ref().unwrap_err(),
+                RenderError::Overloaded { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn begin_shutdown_drains_through_shared_ownership() {
+        // The server shape: the engine lives in an Arc shared across
+        // connection threads, so the consuming `shutdown(self)` is
+        // unreachable — `begin_shutdown(&self)` must drain in its place.
+        let engine = Arc::new(Engine::builder().start_paused(true).build().unwrap());
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 1));
+        let camera = trajectory(1).camera(0);
+        let handles: Vec<JobHandle> = (0..3)
+            .map(|_| {
+                engine
+                    .submit(SubmitRequest::new(Arc::clone(&scene), camera))
+                    .unwrap()
+            })
+            .collect();
+        engine.begin_shutdown(ShutdownMode::Drain);
+        // Racing submissions are refused immediately.
+        assert_eq!(
+            engine
+                .submit(SubmitRequest::new(Arc::clone(&scene), camera))
+                .expect_err("draining engine refuses new work"),
+            RenderError::ShutDown
+        );
+        // The backlog is served: every handle resolves successfully.
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.in_flight(), 0);
+        // Idempotent, and compatible with the final drop's abort.
+        engine.begin_shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn job_handles_expose_their_admission_tier() {
+        let engine = Engine::builder()
+            .quality(QualityPolicy::Pinned(QualityTier::Tier2))
+            .build()
+            .unwrap();
+        let scene = std::sync::Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let handle = engine
+            .submit(SubmitRequest::new(scene, trajectory(1).camera(0)))
+            .unwrap();
+        assert_eq!(handle.tier(), QualityTier::Tier2);
+        assert!(handle.wait().is_ok());
+        assert_eq!(engine.stats().degraded_t2, 1);
+    }
+
+    #[test]
+    fn stream_trajectory_is_windowed_in_order_and_bit_identical() {
+        let engine = Engine::builder().workers(2).build().unwrap();
+        let scene = Arc::new(PaperScene::Train.build(SceneScale::Tiny, 5));
+        let id = engine.register_scene(Arc::clone(&scene)).unwrap();
+        let path = trajectory(5);
+        let mut stream = engine
+            .stream_trajectory(id, &path, Priority::Normal, 2)
+            .unwrap();
+        assert_eq!(stream.len(), 5);
+        assert_eq!(stream.window(), 2);
+        assert_eq!(stream.frames_delivered(), 0);
+        for index in 0..path.len() {
+            // The in-flight window bounds queue occupancy: never more than
+            // `window` frames queued or rendering at once.
+            assert!(engine.stats().in_flight() <= 2, "window exceeded");
+            let (tier, frame) = stream.next_frame_tiered().expect("frame available");
+            assert_eq!(tier, Some(QualityTier::Full));
+            let frame = frame.expect("valid render");
+            let fresh =
+                GstgRenderer::new(GstgConfig::paper_default()).render(&scene, &path.camera(index));
+            assert_eq!(
+                frame.image.max_abs_diff(&fresh.image),
+                0.0,
+                "frame {index} out of order or wrong"
+            );
+        }
+        assert!(stream.next_frame().is_none());
+        assert_eq!(stream.frames_delivered(), 5);
+        // One registry touch for the whole path, like submit_trajectory.
+        assert_eq!(engine.stats().scene_hits, 1);
+    }
+
+    #[test]
+    fn stream_trajectory_misses_and_refusals_keep_their_slot() {
+        let engine = Engine::builder()
+            .admission(AdmissionPolicy::RejectWhenFull)
+            .queue_capacity(1)
+            .start_paused(true)
+            .build()
+            .unwrap();
+        let path = trajectory(3);
+        let bogus = SceneId::from_raw(1);
+        assert_eq!(
+            engine
+                .stream_trajectory(bogus, &path, Priority::Normal, 4)
+                .expect_err("unknown handle"),
+            RenderError::UnknownScene { id: bogus }
+        );
+        // Window 4 over a capacity-1 paused queue: frame 0 is admitted,
+        // frames 1 and 2 are refused — and still delivered in order.
+        let scene = Arc::new(PaperScene::Playroom.build(SceneScale::Tiny, 0));
+        let stream = engine
+            .stream_trajectory(Arc::clone(&scene), &path, Priority::Normal, 4)
+            .unwrap();
+        engine.resume();
+        let outputs = stream.wait_all();
+        assert_eq!(outputs.len(), 3);
         assert!(outputs[0].is_ok());
         for frame in &outputs[1..] {
             assert!(matches!(

@@ -150,7 +150,7 @@ impl JobQueue {
     }
 
     /// Admits one submission under the configured policy, returning its
-    /// job id, or the typed rejection.
+    /// job id and admission-assigned tier, or the typed rejection.
     ///
     /// The job's [`QualityTier`] is decided here, under the queue lock,
     /// from the depth the submission observes — degradation is an
@@ -166,7 +166,7 @@ impl JobQueue {
         cost: u64,
         ladder: Option<Arc<LodLadder>>,
         shared: Arc<JobShared>,
-    ) -> Result<u64, RenderError> {
+    ) -> Result<(u64, QualityTier), RenderError> {
         let mut shed_victim: Option<Job> = None;
         let mut inner = self.lock();
         loop {
@@ -244,7 +244,7 @@ impl JobQueue {
                 capacity: self.capacity,
             }));
         }
-        Ok(id)
+        Ok((id, tier))
     }
 
     /// Blocks until a job is dispatchable and claims it, or returns `None`
@@ -408,7 +408,9 @@ mod tests {
     }
 
     fn push(queue: &JobQueue, priority: Priority, cost: u64) -> Result<u64, RenderError> {
-        queue.push(scene(), camera(), priority, cost, None, JobShared::new())
+        queue
+            .push(scene(), camera(), priority, cost, None, JobShared::new())
+            .map(|(id, _)| id)
     }
 
     fn full_only(policy: AdmissionPolicy, default_capacity: usize, paused: bool) -> JobQueue {

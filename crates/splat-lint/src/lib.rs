@@ -2,7 +2,7 @@
 //! workspace's load-bearing invariants at review time instead of at
 //! render time:
 //!
-//! * **`no-panic-paths`** — library code of the nine runtime crates
+//! * **`no-panic-paths`** — library code of the ten runtime crates
 //!   returns typed `RenderError`/`DecodeError` values, never panics
 //!   (`.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!`);
 //!   **`no-index-panic`** (warn) audits `xs[i]` index expressions.

@@ -16,13 +16,15 @@ use crate::lexer::TokenKind;
 
 /// The counter structs whose every field must reach the JSON emitters,
 /// the `Display` impl and at least one `tests/` assertion.
-const COUNTER_STRUCTS: [(&str, &str); 2] = [
+const COUNTER_STRUCTS: [(&str, &str); 3] = [
     ("StageCounts", "crates/splat-core/src/stats.rs"),
     ("EngineStats", "crates/splat-engine/src/stats.rs"),
+    ("ServerStats", "crates/splat-server/src/stats.rs"),
 ];
 
-/// `counter-coverage`: every `StageCounts`/`EngineStats` field appears in
-/// a JSON emitter, the struct's `Display` impl, and some `tests/` file.
+/// `counter-coverage`: every `StageCounts`/`EngineStats`/`ServerStats`
+/// field appears in a JSON emitter, the struct's `Display` impl, and
+/// some `tests/` file.
 pub struct CounterCoverage;
 
 impl Rule for CounterCoverage {

@@ -1,6 +1,6 @@
 //! `no-panic-paths` / `no-index-panic`: the typed-`RenderError` policy.
 //!
-//! Library code of the nine runtime crates must not contain reachable
+//! Library code of the ten runtime crates must not contain reachable
 //! panic sites: errors cross the API boundary as typed
 //! `RenderError`/`DecodeError` values, never as unwinds. Tests, benches,
 //! examples and binaries are exempt, as is `#[cfg(test)]` code inside

@@ -7,10 +7,10 @@ use std::path::Path;
 
 use crate::lexer::{tokenize, Token, TokenKind};
 
-/// The nine runtime crates whose library code is subject to the
+/// The ten runtime crates whose library code is subject to the
 /// panic-freedom and determinism rules (`criterion` is a vendored bench
 /// shim and `splat-lint` is this tool; neither serves render traffic).
-pub const RUNTIME_CRATES: [&str; 9] = [
+pub const RUNTIME_CRATES: [&str; 10] = [
     "gstg",
     "splat-accel",
     "splat-bench",
@@ -19,6 +19,7 @@ pub const RUNTIME_CRATES: [&str; 9] = [
     "splat-metrics",
     "splat-render",
     "splat-scene",
+    "splat-server",
     "splat-types",
 ];
 
@@ -97,7 +98,7 @@ impl SourceFile {
         }
     }
 
-    /// Whether this file belongs to one of the nine runtime crates.
+    /// Whether this file belongs to one of the ten runtime crates.
     pub fn is_runtime_crate(&self) -> bool {
         RUNTIME_CRATES.contains(&self.krate.as_str())
     }

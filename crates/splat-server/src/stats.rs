@@ -1,0 +1,318 @@
+//! Observable server-side counters.
+//!
+//! [`ServerStats`] is the wire-facing sibling of
+//! [`EngineStats`](splat_engine::EngineStats): where the engine counts
+//! jobs, the server counts connections, requests and bytes. Both are
+//! served together by `GET /stats` so an operator (or the `load_gen`
+//! reconciliation pass) can check the cross-layer identities without
+//! scraping two processes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of the server's counters, taken with
+/// [`Server::stats`](crate::Server::stats).
+///
+/// Counters are cumulative over the server's lifetime;
+/// `active_connections` is an instantaneous gauge. Two bookkeeping
+/// identities hold at every snapshot where no request is mid-dispatch:
+///
+/// * **Routing:** `requests == scenes_requests + render_requests +
+///   trajectory_requests + stats_requests + health_requests +
+///   shutdown_requests + unrouted_requests` — every parsed request is
+///   routed exactly once.
+/// * **Status:** `requests == ok + bad_request + not_found + gone +
+///   payload_too_large + overloaded` — every parsed request produces
+///   exactly one response status. Connections refused at the door
+///   (`refused_connections`) never became requests and appear in
+///   neither sum.
+///
+/// Reconciliation against the engine: single-frame renders flow
+/// `render_requests → Engine submissions`, so at quiescence
+/// `ok + overloaded + not_found + gone` responses on `/render` account
+/// for every `submitted`/`rejected`/miss the engine recorded for that
+/// traffic (pinned exactly in `tests/server_e2e.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct ServerStats {
+    /// Connections accepted into the bounded connection queue.
+    pub accepted: u64,
+    /// Connections turned away at the door with an immediate `503`
+    /// because the connection queue was full — backpressure before a
+    /// single request byte is parsed.
+    pub refused_connections: u64,
+    /// Connections currently being served by a worker.
+    pub active_connections: usize,
+    /// Requests successfully parsed from the wire (any route).
+    pub requests: u64,
+    /// Requests routed to `POST /scenes`.
+    pub scenes_requests: u64,
+    /// Requests routed to `POST /render`.
+    pub render_requests: u64,
+    /// Requests routed to `POST /trajectories`.
+    pub trajectory_requests: u64,
+    /// Requests routed to `GET /stats`.
+    pub stats_requests: u64,
+    /// Requests routed to `GET /healthz`.
+    pub health_requests: u64,
+    /// Requests routed to `POST /shutdown`.
+    pub shutdown_requests: u64,
+    /// Requests whose method/path matched no route (`404`).
+    pub unrouted_requests: u64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// `400` responses: malformed HTTP framing, malformed JSON or scene
+    /// bytes, or invalid camera/trajectory parameters.
+    pub bad_request: u64,
+    /// `404` responses: unknown routes and `RenderError::UnknownScene`.
+    pub not_found: u64,
+    /// `410` responses: `RenderError::Evicted` — the scene existed but
+    /// was deflated by the residency policy.
+    pub gone: u64,
+    /// `413` responses: declared `Content-Length` above the configured
+    /// body limit (the body is never read).
+    pub payload_too_large: u64,
+    /// `503` responses: `RenderError::Overloaded` / `ShutDown` mapped
+    /// to the wire with `Retry-After`.
+    pub overloaded: u64,
+    /// Frames delivered through chunked trajectory streams (refusal
+    /// chunks not included).
+    pub frames_streamed: u64,
+    /// Request bytes read from the wire (request line, headers, body).
+    pub bytes_in: u64,
+    /// Response bytes written to the wire (status line, headers, body,
+    /// chunk framing).
+    pub bytes_out: u64,
+}
+
+impl ServerStats {
+    /// Sum of the per-endpoint routing counters; equals `requests` at
+    /// quiescence.
+    pub fn routed(&self) -> u64 {
+        self.scenes_requests
+            + self.render_requests
+            + self.trajectory_requests
+            + self.stats_requests
+            + self.health_requests
+            + self.shutdown_requests
+            + self.unrouted_requests
+    }
+
+    /// Sum of the per-status response counters; equals `requests` at
+    /// quiescence.
+    pub fn responded(&self) -> u64 {
+        self.ok
+            + self.bad_request
+            + self.not_found
+            + self.gone
+            + self.payload_too_large
+            + self.overloaded
+    }
+
+    /// One machine-readable JSON object (served by `GET /stats` and
+    /// consumed by `load_gen --json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"refused_connections\":{},\"active_connections\":{},\
+             \"requests\":{},\"scenes_requests\":{},\"render_requests\":{},\
+             \"trajectory_requests\":{},\"stats_requests\":{},\"health_requests\":{},\
+             \"shutdown_requests\":{},\"unrouted_requests\":{},\
+             \"ok\":{},\"bad_request\":{},\"not_found\":{},\"gone\":{},\
+             \"payload_too_large\":{},\"overloaded\":{},\
+             \"frames_streamed\":{},\"bytes_in\":{},\"bytes_out\":{}}}",
+            self.accepted,
+            self.refused_connections,
+            self.active_connections,
+            self.requests,
+            self.scenes_requests,
+            self.render_requests,
+            self.trajectory_requests,
+            self.stats_requests,
+            self.health_requests,
+            self.shutdown_requests,
+            self.unrouted_requests,
+            self.ok,
+            self.bad_request,
+            self.not_found,
+            self.gone,
+            self.payload_too_large,
+            self.overloaded,
+            self.frames_streamed,
+            self.bytes_in,
+            self.bytes_out,
+        )
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connections {} accepted, {} refused_connections, {} active_connections / \
+             requests {} ({} scenes_requests, {} render_requests, {} trajectory_requests, \
+             {} stats_requests, {} health_requests, {} shutdown_requests, \
+             {} unrouted_requests) / status {} ok, {} bad_request, {} not_found, {} gone, \
+             {} payload_too_large, {} overloaded / {} frames_streamed / \
+             {} bytes_in, {} bytes_out",
+            self.accepted,
+            self.refused_connections,
+            self.active_connections,
+            self.requests,
+            self.scenes_requests,
+            self.render_requests,
+            self.trajectory_requests,
+            self.stats_requests,
+            self.health_requests,
+            self.shutdown_requests,
+            self.unrouted_requests,
+            self.ok,
+            self.bad_request,
+            self.not_found,
+            self.gone,
+            self.payload_too_large,
+            self.overloaded,
+            self.frames_streamed,
+            self.bytes_in,
+            self.bytes_out,
+        )
+    }
+}
+
+/// Lock-free accumulator behind [`ServerStats`]: every worker thread
+/// bumps these atomics as it serves; [`snapshot`](Self::snapshot) reads
+/// them into the plain snapshot struct. Relaxed ordering is sufficient
+/// because the counters are monotonic tallies, not synchronization —
+/// reconciliation tests quiesce the server before comparing.
+#[derive(Debug, Default)]
+pub(crate) struct ServerCounters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) refused_connections: AtomicU64,
+    pub(crate) active_connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) scenes_requests: AtomicU64,
+    pub(crate) render_requests: AtomicU64,
+    pub(crate) trajectory_requests: AtomicU64,
+    pub(crate) stats_requests: AtomicU64,
+    pub(crate) health_requests: AtomicU64,
+    pub(crate) shutdown_requests: AtomicU64,
+    pub(crate) unrouted_requests: AtomicU64,
+    pub(crate) ok: AtomicU64,
+    pub(crate) bad_request: AtomicU64,
+    pub(crate) not_found: AtomicU64,
+    pub(crate) gone: AtomicU64,
+    pub(crate) payload_too_large: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) frames_streamed: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+}
+
+impl ServerCounters {
+    pub(crate) fn add(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    /// Decrements the active-connection gauge (saturating, so a spurious
+    /// double-release cannot wrap the gauge).
+    pub(crate) fn release_connection(&self) {
+        let _ = self
+            .active_connections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Tallies one response by its status code.
+    pub(crate) fn record_status(&self, status: u16) {
+        match status {
+            200..=299 => Self::bump(&self.ok),
+            404 => Self::bump(&self.not_found),
+            410 => Self::bump(&self.gone),
+            413 => Self::bump(&self.payload_too_large),
+            503 => Self::bump(&self.overloaded),
+            _ => Self::bump(&self.bad_request),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused_connections: self.refused_connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed) as usize,
+            requests: self.requests.load(Ordering::Relaxed),
+            scenes_requests: self.scenes_requests.load(Ordering::Relaxed),
+            render_requests: self.render_requests.load(Ordering::Relaxed),
+            trajectory_requests: self.trajectory_requests.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            health_requests: self.health_requests.load(Ordering::Relaxed),
+            shutdown_requests: self.shutdown_requests.load(Ordering::Relaxed),
+            unrouted_requests: self.unrouted_requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            gone: self.gone.load(Ordering::Relaxed),
+            payload_too_large: self.payload_too_large.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            frames_streamed: self.frames_streamed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_and_status_identities_reconcile() {
+        let stats = ServerStats {
+            requests: 9,
+            scenes_requests: 1,
+            render_requests: 4,
+            trajectory_requests: 1,
+            stats_requests: 1,
+            health_requests: 1,
+            shutdown_requests: 0,
+            unrouted_requests: 1,
+            ok: 6,
+            bad_request: 1,
+            not_found: 1,
+            gone: 0,
+            payload_too_large: 0,
+            overloaded: 1,
+            ..Default::default()
+        };
+        assert_eq!(stats.routed(), stats.requests);
+        assert_eq!(stats.responded(), stats.requests);
+    }
+
+    #[test]
+    fn record_status_buckets_by_code() {
+        let counters = ServerCounters::default();
+        for status in [200, 201, 400, 404, 410, 413, 422, 503] {
+            counters.record_status(status);
+        }
+        let stats = counters.snapshot();
+        assert_eq!(stats.ok, 2);
+        assert_eq!(stats.bad_request, 2);
+        assert_eq!(stats.not_found, 1);
+        assert_eq!(stats.gone, 1);
+        assert_eq!(stats.payload_too_large, 1);
+        assert_eq!(stats.overloaded, 1);
+    }
+
+    #[test]
+    fn release_connection_saturates_at_zero() {
+        let counters = ServerCounters::default();
+        counters.release_connection();
+        assert_eq!(counters.snapshot().active_connections, 0);
+        ServerCounters::bump(&counters.active_connections);
+        ServerCounters::bump(&counters.active_connections);
+        counters.release_connection();
+        assert_eq!(counters.snapshot().active_connections, 1);
+    }
+}

@@ -1,0 +1,508 @@
+//! The binary frame wire format and typed request decoding.
+//!
+//! ## Frame body (`POST /render`)
+//!
+//! Little-endian, length-implicit:
+//!
+//! ```text
+//! u32 width · u32 height · width*height × (f32 r · f32 g · f32 b)
+//! ```
+//!
+//! The pixel order is row-major, identical to
+//! [`Framebuffer::pixels`], so the FNV-1a digest of a decoded frame
+//! ([`frame_digest`]) is bit-identical to the digest of the in-process
+//! render — the property the loopback e2e test and `load_gen` pin.
+//!
+//! ## Trajectory chunks (`POST /trajectories`)
+//!
+//! Each HTTP chunk carries exactly one frame, tagged:
+//!
+//! ```text
+//! 0x01 · u8 tier · <frame body>          served frame
+//! 0x00 · u32 len · len × u8 utf-8        per-frame refusal (Display text)
+//! ```
+//!
+//! Frames arrive in submission order; a refused frame keeps its slot as
+//! a tagged error chunk instead of silently vanishing.
+
+use splat_core::Framebuffer;
+use splat_engine::{QualityTier, SubmitRequest};
+use splat_metrics::Fnv1a64;
+use splat_scene::CameraTrajectory;
+use splat_types::{Camera, CameraIntrinsics, Priority, RenderError, Rgb, SceneId, Vec3};
+
+use crate::json::JsonValue;
+
+/// FNV-1a 64 digest of a framebuffer: dimensions then row-major
+/// `r, g, b` bit patterns — the workspace-wide canonical frame digest.
+pub fn frame_digest(image: &Framebuffer) -> u64 {
+    let mut hasher = Fnv1a64::new();
+    hasher.write_u64(u64::from(image.width()));
+    hasher.write_u64(u64::from(image.height()));
+    for pixel in image.pixels() {
+        hasher.write_f32(pixel.r);
+        hasher.write_f32(pixel.g);
+        hasher.write_f32(pixel.b);
+    }
+    hasher.finish()
+}
+
+/// Encodes a frame body (see the module docs for the layout).
+pub fn encode_frame(image: &Framebuffer) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + image.pixels().len() * 12);
+    out.extend_from_slice(&image.width().to_le_bytes());
+    out.extend_from_slice(&image.height().to_le_bytes());
+    for pixel in image.pixels() {
+        out.extend_from_slice(&pixel.r.to_le_bytes());
+        out.extend_from_slice(&pixel.g.to_le_bytes());
+        out.extend_from_slice(&pixel.b.to_le_bytes());
+    }
+    out
+}
+
+/// A malformed frame or trajectory chunk (client-side decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// `width * height` disagrees with the pixel payload length.
+    DimensionMismatch,
+    /// An unknown chunk tag or tier byte.
+    BadTag,
+    /// A refusal chunk whose message is not UTF-8.
+    BadRefusal,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire frame ended unexpectedly"),
+            WireError::DimensionMismatch => {
+                write!(f, "wire frame dimensions disagree with the pixel payload")
+            }
+            WireError::BadTag => write!(f, "unknown wire chunk tag"),
+            WireError::BadRefusal => write!(f, "refusal chunk is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn le_u32(buf: &[u8], at: usize) -> Result<u32, WireError> {
+    let bytes: [u8; 4] = buf
+        .get(at..at + 4)
+        .and_then(|chunk| chunk.try_into().ok())
+        .ok_or(WireError::Truncated)?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn le_f32(bytes: &[u8]) -> f32 {
+    let array: [u8; 4] = bytes.try_into().unwrap_or_default();
+    f32::from_le_bytes(array)
+}
+
+/// Decodes a frame body produced by [`encode_frame`].
+pub fn decode_frame(buf: &[u8]) -> Result<Framebuffer, WireError> {
+    let width = le_u32(buf, 0)?;
+    let height = le_u32(buf, 4)?;
+    let payload = buf.get(8..).ok_or(WireError::Truncated)?;
+    let expected = (width as usize)
+        .checked_mul(height as usize)
+        .and_then(|pixels| pixels.checked_mul(12))
+        .ok_or(WireError::DimensionMismatch)?;
+    if payload.len() != expected {
+        return Err(WireError::DimensionMismatch);
+    }
+    let pixels: Vec<Rgb> = payload
+        .chunks_exact(12)
+        .map(|chunk| {
+            let (r, rest) = chunk.split_at(4);
+            let (g, b) = rest.split_at(4);
+            Rgb::new(le_f32(r), le_f32(g), le_f32(b))
+        })
+        .collect();
+    let mut image = Framebuffer::black(width, height);
+    if !pixels.is_empty() {
+        image.write_region(0, 0, width, &pixels);
+    }
+    Ok(image)
+}
+
+fn tier_byte(tier: QualityTier) -> u8 {
+    match tier {
+        QualityTier::Full => 0,
+        QualityTier::Tier1 => 1,
+        QualityTier::Tier2 => 2,
+        QualityTier::Tier3 => 3,
+    }
+}
+
+fn tier_from_byte(byte: u8) -> Result<QualityTier, WireError> {
+    match byte {
+        0 => Ok(QualityTier::Full),
+        1 => Ok(QualityTier::Tier1),
+        2 => Ok(QualityTier::Tier2),
+        3 => Ok(QualityTier::Tier3),
+        _ => Err(WireError::BadTag),
+    }
+}
+
+/// One decoded trajectory chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameChunk {
+    /// A served frame and the quality tier it was admitted at.
+    Frame {
+        /// Admission tier recorded when the frame entered the queue.
+        tier: QualityTier,
+        /// The decoded framebuffer.
+        image: Framebuffer,
+    },
+    /// A per-frame refusal carrying the engine error's `Display` text.
+    Refusal(String),
+}
+
+/// Encodes a served frame as a trajectory chunk payload.
+pub fn encode_frame_chunk(tier: QualityTier, image: &Framebuffer) -> Vec<u8> {
+    let body = encode_frame(image);
+    let mut out = Vec::with_capacity(2 + body.len());
+    out.push(1u8);
+    out.push(tier_byte(tier));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encodes a per-frame refusal as a trajectory chunk payload.
+pub fn encode_refusal_chunk(message: &str) -> Vec<u8> {
+    let bytes = message.as_bytes();
+    let mut out = Vec::with_capacity(5 + bytes.len());
+    out.push(0u8);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decodes one trajectory chunk payload.
+pub fn decode_frame_chunk(buf: &[u8]) -> Result<FrameChunk, WireError> {
+    let (tag, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    match tag {
+        1 => {
+            let (tier, body) = rest.split_first().ok_or(WireError::Truncated)?;
+            Ok(FrameChunk::Frame {
+                tier: tier_from_byte(*tier)?,
+                image: decode_frame(body)?,
+            })
+        }
+        0 => {
+            let length = le_u32(rest, 0)? as usize;
+            let message = rest.get(4..4 + length).ok_or(WireError::Truncated)?;
+            let text = std::str::from_utf8(message).map_err(|_| WireError::BadRefusal)?;
+            Ok(FrameChunk::Refusal(text.to_string()))
+        }
+        _ => Err(WireError::BadTag),
+    }
+}
+
+/// A malformed request body: the field at fault plus what was expected.
+/// `Display` is wire-facing (the 400 body).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but has the wrong type or domain.
+    Invalid(&'static str),
+    /// Field values parsed but fail render validation (degenerate
+    /// camera, zero resolution, ...).
+    Render(RenderError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Missing(field) => write!(f, "missing required field `{field}`"),
+            RequestError::Invalid(field) => write!(f, "invalid value for field `{field}`"),
+            RequestError::Render(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A decoded `POST /render` body, ready to submit.
+#[derive(Debug, Clone)]
+pub struct RenderWireRequest {
+    /// The registered scene to render.
+    pub scene_id: SceneId,
+    /// The validated camera.
+    pub camera: Camera,
+    /// Admission priority (defaults to [`Priority::Normal`]).
+    pub priority: Priority,
+}
+
+impl RenderWireRequest {
+    /// Converts into an engine submission.
+    pub fn into_submit(self) -> SubmitRequest {
+        SubmitRequest::new(self.scene_id, self.camera).with_priority(self.priority)
+    }
+}
+
+/// A decoded `POST /trajectories` body.
+#[derive(Debug, Clone)]
+pub struct TrajectoryWireRequest {
+    /// The registered scene to render.
+    pub scene_id: SceneId,
+    /// The orbit trajectory described by the body.
+    pub trajectory: CameraTrajectory,
+    /// Admission priority (defaults to [`Priority::Normal`]).
+    pub priority: Priority,
+}
+
+fn parse_vec3(value: Option<&JsonValue>, field: &'static str) -> Result<Vec3, RequestError> {
+    let items = value
+        .ok_or(RequestError::Missing(field))?
+        .as_array()
+        .ok_or(RequestError::Invalid(field))?;
+    match items {
+        [x, y, z] => {
+            let x = x.as_f64().ok_or(RequestError::Invalid(field))?;
+            let y = y.as_f64().ok_or(RequestError::Invalid(field))?;
+            let z = z.as_f64().ok_or(RequestError::Invalid(field))?;
+            Ok(Vec3::new(x as f32, y as f32, z as f32))
+        }
+        _ => Err(RequestError::Invalid(field)),
+    }
+}
+
+fn parse_f32(value: Option<&JsonValue>, field: &'static str) -> Result<f32, RequestError> {
+    value
+        .ok_or(RequestError::Missing(field))?
+        .as_f64()
+        .map(|v| v as f32)
+        .ok_or(RequestError::Invalid(field))
+}
+
+fn parse_u32(value: Option<&JsonValue>, field: &'static str) -> Result<u32, RequestError> {
+    let raw = value
+        .ok_or(RequestError::Missing(field))?
+        .as_u64()
+        .ok_or(RequestError::Invalid(field))?;
+    u32::try_from(raw).map_err(|_| RequestError::Invalid(field))
+}
+
+fn parse_scene_id(body: &JsonValue) -> Result<SceneId, RequestError> {
+    body.get("scene_id")
+        .ok_or(RequestError::Missing("scene_id"))?
+        .as_u64()
+        .map(SceneId::from_raw)
+        .ok_or(RequestError::Invalid("scene_id"))
+}
+
+fn parse_priority(body: &JsonValue) -> Result<Priority, RequestError> {
+    match body.get("priority") {
+        None => Ok(Priority::Normal),
+        Some(value) => {
+            let label = value.as_str().ok_or(RequestError::Invalid("priority"))?;
+            Priority::ALL
+                .iter()
+                .copied()
+                .find(|priority| priority.label() == label)
+                .ok_or(RequestError::Invalid("priority"))
+        }
+    }
+}
+
+fn parse_camera(body: &JsonValue) -> Result<Camera, RequestError> {
+    let camera = body.get("camera").ok_or(RequestError::Missing("camera"))?;
+    let eye = parse_vec3(camera.get("eye"), "camera.eye")?;
+    let target = parse_vec3(camera.get("target"), "camera.target")?;
+    let up = match camera.get("up") {
+        None => Vec3::Y,
+        Some(_) => parse_vec3(camera.get("up"), "camera.up")?,
+    };
+    let fov_y = parse_f32(camera.get("fov_y"), "camera.fov_y")?;
+    let width = parse_u32(camera.get("width"), "camera.width")?;
+    let height = parse_u32(camera.get("height"), "camera.height")?;
+    let intrinsics =
+        CameraIntrinsics::try_from_fov_y(fov_y, width, height).map_err(RequestError::Render)?;
+    Camera::try_look_at(eye, target, up, intrinsics).map_err(RequestError::Render)
+}
+
+/// Decodes a `POST /render` body:
+///
+/// ```json
+/// {"scene_id": 1, "priority": "high",
+///  "camera": {"eye": [x,y,z], "target": [x,y,z], "up": [x,y,z],
+///             "fov_y": 0.8, "width": 640, "height": 480}}
+/// ```
+///
+/// `priority` and `camera.up` are optional (`"normal"` / `+Y`).
+pub fn parse_render_request(body: &JsonValue) -> Result<RenderWireRequest, RequestError> {
+    Ok(RenderWireRequest {
+        scene_id: parse_scene_id(body)?,
+        camera: parse_camera(body)?,
+        priority: parse_priority(body)?,
+    })
+}
+
+/// Decodes a `POST /trajectories` body:
+///
+/// ```json
+/// {"scene_id": 1, "priority": "low",
+///  "trajectory": {"kind": "orbit", "center": [x,y,z], "radius": 4.0,
+///                 "elevation": 1.5, "frames": 24,
+///                 "fov_y": 0.8, "width": 640, "height": 480}}
+/// ```
+///
+/// Only the `"orbit"` kind exists today; `frames` is clamped to at
+/// least 1 by the trajectory builder.
+pub fn parse_trajectory_request(body: &JsonValue) -> Result<TrajectoryWireRequest, RequestError> {
+    let scene_id = parse_scene_id(body)?;
+    let priority = parse_priority(body)?;
+    let spec = body
+        .get("trajectory")
+        .ok_or(RequestError::Missing("trajectory"))?;
+    let kind = spec
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("orbit");
+    if kind != "orbit" {
+        return Err(RequestError::Invalid("trajectory.kind"));
+    }
+    let center = parse_vec3(spec.get("center"), "trajectory.center")?;
+    let radius = parse_f32(spec.get("radius"), "trajectory.radius")?;
+    let elevation = parse_f32(spec.get("elevation"), "trajectory.elevation")?;
+    let frames = spec
+        .get("frames")
+        .ok_or(RequestError::Missing("trajectory.frames"))?
+        .as_u64()
+        .and_then(|raw| usize::try_from(raw).ok())
+        .filter(|&frames| frames >= 1)
+        .ok_or(RequestError::Invalid("trajectory.frames"))?;
+    let fov_y = parse_f32(spec.get("fov_y"), "trajectory.fov_y")?;
+    let width = parse_u32(spec.get("width"), "trajectory.width")?;
+    let height = parse_u32(spec.get("height"), "trajectory.height")?;
+    let intrinsics =
+        CameraIntrinsics::try_from_fov_y(fov_y, width, height).map_err(RequestError::Render)?;
+    Ok(TrajectoryWireRequest {
+        scene_id,
+        trajectory: CameraTrajectory::orbit(intrinsics, center, radius, elevation, frames),
+        priority,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    fn checker_frame() -> Framebuffer {
+        let mut image = Framebuffer::black(3, 2);
+        image.set_pixel(0, 0, Rgb::new(1.0, 0.25, -0.5));
+        image.set_pixel(2, 1, Rgb::new(0.125, 2.0, 3.5));
+        image
+    }
+
+    #[test]
+    fn frame_round_trips_bit_exactly() {
+        let image = checker_frame();
+        let decoded = decode_frame(&encode_frame(&image)).expect("round trip");
+        assert_eq!(decoded, image);
+        assert_eq!(frame_digest(&decoded), frame_digest(&image));
+    }
+
+    #[test]
+    fn frame_decode_rejects_truncation_and_dimension_lies() {
+        let image = checker_frame();
+        let wire = encode_frame(&image);
+        assert_eq!(decode_frame(&wire[..6]), Err(WireError::Truncated));
+        assert_eq!(
+            decode_frame(&wire[..wire.len() - 4]),
+            Err(WireError::DimensionMismatch)
+        );
+        let mut lying = Vec::from(&4u32.to_le_bytes()[..]);
+        lying.extend_from_slice(&wire[4..]);
+        assert_eq!(decode_frame(&lying), Err(WireError::DimensionMismatch));
+    }
+
+    #[test]
+    fn trajectory_chunks_round_trip_frames_and_refusals() {
+        let image = checker_frame();
+        let chunk = encode_frame_chunk(QualityTier::Tier2, &image);
+        assert_eq!(
+            decode_frame_chunk(&chunk).expect("frame chunk"),
+            FrameChunk::Frame {
+                tier: QualityTier::Tier2,
+                image,
+            }
+        );
+        let refusal = encode_refusal_chunk("engine overloaded");
+        assert_eq!(
+            decode_frame_chunk(&refusal).expect("refusal chunk"),
+            FrameChunk::Refusal("engine overloaded".to_string())
+        );
+        assert_eq!(decode_frame_chunk(&[7u8]), Err(WireError::BadTag));
+        assert_eq!(decode_frame_chunk(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn render_request_parses_with_defaults_and_validates_cameras() {
+        let body = parse_json(
+            r#"{"scene_id": 5,
+                "camera": {"eye": [0.0, 1.0, -4.0], "target": [0.0, 0.0, 0.0],
+                           "fov_y": 0.8, "width": 64, "height": 48}}"#,
+        )
+        .expect("valid json");
+        let request = parse_render_request(&body).expect("valid request");
+        assert_eq!(request.scene_id, SceneId::from_raw(5));
+        assert_eq!(request.priority, Priority::Normal);
+        assert_eq!(request.camera.width(), 64);
+
+        let degenerate = parse_json(
+            r#"{"scene_id": 5,
+                "camera": {"eye": [0.0, 0.0, 0.0], "target": [0.0, 0.0, 0.0],
+                           "fov_y": 0.8, "width": 64, "height": 48}}"#,
+        )
+        .expect("valid json");
+        assert!(matches!(
+            parse_render_request(&degenerate),
+            Err(RequestError::Render(RenderError::DegenerateCamera { .. }))
+        ));
+
+        let missing = parse_json(r#"{"camera": {}}"#).expect("valid json");
+        assert!(matches!(
+            parse_render_request(&missing),
+            Err(RequestError::Missing("scene_id"))
+        ));
+    }
+
+    #[test]
+    fn trajectory_request_builds_the_documented_orbit() {
+        let body = parse_json(
+            r#"{"scene_id": 2, "priority": "low",
+                "trajectory": {"center": [0.0, 0.0, 0.0], "radius": 4.0,
+                               "elevation": 1.5, "frames": 6,
+                               "fov_y": 0.8, "width": 32, "height": 24}}"#,
+        )
+        .expect("valid json");
+        let request = parse_trajectory_request(&body).expect("valid request");
+        assert_eq!(request.trajectory.len(), 6);
+        assert_eq!(request.priority, Priority::Low);
+        let intrinsics = CameraIntrinsics::try_from_fov_y(0.8, 32, 24).expect("intrinsics");
+        let direct = CameraTrajectory::orbit(intrinsics, Vec3::ZERO, 4.0, 1.5, 6);
+        assert_eq!(
+            request.trajectory.cameras().count(),
+            direct.cameras().count()
+        );
+
+        let zero_frames = parse_json(
+            r#"{"scene_id": 2,
+                "trajectory": {"center": [0.0, 0.0, 0.0], "radius": 4.0,
+                               "elevation": 1.5, "frames": 0,
+                               "fov_y": 0.8, "width": 32, "height": 24}}"#,
+        )
+        .expect("valid json");
+        assert!(matches!(
+            parse_trajectory_request(&zero_frames),
+            Err(RequestError::Invalid("trajectory.frames"))
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! Pins the `ServerStats` observability surface: every counter is
+//! carried by `to_json` and `Display`, and the documented routing and
+//! status identities reconcile.
+
+use splat_server::ServerStats;
+
+fn sample() -> ServerStats {
+    // `ServerStats` is `#[non_exhaustive]`, so build by mutation.
+    let mut stats = ServerStats::default();
+    stats.accepted = 12;
+    stats.refused_connections = 3;
+    stats.active_connections = 2;
+    stats.requests = 11;
+    stats.scenes_requests = 1;
+    stats.render_requests = 6;
+    stats.trajectory_requests = 1;
+    stats.stats_requests = 1;
+    stats.health_requests = 1;
+    stats.shutdown_requests = 0;
+    stats.unrouted_requests = 1;
+    stats.ok = 7;
+    stats.bad_request = 1;
+    stats.not_found = 1;
+    stats.gone = 0;
+    stats.payload_too_large = 1;
+    stats.overloaded = 1;
+    stats.frames_streamed = 5;
+    stats.bytes_in = 4096;
+    stats.bytes_out = 65536;
+    stats
+}
+
+#[test]
+fn json_covers_every_counter() {
+    let stats = sample();
+    let json = stats.to_json();
+    for field in [
+        "\"accepted\":12",
+        "\"refused_connections\":3",
+        "\"active_connections\":2",
+        "\"requests\":11",
+        "\"scenes_requests\":1",
+        "\"render_requests\":6",
+        "\"trajectory_requests\":1",
+        "\"stats_requests\":1",
+        "\"health_requests\":1",
+        "\"shutdown_requests\":0",
+        "\"unrouted_requests\":1",
+        "\"ok\":7",
+        "\"bad_request\":1",
+        "\"not_found\":1",
+        "\"gone\":0",
+        "\"payload_too_large\":1",
+        "\"overloaded\":1",
+        "\"frames_streamed\":5",
+        "\"bytes_in\":4096",
+        "\"bytes_out\":65536",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+}
+
+#[test]
+fn display_covers_every_counter() {
+    let text = sample().to_string();
+    for token in [
+        "12 accepted",
+        "3 refused_connections",
+        "2 active_connections",
+        "1 scenes_requests",
+        "6 render_requests",
+        "1 trajectory_requests",
+        "1 stats_requests",
+        "1 health_requests",
+        "0 shutdown_requests",
+        "1 unrouted_requests",
+        "7 ok",
+        "1 bad_request",
+        "1 not_found",
+        "0 gone",
+        "1 payload_too_large",
+        "1 overloaded",
+        "5 frames_streamed",
+        "4096 bytes_in",
+        "65536 bytes_out",
+    ] {
+        assert!(text.contains(token), "missing `{token}` in `{text}`");
+    }
+}
+
+#[test]
+fn routing_and_status_identities_reconcile() {
+    let stats = sample();
+    assert_eq!(stats.routed(), stats.requests);
+    assert_eq!(stats.responded(), stats.requests);
+}

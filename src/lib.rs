@@ -23,6 +23,10 @@
 //!   registered once into a budgeted, LRU-deflated registry
 //!   ([`Engine::register_scene`](engine::Engine::register_scene)) and
 //!   served by [`SceneId`](types::SceneId) handle,
+//! * [`server`] — the dependency-free HTTP/1.1 network front door
+//!   (`splat-serve`): binary scene upload, digest-stable frame
+//!   responses, chunked trajectory streaming, and connection
+//!   backpressure composing with the engine's admission control,
 //! * [`accel`] — the cycle-level accelerator simulator,
 //! * [`metrics`] — summary statistics and table output.
 //!
@@ -73,6 +77,8 @@ pub use splat_engine as engine;
 pub use splat_metrics as metrics;
 pub use splat_render as render;
 pub use splat_scene as scene;
+/// The dependency-free network front door (`splat-serve`).
+pub use splat_server as server;
 pub use splat_types as types;
 
 /// Convenient glob import for examples and tests.
@@ -91,6 +97,7 @@ pub mod prelude {
     pub use splat_metrics::{geometric_mean, Table};
     pub use splat_render::{BoundaryMethod, PrepassMode, RenderConfig, RenderSession, Renderer};
     pub use splat_scene::{CameraTrajectory, PaperScene, Scene, SceneScale};
+    pub use splat_server::{Server, ServerConfig, ServerStats};
     pub use splat_types::{
         Camera, CameraIntrinsics, Gaussian3d, Priority, Quat, RenderError, Rgb, SceneId, Vec3,
     };

@@ -1,0 +1,465 @@
+//! Loopback end-to-end tests for the `splat-server` front door.
+//!
+//! Everything runs against an ephemeral port on 127.0.0.1: scenes are
+//! uploaded through the wire, frames are rendered through the wire, and
+//! every digest is compared bit-for-bit against the direct in-process
+//! `Engine` path — the serving stack must be invisible in the pixels.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gs_tg::prelude::*;
+use splat_scene::io::encode_scene;
+use splat_scene::{SceneGenerator, SynthProfile};
+use splat_server::{
+    decode_frame, decode_frame_chunk, frame_digest, one_shot, parse_json, Connection, FrameChunk,
+    JsonValue,
+};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn synth_scene(seed: u64, count: usize) -> Scene {
+    SceneGenerator::new(SynthProfile::default().with_count(count), seed).generate("e2e", 160, 120)
+}
+
+fn test_camera(width: u32, height: u32) -> Camera {
+    Camera::look_at(
+        Vec3::new(0.0, 1.0, -6.0),
+        Vec3::new(0.0, 0.0, 6.0),
+        Vec3::Y,
+        CameraIntrinsics::from_fov_y(0.9, width, height),
+    )
+}
+
+fn camera_body(scene_id: u64, priority: &str, width: u32, height: u32) -> String {
+    format!(
+        "{{\"scene_id\":{scene_id},\"priority\":\"{priority}\",\
+         \"camera\":{{\"eye\":[0.0,1.0,-6.0],\"target\":[0.0,0.0,6.0],\"up\":[0.0,1.0,0.0],\
+         \"fov_y\":0.9,\"width\":{width},\"height\":{height}}}}}"
+    )
+}
+
+fn start_server(
+    admission: AdmissionPolicy,
+    quality: QualityPolicy,
+    queue_capacity: usize,
+    paused: bool,
+    workers: usize,
+) -> splat_server::Server {
+    let engine = Engine::builder()
+        .workers(1)
+        .queue_capacity(queue_capacity)
+        .admission(admission)
+        .quality(quality)
+        .start_paused(paused)
+        .build()
+        .expect("engine config is valid");
+    splat_server::Server::start(
+        Arc::new(engine),
+        ServerConfig::default()
+            .with_workers(workers)
+            .with_read_timeout_ms(30_000),
+    )
+    .expect("server binds an ephemeral port")
+}
+
+fn upload(addr: &str, scene: &Scene) -> u64 {
+    let response = one_shot(addr, TIMEOUT, "POST", "/scenes", &encode_scene(scene))
+        .expect("upload round-trips");
+    assert_eq!(response.status, 201, "upload must succeed");
+    let body = String::from_utf8(response.body).expect("json body");
+    parse_json(&body)
+        .expect("upload response is json")
+        .get("scene_id")
+        .and_then(JsonValue::as_u64)
+        .expect("scene_id in upload response")
+}
+
+/// The direct in-process reference for a tier: the ladder scene (or the
+/// full scene) rendered synchronously, with the half-resolution render +
+/// nearest-neighbor upsample for Tier3 — exactly what the engine workers
+/// do for a degraded job.
+fn direct_tier_digest(engine: &Engine, scene: &Scene, tier: QualityTier, camera: Camera) -> u64 {
+    let ladder = LodLadder::build(scene);
+    let tier_scene: &Scene = match ladder.scene(tier) {
+        Some(scene) => scene,
+        None => scene,
+    };
+    let image = if tier.half_resolution() {
+        let half = camera.half_resolution();
+        engine
+            .render_one(&RenderRequest::new(tier_scene, half))
+            .expect("direct render succeeds")
+            .image
+            .upsample_nearest(camera.width(), camera.height())
+    } else {
+        engine
+            .render_one(&RenderRequest::new(tier_scene, camera))
+            .expect("direct render succeeds")
+            .image
+    };
+    frame_digest(&image)
+}
+
+#[test]
+fn wire_digests_are_bit_identical_to_the_direct_engine_path_for_all_tiers() {
+    let scene = synth_scene(21, 96);
+    for tier in QualityTier::ALL {
+        let server = start_server(
+            AdmissionPolicy::Block,
+            QualityPolicy::Pinned(tier),
+            8,
+            false,
+            2,
+        );
+        let addr = server.local_addr().to_string();
+        let scene_id = upload(&addr, &scene);
+
+        let response = one_shot(
+            &addr,
+            TIMEOUT,
+            "POST",
+            "/render",
+            camera_body(scene_id, "high", 96, 72).as_bytes(),
+        )
+        .expect("render round-trips");
+        assert_eq!(response.status, 200, "tier {tier:?} render must succeed");
+        assert_eq!(
+            response.header("x-splat-quality"),
+            Some(tier.label()),
+            "served tier must be pinned"
+        );
+        let image = decode_frame(&response.body).expect("frame decodes");
+        let wire_digest = frame_digest(&image);
+        assert_eq!(
+            response.header("x-splat-digest"),
+            Some(format!("{wire_digest:016x}").as_str()),
+            "digest header must match the decoded frame"
+        );
+
+        // The engine registered the *decoded* upload; resolve it back out
+        // of the server's engine so the reference renders the same bits.
+        let engine = server.engine();
+        let camera = test_camera(96, 72);
+        if tier == QualityTier::Full {
+            let direct = engine
+                .render_one_registered(SceneId::from_raw(scene_id), camera)
+                .expect("direct registered render succeeds");
+            assert_eq!(
+                wire_digest,
+                frame_digest(&direct.image),
+                "wire frame must be bit-identical to render_one_registered"
+            );
+        }
+        let decoded_upload =
+            splat_scene::io::decode_scene(&encode_scene(&scene)).expect("re-decode");
+        assert_eq!(
+            wire_digest,
+            direct_tier_digest(engine, &decoded_upload, tier, camera),
+            "wire frame must be bit-identical to the direct {tier:?} path"
+        );
+        let (server_stats, engine_stats) = server.shutdown();
+        assert_eq!(server_stats.render_requests, 1);
+        assert_eq!(server_stats.scenes_requests, 1);
+        assert_eq!(engine_stats.completed, 1);
+    }
+}
+
+#[test]
+fn trajectory_streams_ordered_frames_with_direct_path_digests() {
+    let scene = synth_scene(22, 64);
+    let server = start_server(AdmissionPolicy::Block, QualityPolicy::FullOnly, 8, false, 2);
+    let addr = server.local_addr().to_string();
+    let scene_id = upload(&addr, &scene);
+
+    let body = format!(
+        "{{\"scene_id\":{scene_id},\"priority\":\"normal\",\
+         \"trajectory\":{{\"center\":[0.0,0.0,6.0],\"radius\":4.0,\"elevation\":0.6,\
+         \"frames\":5,\"fov_y\":1.0,\"width\":64,\"height\":48}}}}"
+    );
+    let mut connection = Connection::open(&addr, TIMEOUT).expect("connects");
+    connection
+        .send_request("POST", "/trajectories", body.as_bytes())
+        .expect("request sends");
+    let (status, headers) = connection.read_response_head().expect("head arrives");
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers
+            .iter()
+            .find(|(name, _)| name == "x-splat-frames")
+            .map(|(_, value)| value.as_str()),
+        Some("5")
+    );
+
+    let trajectory = CameraTrajectory::orbit(
+        CameraIntrinsics::from_fov_y(1.0, 64, 48),
+        Vec3::new(0.0, 0.0, 6.0),
+        4.0,
+        0.6,
+        5,
+    );
+    let decoded_upload = splat_scene::io::decode_scene(&encode_scene(&scene)).expect("re-decode");
+    let mut frames = 0usize;
+    while let Some(chunk) = connection.read_chunk().expect("chunk arrives") {
+        match decode_frame_chunk(&chunk).expect("chunk decodes") {
+            FrameChunk::Frame { tier, image } => {
+                assert_eq!(tier, QualityTier::Full);
+                let camera = trajectory.camera(frames);
+                let direct = server
+                    .engine()
+                    .render_one(&RenderRequest::new(&decoded_upload, camera))
+                    .expect("direct render succeeds");
+                assert_eq!(
+                    frame_digest(&image),
+                    frame_digest(&direct.image),
+                    "streamed frame {frames} must match the direct path"
+                );
+                frames += 1;
+            }
+            FrameChunk::Refusal(reason) => panic!("unexpected refusal: {reason}"),
+        }
+    }
+    assert_eq!(frames, 5, "all frames must stream in order");
+
+    let (server_stats, engine_stats) = server.shutdown();
+    assert_eq!(server_stats.frames_streamed, 5);
+    assert_eq!(server_stats.trajectory_requests, 1);
+    assert_eq!(engine_stats.completed, 5);
+    assert_eq!(engine_stats.scene_hits, 1, "one stream, one recency touch");
+}
+
+#[test]
+fn malformed_requests_get_typed_4xx_without_killing_the_pool() {
+    let scene = synth_scene(23, 32);
+    let engine = Engine::builder()
+        .workers(1)
+        .build()
+        .expect("engine config is valid");
+    let server = splat_server::Server::start(
+        Arc::new(engine),
+        ServerConfig::default()
+            .with_workers(2)
+            .with_max_body_bytes(1 << 20)
+            .with_read_timeout_ms(30_000),
+    )
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let scene_id = upload(&addr, &scene);
+
+    // Bad magic: typed DecodeError Display on the wire.
+    let response = one_shot(&addr, TIMEOUT, "POST", "/scenes", b"XXXX not a scene")
+        .expect("bad-magic upload answers");
+    assert_eq!(response.status, 400);
+    assert!(
+        String::from_utf8_lossy(&response.body).contains("not a GSTG scene"),
+        "the typed DecodeError Display must reach the client"
+    );
+
+    // Truncated body: declared 64 bytes, sent 10, then half-closed.
+    let mut truncated = Connection::open(&addr, TIMEOUT).expect("connects");
+    truncated
+        .send_truncated_request("POST", "/render", 64, b"0123456789")
+        .expect("partial request sends");
+    let response = truncated.read_response().expect("refusal arrives");
+    assert_eq!(response.status, 400);
+    assert!(String::from_utf8_lossy(&response.body).contains("Content-Length"));
+
+    // Oversized Content-Length: refused with 413 before reading the body.
+    let mut oversized = Connection::open(&addr, TIMEOUT).expect("connects");
+    oversized
+        .send_truncated_request("POST", "/scenes", 64 << 20, b"")
+        .expect("oversized head sends");
+    let response = oversized.read_response().expect("refusal arrives");
+    assert_eq!(response.status, 413);
+
+    // Bad JSON, unknown scene, evicted scene, unknown route.
+    let response =
+        one_shot(&addr, TIMEOUT, "POST", "/render", b"not json at all").expect("bad json answers");
+    assert_eq!(response.status, 400);
+
+    let response = one_shot(
+        &addr,
+        TIMEOUT,
+        "POST",
+        "/render",
+        camera_body(9_999, "normal", 32, 24).as_bytes(),
+    )
+    .expect("unknown scene answers");
+    assert_eq!(response.status, 404);
+
+    server
+        .engine()
+        .evict_scene(SceneId::from_raw(scene_id))
+        .expect("evict succeeds");
+    let response = one_shot(
+        &addr,
+        TIMEOUT,
+        "POST",
+        "/render",
+        camera_body(scene_id, "normal", 32, 24).as_bytes(),
+    )
+    .expect("evicted scene answers");
+    assert_eq!(response.status, 410);
+
+    let response = one_shot(&addr, TIMEOUT, "GET", "/nope", b"").expect("unknown route answers");
+    assert_eq!(response.status, 404);
+
+    // The pool survived all of it: health and a real render still work.
+    let response = one_shot(&addr, TIMEOUT, "GET", "/healthz", b"").expect("health answers");
+    assert_eq!(response.status, 200);
+    let scene_id = upload(&addr, &scene);
+    let response = one_shot(
+        &addr,
+        TIMEOUT,
+        "POST",
+        "/render",
+        camera_body(scene_id, "critical", 32, 24).as_bytes(),
+    )
+    .expect("render after abuse succeeds");
+    assert_eq!(response.status, 200);
+
+    let (stats, _engine_stats) = server.shutdown();
+    assert_eq!(stats.routed(), stats.requests, "routing identity");
+    assert_eq!(stats.responded(), stats.requests, "status identity");
+    assert_eq!(stats.bad_request, 3, "bad magic + truncated + bad json");
+    assert_eq!(stats.payload_too_large, 1);
+    assert_eq!(stats.not_found, 2, "unknown scene + unknown route");
+    assert_eq!(stats.gone, 1);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+}
+
+#[test]
+fn double_capacity_burst_degrades_then_sheds_with_exact_reconciliation() {
+    let scene = synth_scene(24, 48);
+    // Capacity 4 with the default degradation ladder: the bound extends
+    // to 8, depths 0..8 admit at Full,Full,T1,T2,T3,T3,T3,T3, and the
+    // remaining 8 of a 16-request burst shed with 503.
+    let server = start_server(
+        AdmissionPolicy::RejectWhenFull,
+        QualityPolicy::degrade_default(),
+        4,
+        true,
+        16,
+    );
+    let addr = server.local_addr().to_string();
+    let scene_id = upload(&addr, &scene);
+
+    let mut clients = Vec::new();
+    for _ in 0..16 {
+        let addr = addr.clone();
+        let body = camera_body(scene_id, "normal", 32, 24);
+        clients.push(std::thread::spawn(move || {
+            let response = one_shot(&addr, TIMEOUT, "POST", "/render", body.as_bytes())
+                .expect("burst request answers");
+            let tier = response
+                .header("x-splat-quality")
+                .map(|label| label.to_string());
+            let retry_after = response.header("retry-after").map(|v| v.to_string());
+            (response.status, tier, retry_after)
+        }));
+    }
+
+    // Wait until every request has reached admission (engine paused, so
+    // admitted jobs sit in the queue), then release the worker.
+    let engine = Arc::clone(server.engine());
+    loop {
+        let stats = engine.stats();
+        if stats.submitted + stats.rejected >= 16 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    engine.resume();
+
+    let mut served = Vec::new();
+    let mut shed = 0usize;
+    for client in clients {
+        let (status, tier, retry_after) = client.join().expect("client thread");
+        match status {
+            200 => served.push(tier.expect("served responses carry a tier")),
+            503 => {
+                assert_eq!(
+                    retry_after.as_deref(),
+                    Some("1"),
+                    "503 must carry Retry-After"
+                );
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    served.sort();
+    let mut tier_counts = [0usize; 4];
+    for label in &served {
+        let tier = QualityTier::from_label(label).expect("valid tier label");
+        let index = QualityTier::ALL
+            .iter()
+            .position(|t| *t == tier)
+            .expect("tier in ALL");
+        if let Some(slot) = tier_counts.get_mut(index) {
+            *slot += 1;
+        }
+    }
+    assert_eq!(served.len(), 8, "half the burst is admitted");
+    assert_eq!(shed, 8, "half the burst is shed");
+    assert_eq!(
+        tier_counts,
+        [2, 1, 1, 4],
+        "deterministic degradation ladder"
+    );
+
+    let (server_stats, engine_stats) = server.shutdown();
+    // Exact cross-layer reconciliation, wire against engine.
+    assert_eq!(server_stats.render_requests, 16);
+    assert_eq!(
+        server_stats.render_requests,
+        engine_stats.submitted + engine_stats.rejected
+    );
+    assert_eq!(server_stats.overloaded, engine_stats.rejected);
+    assert_eq!(
+        server_stats.ok,
+        1 + engine_stats.completed,
+        "201 upload + 200 renders"
+    );
+    assert_eq!(engine_stats.submitted, 8);
+    assert_eq!(engine_stats.rejected, 8);
+    assert_eq!(engine_stats.completed, 8);
+    assert_eq!(engine_stats.full_quality, 2);
+    assert_eq!(engine_stats.degraded, 6);
+    assert_eq!(engine_stats.degraded_t1, 1);
+    assert_eq!(engine_stats.degraded_t2, 1);
+    assert_eq!(engine_stats.degraded_t3, 4);
+    assert_eq!(server_stats.refused_connections, 0);
+    assert_eq!(server_stats.routed(), server_stats.requests);
+    assert_eq!(server_stats.responded(), server_stats.requests);
+}
+
+#[test]
+fn post_shutdown_drains_gracefully_through_shared_ownership() {
+    let scene = synth_scene(25, 32);
+    let server = start_server(AdmissionPolicy::Block, QualityPolicy::FullOnly, 8, false, 2);
+    let addr = server.local_addr().to_string();
+    let scene_id = upload(&addr, &scene);
+    let response = one_shot(
+        &addr,
+        TIMEOUT,
+        "POST",
+        "/render",
+        camera_body(scene_id, "normal", 32, 24).as_bytes(),
+    )
+    .expect("render succeeds");
+    assert_eq!(response.status, 200);
+
+    let response = one_shot(&addr, TIMEOUT, "POST", "/shutdown", b"").expect("shutdown answers");
+    assert_eq!(response.status, 200);
+    assert!(String::from_utf8_lossy(&response.body).contains("shutting_down"));
+    assert!(server.is_shutting_down());
+
+    let (server_stats, engine_stats) = server.shutdown();
+    assert_eq!(server_stats.shutdown_requests, 1);
+    assert_eq!(engine_stats.in_flight(), 0, "drain leaves nothing queued");
+    assert_eq!(engine_stats.completed, 1);
+
+    // The listener is gone: new connections must fail fast.
+    assert!(Connection::open(&addr, Duration::from_millis(500)).is_err());
+}
